@@ -1,0 +1,130 @@
+//! Microbenchmarks of the primitive costs underlying Table 2: storage
+//! operations with and without undo, rollback, lock manager traffic, and
+//! deadlock detection. These measure what *this* implementation costs on
+//! the host — the real-world counterparts of the virtual cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hcc_common::{ClientId, LockKey, Nanos, TxnId};
+use hcc_core::ExecutionEngine;
+use hcc_locking::{LockManager, LockMode};
+use hcc_workloads::micro::{make_key, MicroEngine, MicroFragment, MicroOp};
+use std::hint::black_box;
+
+fn txid(n: u32) -> TxnId {
+    TxnId::new(ClientId(0), n)
+}
+
+fn twelve_key_fragment(seed: u32) -> MicroFragment {
+    MicroFragment {
+        ops: (0..12)
+            .map(|i| MicroOp::Rmw(make_key(seed % 40, 0, (seed + i) % 24)))
+            .collect(),
+        fail: false,
+    }
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv");
+
+    // t_sp analogue: 12-RMW fragment without undo.
+    g.bench_function("execute_12rmw_no_undo", |b| {
+        let mut e = MicroEngine::load(hcc_common::PartitionId(0), 40, 24);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let frag = twelve_key_fragment(n);
+            black_box(e.execute(txid(n), &frag, false));
+            e.forget(txid(n));
+        });
+    });
+
+    // t_spS analogue: same with undo recording (then forget).
+    g.bench_function("execute_12rmw_with_undo", |b| {
+        let mut e = MicroEngine::load(hcc_common::PartitionId(0), 40, 24);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let frag = twelve_key_fragment(n);
+            black_box(e.execute(txid(n), &frag, true));
+            e.forget(txid(n));
+        });
+    });
+
+    // Cascade cost: execute with undo, then roll back.
+    g.bench_function("execute_and_rollback_12rmw", |b| {
+        let mut e = MicroEngine::load(hcc_common::PartitionId(0), 40, 24);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let frag = twelve_key_fragment(n);
+            black_box(e.execute(txid(n), &frag, true));
+            black_box(e.rollback(txid(n)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+
+    // The paper's `l` analogue: acquire + release 12 uncontended locks.
+    g.bench_function("acquire_release_12_uncontended", |b| {
+        let mut lm = LockManager::new();
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let txn = txid(n);
+            for k in 0..12u64 {
+                black_box(lm.acquire(txn, LockKey(k), LockMode::Exclusive, Nanos(0)));
+            }
+            black_box(lm.release_all(txn));
+        });
+    });
+
+    g.bench_function("acquire_release_12_shared", |b| {
+        let mut lm = LockManager::new();
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let txn = txid(n);
+            for k in 0..12u64 {
+                black_box(lm.acquire(txn, LockKey(k), LockMode::Shared, Nanos(0)));
+            }
+            black_box(lm.release_all(txn));
+        });
+    });
+
+    // Wait + wake path: one conflicting waiter per release.
+    g.bench_function("conflict_wait_and_wake", |b| {
+        b.iter_batched(
+            LockManager::new,
+            |mut lm| {
+                lm.acquire(txid(1), LockKey(1), LockMode::Exclusive, Nanos(0));
+                lm.acquire(txid(2), LockKey(1), LockMode::Exclusive, Nanos(0));
+                black_box(lm.release_all(txid(1)));
+                black_box(lm.release_all(txid(2)));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Deadlock detection over a 16-deep wait chain (no cycle).
+    g.bench_function("cycle_check_chain16", |b| {
+        let mut lm = LockManager::new();
+        for i in 0..16u32 {
+            lm.acquire(txid(i), LockKey(i as u64), LockMode::Exclusive, Nanos(0));
+        }
+        for i in 1..16u32 {
+            lm.acquire(txid(i), LockKey((i - 1) as u64), LockMode::Exclusive, Nanos(0));
+        }
+        b.iter(|| black_box(hcc_locking::deadlock::find_cycle(&lm, txid(15))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kv, bench_locks
+);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Scheduler dispatch costs: what each concurrency control scheme adds to
+//! a transaction's host-side execution path — the heart of the paper's
+//! "low overhead" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcc_common::{
+    ClientId, CoordinatorRef, CostModel, Decision, FragmentTask, Nanos, PartitionId, TxnId,
+};
+use hcc_core::blocking::BlockingScheduler;
+use hcc_core::locking_sched::LockingScheduler;
+use hcc_core::speculative::SpeculativeScheduler;
+use hcc_core::{Outbox, Scheduler};
+use hcc_workloads::micro::{make_key, MicroEngine, MicroFragment, MicroOp};
+use std::hint::black_box;
+
+fn sp_task(n: u32) -> FragmentTask<MicroFragment> {
+    FragmentTask {
+        txn: TxnId::new(ClientId(1), n),
+        coordinator: CoordinatorRef::Client(ClientId(1)),
+        client: ClientId(1),
+        fragment: MicroFragment {
+            ops: (0..12)
+                .map(|i| MicroOp::Rmw(make_key(1, 0, (n + i) % 24)))
+                .collect(),
+            fail: false,
+        },
+        multi_partition: false,
+        last_fragment: true,
+        round: 0,
+        can_abort: false,
+    }
+}
+
+fn mp_task(n: u32) -> FragmentTask<MicroFragment> {
+    FragmentTask {
+        txn: TxnId::new(ClientId(9), n),
+        coordinator: CoordinatorRef::Central,
+        client: ClientId(9),
+        fragment: MicroFragment {
+            ops: (0..6)
+                .map(|i| MicroOp::Rmw(make_key(9, 0, (n + i) % 24)))
+                .collect(),
+            fail: false,
+        },
+        multi_partition: true,
+        last_fragment: true,
+        round: 0,
+        can_abort: false,
+    }
+}
+
+fn engine() -> MicroEngine {
+    MicroEngine::load(PartitionId(0), 40, 24)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_sp_fast_path");
+    let costs = CostModel::default();
+
+    g.bench_function("blocking", |b| {
+        let mut s: BlockingScheduler<MicroEngine> = BlockingScheduler::new(PartitionId(0), costs);
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            s.on_fragment(sp_task(n), &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+
+    g.bench_function("speculative", |b| {
+        let mut s: SpeculativeScheduler<MicroEngine> =
+            SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            s.on_fragment(sp_task(n), &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+
+    g.bench_function("locking_fast_path", |b| {
+        let mut s: LockingScheduler<MicroEngine> =
+            LockingScheduler::new(PartitionId(0), costs, Nanos::from_millis(20));
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            s.on_fragment(sp_task(n), &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+    g.finish();
+
+    // Full multi-partition lifecycle (fragment + commit decision).
+    let mut g = c.benchmark_group("scheduler_mp_lifecycle");
+    g.bench_function("speculative_commit", |b| {
+        let mut s: SpeculativeScheduler<MicroEngine> =
+            SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let task = mp_task(n);
+            let txn = task.txn;
+            s.on_fragment(task, &mut e, Nanos(0), &mut out);
+            s.on_decision(Decision { txn, commit: true }, &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+
+    // Speculation + cascade: one MP txn, four speculated SPs, abort.
+    g.bench_function("speculative_cascade_abort4", |b| {
+        let mut s: SpeculativeScheduler<MicroEngine> =
+            SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(10);
+            let task = mp_task(n);
+            let txn = task.txn;
+            s.on_fragment(task, &mut e, Nanos(0), &mut out);
+            for i in 1..=4 {
+                s.on_fragment(sp_task(n + i), &mut e, Nanos(0), &mut out);
+            }
+            s.on_decision(Decision { txn, commit: false }, &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+
+    g.bench_function("locking_mp_commit", |b| {
+        let mut s: LockingScheduler<MicroEngine> =
+            LockingScheduler::new(PartitionId(0), costs, Nanos::from_millis(20));
+        let mut e = engine();
+        let mut out = Outbox::new(costs);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            let task = mp_task(n);
+            let txn = task.txn;
+            s.on_fragment(task, &mut e, Nanos(0), &mut out);
+            s.on_decision(Decision { txn, commit: true }, &mut e, Nanos(0), &mut out);
+            black_box(out.take());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dispatch
+);
+criterion_main!(benches);

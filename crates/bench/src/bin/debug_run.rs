@@ -1,0 +1,55 @@
+//! Scratch diagnostics: print full report details for one configuration.
+//! Usage: `debug_run <scheme> <mp%> [conflict%] [abort%] [two_round]`
+
+use hcc_bench::{run_micro, Effort};
+use hcc_common::Scheme;
+use hcc_workloads::micro::MicroConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("tpcc") {
+        let scheme = match args.get(1).map(|s| s.as_str()) {
+            Some("blocking") => Scheme::Blocking,
+            Some("locking") => Scheme::Locking,
+            _ => Scheme::Speculative,
+        };
+        let w: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+        let p: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+        let r = hcc_bench::run_tpcc(
+            scheme,
+            hcc_workloads::tpcc::TpccConfig::new(w, p),
+            40,
+            Effort::Fast,
+        );
+        println!("{}", r.summary());
+        println!("sched: {:#?}", r.sched);
+        return;
+    }
+    let scheme = match args.first().map(|s| s.as_str()) {
+        Some("blocking") => Scheme::Blocking,
+        Some("locking") => Scheme::Locking,
+        Some("occ") => Scheme::Occ,
+        _ => Scheme::Speculative,
+    };
+    let mp: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50.0) / 100.0;
+    let conflict: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.0) / 100.0;
+    let abort: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.0) / 100.0;
+    let two_round = args.get(4).map(|s| s == "1").unwrap_or(false);
+
+    let r = run_micro(
+        scheme,
+        MicroConfig {
+            mp_fraction: mp,
+            conflict_prob: conflict,
+            abort_prob: abort,
+            two_round,
+            ..Default::default()
+        },
+        Effort::Fast,
+    );
+    println!("{}", r.summary());
+    println!("sched: {:#?}", r.sched);
+    println!("coord: {:#?}", r.coord);
+}
+
+// TPC-C diagnostics appended: invoked via `debug_run tpcc <scheme> <warehouses> <partitions>`.

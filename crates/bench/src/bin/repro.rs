@@ -1,0 +1,91 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <fig4|...|fig10|table1|table2|ablation|all> [--fast] [--out DIR]
+//! ```
+//!
+//! Figures are printed as ASCII charts and written as CSV under `--out`
+//! (default `results/`).
+
+use hcc_bench::{figures, plot, tables, Effort, Figure};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let effort = if fast { Effort::Fast } else { Effort::Full };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run_figure = |f: fn(Effort) -> Figure| {
+        let t0 = Instant::now();
+        let fig = f(effort);
+        println!("{}", plot::ascii_chart(&fig));
+        for s in &fig.series {
+            println!("    {}", plot::series_summary(s));
+        }
+        match plot::write_csv(&fig, &out_dir) {
+            Ok(p) => println!("    csv: {}   ({:.1}s)\n", p.display(), t0.elapsed().as_secs_f64()),
+            Err(e) => eprintln!("    csv write failed: {e}"),
+        }
+    };
+
+    let all = what == "all";
+    if all || what == "fig4" {
+        run_figure(figures::fig4);
+    }
+    if all || what == "fig5" {
+        run_figure(figures::fig5);
+    }
+    if all || what == "fig6" {
+        run_figure(figures::fig6);
+    }
+    if all || what == "fig7" {
+        run_figure(figures::fig7);
+    }
+    if all || what == "fig8" {
+        run_figure(figures::fig8);
+    }
+    if all || what == "fig9" {
+        run_figure(figures::fig9);
+    }
+    if all || what == "fig10" {
+        run_figure(figures::fig10);
+    }
+    if all || what == "table1" {
+        let t0 = Instant::now();
+        let cells = tables::table1(effort);
+        println!("Table 1 — best scheme per workload regime (measured)\n");
+        println!("{}", tables::render_table1(&cells));
+        println!("    ({:.1}s)\n", t0.elapsed().as_secs_f64());
+        let _ = std::fs::create_dir_all(&out_dir);
+        if let Ok(json) = serde_json::to_string_pretty(&cells) {
+            let _ = std::fs::write(out_dir.join("table1.json"), json);
+        }
+    }
+    if all || what == "ablation" {
+        let t0 = Instant::now();
+        println!("Ablation — speculation depth limit (§5.3) and adaptive advisor (§5.7)\n");
+        println!("{}", tables::ablation(effort));
+        println!("    ({:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+    if all || what == "table2" {
+        let t = tables::table2(effort);
+        println!("Table 2 — analytical model variables (measured on this system)\n");
+        println!("{}", tables::render_table2(&t));
+        let _ = std::fs::create_dir_all(&out_dir);
+        if let Ok(json) = serde_json::to_string_pretty(&t) {
+            let _ = std::fs::write(out_dir.join("table2.json"), json);
+        }
+    }
+}

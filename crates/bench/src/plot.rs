@@ -1,0 +1,178 @@
+//! ASCII rendering and CSV output for reproduced figures.
+
+use crate::{Figure, Series};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '~'];
+
+/// Render a figure as an ASCII chart (fixed 72×24 plot area).
+pub fn ascii_chart(fig: &Figure) -> String {
+    let width = 72usize;
+    let height = 24usize;
+    let (mut x_max, mut y_max) = (0f64, 0f64);
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            x_max = x_max.max(x);
+            y_max = y_max.max(y);
+        }
+    }
+    if x_max <= 0.0 {
+        x_max = 1.0;
+    }
+    y_max = (y_max * 1.08).max(1.0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Linear interpolation between consecutive points for line-ish
+        // rendering.
+        for w in s.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let steps = width * 2;
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                let x = x0 + (x1 - x0) * t;
+                let y = y0 + (y1 - y0) * t;
+                let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+                let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+                if cx < width && cy < height {
+                    let row = height - 1 - cy;
+                    if grid[row][cx] == ' ' {
+                        grid[row][cx] = glyph;
+                    }
+                }
+            }
+        }
+        // Mark actual data points strongly.
+        for &(x, y) in &s.points {
+            let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+            let cy = ((y / y_max) * (height - 1) as f64).round() as usize;
+            if cx < width && cy < height {
+                grid[height - 1 - cy][cx] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max * (height - 1 - i) as f64 / (height - 1) as f64;
+        let label = if i % 4 == 0 {
+            format!("{:>8.0} |", y_here)
+        } else {
+            format!("{:>8} |", "")
+        };
+        let _ = writeln!(out, "{}{}", label, row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10}0{:>width$.0}   ({})",
+        "",
+        x_max,
+        fig.x_label,
+        width = width - 1
+    );
+    for (si, s) in fig.series.iter().enumerate() {
+        let _ = writeln!(out, "    {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+/// Write `id.csv` with one row per x value and one column per series.
+pub fn write_csv(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", fig.id));
+    let mut body = String::new();
+    let _ = write!(body, "x");
+    for s in &fig.series {
+        let _ = write!(body, ",{}", s.label.replace(',', ";"));
+    }
+    let _ = writeln!(body);
+    // Collect the union of x values (series may differ, e.g. fig9 uses
+    // measured x positions).
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for x in xs {
+        let _ = write!(body, "{x:.3}");
+        for s in &fig.series {
+            match s
+                .points
+                .iter()
+                .find(|(px, _)| (px - x).abs() < 1e-9)
+            {
+                Some((_, y)) => {
+                    let _ = write!(body, ",{y:.1}");
+                }
+                None => {
+                    let _ = write!(body, ",");
+                }
+            }
+        }
+        let _ = writeln!(body);
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Compact per-series table (min/max/ends), for the experiment log.
+pub fn series_summary(s: &Series) -> String {
+    let first = s.points.first().copied().unwrap_or((0.0, 0.0));
+    let last = s.points.last().copied().unwrap_or((0.0, 0.0));
+    let peak = s
+        .points
+        .iter()
+        .cloned()
+        .fold((0.0f64, 0.0f64), |acc, p| if p.1 > acc.1 { p } else { acc });
+    format!(
+        "{:<28} start {:>8.0} tps | peak {:>8.0} @ x={:<6.1} | end {:>8.0}",
+        s.label, first.1, peak.1, peak.0, last.1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "test",
+            title: "Test",
+            x_label: "x",
+            series: vec![Series {
+                label: "a".into(),
+                points: vec![(0.0, 0.0), (50.0, 100.0), (100.0, 50.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn chart_renders_nonempty() {
+        let s = ascii_chart(&fig());
+        assert!(s.contains("test — Test"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn csv_written_with_header() {
+        let dir = std::env::temp_dir().join("hcc_plot_test");
+        let path = write_csv(&fig(), &dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with("x,a"));
+        assert!(body.contains("50.000,100.0"));
+    }
+
+    #[test]
+    fn summary_mentions_peak() {
+        let s = series_summary(&fig().series[0]);
+        assert!(s.contains("peak"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared vocabulary for the `hcc` partitioned main-memory database.
+//!
+//! This crate defines the identifiers, virtual-time representation, wire
+//! protocol messages, configuration, and statistics helpers shared by every
+//! other crate in the workspace. It deliberately contains **no** concurrency
+//! control logic: the state machines in `hcc-core` and the drivers in
+//! `hcc-sim` / `hcc-runtime` communicate exclusively through the types
+//! defined here, which is what keeps the core schedulers runtime-agnostic.
+//!
+//! The system reproduced here is the one described in Jones, Abadi and
+//! Madden, *Low Overhead Concurrency Control for Partitioned Main Memory
+//! Databases* (SIGMOD 2010): single-threaded data partitions, an optional
+//! central coordinator for multi-partition transactions, two-phase commit,
+//! and primary/backup replication.
+
+pub mod config;
+pub mod ids;
+pub mod msg;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use config::{CostModel, NetworkModel, Scheme, SystemConfig};
+pub use ids::{ClientId, CoordinatorRef, LockKey, PartitionId, TxnId};
+pub use msg::{
+    AbortReason, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
+};
+pub use time::{Nanos, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

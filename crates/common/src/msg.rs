@@ -1,0 +1,157 @@
+//! Protocol messages exchanged between clients, the central coordinator,
+//! and partitions.
+//!
+//! Messages are generic over the workload's fragment payload `F` (the "unit
+//! of work that can be executed at exactly one partition", paper §3.1) and
+//! result payload `R`. The concrete payloads live in `hcc-workloads`.
+
+use crate::ids::{ClientId, CoordinatorRef, PartitionId, TxnId};
+
+/// Why a transaction (or one of its fragments) aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The stored procedure itself decided to abort (e.g. TPC-C new-order
+    /// with an invalid item id, or the microbenchmark's forced aborts).
+    User,
+    /// Chosen as a local deadlock victim by the lock manager.
+    DeadlockVictim,
+    /// Timed out waiting for a lock — the distributed deadlock defence of
+    /// the locking scheme (paper §4.3).
+    LockTimeout,
+    /// Another participant of this multi-partition transaction aborted, so
+    /// two-phase commit aborted it here too.
+    RemoteAbort,
+    /// A speculative execution was squashed because a transaction it
+    /// depended on aborted. Internal: squashed transactions are re-executed
+    /// automatically and clients never observe this reason.
+    SpeculationSquashed,
+}
+
+impl AbortReason {
+    /// Whether the client should transparently retry the transaction.
+    /// Deadlock victims and lock timeouts are scheduling artifacts, not
+    /// logic outcomes, so clients re-submit them (the paper counts only
+    /// completed transactions).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            AbortReason::DeadlockVictim | AbortReason::LockTimeout
+        )
+    }
+}
+
+/// Final outcome of a transaction as reported to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnResult<R> {
+    Committed(R),
+    Aborted(AbortReason),
+}
+
+impl<R> TxnResult<R> {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnResult::Committed(_))
+    }
+}
+
+/// A participant's two-phase-commit vote, piggybacked on the response to the
+/// final fragment (paper §3.3: "the coordinator piggybacks the 2PC 'prepare'
+/// message with the last fragment of a transaction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    Commit,
+    Abort(AbortReason),
+}
+
+/// A unit of work for one partition.
+#[derive(Debug, Clone)]
+pub struct FragmentTask<F> {
+    pub txn: TxnId,
+    /// Where responses go: the central coordinator, or the client itself
+    /// (single-partition transactions always; multi-partition transactions
+    /// under the locking scheme).
+    pub coordinator: CoordinatorRef,
+    /// The issuing client (destination for single-partition results).
+    pub client: ClientId,
+    /// Workload-specific work description.
+    pub fragment: F,
+    /// True if this transaction touches more than one partition.
+    pub multi_partition: bool,
+    /// True if this is the transaction's final fragment *at this partition*
+    /// — the piggybacked 2PC prepare. Executing it makes the transaction
+    /// "finished locally", the precondition for speculation.
+    pub last_fragment: bool,
+    /// Round number within the transaction (0 for the first set of
+    /// fragments). Single-partition transactions are always round 0.
+    pub round: u32,
+    /// Whether the procedure may abort of its own accord. Transactions that
+    /// cannot user-abort run without an undo buffer in the non-speculative
+    /// fast path (paper §3.2).
+    pub can_abort: bool,
+}
+
+/// Identifies one specific *execution attempt* of a transaction at a
+/// partition.
+///
+/// When a speculative execution is squashed by a cascading abort, the
+/// partition re-executes the transaction and re-sends its results (paper
+/// §4.2.2: "The partitions would then resend results for C"). A stale and a
+/// fresh response for the same transaction are otherwise indistinguishable
+/// at the coordinator, so every response carries the attempt number of the
+/// execution that produced it, and speculative dependencies name the
+/// *attempt* of the predecessor they observed. The coordinator accepts a
+/// dependent result only if that exact attempt of the predecessor
+/// committed. (The paper elides this bookkeeping; it is required for
+/// correctness once abort cascades and in-flight messages overlap.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecDep {
+    pub txn: TxnId,
+    pub attempt: u32,
+}
+
+/// A partition's reply to a fragment, sent to whoever coordinates the
+/// transaction.
+#[derive(Debug, Clone)]
+pub struct FragmentResponse<R> {
+    pub txn: TxnId,
+    pub partition: PartitionId,
+    pub round: u32,
+    /// Which execution attempt of `txn` at `partition` produced this
+    /// response (0 for the first execution).
+    pub attempt: u32,
+    /// Result data produced by the fragment (reads, generated keys, ...),
+    /// or the abort reason if execution failed locally.
+    pub payload: Result<R, AbortReason>,
+    /// If this was the final fragment, the participant's 2PC vote.
+    pub vote: Option<Vote>,
+    /// Set when the result was produced speculatively: it is only valid if
+    /// the named execution attempt of the named transaction commits (paper
+    /// §4.2.2). `None` for non-speculative results.
+    pub depends_on: Option<SpecDep>,
+}
+
+/// The 2PC outcome, sent by the coordinator to every participant.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision {
+    pub txn: TxnId,
+    pub commit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_reasons() {
+        assert!(AbortReason::DeadlockVictim.is_retryable());
+        assert!(AbortReason::LockTimeout.is_retryable());
+        assert!(!AbortReason::User.is_retryable());
+        assert!(!AbortReason::RemoteAbort.is_retryable());
+        assert!(!AbortReason::SpeculationSquashed.is_retryable());
+    }
+
+    #[test]
+    fn txn_result_committed() {
+        assert!(TxnResult::Committed(5u32).is_committed());
+        assert!(!TxnResult::<u32>::Aborted(AbortReason::User).is_committed());
+    }
+}

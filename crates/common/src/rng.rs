@@ -1,0 +1,142 @@
+//! A tiny deterministic PRNG (SplitMix64) used where we need reproducible
+//! data generation without pulling `rand` into lower-level crates (e.g. the
+//! TPC-C loader in `hcc-storage`).
+//!
+//! Workload generators in `hcc-workloads` use `rand::StdRng` for request
+//! streams; this type is for bulk data population and tests.
+
+/// SplitMix64: tiny, fast, and statistically fine for data generation.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). `lo <= hi` required.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo + 1;
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// TPC-C NURand: non-uniform random, clause 2.1.6 of the spec.
+    /// `a` is the bitmask constant (255, 1023, 8191, ...), `c` the run
+    /// constant, result in `[lo, hi]`.
+    #[inline]
+    pub fn nurand(&mut self, a: u64, c: u64, lo: u64, hi: u64) -> u64 {
+        let r1 = self.range_inclusive(0, a);
+        let r2 = self.range_inclusive(lo, hi);
+        (((r1 | r2) + c) % (hi - lo + 1)) + lo
+    }
+
+    /// Random alphanumeric bytes of length in `[lo, hi]`, written into a
+    /// fixed buffer; returns the actual length.
+    pub fn alnum_into(&mut self, buf: &mut [u8], lo: usize, hi: usize) -> usize {
+        const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.range_inclusive(lo as u64, hi as u64) as usize;
+        debug_assert!(len <= buf.len());
+        for slot in buf.iter_mut().take(len) {
+            *slot = ALPHABET[(self.next_u64() % ALPHABET.len() as u64) as usize];
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut r = SplitMix64::new(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range_inclusive(3, 7);
+            assert!((3..=7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 7;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let v = r.nurand(255, 100, 1, 300);
+            assert!((1..=300).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // NURand concentrates mass; the chi-square vs uniform should be
+        // large. We just check the min/max bucket ratio is skewed.
+        let mut r = SplitMix64::new(13);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.nurand(1023, 0, 1, 3000);
+            buckets[((v - 1) * 10 / 3000) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap() as f64;
+        let min = *buckets.iter().min().unwrap() as f64;
+        assert!(max / min > 1.05, "nurand looks too uniform: {buckets:?}");
+    }
+
+    #[test]
+    fn alnum_lengths() {
+        let mut r = SplitMix64::new(17);
+        let mut buf = [0u8; 32];
+        for _ in 0..100 {
+            let n = r.alnum_into(&mut buf, 8, 16);
+            assert!((8..=16).contains(&n));
+            assert!(buf[..n].iter().all(|b| b.is_ascii_alphanumeric()));
+        }
+    }
+}

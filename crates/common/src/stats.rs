@@ -1,0 +1,288 @@
+//! Lightweight statistics helpers used by the drivers and the benchmark
+//! harness: online mean/variance, fixed-bucket latency histograms, and the
+//! counter block every scheduler exports.
+
+use crate::time::Nanos;
+
+/// Welford online mean / variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval of the mean, using the
+    /// normal approximation (the paper reports intervals "within a few
+    /// percent"; we do the same check on our own measurements).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Log-scaled latency histogram: buckets of 1 µs up to 1 ms, then 10 µs up
+/// to 10 ms, then 100 µs. Good enough resolution for transaction latencies
+/// in the 10 µs – 10 ms range this system produces.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    fine: Vec<u64>,   // 1 µs buckets, [0, 1ms)
+    mid: Vec<u64>,    // 10 µs buckets, [1ms, 10ms)
+    coarse: Vec<u64>, // 100 µs buckets, [10ms, 100ms)
+    overflow: u64,
+    count: u64,
+    sum_ns: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            fine: vec![0; 1000],
+            mid: vec![0; 900],
+            coarse: vec![0; 900],
+            overflow: 0,
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, latency: Nanos) {
+        let us = latency.0 / 1_000;
+        if us < 1_000 {
+            self.fine[us as usize] += 1;
+        } else if us < 10_000 {
+            self.mid[((us - 1_000) / 10) as usize] += 1;
+        } else if us < 100_000 {
+            self.coarse[((us - 10_000) / 100) as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum_ns += latency.0 as u128;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Approximate quantile (returns the lower edge of the containing
+    /// bucket). `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.fine.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Nanos::from_micros(i as u64);
+            }
+        }
+        for (i, &c) in self.mid.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Nanos::from_micros(1_000 + i as u64 * 10);
+            }
+        }
+        for (i, &c) in self.coarse.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Nanos::from_micros(10_000 + i as u64 * 100);
+            }
+        }
+        Nanos::from_micros(100_000)
+    }
+
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.fine.iter_mut().zip(&other.fine) {
+            *a += b;
+        }
+        for (a, b) in self.mid.iter_mut().zip(&other.mid) {
+            *a += b;
+        }
+        for (a, b) in self.coarse.iter_mut().zip(&other.coarse) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+/// Counters exported by every partition scheduler; the drivers aggregate
+/// them across partitions. These back the §5.6-style breakdowns (deadlocks,
+/// lock-manager time) and the Table 2 parameter measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerCounters {
+    /// Fragments executed, including speculative and repeated executions.
+    pub fragments_executed: u64,
+    /// Transactions committed at this partition.
+    pub committed: u64,
+    /// Transactions aborted at this partition (any reason, counted once).
+    pub aborted: u64,
+    /// Fragment executions performed speculatively.
+    pub speculative_executions: u64,
+    /// Fragment executions that were later squashed and re-run.
+    pub squashed_executions: u64,
+    /// Transactions executed on the no-undo, no-lock fast path.
+    pub fast_path: u64,
+    /// Lock acquisitions that were granted immediately.
+    pub locks_granted_immediately: u64,
+    /// Lock acquisitions that had to wait.
+    pub locks_waited: u64,
+    /// Local deadlocks resolved by cycle detection.
+    pub local_deadlocks: u64,
+    /// Lock waits resolved by timeout (presumed distributed deadlock).
+    pub lock_timeouts: u64,
+    /// Virtual CPU charged to lock management (acquire/release/detect).
+    pub lock_manager_ns: u64,
+    /// Virtual CPU charged to fragment execution.
+    pub execution_ns: u64,
+    /// Virtual CPU charged to rollbacks.
+    pub rollback_ns: u64,
+}
+
+impl SchedulerCounters {
+    pub fn merge(&mut self, o: &SchedulerCounters) {
+        self.fragments_executed += o.fragments_executed;
+        self.committed += o.committed;
+        self.aborted += o.aborted;
+        self.speculative_executions += o.speculative_executions;
+        self.squashed_executions += o.squashed_executions;
+        self.fast_path += o.fast_path;
+        self.locks_granted_immediately += o.locks_granted_immediately;
+        self.locks_waited += o.locks_waited;
+        self.local_deadlocks += o.local_deadlocks;
+        self.lock_timeouts += o.lock_timeouts;
+        self.lock_manager_ns += o.lock_manager_ns;
+        self.execution_ns += o.execution_ns;
+        self.rollback_ns += o.rollback_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut w = Welford::default();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_ci_shrinks_with_samples() {
+        let mut small = Welford::default();
+        let mut large = Welford::default();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=100u64 {
+            h.record(Nanos::from_micros(us));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Nanos::from_micros(50));
+        assert_eq!(h.quantile(0.99), Nanos::from_micros(99));
+        // Mean of 1..=100 µs is 50.5 µs.
+        assert_eq!(h.mean(), Nanos(50_500));
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = LatencyHistogram::default();
+        h.record(Nanos::from_micros(999));
+        h.record(Nanos::from_micros(1_000));
+        h.record(Nanos::from_micros(9_999));
+        h.record(Nanos::from_micros(10_000));
+        h.record(Nanos::from_micros(99_999));
+        h.record(Nanos::from_micros(1_000_000)); // overflow
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(Nanos::from_micros(10));
+        b.record(Nanos::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Nanos::from_micros(15));
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = SchedulerCounters {
+            committed: 2,
+            aborted: 1,
+            ..Default::default()
+        };
+        let b = SchedulerCounters {
+            committed: 3,
+            lock_timeouts: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 5);
+        assert_eq!(a.aborted, 1);
+        assert_eq!(a.lock_timeouts, 4);
+    }
+}

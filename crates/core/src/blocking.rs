@@ -1,0 +1,441 @@
+//! The blocking scheme (paper §4.1, Figure 2).
+//!
+//! "The simplest scheme for handling multi-partition transactions is to
+//! block until they complete. [...] In effect, this system assumes that all
+//! transactions conflict, and thus can only execute one at a time."
+//!
+//! Single-partition transactions run to completion immediately when no
+//! multi-partition transaction is active — without an undo buffer unless
+//! they can user-abort. While a multi-partition transaction is in flight
+//! (including its two-phase-commit network stall), everything else queues.
+
+use crate::engine::ExecutionEngine;
+use crate::outbox::Outbox;
+use crate::scheduler::Scheduler;
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{
+    CostModel, Decision, FragmentResponse, FragmentTask, Nanos,
+    TxnResult, Vote,
+};
+use std::collections::VecDeque;
+
+/// The multi-partition transaction currently occupying the partition.
+#[derive(Debug)]
+struct ActiveMp {
+    txn: hcc_common::TxnId,
+    ops: u32,
+}
+
+/// Scheduler implementing Figure 2 of the paper.
+pub struct BlockingScheduler<E: ExecutionEngine> {
+    me: hcc_common::PartitionId,
+    costs: CostModel,
+    active: Option<ActiveMp>,
+    queue: VecDeque<FragmentTask<E::Fragment>>,
+    counters: SchedulerCounters,
+}
+
+impl<E: ExecutionEngine> BlockingScheduler<E> {
+    pub fn new(me: hcc_common::PartitionId, costs: CostModel) -> Self {
+        BlockingScheduler {
+            me,
+            costs,
+            active: None,
+            queue: VecDeque::new(),
+            counters: SchedulerCounters::default(),
+        }
+    }
+
+    /// Execute a single-partition transaction to completion (the no-active
+    /// fast path of Figure 2).
+    fn run_single_partition(
+        &mut self,
+        task: &FragmentTask<E::Fragment>,
+        engine: &mut E,
+        out: &mut Outbox<E::Output>,
+    ) {
+        // "execute fragment without undo buffer" — unless the procedure may
+        // user-abort, in which case an undo buffer is required (§3.2).
+        let undo = task.can_abort;
+        let outcome = engine.execute(task.txn, &task.fragment, undo);
+        let cost = self.costs.fragment_cost(outcome.ops, undo, false, false);
+        out.charge(cost);
+        self.counters.fragments_executed += 1;
+        self.counters.execution_ns += cost.0;
+        match outcome.result {
+            Ok(payload) => {
+                if undo {
+                    engine.forget(task.txn);
+                } else {
+                    self.counters.fast_path += 1;
+                }
+                self.counters.committed += 1;
+                out.send_client(task.client, task.txn, TxnResult::Committed(payload));
+            }
+            Err(reason) => {
+                // Failed fragments leave no effects (engine contract), but
+                // earlier undo records would not exist for a single
+                // fragment; rollback is a no-op kept for symmetry.
+                engine.rollback(task.txn);
+                self.counters.aborted += 1;
+                out.send_client(task.client, task.txn, TxnResult::Aborted(reason));
+            }
+        }
+    }
+
+    /// Execute one fragment of a multi-partition transaction and respond to
+    /// its coordinator (piggybacking the 2PC vote on the last fragment).
+    fn run_mp_fragment(
+        &mut self,
+        task: &FragmentTask<E::Fragment>,
+        engine: &mut E,
+        out: &mut Outbox<E::Output>,
+    ) {
+        let outcome = engine.execute(task.txn, &task.fragment, true);
+        let cost = self.costs.fragment_cost(outcome.ops, true, false, true);
+        out.charge(cost);
+        self.counters.fragments_executed += 1;
+        self.counters.execution_ns += cost.0;
+        if let Some(a) = self.active.as_mut() {
+            a.ops += outcome.ops;
+        }
+        let vote = task.last_fragment.then_some(match &outcome.result {
+            Ok(_) => Vote::Commit,
+            Err(r) => Vote::Abort(*r),
+        });
+        // A mid-transaction failure also reports Err so the coordinator
+        // aborts without waiting for remaining rounds.
+        let vote = match (&outcome.result, vote) {
+            (Err(r), None) => Some(Vote::Abort(*r)),
+            (_, v) => v,
+        };
+        out.send_coordinator(
+            task.coordinator,
+            FragmentResponse {
+                txn: task.txn,
+                partition: self.me,
+                round: task.round,
+                attempt: 0,
+                payload: outcome.result,
+                vote,
+                depends_on: None,
+            },
+        );
+    }
+
+    /// After the active transaction finishes, run queued work until the
+    /// next multi-partition transaction becomes active (or the queue
+    /// drains).
+    fn drain(&mut self, engine: &mut E, out: &mut Outbox<E::Output>) {
+        while self.active.is_none() {
+            let Some(task) = self.queue.pop_front() else {
+                break;
+            };
+            if task.multi_partition {
+                self.active = Some(ActiveMp {
+                    txn: task.txn,
+                    ops: 0,
+                });
+                self.run_mp_fragment(&task, engine, out);
+            } else {
+                self.run_single_partition(&task, engine, out);
+            }
+        }
+    }
+}
+
+impl<E: ExecutionEngine> Scheduler<E> for BlockingScheduler<E> {
+    fn on_fragment(
+        &mut self,
+        task: FragmentTask<E::Fragment>,
+        engine: &mut E,
+        _now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        match &self.active {
+            None => {
+                debug_assert!(self.queue.is_empty(), "queue non-empty while inactive");
+                if task.multi_partition {
+                    self.active = Some(ActiveMp {
+                        txn: task.txn,
+                        ops: 0,
+                    });
+                    self.run_mp_fragment(&task, engine, out);
+                } else {
+                    self.run_single_partition(&task, engine, out);
+                }
+            }
+            Some(a) if a.txn == task.txn => {
+                // "fragment continues active multi-partition transaction".
+                self.run_mp_fragment(&task, engine, out);
+            }
+            Some(_) => self.queue.push_back(task),
+        }
+    }
+
+    fn on_decision(
+        &mut self,
+        decision: Decision,
+        engine: &mut E,
+        _now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        let Some(active) = self.active.take() else {
+            debug_assert!(false, "decision {} with no active txn", decision.txn);
+            return;
+        };
+        debug_assert_eq!(active.txn, decision.txn, "decision for non-active txn");
+        if decision.commit {
+            engine.forget(decision.txn);
+            self.counters.committed += 1;
+        } else {
+            let undone = engine.rollback(decision.txn);
+            let cost = self.costs.rollback_cost(undone);
+            out.charge(cost);
+            self.counters.rollback_ns += cost.0;
+            self.counters.aborted += 1;
+        }
+        self.drain(engine, out);
+    }
+
+    fn on_tick(
+        &mut self,
+        _engine: &mut E,
+        _now: Nanos,
+        _out: &mut Outbox<E::Output>,
+    ) -> Option<Nanos> {
+        None
+    }
+
+    fn counters(&self) -> SchedulerCounters {
+        self.counters
+    }
+
+    fn is_idle(&self) -> bool {
+        self.active.is_none() && self.queue.is_empty()
+    }
+}
+
+// Re-exported for tests: how many transactions are waiting.
+impl<E: ExecutionEngine> BlockingScheduler<E> {
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{TestEngine, TestFragment};
+    use hcc_common::{AbortReason, ClientId, CoordinatorRef, PartitionId, TxnId};
+
+    fn sp_task(txn: u32, frag: TestFragment) -> FragmentTask<TestFragment> {
+        FragmentTask {
+            txn: TxnId::new(ClientId(1), txn),
+            coordinator: CoordinatorRef::Client(ClientId(1)),
+            client: ClientId(1),
+            fragment: frag,
+            multi_partition: false,
+            last_fragment: true,
+            round: 0,
+            can_abort: false,
+        }
+    }
+
+    fn mp_task(txn: u32, frag: TestFragment, last: bool, round: u32) -> FragmentTask<TestFragment> {
+        FragmentTask {
+            txn: TxnId::new(ClientId(9), txn),
+            coordinator: CoordinatorRef::Central,
+            client: ClientId(9),
+            fragment: frag,
+            multi_partition: true,
+            last_fragment: last,
+            round,
+            can_abort: false,
+        }
+    }
+
+    fn setup() -> (BlockingScheduler<TestEngine>, TestEngine, Outbox<Vec<(u64, i64)>>) {
+        (
+            BlockingScheduler::new(PartitionId(0), CostModel::default()),
+            TestEngine::with_data(&[(1, 100), (2, 200)]),
+            Outbox::new(CostModel::default()),
+        )
+    }
+
+    #[test]
+    fn single_partition_commits_immediately() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(sp_task(1, TestFragment::add(1, 5)), &mut e, Nanos(0), &mut out);
+        assert_eq!(e.get(1), 105);
+        let (msgs, cpu) = out.take();
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToClient { result: TxnResult::Committed(_), .. }
+        ));
+        assert!(cpu > Nanos::ZERO);
+        assert!(s.is_idle());
+        assert_eq!(s.counters().fast_path, 1);
+        assert_eq!(e.live_undo_buffers(), 0);
+    }
+
+    #[test]
+    fn user_abort_single_partition() {
+        let (mut s, mut e, mut out) = setup();
+        let mut task = sp_task(1, TestFragment::failing());
+        task.can_abort = true;
+        s.on_fragment(task, &mut e, Nanos(0), &mut out);
+        let (msgs, _) = out.take();
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToClient { result: TxnResult::Aborted(AbortReason::User), .. }
+        ));
+        assert_eq!(s.counters().aborted, 1);
+    }
+
+    #[test]
+    fn mp_blocks_queued_sp_until_decision() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
+        let (msgs, _) = out.take();
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToCoordinator { response, .. }
+                if response.vote == Some(Vote::Commit)
+        ));
+        // SP arrives while MP active: queued, not executed.
+        s.on_fragment(sp_task(2, TestFragment::add(1, 10)), &mut e, Nanos(0), &mut out);
+        assert_eq!(e.get(1), 101, "queued SP must not execute");
+        assert_eq!(s.queue_len(), 1);
+        assert!(out.take().0.is_empty());
+
+        // Commit decision releases the queue.
+        s.on_decision(
+            Decision {
+                txn: TxnId::new(ClientId(9), 1),
+                commit: true,
+            },
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        assert_eq!(e.get(1), 111);
+        let (msgs, _) = out.take();
+        assert_eq!(msgs.len(), 1);
+        assert!(s.is_idle());
+        assert_eq!(e.live_undo_buffers(), 0);
+    }
+
+    #[test]
+    fn abort_rolls_back_mp_effects() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
+        assert_eq!(e.get(1), 101);
+        s.on_decision(
+            Decision {
+                txn: TxnId::new(ClientId(9), 1),
+                commit: false,
+            },
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        assert_eq!(e.get(1), 100, "abort must undo MP writes");
+        assert_eq!(s.counters().aborted, 1);
+        assert_eq!(e.live_undo_buffers(), 0);
+    }
+
+    #[test]
+    fn multi_round_mp_continues_without_queueing() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(mp_task(1, TestFragment::read(&[1]), false, 0), &mut e, Nanos(0), &mut out);
+        let (msgs, _) = out.take();
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToCoordinator { response, .. } if response.vote.is_none()
+        ));
+        // Round 1 continues the same transaction.
+        s.on_fragment(mp_task(1, TestFragment::set(1, 77), true, 1), &mut e, Nanos(0), &mut out);
+        assert_eq!(e.get(1), 77);
+        let (msgs, _) = out.take();
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToCoordinator { response, .. }
+                if response.vote == Some(Vote::Commit) && response.round == 1
+        ));
+        // Abort undoes both rounds.
+        s.on_decision(
+            Decision {
+                txn: TxnId::new(ClientId(9), 1),
+                commit: false,
+            },
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        assert_eq!(e.get(1), 100);
+    }
+
+    #[test]
+    fn mp_user_abort_votes_abort() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(mp_task(1, TestFragment::failing(), true, 0), &mut e, Nanos(0), &mut out);
+        let (msgs, _) = out.take();
+        assert!(matches!(
+            &msgs[0],
+            crate::outbox::PartitionOut::ToCoordinator { response, .. }
+                if matches!(response.vote, Some(Vote::Abort(AbortReason::User)))
+        ));
+    }
+
+    #[test]
+    fn queued_mp_becomes_active_after_drain() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(sp_task(2, TestFragment::add(2, 1)), &mut e, Nanos(0), &mut out);
+        s.on_fragment(mp_task(3, TestFragment::add(2, 5), true, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(sp_task(4, TestFragment::add(2, 7)), &mut e, Nanos(0), &mut out);
+        assert_eq!(s.queue_len(), 3);
+        out.take();
+
+        s.on_decision(
+            Decision { txn: TxnId::new(ClientId(9), 1), commit: true },
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        // SP(2) ran, MP(3) became active (executed, awaiting decision),
+        // SP(4) still queued behind it.
+        assert_eq!(e.get(2), 206);
+        assert_eq!(s.queue_len(), 1);
+        assert!(!s.is_idle());
+        let (msgs, _) = out.take();
+        // One client reply (SP 2) + one coordinator response (MP 3).
+        assert_eq!(msgs.len(), 2);
+
+        s.on_decision(
+            Decision { txn: TxnId::new(ClientId(9), 3), commit: true },
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        assert_eq!(e.get(2), 213);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn charges_more_cpu_for_undo_execution() {
+        let costs = CostModel::default();
+        let mut s: BlockingScheduler<TestEngine> = BlockingScheduler::new(PartitionId(0), costs);
+        let mut e = TestEngine::with_data(&[(1, 0)]);
+        let mut out = Outbox::new(costs);
+        s.on_fragment(sp_task(1, TestFragment::add(1, 1)), &mut e, Nanos(0), &mut out);
+        let (_, plain) = out.take();
+        let mut task = sp_task(2, TestFragment::add(1, 1));
+        task.can_abort = true; // forces undo buffer
+        s.on_fragment(task, &mut e, Nanos(0), &mut out);
+        let (_, with_undo) = out.take();
+        assert!(with_undo > plain, "{with_undo} vs {plain}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Client-side request lifecycle, shared by the simulator and the threaded
+//! runtime.
+//!
+//! Clients are closed-loop (paper §5): issue one request, wait for its
+//! result, issue the next. A transaction aborted for scheduling reasons
+//! (deadlock victim, lock timeout) is transparently retried under a fresh
+//! transaction id — a `TxnId` identifies one *invocation attempt*
+//! end-to-end, which keeps partition- and coordinator-side bookkeeping
+//! (execution attempts, decided-transaction history) unambiguous. User
+//! aborts are final outcomes and are not retried.
+
+use crate::procedure::{Procedure, Request};
+use hcc_common::{ClientId, PartitionId, TxnId, TxnResult};
+
+/// Per-client outcome statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that ended in a (final) user abort.
+    pub user_aborted: u64,
+    /// Scheduling aborts that triggered a transparent retry.
+    pub retries: u64,
+}
+
+/// What the client should do after a result arrives.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NextAction {
+    /// The request reached a final outcome: issue a new request.
+    NewRequest,
+    /// The request must be retried (same work, fresh transaction id).
+    Retry,
+}
+
+/// The retryable copy of an in-flight request.
+pub enum PendingRequest<F, R> {
+    SinglePartition {
+        partition: PartitionId,
+        fragment: F,
+        can_abort: bool,
+    },
+    MultiPartition {
+        procedure: Box<dyn Procedure<F, R>>,
+        can_abort: bool,
+    },
+}
+
+impl<F: Clone, R> PendingRequest<F, R> {
+    /// Snapshot a request so it can be re-submitted on retry.
+    pub fn from_request(req: &Request<F, R>) -> Self {
+        match req {
+            Request::SinglePartition {
+                partition,
+                fragment,
+                can_abort,
+            } => PendingRequest::SinglePartition {
+                partition: *partition,
+                fragment: fragment.clone(),
+                can_abort: *can_abort,
+            },
+            Request::MultiPartition {
+                procedure,
+                can_abort,
+            } => PendingRequest::MultiPartition {
+                procedure: procedure.clone_box(),
+                can_abort: *can_abort,
+            },
+        }
+    }
+
+    /// Turn the snapshot back into a request (cloning so the snapshot can
+    /// serve further retries).
+    pub fn to_request(&self) -> Request<F, R> {
+        match self {
+            PendingRequest::SinglePartition {
+                partition,
+                fragment,
+                can_abort,
+            } => Request::SinglePartition {
+                partition: *partition,
+                fragment: fragment.clone(),
+                can_abort: *can_abort,
+            },
+            PendingRequest::MultiPartition {
+                procedure,
+                can_abort,
+            } => Request::MultiPartition {
+                procedure: procedure.clone_box(),
+                can_abort: *can_abort,
+            },
+        }
+    }
+}
+
+/// Transaction-id assignment and outcome bookkeeping for one client.
+#[derive(Debug)]
+pub struct ClientCore {
+    pub id: ClientId,
+    seq: u32,
+    pub stats: ClientStats,
+}
+
+impl ClientCore {
+    pub fn new(id: ClientId) -> Self {
+        ClientCore {
+            id,
+            seq: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Allocate the transaction id for the next invocation attempt.
+    pub fn next_txn_id(&mut self) -> TxnId {
+        let txn = TxnId::new(self.id, self.seq);
+        self.seq = self.seq.wrapping_add(1);
+        txn
+    }
+
+    /// Record a final result; decide whether to retry.
+    pub fn on_result<R>(&mut self, result: &TxnResult<R>) -> NextAction {
+        match result {
+            TxnResult::Committed(_) => {
+                self.stats.committed += 1;
+                NextAction::NewRequest
+            }
+            TxnResult::Aborted(reason) if reason.is_retryable() => {
+                self.stats.retries += 1;
+                NextAction::Retry
+            }
+            TxnResult::Aborted(_) => {
+                self.stats.user_aborted += 1;
+                NextAction::NewRequest
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{SimpleMpProcedure, TestFragment};
+    use hcc_common::AbortReason;
+
+    #[test]
+    fn txn_ids_are_sequential_per_client() {
+        let mut c = ClientCore::new(ClientId(3));
+        let a = c.next_txn_id();
+        let b = c.next_txn_id();
+        assert_eq!(a.client(), ClientId(3));
+        assert_eq!(a.seq() + 1, b.seq());
+    }
+
+    #[test]
+    fn commit_counts_and_continues() {
+        let mut c = ClientCore::new(ClientId(0));
+        let action = c.on_result(&TxnResult::Committed(42u32));
+        assert_eq!(action, NextAction::NewRequest);
+        assert_eq!(c.stats.committed, 1);
+    }
+
+    #[test]
+    fn deadlock_and_timeout_retry() {
+        let mut c = ClientCore::new(ClientId(0));
+        assert_eq!(
+            c.on_result(&TxnResult::<u32>::Aborted(AbortReason::DeadlockVictim)),
+            NextAction::Retry
+        );
+        assert_eq!(
+            c.on_result(&TxnResult::<u32>::Aborted(AbortReason::LockTimeout)),
+            NextAction::Retry
+        );
+        assert_eq!(c.stats.retries, 2);
+        assert_eq!(c.stats.committed, 0);
+    }
+
+    #[test]
+    fn user_abort_is_final() {
+        let mut c = ClientCore::new(ClientId(0));
+        assert_eq!(
+            c.on_result(&TxnResult::<u32>::Aborted(AbortReason::User)),
+            NextAction::NewRequest
+        );
+        assert_eq!(c.stats.user_aborted, 1);
+    }
+
+    #[test]
+    fn pending_request_roundtrip() {
+        let req: Request<TestFragment, Vec<(u64, i64)>> = Request::SinglePartition {
+            partition: PartitionId(1),
+            fragment: TestFragment::add(5, 1),
+            can_abort: true,
+        };
+        let pending = PendingRequest::from_request(&req);
+        match pending.to_request() {
+            Request::SinglePartition {
+                partition,
+                can_abort,
+                ..
+            } => {
+                assert_eq!(partition, PartitionId(1));
+                assert!(can_abort);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn pending_mp_clones_procedure() {
+        let req: Request<TestFragment, Vec<(u64, i64)>> = Request::MultiPartition {
+            procedure: Box::new(SimpleMpProcedure {
+                fragments: vec![(PartitionId(0), TestFragment::add(1, 1))],
+            }),
+            can_abort: false,
+        };
+        let pending = PendingRequest::from_request(&req);
+        match pending.to_request() {
+            Request::MultiPartition { procedure, .. } => {
+                assert_eq!(procedure.participants(), vec![PartitionId(0)]);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! The central coordinator (paper §3.3) with speculative-result handling
+//! (§4.2.2).
+//!
+//! All multi-partition transactions under the blocking and speculative
+//! schemes flow through this single process, which assigns them a global
+//! order (their dispatch order), drives their rounds, and runs two-phase
+//! commit with the prepare piggybacked on the final round's fragments.
+//!
+//! # Speculative results
+//!
+//! Partitions may return results tagged `depends_on = (T, attempt)`: the
+//! result is only valid if execution attempt `attempt` of transaction `T`
+//! at that partition commits. The coordinator *settles* a response before
+//! using it:
+//!
+//! * no dependency → settled;
+//! * dependency committed with the same per-partition attempt → settled;
+//! * dependency aborted, or committed under a different attempt → the
+//!   response is **stale** (its execution was squashed); discard it and
+//!   wait for the partition's re-sent response;
+//! * dependency still undecided → hold.
+//!
+//! Rounds only advance on fully settled responses, and commit/abort
+//! decisions are only taken on settled votes. This makes cascading aborts
+//! safe without any round rewinding: nothing downstream ever consumes data
+//! that can later be invalidated.
+//!
+//! The coordinator's CPU cost per message is what limits speculation at
+//! high multi-partition fractions (paper §5.1: "the central coordinator
+//! uses 100% of the CPU and cannot handle more messages").
+
+use crate::procedure::{Procedure, RoundOutputs, Step};
+use hcc_common::{
+    AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask,
+    Nanos, PartitionId, TxnId, TxnResult, Vote,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Messages emitted by the coordinator, routed by the driver.
+#[derive(Debug)]
+pub enum CoordOut<F, R> {
+    Fragment(PartitionId, FragmentTask<F>),
+    Decision(PartitionId, Decision),
+    ClientResult {
+        client: ClientId,
+        txn: TxnId,
+        result: TxnResult<R>,
+    },
+}
+
+/// Counters for coordinator behaviour (saturation analysis, tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordCounters {
+    pub invocations: u64,
+    pub responses: u64,
+    pub stale_responses_discarded: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub messages_sent: u64,
+    pub rounds_dispatched: u64,
+}
+
+struct MpTxn<F, R> {
+    client: ClientId,
+    procedure: Box<dyn Procedure<F, R>>,
+    can_abort: bool,
+    /// When the transaction was invoked (for participant-failure expiry).
+    started: Nanos,
+    /// Settled outputs of completed rounds.
+    settled_rounds: Vec<RoundOutputs<R>>,
+    /// Participants of the current round.
+    participants: Vec<PartitionId>,
+    /// All partitions that have ever been sent a fragment (abort targets).
+    dispatched: HashSet<PartitionId>,
+    /// Latest response per participant for the current round.
+    responses: HashMap<PartitionId, FragmentResponse<R>>,
+    round: u32,
+    is_final: bool,
+}
+
+/// How many decided transactions to remember for dependency validation.
+/// In-flight dependencies only reference recently decided transactions
+/// (the window is bounded by network latency × throughput); 1 << 16 is
+/// orders of magnitude beyond that for any configuration we run.
+const HISTORY_LIMIT: usize = 1 << 16;
+
+/// The coordinator state machine.
+///
+/// Constructed as [`Coordinator::central`] for the shared central
+/// coordinator (blocking and speculative schemes) or as
+/// [`Coordinator::client_driver`] for a client coordinating its own
+/// multi-partition transactions (locking scheme, §4.3 — which "sends
+/// multi-partition transactions directly to the partitions, without going
+/// through the central coordinator"). The logic is identical; only the
+/// `coordinator` field stamped on outgoing fragments and the per-message
+/// CPU cost differ.
+pub struct Coordinator<F, R> {
+    /// Who we are, as named in outgoing fragment tasks.
+    coord_ref: CoordinatorRef,
+    /// CPU charged per message handled.
+    per_msg: Nanos,
+    txns: HashMap<TxnId, MpTxn<F, R>>,
+    /// Per committed transaction: the execution attempt committed at each
+    /// partition (for dependency validation).
+    committed: HashMap<TxnId, HashMap<PartitionId, u32>>,
+    aborted: HashSet<TxnId>,
+    history_order: VecDeque<TxnId>,
+    pub counters: CoordCounters,
+    /// Virtual CPU consumed since the last drain.
+    cpu: Nanos,
+}
+
+impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
+    /// The central coordinator process.
+    pub fn central(costs: CostModel) -> Self {
+        let per_msg = costs.coord_per_msg;
+        Self::with_ref(costs, CoordinatorRef::Central, per_msg)
+    }
+
+    /// A client acting as its own coordinator (locking scheme).
+    pub fn client_driver(costs: CostModel, client: ClientId) -> Self {
+        let per_msg = costs.client_per_msg;
+        Self::with_ref(costs, CoordinatorRef::Client(client), per_msg)
+    }
+
+    fn with_ref(_costs: CostModel, coord_ref: CoordinatorRef, per_msg: Nanos) -> Self {
+        Coordinator {
+            coord_ref,
+            per_msg,
+            txns: HashMap::new(),
+            committed: HashMap::new(),
+            aborted: HashSet::new(),
+            history_order: VecDeque::new(),
+            counters: CoordCounters::default(),
+            cpu: Nanos::ZERO,
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Drain accumulated virtual CPU (drivers advance the coordinator's
+    /// busy-clock by this much).
+    pub fn take_cpu(&mut self) -> Nanos {
+        std::mem::replace(&mut self.cpu, Nanos::ZERO)
+    }
+
+    fn charge_msgs(&mut self, n: u64) {
+        self.cpu += Nanos(self.per_msg.0 * n);
+        self.counters.messages_sent += n;
+    }
+
+    /// A client submitted a multi-partition transaction.
+    pub fn on_invoke(
+        &mut self,
+        txn: TxnId,
+        client: ClientId,
+        procedure: Box<dyn Procedure<F, R>>,
+        can_abort: bool,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
+        self.on_invoke_at(txn, client, procedure, can_abort, Nanos::ZERO, out)
+    }
+
+    /// As [`on_invoke`](Coordinator::on_invoke), with an explicit clock
+    /// reading so stalled transactions can be expired later.
+    pub fn on_invoke_at(
+        &mut self,
+        txn: TxnId,
+        client: ClientId,
+        procedure: Box<dyn Procedure<F, R>>,
+        can_abort: bool,
+        now: Nanos,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
+        self.counters.invocations += 1;
+        self.cpu += self.per_msg; // receive cost
+        let step = procedure.step(&[]);
+        let mut entry = MpTxn {
+            client,
+            procedure,
+            can_abort,
+            started: now,
+            settled_rounds: Vec::new(),
+            participants: Vec::new(),
+            dispatched: HashSet::new(),
+            responses: HashMap::new(),
+            round: 0,
+            is_final: false,
+        };
+        match step {
+            Step::Round {
+                fragments,
+                is_final,
+            } => {
+                debug_assert!(!fragments.is_empty(), "empty round-0 for {txn}");
+                entry.is_final = is_final;
+                entry.participants = fragments.iter().map(|(p, _)| *p).collect();
+                entry.dispatched.extend(entry.participants.iter().copied());
+                let n = fragments.len() as u64;
+                for (pid, fragment) in fragments {
+                    out.push(CoordOut::Fragment(
+                        pid,
+                        FragmentTask {
+                            txn,
+                            coordinator: self.coord_ref,
+                            client,
+                            fragment,
+                            multi_partition: true,
+                            last_fragment: is_final,
+                            round: 0,
+                            can_abort,
+                        },
+                    ));
+                }
+                self.charge_msgs(n);
+                self.txns.insert(txn, entry);
+            }
+            Step::Finish(_) => {
+                debug_assert!(false, "procedure with no work: {txn}");
+            }
+        }
+    }
+
+    /// A partition responded to a fragment.
+    pub fn on_response(&mut self, resp: FragmentResponse<R>, out: &mut Vec<CoordOut<F, R>>) {
+        self.counters.responses += 1;
+        self.cpu += self.per_msg;
+        let Some(t) = self.txns.get_mut(&resp.txn) else {
+            // Transaction already decided (e.g. vote-abort raced with a
+            // held speculative response released later). Ignore.
+            return;
+        };
+        if resp.round != t.round {
+            // A response for an earlier round can arrive after a squash
+            // (the partition re-executed round 0 while we already hold
+            // settled round-0 data that... cannot happen: settling requires
+            // commitment of the dependency, after which the execution is
+            // never squashed). Treat as stale defensively.
+            debug_assert!(resp.round <= t.round, "response from the future");
+            self.counters.stale_responses_discarded += 1;
+            return;
+        }
+        t.responses.insert(resp.partition, resp);
+        self.progress(&[], out);
+    }
+
+    /// Dependency validity of one response.
+    fn settled(&self, resp: &FragmentResponse<R>) -> Settle {
+        match resp.depends_on {
+            None => Settle::Settled,
+            Some(dep) => {
+                if let Some(attempts) = self.committed.get(&dep.txn) {
+                    if attempts.get(&resp.partition) == Some(&dep.attempt) {
+                        Settle::Settled
+                    } else {
+                        Settle::Stale
+                    }
+                } else if self.aborted.contains(&dep.txn) {
+                    Settle::Stale
+                } else {
+                    // Undecided (pending) or beyond the history window; the
+                    // window is far larger than any in-flight horizon, so
+                    // this is a pending transaction: hold.
+                    Settle::Hold
+                }
+            }
+        }
+    }
+
+    /// Try to advance every pending transaction (a commit/abort can settle
+    /// other transactions' responses, so this loops to fixpoint).
+    fn progress(&mut self, _hint: &[TxnId], out: &mut Vec<CoordOut<F, R>>) {
+        loop {
+            let mut acted = false;
+            // Sorted sweep: HashMap iteration order is randomized per
+            // process, and the emission order of coordinator messages must
+            // be a pure function of the run (determinism guarantee).
+            let mut ids: Vec<TxnId> = self.txns.keys().copied().collect();
+            ids.sort_unstable();
+            for txn in ids {
+                acted |= self.progress_one(txn, out);
+            }
+            if !acted {
+                return;
+            }
+        }
+    }
+
+    /// Returns true if the transaction changed state (committed, aborted,
+    /// or advanced a round).
+    fn progress_one(&mut self, txn: TxnId, out: &mut Vec<CoordOut<F, R>>) -> bool {
+        let Some(t) = self.txns.get(&txn) else {
+            return false;
+        };
+        if t.responses.len() < t.participants.len() {
+            return false;
+        }
+        // Classify responses.
+        let mut stale: Vec<PartitionId> = Vec::new();
+        let mut all_settled = true;
+        for p in &t.participants {
+            let resp = &t.responses[p];
+            match self.settled(resp) {
+                Settle::Settled => {}
+                Settle::Hold => all_settled = false,
+                Settle::Stale => stale.push(*p),
+            }
+        }
+        if !stale.is_empty() {
+            let t = self.txns.get_mut(&txn).unwrap();
+            for p in stale {
+                t.responses.remove(&p);
+            }
+            self.counters.stale_responses_discarded += 1;
+            return false;
+        }
+        if !all_settled {
+            return false;
+        }
+
+        // All settled: abort if any participant failed or voted abort.
+        let abort_reason = t.participants.iter().find_map(|p| {
+            let resp = &t.responses[p];
+            match (&resp.payload, resp.vote) {
+                (Err(r), _) => Some(*r),
+                (_, Some(Vote::Abort(r))) => Some(r),
+                _ => None,
+            }
+        });
+        if let Some(reason) = abort_reason {
+            self.finish(txn, Err(reason), out);
+            return true;
+        }
+
+        let t = self.txns.get_mut(&txn).unwrap();
+        if t.is_final {
+            debug_assert!(t
+                .participants
+                .iter()
+                .all(|p| t.responses[p].vote == Some(Vote::Commit)));
+            self.finish(txn, Ok(()), out);
+            return true;
+        }
+
+        // Settle this round and dispatch the next.
+        let outputs = RoundOutputs {
+            by_partition: t
+                .participants
+                .iter()
+                .map(|p| {
+                    (
+                        *p,
+                        t.responses[p]
+                            .payload
+                            .clone()
+                            .expect("settled Ok response"),
+                    )
+                })
+                .collect(),
+        };
+        t.settled_rounds.push(outputs);
+        t.responses.clear();
+        t.round += 1;
+        let step = t.procedure.step(&t.settled_rounds);
+        match step {
+            Step::Round {
+                fragments,
+                is_final,
+            } => {
+                // Participant sets must not shrink in later rounds: the 2PC
+                // prepare rides the final round, so every participant must
+                // appear there (procedures pad with no-op fragments if
+                // needed).
+                debug_assert!(
+                    fragments
+                        .iter()
+                        .all(|(p, _)| t.dispatched.contains(p) || t.round > 0),
+                    "new participants joining mid-transaction"
+                );
+                t.is_final = is_final;
+                t.participants = fragments.iter().map(|(p, _)| *p).collect();
+                t.dispatched.extend(t.participants.iter().copied());
+                let round = t.round;
+                let client = t.client;
+                let can_abort = t.can_abort;
+                let n = fragments.len() as u64;
+                self.counters.rounds_dispatched += 1;
+                for (pid, fragment) in fragments {
+                    out.push(CoordOut::Fragment(
+                        pid,
+                        FragmentTask {
+                            txn,
+                            coordinator: self.coord_ref,
+                            client,
+                            fragment,
+                            multi_partition: true,
+                            last_fragment: is_final,
+                            round,
+                            can_abort,
+                        },
+                    ));
+                }
+                self.charge_msgs(n);
+                true
+            }
+            Step::Finish(_) => {
+                debug_assert!(false, "procedure finished without a final round: {txn}");
+                false
+            }
+        }
+    }
+
+    /// Decide a transaction: send decisions to every dispatched partition
+    /// and the result to the client; record history for dependency checks.
+    fn finish(
+        &mut self,
+        txn: TxnId,
+        outcome: Result<(), AbortReason>,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
+        let mut t = self.txns.remove(&txn).expect("finishing known txn");
+        let commit = outcome.is_ok();
+        let mut msgs = 0u64;
+        let mut participants: Vec<PartitionId> = t.dispatched.iter().copied().collect();
+        participants.sort_unstable();
+        for p in participants {
+            out.push(CoordOut::Decision(p, Decision { txn, commit }));
+            msgs += 1;
+        }
+        let result = if commit {
+            self.counters.commits += 1;
+            // Record per-partition committed attempts.
+            let attempts: HashMap<PartitionId, u32> = t
+                .responses
+                .iter()
+                .map(|(p, r)| (*p, r.attempt))
+                .collect();
+            self.committed.insert(txn, attempts);
+            self.history_order.push_back(txn);
+            // Final result from the procedure.
+            let outputs = RoundOutputs {
+                by_partition: t
+                    .participants
+                    .iter()
+                    .map(|p| {
+                        (
+                            *p,
+                            t.responses[p]
+                                .payload
+                                .clone()
+                                .expect("committed response is Ok"),
+                        )
+                    })
+                    .collect(),
+            };
+            t.settled_rounds.push(outputs);
+            match t.procedure.step(&t.settled_rounds) {
+                Step::Finish(r) => TxnResult::Committed(r),
+                Step::Round { .. } => {
+                    debug_assert!(false, "procedure wants a round after final");
+                    TxnResult::Aborted(AbortReason::User)
+                }
+            }
+        } else {
+            self.counters.aborts += 1;
+            self.aborted.insert(txn);
+            self.history_order.push_back(txn);
+            TxnResult::Aborted(outcome.unwrap_err())
+        };
+        out.push(CoordOut::ClientResult {
+            client: t.client,
+            txn,
+            result,
+        });
+        msgs += 1;
+        self.charge_msgs(msgs);
+        self.gc();
+    }
+
+    /// Abort transactions that have been pending longer than `timeout` —
+    /// the recovery path for participant failure (§3.3: without undo
+    /// information "the system would need to block until the failure is
+    /// repaired"; with it, surviving participants roll back and continue).
+    /// Returns the transactions aborted.
+    pub fn expire_stalled(
+        &mut self,
+        now: Nanos,
+        timeout: Nanos,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) -> Vec<TxnId> {
+        let mut stalled: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| now.saturating_sub(t.started) >= timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        stalled.sort_unstable();
+        for txn in &stalled {
+            self.finish(*txn, Err(AbortReason::RemoteAbort), out);
+        }
+        stalled
+    }
+
+    fn gc(&mut self) {
+        while self.history_order.len() > HISTORY_LIMIT {
+            if let Some(old) = self.history_order.pop_front() {
+                self.committed.remove(&old);
+                self.aborted.remove(&old);
+            }
+        }
+    }
+}
+
+enum Settle {
+    Settled,
+    Hold,
+    Stale,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{SimpleMpProcedure, SwapProcedure, TestFragment, TestOutput};
+
+    fn txid(n: u32) -> TxnId {
+        TxnId::new(ClientId(n), 0)
+    }
+
+    fn coord() -> Coordinator<TestFragment, TestOutput> {
+        Coordinator::central(CostModel::default())
+    }
+
+    fn simple_proc() -> Box<dyn Procedure<TestFragment, TestOutput>> {
+        Box::new(SimpleMpProcedure {
+            fragments: vec![
+                (PartitionId(0), TestFragment::add(1, 1)),
+                (PartitionId(1), TestFragment::add(2, 1)),
+            ],
+        })
+    }
+
+    fn ok_response(
+        txn: TxnId,
+        p: u32,
+        round: u32,
+        vote: Option<Vote>,
+        dep: Option<hcc_common::SpecDep>,
+    ) -> FragmentResponse<TestOutput> {
+        FragmentResponse {
+            txn,
+            partition: PartitionId(p),
+            round,
+            attempt: 0,
+            payload: Ok(vec![(1, 1)]),
+            vote,
+            depends_on: dep,
+        }
+    }
+
+    #[test]
+    fn simple_mp_commits_after_both_votes() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        // Two fragments dispatched, prepare piggybacked.
+        let frags: Vec<_> = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Fragment(_, t) if t.last_fragment))
+            .collect();
+        assert_eq!(frags.len(), 2);
+        out.clear();
+
+        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        assert!(out.is_empty(), "no decision on partial votes");
+        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        let decisions = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, d) if d.commit))
+            .count();
+        assert_eq!(decisions, 2);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::ClientResult { result: TxnResult::Committed(_), .. }
+        )));
+        assert_eq!(c.counters.commits, 1);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn abort_vote_aborts_everywhere() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        out.clear();
+        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        let mut bad = ok_response(txid(1), 1, 0, None, None);
+        bad.payload = Err(AbortReason::User);
+        bad.vote = Some(Vote::Abort(AbortReason::User));
+        c.on_response(bad, &mut out);
+        let aborts = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit))
+            .count();
+        assert_eq!(aborts, 2, "both participants told to abort");
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::ClientResult { result: TxnResult::Aborted(AbortReason::User), .. }
+        )));
+        assert_eq!(c.counters.aborts, 1);
+    }
+
+    #[test]
+    fn two_round_swap_drives_rounds() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(
+            txid(1),
+            ClientId(1),
+            Box::new(SwapProcedure {
+                p1: PartitionId(0),
+                key1: 1,
+                p2: PartitionId(1),
+                key2: 2,
+            }),
+            false,
+            &mut out,
+        );
+        // Round 0: reads, no prepare.
+        assert!(out.iter().all(|o| match o {
+            CoordOut::Fragment(_, t) => !t.last_fragment && t.round == 0,
+            _ => false,
+        }));
+        out.clear();
+
+        let mut r0p0 = ok_response(txid(1), 0, 0, None, None);
+        r0p0.payload = Ok(vec![(1, 5)]);
+        let mut r0p1 = ok_response(txid(1), 1, 0, None, None);
+        r0p1.payload = Ok(vec![(2, 17)]);
+        c.on_response(r0p0, &mut out);
+        c.on_response(r0p1, &mut out);
+        // Round 1 dispatched with prepare.
+        let round1: Vec<_> = out
+            .iter()
+            .filter_map(|o| match o {
+                CoordOut::Fragment(p, t) => Some((*p, t.round, t.last_fragment)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(round1.len(), 2);
+        assert!(round1.iter().all(|(_, r, last)| *r == 1 && *last));
+        out.clear();
+
+        c.on_response(ok_response(txid(1), 0, 1, Some(Vote::Commit), None), &mut out);
+        c.on_response(ok_response(txid(1), 1, 1, Some(Vote::Commit), None), &mut out);
+        assert_eq!(c.counters.commits, 1);
+        assert!(out.iter().any(|o| matches!(o, CoordOut::Decision(_, d) if d.commit)));
+    }
+
+    #[test]
+    fn speculative_response_waits_for_dependency() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        // A then C, chained at partition 0.
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        c.on_invoke(txid(2), ClientId(2), simple_proc(), false, &mut out);
+        out.clear();
+
+        // C's responses arrive first (speculative at P0 on A).
+        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
+        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
+        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), None), &mut out);
+        assert!(out.is_empty(), "C held: A undecided");
+
+        // A commits.
+        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        // Both A and C decided now (C settles once A commits).
+        assert_eq!(c.counters.commits, 2);
+        let c_decisions = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, d) if d.txn == txid(2) && d.commit))
+            .count();
+        assert_eq!(c_decisions, 2);
+    }
+
+    #[test]
+    fn stale_dependent_response_is_discarded_on_abort() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        c.on_invoke(txid(2), ClientId(2), simple_proc(), false, &mut out);
+        out.clear();
+
+        // C speculated on A at both partitions.
+        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
+        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
+        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), Some(dep)), &mut out);
+
+        // A aborts (user abort at P0).
+        let mut bad = ok_response(txid(1), 0, 0, None, None);
+        bad.payload = Err(AbortReason::User);
+        bad.vote = Some(Vote::Abort(AbortReason::User));
+        c.on_response(bad, &mut out);
+        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        assert_eq!(c.counters.aborts, 1);
+        // C must NOT be decided on its stale responses.
+        assert_eq!(c.counters.commits, 0);
+        assert_eq!(c.pending(), 1);
+        out.clear();
+
+        // Fresh (re-executed) responses arrive with attempt 1, no deps.
+        let mut f0 = ok_response(txid(2), 0, 0, Some(Vote::Commit), None);
+        f0.attempt = 1;
+        let mut f1 = ok_response(txid(2), 1, 0, Some(Vote::Commit), None);
+        f1.attempt = 1;
+        c.on_response(f0, &mut out);
+        c.on_response(f1, &mut out);
+        assert_eq!(c.counters.commits, 1);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::ClientResult { txn, result: TxnResult::Committed(_), .. } if *txn == txid(2)
+        )));
+    }
+
+    #[test]
+    fn dependency_on_wrong_attempt_is_stale() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        c.on_invoke(txid(2), ClientId(2), simple_proc(), false, &mut out);
+        out.clear();
+
+        // A commits at attempt 1 (it was squashed once by an earlier abort
+        // we don't model here).
+        let mut a0 = ok_response(txid(1), 0, 0, Some(Vote::Commit), None);
+        a0.attempt = 1;
+        let mut a1 = ok_response(txid(1), 1, 0, Some(Vote::Commit), None);
+        a1.attempt = 1;
+        c.on_response(a0, &mut out);
+        c.on_response(a1, &mut out);
+        assert_eq!(c.counters.commits, 1);
+        out.clear();
+
+        // C's stale response depends on A attempt 0 — the squashed one.
+        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
+        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
+        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), None), &mut out);
+        assert_eq!(c.counters.commits, 1, "stale C not committed");
+        assert!(c.counters.stale_responses_discarded > 0);
+
+        // Fresh C depending on the committed attempt goes through.
+        let dep1 = hcc_common::SpecDep { txn: txid(1), attempt: 1 };
+        let mut f0 = ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep1));
+        f0.attempt = 1;
+        c.on_response(f0, &mut out);
+        assert_eq!(c.counters.commits, 2);
+    }
+
+    #[test]
+    fn charges_cpu_per_message() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        let cpu = c.take_cpu();
+        // 1 receive + 2 fragment sends.
+        assert_eq!(cpu, Nanos(CostModel::default().coord_per_msg.0 * 3));
+        assert_eq!(c.take_cpu(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn duplicate_and_late_responses_are_harmless() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        out.clear();
+        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        // Duplicate of the same response: overwrites, no decision yet.
+        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        assert!(out.is_empty());
+        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        assert_eq!(c.counters.commits, 1);
+        out.clear();
+        // A response arriving after the decision (e.g. a held speculative
+        // result released late) is ignored.
+        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(c.counters.commits, 1);
+    }
+
+    #[test]
+    fn expire_stalled_aborts_only_old_transactions() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke_at(txid(1), ClientId(1), simple_proc(), false, Nanos(0), &mut out);
+        c.on_invoke_at(txid(2), ClientId(2), simple_proc(), false, Nanos(5_000_000), &mut out);
+        out.clear();
+        let aborted = c.expire_stalled(Nanos(6_000_000), Nanos(2_000_000), &mut out);
+        assert_eq!(aborted, vec![txid(1)], "only the stalled txn expires");
+        assert_eq!(c.pending(), 1);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::ClientResult { result: TxnResult::Aborted(AbortReason::RemoteAbort), .. }
+        )));
+        // The expired txn's participants were told to abort.
+        let aborts = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit && d.txn == txid(1)))
+            .count();
+        assert_eq!(aborts, 2);
+    }
+
+    #[test]
+    fn decisions_are_emitted_in_stable_partition_order() {
+        // Determinism: the decision fan-out must not depend on HashSet
+        // iteration order.
+        for _ in 0..5 {
+            let mut c = coord();
+            let mut out = Vec::new();
+            c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+            out.clear();
+            c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+            c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+            let order: Vec<u32> = out
+                .iter()
+                .filter_map(|o| match o {
+                    CoordOut::Decision(p, _) => Some(p.0),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(order, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn history_gc_bounded() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        for i in 0..(HISTORY_LIMIT as u32 + 10) {
+            let txn = TxnId::new(ClientId(7), i);
+            c.on_invoke(txn, ClientId(7), simple_proc(), false, &mut out);
+            c.on_response(ok_response(txn, 0, 0, Some(Vote::Commit), None), &mut out);
+            c.on_response(ok_response(txn, 1, 0, Some(Vote::Commit), None), &mut out);
+            out.clear();
+        }
+        assert!(c.committed.len() <= HISTORY_LIMIT);
+        assert_eq!(c.pending(), 0);
+    }
+}

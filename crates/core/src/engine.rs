@@ -1,0 +1,62 @@
+//! The execution-engine abstraction: what a partition's storage engine must
+//! provide to the concurrency control schedulers.
+
+use hcc_common::{AbortReason, LockKey, TxnId};
+use hcc_locking::LockMode;
+
+/// Outcome of executing one fragment.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome<R> {
+    /// The fragment's output, or the reason it refused to run.
+    pub result: Result<R, AbortReason>,
+    /// Number of logical storage operations performed (reads + writes);
+    /// the drivers convert this into virtual CPU via the cost model.
+    pub ops: u32,
+}
+
+/// A partition-local storage engine that executes transaction fragments.
+///
+/// # Contract
+///
+/// * `execute` with `undo = true` appends this fragment's pre-images to the
+///   transaction's undo buffer (creating it if needed); a later
+///   [`rollback`](ExecutionEngine::rollback) restores the state from before
+///   the transaction's *first* fragment.
+/// * If `execute` returns `Err`, the fragment must have left **no
+///   effects** — procedures validate before writing (the paper reorders
+///   TPC-C new-order for exactly this reason, §5.5). Effects of the
+///   transaction's *earlier* fragments remain until `rollback`.
+/// * `execute` with `undo = false` is only used by schedulers on the
+///   non-speculative fast path where the transaction is guaranteed to
+///   commit before anything else runs.
+/// * `rollback(txn)` / `forget(txn)` are idempotent and tolerate unknown
+///   transactions (no undo buffer ⇒ no-op), returning the number of undo
+///   records applied/discarded.
+pub trait ExecutionEngine {
+    /// Workload-specific description of a unit of work at one partition.
+    type Fragment: Clone + std::fmt::Debug;
+    /// Fragment result payload.
+    type Output: Clone + std::fmt::Debug;
+
+    /// Run a fragment on behalf of `txn`.
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        fragment: &Self::Fragment,
+        undo: bool,
+    ) -> ExecOutcome<Self::Output>;
+
+    /// Undo all recorded effects of `txn`, newest first. Returns the number
+    /// of undo records applied (for cost accounting).
+    fn rollback(&mut self, txn: TxnId) -> u32;
+
+    /// Discard the undo buffer of a committed transaction.
+    fn forget(&mut self, txn: TxnId) -> u32;
+
+    /// The pre-declared lock set of a fragment, for the locking scheduler.
+    /// Reads map to [`LockMode::Shared`], writes to
+    /// [`LockMode::Exclusive`]. Stored procedures make access sets
+    /// statically known (paper §2.1); coarse granules are permitted (they
+    /// only add false conflicts, which is conservative).
+    fn lock_set(&self, fragment: &Self::Fragment) -> Vec<(LockKey, LockMode)>;
+}

@@ -1,0 +1,46 @@
+//! The paper's contribution: low-overhead concurrency control for
+//! partitioned main-memory databases, as runtime-agnostic state machines.
+//!
+//! Three schedulers implement the three schemes compared in the paper:
+//!
+//! * [`blocking::BlockingScheduler`] — §4.1, Figure 2: one transaction at a
+//!   time; queue everything else.
+//! * [`speculative::SpeculativeScheduler`] — §4.2, Figure 3: execute queued
+//!   transactions speculatively while a multi-partition transaction waits
+//!   for two-phase commit, assuming every pair of concurrent transactions
+//!   conflicts; cascade aborts.
+//! * [`locking_sched::LockingScheduler`] — §4.3: strict two-phase locking
+//!   with a single-threaded lock manager, a no-lock fast path when no
+//!   multi-partition transaction is active, cycle detection for local
+//!   deadlocks and timeouts for distributed ones.
+//!
+//! Plus the [`occ::OccScheduler`] extension sketched in §5.7.
+//!
+//! The [`coordinator::Coordinator`] implements the central coordinator of
+//! §3.3 with the speculative-result handling of §4.2.2, and
+//! [`txn_driver::TxnDriver`] the client-side two-phase commit used by the
+//! locking scheme (§4.3 sends multi-partition transactions directly to
+//! partitions).
+//!
+//! None of these types know about threads, channels, clocks, or sockets:
+//! they consume protocol events and emit protocol messages through an
+//! [`outbox::Outbox`], and are driven by `hcc-sim` (discrete-event
+//! simulation) and `hcc-runtime` (OS threads + channels) identically.
+
+pub mod blocking;
+pub mod client;
+pub mod coordinator;
+pub mod engine;
+pub mod locking_sched;
+pub mod occ;
+pub mod outbox;
+pub mod procedure;
+pub mod scheduler;
+pub mod speculative;
+pub mod testkit;
+pub mod txn_driver;
+
+pub use engine::{ExecOutcome, ExecutionEngine};
+pub use outbox::{Outbox, PartitionOut};
+pub use procedure::{Procedure, Request, RequestGenerator, RoundOutputs, Step};
+pub use scheduler::{make_scheduler, Scheduler};

@@ -1,0 +1,86 @@
+//! Optimistic concurrency control — the extension sketched in the paper's
+//! §5.7.
+//!
+//! The paper hypothesizes that OCC "would be similar to that of locking"
+//! because, with single-threaded partitions, the locking implementation
+//! "involves little more than keeping track of the read/write sets of a
+//! transaction — which OCC also must do", so OCC's usual advantage (no
+//! lock manager latching) disappears.
+//!
+//! Our OCC variant is validation-based speculation: transactions execute
+//! optimistically during multi-partition stalls exactly like the
+//! speculative scheme, but read/write sets are tracked, and when a
+//! transaction aborts, only the speculative successors whose sets
+//! (transitively) intersect its writes are squashed — backward validation
+//! instead of the paper's assume-all-conflict rule. The price is set
+//! tracking on every speculative execution, billed at the lock-overhead
+//! rate, which is exactly the trade the paper describes.
+
+use crate::engine::ExecutionEngine;
+use crate::outbox::Outbox;
+use crate::scheduler::Scheduler;
+use crate::speculative::{ConflictPolicy, SpeculativeScheduler};
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{CostModel, Decision, FragmentTask, Nanos, PartitionId};
+
+/// Validation-based (OCC) scheduler: speculation with precise conflict
+/// detection.
+pub struct OccScheduler<E: ExecutionEngine> {
+    inner: SpeculativeScheduler<E>,
+}
+
+impl<E: ExecutionEngine> OccScheduler<E> {
+    pub fn new(me: PartitionId, costs: CostModel) -> Self {
+        OccScheduler {
+            inner: SpeculativeScheduler::with_policy(
+                me,
+                costs,
+                usize::MAX,
+                ConflictPolicy::Precise,
+            ),
+        }
+    }
+
+    pub fn speculation_depth(&self) -> usize {
+        self.inner.speculation_depth()
+    }
+}
+
+impl<E: ExecutionEngine> Scheduler<E> for OccScheduler<E> {
+    fn on_fragment(
+        &mut self,
+        task: FragmentTask<E::Fragment>,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        self.inner.on_fragment(task, engine, now, out);
+    }
+
+    fn on_decision(
+        &mut self,
+        decision: Decision,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        self.inner.on_decision(decision, engine, now, out);
+    }
+
+    fn on_tick(
+        &mut self,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) -> Option<Nanos> {
+        self.inner.on_tick(engine, now, out)
+    }
+
+    fn counters(&self) -> SchedulerCounters {
+        self.inner.counters()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+}

@@ -1,0 +1,93 @@
+//! Message and cost collection for the partition state machines.
+
+use hcc_common::{ClientId, CoordinatorRef, CostModel, FragmentResponse, Nanos, TxnId, TxnResult};
+
+/// A message emitted by a partition scheduler, to be routed by the driver.
+#[derive(Debug, Clone)]
+pub enum PartitionOut<R> {
+    /// Final result of a single-partition transaction, straight to the
+    /// issuing client.
+    ToClient {
+        client: ClientId,
+        txn: TxnId,
+        result: TxnResult<R>,
+    },
+    /// A fragment response, to the central coordinator or to the
+    /// client-coordinator (locking scheme).
+    ToCoordinator {
+        dest: CoordinatorRef,
+        response: FragmentResponse<R>,
+    },
+}
+
+/// Collects the messages a scheduler wants sent and the virtual CPU it
+/// consumed handling the current event. Drivers drain messages (applying
+/// network latency) and advance the partition's busy-clock by `cpu`.
+#[derive(Debug)]
+pub struct Outbox<R> {
+    pub messages: Vec<PartitionOut<R>>,
+    pub cpu: Nanos,
+    /// The cost model used by schedulers to price their work. Owned here so
+    /// every charge site has it at hand.
+    pub costs: CostModel,
+}
+
+impl<R> Outbox<R> {
+    pub fn new(costs: CostModel) -> Self {
+        Outbox {
+            messages: Vec::new(),
+            cpu: Nanos::ZERO,
+            costs,
+        }
+    }
+
+    /// Add virtual CPU time to the current event's bill.
+    #[inline]
+    pub fn charge(&mut self, ns: Nanos) {
+        self.cpu += ns;
+    }
+
+    pub fn send_client(&mut self, client: ClientId, txn: TxnId, result: TxnResult<R>) {
+        self.messages.push(PartitionOut::ToClient {
+            client,
+            txn,
+            result,
+        });
+    }
+
+    pub fn send_coordinator(&mut self, dest: CoordinatorRef, response: FragmentResponse<R>) {
+        self.messages
+            .push(PartitionOut::ToCoordinator { dest, response });
+    }
+
+    /// Drain accumulated messages and CPU, resetting for the next event.
+    pub fn take(&mut self) -> (Vec<PartitionOut<R>>, Nanos) {
+        let cpu = self.cpu;
+        self.cpu = Nanos::ZERO;
+        (std::mem::take(&mut self.messages), cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_common::AbortReason;
+
+    #[test]
+    fn charge_accumulates_and_take_resets() {
+        let mut ob: Outbox<u32> = Outbox::new(CostModel::default());
+        ob.charge(Nanos(100));
+        ob.charge(Nanos(50));
+        ob.send_client(
+            ClientId(1),
+            TxnId::new(ClientId(1), 0),
+            TxnResult::Aborted(AbortReason::User),
+        );
+        let (msgs, cpu) = ob.take();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(cpu, Nanos(150));
+        let (msgs, cpu) = ob.take();
+        assert!(msgs.is_empty());
+        assert_eq!(cpu, Nanos::ZERO);
+    }
+}

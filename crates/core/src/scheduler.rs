@@ -1,0 +1,69 @@
+//! The scheduler interface every concurrency control scheme implements.
+
+use crate::engine::ExecutionEngine;
+use crate::outbox::Outbox;
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{Decision, FragmentTask, Nanos, Scheme, SystemConfig};
+
+/// A concurrency control scheme for one partition, driven by events.
+///
+/// All methods receive `now` (virtual or wall time, in nanoseconds) for
+/// timeout bookkeeping, and an [`Outbox`] into which they emit messages and
+/// CPU charges. Schedulers never block: a fragment that cannot run yet is
+/// queued internally.
+pub trait Scheduler<E: ExecutionEngine> {
+    /// A transaction fragment arrived (from a client or a coordinator).
+    fn on_fragment(
+        &mut self,
+        task: FragmentTask<E::Fragment>,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    );
+
+    /// A two-phase-commit decision arrived from the coordinator.
+    fn on_decision(
+        &mut self,
+        decision: Decision,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    );
+
+    /// Periodic maintenance (the locking scheme checks lock-wait timeouts
+    /// here). Returns the delay until the scheduler next wants a tick, or
+    /// `None` if it has no timers pending.
+    fn on_tick(&mut self, engine: &mut E, now: Nanos, out: &mut Outbox<E::Output>)
+        -> Option<Nanos>;
+
+    /// Aggregated counters (merged across partitions by the driver).
+    fn counters(&self) -> SchedulerCounters;
+
+    /// True when no transaction is active, queued, or awaiting a decision.
+    fn is_idle(&self) -> bool;
+}
+
+/// Construct the scheduler selected by `config.scheme` for partition `me`.
+pub fn make_scheduler<E: ExecutionEngine + 'static>(
+    config: &SystemConfig,
+    me: hcc_common::PartitionId,
+) -> Box<dyn Scheduler<E>> {
+    match config.scheme {
+        Scheme::Blocking => Box::new(crate::blocking::BlockingScheduler::new(me, config.costs)),
+        Scheme::Speculative => {
+            let mut s = crate::speculative::SpeculativeScheduler::new(
+                me,
+                config.costs,
+                config.max_speculation_depth,
+            );
+            s.set_local_only(config.local_speculation_only);
+            Box::new(s)
+        }
+        Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(
+            me,
+            config.costs,
+            config.lock_timeout,
+        )),
+        Scheme::Occ => Box::new(crate::occ::OccScheduler::new(me, config.costs)),
+    }
+}

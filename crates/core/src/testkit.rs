@@ -1,0 +1,373 @@
+//! A miniature execution engine and procedures for exercising the
+//! schedulers in unit and integration tests.
+//!
+//! The engine is an integer key/value map supporting read and
+//! read-modify-write operations with full undo support, plus a forced-abort
+//! flag to simulate user aborts. It is deliberately tiny but exercises
+//! every scheduler code path: undo recording, rollback, lock sets, and
+//! multi-round procedures (the paper's §4.2.1 swap example is reproduced in
+//! the speculative scheduler's tests with this engine).
+
+use crate::engine::{ExecOutcome, ExecutionEngine};
+use crate::procedure::{Procedure, RoundOutputs, Step};
+use hcc_common::{AbortReason, LockKey, PartitionId, TxnId};
+use hcc_locking::LockMode;
+use std::collections::HashMap;
+
+/// One operation of a test fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestOp {
+    /// Read a key (reported in the output).
+    Read(u64),
+    /// key := value.
+    Set(u64, i64),
+    /// key += delta.
+    Add(u64, i64),
+}
+
+/// A fragment for the test engine.
+#[derive(Debug, Clone, Default)]
+pub struct TestFragment {
+    pub ops: Vec<TestOp>,
+    /// If set, the fragment refuses to run (user abort) without effects.
+    pub fail: bool,
+}
+
+impl TestFragment {
+    pub fn read(keys: &[u64]) -> Self {
+        TestFragment {
+            ops: keys.iter().map(|&k| TestOp::Read(k)).collect(),
+            fail: false,
+        }
+    }
+
+    pub fn add(key: u64, delta: i64) -> Self {
+        TestFragment {
+            ops: vec![TestOp::Add(key, delta), TestOp::Read(key)],
+            fail: false,
+        }
+    }
+
+    pub fn set(key: u64, value: i64) -> Self {
+        TestFragment {
+            ops: vec![TestOp::Set(key, value)],
+            fail: false,
+        }
+    }
+
+    pub fn failing() -> Self {
+        TestFragment {
+            ops: vec![],
+            fail: true,
+        }
+    }
+}
+
+/// Output: the values read, in op order.
+pub type TestOutput = Vec<(u64, i64)>;
+
+/// Integer KV engine with per-transaction undo buffers.
+#[derive(Debug, Default)]
+pub struct TestEngine {
+    pub kv: HashMap<u64, i64>,
+    undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
+}
+
+impl TestEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_data(pairs: &[(u64, i64)]) -> Self {
+        TestEngine {
+            kv: pairs.iter().copied().collect(),
+            undo: HashMap::new(),
+        }
+    }
+
+    pub fn get(&self, key: u64) -> i64 {
+        self.kv.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of transactions with live undo buffers (leak detection).
+    pub fn live_undo_buffers(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn write(&mut self, txn: TxnId, key: u64, value: i64, undo: bool) {
+        let prior = self.kv.insert(key, value);
+        if undo {
+            self.undo.entry(txn).or_default().push((key, prior));
+        }
+    }
+}
+
+impl ExecutionEngine for TestEngine {
+    type Fragment = TestFragment;
+    type Output = TestOutput;
+
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        fragment: &TestFragment,
+        undo: bool,
+    ) -> ExecOutcome<TestOutput> {
+        if fragment.fail {
+            return ExecOutcome {
+                result: Err(AbortReason::User),
+                ops: 1,
+            };
+        }
+        let mut out = Vec::new();
+        for op in &fragment.ops {
+            match *op {
+                TestOp::Read(k) => out.push((k, self.get(k))),
+                TestOp::Set(k, v) => self.write(txn, k, v, undo),
+                TestOp::Add(k, d) => {
+                    let v = self.get(k) + d;
+                    self.write(txn, k, v, undo);
+                }
+            }
+        }
+        ExecOutcome {
+            result: Ok(out),
+            ops: fragment.ops.len() as u32,
+        }
+    }
+
+    fn rollback(&mut self, txn: TxnId) -> u32 {
+        let records = self.undo.remove(&txn).unwrap_or_default();
+        let n = records.len() as u32;
+        for (key, prior) in records.into_iter().rev() {
+            match prior {
+                Some(v) => {
+                    self.kv.insert(key, v);
+                }
+                None => {
+                    self.kv.remove(&key);
+                }
+            }
+        }
+        n
+    }
+
+    fn forget(&mut self, txn: TxnId) -> u32 {
+        self.undo.remove(&txn).map_or(0, |r| r.len() as u32)
+    }
+
+    fn lock_set(&self, fragment: &TestFragment) -> Vec<(LockKey, LockMode)> {
+        let mut locks: Vec<(LockKey, LockMode)> = Vec::new();
+        for op in &fragment.ops {
+            let (key, mode) = match *op {
+                TestOp::Read(k) => (k, LockMode::Shared),
+                TestOp::Set(k, _) | TestOp::Add(k, _) => (k, LockMode::Exclusive),
+            };
+            let lk = LockKey(key);
+            match locks.iter_mut().find(|(l, _)| *l == lk) {
+                Some((_, m)) => {
+                    if mode == LockMode::Exclusive {
+                        *m = LockMode::Exclusive;
+                    }
+                }
+                None => locks.push((lk, mode)),
+            }
+        }
+        locks
+    }
+}
+
+/// A one-round ("simple") multi-partition procedure: apply a fragment at
+/// each participant simultaneously. This is the shape of every distributed
+/// TPC-C transaction (paper §4.2.2).
+#[derive(Debug, Clone)]
+pub struct SimpleMpProcedure {
+    pub fragments: Vec<(PartitionId, TestFragment)>,
+}
+
+impl Procedure<TestFragment, TestOutput> for SimpleMpProcedure {
+    fn clone_box(&self) -> Box<dyn Procedure<TestFragment, TestOutput>> {
+        Box::new(self.clone())
+    }
+
+    fn step(&self, prior: &[RoundOutputs<TestOutput>]) -> Step<TestFragment, TestOutput> {
+        if prior.is_empty() {
+            Step::Round {
+                fragments: self.fragments.clone(),
+                is_final: true,
+            }
+        } else {
+            // Final result: concatenation of all partitions' reads.
+            let mut all = Vec::new();
+            for (_, r) in &prior[0].by_partition {
+                all.extend(r.iter().copied());
+            }
+            Step::Finish(all)
+        }
+    }
+}
+
+/// A two-round ("general") procedure: round 0 reads a key at each of two
+/// partitions, round 1 writes each value to the *other* partition — the
+/// paper's §4.2.1 example transaction A, which swaps `x` on P1 with `y`
+/// on P2.
+#[derive(Debug, Clone)]
+pub struct SwapProcedure {
+    pub p1: PartitionId,
+    pub key1: u64,
+    pub p2: PartitionId,
+    pub key2: u64,
+}
+
+impl Procedure<TestFragment, TestOutput> for SwapProcedure {
+    fn clone_box(&self) -> Box<dyn Procedure<TestFragment, TestOutput>> {
+        Box::new(self.clone())
+    }
+
+    fn step(&self, prior: &[RoundOutputs<TestOutput>]) -> Step<TestFragment, TestOutput> {
+        match prior.len() {
+            0 => Step::Round {
+                fragments: vec![
+                    (self.p1, TestFragment::read(&[self.key1])),
+                    (self.p2, TestFragment::read(&[self.key2])),
+                ],
+                is_final: false,
+            },
+            1 => {
+                let v1 = prior[0].get(self.p1).expect("p1 response")[0].1;
+                let v2 = prior[0].get(self.p2).expect("p2 response")[0].1;
+                Step::Round {
+                    fragments: vec![
+                        (self.p1, TestFragment::set(self.key1, v2)),
+                        (self.p2, TestFragment::set(self.key2, v1)),
+                    ],
+                    is_final: true,
+                }
+            }
+            _ => Step::Finish(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcc_common::ClientId;
+
+    fn t(n: u32) -> TxnId {
+        TxnId::new(ClientId(0), n)
+    }
+
+    #[test]
+    fn execute_reads_and_writes() {
+        let mut e = TestEngine::with_data(&[(1, 5)]);
+        let out = e.execute(t(1), &TestFragment::add(1, 2), false);
+        assert_eq!(out.result.unwrap(), vec![(1, 7)]);
+        assert_eq!(out.ops, 2);
+        assert_eq!(e.get(1), 7);
+    }
+
+    #[test]
+    fn failing_fragment_has_no_effects() {
+        let mut e = TestEngine::with_data(&[(1, 5)]);
+        let out = e.execute(t(1), &TestFragment::failing(), true);
+        assert_eq!(out.result.unwrap_err(), AbortReason::User);
+        assert_eq!(e.get(1), 5);
+        assert_eq!(e.rollback(t(1)), 0);
+    }
+
+    #[test]
+    fn rollback_across_fragments_is_lifo() {
+        let mut e = TestEngine::with_data(&[(1, 10)]);
+        e.execute(t(1), &TestFragment::add(1, 1), true);
+        e.execute(t(1), &TestFragment::add(1, 1), true);
+        assert_eq!(e.get(1), 12);
+        let n = e.rollback(t(1));
+        assert_eq!(n, 2);
+        assert_eq!(e.get(1), 10);
+        assert_eq!(e.live_undo_buffers(), 0);
+    }
+
+    #[test]
+    fn forget_discards_undo() {
+        let mut e = TestEngine::new();
+        e.execute(t(1), &TestFragment::set(1, 1), true);
+        assert_eq!(e.live_undo_buffers(), 1);
+        assert_eq!(e.forget(t(1)), 1);
+        assert_eq!(e.live_undo_buffers(), 0);
+        assert_eq!(e.get(1), 1, "forget keeps effects");
+    }
+
+    #[test]
+    fn undoless_execution_cannot_rollback() {
+        let mut e = TestEngine::new();
+        e.execute(t(1), &TestFragment::set(1, 9), false);
+        assert_eq!(e.rollback(t(1)), 0);
+        assert_eq!(e.get(1), 9);
+    }
+
+    #[test]
+    fn lock_set_merges_modes() {
+        let e = TestEngine::new();
+        let frag = TestFragment {
+            ops: vec![TestOp::Read(1), TestOp::Add(1, 1), TestOp::Read(2)],
+            fail: false,
+        };
+        let locks = e.lock_set(&frag);
+        assert_eq!(locks.len(), 2);
+        assert!(locks.contains(&(LockKey(1), LockMode::Exclusive)));
+        assert!(locks.contains(&(LockKey(2), LockMode::Shared)));
+    }
+
+    #[test]
+    fn swap_procedure_rounds() {
+        let p1 = PartitionId(0);
+        let p2 = PartitionId(1);
+        let proc = SwapProcedure {
+            p1,
+            key1: 1,
+            p2,
+            key2: 2,
+        };
+        let Step::Round {
+            fragments,
+            is_final,
+        } = proc.step(&[])
+        else {
+            panic!("expected round 0");
+        };
+        assert_eq!(fragments.len(), 2);
+        assert!(!is_final);
+        let r0 = RoundOutputs {
+            by_partition: vec![(p1, vec![(1, 5)]), (p2, vec![(2, 17)])],
+        };
+        let Step::Round {
+            fragments,
+            is_final,
+        } = proc.step(&[r0])
+        else {
+            panic!("expected round 1");
+        };
+        assert!(is_final);
+        // x gets y's value and vice versa.
+        assert!(fragments
+            .iter()
+            .any(|(p, f)| *p == p1 && f.ops == vec![TestOp::Set(1, 17)]));
+        assert!(fragments
+            .iter()
+            .any(|(p, f)| *p == p2 && f.ops == vec![TestOp::Set(2, 5)]));
+    }
+
+    #[test]
+    fn simple_mp_participants() {
+        let proc = SimpleMpProcedure {
+            fragments: vec![
+                (PartitionId(0), TestFragment::add(1, 1)),
+                (PartitionId(1), TestFragment::add(2, 1)),
+            ],
+        };
+        assert_eq!(
+            proc.participants(),
+            vec![PartitionId(0), PartitionId(1)]
+        );
+    }
+}

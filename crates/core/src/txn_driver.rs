@@ -1,0 +1,172 @@
+//! Client-side two-phase commit for the locking scheme.
+//!
+//! Under locking, "clients send multi-partition transactions directly to
+//! the partitions, without going through the central coordinator. This is
+//! more efficient when there are no lock conflicts, as it reduces network
+//! latency and eliminates an extra process from the system" (§4.3).
+//!
+//! [`TxnDriver`] is a thin wrapper around [`Coordinator`] configured as a
+//! client-coordinator: the round-driving and 2PC logic are identical, but
+//! fragments are stamped `CoordinatorRef::Client(_)` so partitions respond
+//! to the client, and there is no speculative-dependency machinery to
+//! exercise (the locking scheduler never emits dependencies).
+
+use crate::coordinator::{CoordOut, Coordinator};
+use crate::procedure::Procedure;
+use hcc_common::{ClientId, CostModel, FragmentResponse, TxnId, TxnResult};
+
+/// Drives the multi-partition transactions of one client under the locking
+/// scheme.
+pub struct TxnDriver<F, R> {
+    inner: Coordinator<F, R>,
+    client: ClientId,
+}
+
+impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> TxnDriver<F, R> {
+    pub fn new(costs: CostModel, client: ClientId) -> Self {
+        TxnDriver {
+            inner: Coordinator::client_driver(costs, client),
+            client,
+        }
+    }
+
+    /// Start a multi-partition transaction; emits round-0 fragments.
+    pub fn begin(
+        &mut self,
+        txn: TxnId,
+        procedure: Box<dyn Procedure<F, R>>,
+        can_abort: bool,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
+        self.inner
+            .on_invoke(txn, self.client, procedure, can_abort, out);
+    }
+
+    /// Feed a partition's response; may emit more fragments, decisions,
+    /// and finally a `CoordOut::ClientResult` destined for this client
+    /// itself. The caller extracts the result with
+    /// [`TxnDriver::take_result`].
+    pub fn on_response(&mut self, resp: FragmentResponse<R>, out: &mut Vec<CoordOut<F, R>>) {
+        self.inner.on_response(resp, out);
+    }
+
+    /// Number of undecided transactions (0 or 1 for closed-loop clients).
+    pub fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    /// Virtual CPU consumed since last drained.
+    pub fn take_cpu(&mut self) -> hcc_common::Nanos {
+        self.inner.take_cpu()
+    }
+
+    /// Split driver outputs into network messages and the final result (if
+    /// the transaction just decided).
+    pub fn take_result(
+        out: &mut Vec<CoordOut<F, R>>,
+    ) -> Option<(TxnId, TxnResult<R>)> {
+        let pos = out
+            .iter()
+            .position(|o| matches!(o, CoordOut::ClientResult { .. }))?;
+        match out.remove(pos) {
+            CoordOut::ClientResult { txn, result, .. } => Some((txn, result)),
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{SimpleMpProcedure, TestFragment, TestOutput};
+    use hcc_common::{AbortReason, CoordinatorRef, PartitionId, Vote};
+
+    fn driver() -> TxnDriver<TestFragment, TestOutput> {
+        TxnDriver::new(CostModel::default(), ClientId(5))
+    }
+
+    fn proc2() -> Box<dyn Procedure<TestFragment, TestOutput>> {
+        Box::new(SimpleMpProcedure {
+            fragments: vec![
+                (PartitionId(0), TestFragment::add(1, 1)),
+                (PartitionId(1), TestFragment::add(2, 1)),
+            ],
+        })
+    }
+
+    fn resp(txn: TxnId, p: u32, vote: Vote) -> FragmentResponse<TestOutput> {
+        FragmentResponse {
+            txn,
+            partition: PartitionId(p),
+            round: 0,
+            attempt: 0,
+            payload: match vote {
+                Vote::Commit => Ok(vec![]),
+                Vote::Abort(r) => Err(r),
+            },
+            vote: Some(vote),
+            depends_on: None,
+        }
+    }
+
+    #[test]
+    fn fragments_are_client_coordinated() {
+        let mut d = driver();
+        let mut out = Vec::new();
+        let txn = TxnId::new(ClientId(5), 0);
+        d.begin(txn, proc2(), false, &mut out);
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            match o {
+                CoordOut::Fragment(_, t) => {
+                    assert_eq!(t.coordinator, CoordinatorRef::Client(ClientId(5)));
+                    assert!(t.last_fragment);
+                }
+                _ => panic!("expected fragments"),
+            }
+        }
+    }
+
+    #[test]
+    fn commit_after_votes_and_result_extracted() {
+        let mut d = driver();
+        let mut out = Vec::new();
+        let txn = TxnId::new(ClientId(5), 0);
+        d.begin(txn, proc2(), false, &mut out);
+        out.clear();
+        d.on_response(resp(txn, 0, Vote::Commit), &mut out);
+        assert!(TxnDriver::take_result(&mut out).is_none());
+        d.on_response(resp(txn, 1, Vote::Commit), &mut out);
+        let (id, result) = TxnDriver::take_result(&mut out).expect("decided");
+        assert_eq!(id, txn);
+        assert!(result.is_committed());
+        // Two commit decisions remain in the outbox.
+        let commits = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, dd) if dd.commit))
+            .count();
+        assert_eq!(commits, 2);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn deadlock_vote_aborts_transaction() {
+        let mut d = driver();
+        let mut out = Vec::new();
+        let txn = TxnId::new(ClientId(5), 0);
+        d.begin(txn, proc2(), false, &mut out);
+        out.clear();
+        d.on_response(resp(txn, 0, Vote::Commit), &mut out);
+        d.on_response(
+            resp(txn, 1, Vote::Abort(AbortReason::LockTimeout)),
+            &mut out,
+        );
+        let (_, result) = TxnDriver::take_result(&mut out).expect("decided");
+        assert_eq!(result, TxnResult::Aborted(AbortReason::LockTimeout));
+        let aborts = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, dd) if !dd.commit))
+            .count();
+        assert_eq!(aborts, 2);
+    }
+}

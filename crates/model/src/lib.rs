@@ -1,0 +1,465 @@
+//! The analytical throughput model of Section 6 of the paper.
+//!
+//! Predicts throughput (transactions/second) for the two-partition
+//! microbenchmark as a function of the multi-partition fraction `f`, for
+//! the blocking, local-speculation, multi-partition-speculation, and
+//! locking schemes. The paper uses this model to validate the measured
+//! system (Figure 10) and suggests a query planner could use it to pick a
+//! scheme at runtime; `hcc-bench` does both (experiment `fig10`, and the
+//! adaptive-selection ablation).
+//!
+//! All formulas are straight from §6; parameters default to the measured
+//! values of Table 2.
+
+use hcc_common::Nanos;
+
+/// Model parameters (paper Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// Time to execute a single-partition transaction non-speculatively.
+    pub t_sp: Nanos,
+    /// Time to execute a single-partition transaction speculatively (with
+    /// undo recording).
+    pub t_sp_s: Nanos,
+    /// Total time for a multi-partition transaction, including resolving
+    /// two-phase commit.
+    pub t_mp: Nanos,
+    /// CPU time used by a multi-partition transaction at one partition.
+    pub t_mp_c: Nanos,
+    /// Locking overhead `l`: fraction of additional execution time
+    /// (Table 2: 13.2% ⇒ 0.132).
+    pub locking_overhead: f64,
+}
+
+impl ModelParams {
+    /// The paper's measured parameters (Table 2).
+    pub fn paper_table2() -> Self {
+        ModelParams {
+            t_sp: Nanos::from_micros(64),
+            t_sp_s: Nanos::from_micros(73),
+            t_mp: Nanos::from_micros(211),
+            t_mp_c: Nanos::from_micros(55),
+            locking_overhead: 0.132,
+        }
+    }
+
+    /// Network stall time t_mpN = t_mp − t_mpC (§6.2).
+    pub fn t_mp_n(&self) -> Nanos {
+        self.t_mp.saturating_sub(self.t_mp_c)
+    }
+
+    fn secs(n: Nanos) -> f64 {
+        n.as_secs_f64()
+    }
+}
+
+/// §6.1 — blocking:
+/// `throughput = 2 / (2·f·t_mp + (1−f)·t_sp)`.
+pub fn blocking_throughput(p: &ModelParams, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    2.0 / (2.0 * f * ModelParams::secs(p.t_mp) + (1.0 - f) * ModelParams::secs(p.t_sp))
+}
+
+/// §6.2 — the number of single-partition transactions each partition can
+/// hide inside one multi-partition stall:
+/// `N_hidden = min((1−f)/2f, t_mpI/t_spS)`.
+pub fn n_hidden(p: &ModelParams, f: f64) -> f64 {
+    if f <= 0.0 {
+        return 0.0;
+    }
+    let t_mp_l = p.t_mp_n().max(p.t_mp_c);
+    let t_mp_i = t_mp_l.saturating_sub(p.t_mp_c);
+    let by_supply = (1.0 - f) / (2.0 * f);
+    let by_idle = ModelParams::secs(t_mp_i) / ModelParams::secs(p.t_sp_s);
+    by_supply.min(by_idle)
+}
+
+/// §6.2 — local speculation (buffered single-partition speculation only):
+/// `throughput = 2 / (2·f·t_mpL + ((1−f) − 2·f·N_hidden)·t_sp)`.
+pub fn local_speculation_throughput(p: &ModelParams, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    if f == 0.0 {
+        return 2.0 / ModelParams::secs(p.t_sp);
+    }
+    let t_mp_l = p.t_mp_n().max(p.t_mp_c);
+    let nh = n_hidden(p, f);
+    2.0 / (2.0 * f * ModelParams::secs(t_mp_l)
+        + ((1.0 - f) - 2.0 * f * nh) * ModelParams::secs(p.t_sp))
+}
+
+/// §6.2.1 — speculating multi-partition transactions:
+/// `t_period = t_mpC + N_hidden·t_spS`, replacing `t_mpL`:
+/// `throughput = 2 / (2·f·t_period + ((1−f) − 2·f·N_hidden)·t_sp)`.
+pub fn speculation_throughput(p: &ModelParams, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    if f == 0.0 {
+        return 2.0 / ModelParams::secs(p.t_sp);
+    }
+    let nh = n_hidden(p, f);
+    let t_period = ModelParams::secs(p.t_mp_c) + nh * ModelParams::secs(p.t_sp_s);
+    2.0 / (2.0 * f * t_period + ((1.0 - f) - 2.0 * f * nh) * ModelParams::secs(p.t_sp))
+}
+
+/// §6.3 — locking (no conflicts):
+/// `throughput = 2 / (2·f·l·t_mpC + (1−f)·l·t_spS)` where `l` is the
+/// overhead multiplier (1 + locking_overhead).
+pub fn locking_throughput(p: &ModelParams, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f));
+    let l = 1.0 + p.locking_overhead;
+    // §6.3: "Since locking always requires undo buffers, we use t_spS...
+    // for multi-partition transactions we use t_mpC" (no stall: locks let
+    // other transactions run during the 2PC wait).
+    2.0 / (2.0 * f * l * ModelParams::secs(p.t_mp_c)
+        + (1.0 - f) * l * ModelParams::secs(p.t_sp_s))
+}
+
+/// Which scheme the model predicts to be fastest at a given `f` — the
+/// paper's "query executor might record statistics at runtime and use a
+/// model like that presented in Section 6 to make the best choice" (§5.7).
+pub fn best_scheme(p: &ModelParams, f: f64) -> &'static str {
+    let b = blocking_throughput(p, f);
+    let s = speculation_throughput(p, f);
+    let l = locking_throughput(p, f);
+    if s >= b && s >= l {
+        "speculation"
+    } else if l >= b {
+        "locking"
+    } else {
+        "blocking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::paper_table2()
+    }
+
+    #[test]
+    fn zero_mp_fraction_all_equal_except_locking_overhead() {
+        // At f = 0 blocking and speculation both run single-partition
+        // transactions at t_sp: 2 partitions / 64 µs ≈ 31 250 tps.
+        let b = blocking_throughput(&p(), 0.0);
+        let s = speculation_throughput(&p(), 0.0);
+        let ls = local_speculation_throughput(&p(), 0.0);
+        assert!((b - 31_250.0).abs() < 1.0, "{b}");
+        assert!((s - b).abs() < 1e-6);
+        assert!((ls - b).abs() < 1e-6);
+        // Locking pays undo + lock overhead even at f = 0 *in the model*
+        // (the real system's fast path avoids it; the paper's model curve
+        // shows the same gap in Figure 10).
+        let l = locking_throughput(&p(), 0.0);
+        assert!(l < b);
+        assert!((l - 2.0 / (1.132 * 73e-6)).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_mp_limits() {
+        // f = 1: blocking = 1/t_mp ≈ 4 739; speculation = 1/t_mpC ≈ 18 182;
+        // locking = 1/(l·t_mpC) ≈ 16 062.
+        let b = blocking_throughput(&p(), 1.0);
+        let s = speculation_throughput(&p(), 1.0);
+        let l = locking_throughput(&p(), 1.0);
+        assert!((b - 1.0 / 211e-6).abs() < 1.0, "{b}");
+        assert!((s - 1.0 / 55e-6).abs() < 1.0, "{s}");
+        assert!((l - 1.0 / (1.132 * 55e-6)).abs() < 1.0, "{l}");
+    }
+
+    #[test]
+    fn blocking_decreases_monotonically() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let f = i as f64 / 100.0;
+            let t = blocking_throughput(&p(), f);
+            assert!(t <= prev + 1e-9);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn n_hidden_regimes() {
+        // Small f: plenty of idle, limited by... supply = (1-f)/2f = 49.5
+        // at f = 0.01, idle = (156 − 55)/73 ≈ 1.38 ⇒ idle-limited.
+        let nh = n_hidden(&p(), 0.01);
+        assert!((nh - (156.0 - 55.0) / 73.0).abs() < 1e-2, "{nh}");
+        // Large f: supply-limited. f = 0.9 ⇒ (1−0.9)/1.8 ≈ 0.0556.
+        let nh = n_hidden(&p(), 0.9);
+        assert!((nh - 0.1 / 1.8).abs() < 1e-6);
+        // f = 0 ⇒ nothing to hide behind.
+        assert_eq!(n_hidden(&p(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn speculation_beats_blocking_everywhere_beyond_zero() {
+        for i in 1..=100 {
+            let f = i as f64 / 100.0;
+            assert!(
+                speculation_throughput(&p(), f) > blocking_throughput(&p(), f),
+                "f={f}"
+            );
+        }
+    }
+
+    #[test]
+    fn mp_speculation_beats_local_speculation_at_high_f() {
+        // §6.4: "speculating multi-partition transactions leads to a
+        // substantial improvement when they comprise a large fraction of
+        // the workload."
+        let s = speculation_throughput(&p(), 0.8);
+        let ls = local_speculation_throughput(&p(), 0.8);
+        assert!(s > 1.5 * ls, "spec {s} vs local {ls}");
+        // And they nearly coincide while the stall is fully hidden (low f).
+        let s = speculation_throughput(&p(), 0.02);
+        let ls = local_speculation_throughput(&p(), 0.02);
+        assert!((s - ls) / s < 0.05, "{s} vs {ls}");
+    }
+
+    #[test]
+    fn speculation_beats_locking_in_paper_parameter_range() {
+        // With Table 2 parameters the model predicts speculation ≥ locking
+        // for all f (the measured crossover in Fig. 4 comes from the
+        // coordinator bottleneck, which §6 deliberately excludes).
+        for i in 0..=100 {
+            let f = i as f64 / 100.0;
+            assert!(
+                speculation_throughput(&p(), f) >= locking_throughput(&p(), f) * 0.999,
+                "f={f}"
+            );
+        }
+    }
+
+    #[test]
+    fn locking_beats_blocking_for_mp_heavy_loads() {
+        assert!(locking_throughput(&p(), 0.5) > blocking_throughput(&p(), 0.5));
+        assert!(locking_throughput(&p(), 1.0) > blocking_throughput(&p(), 1.0));
+        // ...but loses at f = 0 where blocking rides the fast path.
+        assert!(locking_throughput(&p(), 0.0) < blocking_throughput(&p(), 0.0));
+    }
+
+    #[test]
+    fn local_speculation_kink_at_supply_equals_idle() {
+        // The paper: "the throughput will drop rapidly as f increases past
+        // t_spS / (2·t_mpI + t_spS)". With Table 2: 73/(2·101+73) ≈ 0.265.
+        let f_kink = 73.0 / (2.0 * 101.0 + 73.0);
+        let before = local_speculation_throughput(&p(), f_kink - 0.05);
+        let at = local_speculation_throughput(&p(), f_kink);
+        let after = local_speculation_throughput(&p(), f_kink + 0.05);
+        let slope_before = (before - at) / 0.05;
+        let slope_after = (at - after) / 0.05;
+        assert!(
+            slope_after > slope_before * 1.5,
+            "kink: {slope_before} vs {slope_after}"
+        );
+    }
+
+    #[test]
+    fn best_scheme_predictions() {
+        assert_eq!(best_scheme(&p(), 0.05), "speculation");
+        assert_eq!(best_scheme(&p(), 0.5), "speculation");
+    }
+
+    #[test]
+    fn t_mp_n_derivation() {
+        // §6.2: t_mpN = t_mp − t_mpC = 211 − 55 = 156 µs.
+        assert_eq!(p().t_mp_n(), Nanos::from_micros(156));
+    }
+}
+
+/// Runtime workload statistics, as a query executor would collect them
+/// (§5.7: "we imagine that a query executor might record statistics at
+/// runtime and use a model like that presented in Section 6 below to make
+/// the best choice").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadProfile {
+    /// Fraction of transactions that are multi-partition.
+    pub mp_fraction: f64,
+    /// Fraction of transactions that abort (user aborts).
+    pub abort_rate: f64,
+    /// Fraction of lock acquisitions that conflict (wait), under locking —
+    /// or an estimate from data-access overlap.
+    pub conflict_rate: f64,
+    /// Fraction of multi-partition transactions needing more than one
+    /// round of communication.
+    pub multi_round_fraction: f64,
+    /// Central-coordinator CPU seconds consumed per multi-partition
+    /// transaction (≈ messages handled × per-message cost). The §6 model
+    /// deliberately omits the coordinator; a planner that has measured it
+    /// should cap speculation's score by the resulting ceiling
+    /// (paper §5.1: the coordinator saturates and bends the measured
+    /// curve below the model). 0 disables the cap.
+    pub coord_cost_per_mp_secs: f64,
+}
+
+/// Scheme recommendation with the adjusted scores behind it.
+#[derive(Debug, Clone, Copy)]
+pub struct Recommendation {
+    pub scheme: &'static str,
+    pub blocking_score: f64,
+    pub speculation_score: f64,
+    pub locking_score: f64,
+}
+
+/// Pick a concurrency control scheme from measured statistics — Table 1 as
+/// an executable policy.
+///
+/// Scores start from the §6 model and are discounted by the effects the
+/// model omits:
+/// * **speculation** pays cascades: each abort squashes ~`N_hidden`
+///   speculated transactions, so its useful-work fraction shrinks by
+///   `1 / (1 + abort_rate · (1 + N_hidden))`; multi-round transactions
+///   barely speculate at all (§5.4), so their share is served at blocking
+///   speed;
+/// * **locking** pays conflicts: waits serialize transactions behind
+///   stalled lock holders, pushing throughput toward blocking as the
+///   conflict rate grows (§5.2);
+/// * **blocking** is already the floor the others degrade to.
+pub fn recommend(p: &ModelParams, w: &WorkloadProfile) -> Recommendation {
+    let f = w.mp_fraction.clamp(0.0, 1.0);
+    let blocking = blocking_throughput(p, f);
+
+    // Speculation: multi-round share behaves like blocking; single-round
+    // share speculates but wastes work on cascades.
+    let nh = n_hidden(p, f);
+    let cascade_waste = 1.0 / (1.0 + w.abort_rate * (1.0 + nh));
+    let mut spec_single_round = speculation_throughput(p, f) * cascade_waste;
+    if w.coord_cost_per_mp_secs > 0.0 && f > 0.0 {
+        // Blocking and locking never saturate the coordinator (blocking is
+        // stall-bound below the ceiling; locking bypasses it entirely),
+        // but speculation runs straight into it.
+        spec_single_round = spec_single_round.min(1.0 / (f * w.coord_cost_per_mp_secs));
+    }
+    let speculation = w.multi_round_fraction * blocking
+        + (1.0 - w.multi_round_fraction) * spec_single_round;
+
+    // Locking: interpolate toward its conflicted floor as conflicts grow.
+    // Figure 5 shows fully-conflicted locking settling near 1.5–2× the
+    // blocking level (each transaction conflicts at only one partition,
+    // "so it still performs some work concurrently"), never below it.
+    let lock_free = locking_throughput(p, f);
+    let conflicted_floor = (1.5 * blocking).min(lock_free);
+    let locking = lock_free * (1.0 - w.conflict_rate) + conflicted_floor * w.conflict_rate;
+
+    let scheme = if speculation >= blocking && speculation >= locking {
+        "speculation"
+    } else if locking >= blocking {
+        "locking"
+    } else {
+        "blocking"
+    };
+    Recommendation {
+        scheme,
+        blocking_score: blocking,
+        speculation_score: speculation,
+        locking_score: locking,
+    }
+}
+
+#[cfg(test)]
+mod advisor_tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::paper_table2()
+    }
+
+    #[test]
+    fn clean_single_round_workloads_pick_speculation() {
+        // Table 1: "Speculation is preferred when there are few
+        // multi-round transactions and few aborts."
+        for f in [0.05, 0.2, 0.5, 0.9] {
+            let w = WorkloadProfile {
+                mp_fraction: f,
+                ..Default::default()
+            };
+            assert_eq!(recommend(&p(), &w).scheme, "speculation", "f={f}");
+        }
+    }
+
+    #[test]
+    fn multi_round_workloads_pick_locking() {
+        // Table 1: "Many multi-round xactions → Locking" in every column.
+        for (aborts, conflicts) in [(0.0, 0.0), (0.2, 0.0), (0.0, 0.9), (0.2, 0.9)] {
+            let w = WorkloadProfile {
+                mp_fraction: 0.3,
+                abort_rate: aborts,
+                conflict_rate: conflicts,
+                multi_round_fraction: 0.9,
+                ..Default::default()
+            };
+            assert_eq!(
+                recommend(&p(), &w).scheme,
+                "locking",
+                "aborts={aborts} conflicts={conflicts}"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_heavy_workloads_abandon_speculation() {
+        let w = WorkloadProfile {
+            mp_fraction: 0.4,
+            abort_rate: 0.25,
+            ..Default::default()
+        };
+        let r = recommend(&p(), &w);
+        assert_ne!(r.scheme, "speculation");
+        assert!(r.speculation_score < r.locking_score);
+    }
+
+    #[test]
+    fn abort_heavy_and_conflicted_tends_toward_blocking() {
+        // Table 1's bottom-right corner: few MP + many aborts + many
+        // conflicts → blocking.
+        let w = WorkloadProfile {
+            mp_fraction: 0.03,
+            abort_rate: 0.30,
+            conflict_rate: 0.95,
+            multi_round_fraction: 0.0,
+            ..Default::default()
+        };
+        let r = recommend(&p(), &w);
+        assert!(
+            r.scheme == "blocking" || r.blocking_score * 1.05 > r.speculation_score,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn conflicts_do_not_move_speculation_score() {
+        let base = WorkloadProfile {
+            mp_fraction: 0.3,
+            ..Default::default()
+        };
+        let conflicted = WorkloadProfile {
+            conflict_rate: 0.9,
+            ..base
+        };
+        let a = recommend(&p(), &base);
+        let b = recommend(&p(), &conflicted);
+        assert_eq!(a.speculation_score, b.speculation_score);
+        assert!(b.locking_score < a.locking_score);
+    }
+
+    #[test]
+    fn scores_are_all_positive_and_finite() {
+        for f in [0.0, 0.5, 1.0] {
+            for a in [0.0, 0.5] {
+                for c in [0.0, 1.0] {
+                    let w = WorkloadProfile {
+                        mp_fraction: f,
+                        abort_rate: a,
+                        conflict_rate: c,
+                        multi_round_fraction: 0.5,
+                        ..Default::default()
+                    };
+                    let r = recommend(&p(), &w);
+                    for s in [r.blocking_score, r.speculation_score, r.locking_score] {
+                        assert!(s.is_finite() && s > 0.0, "{r:?}");
+                    }
+                }
+            }
+        }
+    }
+}

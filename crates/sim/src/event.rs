@@ -1,0 +1,83 @@
+//! Event queue plumbing.
+
+use hcc_common::{ClientId, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, TxnId};
+use hcc_core::{ExecutionEngine, Procedure};
+use std::cmp::Ordering;
+
+/// A message delivered to a partition.
+pub enum PartIn<F> {
+    Fragment(FragmentTask<F>),
+    Decision(Decision),
+}
+
+/// A message delivered to the central coordinator.
+pub enum CoordIn<E: ExecutionEngine> {
+    Invoke {
+        txn: TxnId,
+        client: ClientId,
+        procedure: Box<dyn Procedure<E::Fragment, E::Output>>,
+        can_abort: bool,
+    },
+    Response(FragmentResponse<E::Output>),
+    /// Periodic maintenance: expire transactions stalled on a failed
+    /// participant.
+    Tick,
+}
+
+/// A message delivered to a client.
+pub enum ClientIn<R> {
+    /// Final transaction result (from a partition, the central
+    /// coordinator, or the client's own transaction driver).
+    Result {
+        txn: TxnId,
+        result: hcc_common::TxnResult<R>,
+    },
+    /// A fragment response for a client-coordinated transaction (locking).
+    FragResponse(FragmentResponse<R>),
+}
+
+/// Everything that can happen in the simulation.
+pub enum Ev<E: ExecutionEngine> {
+    ToPartition {
+        p: PartitionId,
+        msg: PartIn<E::Fragment>,
+    },
+    ToCoordinator(CoordIn<E>),
+    ToClient {
+        c: ClientId,
+        msg: ClientIn<E::Output>,
+    },
+    /// Scheduler maintenance (lock-wait timeout scan).
+    Tick {
+        p: PartitionId,
+    },
+}
+
+/// Heap entry ordered by (time, sequence); the sequence number makes the
+/// run a total order, hence deterministic.
+pub struct HeapItem<E: ExecutionEngine> {
+    pub at: Nanos,
+    pub seq: u64,
+    pub ev: Ev<E>,
+}
+
+impl<E: ExecutionEngine> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E: ExecutionEngine> Eq for HeapItem<E> {}
+
+impl<E: ExecutionEngine> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: ExecutionEngine> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}

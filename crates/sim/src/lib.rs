@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulator for the `hcc` system.
+//!
+//! Reproduces the paper's testbed — single-threaded partitions, a central
+//! coordinator, closed-loop clients, a switched network — as actors on a
+//! virtual clock. **Only time is modeled**: every transaction really
+//! executes against real storage through the real schedulers from
+//! `hcc-core`, so correctness properties (serializability, 2PC atomicity,
+//! TPC-C consistency) are checked on exactly the code the benchmarks
+//! measure.
+//!
+//! Time accounting: each actor has a busy-until clock. A message delivered
+//! at `t` starts processing at `max(t, busy)`; the handler's virtual CPU
+//! (from the calibrated [`hcc_common::CostModel`]) advances the clock, and
+//! output messages depart then, arriving `one_way` later. Per-link FIFO is
+//! preserved (constant latency + monotone departure times + a global
+//! tie-break sequence), which the speculation protocol relies on.
+//!
+//! The simulator can also maintain a **shadow replica** per partition that
+//! applies committed transactions in commit order, exactly like the
+//! paper's backups ("the backups execute the transactions in the
+//! sequential order received from the primary"). Comparing primary and
+//! shadow state at the end doubles as a serializability check: the shadow
+//! *is* the serial execution in commit order.
+
+mod event;
+mod report;
+mod simulation;
+
+pub use report::SimReport;
+pub use simulation::{run_with, SimConfig, Simulation};

@@ -1,0 +1,63 @@
+//! Results of a simulation run.
+
+use hcc_common::stats::{LatencyHistogram, SchedulerCounters};
+use hcc_common::Nanos;
+use hcc_core::coordinator::CoordCounters;
+
+/// Everything measured during the measurement window of one run.
+pub struct SimReport {
+    /// Transactions completed (committed) during the window.
+    pub committed: u64,
+    /// Final user aborts during the window (completed, not retried).
+    pub user_aborts: u64,
+    /// Scheduling-abort retries during the window (deadlock, timeout).
+    pub retries: u64,
+    /// Committed multi-partition transactions during the window.
+    pub committed_mp: u64,
+    /// Committed transactions ÷ window length.
+    pub throughput_tps: f64,
+    /// End-to-end latency of committed transactions (submission of the
+    /// first attempt → result).
+    pub latency: LatencyHistogram,
+    /// Scheduler counters summed over partitions (whole run, not just the
+    /// window).
+    pub sched: SchedulerCounters,
+    /// Central coordinator counters (whole run).
+    pub coord: CoordCounters,
+    /// Virtual time simulated.
+    pub simulated: Nanos,
+    /// Wall-clock events processed (sanity/perf diagnostics).
+    pub events_processed: u64,
+    /// Fraction of virtual time each partition spent busy during the
+    /// window (mean across partitions).
+    pub partition_utilization: f64,
+    /// Fraction of virtual time the coordinator spent busy in the window.
+    pub coordinator_utilization: f64,
+}
+
+impl SimReport {
+    /// Measured multi-partition fraction of completed transactions.
+    pub fn mp_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.committed_mp as f64 / self.committed as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} tps ({} committed, {} user aborts, {} retries, mp {:.1}%, p50 {} p99 {}, part util {:.0}%, coord util {:.0}%)",
+            self.throughput_tps,
+            self.committed,
+            self.user_aborts,
+            self.retries,
+            self.mp_fraction() * 100.0,
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.99),
+            self.partition_utilization * 100.0,
+            self.coordinator_utilization * 100.0,
+        )
+    }
+}

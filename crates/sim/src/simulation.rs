@@ -1,0 +1,616 @@
+//! The simulation driver: actors, routing, time accounting, metrics.
+
+use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
+use crate::report::SimReport;
+use hcc_common::stats::{LatencyHistogram, SchedulerCounters};
+use hcc_common::{
+    ClientId, CoordinatorRef, FragmentTask, Nanos, PartitionId, Scheme, SystemConfig, TxnId,
+    TxnResult,
+};
+use hcc_core::client::{ClientCore, NextAction, PendingRequest};
+use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::txn_driver::TxnDriver;
+use hcc_core::{make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator, Scheduler};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Simulation parameters: the system under test plus the measurement
+/// protocol (the paper uses 15 s warm-up and 60 s measurement; scaled-down
+/// virtual windows give the same steady-state numbers in a fraction of the
+/// host time, and the bench harness verifies window-insensitivity).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub system: SystemConfig,
+    pub warmup: Nanos,
+    pub measure: Nanos,
+    /// Maintain a shadow replica per partition, applying committed
+    /// transactions in commit order, and expose it for state comparison
+    /// (doubles as the paper's backup replication and as a
+    /// serializability check).
+    pub shadow_replica: bool,
+    /// Fault injection: at the given time, the partition crashes — it
+    /// silently drops every message from then on (§3.3's failure model:
+    /// "the transaction causes one partition to crash or the network
+    /// splits during execution").
+    pub fail_partition: Option<(Nanos, PartitionId)>,
+    /// When set, the central coordinator aborts transactions pending
+    /// longer than this (the 2PC recovery path for participant failure).
+    pub coordinator_timeout: Option<Nanos>,
+}
+
+impl SimConfig {
+    pub fn new(system: SystemConfig) -> Self {
+        SimConfig {
+            system,
+            warmup: Nanos::from_millis(200),
+            measure: Nanos::from_millis(1000),
+            shadow_replica: false,
+            fail_partition: None,
+            coordinator_timeout: None,
+        }
+    }
+
+    /// Crash `partition` at time `at` and enable coordinator expiry of
+    /// stalled transactions.
+    pub fn with_partition_failure(mut self, at: Nanos, partition: PartitionId) -> Self {
+        self.fail_partition = Some((at, partition));
+        self.coordinator_timeout = Some(Nanos::from_millis(2));
+        self
+    }
+
+    pub fn with_window(mut self, warmup: Nanos, measure: Nanos) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    pub fn with_shadow(mut self) -> Self {
+        self.shadow_replica = true;
+        self
+    }
+}
+
+struct SimClient<E: ExecutionEngine> {
+    core: ClientCore,
+    pending: Option<PendingRequest<E::Fragment, E::Output>>,
+    driver: TxnDriver<E::Fragment, E::Output>,
+    current_txn: Option<TxnId>,
+    current_is_mp: bool,
+    submitted_at: Nanos,
+    busy: Nanos,
+}
+
+/// One run of the system under a workload. Deterministic given the config
+/// and workload seed.
+pub struct Simulation<W: RequestGenerator> {
+    cfg: SimConfig,
+    workload: W,
+    queue: BinaryHeap<HeapItem<W::Engine>>,
+    seq: u64,
+    now: Nanos,
+
+    engines: Vec<W::Engine>,
+    scheds: Vec<Box<dyn Scheduler<W::Engine>>>,
+    part_busy: Vec<Nanos>,
+    part_busy_in_window: Vec<u64>,
+    tick_pending: Vec<bool>,
+
+    coord: Coordinator<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
+    coord_busy: Nanos,
+    coord_busy_in_window: u64,
+
+    clients: Vec<SimClient<W::Engine>>,
+
+    shadow: Option<Vec<W::Engine>>,
+    /// Fragments delivered per (partition, txn), by round, for shadow
+    /// replay (latest fragment per round wins — a squashed continuation is
+    /// superseded by its re-sent version).
+    pending_frags: Vec<HashMap<TxnId, Vec<(u32, FragmentTask<<W::Engine as ExecutionEngine>::Fragment>)>>>,
+
+    /// After the measurement window the simulation *drains*: clients stop
+    /// issuing new requests and all in-flight transactions complete, so
+    /// final primary and shadow states are comparable.
+    draining: bool,
+
+    // Metrics.
+    window_start: Nanos,
+    window_end: Nanos,
+    committed: u64,
+    committed_mp: u64,
+    user_aborts: u64,
+    retries: u64,
+    latency: LatencyHistogram,
+    events: u64,
+}
+
+impl<W: RequestGenerator> Simulation<W>
+where
+    W::Engine: 'static,
+{
+    /// Build a simulation: `build_engine` constructs each partition's
+    /// loaded engine (and the shadow copy when enabled).
+    pub fn new(cfg: SimConfig, workload: W, build_engine: impl Fn(PartitionId) -> W::Engine) -> Self {
+        let n = cfg.system.partitions as usize;
+        let engines: Vec<W::Engine> = (0..n).map(|p| build_engine(PartitionId(p as u32))).collect();
+        let shadow = cfg
+            .shadow_replica
+            .then(|| (0..n).map(|p| build_engine(PartitionId(p as u32))).collect());
+        let scheds = (0..n)
+            .map(|p| make_scheduler::<W::Engine>(&cfg.system, PartitionId(p as u32)))
+            .collect();
+        let clients = (0..cfg.system.clients)
+            .map(|c| SimClient {
+                core: ClientCore::new(ClientId(c)),
+                pending: None,
+                driver: TxnDriver::new(cfg.system.costs, ClientId(c)),
+                current_txn: None,
+                current_is_mp: false,
+                submitted_at: Nanos::ZERO,
+                busy: Nanos::ZERO,
+            })
+            .collect();
+        let window_start = cfg.warmup;
+        let window_end = cfg.warmup + cfg.measure;
+        Simulation {
+            coord: Coordinator::central(cfg.system.costs),
+            cfg,
+            workload,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+            engines,
+            scheds,
+            part_busy: vec![Nanos::ZERO; n],
+            part_busy_in_window: vec![0; n],
+            tick_pending: vec![false; n],
+            coord_busy: Nanos::ZERO,
+            coord_busy_in_window: 0,
+            clients,
+            shadow,
+            draining: false,
+            pending_frags: (0..n).map(|_| HashMap::new()).collect(),
+            window_start,
+            window_end,
+            committed: 0,
+            committed_mp: 0,
+            user_aborts: 0,
+            retries: 0,
+            latency: LatencyHistogram::default(),
+            events: 0,
+        }
+    }
+
+    fn push(&mut self, at: Nanos, ev: Ev<W::Engine>) {
+        self.seq += 1;
+        self.queue.push(HeapItem {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn one_way(&self) -> Nanos {
+        self.cfg.system.network.one_way
+    }
+
+    /// Account busy time clipped to the measurement window.
+    fn window_overlap(&self, start: Nanos, end: Nanos) -> u64 {
+        let s = start.max(self.window_start);
+        let e = end.min(self.window_end);
+        e.0.saturating_sub(s.0)
+    }
+
+    /// Dispatch a request for client `c` at local time `at`.
+    fn dispatch(&mut self, c: usize, at: Nanos) {
+        let pending = self.clients[c].pending.as_ref().expect("pending request");
+        let req = pending.to_request();
+        let txn = self.clients[c].core.next_txn_id();
+        self.clients[c].current_txn = Some(txn);
+        let one_way = self.one_way();
+        let client_id = ClientId(c as u32);
+        match req {
+            Request::SinglePartition {
+                partition,
+                fragment,
+                can_abort,
+            } => {
+                self.clients[c].current_is_mp = false;
+                let task = FragmentTask {
+                    txn,
+                    coordinator: CoordinatorRef::Client(client_id),
+                    client: client_id,
+                    fragment,
+                    multi_partition: false,
+                    last_fragment: true,
+                    round: 0,
+                    can_abort,
+                };
+                self.push(at + one_way, Ev::ToPartition {
+                    p: partition,
+                    msg: PartIn::Fragment(task),
+                });
+            }
+            Request::MultiPartition {
+                procedure,
+                can_abort,
+            } => {
+                self.clients[c].current_is_mp = true;
+                match self.cfg.system.scheme {
+                    Scheme::Locking => {
+                        // Client-coordinated 2PC (§4.3).
+                        let mut out = Vec::new();
+                        self.clients[c]
+                            .driver
+                            .begin(txn, procedure, can_abort, &mut out);
+                        let cpu = self.clients[c].driver.take_cpu();
+                        let start = at.max(self.clients[c].busy);
+                        self.clients[c].busy = start + cpu;
+                        let depart = self.clients[c].busy;
+                        self.route_coord_out(out, depart, Some(c));
+                    }
+                    _ => {
+                        self.push(at + one_way, Ev::ToCoordinator(CoordIn::Invoke {
+                            txn,
+                            client: client_id,
+                            procedure,
+                            can_abort,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Route coordinator (or client-driver) outputs. `from_client` is the
+    /// index of the driving client for locking-mode self-results.
+    fn route_coord_out(
+        &mut self,
+        out: Vec<CoordOut<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>>,
+        depart: Nanos,
+        from_client: Option<usize>,
+    ) {
+        let one_way = self.one_way();
+        for o in out {
+            match o {
+                CoordOut::Fragment(p, task) => {
+                    self.push(depart + one_way, Ev::ToPartition {
+                        p,
+                        msg: PartIn::Fragment(task),
+                    });
+                }
+                CoordOut::Decision(p, d) => {
+                    self.push(depart + one_way, Ev::ToPartition {
+                        p,
+                        msg: PartIn::Decision(d),
+                    });
+                }
+                CoordOut::ClientResult {
+                    client,
+                    txn,
+                    result,
+                } => {
+                    // From the central coordinator this crosses the
+                    // network; from a client's own driver it is local.
+                    let delay = if from_client.is_some() {
+                        Nanos::ZERO
+                    } else {
+                        one_way
+                    };
+                    self.push(depart + delay, Ev::ToClient {
+                        c: client,
+                        msg: ClientIn::Result { txn, result },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Record a delivered fragment for shadow replay (latest per round).
+    fn record_fragment(&mut self, p: usize, task: &FragmentTask<<W::Engine as ExecutionEngine>::Fragment>) {
+        if self.shadow.is_none() {
+            return;
+        }
+        let entry = self.pending_frags[p].entry(task.txn).or_default();
+        entry.retain(|(r, _)| *r != task.round);
+        entry.push((task.round, task.clone()));
+    }
+
+    /// Apply a committed transaction's fragments to the shadow replica, in
+    /// round order — the paper's backup execution.
+    fn shadow_commit(&mut self, p: usize, txn: TxnId) {
+        let Some(shadow) = self.shadow.as_mut() else {
+            return;
+        };
+        let Some(mut frags) = self.pending_frags[p].remove(&txn) else {
+            return;
+        };
+        frags.sort_by_key(|(r, _)| *r);
+        for (_, task) in frags {
+            let out = shadow[p].execute(txn, &task.fragment, false);
+            debug_assert!(
+                out.result.is_ok(),
+                "shadow replay of committed {txn} failed at P{p}"
+            );
+        }
+        shadow[p].forget(txn);
+    }
+
+    fn shadow_abort(&mut self, p: usize, txn: TxnId) {
+        if self.shadow.is_some() {
+            self.pending_frags[p].remove(&txn);
+        }
+    }
+
+    /// Handle partition scheduler outputs: route messages, apply shadow
+    /// commits for single-partition results.
+    fn route_partition_out(
+        &mut self,
+        p: usize,
+        msgs: Vec<PartitionOut<<W::Engine as ExecutionEngine>::Output>>,
+        depart: Nanos,
+    ) {
+        let one_way = self.one_way();
+        for m in msgs {
+            match m {
+                PartitionOut::ToClient {
+                    client,
+                    txn,
+                    result,
+                } => {
+                    match &result {
+                        TxnResult::Committed(_) => self.shadow_commit(p, txn),
+                        TxnResult::Aborted(_) => self.shadow_abort(p, txn),
+                    }
+                    self.push(depart + one_way, Ev::ToClient {
+                        c: client,
+                        msg: ClientIn::Result { txn, result },
+                    });
+                }
+                PartitionOut::ToCoordinator { dest, response } => match dest {
+                    CoordinatorRef::Central => {
+                        self.push(depart + one_way, Ev::ToCoordinator(CoordIn::Response(response)));
+                    }
+                    CoordinatorRef::Client(cid) => {
+                        self.push(depart + one_way, Ev::ToClient {
+                            c: cid,
+                            msg: ClientIn::FragResponse(response),
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    fn handle_partition(&mut self, p: PartitionId, msg: PartIn<<W::Engine as ExecutionEngine>::Fragment>, at: Nanos) {
+        // A crashed partition drops everything on the floor.
+        if let Some((when, failed)) = self.cfg.fail_partition {
+            if p == failed && at >= when {
+                return;
+            }
+        }
+        let pi = p.as_usize();
+        let start = at.max(self.part_busy[pi]);
+        let mut out = Outbox::new(self.cfg.system.costs);
+        match msg {
+            PartIn::Fragment(task) => {
+                self.record_fragment(pi, &task);
+                self.scheds[pi].on_fragment(task, &mut self.engines[pi], start, &mut out);
+            }
+            PartIn::Decision(d) => {
+                if d.commit {
+                    self.shadow_commit(pi, d.txn);
+                } else {
+                    self.shadow_abort(pi, d.txn);
+                }
+                self.scheds[pi].on_decision(d, &mut self.engines[pi], start, &mut out);
+            }
+        }
+        let (msgs, cpu) = out.take();
+        let end = start + cpu;
+        self.part_busy[pi] = end;
+        self.part_busy_in_window[pi] += self.window_overlap(start, end);
+        // Replication: result-bearing messages wait for backup acks (one
+        // round trip to the backups), overlapped with execution (§3.2).
+        let depart = if self.cfg.system.replication > 1 {
+            end.max(at + Nanos(2 * self.one_way().0))
+        } else {
+            end
+        };
+        self.route_partition_out(pi, msgs, depart);
+        // Locking needs periodic timeout scans while work is outstanding.
+        if self.cfg.system.scheme == Scheme::Locking
+            && !self.tick_pending[pi]
+            && !self.scheds[pi].is_idle()
+        {
+            self.tick_pending[pi] = true;
+            let delay = Nanos(self.cfg.system.lock_timeout.0 / 4).max(Nanos(1));
+            self.push(end + delay, Ev::Tick { p });
+        }
+    }
+
+    fn handle_tick(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        self.tick_pending[pi] = false;
+        let start = at.max(self.part_busy[pi]);
+        let mut out = Outbox::new(self.cfg.system.costs);
+        let next = self.scheds[pi].on_tick(&mut self.engines[pi], start, &mut out);
+        let (msgs, cpu) = out.take();
+        let end = start + cpu;
+        self.part_busy[pi] = end;
+        self.part_busy_in_window[pi] += self.window_overlap(start, end);
+        self.route_partition_out(pi, msgs, end);
+        if let Some(delay) = next {
+            self.tick_pending[pi] = true;
+            self.push(end + delay, Ev::Tick { p });
+        }
+    }
+
+    fn handle_coordinator(&mut self, msg: CoordIn<W::Engine>, at: Nanos) {
+        let start = at.max(self.coord_busy);
+        let mut out = Vec::new();
+        match msg {
+            CoordIn::Invoke {
+                txn,
+                client,
+                procedure,
+                can_abort,
+            } => self
+                .coord
+                .on_invoke_at(txn, client, procedure, can_abort, start, &mut out),
+            CoordIn::Response(r) => self.coord.on_response(r, &mut out),
+            CoordIn::Tick => {
+                if let Some(timeout) = self.cfg.coordinator_timeout {
+                    self.coord.expire_stalled(start, timeout, &mut out);
+                    // Tick until the window closes, then once more per
+                    // pending txn during the drain (bounded, so the drain
+                    // terminates).
+                    if start < self.window_end || self.coord.pending() > 0 {
+                        self.push(
+                            start + Nanos(timeout.0 / 2).max(Nanos(1)),
+                            Ev::ToCoordinator(CoordIn::Tick),
+                        );
+                    }
+                }
+            }
+        }
+        let cpu = self.coord.take_cpu();
+        let end = start + cpu;
+        self.coord_busy = end;
+        self.coord_busy_in_window += self.window_overlap(start, end);
+        self.route_coord_out(out, end, None);
+    }
+
+    fn handle_client(&mut self, c: ClientId, msg: ClientIn<<W::Engine as ExecutionEngine>::Output>, at: Nanos) {
+        let ci = c.as_usize();
+        match msg {
+            ClientIn::Result { txn, result } => {
+                debug_assert_eq!(self.clients[ci].current_txn, Some(txn), "stray result");
+                let in_window = at >= self.window_start && at < self.window_end;
+                match self.clients[ci].core.on_result(&result) {
+                    NextAction::Retry => {
+                        if in_window {
+                            self.retries += 1;
+                        }
+                        if !self.draining {
+                            self.dispatch(ci, at);
+                        }
+                    }
+                    NextAction::NewRequest => {
+                        if in_window {
+                            match &result {
+                                TxnResult::Committed(_) => {
+                                    self.committed += 1;
+                                    if self.clients[ci].current_is_mp {
+                                        self.committed_mp += 1;
+                                    }
+                                    self.latency
+                                        .record(at.saturating_sub(self.clients[ci].submitted_at));
+                                }
+                                TxnResult::Aborted(_) => self.user_aborts += 1,
+                            }
+                        }
+                        self.workload
+                            .on_result(c, txn, result.is_committed());
+                        if !self.draining {
+                            let req = self.workload.next_request(c);
+                            self.clients[ci].pending = Some(PendingRequest::from_request(&req));
+                            self.clients[ci].submitted_at = at;
+                            self.dispatch(ci, at);
+                        }
+                    }
+                }
+            }
+            ClientIn::FragResponse(r) => {
+                let start = at.max(self.clients[ci].busy);
+                let mut out = Vec::new();
+                self.clients[ci].driver.on_response(r, &mut out);
+                let cpu = self.clients[ci].driver.take_cpu();
+                self.clients[ci].busy = start + cpu;
+                let depart = self.clients[ci].busy;
+                self.route_coord_out(out, depart, Some(ci));
+            }
+        }
+    }
+
+    /// Run to the end of the measurement window and report.
+    pub fn run(mut self) -> (SimReport, W, Vec<W::Engine>, Option<Vec<W::Engine>>) {
+        if self.cfg.coordinator_timeout.is_some() {
+            self.push(Nanos(1), Ev::ToCoordinator(CoordIn::Tick));
+        }
+        // Kick off every client at t = 0.
+        for c in 0..self.clients.len() {
+            let req = self.workload.next_request(ClientId(c as u32));
+            self.clients[c].pending = Some(PendingRequest::from_request(&req));
+            self.clients[c].submitted_at = Nanos::ZERO;
+            self.dispatch(c, Nanos::ZERO);
+        }
+
+        let end = self.window_end;
+        // Hard stop far beyond the window: if in-flight work has not
+        // drained by then, something is livelocked (a bug tests should
+        // catch, not hang on).
+        let drain_deadline = Nanos(end.0 + end.0 + Nanos::from_secs(10).0);
+        while let Some(item) = self.queue.pop() {
+            if item.at >= end {
+                self.draining = true;
+            }
+            if item.at >= drain_deadline {
+                panic!("simulation failed to drain: event at {}", item.at);
+            }
+            self.now = item.at;
+            self.events += 1;
+            match item.ev {
+                Ev::ToPartition { p, msg } => self.handle_partition(p, msg, item.at),
+                Ev::ToCoordinator(msg) => self.handle_coordinator(msg, item.at),
+                Ev::ToClient { c, msg } => self.handle_client(c, msg, item.at),
+                Ev::Tick { p } => self.handle_tick(p, item.at),
+            }
+        }
+        debug_assert!(
+            self.scheds.iter().enumerate().all(|(p, s)| {
+                // A crashed partition keeps whatever was in flight.
+                let failed = matches!(self.cfg.fail_partition, Some((_, fp)) if fp.as_usize() == p);
+                failed || s.is_idle()
+            }),
+            "schedulers not idle after drain"
+        );
+
+        let mut sched = SchedulerCounters::default();
+        for s in &self.scheds {
+            sched.merge(&s.counters());
+        }
+        let window = self.cfg.measure.as_secs_f64();
+        let n = self.engines.len() as f64;
+        let report = SimReport {
+            committed: self.committed,
+            user_aborts: self.user_aborts,
+            retries: self.retries,
+            committed_mp: self.committed_mp,
+            throughput_tps: self.committed as f64 / window,
+            latency: self.latency,
+            sched,
+            coord: self.coord.counters,
+            simulated: end,
+            events_processed: self.events,
+            partition_utilization: self
+                .part_busy_in_window
+                .iter()
+                .map(|&b| b as f64 / self.cfg.measure.0 as f64)
+                .sum::<f64>()
+                / n,
+            coordinator_utilization: self.coord_busy_in_window as f64 / self.cfg.measure.0 as f64,
+        };
+        (report, self.workload, self.engines, self.shadow)
+    }
+}
+
+/// Convenience: run a microbenchmark- or TPC-C-style workload where the
+/// workload itself knows how to build engines.
+pub fn run_with<W, B>(cfg: SimConfig, workload: W, build: B) -> SimReport
+where
+    W: RequestGenerator,
+    W::Engine: 'static,
+    B: Fn(PartitionId) -> W::Engine,
+{
+    Simulation::new(cfg, workload, build).run().0
+}

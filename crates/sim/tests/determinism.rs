@@ -1,0 +1,89 @@
+//! The simulator is a pure function of (config, workload seed): identical
+//! runs produce identical results, and different seeds differ. This is
+//! what makes every figure in EXPERIMENTS.md exactly reproducible.
+
+use hcc_common::{Nanos, Scheme, SystemConfig};
+use hcc_sim::{SimConfig, Simulation};
+use hcc_workloads::micro::{MicroConfig, MicroWorkload};
+
+fn run(scheme: Scheme, seed: u64) -> (u64, u64, u64, Vec<u64>) {
+    let micro = MicroConfig {
+        mp_fraction: 0.3,
+        abort_prob: 0.05,
+        seed,
+        ..Default::default()
+    };
+    let system = SystemConfig::new(scheme)
+        .with_partitions(2)
+        .with_clients(40)
+        .with_seed(seed);
+    let cfg = SimConfig::new(system)
+        .with_window(Nanos::from_millis(20), Nanos::from_millis(100));
+    let builder = MicroWorkload::new(micro);
+    let (r, _, engines, _) =
+        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    (
+        r.committed,
+        r.events_processed,
+        r.user_aborts,
+        engines.iter().map(|e| e.fingerprint()).collect(),
+    )
+}
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    for scheme in Scheme::ALL {
+        let a = run(scheme, 99);
+        let b = run(scheme, 99);
+        assert_eq!(a, b, "{scheme}: simulation must be deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_histories() {
+    let a = run(Scheme::Speculative, 1);
+    let b = run(Scheme::Speculative, 2);
+    assert_ne!(a.3, b.3, "different seeds must explore different histories");
+}
+
+#[test]
+fn zero_mp_throughput_is_the_t_sp_bound() {
+    // 2 partitions × (1 / 64 µs) = 31 250 tps; the simulator should land
+    // within 2% (boundary effects only).
+    let micro = MicroConfig::default();
+    let system = SystemConfig::new(Scheme::Blocking)
+        .with_partitions(2)
+        .with_clients(40);
+    let cfg = SimConfig::new(system)
+        .with_window(Nanos::from_millis(50), Nanos::from_millis(500));
+    let builder = MicroWorkload::new(micro);
+    let (r, _, _, _) =
+        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let err = (r.throughput_tps - 31_250.0).abs() / 31_250.0;
+    assert!(err < 0.02, "measured {} tps", r.throughput_tps);
+    assert!(r.partition_utilization > 0.98, "partitions must saturate");
+    assert!(r.coordinator_utilization < 0.01, "no MP work, no coordinator");
+}
+
+#[test]
+fn window_length_does_not_change_steady_state() {
+    let micro = MicroConfig {
+        mp_fraction: 0.2,
+        ..Default::default()
+    };
+    let mut rates = Vec::new();
+    for measure in [200u64, 600] {
+        let system = SystemConfig::new(Scheme::Speculative)
+            .with_partitions(2)
+            .with_clients(40);
+        let cfg = SimConfig::new(system)
+            .with_window(Nanos::from_millis(100), Nanos::from_millis(measure));
+        let builder = MicroWorkload::new(micro);
+        let (r, _, _, _) =
+            Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p))
+                .run();
+        rates.push(r.throughput_tps);
+    }
+    let diff = (rates[0] - rates[1]).abs() / rates[1];
+    assert!(diff < 0.03, "window sensitivity: {rates:?}");
+}

@@ -1,0 +1,241 @@
+//! The microbenchmark execution engine: a byte-string key/value store.
+//!
+//! Paper §5: "the execution engine is a simple key/value store, where keys
+//! and values are arbitrary byte strings. One transaction is supported,
+//! which reads a set of values then updates them."
+//!
+//! Mutations can record pre-images into a [`KvUndo`] buffer; applying the
+//! buffer restores the exact prior state. Schedulers keep one buffer per
+//! in-flight transaction and roll them back in reverse execution order.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// One recorded pre-image: the value (or absence) a key had before a
+/// mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UndoRecord {
+    key: Bytes,
+    prior: Option<Bytes>,
+}
+
+/// Per-transaction undo buffer for the KV store. Records are replayed in
+/// reverse order by [`KvStore::rollback`].
+#[derive(Debug, Default, Clone)]
+pub struct KvUndo {
+    records: Vec<UndoRecord>,
+}
+
+impl KvUndo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded pre-images (used by cost accounting).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// An in-memory hash table of byte-string keys and values.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: HashMap<Bytes, Bytes>,
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Read a value.
+    #[inline]
+    pub fn get(&self, key: &[u8]) -> Option<&Bytes> {
+        self.map.get(key)
+    }
+
+    /// Write a value, optionally recording the pre-image for rollback.
+    pub fn put(&mut self, key: Bytes, value: Bytes, undo: Option<&mut KvUndo>) {
+        let prior = self.map.insert(key.clone(), value);
+        if let Some(u) = undo {
+            u.records.push(UndoRecord { key, prior });
+        }
+    }
+
+    /// Delete a key, optionally recording the pre-image. Returns the removed
+    /// value, if any.
+    pub fn delete(&mut self, key: &Bytes, undo: Option<&mut KvUndo>) -> Option<Bytes> {
+        let prior = self.map.remove(key);
+        if let Some(u) = undo {
+            u.records.push(UndoRecord {
+                key: key.clone(),
+                prior: prior.clone(),
+            });
+        }
+        prior
+    }
+
+    /// Undo every mutation recorded in `undo`, most recent first, restoring
+    /// the state the store had before the transaction ran.
+    pub fn rollback(&mut self, undo: KvUndo) {
+        for rec in undo.records.into_iter().rev() {
+            match rec.prior {
+                Some(v) => {
+                    self.map.insert(rec.key, v);
+                }
+                None => {
+                    self.map.remove(&rec.key);
+                }
+            }
+        }
+    }
+
+    /// Iterate over all entries (test/verification support).
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Bytes)> {
+        self.map.iter()
+    }
+
+    /// A stable fingerprint of the full store contents, used by tests to
+    /// compare replica state and to check rollback restores state exactly.
+    pub fn fingerprint(&self) -> u64 {
+        // XOR of per-entry FNV hashes: order-independent, cheap.
+        let mut acc = 0u64;
+        for (k, v) in &self.map {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in k.iter().chain(v.iter()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Mix in a separator between key and value lengths to avoid
+            // (k="ab", v="c") colliding with (k="a", v="bc").
+            h ^= (k.len() as u64) << 32 | v.len() as u64;
+            acc ^= h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("5"), None);
+        assert_eq!(kv.get(b"x"), Some(&b("5")));
+        assert_eq!(kv.get(b"y"), None);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_without_undo() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("1"), None);
+        kv.put(b("x"), b("2"), None);
+        assert_eq!(kv.get(b"x"), Some(&b("2")));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_overwritten_value() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("old"), None);
+        let before = kv.fingerprint();
+
+        let mut undo = KvUndo::new();
+        kv.put(b("x"), b("new"), Some(&mut undo));
+        assert_eq!(kv.get(b"x"), Some(&b("new")));
+        kv.rollback(undo);
+        assert_eq!(kv.get(b"x"), Some(&b("old")));
+        assert_eq!(kv.fingerprint(), before);
+    }
+
+    #[test]
+    fn rollback_removes_inserted_key() {
+        let mut kv = KvStore::new();
+        let before = kv.fingerprint();
+        let mut undo = KvUndo::new();
+        kv.put(b("fresh"), b("v"), Some(&mut undo));
+        kv.rollback(undo);
+        assert_eq!(kv.get(b"fresh"), None);
+        assert!(kv.is_empty());
+        assert_eq!(kv.fingerprint(), before);
+    }
+
+    #[test]
+    fn rollback_restores_deleted_key() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("keep"), None);
+        let before = kv.fingerprint();
+        let mut undo = KvUndo::new();
+        let removed = kv.delete(&b("x"), Some(&mut undo));
+        assert_eq!(removed, Some(b("keep")));
+        assert_eq!(kv.get(b"x"), None);
+        kv.rollback(undo);
+        assert_eq!(kv.get(b"x"), Some(&b("keep")));
+        assert_eq!(kv.fingerprint(), before);
+    }
+
+    #[test]
+    fn rollback_is_lifo_within_buffer() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("0"), None);
+        let before = kv.fingerprint();
+        let mut undo = KvUndo::new();
+        kv.put(b("x"), b("1"), Some(&mut undo));
+        kv.put(b("x"), b("2"), Some(&mut undo));
+        kv.put(b("x"), b("3"), Some(&mut undo));
+        kv.rollback(undo);
+        assert_eq!(kv.get(b"x"), Some(&b("0")));
+        assert_eq!(kv.fingerprint(), before);
+    }
+
+    #[test]
+    fn undo_len_counts_records() {
+        let mut kv = KvStore::new();
+        let mut undo = KvUndo::new();
+        assert!(undo.is_empty());
+        kv.put(b("a"), b("1"), Some(&mut undo));
+        kv.put(b("b"), b("2"), Some(&mut undo));
+        assert_eq!(undo.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_detects_differences() {
+        let mut a = KvStore::new();
+        let mut bst = KvStore::new();
+        a.put(b("x"), b("1"), None);
+        bst.put(b("x"), b("2"), None);
+        assert_ne!(a.fingerprint(), bst.fingerprint());
+        bst.put(b("x"), b("1"), None);
+        assert_eq!(a.fingerprint(), bst.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_order_independent() {
+        let mut a = KvStore::new();
+        a.put(b("x"), b("1"), None);
+        a.put(b("y"), b("2"), None);
+        let mut c = KvStore::new();
+        c.put(b("y"), b("2"), None);
+        c.put(b("x"), b("1"), None);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+}

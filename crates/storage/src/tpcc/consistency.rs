@@ -1,0 +1,221 @@
+//! TPC-C consistency conditions (clause 3.3.2), used by integration tests
+//! to verify that concurrent histories leave the database in a state some
+//! serial history could have produced.
+//!
+//! Implemented conditions (those meaningful for our workload surface):
+//!
+//! 1. `W_YTD = Σ D_YTD` for each warehouse.
+//! 2. `D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID)` per district.
+//! 3. NEW-ORDER rows per district form a contiguous range of order ids.
+//! 4. `Σ O_OL_CNT = count(ORDER-LINE)` per district.
+//! 5. Every NEW-ORDER row has a matching ORDER row with no carrier, and
+//!    every delivered order has a carrier.
+//! 6. Order lines exist exactly for `1..=O_OL_CNT` of each order.
+
+use super::schema::OId;
+use super::store::TpccStore;
+
+/// A consistency violation, described for test failure messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub condition: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.condition, self.detail)
+    }
+}
+
+/// Check all supported consistency conditions; `Err` carries every
+/// violation found.
+pub fn check(store: &TpccStore) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+
+    // Condition 1: warehouse YTD equals the sum of its districts' YTD.
+    for (w_id, w) in &store.warehouse {
+        let d_sum: i64 = store
+            .district
+            .iter()
+            .filter(|((dw, _), _)| dw == w_id)
+            .map(|(_, d)| d.ytd_cents)
+            .sum();
+        if w.ytd_cents != d_sum {
+            violations.push(Violation {
+                condition: "C1:w_ytd",
+                detail: format!("warehouse {w_id}: W_YTD={} but Σ D_YTD={d_sum}", w.ytd_cents),
+            });
+        }
+    }
+
+    for ((w_id, d_id), d) in &store.district {
+        let max_o = store
+            .order
+            .keys()
+            .filter(|(ow, od, _)| ow == w_id && od == d_id)
+            .map(|(_, _, o)| *o)
+            .max()
+            .unwrap_or(0);
+        // Condition 2: next_o_id is one past the newest order.
+        if d.next_o_id != max_o + 1 {
+            violations.push(Violation {
+                condition: "C2:next_o_id",
+                detail: format!(
+                    "district ({w_id},{d_id}): next_o_id={} but max(O_ID)={max_o}",
+                    d.next_o_id
+                ),
+            });
+        }
+
+        // Condition 3: NEW-ORDER ids contiguous.
+        let no_ids: Vec<OId> = store
+            .new_order
+            .range((*w_id, *d_id, 0)..=(*w_id, *d_id, OId::MAX))
+            .map(|((_, _, o), ())| *o)
+            .collect();
+        if let (Some(&first), Some(&last)) = (no_ids.first(), no_ids.last()) {
+            if no_ids.len() as u32 != last - first + 1 {
+                violations.push(Violation {
+                    condition: "C3:new_order_contiguous",
+                    detail: format!(
+                        "district ({w_id},{d_id}): {} NEW-ORDER rows span [{first},{last}]",
+                        no_ids.len()
+                    ),
+                });
+            }
+        }
+
+        // Condition 4: Σ ol_cnt matches the order-line count.
+        let ol_cnt_sum: u64 = store
+            .order
+            .iter()
+            .filter(|((ow, od, _), _)| ow == w_id && od == d_id)
+            .map(|(_, o)| o.ol_cnt as u64)
+            .sum();
+        let ol_rows = store
+            .order_line
+            .range((*w_id, *d_id, 0, 0)..=(*w_id, *d_id, OId::MAX, u8::MAX))
+            .count() as u64;
+        if ol_cnt_sum != ol_rows {
+            violations.push(Violation {
+                condition: "C4:order_line_count",
+                detail: format!(
+                    "district ({w_id},{d_id}): Σ O_OL_CNT={ol_cnt_sum} but {ol_rows} ORDER-LINE rows"
+                ),
+            });
+        }
+    }
+
+    // Condition 5: NEW-ORDER rows pair with undelivered orders.
+    for ((w, d, o), ()) in store.new_order.iter() {
+        match store.order.get(&(*w, *d, *o)) {
+            None => violations.push(Violation {
+                condition: "C5:new_order_has_order",
+                detail: format!("NEW-ORDER ({w},{d},{o}) has no ORDER row"),
+            }),
+            Some(ord) if ord.carrier_id.is_some() => violations.push(Violation {
+                condition: "C5:new_order_undelivered",
+                detail: format!("NEW-ORDER ({w},{d},{o}) exists but order has a carrier"),
+            }),
+            _ => {}
+        }
+    }
+
+    // Condition 6: each order's lines are exactly 1..=ol_cnt.
+    for ((w, d, o), ord) in store.order.iter() {
+        let lines: Vec<u8> = store
+            .order_line
+            .range((*w, *d, *o, 0)..=(*w, *d, *o, u8::MAX))
+            .map(|((_, _, _, n), _)| *n)
+            .collect();
+        let expect: Vec<u8> = (1..=ord.ol_cnt).collect();
+        if lines != expect {
+            violations.push(Violation {
+                condition: "C6:order_lines_complete",
+                detail: format!(
+                    "order ({w},{d},{o}): ol_cnt={} but lines {:?}",
+                    ord.ol_cnt, lines
+                ),
+            });
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::loader::load_partition;
+    use super::super::scale::TpccScale;
+    use super::super::schema::*;
+    use super::super::store::TpccStore;
+    use super::*;
+
+    fn store() -> TpccStore {
+        let mut s = TpccStore::new();
+        load_partition(&mut s, &[1], 1, &TpccScale::tiny(), 3);
+        s
+    }
+
+    #[test]
+    fn fresh_load_is_consistent() {
+        assert!(check(&store()).is_ok());
+    }
+
+    #[test]
+    fn detects_w_ytd_mismatch() {
+        let mut s = store();
+        s.update_warehouse(1, None, |w| w.ytd_cents += 1);
+        let errs = check(&s).unwrap_err();
+        assert!(errs.iter().any(|v| v.condition == "C1:w_ytd"));
+    }
+
+    #[test]
+    fn detects_next_o_id_mismatch() {
+        let mut s = store();
+        s.update_district(1, 1, None, |d| d.next_o_id += 5);
+        let errs = check(&s).unwrap_err();
+        assert!(errs.iter().any(|v| v.condition == "C2:next_o_id"));
+    }
+
+    #[test]
+    fn detects_dangling_new_order() {
+        let mut s = store();
+        s.insert_new_order((1, 1, 9999), None);
+        let errs = check(&s).unwrap_err();
+        assert!(errs.iter().any(|v| v.condition.starts_with("C5")));
+    }
+
+    #[test]
+    fn detects_missing_order_line() {
+        let mut s = store();
+        let key = *s.order_line.keys().next().unwrap();
+        s.order_line.remove(&key);
+        let errs = check(&s).unwrap_err();
+        assert!(errs.iter().any(|v| v.condition == "C4:order_line_count"
+            || v.condition == "C6:order_lines_complete"));
+    }
+
+    #[test]
+    fn detects_delivered_order_still_in_new_order() {
+        let mut s = store();
+        let (w, d, o) = *s.new_order.keys().next().unwrap();
+        s.update_order((w, d, o), None, |ord| ord.carrier_id = Some(1));
+        let errs = check(&s).unwrap_err();
+        assert!(errs.iter().any(|v| v.condition == "C5:new_order_undelivered"));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            condition: "C1:w_ytd",
+            detail: "oops".into(),
+        };
+        assert_eq!(v.to_string(), "[C1:w_ytd] oops");
+    }
+}

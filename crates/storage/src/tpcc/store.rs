@@ -1,0 +1,646 @@
+//! The per-partition TPC-C store: tables, indexes, and undo.
+//!
+//! Table representations follow the paper ("Each table is represented as
+//! either a B-Tree, a binary tree, or hash table, as appropriate"):
+//! point-lookup tables (WAREHOUSE, DISTRICT, CUSTOMER, ITEM, STOCK) are hash
+//! maps; range-scanned tables (ORDER-by-customer, NEW-ORDER, ORDER-LINE) are
+//! B-trees. A secondary index maps (warehouse, district, last name) to the
+//! customer ids sharing that name, for the 60% of Payment / Order-Status
+//! transactions that select customers by last name.
+
+use super::schema::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// One undoable mutation. Pre-image variants store the full prior row;
+/// insert variants store the key to remove.
+#[derive(Debug, Clone)]
+pub enum TpccUndo {
+    WarehousePre(Warehouse),
+    DistrictPre(District),
+    CustomerPre(Box<Customer>),
+    StockPre(StockKey, StockMut),
+    OrderInserted(OrderKey, CId),
+    OrderPre(Box<Order>),
+    OrderLineInserted(OrderLineKey),
+    OrderLinePre(Box<OrderLine>),
+    NewOrderInserted(OrderKey),
+    NewOrderDeleted(OrderKey),
+    HistoryAppended,
+}
+
+/// A per-transaction undo buffer.
+#[derive(Debug, Default)]
+pub struct TpccUndoBuf {
+    records: Vec<TpccUndo>,
+}
+
+impl TpccUndoBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// All TPC-C state owned by one partition.
+#[derive(Debug, Default)]
+pub struct TpccStore {
+    /// Warehouse ids whose partitioned data lives here.
+    pub local_warehouses: Vec<WId>,
+    pub warehouse: HashMap<WId, Warehouse>,
+    pub district: HashMap<DistrictKey, District>,
+    pub customer: HashMap<CustomerKey, Customer>,
+    /// Secondary index: (w, d, last name) → customer ids, sorted by first
+    /// name (clause 2.5.2.2 requires "ordered by C_FIRST").
+    pub customer_by_name: HashMap<(WId, DId, String), Vec<CId>>,
+    pub history: Vec<History>,
+    pub order: HashMap<OrderKey, Order>,
+    /// Secondary index for "most recent order of a customer".
+    pub order_by_customer: BTreeMap<(WId, DId, CId, OId), ()>,
+    pub new_order: BTreeMap<OrderKey, ()>,
+    pub order_line: BTreeMap<OrderLineKey, OrderLine>,
+    /// Replicated, read-only.
+    pub item: HashMap<IId, Item>,
+    /// Partitioned, updatable half of STOCK (local warehouses only).
+    pub stock: HashMap<StockKey, StockMut>,
+    /// Replicated, read-only half of STOCK (all warehouses).
+    pub stock_info: HashMap<StockKey, StockInfo>,
+}
+
+impl TpccStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_undo(undo: Option<&mut TpccUndoBuf>, rec: TpccUndo) {
+        if let Some(u) = undo {
+            u.records.push(rec);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    pub fn warehouse(&self, w: WId) -> Option<&Warehouse> {
+        self.warehouse.get(&w)
+    }
+
+    pub fn district(&self, w: WId, d: DId) -> Option<&District> {
+        self.district.get(&(w, d))
+    }
+
+    pub fn customer(&self, w: WId, d: DId, c: CId) -> Option<&Customer> {
+        self.customer.get(&(w, d, c))
+    }
+
+    pub fn item(&self, i: IId) -> Option<&Item> {
+        self.item.get(&i)
+    }
+
+    pub fn stock_mut_row(&self, w: WId, i: IId) -> Option<&StockMut> {
+        self.stock.get(&(w, i))
+    }
+
+    pub fn stock_info_row(&self, w: WId, i: IId) -> Option<&StockInfo> {
+        self.stock_info.get(&(w, i))
+    }
+
+    /// Customer ids with the given last name, sorted by first name.
+    pub fn customers_by_last_name(&self, w: WId, d: DId, last: &str) -> &[CId] {
+        self.customer_by_name
+            .get(&(w, d, last.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The spec's "customer at position ⌈n/2⌉ in the list sorted by first
+    /// name" rule for by-name selection (clause 2.5.2.2).
+    pub fn customer_by_name_midpoint(&self, w: WId, d: DId, last: &str) -> Option<CId> {
+        let ids = self.customers_by_last_name(w, d, last);
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[ids.len().div_ceil(2) - 1])
+        }
+    }
+
+    /// Most recent order placed by a customer.
+    pub fn last_order_of(&self, w: WId, d: DId, c: CId) -> Option<&Order> {
+        self.order_by_customer
+            .range((w, d, c, 0)..=(w, d, c, OId::MAX))
+            .next_back()
+            .and_then(|((ow, od, _, oid), ())| self.order.get(&(*ow, *od, *oid)))
+    }
+
+    /// Oldest undelivered order in a district (head of NEW-ORDER).
+    pub fn oldest_new_order(&self, w: WId, d: DId) -> Option<OId> {
+        self.new_order
+            .range((w, d, 0)..=(w, d, OId::MAX))
+            .next()
+            .map(|((_, _, o), ())| *o)
+    }
+
+    /// All order lines of one order.
+    pub fn order_lines(&self, w: WId, d: DId, o: OId) -> impl Iterator<Item = &OrderLine> {
+        self.order_line
+            .range((w, d, o, 0)..=(w, d, o, u8::MAX))
+            .map(|(_, ol)| ol)
+    }
+
+    /// Order lines of the last `n` orders before `next_o_id` (Stock-Level).
+    pub fn recent_order_lines(
+        &self,
+        w: WId,
+        d: DId,
+        next_o_id: OId,
+        n: u32,
+    ) -> impl Iterator<Item = &OrderLine> {
+        let lo = next_o_id.saturating_sub(n);
+        self.order_line
+            .range((w, d, lo, 0)..(w, d, next_o_id, 0))
+            .map(|(_, ol)| ol)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations (all optionally undo-logged)
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to the warehouse row, recording the pre-image.
+    pub fn update_warehouse(
+        &mut self,
+        w: WId,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut Warehouse),
+    ) -> bool {
+        match self.warehouse.get_mut(&w) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::WarehousePre(row.clone()));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn update_district(
+        &mut self,
+        w: WId,
+        d: DId,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut District),
+    ) -> bool {
+        match self.district.get_mut(&(w, d)) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::DistrictPre(row.clone()));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn update_customer(
+        &mut self,
+        w: WId,
+        d: DId,
+        c: CId,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut Customer),
+    ) -> bool {
+        match self.customer.get_mut(&(w, d, c)) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::CustomerPre(Box::new(row.clone())));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn update_stock(
+        &mut self,
+        w: WId,
+        i: IId,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut StockMut),
+    ) -> bool {
+        match self.stock.get_mut(&(w, i)) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::StockPre((w, i), *row));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn update_order(
+        &mut self,
+        key: OrderKey,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut Order),
+    ) -> bool {
+        match self.order.get_mut(&key) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::OrderPre(Box::new(row.clone())));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn update_order_line(
+        &mut self,
+        key: OrderLineKey,
+        undo: Option<&mut TpccUndoBuf>,
+        f: impl FnOnce(&mut OrderLine),
+    ) -> bool {
+        match self.order_line.get_mut(&key) {
+            Some(row) => {
+                Self::push_undo(undo, TpccUndo::OrderLinePre(Box::new(row.clone())));
+                f(row);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn insert_order(&mut self, row: Order, undo: Option<&mut TpccUndoBuf>) {
+        let key = (row.w_id, row.d_id, row.o_id);
+        Self::push_undo(undo, TpccUndo::OrderInserted(key, row.c_id));
+        self.order_by_customer
+            .insert((row.w_id, row.d_id, row.c_id, row.o_id), ());
+        self.order.insert(key, row);
+    }
+
+    pub fn insert_order_line(&mut self, row: OrderLine, undo: Option<&mut TpccUndoBuf>) {
+        let key = (row.w_id, row.d_id, row.o_id, row.ol_number);
+        Self::push_undo(undo, TpccUndo::OrderLineInserted(key));
+        self.order_line.insert(key, row);
+    }
+
+    pub fn insert_new_order(&mut self, key: OrderKey, undo: Option<&mut TpccUndoBuf>) {
+        Self::push_undo(undo, TpccUndo::NewOrderInserted(key));
+        self.new_order.insert(key, ());
+    }
+
+    pub fn delete_new_order(&mut self, key: OrderKey, undo: Option<&mut TpccUndoBuf>) -> bool {
+        if self.new_order.remove(&key).is_some() {
+            Self::push_undo(undo, TpccUndo::NewOrderDeleted(key));
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn append_history(&mut self, row: History, undo: Option<&mut TpccUndoBuf>) {
+        Self::push_undo(undo, TpccUndo::HistoryAppended);
+        self.history.push(row);
+    }
+
+    // ------------------------------------------------------------------
+    // Rollback
+    // ------------------------------------------------------------------
+
+    /// Undo every mutation in the buffer, most recent first.
+    pub fn rollback(&mut self, undo: TpccUndoBuf) {
+        for rec in undo.records.into_iter().rev() {
+            match rec {
+                TpccUndo::WarehousePre(row) => {
+                    self.warehouse.insert(row.w_id, row);
+                }
+                TpccUndo::DistrictPre(row) => {
+                    self.district.insert((row.w_id, row.d_id), row);
+                }
+                TpccUndo::CustomerPre(row) => {
+                    self.customer.insert((row.w_id, row.d_id, row.c_id), *row);
+                }
+                TpccUndo::StockPre(key, row) => {
+                    self.stock.insert(key, row);
+                }
+                TpccUndo::OrderInserted(key, c_id) => {
+                    self.order.remove(&key);
+                    self.order_by_customer.remove(&(key.0, key.1, c_id, key.2));
+                }
+                TpccUndo::OrderPre(row) => {
+                    self.order.insert((row.w_id, row.d_id, row.o_id), *row);
+                }
+                TpccUndo::OrderLineInserted(key) => {
+                    self.order_line.remove(&key);
+                }
+                TpccUndo::OrderLinePre(row) => {
+                    self.order_line
+                        .insert((row.w_id, row.d_id, row.o_id, row.ol_number), *row);
+                }
+                TpccUndo::NewOrderInserted(key) => {
+                    self.new_order.remove(&key);
+                }
+                TpccUndo::NewOrderDeleted(key) => {
+                    self.new_order.insert(key, ());
+                }
+                TpccUndo::HistoryAppended => {
+                    self.history.pop();
+                }
+            }
+        }
+    }
+
+    /// Order-independent fingerprint of all partitioned state, for replica
+    /// comparison and rollback tests. Replicated read-only tables (ITEM,
+    /// STOCK-info) are excluded: they never change.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        let mut mix = |h: u64| acc ^= h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for w in self.warehouse.values() {
+            mix(fnv(&[w.w_id as u64, w.ytd_cents as u64]));
+        }
+        for d in self.district.values() {
+            mix(fnv(&[
+                d.w_id as u64,
+                d.d_id as u64,
+                d.ytd_cents as u64,
+                d.next_o_id as u64,
+            ]));
+        }
+        for c in self.customer.values() {
+            mix(fnv(&[
+                c.w_id as u64,
+                c.d_id as u64,
+                c.c_id as u64,
+                c.balance_cents as u64,
+                c.ytd_payment_cents as u64,
+                c.payment_cnt as u64,
+                c.delivery_cnt as u64,
+                c.data.len() as u64,
+            ]));
+        }
+        for s in self.stock.iter() {
+            mix(fnv(&[
+                s.0 .0 as u64,
+                s.0 .1 as u64,
+                s.1.quantity as u64,
+                s.1.ytd as u64,
+                s.1.order_cnt as u64,
+                s.1.remote_cnt as u64,
+            ]));
+        }
+        for (k, o) in self.order.iter() {
+            mix(fnv(&[
+                k.0 as u64,
+                k.1 as u64,
+                k.2 as u64,
+                o.c_id as u64,
+                o.carrier_id.map(|c| c as u64 + 1).unwrap_or(0),
+                o.ol_cnt as u64,
+            ]));
+        }
+        for (k, ()) in self.new_order.iter() {
+            mix(fnv(&[0xA0, k.0 as u64, k.1 as u64, k.2 as u64]));
+        }
+        for (k, ol) in self.order_line.iter() {
+            mix(fnv(&[
+                k.0 as u64,
+                k.1 as u64,
+                k.2 as u64,
+                k.3 as u64,
+                ol.i_id as u64,
+                ol.amount_cents as u64,
+                ol.delivery_d.map(|d| d + 1).unwrap_or(0),
+            ]));
+        }
+        mix(fnv(&[self.history.len() as u64]));
+        acc
+    }
+}
+
+fn fnv(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for i in 0..8 {
+            h ^= (w >> (i * 8)) & 0xFF;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::loader::load_partition;
+    use super::super::scale::TpccScale;
+    use super::super::schema::*;
+    use super::*;
+
+    fn store() -> TpccStore {
+        let mut s = TpccStore::new();
+        load_partition(&mut s, &[1], 1, &TpccScale::tiny(), 11);
+        s
+    }
+
+    #[test]
+    fn update_warehouse_records_preimage_and_rolls_back() {
+        let mut s = store();
+        let fp = s.fingerprint();
+        let mut undo = TpccUndoBuf::new();
+        assert!(s.update_warehouse(1, Some(&mut undo), |w| w.ytd_cents += 500));
+        assert_ne!(s.fingerprint(), fp);
+        s.rollback(undo);
+        assert_eq!(s.fingerprint(), fp);
+    }
+
+    #[test]
+    fn update_missing_rows_return_false() {
+        let mut s = store();
+        assert!(!s.update_warehouse(99, None, |_| {}));
+        assert!(!s.update_district(99, 1, None, |_| {}));
+        assert!(!s.update_customer(99, 1, 1, None, |_| {}));
+        assert!(!s.update_stock(99, 1, None, |_| {}));
+        assert!(!s.update_order((99, 1, 1), None, |_| {}));
+        assert!(!s.delete_new_order((99, 1, 1), None));
+    }
+
+    #[test]
+    fn insert_order_maintains_customer_index() {
+        let mut s = store();
+        let next = s.district(1, 1).unwrap().next_o_id;
+        s.insert_order(
+            Order {
+                w_id: 1,
+                d_id: 1,
+                o_id: next,
+                c_id: 7,
+                entry_d: 42,
+                carrier_id: None,
+                ol_cnt: 0,
+                all_local: true,
+            },
+            None,
+        );
+        let last = s.last_order_of(1, 1, 7).unwrap();
+        assert_eq!(last.o_id, next);
+        assert_eq!(last.entry_d, 42);
+    }
+
+    #[test]
+    fn rollback_insert_order_removes_both_indexes() {
+        let mut s = store();
+        let fp = s.fingerprint();
+        let before_last = s.last_order_of(1, 1, 7).map(|o| o.o_id);
+        let mut undo = TpccUndoBuf::new();
+        s.insert_order(
+            Order {
+                w_id: 1,
+                d_id: 1,
+                o_id: 5000,
+                c_id: 7,
+                entry_d: 42,
+                carrier_id: None,
+                ol_cnt: 2,
+                all_local: true,
+            },
+            Some(&mut undo),
+        );
+        s.insert_order_line(
+            OrderLine {
+                w_id: 1,
+                d_id: 1,
+                o_id: 5000,
+                ol_number: 1,
+                i_id: 1,
+                supply_w_id: 1,
+                delivery_d: None,
+                quantity: 5,
+                amount_cents: 100,
+                dist_info: String::new(),
+            },
+            Some(&mut undo),
+        );
+        s.insert_new_order((1, 1, 5000), Some(&mut undo));
+        s.rollback(undo);
+        assert_eq!(s.fingerprint(), fp);
+        assert_eq!(s.last_order_of(1, 1, 7).map(|o| o.o_id), before_last);
+        assert!(s.order.get(&(1, 1, 5000)).is_none());
+    }
+
+    #[test]
+    fn delete_new_order_rolls_back() {
+        let mut s = store();
+        let fp = s.fingerprint();
+        let oldest = s.oldest_new_order(1, 1).unwrap();
+        let mut undo = TpccUndoBuf::new();
+        assert!(s.delete_new_order((1, 1, oldest), Some(&mut undo)));
+        assert_ne!(s.oldest_new_order(1, 1), Some(oldest));
+        s.rollback(undo);
+        assert_eq!(s.oldest_new_order(1, 1), Some(oldest));
+        assert_eq!(s.fingerprint(), fp);
+    }
+
+    #[test]
+    fn history_append_rolls_back() {
+        let mut s = store();
+        let n = s.history.len();
+        let mut undo = TpccUndoBuf::new();
+        s.append_history(
+            History {
+                c_id: 1,
+                c_d_id: 1,
+                c_w_id: 1,
+                d_id: 1,
+                w_id: 1,
+                date: 1,
+                amount_cents: 1,
+                data: String::new(),
+            },
+            Some(&mut undo),
+        );
+        assert_eq!(s.history.len(), n + 1);
+        s.rollback(undo);
+        assert_eq!(s.history.len(), n);
+    }
+
+    #[test]
+    fn interleaved_mutations_roll_back_to_exact_state() {
+        let mut s = store();
+        let fp = s.fingerprint();
+        let mut undo = TpccUndoBuf::new();
+        s.update_district(1, 1, Some(&mut undo), |d| {
+            d.ytd_cents += 10;
+            d.next_o_id += 1;
+        });
+        s.update_customer(1, 1, 3, Some(&mut undo), |c| c.balance_cents -= 10_000);
+        s.update_stock(1, 5, Some(&mut undo), |st| {
+            st.quantity -= 3;
+            st.ytd += 3;
+            st.order_cnt += 1;
+        });
+        s.update_warehouse(1, Some(&mut undo), |w| w.ytd_cents += 10);
+        assert_eq!(undo.len(), 4);
+        s.rollback(undo);
+        assert_eq!(s.fingerprint(), fp);
+    }
+
+    #[test]
+    fn customer_midpoint_rule() {
+        let mut s = TpccStore::new();
+        // Three customers named SAME, first names A < B < C.
+        for (c_id, first) in [(1u32, "A"), (2, "B"), (3, "C")] {
+            s.customer.insert(
+                (1, 1, c_id),
+                Customer {
+                    w_id: 1,
+                    d_id: 1,
+                    c_id,
+                    first: first.into(),
+                    middle: "OE",
+                    last: "SAME".into(),
+                    street_1: String::new(),
+                    street_2: String::new(),
+                    city: String::new(),
+                    state: String::new(),
+                    zip: String::new(),
+                    phone: String::new(),
+                    since: 0,
+                    credit: Credit::Good,
+                    credit_lim_cents: 0,
+                    discount_bp: 0,
+                    balance_cents: 0,
+                    ytd_payment_cents: 0,
+                    payment_cnt: 0,
+                    delivery_cnt: 0,
+                    data: String::new(),
+                },
+            );
+        }
+        s.customer_by_name.insert((1, 1, "SAME".into()), vec![1, 2, 3]);
+        // ceil(3/2) = 2nd in first-name order = c_id 2.
+        assert_eq!(s.customer_by_name_midpoint(1, 1, "SAME"), Some(2));
+        assert_eq!(s.customer_by_name_midpoint(1, 1, "NOBODY"), None);
+    }
+
+    #[test]
+    fn recent_order_lines_window() {
+        let s = store();
+        let d = s.district(1, 1).unwrap();
+        let all: Vec<_> = s.recent_order_lines(1, 1, d.next_o_id, 20).collect();
+        assert!(!all.is_empty());
+        for ol in &all {
+            assert!(ol.o_id >= d.next_o_id.saturating_sub(20) && ol.o_id < d.next_o_id);
+        }
+    }
+
+    #[test]
+    fn order_lines_iter_exact() {
+        let s = store();
+        let (key, ord) = s.order.iter().next().unwrap();
+        let lines: Vec<_> = s.order_lines(key.0, key.1, key.2).collect();
+        assert_eq!(lines.len(), ord.ol_cnt as usize);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: the KV undo buffer inverts arbitrary operation
+//! sequences, including interleaved transactions rolled back in LIFO
+//! order — the invariant the speculative scheduler's cascade relies on.
+
+use bytes::Bytes;
+use hcc_storage::{KvStore, KvUndo};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 32, v)),
+        any::<u8>().prop_map(|k| Op::Delete(k % 32)),
+    ]
+}
+
+fn key(k: u8) -> Bytes {
+    Bytes::copy_from_slice(&[k])
+}
+
+fn apply(kv: &mut KvStore, ops: &[Op], undo: Option<&mut KvUndo>) {
+    let mut undo = undo;
+    for op in ops {
+        match *op {
+            Op::Put(k, v) => kv.put(key(k), Bytes::copy_from_slice(&[v]), undo.as_deref_mut()),
+            Op::Delete(k) => {
+                kv.delete(&key(k), undo.as_deref_mut());
+            }
+        }
+    }
+}
+
+proptest! {
+    /// rollback(execute(ops)) is the identity on store state.
+    #[test]
+    fn rollback_inverts_any_sequence(
+        base in proptest::collection::vec(op_strategy(), 0..40),
+        txn in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut kv = KvStore::new();
+        apply(&mut kv, &base, None);
+        let before = kv.fingerprint();
+
+        let mut undo = KvUndo::new();
+        apply(&mut kv, &txn, Some(&mut undo));
+        kv.rollback(undo);
+        prop_assert_eq!(kv.fingerprint(), before);
+    }
+
+    /// Two interleaved transactions rolled back newest-first restore the
+    /// pre-state exactly (the speculation squash order).
+    #[test]
+    fn lifo_rollback_of_interleaved_txns(
+        base in proptest::collection::vec(op_strategy(), 0..20),
+        t1 in proptest::collection::vec(op_strategy(), 1..20),
+        t2 in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let mut kv = KvStore::new();
+        apply(&mut kv, &base, None);
+        let before = kv.fingerprint();
+
+        let mut u1 = KvUndo::new();
+        let mut u2 = KvUndo::new();
+        apply(&mut kv, &t1, Some(&mut u1));
+        apply(&mut kv, &t2, Some(&mut u2));
+        kv.rollback(u2);
+        kv.rollback(u1);
+        prop_assert_eq!(kv.fingerprint(), before);
+    }
+
+    /// Committing the first txn and rolling back the second leaves exactly
+    /// the first txn's effects.
+    #[test]
+    fn partial_rollback_keeps_committed_effects(
+        t1 in proptest::collection::vec(op_strategy(), 1..20),
+        t2 in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let mut kv = KvStore::new();
+        let mut reference = KvStore::new();
+        apply(&mut kv, &t1, None);
+        apply(&mut reference, &t1, None);
+
+        let mut u2 = KvUndo::new();
+        apply(&mut kv, &t2, Some(&mut u2));
+        kv.rollback(u2);
+        prop_assert_eq!(kv.fingerprint(), reference.fingerprint());
+    }
+}

@@ -1,0 +1,16 @@
+//! Workload generators and execution engines for the paper's evaluation.
+//!
+//! * [`micro`] — the §5.1–5.4 microbenchmark: a key/value store where each
+//!   transaction reads and writes 12 keys, either all on one partition or
+//!   split across two; with optional conflict keys (§5.2), forced aborts
+//!   (§5.3), and a two-round "general transaction" variant (§5.4).
+//! * [`tpcc`] — the modified TPC-C of §5.5–5.6: partitioned by warehouse,
+//!   replicated ITEM, vertically partitioned STOCK, no client think time,
+//!   fixed clients with random districts, and new-order operations
+//!   reordered so user aborts never need an undo buffer.
+
+pub mod micro;
+pub mod tpcc;
+
+pub use micro::{MicroConfig, MicroEngine, MicroFragment, MicroWorkload};
+pub use tpcc::{TpccConfig, TpccEngine, TpccFragment, TpccWorkload};

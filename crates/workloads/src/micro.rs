@@ -1,0 +1,794 @@
+//! The microbenchmark of paper §5.1–5.4.
+//!
+//! "The execution engine is a simple key/value store, where keys and values
+//! are arbitrary byte strings. One transaction is supported, which reads a
+//! set of values then updates them. We use small 3 byte keys and 4 byte
+//! values [...] Each client issues a read/write transaction which reads and
+//! writes the value associated with 12 keys. [...] each client writes its
+//! own set of keys."
+//!
+//! Variants:
+//! * **conflicts** (§5.2): clients 0 and 1 pin themselves to partitions 0
+//!   and 1; with probability `conflict_prob` other clients write one of the
+//!   pinned clients' keys instead of their own.
+//! * **aborts** (§5.3): with probability `abort_prob` a transaction aborts
+//!   at the beginning of execution (at one randomly chosen participant for
+//!   multi-partition transactions; the other participant aborts via 2PC).
+//! * **two-round "general" transactions** (§5.4): the multi-partition
+//!   transaction reads its keys in round 0 and writes them in round 1 —
+//!   same work, twice the messages.
+
+use hcc_common::{AbortReason, ClientId, LockKey, PartitionId, TxnId};
+use hcc_core::{ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step};
+use hcc_locking::LockMode;
+use hcc_storage::{KvStore, KvUndo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A microbenchmark key: (client, partition, index), packed.
+pub type MicroKey = u64;
+
+pub fn make_key(client: u32, partition: u32, index: u32) -> MicroKey {
+    ((client as u64) << 24) | ((partition as u64) << 8) | index as u64
+}
+
+fn key_bytes(k: MicroKey) -> bytes::Bytes {
+    bytes::Bytes::copy_from_slice(&k.to_be_bytes())
+}
+
+/// One operation: read-modify-write or plain read/write of one key. The
+/// paper's transaction is 12 RMWs; the two-round variant splits them into
+/// reads then writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Read the value, add one, write it back.
+    Rmw(MicroKey),
+    /// Read only.
+    Read(MicroKey),
+    /// Write `value`.
+    Write(MicroKey, u32),
+}
+
+/// A unit of work at one partition.
+#[derive(Debug, Clone, Default)]
+pub struct MicroFragment {
+    pub ops: Vec<MicroOp>,
+    /// Forced abort at the beginning of execution (§5.3).
+    pub fail: bool,
+}
+
+impl MicroFragment {
+    /// Work units for cost accounting: a read or a write is one unit, a
+    /// read-modify-write two — so splitting RMWs into separate read and
+    /// write rounds (§5.4) leaves total work unchanged.
+    pub fn units(&self) -> u32 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                MicroOp::Rmw(_) => 2u32,
+                MicroOp::Read(_) | MicroOp::Write(_, _) => 1,
+            })
+            .sum()
+    }
+}
+
+/// Values read, in op order.
+pub type MicroOutput = Vec<u32>;
+
+/// The microbenchmark execution engine: byte-string KV store plus
+/// per-transaction undo buffers.
+pub struct MicroEngine {
+    kv: KvStore,
+    undo: HashMap<TxnId, KvUndo>,
+}
+
+impl MicroEngine {
+    pub fn new() -> Self {
+        MicroEngine {
+            kv: KvStore::new(),
+            undo: HashMap::new(),
+        }
+    }
+
+    /// Preload every (client, partition-local key) with zero, as the
+    /// paper's store starts populated.
+    pub fn load(partition: PartitionId, clients: u32, keys_per_client: u32) -> Self {
+        let mut e = Self::new();
+        for c in 0..clients {
+            for i in 0..keys_per_client {
+                let k = make_key(c, partition.0, i);
+                e.kv.put(key_bytes(k), value_bytes(0), None);
+            }
+        }
+        e
+    }
+
+    pub fn read_value(&self, k: MicroKey) -> Option<u32> {
+        self.kv
+            .get(&k.to_be_bytes())
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn fingerprint(&self) -> u64 {
+        self.kv.fingerprint()
+    }
+
+    pub fn live_undo_buffers(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+impl Default for MicroEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn value_bytes(v: u32) -> bytes::Bytes {
+    bytes::Bytes::copy_from_slice(&v.to_le_bytes())
+}
+
+impl ExecutionEngine for MicroEngine {
+    type Fragment = MicroFragment;
+    type Output = MicroOutput;
+
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        fragment: &MicroFragment,
+        undo: bool,
+    ) -> ExecOutcome<MicroOutput> {
+        if fragment.fail {
+            // "the abort happens at the beginning of execution" — cheap,
+            // no effects.
+            return ExecOutcome {
+                result: Err(AbortReason::User),
+                ops: 1,
+            };
+        }
+        let mut out = Vec::with_capacity(fragment.ops.len());
+        let ubuf = undo.then(|| self.undo.entry(txn).or_default());
+        // Split borrow: we need &mut kv and &mut undo entry together.
+        let kv = &mut self.kv;
+        let mut ubuf = ubuf;
+        for op in &fragment.ops {
+            match *op {
+                MicroOp::Rmw(k) => {
+                    let cur = kv
+                        .get(&k.to_be_bytes())
+                        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                        .unwrap_or(0);
+                    out.push(cur);
+                    kv.put(key_bytes(k), value_bytes(cur.wrapping_add(1)), ubuf.as_deref_mut());
+                }
+                MicroOp::Read(k) => {
+                    let cur = kv
+                        .get(&k.to_be_bytes())
+                        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                        .unwrap_or(0);
+                    out.push(cur);
+                }
+                MicroOp::Write(k, v) => {
+                    kv.put(key_bytes(k), value_bytes(v), ubuf.as_deref_mut());
+                }
+            }
+        }
+        ExecOutcome {
+            result: Ok(out),
+            ops: fragment.units(),
+        }
+    }
+
+    fn rollback(&mut self, txn: TxnId) -> u32 {
+        match self.undo.remove(&txn) {
+            Some(u) => {
+                let n = u.len() as u32;
+                self.kv.rollback(u);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    fn forget(&mut self, txn: TxnId) -> u32 {
+        self.undo.remove(&txn).map_or(0, |u| u.len() as u32)
+    }
+
+    fn lock_set(&self, fragment: &MicroFragment) -> Vec<(LockKey, LockMode)> {
+        let mut locks: Vec<(LockKey, LockMode)> = Vec::with_capacity(fragment.ops.len());
+        for op in &fragment.ops {
+            let (k, mode) = match *op {
+                MicroOp::Rmw(k) | MicroOp::Write(k, _) => (k, LockMode::Exclusive),
+                MicroOp::Read(k) => (k, LockMode::Shared),
+            };
+            let lk = LockKey(k);
+            match locks.iter_mut().find(|(l, _)| *l == lk) {
+                Some((_, m)) => {
+                    if mode == LockMode::Exclusive {
+                        *m = LockMode::Exclusive;
+                    }
+                }
+                None => locks.push((lk, mode)),
+            }
+        }
+        locks
+    }
+}
+
+/// A simple (one-round) multi-partition microbenchmark transaction.
+#[derive(Debug, Clone)]
+pub struct SimpleMicroProcedure {
+    pub fragments: Vec<(PartitionId, MicroFragment)>,
+}
+
+impl Procedure<MicroFragment, MicroOutput> for SimpleMicroProcedure {
+    fn clone_box(&self) -> Box<dyn Procedure<MicroFragment, MicroOutput>> {
+        Box::new(self.clone())
+    }
+
+    fn step(&self, prior: &[RoundOutputs<MicroOutput>]) -> Step<MicroFragment, MicroOutput> {
+        if prior.is_empty() {
+            Step::Round {
+                fragments: self.fragments.clone(),
+                is_final: true,
+            }
+        } else {
+            let mut all = Vec::new();
+            for (_, r) in &prior[0].by_partition {
+                all.extend(r.iter().copied());
+            }
+            Step::Finish(all)
+        }
+    }
+}
+
+/// The §5.4 "general" transaction: round 0 reads every key, round 1 writes
+/// back value+1 — "the first round of each transaction performs the reads
+/// and returns the results to the coordinator, which then issues the
+/// writes as a second round."
+#[derive(Debug, Clone)]
+pub struct TwoRoundMicroProcedure {
+    /// Keys per participating partition; `fail_at` injects a §5.3 abort at
+    /// one participant in round 0.
+    pub reads: Vec<(PartitionId, Vec<MicroKey>)>,
+    pub fail_at: Option<PartitionId>,
+}
+
+impl Procedure<MicroFragment, MicroOutput> for TwoRoundMicroProcedure {
+    fn clone_box(&self) -> Box<dyn Procedure<MicroFragment, MicroOutput>> {
+        Box::new(self.clone())
+    }
+
+    fn step(&self, prior: &[RoundOutputs<MicroOutput>]) -> Step<MicroFragment, MicroOutput> {
+        match prior.len() {
+            0 => Step::Round {
+                fragments: self
+                    .reads
+                    .iter()
+                    .map(|(p, keys)| {
+                        (
+                            *p,
+                            MicroFragment {
+                                ops: keys.iter().map(|&k| MicroOp::Read(k)).collect(),
+                                fail: self.fail_at == Some(*p),
+                            },
+                        )
+                    })
+                    .collect(),
+                is_final: false,
+            },
+            1 => Step::Round {
+                fragments: self
+                    .reads
+                    .iter()
+                    .map(|(p, keys)| {
+                        let read = prior[0].get(*p).expect("round-0 output");
+                        (
+                            *p,
+                            MicroFragment {
+                                ops: keys
+                                    .iter()
+                                    .zip(read.iter())
+                                    .map(|(&k, &v)| MicroOp::Write(k, v.wrapping_add(1)))
+                                    .collect(),
+                                fail: false,
+                            },
+                        )
+                    })
+                    .collect(),
+                is_final: true,
+            },
+            _ => {
+                let mut all = Vec::new();
+                for (_, r) in &prior[0].by_partition {
+                    all.extend(r.iter().copied());
+                }
+                Step::Finish(all)
+            }
+        }
+    }
+}
+
+/// Microbenchmark configuration (defaults reproduce Figure 4's setup).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    pub partitions: u32,
+    pub clients: u32,
+    /// Keys accessed per transaction (12 in the paper).
+    pub keys_per_txn: u32,
+    /// Fraction of multi-partition transactions (the x-axis of Figs. 4–7).
+    pub mp_fraction: f64,
+    /// §5.2 conflict probability.
+    pub conflict_prob: f64,
+    /// §5.3 abort probability.
+    pub abort_prob: f64,
+    /// §5.4: use two-round general transactions for the MP share.
+    pub two_round: bool,
+    pub seed: u64,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            partitions: 2,
+            clients: 40,
+            keys_per_txn: 12,
+            mp_fraction: 0.0,
+            conflict_prob: 0.0,
+            abort_prob: 0.0,
+            two_round: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Request generator for the microbenchmark.
+pub struct MicroWorkload {
+    cfg: MicroConfig,
+    rngs: Vec<StdRng>,
+    /// Round-robin key rotation per client so successive transactions use
+    /// different keys of the client's set (irrelevant to contention, keeps
+    /// generation cheap and deterministic).
+    counters: Vec<u32>,
+}
+
+/// Keys provisioned per (client, partition).
+pub const KEYS_PER_CLIENT: u32 = 24;
+
+impl MicroWorkload {
+    pub fn new(cfg: MicroConfig) -> Self {
+        let rngs = (0..cfg.clients)
+            .map(|c| StdRng::seed_from_u64(cfg.seed ^ ((c as u64) << 20)))
+            .collect();
+        MicroWorkload {
+            rngs,
+            counters: vec![0; cfg.clients as usize],
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &MicroConfig {
+        &self.cfg
+    }
+
+    /// Build the preloaded engine for one partition.
+    pub fn build_engine(&self, partition: PartitionId) -> MicroEngine {
+        MicroEngine::load(partition, self.cfg.clients, KEYS_PER_CLIENT)
+    }
+
+    /// The §5.2 conflict key of a partition: key 0 of the client pinned to
+    /// it (client id == partition id). Kept public for tests and
+    /// diagnostics (conflict injection itself uses the whole pinned set).
+    pub fn conflict_key(partition: u32) -> MicroKey {
+        make_key(partition, partition, 0)
+    }
+
+    /// Whether this client is pinned (§5.2: "the first client only issues
+    /// transactions to the first partition, and the second client only
+    /// issues transactions to the second partition").
+    fn pinned_partition(&self, client: u32) -> Option<u32> {
+        (self.cfg.conflict_prob > 0.0 && client < self.cfg.partitions.min(2)).then_some(client)
+    }
+
+    fn keys_for(&mut self, client: u32, partition: u32, n: u32) -> Vec<MicroKey> {
+        // Pinned clients always write their first keys in index order (the
+        // paper: their keys are "nearly always being written"; fixed order
+        // also makes deadlock impossible in the conflict workload, §5.2).
+        if self.pinned_partition(client).is_some() {
+            return (0..n).map(|i| make_key(client, partition, i)).collect();
+        }
+        let c = &mut self.counters[client as usize];
+        let start = *c;
+        *c = (*c + n) % KEYS_PER_CLIENT;
+        (0..n)
+            .map(|i| make_key(client, partition, (start + i) % KEYS_PER_CLIENT))
+            .collect()
+    }
+
+    /// §5.2 conflict injection: replace key slots with the pinned client's
+    /// keys of `conflict_partition`, each with probability `p`, preserving
+    /// slot order (all conflicted transactions acquire pinned keys in
+    /// ascending index order, so deadlock is impossible). At p = 1 a
+    /// conflicted transaction writes exactly the pinned client's key set.
+    fn inject_conflicts(
+        &mut self,
+        client: u32,
+        keys: &mut [MicroKey],
+        conflict_partition: u32,
+        slot_base: u32,
+    ) {
+        let p = self.cfg.conflict_prob;
+        if p <= 0.0 || self.pinned_partition(client).is_some() {
+            return;
+        }
+        for (i, k) in keys.iter_mut().enumerate() {
+            if self.rngs[client as usize].gen_bool(p) {
+                *k = make_key(
+                    conflict_partition,
+                    conflict_partition,
+                    slot_base + i as u32,
+                );
+            }
+        }
+    }
+}
+
+impl RequestGenerator for MicroWorkload {
+    type Engine = MicroEngine;
+
+    fn next_request(&mut self, client: ClientId) -> Request<MicroFragment, MicroOutput> {
+        let c = client.0;
+        let cfg = self.cfg;
+        let is_mp = self.rngs[c as usize].gen_bool(cfg.mp_fraction);
+        let aborts = cfg.abort_prob > 0.0 && self.rngs[c as usize].gen_bool(cfg.abort_prob);
+
+        if !is_mp {
+            // Single partition: pinned clients stay home; others pick a
+            // partition at random.
+            let partition = match self.pinned_partition(c) {
+                Some(p) => p,
+                None => self.rngs[c as usize].gen_range(0..cfg.partitions),
+            };
+            let mut keys = self.keys_for(c, partition, cfg.keys_per_txn);
+            // §5.2 conflict injection against the pinned client's keys.
+            self.inject_conflicts(c, &mut keys, partition, 0);
+            return Request::SinglePartition {
+                partition: PartitionId(partition),
+                fragment: MicroFragment {
+                    ops: keys.into_iter().map(MicroOp::Rmw).collect(),
+                    fail: aborts,
+                },
+                can_abort: aborts,
+            };
+        }
+
+        // Multi-partition: split the keys across two partitions (the
+        // paper's microbenchmark always uses both of its two partitions;
+        // with more partitions we pick two distinct ones).
+        let (p0, p1) = if cfg.partitions == 2 {
+            (0u32, 1u32)
+        } else {
+            let a = self.rngs[c as usize].gen_range(0..cfg.partitions);
+            let mut b = self.rngs[c as usize].gen_range(0..cfg.partitions - 1);
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        };
+        let half = cfg.keys_per_txn / 2;
+        let mut keys0 = self.keys_for(c, p0, half);
+        let mut keys1 = self.keys_for(c, p1, half);
+        // "each transaction only conflicts at one of the partitions" —
+        // pick which side at random, keeping load symmetric.
+        if cfg.conflict_prob > 0.0 && self.pinned_partition(c).is_none() {
+            if self.rngs[c as usize].gen_bool(0.5) {
+                self.inject_conflicts(c, &mut keys0, p0, 0);
+            } else {
+                self.inject_conflicts(c, &mut keys1, p1, 0);
+            }
+        }
+        // §5.3: "When a multi-partition transaction is selected, only one
+        // partition will abort locally."
+        let fail_at = aborts.then(|| {
+            if self.rngs[c as usize].gen_bool(0.5) {
+                PartitionId(p0)
+            } else {
+                PartitionId(p1)
+            }
+        });
+
+        let procedure: Box<dyn Procedure<MicroFragment, MicroOutput>> = if cfg.two_round {
+            Box::new(TwoRoundMicroProcedure {
+                reads: vec![(PartitionId(p0), keys0), (PartitionId(p1), keys1)],
+                fail_at,
+            })
+        } else {
+            Box::new(SimpleMicroProcedure {
+                fragments: vec![
+                    (
+                        PartitionId(p0),
+                        MicroFragment {
+                            ops: keys0.into_iter().map(MicroOp::Rmw).collect(),
+                            fail: fail_at == Some(PartitionId(p0)),
+                        },
+                    ),
+                    (
+                        PartitionId(p1),
+                        MicroFragment {
+                            ops: keys1.into_iter().map(MicroOp::Rmw).collect(),
+                            fail: fail_at == Some(PartitionId(p1)),
+                        },
+                    ),
+                ],
+            })
+        };
+        Request::MultiPartition {
+            procedure,
+            can_abort: aborts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MicroEngine {
+        MicroEngine::load(PartitionId(0), 2, 4)
+    }
+
+    fn txid(n: u32) -> TxnId {
+        TxnId::new(ClientId(0), n)
+    }
+
+    #[test]
+    fn rmw_increments_and_reports_old_value() {
+        let mut e = engine();
+        let k = make_key(0, 0, 0);
+        let frag = MicroFragment {
+            ops: vec![MicroOp::Rmw(k), MicroOp::Rmw(k)],
+            fail: false,
+        };
+        let out = e.execute(txid(1), &frag, false);
+        assert_eq!(out.result.unwrap(), vec![0, 1]);
+        assert_eq!(e.read_value(k), Some(2));
+        assert_eq!(out.ops, 4, "two RMWs = four work units");
+    }
+
+    #[test]
+    fn rollback_restores_store() {
+        let mut e = engine();
+        let k = make_key(1, 0, 2);
+        let before = e.fingerprint();
+        e.execute(
+            txid(1),
+            &MicroFragment {
+                ops: vec![MicroOp::Rmw(k), MicroOp::Write(k, 99)],
+                fail: false,
+            },
+            true,
+        );
+        assert_eq!(e.read_value(k), Some(99));
+        assert_eq!(e.rollback(txid(1)), 2);
+        assert_eq!(e.fingerprint(), before);
+        assert_eq!(e.live_undo_buffers(), 0);
+    }
+
+    #[test]
+    fn failed_fragment_costs_one_op_and_leaves_no_state() {
+        let mut e = engine();
+        let before = e.fingerprint();
+        let out = e.execute(txid(1), &MicroFragment { ops: vec![], fail: true }, true);
+        assert_eq!(out.result.unwrap_err(), AbortReason::User);
+        assert_eq!(out.ops, 1);
+        assert_eq!(e.fingerprint(), before);
+    }
+
+    #[test]
+    fn lock_set_modes() {
+        let e = engine();
+        let frag = MicroFragment {
+            ops: vec![
+                MicroOp::Read(1),
+                MicroOp::Rmw(2),
+                MicroOp::Read(2), // subsumed by the RMW's X lock
+                MicroOp::Write(3, 0),
+            ],
+            fail: false,
+        };
+        let locks = e.lock_set(&frag);
+        assert_eq!(locks.len(), 3);
+        assert!(locks.contains(&(LockKey(1), LockMode::Shared)));
+        assert!(locks.contains(&(LockKey(2), LockMode::Exclusive)));
+        assert!(locks.contains(&(LockKey(3), LockMode::Exclusive)));
+    }
+
+    #[test]
+    fn generator_respects_mp_fraction() {
+        for (frac, lo, hi) in [(0.0, 0, 0), (1.0, 1000, 1000), (0.3, 200, 400)] {
+            let mut w = MicroWorkload::new(MicroConfig {
+                mp_fraction: frac,
+                ..Default::default()
+            });
+            let mut mp = 0;
+            for _ in 0..1000 {
+                if matches!(
+                    w.next_request(ClientId(5)),
+                    Request::MultiPartition { .. }
+                ) {
+                    mp += 1;
+                }
+            }
+            assert!((lo..=hi).contains(&mp), "frac {frac}: got {mp}");
+        }
+    }
+
+    #[test]
+    fn sp_requests_access_distinct_client_keys() {
+        let mut w = MicroWorkload::new(MicroConfig::default());
+        let req = w.next_request(ClientId(3));
+        match req {
+            Request::SinglePartition { fragment, .. } => {
+                assert_eq!(fragment.ops.len(), 12);
+                for op in &fragment.ops {
+                    match op {
+                        MicroOp::Rmw(k) => assert_eq!(k >> 24, 3, "client 3's own keys"),
+                        _ => panic!("SP ops are RMW"),
+                    }
+                }
+            }
+            _ => panic!("default config is 0% MP"),
+        }
+    }
+
+    #[test]
+    fn mp_requests_split_keys_evenly() {
+        let mut w = MicroWorkload::new(MicroConfig {
+            mp_fraction: 1.0,
+            ..Default::default()
+        });
+        match w.next_request(ClientId(3)) {
+            Request::MultiPartition { procedure, .. } => {
+                let parts = procedure.participants();
+                assert_eq!(parts.len(), 2);
+                match procedure.step(&[]) {
+                    Step::Round { fragments, is_final } => {
+                        assert!(is_final);
+                        for (_, f) in fragments {
+                            assert_eq!(f.ops.len(), 6);
+                        }
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!("must be MP"),
+        }
+    }
+
+    #[test]
+    fn conflict_mode_pins_first_clients() {
+        let mut w = MicroWorkload::new(MicroConfig {
+            conflict_prob: 1.0,
+            ..Default::default()
+        });
+        for _ in 0..20 {
+            match w.next_request(ClientId(0)) {
+                Request::SinglePartition { partition, .. } => {
+                    assert_eq!(partition, PartitionId(0), "client 0 pinned to P0");
+                }
+                _ => panic!(),
+            }
+            match w.next_request(ClientId(1)) {
+                Request::SinglePartition { partition, .. } => {
+                    assert_eq!(partition, PartitionId(1));
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_mode_makes_other_clients_hit_conflict_keys() {
+        let mut w = MicroWorkload::new(MicroConfig {
+            conflict_prob: 1.0,
+            ..Default::default()
+        });
+        for _ in 0..20 {
+            match w.next_request(ClientId(7)) {
+                Request::SinglePartition { partition, fragment, .. } => {
+                    let conflict = MicroWorkload::conflict_key(partition.0);
+                    assert!(
+                        fragment.ops.contains(&MicroOp::Rmw(conflict)),
+                        "conflict key accessed at p=1.0"
+                    );
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn abort_mode_marks_exactly_one_mp_fragment() {
+        let mut w = MicroWorkload::new(MicroConfig {
+            mp_fraction: 1.0,
+            abort_prob: 1.0,
+            ..Default::default()
+        });
+        match w.next_request(ClientId(2)) {
+            Request::MultiPartition { procedure, can_abort } => {
+                assert!(can_abort);
+                match procedure.step(&[]) {
+                    Step::Round { fragments, .. } => {
+                        let failing = fragments.iter().filter(|(_, f)| f.fail).count();
+                        assert_eq!(failing, 1, "only one participant aborts locally");
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn two_round_procedure_reads_then_writes() {
+        let mut w = MicroWorkload::new(MicroConfig {
+            mp_fraction: 1.0,
+            two_round: true,
+            ..Default::default()
+        });
+        match w.next_request(ClientId(2)) {
+            Request::MultiPartition { procedure, .. } => {
+                let Step::Round { fragments, is_final } = procedure.step(&[]) else {
+                    panic!()
+                };
+                assert!(!is_final, "round 0 is not final (two rounds)");
+                assert!(fragments
+                    .iter()
+                    .all(|(_, f)| f.ops.iter().all(|o| matches!(o, MicroOp::Read(_)))));
+                // Feed fake outputs; round 1 must write value+1.
+                let outs = RoundOutputs {
+                    by_partition: fragments
+                        .iter()
+                        .map(|(p, f)| (*p, vec![7u32; f.ops.len()]))
+                        .collect(),
+                };
+                let Step::Round { fragments, is_final } = procedure.step(&[outs]) else {
+                    panic!()
+                };
+                assert!(is_final);
+                assert!(fragments
+                    .iter()
+                    .all(|(_, f)| f.ops.iter().all(|o| matches!(o, MicroOp::Write(_, 8)))));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = MicroWorkload::new(MicroConfig {
+            mp_fraction: 0.5,
+            ..Default::default()
+        });
+        let mut b = MicroWorkload::new(MicroConfig {
+            mp_fraction: 0.5,
+            ..Default::default()
+        });
+        for _ in 0..50 {
+            let ra = format!("{:?}", a.next_request(ClientId(4)));
+            let rb = format!("{:?}", b.next_request(ClientId(4)));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn engine_preload_covers_all_clients() {
+        let w = MicroWorkload::new(MicroConfig::default());
+        let e = w.build_engine(PartitionId(1));
+        for c in 0..40 {
+            assert_eq!(e.read_value(make_key(c, 1, 0)), Some(0));
+            assert_eq!(e.read_value(make_key(c, 1, KEYS_PER_CLIENT - 1)), Some(0));
+        }
+    }
+}

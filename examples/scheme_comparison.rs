@@ -1,0 +1,68 @@
+//! Compare the three concurrency control schemes on the paper's
+//! microbenchmark as the multi-partition fraction grows — a miniature
+//! Figure 4, plus the §6 analytical model's predictions side by side.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use hcc::model;
+use hcc::prelude::*;
+use hcc::workloads::micro::{MicroConfig, MicroWorkload};
+
+fn run(scheme: Scheme, mp: f64) -> SimReport {
+    let micro = MicroConfig {
+        mp_fraction: mp,
+        ..Default::default()
+    };
+    let system = SystemConfig::new(scheme)
+        .with_partitions(micro.partitions)
+        .with_clients(micro.clients);
+    let cfg = SimConfig::new(system)
+        .with_window(Nanos::from_millis(100), Nanos::from_millis(400));
+    let builder = MicroWorkload::new(micro);
+    let (report, _, _, _) =
+        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    report
+}
+
+fn main() {
+    println!("Microbenchmark: 2 partitions, 40 clients, 12-key read/write transactions");
+    println!("(simulated with the paper's Table 2 cost calibration)\n");
+    println!(
+        "{:>5} | {:>10} {:>10} {:>10} | {:>10} {:>10} | best",
+        "MP %", "blocking", "spec", "locking", "model blk", "model spec"
+    );
+    println!("{}", "-".repeat(84));
+
+    let params = model::ModelParams::paper_table2();
+    for mp in [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0] {
+        let b = run(Scheme::Blocking, mp);
+        let s = run(Scheme::Speculative, mp);
+        let l = run(Scheme::Locking, mp);
+        let best = if s.throughput_tps >= b.throughput_tps && s.throughput_tps >= l.throughput_tps
+        {
+            "speculation"
+        } else if l.throughput_tps >= b.throughput_tps {
+            "locking"
+        } else {
+            "blocking"
+        };
+        println!(
+            "{:>5.0} | {:>10.0} {:>10.0} {:>10.0} | {:>10.0} {:>10.0} | {}",
+            mp * 100.0,
+            b.throughput_tps,
+            s.throughput_tps,
+            l.throughput_tps,
+            model::blocking_throughput(&params, mp),
+            model::speculation_throughput(&params, mp),
+            best,
+        );
+    }
+
+    println!("\nThe paper's headline relationships, visible above:");
+    println!("  * all schemes match at 0% (no concurrency control needed);");
+    println!("  * blocking collapses as multi-partition work appears;");
+    println!("  * speculation leads until the central coordinator saturates (~50%);");
+    println!("  * locking (client-coordinated 2PC, no central coordinator) wins past it.");
+}
