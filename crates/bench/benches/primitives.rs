@@ -115,7 +115,12 @@ fn bench_locks(c: &mut Criterion) {
             lm.acquire(txid(i), LockKey(i as u64), LockMode::Exclusive, Nanos(0));
         }
         for i in 1..16u32 {
-            lm.acquire(txid(i), LockKey((i - 1) as u64), LockMode::Exclusive, Nanos(0));
+            lm.acquire(
+                txid(i),
+                LockKey((i - 1) as u64),
+                LockMode::Exclusive,
+                Nanos(0),
+            );
         }
         b.iter(|| black_box(hcc_locking::deadlock::find_cycle(&lm, txid(15))));
     });

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hcc_bench::{run_tpcc, Effort};
 use hcc_common::{ClientId, PartitionId, Scheme, TxnId};
 use hcc_core::ExecutionEngine;
-use hcc_workloads::tpcc::{
-    CustomerSel, OrderLineReq, TpccConfig, TpccFragment, TpccWorkload,
-};
+use hcc_workloads::tpcc::{CustomerSel, OrderLineReq, TpccConfig, TpccFragment, TpccWorkload};
 use std::hint::black_box;
 
 fn engine() -> hcc_workloads::tpcc::TpccEngine {
@@ -95,9 +93,7 @@ fn bench_transactions(c: &mut Criterion) {
                 d_id: ((n % 10) + 1) as u8,
                 c_w_id: 1,
                 c_d_id: ((n % 10) + 1) as u8,
-                customer: CustomerSel::ByName(hcc_storage::tpcc::last_name(
-                    (n % 300) as u64,
-                )),
+                customer: CustomerSel::ByName(hcc_storage::tpcc::last_name((n % 300) as u64)),
                 amount_cents: 1000,
                 customer_is_local: true,
             };

@@ -1,0 +1,231 @@
+//! PR 1 perf harness: measures the host-side cost of the transaction hot
+//! path at three layers (storage engine, scheduler dispatch, simulator
+//! event loop) and prints one JSON object. Run on the naive and the
+//! optimized build to produce the before/after columns of
+//! `BENCH_PR1.json`.
+//!
+//! Usage: cargo run --release -p hcc-bench --bin bench_pr1 [label]
+
+use hcc_common::{
+    ClientId, CoordinatorRef, CostModel, Decision, FragmentTask, Nanos, PartitionId, Scheme,
+    SystemConfig, TxnId,
+};
+use hcc_core::speculative::SpeculativeScheduler;
+use hcc_core::{ExecutionEngine, Outbox, Scheduler};
+use hcc_sim::{SimConfig, Simulation};
+use hcc_workloads::micro::{
+    make_key, MicroConfig, MicroEngine, MicroFragment, MicroOp, MicroWorkload,
+};
+use hcc_workloads::tpcc::{OrderLineReq, TpccConfig, TpccFragment, TpccWorkload};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn txid(n: u32) -> TxnId {
+    TxnId::new(ClientId(0), n)
+}
+
+fn twelve_rmw(n: u32) -> MicroFragment {
+    MicroFragment {
+        ops: (0..12)
+            .map(|i| MicroOp::Rmw(make_key(n % 40, 0, (n + i) % 24)))
+            .collect(),
+        fail: false,
+    }
+}
+
+fn sp_task(n: u32) -> FragmentTask<MicroFragment> {
+    FragmentTask {
+        txn: TxnId::new(ClientId(1), n),
+        coordinator: CoordinatorRef::Client(ClientId(1)),
+        client: ClientId(1),
+        fragment: twelve_rmw(n),
+        multi_partition: false,
+        last_fragment: true,
+        round: 0,
+        can_abort: false,
+    }
+}
+
+fn mp_task(n: u32) -> FragmentTask<MicroFragment> {
+    FragmentTask {
+        txn: TxnId::new(ClientId(9), n),
+        coordinator: CoordinatorRef::Central,
+        client: ClientId(9),
+        fragment: MicroFragment {
+            ops: (0..6)
+                .map(|i| MicroOp::Rmw(make_key(9, 0, (n + i) % 24)))
+                .collect(),
+            fail: false,
+        },
+        multi_partition: true,
+        last_fragment: true,
+        round: 0,
+        can_abort: false,
+    }
+}
+
+/// Time `f` over enough iterations to fill ~`budget_ms`, reporting ns/iter.
+fn measure(budget_ms: u64, mut f: impl FnMut(u32)) -> f64 {
+    // Calibrate.
+    let start = Instant::now();
+    let mut n = 0u32;
+    while start.elapsed().as_millis() < 100 {
+        f(n);
+        n = n.wrapping_add(1);
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / n.max(1) as f64;
+    let iters = ((budget_ms as f64 * 1e6) / per_iter.max(1.0)).max(1.0) as u32;
+    let start = Instant::now();
+    for i in 0..iters {
+        f(n.wrapping_add(i));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".to_string());
+    let costs = CostModel::default();
+
+    // --- Layer 1: storage engine -----------------------------------------
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let exec_no_undo_ns = measure(800, |n| {
+        let frag = twelve_rmw(n);
+        black_box(engine.execute(txid(n), &frag, false));
+        engine.forget(txid(n));
+    });
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let exec_undo_forget_ns = measure(800, |n| {
+        let frag = twelve_rmw(n);
+        black_box(engine.execute(txid(n), &frag, true));
+        engine.forget(txid(n));
+    });
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let exec_undo_rollback_ns = measure(800, |n| {
+        let frag = twelve_rmw(n);
+        black_box(engine.execute(txid(n), &frag, true));
+        black_box(engine.rollback(txid(n)));
+    });
+
+    // --- Layer 2: scheduler dispatch (single-partition fast path) --------
+    let mut sched: SpeculativeScheduler<MicroEngine> =
+        SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let mut out = Outbox::new(costs);
+    let sched_sp_ns = measure(800, |n| {
+        sched.on_fragment(sp_task(n), &mut engine, Nanos(0), &mut out);
+        black_box(out.take());
+    });
+
+    // MP lifecycle: fragment + commit decision.
+    let mut sched: SpeculativeScheduler<MicroEngine> =
+        SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let mut out = Outbox::new(costs);
+    let sched_mp_ns = measure(500, |n| {
+        let task = mp_task(n);
+        let txn = task.txn;
+        sched.on_fragment(task, &mut engine, Nanos(0), &mut out);
+        sched.on_decision(
+            Decision { txn, commit: true },
+            &mut engine,
+            Nanos(0),
+            &mut out,
+        );
+        black_box(out.take());
+    });
+
+    // Cascade: 1 MP + 4 speculated SPs, then abort.
+    let mut sched: SpeculativeScheduler<MicroEngine> =
+        SpeculativeScheduler::new(PartitionId(0), costs, usize::MAX);
+    let mut engine = MicroEngine::load(PartitionId(0), 40, 24);
+    let mut out = Outbox::new(costs);
+    let sched_cascade_ns = measure(500, |n| {
+        let n = n.wrapping_mul(10);
+        let task = mp_task(n);
+        let txn = task.txn;
+        sched.on_fragment(task, &mut engine, Nanos(0), &mut out);
+        for i in 1..=4 {
+            sched.on_fragment(sp_task(n.wrapping_add(i)), &mut engine, Nanos(0), &mut out);
+        }
+        sched.on_decision(
+            Decision { txn, commit: false },
+            &mut engine,
+            Nanos(0),
+            &mut out,
+        );
+        black_box(out.take());
+    });
+
+    // --- Layer 3: TPC-C engine -------------------------------------------
+    let mut tpcc = TpccWorkload::new(TpccConfig::new(2, 1)).build_engine(PartitionId(0));
+    let tpcc_new_order_ns = measure(800, |n| {
+        let frag = TpccFragment::NewOrderHome {
+            w_id: 1,
+            d_id: ((n % 10) + 1) as u8,
+            c_id: (n % 300) + 1,
+            lines: (0..10)
+                .map(|i| OrderLineReq {
+                    i_id: ((n * 13 + i * 97) % 10_000) + 1,
+                    supply_w_id: 1,
+                    quantity: 5,
+                })
+                .collect(),
+        };
+        black_box(tpcc.execute(txid(n), &frag, false));
+        tpcc.forget(txid(n));
+    });
+
+    // --- Layer 4: whole simulator ----------------------------------------
+    let sim = |scheme: Scheme, mp: f64| {
+        let micro = MicroConfig {
+            mp_fraction: mp,
+            seed: 7,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(scheme)
+            .with_partitions(2)
+            .with_clients(40)
+            .with_seed(7);
+        let cfg =
+            SimConfig::new(system).with_window(Nanos::from_millis(50), Nanos::from_millis(400));
+        let builder = MicroWorkload::new(micro);
+        let start = Instant::now();
+        let (r, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let wall = start.elapsed().as_secs_f64();
+        (r.events_processed as f64 / wall, wall, r.committed)
+    };
+    // Warm once, then take the best of 3 (events/sec is wall-clock noisy).
+    let _ = sim(Scheme::Speculative, 0.3);
+    let mut best_eps = 0.0f64;
+    let mut committed = 0;
+    let mut wall = 0.0;
+    for _ in 0..3 {
+        let (eps, w, c) = sim(Scheme::Speculative, 0.3);
+        if eps > best_eps {
+            best_eps = eps;
+            wall = w;
+            committed = c;
+        }
+    }
+
+    let micro_sp_tps = 1e9 / sched_sp_ns;
+    let tpcc_tps = 1e9 / tpcc_new_order_ns;
+    println!("{{");
+    println!("  \"label\": \"{label}\",");
+    println!("  \"engine_execute_12rmw_no_undo_ns\": {exec_no_undo_ns:.1},");
+    println!("  \"engine_execute_12rmw_undo_forget_ns\": {exec_undo_forget_ns:.1},");
+    println!("  \"engine_execute_12rmw_undo_rollback_ns\": {exec_undo_rollback_ns:.1},");
+    println!("  \"sched_sp_fast_path_ns\": {sched_sp_ns:.1},");
+    println!("  \"sched_mp_lifecycle_ns\": {sched_mp_ns:.1},");
+    println!("  \"sched_cascade_abort4_ns\": {sched_cascade_ns:.1},");
+    println!("  \"micro_sp_txn_per_sec\": {micro_sp_tps:.0},");
+    println!("  \"tpcc_new_order_ns\": {tpcc_new_order_ns:.1},");
+    println!("  \"tpcc_new_order_per_sec\": {tpcc_tps:.0},");
+    println!("  \"sim_events_per_sec\": {best_eps:.0},");
+    println!("  \"sim_wall_seconds\": {wall:.3},");
+    println!("  \"sim_committed\": {committed}");
+    println!("}}");
+}

@@ -1,0 +1,49 @@
+//! Prints the golden determinism values asserted by
+//! `crates/sim/tests/determinism.rs::golden_*`. The scenario below must
+//! stay in lockstep with that test's — if you change either, change both
+//! and re-capture. For each scheme it prints the
+//! committed/aborted/retry counts and the final primary + shadow replica
+//! fingerprints of a fixed-seed run. Captured on the naive (pre-fast-path)
+//! build; the optimized build must reproduce them bit-for-bit.
+
+use hcc_common::{Nanos, Scheme, SystemConfig};
+use hcc_sim::{SimConfig, Simulation};
+use hcc_workloads::micro::{MicroConfig, MicroWorkload};
+
+fn main() {
+    for scheme in [
+        Scheme::Blocking,
+        Scheme::Speculative,
+        Scheme::Locking,
+        Scheme::Occ,
+    ] {
+        let micro = MicroConfig {
+            mp_fraction: 0.3,
+            abort_prob: 0.05,
+            conflict_prob: 0.2,
+            clients: 24,
+            seed: 0xD5,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(scheme)
+            .with_partitions(2)
+            .with_clients(24)
+            .with_seed(0xD5);
+        let cfg = SimConfig::new(system)
+            .with_window(Nanos::from_millis(20), Nanos::from_millis(100))
+            .with_shadow();
+        let builder = MicroWorkload::new(micro);
+        let (r, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let shadow = shadow.expect("shadow enabled");
+        let fps: Vec<u64> = engines.iter().map(|e| e.fingerprint()).collect();
+        let sfps: Vec<u64> = shadow.iter().map(|e| e.fingerprint()).collect();
+        println!(
+            "({:?}, Golden {{ committed: {}, user_aborts: {}, retries: {}, committed_mp: {}, fingerprints: [{:#018x}, {:#018x}] }}),",
+            scheme, r.committed, r.user_aborts, r.retries, r.committed_mp, fps[0], fps[1]
+        );
+        assert_eq!(fps, sfps, "{scheme}: primary and shadow must agree");
+    }
+}

@@ -23,7 +23,15 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("results"));
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .find(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str())
+                    != args
+                        .iter()
+                        .position(|x| x == "--out")
+                        .and_then(|i| args.get(i + 1))
+                        .map(|s| s.as_str())
+        })
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
@@ -35,7 +43,11 @@ fn main() {
             println!("    {}", plot::series_summary(s));
         }
         match plot::write_csv(&fig, &out_dir) {
-            Ok(p) => println!("    csv: {}   ({:.1}s)\n", p.display(), t0.elapsed().as_secs_f64()),
+            Ok(p) => println!(
+                "    csv: {}   ({:.1}s)\n",
+                p.display(),
+                t0.elapsed().as_secs_f64()
+            ),
             Err(e) => eprintln!("    csv write failed: {e}"),
         }
     };

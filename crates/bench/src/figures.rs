@@ -252,7 +252,9 @@ pub fn fig10(effort: Effort) -> Figure {
         model_series("model local spec", &|f| {
             model::local_speculation_throughput(&params, f)
         }),
-        model_series("model blocking", &|f| model::blocking_throughput(&params, f)),
+        model_series("model blocking", &|f| {
+            model::blocking_throughput(&params, f)
+        }),
         model_series("model locking", &|f| model::locking_throughput(&params, f)),
     ];
     // Measured: blocking, locking, local-only speculation (the variant the

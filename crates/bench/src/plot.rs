@@ -103,11 +103,7 @@ pub fn write_csv(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf
     for x in xs {
         let _ = write!(body, "{x:.3}");
         for s in &fig.series {
-            match s
-                .points
-                .iter()
-                .find(|(px, _)| (px - x).abs() < 1e-9)
-            {
+            match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-9) {
                 Some((_, y)) => {
                     let _ = write!(body, ",{y:.1}");
                 }

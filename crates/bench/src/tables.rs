@@ -65,9 +65,7 @@ pub fn table1(effort: Effort) -> Vec<Table1Cell> {
 /// Render the Table 1 grid in the paper's layout.
 pub fn render_table1(cells: &[Table1Cell]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "                         |        Few Aborts         |        Many Aborts\n",
-    );
+    out.push_str("                         |        Few Aborts         |        Many Aborts\n");
     out.push_str(
         "                         | few confl.  | many confl.  | few confl.  | many confl.\n",
     );
@@ -161,13 +159,19 @@ pub fn table2(effort: Effort) -> Table2 {
 pub fn ablation(effort: Effort) -> String {
     use hcc_model::{recommend, ModelParams, WorkloadProfile};
     let mut out = String::new();
-    out.push_str("Speculation depth limit vs abort rate (30% multi-partition):
+    out.push_str(
+        "Speculation depth limit vs abort rate (30% multi-partition):
 
-");
-    out.push_str("abort % |  unlimited |   depth 8 |   depth 2 |   depth 0
-");
-    out.push_str("--------+------------+-----------+-----------+----------
-");
+",
+    );
+    out.push_str(
+        "abort % |  unlimited |   depth 8 |   depth 2 |   depth 0
+",
+    );
+    out.push_str(
+        "--------+------------+-----------+-----------+----------
+",
+    );
     for abort in [0.0, 0.05, 0.10, 0.20] {
         let mut row = format!("{:>7.0} |", abort * 100.0);
         for depth in [usize::MAX, 8, 2, 0] {
@@ -186,14 +190,20 @@ pub fn ablation(effort: Effort) -> String {
         out.push('\n');
     }
 
-    out.push_str("
+    out.push_str(
+        "
 Adaptive advisor (model + runtime statistics) vs empirical winner:
 
-");
-    out.push_str("mp %  confl  abort  rounds | advisor      | empirical best
-");
-    out.push_str("---------------------------+--------------+---------------
-");
+",
+    );
+    out.push_str(
+        "mp %  confl  abort  rounds | advisor      | empirical best
+",
+    );
+    out.push_str(
+        "---------------------------+--------------+---------------
+",
+    );
     let params = ModelParams::paper_table2();
     for (mp, conflict, abort, two_round) in [
         (0.05, 0.0, 0.0, false),

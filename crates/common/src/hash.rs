@@ -1,0 +1,141 @@
+//! Fast, deterministic hashing for hot-path containers.
+//!
+//! The std `HashMap` default (SipHash-1-3) is DoS-resistant but costs
+//! tens of nanoseconds per key — which dominates the paper's
+//! single-partition fast path, where a 12-key transaction performs ~24
+//! map probes and nothing else. [`FxHasher`] is the FxHash function used
+//! by rustc: a multiply-rotate mix that hashes a `u64` key in a couple of
+//! cycles. Keys here are internal identifiers (`TxnId`, `LockKey`, packed
+//! row keys, short byte strings), not attacker-controlled input, so
+//! DoS-resistance buys nothing.
+//!
+//! Determinism note: unlike `RandomState`, Fx iteration order is a pure
+//! function of the inserted keys. The simulator never lets map iteration
+//! order reach its outputs regardless (see the sorted sweeps in
+//! `hcc-core`), but a deterministic hasher removes the hazard class
+//! entirely.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash mixer (64-bit flavour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Murmur3 fmix64 finalizer. The raw Fx mix ends in a multiply,
+        // which leaves the LOW bits of the hash with almost no entropy
+        // from the input's HIGH bits — and SwissTable derives its bucket
+        // index from the low bits, so structured keys (e.g. ids packed
+        // into a value's top bytes) would cluster into a handful of
+        // buckets. Two xor-shift/multiply rounds avalanche every input
+        // bit into every output bit for a couple of cycles.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the Fx hasher (open addressing via std's SwissTable).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(
+                m.get(&i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                Some(&(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"hello"), hash(b"hello"));
+        assert_ne!(hash(b"hello"), hash(b"hellp"));
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefg"));
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(&3));
+    }
+}

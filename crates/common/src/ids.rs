@@ -185,9 +185,6 @@ mod tests {
         assert_eq!(ClientId(9).to_string(), "C9");
         assert_eq!(TxnId::new(ClientId(2), 4).to_string(), "T2.4");
         assert_eq!(CoordinatorRef::Central.to_string(), "coord");
-        assert_eq!(
-            CoordinatorRef::Client(ClientId(1)).to_string(),
-            "coord@C1"
-        );
+        assert_eq!(CoordinatorRef::Client(ClientId(1)).to_string(), "coord@C1");
     }
 }

@@ -14,6 +14,7 @@
 //! and primary/backup replication.
 
 pub mod config;
+pub mod hash;
 pub mod ids;
 pub mod msg;
 pub mod rng;
@@ -21,8 +22,7 @@ pub mod stats;
 pub mod time;
 
 pub use config::{CostModel, NetworkModel, Scheme, SystemConfig};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorRef, LockKey, PartitionId, TxnId};
-pub use msg::{
-    AbortReason, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
-};
+pub use msg::{AbortReason, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote};
 pub use time::{Nanos, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

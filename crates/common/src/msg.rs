@@ -33,10 +33,7 @@ impl AbortReason {
     /// logic outcomes, so clients re-submit them (the paper counts only
     /// completed transactions).
     pub fn is_retryable(self) -> bool {
-        matches!(
-            self,
-            AbortReason::DeadlockVictim | AbortReason::LockTimeout
-        )
+        matches!(self, AbortReason::DeadlockVictim | AbortReason::LockTimeout)
     }
 }
 

@@ -14,9 +14,7 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// A point in virtual time (nanoseconds since the start of the simulation)
 /// or a span of virtual time, depending on context.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize)]
 pub struct Nanos(pub u64);
 
 impl Nanos {

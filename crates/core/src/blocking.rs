@@ -13,10 +13,7 @@ use crate::engine::ExecutionEngine;
 use crate::outbox::Outbox;
 use crate::scheduler::Scheduler;
 use hcc_common::stats::SchedulerCounters;
-use hcc_common::{
-    CostModel, Decision, FragmentResponse, FragmentTask, Nanos,
-    TxnResult, Vote,
-};
+use hcc_common::{CostModel, Decision, FragmentResponse, FragmentTask, Nanos, TxnResult, Vote};
 use std::collections::VecDeque;
 
 /// The multi-partition transaction currently occupying the partition.
@@ -255,7 +252,11 @@ mod tests {
         }
     }
 
-    fn setup() -> (BlockingScheduler<TestEngine>, TestEngine, Outbox<Vec<(u64, i64)>>) {
+    fn setup() -> (
+        BlockingScheduler<TestEngine>,
+        TestEngine,
+        Outbox<Vec<(u64, i64)>>,
+    ) {
         (
             BlockingScheduler::new(PartitionId(0), CostModel::default()),
             TestEngine::with_data(&[(1, 100), (2, 200)]),
@@ -266,13 +267,21 @@ mod tests {
     #[test]
     fn single_partition_commits_immediately() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(sp_task(1, TestFragment::add(1, 5)), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            sp_task(1, TestFragment::add(1, 5)),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         assert_eq!(e.get(1), 105);
         let (msgs, cpu) = out.take();
         assert_eq!(msgs.len(), 1);
         assert!(matches!(
             &msgs[0],
-            crate::outbox::PartitionOut::ToClient { result: TxnResult::Committed(_), .. }
+            crate::outbox::PartitionOut::ToClient {
+                result: TxnResult::Committed(_),
+                ..
+            }
         ));
         assert!(cpu > Nanos::ZERO);
         assert!(s.is_idle());
@@ -289,7 +298,10 @@ mod tests {
         let (msgs, _) = out.take();
         assert!(matches!(
             &msgs[0],
-            crate::outbox::PartitionOut::ToClient { result: TxnResult::Aborted(AbortReason::User), .. }
+            crate::outbox::PartitionOut::ToClient {
+                result: TxnResult::Aborted(AbortReason::User),
+                ..
+            }
         ));
         assert_eq!(s.counters().aborted, 1);
     }
@@ -297,7 +309,12 @@ mod tests {
     #[test]
     fn mp_blocks_queued_sp_until_decision() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         let (msgs, _) = out.take();
         assert!(matches!(
             &msgs[0],
@@ -305,7 +322,12 @@ mod tests {
                 if response.vote == Some(Vote::Commit)
         ));
         // SP arrives while MP active: queued, not executed.
-        s.on_fragment(sp_task(2, TestFragment::add(1, 10)), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            sp_task(2, TestFragment::add(1, 10)),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         assert_eq!(e.get(1), 101, "queued SP must not execute");
         assert_eq!(s.queue_len(), 1);
         assert!(out.take().0.is_empty());
@@ -330,7 +352,12 @@ mod tests {
     #[test]
     fn abort_rolls_back_mp_effects() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         assert_eq!(e.get(1), 101);
         s.on_decision(
             Decision {
@@ -349,14 +376,24 @@ mod tests {
     #[test]
     fn multi_round_mp_continues_without_queueing() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp_task(1, TestFragment::read(&[1]), false, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::read(&[1]), false, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         let (msgs, _) = out.take();
         assert!(matches!(
             &msgs[0],
             crate::outbox::PartitionOut::ToCoordinator { response, .. } if response.vote.is_none()
         ));
         // Round 1 continues the same transaction.
-        s.on_fragment(mp_task(1, TestFragment::set(1, 77), true, 1), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::set(1, 77), true, 1),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         assert_eq!(e.get(1), 77);
         let (msgs, _) = out.take();
         assert!(matches!(
@@ -380,7 +417,12 @@ mod tests {
     #[test]
     fn mp_user_abort_votes_abort() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp_task(1, TestFragment::failing(), true, 0), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::failing(), true, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         let (msgs, _) = out.take();
         assert!(matches!(
             &msgs[0],
@@ -392,15 +434,38 @@ mod tests {
     #[test]
     fn queued_mp_becomes_active_after_drain() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp_task(1, TestFragment::add(1, 1), true, 0), &mut e, Nanos(0), &mut out);
-        s.on_fragment(sp_task(2, TestFragment::add(2, 1)), &mut e, Nanos(0), &mut out);
-        s.on_fragment(mp_task(3, TestFragment::add(2, 5), true, 0), &mut e, Nanos(0), &mut out);
-        s.on_fragment(sp_task(4, TestFragment::add(2, 7)), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            mp_task(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        s.on_fragment(
+            sp_task(2, TestFragment::add(2, 1)),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        s.on_fragment(
+            mp_task(3, TestFragment::add(2, 5), true, 0),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
+        s.on_fragment(
+            sp_task(4, TestFragment::add(2, 7)),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         assert_eq!(s.queue_len(), 3);
         out.take();
 
         s.on_decision(
-            Decision { txn: TxnId::new(ClientId(9), 1), commit: true },
+            Decision {
+                txn: TxnId::new(ClientId(9), 1),
+                commit: true,
+            },
             &mut e,
             Nanos(0),
             &mut out,
@@ -415,7 +480,10 @@ mod tests {
         assert_eq!(msgs.len(), 2);
 
         s.on_decision(
-            Decision { txn: TxnId::new(ClientId(9), 3), commit: true },
+            Decision {
+                txn: TxnId::new(ClientId(9), 3),
+                commit: true,
+            },
             &mut e,
             Nanos(0),
             &mut out,
@@ -430,7 +498,12 @@ mod tests {
         let mut s: BlockingScheduler<TestEngine> = BlockingScheduler::new(PartitionId(0), costs);
         let mut e = TestEngine::with_data(&[(1, 0)]);
         let mut out = Outbox::new(costs);
-        s.on_fragment(sp_task(1, TestFragment::add(1, 1)), &mut e, Nanos(0), &mut out);
+        s.on_fragment(
+            sp_task(1, TestFragment::add(1, 1)),
+            &mut e,
+            Nanos(0),
+            &mut out,
+        );
         let (_, plain) = out.take();
         let mut task = sp_task(2, TestFragment::add(1, 1));
         task.can_abort = true; // forces undo buffer

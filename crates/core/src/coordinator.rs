@@ -32,9 +32,9 @@
 use crate::procedure::{Procedure, RoundOutputs, Step};
 use hcc_common::{
     AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask,
-    Nanos, PartitionId, TxnId, TxnResult, Vote,
+    FxHashMap, FxHashSet, Nanos, PartitionId, TxnId, TxnResult, Vote,
 };
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Messages emitted by the coordinator, routed by the driver.
 #[derive(Debug)]
@@ -71,11 +71,44 @@ struct MpTxn<F, R> {
     /// Participants of the current round.
     participants: Vec<PartitionId>,
     /// All partitions that have ever been sent a fragment (abort targets).
-    dispatched: HashSet<PartitionId>,
-    /// Latest response per participant for the current round.
-    responses: HashMap<PartitionId, FragmentResponse<R>>,
+    /// A transaction touches a handful of partitions, so a linear-scanned
+    /// `Vec` beats a hash set here (and iterates deterministically).
+    dispatched: Vec<PartitionId>,
+    /// Latest response per participant for the current round, keyed
+    /// linearly by partition for the same reason.
+    responses: Vec<(PartitionId, FragmentResponse<R>)>,
     round: u32,
     is_final: bool,
+}
+
+impl<F, R> MpTxn<F, R> {
+    #[inline]
+    fn response(&self, p: PartitionId) -> &FragmentResponse<R> {
+        &self
+            .responses
+            .iter()
+            .find(|(q, _)| *q == p)
+            .expect("response present for participant")
+            .1
+    }
+
+    /// Insert or overwrite the response from `resp.partition`.
+    fn set_response(&mut self, resp: FragmentResponse<R>) {
+        match self
+            .responses
+            .iter_mut()
+            .find(|(q, _)| *q == resp.partition)
+        {
+            Some(slot) => slot.1 = resp,
+            None => self.responses.push((resp.partition, resp)),
+        }
+    }
+
+    fn note_dispatched(&mut self, p: PartitionId) {
+        if !self.dispatched.contains(&p) {
+            self.dispatched.push(p);
+        }
+    }
 }
 
 /// How many decided transactions to remember for dependency validation.
@@ -99,12 +132,14 @@ pub struct Coordinator<F, R> {
     coord_ref: CoordinatorRef,
     /// CPU charged per message handled.
     per_msg: Nanos,
-    txns: HashMap<TxnId, MpTxn<F, R>>,
+    txns: FxHashMap<TxnId, MpTxn<F, R>>,
     /// Per committed transaction: the execution attempt committed at each
     /// partition (for dependency validation).
-    committed: HashMap<TxnId, HashMap<PartitionId, u32>>,
-    aborted: HashSet<TxnId>,
+    committed: FxHashMap<TxnId, Vec<(PartitionId, u32)>>,
+    aborted: FxHashSet<TxnId>,
     history_order: VecDeque<TxnId>,
+    /// Scratch buffer for the sorted settle sweep (reused across calls).
+    scan: Vec<TxnId>,
     pub counters: CoordCounters,
     /// Virtual CPU consumed since the last drain.
     cpu: Nanos,
@@ -127,10 +162,11 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         Coordinator {
             coord_ref,
             per_msg,
-            txns: HashMap::new(),
-            committed: HashMap::new(),
-            aborted: HashSet::new(),
+            txns: FxHashMap::default(),
+            committed: FxHashMap::default(),
+            aborted: FxHashSet::default(),
             history_order: VecDeque::new(),
+            scan: Vec::new(),
             counters: CoordCounters::default(),
             cpu: Nanos::ZERO,
         }
@@ -184,8 +220,8 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             started: now,
             settled_rounds: Vec::new(),
             participants: Vec::new(),
-            dispatched: HashSet::new(),
-            responses: HashMap::new(),
+            dispatched: Vec::new(),
+            responses: Vec::new(),
             round: 0,
             is_final: false,
         };
@@ -197,7 +233,10 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 debug_assert!(!fragments.is_empty(), "empty round-0 for {txn}");
                 entry.is_final = is_final;
                 entry.participants = fragments.iter().map(|(p, _)| *p).collect();
-                entry.dispatched.extend(entry.participants.iter().copied());
+                for i in 0..entry.participants.len() {
+                    let p = entry.participants[i];
+                    entry.note_dispatched(p);
+                }
                 let n = fragments.len() as u64;
                 for (pid, fragment) in fragments {
                     out.push(CoordOut::Fragment(
@@ -242,8 +281,31 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             self.counters.stale_responses_discarded += 1;
             return;
         }
-        t.responses.insert(resp.partition, resp);
-        self.progress(&[], out);
+        let txn = resp.txn;
+        t.set_response(resp);
+        // Fast path: every other pending transaction is quiescent (the
+        // last settle sweep left them unable to act, and nothing has
+        // changed for them since), so the full sorted sweep of the settle
+        // loop is only needed once *this* transaction is **decided** —
+        // only a commit/abort mutates the settle state other transactions
+        // read. A round advance dispatches fragments but settles nothing,
+        // so sweeping after it would provably find no work. Equivalent to
+        // sweeping everything, minus the provable no-ops.
+        if self.progress_one(txn, out) == Progress::Decided {
+            // Finish what would have been the first full sweep: the
+            // transactions sorted after this one, evaluated against the
+            // new state — then iterate to fixpoint over ALL ids (a
+            // smaller-id transaction may be waiting on this decision).
+            self.scan.clear();
+            let mut scan = std::mem::take(&mut self.scan);
+            scan.extend(self.txns.keys().copied().filter(|t| *t > txn));
+            scan.sort_unstable();
+            for t in &scan {
+                self.progress_one(*t, out);
+            }
+            self.scan = scan;
+            self.progress(out);
+        }
     }
 
     /// Dependency validity of one response.
@@ -252,7 +314,11 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             None => Settle::Settled,
             Some(dep) => {
                 if let Some(attempts) = self.committed.get(&dep.txn) {
-                    if attempts.get(&resp.partition) == Some(&dep.attempt) {
+                    let committed_attempt = attempts
+                        .iter()
+                        .find(|(p, _)| *p == resp.partition)
+                        .map(|(_, a)| *a);
+                    if committed_attempt == Some(dep.attempt) {
                         Settle::Settled
                     } else {
                         Settle::Stale
@@ -271,37 +337,43 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
 
     /// Try to advance every pending transaction (a commit/abort can settle
     /// other transactions' responses, so this loops to fixpoint).
-    fn progress(&mut self, _hint: &[TxnId], out: &mut Vec<CoordOut<F, R>>) {
+    fn progress(&mut self, out: &mut Vec<CoordOut<F, R>>) {
         loop {
-            let mut acted = false;
-            // Sorted sweep: HashMap iteration order is randomized per
-            // process, and the emission order of coordinator messages must
-            // be a pure function of the run (determinism guarantee).
-            let mut ids: Vec<TxnId> = self.txns.keys().copied().collect();
-            ids.sort_unstable();
-            for txn in ids {
-                acted |= self.progress_one(txn, out);
+            // Only decisions mutate the state `settled()` reads, so only
+            // they warrant another sweep.
+            let mut decided = false;
+            // Sorted sweep: the emission order of coordinator messages
+            // must be a pure function of the run (determinism guarantee),
+            // never of map iteration order. The id buffer is recycled
+            // across calls.
+            self.scan.clear();
+            let mut scan = std::mem::take(&mut self.scan);
+            scan.extend(self.txns.keys().copied());
+            scan.sort_unstable();
+            for txn in &scan {
+                decided |= self.progress_one(*txn, out) == Progress::Decided;
             }
-            if !acted {
+            self.scan = scan;
+            if !decided {
                 return;
             }
         }
     }
 
-    /// Returns true if the transaction changed state (committed, aborted,
-    /// or advanced a round).
-    fn progress_one(&mut self, txn: TxnId, out: &mut Vec<CoordOut<F, R>>) -> bool {
+    /// Advance one transaction as far as its settled responses allow.
+    fn progress_one(&mut self, txn: TxnId, out: &mut Vec<CoordOut<F, R>>) -> Progress {
         let Some(t) = self.txns.get(&txn) else {
-            return false;
+            return Progress::None;
         };
         if t.responses.len() < t.participants.len() {
-            return false;
+            return Progress::None;
         }
-        // Classify responses.
+        // Classify responses. (`Vec::new` does not allocate until first
+        // push, so the stale list is free on the common all-settled path.)
         let mut stale: Vec<PartitionId> = Vec::new();
         let mut all_settled = true;
         for p in &t.participants {
-            let resp = &t.responses[p];
+            let resp = t.response(*p);
             match self.settled(resp) {
                 Settle::Settled => {}
                 Settle::Hold => all_settled = false,
@@ -309,20 +381,24 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             }
         }
         if !stale.is_empty() {
+            // Drop the stale responses (their executions were squashed);
+            // the partitions re-send fresh ones.
             let t = self.txns.get_mut(&txn).unwrap();
             for p in stale {
-                t.responses.remove(&p);
+                if let Some(i) = t.responses.iter().position(|(q, _)| *q == p) {
+                    t.responses.swap_remove(i);
+                }
             }
             self.counters.stale_responses_discarded += 1;
-            return false;
+            return Progress::None;
         }
         if !all_settled {
-            return false;
+            return Progress::None;
         }
 
         // All settled: abort if any participant failed or voted abort.
         let abort_reason = t.participants.iter().find_map(|p| {
-            let resp = &t.responses[p];
+            let resp = t.response(*p);
             match (&resp.payload, resp.vote) {
                 (Err(r), _) => Some(*r),
                 (_, Some(Vote::Abort(r))) => Some(r),
@@ -331,7 +407,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         });
         if let Some(reason) = abort_reason {
             self.finish(txn, Err(reason), out);
-            return true;
+            return Progress::Decided;
         }
 
         let t = self.txns.get_mut(&txn).unwrap();
@@ -339,9 +415,9 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             debug_assert!(t
                 .participants
                 .iter()
-                .all(|p| t.responses[p].vote == Some(Vote::Commit)));
+                .all(|p| t.response(*p).vote == Some(Vote::Commit)));
             self.finish(txn, Ok(()), out);
-            return true;
+            return Progress::Decided;
         }
 
         // Settle this round and dispatch the next.
@@ -352,10 +428,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 .map(|p| {
                     (
                         *p,
-                        t.responses[p]
-                            .payload
-                            .clone()
-                            .expect("settled Ok response"),
+                        t.response(*p).payload.clone().expect("settled Ok response"),
                     )
                 })
                 .collect(),
@@ -381,7 +454,10 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 );
                 t.is_final = is_final;
                 t.participants = fragments.iter().map(|(p, _)| *p).collect();
-                t.dispatched.extend(t.participants.iter().copied());
+                for i in 0..t.participants.len() {
+                    let p = t.participants[i];
+                    t.note_dispatched(p);
+                }
                 let round = t.round;
                 let client = t.client;
                 let can_abort = t.can_abort;
@@ -403,11 +479,11 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                     ));
                 }
                 self.charge_msgs(n);
-                true
+                Progress::Dispatched
             }
             Step::Finish(_) => {
                 debug_assert!(false, "procedure finished without a final round: {txn}");
-                false
+                Progress::None
             }
         }
     }
@@ -423,7 +499,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         let mut t = self.txns.remove(&txn).expect("finishing known txn");
         let commit = outcome.is_ok();
         let mut msgs = 0u64;
-        let mut participants: Vec<PartitionId> = t.dispatched.iter().copied().collect();
+        let mut participants: Vec<PartitionId> = t.dispatched.clone();
         participants.sort_unstable();
         for p in participants {
             out.push(CoordOut::Decision(p, Decision { txn, commit }));
@@ -432,11 +508,8 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         let result = if commit {
             self.counters.commits += 1;
             // Record per-partition committed attempts.
-            let attempts: HashMap<PartitionId, u32> = t
-                .responses
-                .iter()
-                .map(|(p, r)| (*p, r.attempt))
-                .collect();
+            let attempts: Vec<(PartitionId, u32)> =
+                t.responses.iter().map(|(p, r)| (*p, r.attempt)).collect();
             self.committed.insert(txn, attempts);
             self.history_order.push_back(txn);
             // Final result from the procedure.
@@ -447,7 +520,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                     .map(|p| {
                         (
                             *p,
-                            t.responses[p]
+                            t.response(*p)
                                 .payload
                                 .clone()
                                 .expect("committed response is Ok"),
@@ -519,6 +592,17 @@ enum Settle {
     Stale,
 }
 
+/// What [`Coordinator::progress_one`] did for one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Progress {
+    /// Nothing to do (waiting, held, or stale).
+    None,
+    /// Dispatched the next round — settles nothing for other transactions.
+    Dispatched,
+    /// Committed or aborted — may settle other transactions' responses.
+    Decided,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,9 +656,15 @@ mod tests {
         assert_eq!(frags.len(), 2);
         out.clear();
 
-        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert!(out.is_empty(), "no decision on partial votes");
-        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         let decisions = out
             .iter()
             .filter(|o| matches!(o, CoordOut::Decision(_, d) if d.commit))
@@ -582,7 +672,10 @@ mod tests {
         assert_eq!(decisions, 2);
         assert!(out.iter().any(|o| matches!(
             o,
-            CoordOut::ClientResult { result: TxnResult::Committed(_), .. }
+            CoordOut::ClientResult {
+                result: TxnResult::Committed(_),
+                ..
+            }
         )));
         assert_eq!(c.counters.commits, 1);
         assert_eq!(c.pending(), 0);
@@ -594,7 +687,10 @@ mod tests {
         let mut out = Vec::new();
         c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
         out.clear();
-        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         let mut bad = ok_response(txid(1), 1, 0, None, None);
         bad.payload = Err(AbortReason::User);
         bad.vote = Some(Vote::Abort(AbortReason::User));
@@ -606,7 +702,10 @@ mod tests {
         assert_eq!(aborts, 2, "both participants told to abort");
         assert!(out.iter().any(|o| matches!(
             o,
-            CoordOut::ClientResult { result: TxnResult::Aborted(AbortReason::User), .. }
+            CoordOut::ClientResult {
+                result: TxnResult::Aborted(AbortReason::User),
+                ..
+            }
         )));
         assert_eq!(c.counters.aborts, 1);
     }
@@ -652,10 +751,18 @@ mod tests {
         assert!(round1.iter().all(|(_, r, last)| *r == 1 && *last));
         out.clear();
 
-        c.on_response(ok_response(txid(1), 0, 1, Some(Vote::Commit), None), &mut out);
-        c.on_response(ok_response(txid(1), 1, 1, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 1, Some(Vote::Commit), None),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(1), 1, 1, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert_eq!(c.counters.commits, 1);
-        assert!(out.iter().any(|o| matches!(o, CoordOut::Decision(_, d) if d.commit)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, CoordOut::Decision(_, d) if d.commit)));
     }
 
     #[test]
@@ -668,14 +775,29 @@ mod tests {
         out.clear();
 
         // C's responses arrive first (speculative at P0 on A).
-        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
-        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
-        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), None), &mut out);
+        let dep = hcc_common::SpecDep {
+            txn: txid(1),
+            attempt: 0,
+        };
+        c.on_response(
+            ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(2), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert!(out.is_empty(), "C held: A undecided");
 
         // A commits.
-        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
-        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         // Both A and C decided now (C settles once A commits).
         assert_eq!(c.counters.commits, 2);
         let c_decisions = out
@@ -694,16 +816,28 @@ mod tests {
         out.clear();
 
         // C speculated on A at both partitions.
-        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
-        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
-        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), Some(dep)), &mut out);
+        let dep = hcc_common::SpecDep {
+            txn: txid(1),
+            attempt: 0,
+        };
+        c.on_response(
+            ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(2), 1, 0, Some(Vote::Commit), Some(dep)),
+            &mut out,
+        );
 
         // A aborts (user abort at P0).
         let mut bad = ok_response(txid(1), 0, 0, None, None);
         bad.payload = Err(AbortReason::User);
         bad.vote = Some(Vote::Abort(AbortReason::User));
         c.on_response(bad, &mut out);
-        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert_eq!(c.counters.aborts, 1);
         // C must NOT be decided on its stale responses.
         assert_eq!(c.counters.commits, 0);
@@ -744,14 +878,26 @@ mod tests {
         out.clear();
 
         // C's stale response depends on A attempt 0 — the squashed one.
-        let dep = hcc_common::SpecDep { txn: txid(1), attempt: 0 };
-        c.on_response(ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)), &mut out);
-        c.on_response(ok_response(txid(2), 1, 0, Some(Vote::Commit), None), &mut out);
+        let dep = hcc_common::SpecDep {
+            txn: txid(1),
+            attempt: 0,
+        };
+        c.on_response(
+            ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep)),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(2), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert_eq!(c.counters.commits, 1, "stale C not committed");
         assert!(c.counters.stale_responses_discarded > 0);
 
         // Fresh C depending on the committed attempt goes through.
-        let dep1 = hcc_common::SpecDep { txn: txid(1), attempt: 1 };
+        let dep1 = hcc_common::SpecDep {
+            txn: txid(1),
+            attempt: 1,
+        };
         let mut f0 = ok_response(txid(2), 0, 0, Some(Vote::Commit), Some(dep1));
         f0.attempt = 1;
         c.on_response(f0, &mut out);
@@ -775,16 +921,28 @@ mod tests {
         let mut out = Vec::new();
         c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
         out.clear();
-        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         // Duplicate of the same response: overwrites, no decision yet.
-        c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert!(out.is_empty());
-        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert_eq!(c.counters.commits, 1);
         out.clear();
         // A response arriving after the decision (e.g. a held speculative
         // result released late) is ignored.
-        c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(c.counters.commits, 1);
     }
@@ -793,15 +951,32 @@ mod tests {
     fn expire_stalled_aborts_only_old_transactions() {
         let mut c = coord();
         let mut out = Vec::new();
-        c.on_invoke_at(txid(1), ClientId(1), simple_proc(), false, Nanos(0), &mut out);
-        c.on_invoke_at(txid(2), ClientId(2), simple_proc(), false, Nanos(5_000_000), &mut out);
+        c.on_invoke_at(
+            txid(1),
+            ClientId(1),
+            simple_proc(),
+            false,
+            Nanos(0),
+            &mut out,
+        );
+        c.on_invoke_at(
+            txid(2),
+            ClientId(2),
+            simple_proc(),
+            false,
+            Nanos(5_000_000),
+            &mut out,
+        );
         out.clear();
         let aborted = c.expire_stalled(Nanos(6_000_000), Nanos(2_000_000), &mut out);
         assert_eq!(aborted, vec![txid(1)], "only the stalled txn expires");
         assert_eq!(c.pending(), 1);
         assert!(out.iter().any(|o| matches!(
             o,
-            CoordOut::ClientResult { result: TxnResult::Aborted(AbortReason::RemoteAbort), .. }
+            CoordOut::ClientResult {
+                result: TxnResult::Aborted(AbortReason::RemoteAbort),
+                ..
+            }
         )));
         // The expired txn's participants were told to abort.
         let aborts = out
@@ -820,8 +995,14 @@ mod tests {
             let mut out = Vec::new();
             c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
             out.clear();
-            c.on_response(ok_response(txid(1), 0, 0, Some(Vote::Commit), None), &mut out);
-            c.on_response(ok_response(txid(1), 1, 0, Some(Vote::Commit), None), &mut out);
+            c.on_response(
+                ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+                &mut out,
+            );
+            c.on_response(
+                ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+                &mut out,
+            );
             let order: Vec<u32> = out
                 .iter()
                 .filter_map(|o| match o {

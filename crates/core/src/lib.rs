@@ -27,6 +27,10 @@
 //! [`outbox::Outbox`], and are driven by `hcc-sim` (discrete-event
 //! simulation) and `hcc-runtime` (OS threads + channels) identically.
 
+// Associated-type generics make some signatures long; aliases would
+// obscure more than they clarify here.
+#![allow(clippy::type_complexity)]
+
 pub mod blocking;
 pub mod client;
 pub mod coordinator;

@@ -22,12 +22,11 @@ use crate::outbox::Outbox;
 use crate::scheduler::Scheduler;
 use hcc_common::stats::SchedulerCounters;
 use hcc_common::{
-    AbortReason, CostModel, Decision, FragmentResponse, FragmentTask, LockKey,
-    Nanos, PartitionId, TxnId, TxnResult, Vote,
+    AbortReason, CostModel, Decision, FragmentResponse, FragmentTask, LockKey, Nanos, PartitionId,
+    TxnId, TxnResult, Vote,
 };
 use hcc_locking::deadlock::{choose_victim, find_cycle};
 use hcc_locking::{AcquireOutcome, LockManager, LockMode};
-use std::collections::HashMap;
 
 /// Where a registered transaction is in its lifecycle.
 enum Phase<F> {
@@ -55,7 +54,7 @@ pub struct LockingScheduler<E: ExecutionEngine> {
     costs: CostModel,
     lock_timeout: Nanos,
     lm: LockManager,
-    txns: HashMap<TxnId, LockTxn<E::Fragment>>,
+    txns: hcc_common::FxHashMap<TxnId, LockTxn<E::Fragment>>,
     counters: SchedulerCounters,
 }
 
@@ -66,7 +65,7 @@ impl<E: ExecutionEngine> LockingScheduler<E> {
             costs,
             lock_timeout,
             lm: LockManager::new(),
-            txns: HashMap::new(),
+            txns: hcc_common::FxHashMap::default(),
             counters: SchedulerCounters::default(),
         }
     }
@@ -147,6 +146,7 @@ impl<E: ExecutionEngine> LockingScheduler<E> {
 
     /// Acquire locks for `task` starting at index `next`; execute when all
     /// are held, suspend (and check for deadlock) on conflict.
+    #[allow(clippy::too_many_arguments)]
     fn try_acquire(
         &mut self,
         txn: TxnId,
@@ -346,10 +346,7 @@ impl<E: ExecutionEngine> Scheduler<E> for LockingScheduler<E> {
         if self.txns.contains_key(&task.txn) {
             // Continuation of a multi-partition transaction: acquire the
             // new fragment's locks (2PL growing phase) and run it.
-            debug_assert!(matches!(
-                self.txns[&task.txn].phase,
-                Phase::Idle
-            ));
+            debug_assert!(matches!(self.txns[&task.txn].phase, Phase::Idle));
             let locks = Self::canonical(engine.lock_set(&task.fragment));
             self.try_acquire(task.txn, task, locks, 0, engine, now, out);
             return;
@@ -373,7 +370,11 @@ impl<E: ExecutionEngine> Scheduler<E> for LockingScheduler<E> {
         );
         let locks = Self::canonical(engine.lock_set(&task.fragment));
         self.try_acquire(task.txn, task, locks, 0, engine, now, out);
-        debug_assert!(self.lm.check_invariants().is_ok(), "{:?}", self.lm.check_invariants());
+        debug_assert!(
+            self.lm.check_invariants().is_ok(),
+            "{:?}",
+            self.lm.check_invariants()
+        );
     }
 
     fn on_decision(
@@ -496,7 +497,12 @@ mod tests {
     #[test]
     fn sp_acquires_locks_while_mp_active() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.active_txns(), 1);
         // Non-conflicting SP runs concurrently (different key).
         s.on_fragment(sp(2, TestFragment::add(2, 1)), &mut e, NOW, &mut out);
@@ -510,7 +516,10 @@ mod tests {
 
         // Commit the MP txn: the waiter runs.
         s.on_decision(
-            Decision { txn: txid(1), commit: true },
+            Decision {
+                txn: txid(1),
+                commit: true,
+            },
             &mut e,
             NOW,
             &mut out,
@@ -519,7 +528,10 @@ mod tests {
         let (msgs, _) = out.take();
         assert!(msgs.iter().any(|m| matches!(
             m,
-            PartitionOut::ToClient { result: TxnResult::Committed(_), .. }
+            PartitionOut::ToClient {
+                result: TxnResult::Committed(_),
+                ..
+            }
         )));
         assert!(s.is_idle());
     }
@@ -527,10 +539,18 @@ mod tests {
     #[test]
     fn mp_abort_rolls_back_and_wakes() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 7), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 7), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(2, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         s.on_decision(
-            Decision { txn: txid(1), commit: false },
+            Decision {
+                txn: txid(1),
+                commit: false,
+            },
             &mut e,
             NOW,
             &mut out,
@@ -546,31 +566,54 @@ mod tests {
     fn local_deadlock_kills_single_partition_victim() {
         let (mut s, mut e, mut out) = setup();
         // MP t1 locks key1 (round 0, not last: stays Idle holding lock).
-        s.on_fragment(mp(1, TestFragment::add(1, 1), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // MP t2 locks key2.
-        s.on_fragment(mp(2, TestFragment::add(2, 1), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::add(2, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // SP t3 wants key2 then... SP fragments acquire all locks at once:
         // t3 wants both key1 and key2 -> waits on key1 (t1 holds).
         s.on_fragment(
-            sp(3, TestFragment {
-                ops: vec![
-                    crate::testkit::TestOp::Add(1, 10),
-                    crate::testkit::TestOp::Add(2, 10),
-                ],
-                fail: false,
-            }),
+            sp(
+                3,
+                TestFragment {
+                    ops: vec![
+                        crate::testkit::TestOp::Add(1, 10),
+                        crate::testkit::TestOp::Add(2, 10),
+                    ],
+                    fail: false,
+                },
+            ),
             &mut e,
             NOW,
             &mut out,
         );
         assert_eq!(s.counters().local_deadlocks, 0);
         // t1 round 1 wants key2 (held by t2): waits, no cycle yet.
-        s.on_fragment(mp(1, TestFragment::add(2, 1), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(2, 1), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.counters().local_deadlocks, 0);
         // t2 round 1 wants key1 (held by t1): cycle t1->t2->t1 (t3 is an
         // innocent bystander waiting on key1).
         out.take();
-        s.on_fragment(mp(2, TestFragment::add(1, 1), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 1), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.counters().local_deadlocks, 1);
         // Victim must be an MP txn (no SP txn is in the cycle; t3 waits but
         // does not block anyone).
@@ -579,7 +622,10 @@ mod tests {
             .iter()
             .filter_map(|m| match m {
                 PartitionOut::ToCoordinator { response, .. }
-                    if matches!(response.vote, Some(Vote::Abort(AbortReason::DeadlockVictim))) =>
+                    if matches!(
+                        response.vote,
+                        Some(Vote::Abort(AbortReason::DeadlockVictim))
+                    ) =>
                 {
                     Some(response.txn)
                 }
@@ -594,24 +640,37 @@ mod tests {
     fn deadlock_prefers_sp_victim_when_in_cycle() {
         let (mut s, mut e, mut out) = setup();
         // MP t1 holds key2 (idle, multi-round).
-        s.on_fragment(mp(1, TestFragment::add(2, 1), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(2, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // SP t2 wants key1 AND key2 (canonical order): gets key1, waits on
         // key2.
         s.on_fragment(
-            sp(2, TestFragment {
-                ops: vec![
-                    crate::testkit::TestOp::Add(2, 10),
-                    crate::testkit::TestOp::Add(1, 10),
-                ],
-                fail: false,
-            }),
+            sp(
+                2,
+                TestFragment {
+                    ops: vec![
+                        crate::testkit::TestOp::Add(2, 10),
+                        crate::testkit::TestOp::Add(1, 10),
+                    ],
+                    fail: false,
+                },
+            ),
             &mut e,
             NOW,
             &mut out,
         );
         out.take();
         // MP t1 round 1 wants key1 (held by SP t2): cycle t1 -> t2 -> t1.
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.counters().local_deadlocks, 1);
         let (msgs, _) = out.take();
         // SP t2 aborted; MP t1 proceeded to execute round 1.
@@ -632,9 +691,19 @@ mod tests {
     #[test]
     fn lock_timeout_aborts_waiting_mp() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // MP t2 waits on key1.
-        s.on_fragment(mp(2, TestFragment::add(1, 5), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 5), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         out.take();
         // Before the timeout: nothing.
         let next = s.on_tick(&mut e, Nanos::from_millis(1), &mut out);
@@ -657,7 +726,12 @@ mod tests {
     #[test]
     fn sp_waiters_do_not_time_out() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(2, TestFragment::add(1, 5)), &mut e, NOW, &mut out);
         s.on_tick(&mut e, Nanos::from_millis(60), &mut out);
         assert_eq!(s.counters().lock_timeouts, 0);
@@ -667,12 +741,30 @@ mod tests {
     #[test]
     fn decision_for_locally_aborted_txn_is_ignored() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), false, 0), &mut e, NOW, &mut out);
-        s.on_fragment(mp(2, TestFragment::add(1, 5), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 5), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_tick(&mut e, Nanos::from_millis(10), &mut out); // t2 timed out
         out.take();
         // The client-coordinator's abort decision arrives afterwards.
-        s.on_decision(Decision { txn: txid(2), commit: false }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: txid(2),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.active_txns(), 1);
         assert_eq!(s.counters().aborted, 1, "not double-counted");
     }
@@ -682,13 +774,26 @@ mod tests {
         let (mut s, mut e, mut out) = setup();
         // MP holds a write lock on key 3... no: use read locks on key 1 for
         // MP and two SP readers; all should proceed concurrently.
-        s.on_fragment(mp(1, TestFragment::read(&[1]), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::read(&[1]), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(2, TestFragment::read(&[1])), &mut e, NOW, &mut out);
         s.on_fragment(sp(3, TestFragment::read(&[1])), &mut e, NOW, &mut out);
         let (msgs, _) = out.take();
         let client_replies = msgs
             .iter()
-            .filter(|m| matches!(m, PartitionOut::ToClient { result: TxnResult::Committed(_), .. }))
+            .filter(|m| {
+                matches!(
+                    m,
+                    PartitionOut::ToClient {
+                        result: TxnResult::Committed(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(client_replies, 2, "shared locks allow concurrent readers");
     }
@@ -696,7 +801,12 @@ mod tests {
     #[test]
     fn mp_user_abort_votes_abort_and_releases() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::failing(), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::failing(), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let (msgs, _) = out.take();
         assert!(matches!(
             &msgs[0],
@@ -705,7 +815,15 @@ mod tests {
         ));
         // Locks are held until the decision arrives.
         assert_eq!(s.active_txns(), 1);
-        s.on_decision(Decision { txn: txid(1), commit: false }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: txid(1),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert!(s.is_idle());
     }
 }

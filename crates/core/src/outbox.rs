@@ -66,6 +66,17 @@ impl<R> Outbox<R> {
         self.cpu = Nanos::ZERO;
         (std::mem::take(&mut self.messages), cpu)
     }
+
+    /// As [`take`](Outbox::take), but swap the messages into a caller-owned
+    /// scratch buffer so a long-lived outbox recycles its allocation.
+    /// `scratch` must be empty.
+    pub fn take_into(&mut self, scratch: &mut Vec<PartitionOut<R>>) -> Nanos {
+        debug_assert!(scratch.is_empty(), "scratch buffer not drained");
+        let cpu = self.cpu;
+        self.cpu = Nanos::ZERO;
+        std::mem::swap(&mut self.messages, scratch);
+        cpu
+    }
 }
 
 #[cfg(test)]

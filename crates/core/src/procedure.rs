@@ -121,11 +121,5 @@ pub trait RequestGenerator {
 
     /// Observe a completed transaction (for generators that validate
     /// results or adapt). Default: ignore.
-    fn on_result(
-        &mut self,
-        _client: ClientId,
-        _txn: TxnId,
-        _committed: bool,
-    ) {
-    }
+    fn on_result(&mut self, _client: ClientId, _txn: TxnId, _committed: bool) {}
 }

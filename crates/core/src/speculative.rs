@@ -32,11 +32,11 @@ use crate::outbox::Outbox;
 use crate::scheduler::Scheduler;
 use hcc_common::stats::SchedulerCounters;
 use hcc_common::{
-    CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId,
-    SpecDep, TxnId, TxnResult, Vote,
+    CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask, FxHashMap, FxHashSet,
+    Nanos, PartitionId, SpecDep, TxnId, TxnResult, Vote,
 };
 use hcc_locking::LockMode;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// How cascading aborts decide which speculative transactions to squash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +94,7 @@ pub struct SpeculativeScheduler<E: ExecutionEngine> {
     /// paper; finite values implement the §5.3 mitigation).
     max_depth: usize,
     /// Next execution attempt for squashed transactions awaiting re-run.
-    attempts: HashMap<TxnId, u32>,
+    attempts: FxHashMap<TxnId, u32>,
     policy: ConflictPolicy,
     /// §4.2.1-only mode: hold speculative multi-partition responses in the
     /// partition instead of releasing them with dependency tags.
@@ -122,7 +122,7 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
             uncommitted: VecDeque::new(),
             unfinished: 0,
             max_depth,
-            attempts: HashMap::new(),
+            attempts: FxHashMap::default(),
             policy,
             local_only: false,
             stale_fragments_dropped: 0,
@@ -427,11 +427,12 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
                 // New head. Release held responses (different-coordinator
                 // case) and run parked continuations.
                 let coordinator = next.coordinator;
-                let held: Vec<_> = next.held_responses.drain(..).collect();
+                // `take` moves the buffers out without copying them.
+                let held = std::mem::take(&mut next.held_responses);
                 for r in held {
                     out.send_coordinator(coordinator, r);
                 }
-                let conts: Vec<_> = next.pending_continuations.drain(..).collect();
+                let conts = std::mem::take(&mut next.pending_continuations);
                 for task in conts {
                     self.run_head_fragment(task, engine, out);
                 }
@@ -468,7 +469,7 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
         let squash_flags: Vec<bool> = match self.policy {
             ConflictPolicy::AssumeAll => vec![true; self.uncommitted.len().saturating_sub(pos + 1)],
             ConflictPolicy::Precise => {
-                let mut dirty: HashSet<hcc_common::LockKey> = self.uncommitted[pos]
+                let mut dirty: FxHashSet<hcc_common::LockKey> = self.uncommitted[pos]
                     .lock_set
                     .iter()
                     .filter(|(_, m)| *m == LockMode::Exclusive)
@@ -478,8 +479,8 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
                     .iter()
                     .skip(pos + 1)
                     .map(|u| {
-                        let conflicts = u.multi_partition
-                            || u.lock_set.iter().any(|(k, _)| dirty.contains(k));
+                        let conflicts =
+                            u.multi_partition || u.lock_set.iter().any(|(k, _)| dirty.contains(k));
                         if conflicts {
                             for (k, m) in &u.lock_set {
                                 if *m == LockMode::Exclusive {
@@ -621,7 +622,7 @@ mod tests {
     use super::*;
     use crate::outbox::PartitionOut;
     use crate::testkit::{TestEngine, TestFragment};
-    use hcc_common::{AbortReason, ClientId};
+    use hcc_common::ClientId;
 
     const NOW: Nanos = Nanos(0);
 
@@ -671,9 +672,7 @@ mod tests {
     fn client_results(msgs: &[PartitionOut<Vec<(u64, i64)>>]) -> Vec<(TxnId, bool)> {
         msgs.iter()
             .filter_map(|m| match m {
-                PartitionOut::ToClient { txn, result, .. } => {
-                    Some((*txn, result.is_committed()))
-                }
+                PartitionOut::ToClient { txn, result, .. } => Some((*txn, result.is_committed())),
                 _ => None,
             })
             .collect()
@@ -697,7 +696,12 @@ mod tests {
     fn paper_example_local_speculation() {
         let (mut s, mut e, mut out) = setup();
         // Round 0 of A: read x. Not the last fragment here.
-        s.on_fragment(mp(1, TestFragment::read(&[1]), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::read(&[1]), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // B1, B2 arrive while A is unfinished: must NOT speculate.
         s.on_fragment(sp(1, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         s.on_fragment(sp(2, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
@@ -707,7 +711,12 @@ mod tests {
 
         // Final fragment of A: write x = 17 (the swap). Now speculation
         // begins: B1 computes 18, B2 computes 19, both buffered.
-        s.on_fragment(mp(1, TestFragment::set(1, 17), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::set(1, 17), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(e.get(1), 19);
         assert_eq!(s.speculation_depth(), 2);
         let (msgs, _) = out.take();
@@ -719,7 +728,10 @@ mod tests {
 
         // A commits: B1 and B2 results released in order.
         s.on_decision(
-            Decision { txn: mp_txid(1), commit: true },
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
             &mut e,
             NOW,
             &mut out,
@@ -738,14 +750,22 @@ mod tests {
     #[test]
     fn paper_example_abort_cascade() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::set(1, 17), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::set(1, 17), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(1, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         s.on_fragment(sp(2, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         assert_eq!(e.get(1), 19, "17 + 1 + 1 speculatively");
         out.take();
 
         s.on_decision(
-            Decision { txn: mp_txid(1), commit: false },
+            Decision {
+                txn: mp_txid(1),
+                commit: false,
+            },
             &mut e,
             NOW,
             &mut out,
@@ -765,9 +785,19 @@ mod tests {
     fn mp_speculation_sends_response_with_dependency() {
         let (mut s, mut e, mut out) = setup();
         // A: simple MP fragment (last). C: another simple MP fragment.
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         out.take();
-        s.on_fragment(mp(2, TestFragment::add(1, 10), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 10), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let (msgs, _) = out.take();
         let resp = msgs
             .iter()
@@ -780,7 +810,10 @@ mod tests {
             .expect("speculative MP response released (same coordinator)");
         assert_eq!(
             resp.depends_on,
-            Some(SpecDep { txn: mp_txid(1), attempt: 0 })
+            Some(SpecDep {
+                txn: mp_txid(1),
+                attempt: 0
+            })
         );
         assert_eq!(resp.vote, Some(Vote::Commit));
         assert_eq!(e.get(1), 16, "5 + 1 + 10");
@@ -789,15 +822,41 @@ mod tests {
     #[test]
     fn chained_mp_commits_in_order() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
-        s.on_fragment(mp(2, TestFragment::add(1, 10), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 10), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(1, 0, TestFragment::add(1, 100)), &mut e, NOW, &mut out);
         out.take();
-        s.on_decision(Decision { txn: mp_txid(1), commit: true }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // C (mp 2) becomes head; SP still buffered behind it.
         let (msgs, _) = out.take();
         assert!(client_results(&msgs).is_empty());
-        s.on_decision(Decision { txn: mp_txid(2), commit: true }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(2),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let (msgs, _) = out.take();
         assert_eq!(client_results(&msgs).len(), 1, "SP released after C");
         assert_eq!(e.get(1), 116);
@@ -807,11 +866,29 @@ mod tests {
     #[test]
     fn mp_abort_cascade_bumps_attempt_and_resends() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
-        s.on_fragment(mp(2, TestFragment::add(1, 10), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        s.on_fragment(
+            mp(2, TestFragment::add(1, 10), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         out.take();
         // A aborts: C squashed and immediately re-executed as the new head.
-        s.on_decision(Decision { txn: mp_txid(1), commit: false }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(e.get(1), 15, "A's +1 undone, C's +10 re-applied");
         let (msgs, _) = out.take();
         let resp = msgs
@@ -831,7 +908,12 @@ mod tests {
     #[test]
     fn different_coordinator_mp_holds_response_until_promotion() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         out.take();
         // An MP transaction coordinated by a *client* (different
         // coordinator): executes speculatively but holds its response.
@@ -850,7 +932,15 @@ mod tests {
         assert_eq!(e.get(1), 16, "it did execute speculatively");
 
         // Promotion releases the held response.
-        s.on_decision(Decision { txn: mp_txid(1), commit: true }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let (msgs, _) = out.take();
         let resp = msgs
             .iter()
@@ -867,12 +957,27 @@ mod tests {
     #[test]
     fn speculative_multi_round_continuation_parked_until_promotion() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // C is multi-round: round 0 is NOT its last fragment.
-        s.on_fragment(mp(2, TestFragment::read(&[1]), false, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::read(&[1]), false, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         out.take();
         // Round 1 arrives while C is speculative: must be parked.
-        s.on_fragment(mp(2, TestFragment::set(1, 42), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(2, TestFragment::set(1, 42), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(e.get(1), 6, "round 1 must not execute while speculative");
         // And no further speculation can pass the unfinished C.
         s.on_fragment(sp(1, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
@@ -881,7 +986,15 @@ mod tests {
 
         // A commits -> C promoted -> parked round 1 executes (setting 42),
         // after which the parked SP speculates on top (+1).
-        s.on_decision(Decision { txn: mp_txid(1), commit: true }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(e.get(1), 43, "continuation ran, then SP speculated");
         let (msgs, _) = out.take();
         assert!(msgs.iter().any(|m| matches!(
@@ -896,7 +1009,12 @@ mod tests {
     #[test]
     fn stale_continuation_for_unknown_txn_dropped() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(7, TestFragment::set(1, 9), true, 1), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(7, TestFragment::set(1, 9), true, 1),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         assert_eq!(s.stale_fragments_dropped, 1);
         assert_eq!(e.get(1), 5);
         assert!(s.is_idle());
@@ -914,7 +1032,12 @@ mod tests {
             TestEngine::with_data(&[(1, 0)]),
             Outbox::new(CostModel::default()),
         );
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         s.on_fragment(sp(1, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         s.on_fragment(sp(2, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         assert_eq!(s.speculation_depth(), 1, "depth capped");
@@ -925,13 +1048,29 @@ mod tests {
     #[test]
     fn speculative_user_abort_buffered_and_final_on_commit() {
         let (mut s, mut e, mut out) = setup();
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let mut failing = sp(1, 0, TestFragment::failing());
         failing.can_abort = true;
         s.on_fragment(failing, &mut e, NOW, &mut out);
         let (msgs, _) = out.take();
-        assert!(client_results(&msgs).is_empty(), "aborted result buffered too");
-        s.on_decision(Decision { txn: mp_txid(1), commit: true }, &mut e, NOW, &mut out);
+        assert!(
+            client_results(&msgs).is_empty(),
+            "aborted result buffered too"
+        );
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let (msgs, _) = out.take();
         let results = client_results(&msgs);
         assert_eq!(results.len(), 1);
@@ -949,12 +1088,25 @@ mod tests {
         let mut e = TestEngine::with_data(&[(1, 5), (2, 100), (3, 200)]);
         let mut out = Outbox::new(CostModel::default());
         // Head MP writes key 1.
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // SP A touches key 2 (disjoint), SP B touches key 1 (conflicts).
         s.on_fragment(sp(1, 0, TestFragment::add(2, 1)), &mut e, NOW, &mut out);
         s.on_fragment(sp(2, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
         out.take();
-        s.on_decision(Decision { txn: mp_txid(1), commit: false }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // Only the conflicting SP was squashed and re-run; the disjoint one
         // survived (committed at promotion after the abort).
         assert_eq!(s.counters().squashed_executions, 1);
@@ -979,27 +1131,54 @@ mod tests {
         // Head writes key 1. SP A copies key1 -> writes key 2 (conflicts
         // with head). SP B reads key 2 -> writes key 3 (conflicts with A,
         // not with head directly).
-        s.on_fragment(mp(1, TestFragment::set(1, 7), true, 0), &mut e, NOW, &mut out);
         s.on_fragment(
-            sp(1, 0, TestFragment {
-                ops: vec![crate::testkit::TestOp::Read(1), crate::testkit::TestOp::Add(2, 1)],
-                fail: false,
-            }),
+            mp(1, TestFragment::set(1, 7), true, 0),
             &mut e,
             NOW,
             &mut out,
         );
         s.on_fragment(
-            sp(2, 0, TestFragment {
-                ops: vec![crate::testkit::TestOp::Read(2), crate::testkit::TestOp::Add(3, 1)],
-                fail: false,
-            }),
+            sp(
+                1,
+                0,
+                TestFragment {
+                    ops: vec![
+                        crate::testkit::TestOp::Read(1),
+                        crate::testkit::TestOp::Add(2, 1),
+                    ],
+                    fail: false,
+                },
+            ),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        s.on_fragment(
+            sp(
+                2,
+                0,
+                TestFragment {
+                    ops: vec![
+                        crate::testkit::TestOp::Read(2),
+                        crate::testkit::TestOp::Add(3, 1),
+                    ],
+                    fail: false,
+                },
+            ),
             &mut e,
             NOW,
             &mut out,
         );
         out.take();
-        s.on_decision(Decision { txn: mp_txid(1), commit: false }, &mut e, NOW, &mut out);
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         // Both SPs squashed (transitive) and re-run.
         assert_eq!(s.counters().squashed_executions, 2);
         assert!(s.is_idle());
@@ -1010,8 +1189,21 @@ mod tests {
     fn counters_track_committed_and_aborted() {
         let (mut s, mut e, mut out) = setup();
         s.on_fragment(sp(1, 0, TestFragment::add(1, 1)), &mut e, NOW, &mut out);
-        s.on_fragment(mp(1, TestFragment::add(1, 1), true, 0), &mut e, NOW, &mut out);
-        s.on_decision(Decision { txn: mp_txid(1), commit: false }, &mut e, NOW, &mut out);
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: false,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
         let c = s.counters();
         assert_eq!(c.committed, 1);
         assert_eq!(c.aborted, 1);

@@ -365,9 +365,6 @@ mod tests {
                 (PartitionId(1), TestFragment::add(2, 1)),
             ],
         };
-        assert_eq!(
-            proc.participants(),
-            vec![PartitionId(0), PartitionId(1)]
-        );
+        assert_eq!(proc.participants(), vec![PartitionId(0), PartitionId(1)]);
     }
 }

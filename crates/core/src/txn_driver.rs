@@ -62,9 +62,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> TxnDriver<F, R> {
 
     /// Split driver outputs into network messages and the final result (if
     /// the transaction just decided).
-    pub fn take_result(
-        out: &mut Vec<CoordOut<F, R>>,
-    ) -> Option<(TxnId, TxnResult<R>)> {
+    pub fn take_result(out: &mut Vec<CoordOut<F, R>>) -> Option<(TxnId, TxnResult<R>)> {
         let pos = out
             .iter()
             .position(|o| matches!(o, CoordOut::ClientResult { .. }))?;

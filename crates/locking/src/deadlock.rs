@@ -11,8 +11,8 @@
 //! on each block finds every local deadlock exactly when it forms).
 
 use crate::manager::LockManager;
+use hcc_common::FxHashSet;
 use hcc_common::TxnId;
-use std::collections::HashSet;
 
 /// Find a waits-for cycle through `start`, if one exists. Returns the cycle
 /// as a list of transactions (each waiting on the next, last waits on
@@ -21,8 +21,8 @@ pub fn find_cycle(lm: &LockManager, start: TxnId) -> Option<Vec<TxnId>> {
     // Iterative DFS keeping the current path for cycle extraction.
     let mut path: Vec<TxnId> = vec![start];
     let mut iters: Vec<std::vec::IntoIter<TxnId>> = vec![lm.blockers(start).into_iter()];
-    let mut on_path: HashSet<TxnId> = HashSet::from([start]);
-    let mut done: HashSet<TxnId> = HashSet::new();
+    let mut on_path: FxHashSet<TxnId> = FxHashSet::from_iter([start]);
+    let mut done: FxHashSet<TxnId> = FxHashSet::default();
 
     while let Some(it) = iters.last_mut() {
         match it.next() {
@@ -104,9 +104,15 @@ mod tests {
         // t1 holds k1, t2 holds k2; then each wants the other's key.
         lm.acquire(t(1), k(1), LockMode::Exclusive, NOW);
         lm.acquire(t(2), k(2), LockMode::Exclusive, NOW);
-        assert_eq!(lm.acquire(t(1), k(2), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), k(2), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
         assert!(find_cycle(&lm, t(1)).is_none(), "no cycle yet");
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
         let cycle = find_cycle(&lm, t(2)).expect("deadlock");
         let mut c = cycle.clone();
         c.sort();
@@ -133,8 +139,14 @@ mod tests {
         // Classic: both hold Shared, both want Exclusive.
         lm.acquire(t(1), k(1), LockMode::Shared, NOW);
         lm.acquire(t(2), k(1), LockMode::Shared, NOW);
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
         let cycle = find_cycle(&lm, t(2)).expect("upgrade deadlock");
         let mut c = cycle;
         c.sort();

@@ -1,7 +1,7 @@
 //! The lock table: grant groups, FIFO wait queues, upgrades, and release.
 
-use hcc_common::{LockKey, Nanos, TxnId};
-use std::collections::{HashMap, VecDeque};
+use hcc_common::{FxHashMap, LockKey, Nanos, TxnId};
+use std::collections::VecDeque;
 
 /// Shared (read) or exclusive (write) access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,7 +51,10 @@ struct LockEntry {
 
 impl LockEntry {
     fn holds(&self, txn: TxnId) -> Option<LockMode> {
-        self.granted.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.granted
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     /// Can `txn` acquire `mode` right now, given current holders?
@@ -84,14 +87,14 @@ pub struct LockStats {
 ///   outstanding request).
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: HashMap<LockKey, LockEntry>,
+    table: FxHashMap<LockKey, LockEntry>,
     /// Keys held per transaction, in acquisition order.
-    held: HashMap<TxnId, Vec<LockKey>>,
+    held: FxHashMap<TxnId, Vec<LockKey>>,
     /// The single key each waiting transaction is queued on.
-    waiting_on: HashMap<TxnId, LockKey>,
+    waiting_on: FxHashMap<TxnId, LockKey>,
     /// Registered multi-partition transactions (victim selection prefers
     /// killing single-partition transactions).
-    multi_partition: HashMap<TxnId, bool>,
+    multi_partition: FxHashMap<TxnId, bool>,
     pub stats: LockStats,
 }
 
@@ -234,18 +237,15 @@ impl LockManager {
 
     /// Grant queued requests at `key` that are now compatible, FIFO.
     fn promote(
-        table: &mut HashMap<LockKey, LockEntry>,
-        held: &mut HashMap<TxnId, Vec<LockKey>>,
+        table: &mut FxHashMap<LockKey, LockEntry>,
+        held: &mut FxHashMap<TxnId, Vec<LockKey>>,
         key: LockKey,
         woken: &mut Vec<TxnId>,
     ) {
         let Some(entry) = table.get_mut(&key) else {
             return;
         };
-        loop {
-            let Some(head) = entry.queue.front().copied() else {
-                break;
-            };
+        while let Some(head) = entry.queue.front().copied() {
             let ok = if head.upgrade {
                 // Upgrade: grantable when the upgrader is the sole holder.
                 entry.granted.len() == 1 && entry.granted[0].0 == head.txn
@@ -280,7 +280,9 @@ impl LockManager {
             return Vec::new();
         };
         let my_pos = entry.queue.iter().position(|q| q.txn == waiter);
-        let my_mode = my_pos.map(|i| entry.queue[i].mode).unwrap_or(LockMode::Exclusive);
+        let my_mode = my_pos
+            .map(|i| entry.queue[i].mode)
+            .unwrap_or(LockMode::Exclusive);
         let mut out: Vec<TxnId> = entry
             .granted
             .iter()
@@ -355,10 +357,7 @@ impl LockManager {
         }
         for (txn, keys) in &self.held {
             for key in keys {
-                let ok = self
-                    .table
-                    .get(key)
-                    .is_some_and(|e| e.holds(*txn).is_some());
+                let ok = self.table.get(key).is_some_and(|e| e.holds(*txn).is_some());
                 if !ok {
                     return Err(format!("{txn} claims {key} but table disagrees"));
                 }
@@ -385,16 +384,28 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Shared, NOW), AcquireOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Shared, NOW), AcquireOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Granted
+        );
         lm.check_invariants().unwrap();
     }
 
     #[test]
     fn exclusive_blocks_shared() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Shared, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Waiting
+        );
         assert_eq!(lm.waiting_on(t(2)), Some(k(1)));
         lm.check_invariants().unwrap();
     }
@@ -402,16 +413,31 @@ mod tests {
     #[test]
     fn shared_blocks_exclusive() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Shared, NOW), AcquireOutcome::Granted);
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
     }
 
     #[test]
     fn reentrant_acquire_is_granted() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Granted);
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Granted);
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Shared, NOW), AcquireOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Granted
+        );
         // Only one entry in held list per key.
         assert_eq!(lm.held_count(t(1)), 1);
     }
@@ -420,8 +446,14 @@ mod tests {
     fn release_wakes_fifo_order() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), k(1), LockMode::Exclusive, NOW);
-        assert_eq!(lm.acquire(t(2), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
-        assert_eq!(lm.acquire(t(3), k(1), LockMode::Shared, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(2), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(3), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Waiting
+        );
         let woken = lm.release_all(t(1));
         // Only t2 can be granted (exclusive); t3 stays queued behind it.
         assert_eq!(woken, vec![t(2)]);
@@ -448,7 +480,10 @@ mod tests {
     fn sole_holder_upgrades_in_place() {
         let mut lm = LockManager::new();
         lm.acquire(t(1), k(1), LockMode::Shared, NOW);
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Granted);
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Granted
+        );
         assert!(lm.holds(t(1), k(1), LockMode::Exclusive));
     }
 
@@ -459,8 +494,14 @@ mod tests {
         lm.acquire(t(2), k(1), LockMode::Shared, NOW);
         // t3 queues for exclusive; t1 then requests upgrade and must go
         // ahead of t3.
-        assert_eq!(lm.acquire(t(3), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
-        assert_eq!(lm.acquire(t(1), k(1), LockMode::Exclusive, NOW), AcquireOutcome::Waiting);
+        assert_eq!(
+            lm.acquire(t(3), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
+        assert_eq!(
+            lm.acquire(t(1), k(1), LockMode::Exclusive, NOW),
+            AcquireOutcome::Waiting
+        );
         let woken = lm.release_all(t(2));
         assert_eq!(woken, vec![t(1)]);
         assert!(lm.holds(t(1), k(1), LockMode::Exclusive));
@@ -472,9 +513,12 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(t(1), k(1), LockMode::Shared, NOW);
         lm.acquire(t(2), k(1), LockMode::Exclusive, NOW); // queued
-        // A new shared request is compatible with the holder but must not
-        // barge ahead of the queued writer.
-        assert_eq!(lm.acquire(t(3), k(1), LockMode::Shared, NOW), AcquireOutcome::Waiting);
+                                                          // A new shared request is compatible with the holder but must not
+                                                          // barge ahead of the queued writer.
+        assert_eq!(
+            lm.acquire(t(3), k(1), LockMode::Shared, NOW),
+            AcquireOutcome::Waiting
+        );
     }
 
     #[test]

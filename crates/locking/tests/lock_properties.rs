@@ -44,7 +44,7 @@ proptest! {
                     AcquireOutcome::Waiting => { waiting.insert(txn); live.insert(txn); }
                 }
             }
-            lm.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            lm.check_invariants().map_err(TestCaseError::fail)?;
         }
         // Drain: releasing every live txn empties the lock table.
         // (Release in id order; woken txns hold their granted lock until
@@ -53,7 +53,7 @@ proptest! {
         all.sort();
         for txn in all {
             lm.release_all(txn);
-            lm.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            lm.check_invariants().map_err(TestCaseError::fail)?;
         }
         prop_assert_eq!(lm.table_len(), 0);
     }

@@ -109,8 +109,7 @@ pub fn locking_throughput(p: &ModelParams, f: f64) -> f64 {
     // §6.3: "Since locking always requires undo buffers, we use t_spS...
     // for multi-partition transactions we use t_mpC" (no stall: locks let
     // other transactions run during the 2PC wait).
-    2.0 / (2.0 * f * l * ModelParams::secs(p.t_mp_c)
-        + (1.0 - f) * l * ModelParams::secs(p.t_sp_s))
+    2.0 / (2.0 * f * l * ModelParams::secs(p.t_mp_c) + (1.0 - f) * l * ModelParams::secs(p.t_sp_s))
 }
 
 /// Which scheme the model predicts to be fastest at a given `f` — the
@@ -330,8 +329,8 @@ pub fn recommend(p: &ModelParams, w: &WorkloadProfile) -> Recommendation {
         // but speculation runs straight into it.
         spec_single_round = spec_single_round.min(1.0 / (f * w.coord_cost_per_mp_secs));
     }
-    let speculation = w.multi_round_fraction * blocking
-        + (1.0 - w.multi_round_fraction) * spec_single_round;
+    let speculation =
+        w.multi_round_fraction * blocking + (1.0 - w.multi_round_fraction) * spec_single_round;
 
     // Locking: interpolate toward its conflicted floor as conflicts grow.
     // Figure 5 shows fully-conflicted locking settling near 1.5–2× the

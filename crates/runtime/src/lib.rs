@@ -16,11 +16,15 @@
 //! delivers (in-process channels are ~100× faster than the paper's
 //! Ethernet, so its multi-partition stalls are proportionally smaller).
 
+// Associated-type generics make some signatures long; aliases would
+// obscure more than they clarify here.
+#![allow(clippy::type_complexity)]
+
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use hcc_common::stats::SchedulerCounters;
 use hcc_common::{
-    ClientId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId,
-    Scheme, SystemConfig, TxnId, TxnResult,
+    ClientId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, Scheme,
+    SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
@@ -53,10 +57,7 @@ enum CoordMsg<F, R> {
 
 /// Messages into a client thread.
 enum ClientMsg<R> {
-    Result {
-        txn: TxnId,
-        result: TxnResult<R>,
-    },
+    Result { txn: TxnId, result: TxnResult<R> },
     FragResponse(FragmentResponse<R>),
 }
 
@@ -132,7 +133,11 @@ impl<E: ExecutionEngine> Clone for Channels<E> {
 ///
 /// `build_engine` is called once per partition (plus once more per
 /// partition for its backup when `system.replication > 1`).
-pub fn run_threaded<W, B>(cfg: RuntimeConfig, workload: W, build_engine: B) -> RuntimeReport<W::Engine>
+pub fn run_threaded<W, B>(
+    cfg: RuntimeConfig,
+    workload: W,
+    build_engine: B,
+) -> RuntimeReport<W::Engine>
 where
     W: RequestGenerator + Send + 'static,
     W::Engine: Send + 'static,
@@ -197,7 +202,9 @@ where
     let mut backup_handles = Vec::new();
     for (p, rx) in backup_rxs {
         let engine = build_engine(PartitionId(p as u32));
-        backup_handles.push(std::thread::spawn(move || backup_thread::<W::Engine>(engine, rx)));
+        backup_handles.push(std::thread::spawn(move || {
+            backup_thread::<W::Engine>(engine, rx)
+        }));
     }
 
     // Coordinator thread.
@@ -217,7 +224,16 @@ where
         let counter = committed_in_window.clone();
         let wl = workload.clone();
         client_handles.push(std::thread::spawn(move || {
-            client_thread::<W>(ClientId(c as u32), system, wl, rx, chans, stop, open, counter)
+            client_thread::<W>(
+                ClientId(c as u32),
+                system,
+                wl,
+                rx,
+                chans,
+                stop,
+                open,
+                counter,
+            )
         }));
     }
 
@@ -347,16 +363,15 @@ fn partition_thread<E: ExecutionEngine + 'static>(
                             }
                         }
                     }
-                    let _ = chans.clients[client.as_usize()]
-                        .send(ClientMsg::Result { txn, result });
+                    let _ =
+                        chans.clients[client.as_usize()].send(ClientMsg::Result { txn, result });
                 }
                 PartitionOut::ToCoordinator { dest, response } => match dest {
                     CoordinatorRef::Central => {
                         let _ = chans.coord.send(CoordMsg::Response(response));
                     }
                     CoordinatorRef::Client(c) => {
-                        let _ = chans.clients[c.as_usize()]
-                            .send(ClientMsg::FragResponse(response));
+                        let _ = chans.clients[c.as_usize()].send(ClientMsg::FragResponse(response));
                     }
                 },
             }
@@ -596,19 +611,29 @@ mod tests {
         };
         let cfg = quick(scheme, mp, 8);
         let builder = MicroWorkload::new(mc);
-        run_threaded(cfg, MicroWorkload::new(mc), move |p| builder.build_engine(p))
+        run_threaded(cfg, MicroWorkload::new(mc), move |p| {
+            builder.build_engine(p)
+        })
     }
 
     #[test]
     fn all_schemes_run_live_with_mp_transactions() {
-        for scheme in [Scheme::Blocking, Scheme::Speculative, Scheme::Locking, Scheme::Occ] {
+        for scheme in [
+            Scheme::Blocking,
+            Scheme::Speculative,
+            Scheme::Locking,
+            Scheme::Occ,
+        ] {
             let r = run(scheme, 0.2);
             assert!(
                 r.committed > 100,
                 "{scheme}: only {} committed",
                 r.committed
             );
-            assert_eq!(r.sched.local_deadlocks, 0, "{scheme}: no deadlocks expected");
+            assert_eq!(
+                r.sched.local_deadlocks, 0,
+                "{scheme}: no deadlocks expected"
+            );
             // Every partition engine quiesced with no leaked undo buffers.
             for e in &r.engines {
                 assert_eq!(e.live_undo_buffers(), 0, "{scheme}");
@@ -639,7 +664,9 @@ mod tests {
         let mut cfg = quick(Scheme::Speculative, 0.3, 8);
         cfg.system.replication = 2;
         let builder = MicroWorkload::new(mc);
-        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| builder.build_engine(p));
+        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| {
+            builder.build_engine(p)
+        });
         assert!(r.committed > 50);
         assert_eq!(r.backups.len(), r.engines.len());
         for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
@@ -662,7 +689,9 @@ mod tests {
         let mut cfg = quick(Scheme::Locking, 0.3, 8);
         cfg.system.replication = 2;
         let builder = MicroWorkload::new(mc);
-        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| builder.build_engine(p));
+        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| {
+            builder.build_engine(p)
+        });
         assert!(r.committed > 50);
         for (p, b) in r.engines.iter().zip(r.backups.iter()) {
             assert_eq!(p.fingerprint(), b.fingerprint());
@@ -681,15 +710,15 @@ mod tpcc_tests {
         for scheme in [Scheme::Speculative, Scheme::Locking] {
             let mut tpcc = TpccConfig::new(2, 2);
             tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
-            let mut system = SystemConfig::new(scheme)
-                .with_partitions(2)
-                .with_clients(8);
+            let mut system = SystemConfig::new(scheme).with_partitions(2).with_clients(8);
             system.lock_timeout = Nanos::from_millis(1);
             let mut cfg = RuntimeConfig::quick(system);
             cfg.warmup = Duration::from_millis(30);
             cfg.measure = Duration::from_millis(250);
             let builder = TpccWorkload::new(tpcc);
-            let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| builder.build_engine(p));
+            let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
+                builder.build_engine(p)
+            });
             assert!(r.committed > 100, "{scheme}: {}", r.committed);
             for (i, e) in r.engines.iter().enumerate() {
                 consistency::check(&e.store)
@@ -712,7 +741,9 @@ mod tpcc_tests {
         cfg.warmup = Duration::from_millis(30);
         cfg.measure = Duration::from_millis(250);
         let builder = TpccWorkload::new(tpcc);
-        let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| builder.build_engine(p));
+        let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
+            builder.build_engine(p)
+        });
         assert!(r.committed > 100);
         for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
             assert_eq!(

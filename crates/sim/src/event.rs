@@ -51,6 +51,15 @@ pub enum Ev<E: ExecutionEngine> {
     Tick {
         p: PartitionId,
     },
+    /// Several deliveries sharing one arrival time, dispatched in order.
+    ///
+    /// One handler invocation often emits a burst of messages that all
+    /// arrive together (fragment fan-out, decision fan-out); carrying the
+    /// burst as one heap entry costs one push/pop instead of N. Ordering
+    /// is unchanged: members were pushed with consecutive sequence
+    /// numbers, so nothing could have sorted between them anyway. Never
+    /// nested.
+    Batch(Vec<Ev<E>>),
 }
 
 /// Heap entry ordered by (time, sequence); the sequence number makes the

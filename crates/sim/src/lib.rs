@@ -22,6 +22,10 @@
 //! shadow state at the end doubles as a serializability check: the shadow
 //! *is* the serial execution in commit order.
 
+// Associated-type generics make some signatures long; aliases would
+// obscure more than they clarify here.
+#![allow(clippy::type_complexity)]
+
 mod event;
 mod report;
 mod simulation;

@@ -4,15 +4,16 @@ use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
 use hcc_common::stats::{LatencyHistogram, SchedulerCounters};
 use hcc_common::{
-    ClientId, CoordinatorRef, FragmentTask, Nanos, PartitionId, Scheme, SystemConfig, TxnId,
-    TxnResult,
+    ClientId, CoordinatorRef, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig,
+    TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
 use hcc_core::txn_driver::TxnDriver;
-use hcc_core::{make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator, Scheduler};
+use hcc_core::{
+    make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator, Scheduler,
+};
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Simulation parameters: the system under test plus the measurement
 /// protocol (the paper uses 15 s warm-up and 60 s measurement; scaled-down
@@ -95,9 +96,22 @@ pub struct Simulation<W: RequestGenerator> {
     part_busy_in_window: Vec<u64>,
     tick_pending: Vec<bool>,
 
-    coord: Coordinator<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
+    coord: Coordinator<
+        <W::Engine as ExecutionEngine>::Fragment,
+        <W::Engine as ExecutionEngine>::Output,
+    >,
     coord_busy: Nanos,
     coord_busy_in_window: u64,
+
+    // Reused hot-path buffers: one event in steady state allocates
+    // nothing — scheduler outputs, coordinator outputs, and same-time
+    // delivery batches all recycle their backing storage.
+    outbox: Outbox<<W::Engine as ExecutionEngine>::Output>,
+    out_scratch: Vec<PartitionOut<<W::Engine as ExecutionEngine>::Output>>,
+    coord_out: Vec<
+        CoordOut<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
+    >,
+    batch_pool: Vec<Vec<Ev<W::Engine>>>,
 
     clients: Vec<SimClient<W::Engine>>,
 
@@ -105,7 +119,8 @@ pub struct Simulation<W: RequestGenerator> {
     /// Fragments delivered per (partition, txn), by round, for shadow
     /// replay (latest fragment per round wins — a squashed continuation is
     /// superseded by its re-sent version).
-    pending_frags: Vec<HashMap<TxnId, Vec<(u32, FragmentTask<<W::Engine as ExecutionEngine>::Fragment>)>>>,
+    pending_frags:
+        Vec<FxHashMap<TxnId, Vec<(u32, FragmentTask<<W::Engine as ExecutionEngine>::Fragment>)>>>,
 
     /// After the measurement window the simulation *drains*: clients stop
     /// issuing new requests and all in-flight transactions complete, so
@@ -129,12 +144,20 @@ where
 {
     /// Build a simulation: `build_engine` constructs each partition's
     /// loaded engine (and the shadow copy when enabled).
-    pub fn new(cfg: SimConfig, workload: W, build_engine: impl Fn(PartitionId) -> W::Engine) -> Self {
+    pub fn new(
+        cfg: SimConfig,
+        workload: W,
+        build_engine: impl Fn(PartitionId) -> W::Engine,
+    ) -> Self {
         let n = cfg.system.partitions as usize;
-        let engines: Vec<W::Engine> = (0..n).map(|p| build_engine(PartitionId(p as u32))).collect();
-        let shadow = cfg
-            .shadow_replica
-            .then(|| (0..n).map(|p| build_engine(PartitionId(p as u32))).collect());
+        let engines: Vec<W::Engine> = (0..n)
+            .map(|p| build_engine(PartitionId(p as u32)))
+            .collect();
+        let shadow = cfg.shadow_replica.then(|| {
+            (0..n)
+                .map(|p| build_engine(PartitionId(p as u32)))
+                .collect()
+        });
         let scheds = (0..n)
             .map(|p| make_scheduler::<W::Engine>(&cfg.system, PartitionId(p as u32)))
             .collect();
@@ -153,6 +176,10 @@ where
         let window_end = cfg.warmup + cfg.measure;
         Simulation {
             coord: Coordinator::central(cfg.system.costs),
+            outbox: Outbox::new(cfg.system.costs),
+            out_scratch: Vec::new(),
+            coord_out: Vec::new(),
+            batch_pool: Vec::new(),
             cfg,
             workload,
             queue: BinaryHeap::new(),
@@ -168,7 +195,7 @@ where
             clients,
             shadow,
             draining: false,
-            pending_frags: (0..n).map(|_| HashMap::new()).collect(),
+            pending_frags: (0..n).map(|_| FxHashMap::default()).collect(),
             window_start,
             window_end,
             committed: 0,
@@ -225,10 +252,13 @@ where
                     round: 0,
                     can_abort,
                 };
-                self.push(at + one_way, Ev::ToPartition {
-                    p: partition,
-                    msg: PartIn::Fragment(task),
-                });
+                self.push(
+                    at + one_way,
+                    Ev::ToPartition {
+                        p: partition,
+                        msg: PartIn::Fragment(task),
+                    },
+                );
             }
             Request::MultiPartition {
                 procedure,
@@ -238,52 +268,59 @@ where
                 match self.cfg.system.scheme {
                     Scheme::Locking => {
                         // Client-coordinated 2PC (§4.3).
-                        let mut out = Vec::new();
+                        debug_assert!(self.coord_out.is_empty());
+                        let mut out = std::mem::take(&mut self.coord_out);
                         self.clients[c]
                             .driver
                             .begin(txn, procedure, can_abort, &mut out);
+                        self.coord_out = out;
                         let cpu = self.clients[c].driver.take_cpu();
                         let start = at.max(self.clients[c].busy);
                         self.clients[c].busy = start + cpu;
                         let depart = self.clients[c].busy;
-                        self.route_coord_out(out, depart, Some(c));
+                        self.route_coord_out(depart, Some(c));
                     }
                     _ => {
-                        self.push(at + one_way, Ev::ToCoordinator(CoordIn::Invoke {
-                            txn,
-                            client: client_id,
-                            procedure,
-                            can_abort,
-                        }));
+                        self.push(
+                            at + one_way,
+                            Ev::ToCoordinator(CoordIn::Invoke {
+                                txn,
+                                client: client_id,
+                                procedure,
+                                can_abort,
+                            }),
+                        );
                     }
                 }
             }
         }
     }
 
-    /// Route coordinator (or client-driver) outputs. `from_client` is the
-    /// index of the driving client for locking-mode self-results.
-    fn route_coord_out(
-        &mut self,
-        out: Vec<CoordOut<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>>,
-        depart: Nanos,
-        from_client: Option<usize>,
-    ) {
+    /// Route the coordinator (or client-driver) outputs accumulated in
+    /// `self.coord_out`. `from_client` is the index of the driving client
+    /// for locking-mode self-results. Consecutive messages sharing an
+    /// arrival time travel as one heap entry (see [`Ev::Batch`]).
+    fn route_coord_out(&mut self, depart: Nanos, from_client: Option<usize>) {
         let one_way = self.one_way();
-        for o in out {
-            match o {
-                CoordOut::Fragment(p, task) => {
-                    self.push(depart + one_way, Ev::ToPartition {
+        let mut msgs = std::mem::take(&mut self.coord_out);
+        let mut group: Vec<Ev<W::Engine>> = self.batch_pool.pop().unwrap_or_default();
+        let mut group_at = Nanos::ZERO;
+        for o in msgs.drain(..) {
+            let (at, ev) = match o {
+                CoordOut::Fragment(p, task) => (
+                    depart + one_way,
+                    Ev::ToPartition {
                         p,
                         msg: PartIn::Fragment(task),
-                    });
-                }
-                CoordOut::Decision(p, d) => {
-                    self.push(depart + one_way, Ev::ToPartition {
+                    },
+                ),
+                CoordOut::Decision(p, d) => (
+                    depart + one_way,
+                    Ev::ToPartition {
                         p,
                         msg: PartIn::Decision(d),
-                    });
-                }
+                    },
+                ),
                 CoordOut::ClientResult {
                     client,
                     txn,
@@ -296,17 +333,47 @@ where
                     } else {
                         one_way
                     };
-                    self.push(depart + delay, Ev::ToClient {
-                        c: client,
-                        msg: ClientIn::Result { txn, result },
-                    });
+                    (
+                        depart + delay,
+                        Ev::ToClient {
+                            c: client,
+                            msg: ClientIn::Result { txn, result },
+                        },
+                    )
                 }
+            };
+            if at != group_at && !group.is_empty() {
+                self.flush_group(group_at, &mut group);
             }
+            group_at = at;
+            group.push(ev);
+        }
+        if !group.is_empty() {
+            self.flush_group(group_at, &mut group);
+        }
+        self.batch_pool.push(group);
+        self.coord_out = msgs;
+    }
+
+    /// Push a group of same-arrival events: single events go straight to
+    /// the heap, bursts go as one [`Ev::Batch`]. `group` is left empty
+    /// (its storage recycled through the batch pool for bursts).
+    fn flush_group(&mut self, at: Nanos, group: &mut Vec<Ev<W::Engine>>) {
+        if group.len() == 1 {
+            let ev = group.pop().expect("non-empty group");
+            self.push(at, ev);
+        } else {
+            let burst = std::mem::replace(group, self.batch_pool.pop().unwrap_or_default());
+            self.push(at, Ev::Batch(burst));
         }
     }
 
     /// Record a delivered fragment for shadow replay (latest per round).
-    fn record_fragment(&mut self, p: usize, task: &FragmentTask<<W::Engine as ExecutionEngine>::Fragment>) {
+    fn record_fragment(
+        &mut self,
+        p: usize,
+        task: &FragmentTask<<W::Engine as ExecutionEngine>::Fragment>,
+    ) {
         if self.shadow.is_none() {
             return;
         }
@@ -341,17 +408,17 @@ where
         }
     }
 
-    /// Handle partition scheduler outputs: route messages, apply shadow
-    /// commits for single-partition results.
-    fn route_partition_out(
-        &mut self,
-        p: usize,
-        msgs: Vec<PartitionOut<<W::Engine as ExecutionEngine>::Output>>,
-        depart: Nanos,
-    ) {
+    /// Handle the partition scheduler outputs accumulated in
+    /// `self.out_scratch`: route messages, apply shadow commits for
+    /// single-partition results. Every message arrives `one_way` after
+    /// `depart`, so a multi-message burst travels as one heap entry.
+    fn route_partition_out(&mut self, p: usize, depart: Nanos) {
         let one_way = self.one_way();
-        for m in msgs {
-            match m {
+        let arrival = depart + one_way;
+        let mut msgs = std::mem::take(&mut self.out_scratch);
+        let mut group: Vec<Ev<W::Engine>> = self.batch_pool.pop().unwrap_or_default();
+        for m in msgs.drain(..) {
+            let ev = match m {
                 PartitionOut::ToClient {
                     client,
                     txn,
@@ -361,27 +428,34 @@ where
                         TxnResult::Committed(_) => self.shadow_commit(p, txn),
                         TxnResult::Aborted(_) => self.shadow_abort(p, txn),
                     }
-                    self.push(depart + one_way, Ev::ToClient {
+                    Ev::ToClient {
                         c: client,
                         msg: ClientIn::Result { txn, result },
-                    });
+                    }
                 }
                 PartitionOut::ToCoordinator { dest, response } => match dest {
-                    CoordinatorRef::Central => {
-                        self.push(depart + one_way, Ev::ToCoordinator(CoordIn::Response(response)));
-                    }
-                    CoordinatorRef::Client(cid) => {
-                        self.push(depart + one_way, Ev::ToClient {
-                            c: cid,
-                            msg: ClientIn::FragResponse(response),
-                        });
-                    }
+                    CoordinatorRef::Central => Ev::ToCoordinator(CoordIn::Response(response)),
+                    CoordinatorRef::Client(cid) => Ev::ToClient {
+                        c: cid,
+                        msg: ClientIn::FragResponse(response),
+                    },
                 },
-            }
+            };
+            group.push(ev);
         }
+        if !group.is_empty() {
+            self.flush_group(arrival, &mut group);
+        }
+        self.batch_pool.push(group);
+        self.out_scratch = msgs;
     }
 
-    fn handle_partition(&mut self, p: PartitionId, msg: PartIn<<W::Engine as ExecutionEngine>::Fragment>, at: Nanos) {
+    fn handle_partition(
+        &mut self,
+        p: PartitionId,
+        msg: PartIn<<W::Engine as ExecutionEngine>::Fragment>,
+        at: Nanos,
+    ) {
         // A crashed partition drops everything on the floor.
         if let Some((when, failed)) = self.cfg.fail_partition {
             if p == failed && at >= when {
@@ -390,11 +464,11 @@ where
         }
         let pi = p.as_usize();
         let start = at.max(self.part_busy[pi]);
-        let mut out = Outbox::new(self.cfg.system.costs);
+        debug_assert!(self.outbox.messages.is_empty() && self.outbox.cpu == Nanos::ZERO);
         match msg {
             PartIn::Fragment(task) => {
                 self.record_fragment(pi, &task);
-                self.scheds[pi].on_fragment(task, &mut self.engines[pi], start, &mut out);
+                self.scheds[pi].on_fragment(task, &mut self.engines[pi], start, &mut self.outbox);
             }
             PartIn::Decision(d) => {
                 if d.commit {
@@ -402,10 +476,11 @@ where
                 } else {
                     self.shadow_abort(pi, d.txn);
                 }
-                self.scheds[pi].on_decision(d, &mut self.engines[pi], start, &mut out);
+                self.scheds[pi].on_decision(d, &mut self.engines[pi], start, &mut self.outbox);
             }
         }
-        let (msgs, cpu) = out.take();
+        // Drain the (recycled) outbox into the scratch buffer.
+        let cpu = self.outbox.take_into(&mut self.out_scratch);
         let end = start + cpu;
         self.part_busy[pi] = end;
         self.part_busy_in_window[pi] += self.window_overlap(start, end);
@@ -416,7 +491,7 @@ where
         } else {
             end
         };
-        self.route_partition_out(pi, msgs, depart);
+        self.route_partition_out(pi, depart);
         // Locking needs periodic timeout scans while work is outstanding.
         if self.cfg.system.scheme == Scheme::Locking
             && !self.tick_pending[pi]
@@ -432,13 +507,13 @@ where
         let pi = p.as_usize();
         self.tick_pending[pi] = false;
         let start = at.max(self.part_busy[pi]);
-        let mut out = Outbox::new(self.cfg.system.costs);
-        let next = self.scheds[pi].on_tick(&mut self.engines[pi], start, &mut out);
-        let (msgs, cpu) = out.take();
+        debug_assert!(self.outbox.messages.is_empty() && self.outbox.cpu == Nanos::ZERO);
+        let next = self.scheds[pi].on_tick(&mut self.engines[pi], start, &mut self.outbox);
+        let cpu = self.outbox.take_into(&mut self.out_scratch);
         let end = start + cpu;
         self.part_busy[pi] = end;
         self.part_busy_in_window[pi] += self.window_overlap(start, end);
-        self.route_partition_out(pi, msgs, end);
+        self.route_partition_out(pi, end);
         if let Some(delay) = next {
             self.tick_pending[pi] = true;
             self.push(end + delay, Ev::Tick { p });
@@ -447,7 +522,8 @@ where
 
     fn handle_coordinator(&mut self, msg: CoordIn<W::Engine>, at: Nanos) {
         let start = at.max(self.coord_busy);
-        let mut out = Vec::new();
+        debug_assert!(self.coord_out.is_empty());
+        let mut out = std::mem::take(&mut self.coord_out);
         match msg {
             CoordIn::Invoke {
                 txn,
@@ -473,14 +549,20 @@ where
                 }
             }
         }
+        self.coord_out = out;
         let cpu = self.coord.take_cpu();
         let end = start + cpu;
         self.coord_busy = end;
         self.coord_busy_in_window += self.window_overlap(start, end);
-        self.route_coord_out(out, end, None);
+        self.route_coord_out(end, None);
     }
 
-    fn handle_client(&mut self, c: ClientId, msg: ClientIn<<W::Engine as ExecutionEngine>::Output>, at: Nanos) {
+    fn handle_client(
+        &mut self,
+        c: ClientId,
+        msg: ClientIn<<W::Engine as ExecutionEngine>::Output>,
+        at: Nanos,
+    ) {
         let ci = c.as_usize();
         match msg {
             ClientIn::Result { txn, result } => {
@@ -509,8 +591,7 @@ where
                                 TxnResult::Aborted(_) => self.user_aborts += 1,
                             }
                         }
-                        self.workload
-                            .on_result(c, txn, result.is_committed());
+                        self.workload.on_result(c, txn, result.is_committed());
                         if !self.draining {
                             let req = self.workload.next_request(c);
                             self.clients[ci].pending = Some(PendingRequest::from_request(&req));
@@ -522,13 +603,26 @@ where
             }
             ClientIn::FragResponse(r) => {
                 let start = at.max(self.clients[ci].busy);
-                let mut out = Vec::new();
+                debug_assert!(self.coord_out.is_empty());
+                let mut out = std::mem::take(&mut self.coord_out);
                 self.clients[ci].driver.on_response(r, &mut out);
+                self.coord_out = out;
                 let cpu = self.clients[ci].driver.take_cpu();
                 self.clients[ci].busy = start + cpu;
                 let depart = self.clients[ci].busy;
-                self.route_coord_out(out, depart, Some(ci));
+                self.route_coord_out(depart, Some(ci));
             }
+        }
+    }
+
+    fn dispatch_event(&mut self, ev: Ev<W::Engine>, at: Nanos) {
+        self.events += 1;
+        match ev {
+            Ev::ToPartition { p, msg } => self.handle_partition(p, msg, at),
+            Ev::ToCoordinator(msg) => self.handle_coordinator(msg, at),
+            Ev::ToClient { c, msg } => self.handle_client(c, msg, at),
+            Ev::Tick { p } => self.handle_tick(p, at),
+            Ev::Batch(_) => unreachable!("batches are never nested"),
         }
     }
 
@@ -558,12 +652,14 @@ where
                 panic!("simulation failed to drain: event at {}", item.at);
             }
             self.now = item.at;
-            self.events += 1;
             match item.ev {
-                Ev::ToPartition { p, msg } => self.handle_partition(p, msg, item.at),
-                Ev::ToCoordinator(msg) => self.handle_coordinator(msg, item.at),
-                Ev::ToClient { c, msg } => self.handle_client(c, msg, item.at),
-                Ev::Tick { p } => self.handle_tick(p, item.at),
+                Ev::Batch(mut evs) => {
+                    for ev in evs.drain(..) {
+                        self.dispatch_event(ev, item.at);
+                    }
+                    self.batch_pool.push(evs);
+                }
+                ev => self.dispatch_event(ev, item.at),
             }
         }
         debug_assert!(

@@ -17,17 +17,126 @@ fn run(scheme: Scheme, seed: u64) -> (u64, u64, u64, Vec<u64>) {
         .with_partitions(2)
         .with_clients(40)
         .with_seed(seed);
-    let cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(20), Nanos::from_millis(100));
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(20), Nanos::from_millis(100));
     let builder = MicroWorkload::new(micro);
-    let (r, _, engines, _) =
-        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let (r, _, engines, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     (
         r.committed,
         r.events_processed,
         r.user_aborts,
         engines.iter().map(|e| e.fingerprint()).collect(),
     )
+}
+
+/// Golden values for [`golden_fixed_seed_results_survive_fast_path_rewrite`].
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    committed: u64,
+    user_aborts: u64,
+    retries: u64,
+    committed_mp: u64,
+    /// Final primary-store fingerprint per partition (the shadow replica
+    /// must match it too, which the test checks separately).
+    fingerprints: [u64; 2],
+}
+
+/// Perf-neutrality guard for the PR 1 fast-path rewrite (and any future
+/// hot-path work): for a fixed RNG seed the simulation must produce
+/// *bit-identical* results — same committed/aborted/retry counts, same
+/// final store state on every partition, and primary == shadow replica.
+///
+/// The constants were captured on the naive (std-hasher, allocating)
+/// build via `cargo run -p hcc-bench --bin golden_capture`. An
+/// optimization that changes them has changed scheduling semantics, not
+/// just speed.
+#[test]
+fn golden_fixed_seed_results_survive_fast_path_rewrite() {
+    let golden: [(Scheme, Golden); 4] = [
+        (
+            Scheme::Blocking,
+            Golden {
+                committed: 1233,
+                user_aborts: 64,
+                retries: 0,
+                committed_mp: 369,
+                fingerprints: [0xc3ff8d43e189e49e, 0xdabe674f6edfa9d0],
+            },
+        ),
+        (
+            Scheme::Speculative,
+            Golden {
+                committed: 1664,
+                user_aborts: 95,
+                retries: 0,
+                committed_mp: 490,
+                fingerprints: [0x071a68d38466ab12, 0x2ab4536c52d32d43],
+            },
+        ),
+        (
+            Scheme::Locking,
+            Golden {
+                committed: 1638,
+                user_aborts: 93,
+                retries: 0,
+                committed_mp: 491,
+                fingerprints: [0x4f5d0488ad7672dc, 0x6ee7ef7ba16eb8ab],
+            },
+        ),
+        (
+            Scheme::Occ,
+            Golden {
+                committed: 1632,
+                user_aborts: 90,
+                retries: 0,
+                committed_mp: 486,
+                fingerprints: [0x1db00b865ea076f9, 0xcb7903ecf7feb066],
+            },
+        ),
+    ];
+    for (scheme, expected) in golden {
+        let micro = MicroConfig {
+            mp_fraction: 0.3,
+            abort_prob: 0.05,
+            conflict_prob: 0.2,
+            clients: 24,
+            seed: 0xD5,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(scheme)
+            .with_partitions(2)
+            .with_clients(24)
+            .with_seed(0xD5);
+        let cfg = SimConfig::new(system)
+            .with_window(Nanos::from_millis(20), Nanos::from_millis(100))
+            .with_shadow();
+        let builder = MicroWorkload::new(micro);
+        let (r, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let shadow = shadow.expect("shadow enabled");
+        let got = Golden {
+            committed: r.committed,
+            user_aborts: r.user_aborts,
+            retries: r.retries,
+            committed_mp: r.committed_mp,
+            fingerprints: [engines[0].fingerprint(), engines[1].fingerprint()],
+        };
+        assert_eq!(
+            got, expected,
+            "{scheme}: fixed-seed results changed — the rewrite altered semantics"
+        );
+        for (i, (e, s)) in engines.iter().zip(shadow.iter()).enumerate() {
+            assert_eq!(
+                e.fingerprint(),
+                s.fingerprint(),
+                "{scheme}: P{i} primary and shadow replica diverged"
+            );
+        }
+    }
 }
 
 #[test]
@@ -54,15 +163,19 @@ fn zero_mp_throughput_is_the_t_sp_bound() {
     let system = SystemConfig::new(Scheme::Blocking)
         .with_partitions(2)
         .with_clients(40);
-    let cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(50), Nanos::from_millis(500));
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(50), Nanos::from_millis(500));
     let builder = MicroWorkload::new(micro);
-    let (r, _, _, _) =
-        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let (r, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     let err = (r.throughput_tps - 31_250.0).abs() / 31_250.0;
     assert!(err < 0.02, "measured {} tps", r.throughput_tps);
     assert!(r.partition_utilization > 0.98, "partitions must saturate");
-    assert!(r.coordinator_utilization < 0.01, "no MP work, no coordinator");
+    assert!(
+        r.coordinator_utilization < 0.01,
+        "no MP work, no coordinator"
+    );
 }
 
 #[test]
@@ -79,9 +192,10 @@ fn window_length_does_not_change_steady_state() {
         let cfg = SimConfig::new(system)
             .with_window(Nanos::from_millis(100), Nanos::from_millis(measure));
         let builder = MicroWorkload::new(micro);
-        let (r, _, _, _) =
-            Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p))
-                .run();
+        let (r, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
         rates.push(r.throughput_tps);
     }
     let diff = (rates[0] - rates[1]).abs() / rates[1];

@@ -4,7 +4,7 @@
 //! continue processing transactions that do not depend on the failed
 //! partition."
 
-use hcc_common::{ClientId, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult};
+use hcc_common::{ClientId, Nanos, PartitionId, Scheme, SystemConfig, TxnId};
 use hcc_core::{Request, RequestGenerator};
 use hcc_sim::{SimConfig, Simulation};
 use hcc_workloads::micro::{make_key, MicroEngine, MicroFragment, MicroOp, SimpleMicroProcedure};
@@ -32,16 +32,15 @@ impl SplitWorkload {
 impl RequestGenerator for SplitWorkload {
     type Engine = MicroEngine;
 
-    fn next_request(
-        &mut self,
-        client: ClientId,
-    ) -> Request<MicroFragment, Vec<u32>> {
+    fn next_request(&mut self, client: ClientId) -> Request<MicroFragment, Vec<u32>> {
         if client.0 < 5 {
             self.last_kind_mp.insert(client.0, false);
             Request::SinglePartition {
                 partition: PartitionId(0),
                 fragment: MicroFragment {
-                    ops: (0..12).map(|i| MicroOp::Rmw(make_key(client.0, 0, i))).collect(),
+                    ops: (0..12)
+                        .map(|i| MicroOp::Rmw(make_key(client.0, 0, i)))
+                        .collect(),
                     fail: false,
                 },
                 can_abort: false,
@@ -54,14 +53,18 @@ impl RequestGenerator for SplitWorkload {
                         (
                             PartitionId(0),
                             MicroFragment {
-                                ops: (0..6).map(|i| MicroOp::Rmw(make_key(client.0, 0, i))).collect(),
+                                ops: (0..6)
+                                    .map(|i| MicroOp::Rmw(make_key(client.0, 0, i)))
+                                    .collect(),
                                 fail: false,
                             },
                         ),
                         (
                             PartitionId(1),
                             MicroFragment {
-                                ops: (0..6).map(|i| MicroOp::Rmw(make_key(client.0, 1, i))).collect(),
+                                ops: (0..6)
+                                    .map(|i| MicroOp::Rmw(make_key(client.0, 1, i)))
+                                    .collect(),
                                 fail: false,
                             },
                         ),
@@ -87,8 +90,8 @@ fn run_split(
     fail: Option<Nanos>,
 ) -> (hcc_sim::SimReport, SplitWorkload, Vec<MicroEngine>) {
     let system = SystemConfig::new(scheme).with_partitions(2).with_clients(6);
-    let mut cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(10), Nanos::from_millis(200));
+    let mut cfg =
+        SimConfig::new(system).with_window(Nanos::from_millis(10), Nanos::from_millis(200));
     if let Some(at) = fail {
         cfg = cfg.with_partition_failure(at, PartitionId(1));
     }
@@ -136,6 +139,9 @@ fn surviving_partition_continues_after_peer_crash() {
         assert_eq!(engines[0].live_undo_buffers(), 0, "{scheme}");
         assert!(report.committed > 0);
         // And in the control run, nothing was expired.
-        assert_eq!(control.aborted_mp, 0, "{scheme}: control must not expire txns");
+        assert_eq!(
+            control.aborted_mp, 0,
+            "{scheme}: control must not expire txns"
+        );
     }
 }

@@ -104,7 +104,10 @@ fn speculation_dominates_blocking_at_moderate_mp() {
         s.throughput_tps,
         l.throughput_tps
     );
-    assert!(s.sched.speculative_executions > 0, "speculation actually used");
+    assert!(
+        s.sched.speculative_executions > 0,
+        "speculation actually used"
+    );
 }
 
 #[test]
@@ -128,7 +131,12 @@ fn locking_wins_at_high_mp_due_to_coordinator_bottleneck() {
 
 #[test]
 fn serializability_shadow_replica_matches_for_all_schemes() {
-    for scheme in [Scheme::Blocking, Scheme::Speculative, Scheme::Locking, Scheme::Occ] {
+    for scheme in [
+        Scheme::Blocking,
+        Scheme::Speculative,
+        Scheme::Locking,
+        Scheme::Occ,
+    ] {
         // Conflict-heavy mix with aborts to stress cascades.
         let (r, _, engines, shadow) = run_full(scheme, 0.3, |mc| {
             mc.abort_prob = 0.05;

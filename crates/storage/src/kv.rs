@@ -7,9 +7,17 @@
 //! Mutations can record pre-images into a [`KvUndo`] buffer; applying the
 //! buffer restores the exact prior state. Schedulers keep one buffer per
 //! in-flight transaction and roll them back in reverse execution order.
+//!
+//! Hot-path design (the paper's whole point is that these fixed costs
+//! decide throughput): the store is a fast-hash open-addressing
+//! [`Table`], short keys/values are inline `Bytes` (no allocation), the
+//! [`KvStore::update`] path probes the table once per read-modify-write,
+//! and undo buffers are meant to be **recycled** via
+//! [`KvStore::rollback_reuse`] / [`KvUndo::clear`] so steady state
+//! allocates nothing per transaction.
 
+use crate::table::Table;
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// One recorded pre-image: the value (or absence) a key had before a
 /// mutation.
@@ -39,17 +47,35 @@ impl KvUndo {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Drop all records, keeping the allocation for reuse (buffer pools).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Pre-size for a transaction of `n` mutations (engines know the op
+    /// count from the fragment, so recording never reallocates).
+    pub fn reserve(&mut self, n: usize) {
+        self.records.reserve(n);
+    }
 }
 
 /// An in-memory hash table of byte-string keys and values.
 #[derive(Debug, Default)]
 pub struct KvStore {
-    map: HashMap<Bytes, Bytes>,
+    map: Table,
 }
 
 impl KvStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sized store (loaders know the row count).
+    pub fn with_capacity(n: usize) -> Self {
+        KvStore {
+            map: Table::with_capacity(n),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -74,6 +100,36 @@ impl KvStore {
         }
     }
 
+    /// Read-modify-write an **existing** key with one table probe:
+    /// `f(current)` produces the new value; the pre-image is recorded if
+    /// requested. Returns the prior value's bytes via the closure.
+    /// Falls back to an insert when the key is absent.
+    #[inline]
+    pub fn update(
+        &mut self,
+        key: &[u8],
+        undo: Option<&mut KvUndo>,
+        f: impl FnOnce(Option<&Bytes>) -> Bytes,
+    ) {
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                let next = f(Some(slot));
+                if let Some(u) = undo {
+                    u.records.push(UndoRecord {
+                        key: Bytes::copy_from_slice(key),
+                        prior: Some(std::mem::replace(slot, next)),
+                    });
+                } else {
+                    *slot = next;
+                }
+            }
+            None => {
+                let value = f(None);
+                self.put(Bytes::copy_from_slice(key), value, undo);
+            }
+        }
+    }
+
     /// Delete a key, optionally recording the pre-image. Returns the removed
     /// value, if any.
     pub fn delete(&mut self, key: &Bytes, undo: Option<&mut KvUndo>) -> Option<Bytes> {
@@ -89,8 +145,14 @@ impl KvStore {
 
     /// Undo every mutation recorded in `undo`, most recent first, restoring
     /// the state the store had before the transaction ran.
-    pub fn rollback(&mut self, undo: KvUndo) {
-        for rec in undo.records.into_iter().rev() {
+    pub fn rollback(&mut self, mut undo: KvUndo) {
+        self.rollback_reuse(&mut undo);
+    }
+
+    /// As [`rollback`](KvStore::rollback), but leaves the (now empty)
+    /// buffer's allocation intact so the caller can pool it.
+    pub fn rollback_reuse(&mut self, undo: &mut KvUndo) {
+        for rec in undo.records.drain(..).rev() {
             match rec.prior {
                 Some(v) => {
                     self.map.insert(rec.key, v);
@@ -112,7 +174,7 @@ impl KvStore {
     pub fn fingerprint(&self) -> u64 {
         // XOR of per-entry FNV hashes: order-independent, cheap.
         let mut acc = 0u64;
-        for (k, v) in &self.map {
+        for (k, v) in self.map.iter() {
             let mut h = 0xcbf2_9ce4_8422_2325u64;
             for &b in k.iter().chain(v.iter()) {
                 h ^= b as u64;
@@ -215,6 +277,50 @@ mod tests {
         kv.put(b("a"), b("1"), Some(&mut undo));
         kv.put(b("b"), b("2"), Some(&mut undo));
         assert_eq!(undo.len(), 2);
+    }
+
+    #[test]
+    fn update_probes_once_and_rolls_back() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("a"), None);
+        let before = kv.fingerprint();
+        let mut undo = KvUndo::new();
+        kv.update(b"x", Some(&mut undo), |cur| {
+            assert_eq!(cur, Some(&b("a")));
+            b("b")
+        });
+        assert_eq!(kv.get(b"x"), Some(&b("b")));
+        assert_eq!(undo.len(), 1);
+        kv.rollback_reuse(&mut undo);
+        assert!(undo.is_empty());
+        assert_eq!(kv.fingerprint(), before);
+    }
+
+    #[test]
+    fn update_inserts_missing_key() {
+        let mut kv = KvStore::new();
+        let mut undo = KvUndo::new();
+        kv.update(b"nu", Some(&mut undo), |cur| {
+            assert_eq!(cur, None);
+            b("v")
+        });
+        assert_eq!(kv.get(b"nu"), Some(&b("v")));
+        kv.rollback(undo);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn rollback_reuse_keeps_capacity() {
+        let mut kv = KvStore::new();
+        let mut undo = KvUndo::new();
+        undo.reserve(16);
+        for i in 0..16u8 {
+            kv.put(Bytes::copy_from_slice(&[i]), b("v"), Some(&mut undo));
+        }
+        let cap = undo.records.capacity();
+        kv.rollback_reuse(&mut undo);
+        assert!(undo.is_empty());
+        assert_eq!(undo.records.capacity(), cap, "pooled buffer keeps storage");
     }
 
     #[test]

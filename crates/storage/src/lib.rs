@@ -19,6 +19,8 @@
 //! which is where the paper's low overhead comes from.
 
 pub mod kv;
+pub mod table;
 pub mod tpcc;
 
 pub use kv::{KvStore, KvUndo};
+pub use table::Table;

@@ -44,7 +44,10 @@ pub fn check(store: &TpccStore) -> Result<(), Vec<Violation>> {
         if w.ytd_cents != d_sum {
             violations.push(Violation {
                 condition: "C1:w_ytd",
-                detail: format!("warehouse {w_id}: W_YTD={} but Σ D_YTD={d_sum}", w.ytd_cents),
+                detail: format!(
+                    "warehouse {w_id}: W_YTD={} but Σ D_YTD={d_sum}",
+                    w.ytd_cents
+                ),
             });
         }
     }
@@ -152,7 +155,6 @@ pub fn check(store: &TpccStore) -> Result<(), Vec<Violation>> {
 mod tests {
     use super::super::loader::load_partition;
     use super::super::scale::TpccScale;
-    use super::super::schema::*;
     use super::super::store::TpccStore;
     use super::*;
 
@@ -197,8 +199,10 @@ mod tests {
         let key = *s.order_line.keys().next().unwrap();
         s.order_line.remove(&key);
         let errs = check(&s).unwrap_err();
-        assert!(errs.iter().any(|v| v.condition == "C4:order_line_count"
-            || v.condition == "C6:order_lines_complete"));
+        assert!(errs
+            .iter()
+            .any(|v| v.condition == "C4:order_line_count"
+                || v.condition == "C6:order_lines_complete"));
     }
 
     #[test]
@@ -207,7 +211,9 @@ mod tests {
         let (w, d, o) = *s.new_order.keys().next().unwrap();
         s.update_order((w, d, o), None, |ord| ord.carrier_id = Some(1));
         let errs = check(&s).unwrap_err();
-        assert!(errs.iter().any(|v| v.condition == "C5:new_order_undelivered"));
+        assert!(errs
+            .iter()
+            .any(|v| v.condition == "C5:new_order_undelivered"));
     }
 
     #[test]

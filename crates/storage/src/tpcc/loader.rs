@@ -52,7 +52,11 @@ pub fn load_partition(
     for i_id in 1..=scale.items {
         let data = if rrng.next_f64() < 0.10 {
             // 10% of items carry "ORIGINAL" (clause 4.3.3.1).
-            format!("{}ORIGINAL{}", rand_str(&mut rrng, 6, 12), rand_str(&mut rrng, 6, 12))
+            format!(
+                "{}ORIGINAL{}",
+                rand_str(&mut rrng, 6, 12),
+                rand_str(&mut rrng, 6, 12)
+            )
         } else {
             rand_str(&mut rrng, 26, 50)
         };
@@ -71,11 +75,17 @@ pub fn load_partition(
         for i_id in 1..=scale.items {
             let dists = std::array::from_fn(|_| rand_str(&mut rrng, 24, 24));
             let data = if rrng.next_f64() < 0.10 {
-                format!("{}ORIGINAL{}", rand_str(&mut rrng, 6, 12), rand_str(&mut rrng, 6, 12))
+                format!(
+                    "{}ORIGINAL{}",
+                    rand_str(&mut rrng, 6, 12),
+                    rand_str(&mut rrng, 6, 12)
+                )
             } else {
                 rand_str(&mut rrng, 26, 50)
             };
-            store.stock_info.insert((w_id, i_id), StockInfo { dists, data });
+            store
+                .stock_info
+                .insert((w_id, i_id), StockInfo { dists, data });
         }
     }
 
@@ -283,10 +293,7 @@ mod tests {
         let scale = TpccScale::tiny();
         let s = tiny_store();
         assert_eq!(s.warehouse.len(), 2);
-        assert_eq!(
-            s.district.len(),
-            2 * scale.districts_per_warehouse as usize
-        );
+        assert_eq!(s.district.len(), 2 * scale.districts_per_warehouse as usize);
         assert_eq!(
             s.customer.len(),
             2 * scale.districts_per_warehouse as usize * scale.customers_per_district as usize
@@ -303,10 +310,7 @@ mod tests {
         let s = tiny_store();
         let n = scale.initial_orders_per_district;
         let undelivered = n * 30 / 100;
-        let count = s
-            .new_order
-            .range((1, 1, 0)..=(1, 1, OId::MAX))
-            .count() as u32;
+        let count = s.new_order.range((1, 1, 0)..=(1, 1, OId::MAX)).count() as u32;
         assert_eq!(count, undelivered);
         // The oldest undelivered order is the first after the cutoff.
         assert_eq!(s.oldest_new_order(1, 1), Some(n - undelivered + 1));
@@ -339,8 +343,10 @@ mod tests {
     fn by_name_index_sorted_by_first_name() {
         let s = tiny_store();
         for ((w, d, _), ids) in s.customer_by_name.iter() {
-            let firsts: Vec<&String> =
-                ids.iter().map(|c| &s.customer[&(*w, *d, *c)].first).collect();
+            let firsts: Vec<&String> = ids
+                .iter()
+                .map(|c| &s.customer[&(*w, *d, *c)].first)
+                .collect();
             let mut sorted = firsts.clone();
             sorted.sort();
             assert_eq!(firsts, sorted);

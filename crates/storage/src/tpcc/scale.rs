@@ -97,7 +97,11 @@ mod tests {
     fn nurand_constants_cover_range() {
         // The spec's own constants satisfy A ≈ range/3 (c_id) and
         // A ≈ range/12 (i_id); check ours keep at least that coverage.
-        for s in [TpccScale::full(), TpccScale::default_scaled(), TpccScale::tiny()] {
+        for s in [
+            TpccScale::full(),
+            TpccScale::default_scaled(),
+            TpccScale::tiny(),
+        ] {
             assert!(s.nurand_a_c_id * 4 >= s.customers_per_district as u64);
             assert!(s.nurand_a_i_id * 16 >= s.items as u64);
         }

@@ -233,7 +233,7 @@ pub fn name_hash(last: &str) -> u32 {
         h ^= b as u32;
         h = h.wrapping_mul(0x0100_0193);
     }
-    h & 0xFFFF_FFF
+    h & 0x0FFF_FFFF
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! transactions that select customers by last name.
 
 use super::schema::*;
-use std::collections::{BTreeMap, HashMap};
+use hcc_common::FxHashMap;
+use std::collections::BTreeMap;
 
 /// One undoable mutation. Pre-image variants store the full prior row;
 /// insert variants store the key to remove.
@@ -46,6 +47,16 @@ impl TpccUndoBuf {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Drop all records, keeping the allocation for reuse (buffer pools).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Pre-size for a transaction of `n` mutations.
+    pub fn reserve(&mut self, n: usize) {
+        self.records.reserve(n);
+    }
 }
 
 /// All TPC-C state owned by one partition.
@@ -53,24 +64,24 @@ impl TpccUndoBuf {
 pub struct TpccStore {
     /// Warehouse ids whose partitioned data lives here.
     pub local_warehouses: Vec<WId>,
-    pub warehouse: HashMap<WId, Warehouse>,
-    pub district: HashMap<DistrictKey, District>,
-    pub customer: HashMap<CustomerKey, Customer>,
+    pub warehouse: FxHashMap<WId, Warehouse>,
+    pub district: FxHashMap<DistrictKey, District>,
+    pub customer: FxHashMap<CustomerKey, Customer>,
     /// Secondary index: (w, d, last name) → customer ids, sorted by first
     /// name (clause 2.5.2.2 requires "ordered by C_FIRST").
-    pub customer_by_name: HashMap<(WId, DId, String), Vec<CId>>,
+    pub customer_by_name: FxHashMap<(WId, DId, String), Vec<CId>>,
     pub history: Vec<History>,
-    pub order: HashMap<OrderKey, Order>,
+    pub order: FxHashMap<OrderKey, Order>,
     /// Secondary index for "most recent order of a customer".
     pub order_by_customer: BTreeMap<(WId, DId, CId, OId), ()>,
     pub new_order: BTreeMap<OrderKey, ()>,
     pub order_line: BTreeMap<OrderLineKey, OrderLine>,
     /// Replicated, read-only.
-    pub item: HashMap<IId, Item>,
+    pub item: FxHashMap<IId, Item>,
     /// Partitioned, updatable half of STOCK (local warehouses only).
-    pub stock: HashMap<StockKey, StockMut>,
+    pub stock: FxHashMap<StockKey, StockMut>,
     /// Replicated, read-only half of STOCK (all warehouses).
-    pub stock_info: HashMap<StockKey, StockInfo>,
+    pub stock_info: FxHashMap<StockKey, StockInfo>,
 }
 
 impl TpccStore {
@@ -311,8 +322,14 @@ impl TpccStore {
     // ------------------------------------------------------------------
 
     /// Undo every mutation in the buffer, most recent first.
-    pub fn rollback(&mut self, undo: TpccUndoBuf) {
-        for rec in undo.records.into_iter().rev() {
+    pub fn rollback(&mut self, mut undo: TpccUndoBuf) {
+        self.rollback_reuse(&mut undo);
+    }
+
+    /// As [`rollback`](TpccStore::rollback), but leaves the (now empty)
+    /// buffer's allocation intact so the caller can pool it.
+    pub fn rollback_reuse(&mut self, undo: &mut TpccUndoBuf) {
+        for rec in undo.records.drain(..).rev() {
             match rec {
                 TpccUndo::WarehousePre(row) => {
                     self.warehouse.insert(row.w_id, row);
@@ -436,7 +453,6 @@ fn fnv(words: &[u64]) -> u64 {
 mod tests {
     use super::super::loader::load_partition;
     use super::super::scale::TpccScale;
-    use super::super::schema::*;
     use super::*;
 
     fn store() -> TpccStore {
@@ -527,7 +543,7 @@ mod tests {
         s.rollback(undo);
         assert_eq!(s.fingerprint(), fp);
         assert_eq!(s.last_order_of(1, 1, 7).map(|o| o.o_id), before_last);
-        assert!(s.order.get(&(1, 1, 5000)).is_none());
+        assert!(!s.order.contains_key(&(1, 1, 5000)));
     }
 
     #[test]
@@ -619,7 +635,8 @@ mod tests {
                 },
             );
         }
-        s.customer_by_name.insert((1, 1, "SAME".into()), vec![1, 2, 3]);
+        s.customer_by_name
+            .insert((1, 1, "SAME".into()), vec![1, 2, 3]);
         // ceil(3/2) = 2nd in first-name order = c_id 2.
         assert_eq!(s.customer_by_name_midpoint(1, 1, "SAME"), Some(2));
         assert_eq!(s.customer_by_name_midpoint(1, 1, "NOBODY"), None);

@@ -18,13 +18,14 @@
 //!   transaction reads its keys in round 0 and writes them in round 1 —
 //!   same work, twice the messages.
 
-use hcc_common::{AbortReason, ClientId, LockKey, PartitionId, TxnId};
-use hcc_core::{ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step};
+use hcc_common::{AbortReason, ClientId, FxHashMap, LockKey, PartitionId, TxnId};
+use hcc_core::{
+    ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step,
+};
 use hcc_locking::LockMode;
 use hcc_storage::{KvStore, KvUndo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// A microbenchmark key: (client, partition, index), packed.
 pub type MicroKey = u64;
@@ -78,16 +79,22 @@ pub type MicroOutput = Vec<u32>;
 
 /// The microbenchmark execution engine: byte-string KV store plus
 /// per-transaction undo buffers.
+///
+/// Undo buffers are recycled through a per-partition pool: `forget` and
+/// `rollback` return the cleared buffer instead of dropping it, so in
+/// steady state a transaction costs zero allocations here.
 pub struct MicroEngine {
     kv: KvStore,
-    undo: HashMap<TxnId, KvUndo>,
+    undo: FxHashMap<TxnId, KvUndo>,
+    undo_pool: Vec<KvUndo>,
 }
 
 impl MicroEngine {
     pub fn new() -> Self {
         MicroEngine {
             kv: KvStore::new(),
-            undo: HashMap::new(),
+            undo: FxHashMap::default(),
+            undo_pool: Vec::new(),
         }
     }
 
@@ -95,6 +102,7 @@ impl MicroEngine {
     /// paper's store starts populated.
     pub fn load(partition: PartitionId, clients: u32, keys_per_client: u32) -> Self {
         let mut e = Self::new();
+        e.kv = KvStore::with_capacity((clients * keys_per_client) as usize);
         for c in 0..clients {
             for i in 0..keys_per_client {
                 let k = make_key(c, partition.0, i);
@@ -148,19 +156,31 @@ impl ExecutionEngine for MicroEngine {
             };
         }
         let mut out = Vec::with_capacity(fragment.ops.len());
-        let ubuf = undo.then(|| self.undo.entry(txn).or_default());
         // Split borrow: we need &mut kv and &mut undo entry together.
         let kv = &mut self.kv;
-        let mut ubuf = ubuf;
+        let pool = &mut self.undo_pool;
+        let mut ubuf = undo.then(|| {
+            // Pooled buffer, pre-sized: recording never (re)allocates.
+            let buf = self.undo.entry(txn).or_insert_with(|| {
+                let mut b = pool.pop().unwrap_or_default();
+                b.clear();
+                b
+            });
+            buf.reserve(fragment.ops.len());
+            buf
+        });
         for op in &fragment.ops {
             match *op {
                 MicroOp::Rmw(k) => {
-                    let cur = kv
-                        .get(&k.to_be_bytes())
-                        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-                        .unwrap_or(0);
+                    // One table probe for the read and the write.
+                    let mut cur = 0u32;
+                    kv.update(&k.to_be_bytes(), ubuf.as_deref_mut(), |prior| {
+                        cur = prior
+                            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                            .unwrap_or(0);
+                        value_bytes(cur.wrapping_add(1))
+                    });
                     out.push(cur);
-                    kv.put(key_bytes(k), value_bytes(cur.wrapping_add(1)), ubuf.as_deref_mut());
                 }
                 MicroOp::Read(k) => {
                     let cur = kv
@@ -170,7 +190,7 @@ impl ExecutionEngine for MicroEngine {
                     out.push(cur);
                 }
                 MicroOp::Write(k, v) => {
-                    kv.put(key_bytes(k), value_bytes(v), ubuf.as_deref_mut());
+                    kv.update(&k.to_be_bytes(), ubuf.as_deref_mut(), |_| value_bytes(v));
                 }
             }
         }
@@ -182,9 +202,10 @@ impl ExecutionEngine for MicroEngine {
 
     fn rollback(&mut self, txn: TxnId) -> u32 {
         match self.undo.remove(&txn) {
-            Some(u) => {
+            Some(mut u) => {
                 let n = u.len() as u32;
-                self.kv.rollback(u);
+                self.kv.rollback_reuse(&mut u);
+                self.undo_pool.push(u);
                 n
             }
             None => 0,
@@ -192,7 +213,15 @@ impl ExecutionEngine for MicroEngine {
     }
 
     fn forget(&mut self, txn: TxnId) -> u32 {
-        self.undo.remove(&txn).map_or(0, |u| u.len() as u32)
+        match self.undo.remove(&txn) {
+            Some(mut u) => {
+                let n = u.len() as u32;
+                u.clear();
+                self.undo_pool.push(u);
+                n
+            }
+            None => 0,
+        }
     }
 
     fn lock_set(&self, fragment: &MicroFragment) -> Vec<(LockKey, LockMode)> {
@@ -424,11 +453,7 @@ impl MicroWorkload {
         }
         for (i, k) in keys.iter_mut().enumerate() {
             if self.rngs[client as usize].gen_bool(p) {
-                *k = make_key(
-                    conflict_partition,
-                    conflict_partition,
-                    slot_base + i as u32,
-                );
+                *k = make_key(conflict_partition, conflict_partition, slot_base + i as u32);
             }
         }
     }
@@ -579,7 +604,14 @@ mod tests {
     fn failed_fragment_costs_one_op_and_leaves_no_state() {
         let mut e = engine();
         let before = e.fingerprint();
-        let out = e.execute(txid(1), &MicroFragment { ops: vec![], fail: true }, true);
+        let out = e.execute(
+            txid(1),
+            &MicroFragment {
+                ops: vec![],
+                fail: true,
+            },
+            true,
+        );
         assert_eq!(out.result.unwrap_err(), AbortReason::User);
         assert_eq!(out.ops, 1);
         assert_eq!(e.fingerprint(), before);
@@ -613,10 +645,7 @@ mod tests {
             });
             let mut mp = 0;
             for _ in 0..1000 {
-                if matches!(
-                    w.next_request(ClientId(5)),
-                    Request::MultiPartition { .. }
-                ) {
+                if matches!(w.next_request(ClientId(5)), Request::MultiPartition { .. }) {
                     mp += 1;
                 }
             }
@@ -653,7 +682,10 @@ mod tests {
                 let parts = procedure.participants();
                 assert_eq!(parts.len(), 2);
                 match procedure.step(&[]) {
-                    Step::Round { fragments, is_final } => {
+                    Step::Round {
+                        fragments,
+                        is_final,
+                    } => {
                         assert!(is_final);
                         for (_, f) in fragments {
                             assert_eq!(f.ops.len(), 6);
@@ -696,7 +728,11 @@ mod tests {
         });
         for _ in 0..20 {
             match w.next_request(ClientId(7)) {
-                Request::SinglePartition { partition, fragment, .. } => {
+                Request::SinglePartition {
+                    partition,
+                    fragment,
+                    ..
+                } => {
                     let conflict = MicroWorkload::conflict_key(partition.0);
                     assert!(
                         fragment.ops.contains(&MicroOp::Rmw(conflict)),
@@ -716,7 +752,10 @@ mod tests {
             ..Default::default()
         });
         match w.next_request(ClientId(2)) {
-            Request::MultiPartition { procedure, can_abort } => {
+            Request::MultiPartition {
+                procedure,
+                can_abort,
+            } => {
                 assert!(can_abort);
                 match procedure.step(&[]) {
                     Step::Round { fragments, .. } => {
@@ -739,7 +778,11 @@ mod tests {
         });
         match w.next_request(ClientId(2)) {
             Request::MultiPartition { procedure, .. } => {
-                let Step::Round { fragments, is_final } = procedure.step(&[]) else {
+                let Step::Round {
+                    fragments,
+                    is_final,
+                } = procedure.step(&[])
+                else {
                     panic!()
                 };
                 assert!(!is_final, "round 0 is not final (two rounds)");
@@ -753,7 +796,11 @@ mod tests {
                         .map(|(p, f)| (*p, vec![7u32; f.ops.len()]))
                         .collect(),
                 };
-                let Step::Round { fragments, is_final } = procedure.step(&[outs]) else {
+                let Step::Round {
+                    fragments,
+                    is_final,
+                } = procedure.step(&[outs])
+                else {
                     panic!()
                 };
                 assert!(is_final);

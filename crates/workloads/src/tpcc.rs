@@ -23,18 +23,18 @@
 //! anyway ("nearly every transaction modifies the warehouse and district
 //! records", §5.5).
 
+use hcc_common::FxHashMap;
 use hcc_common::{AbortReason, ClientId, LockKey, PartitionId, TxnId};
 use hcc_core::{
     ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step,
 };
 use hcc_locking::LockMode;
 use hcc_storage::tpcc::{
-    self as db, load_partition, last_name, CId, DId, IId, Order, OrderLine, TpccScale, TpccStore,
+    self as db, last_name, load_partition, CId, DId, IId, Order, OrderLine, TpccScale, TpccStore,
     TpccUndoBuf, WId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Stock-level's whole-warehouse stock granule (see module docs).
 fn stock_wh_lock(w: WId) -> LockKey {
@@ -151,14 +151,17 @@ pub enum TpccOutput {
 /// reach bit-identical state.
 pub struct TpccEngine {
     pub store: TpccStore,
-    undo: HashMap<TxnId, TpccUndoBuf>,
+    undo: FxHashMap<TxnId, TpccUndoBuf>,
+    /// Recycled undo buffers: steady state allocates nothing per txn.
+    undo_pool: Vec<TpccUndoBuf>,
 }
 
 impl TpccEngine {
     pub fn new(store: TpccStore) -> Self {
         TpccEngine {
             store,
-            undo: HashMap::new(),
+            undo: FxHashMap::default(),
+            undo_pool: Vec::new(),
         }
     }
 
@@ -316,6 +319,7 @@ impl TpccEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_payment_customer(
         store: &mut TpccStore,
         undo: Option<&mut TpccUndoBuf>,
@@ -357,6 +361,7 @@ impl TpccEngine {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_payment_home(
         store: &mut TpccStore,
         mut undo: Option<&mut TpccUndoBuf>,
@@ -432,9 +437,7 @@ impl TpccEngine {
     ) -> Result<(TpccOutput, u32), AbortReason> {
         let mut ops = 1u32;
         let c_id = Self::resolve_customer(store, w_id, d_id, customer)?;
-        let cust = store
-            .customer(w_id, d_id, c_id)
-            .ok_or(AbortReason::User)?;
+        let cust = store.customer(w_id, d_id, c_id).ok_or(AbortReason::User)?;
         let last = store.last_order_of(w_id, d_id, c_id);
         ops += 1;
         let (last_o_id, lines) = match last {
@@ -492,14 +495,10 @@ impl TpccEngine {
                 .collect();
             let mut amount_sum = 0i64;
             for ol_number in line_keys {
-                store.update_order_line(
-                    (w_id, d_id, o_id, ol_number),
-                    undo.as_deref_mut(),
-                    |ol| {
-                        ol.delivery_d = Some(txn.0);
-                        amount_sum += ol.amount_cents;
-                    },
-                );
+                store.update_order_line((w_id, d_id, o_id, ol_number), undo.as_deref_mut(), |ol| {
+                    ol.delivery_d = Some(txn.0);
+                    amount_sum += ol.amount_cents;
+                });
                 ops += 1;
             }
             store.update_customer(w_id, d_id, c_id, undo.as_deref_mut(), |c| {
@@ -553,8 +552,27 @@ impl ExecutionEngine for TpccEngine {
         undo: bool,
     ) -> ExecOutcome<TpccOutput> {
         let store = &mut self.store;
-        let ubuf = undo.then(|| self.undo.entry(txn).or_default());
-        let undo_ref = ubuf;
+        let pool = &mut self.undo_pool;
+        let undo_ref = undo.then(|| {
+            // Pooled buffer, pre-sized to the fragment's worst-case record
+            // count so recording never (re)allocates.
+            let est = match fragment {
+                TpccFragment::NewOrderHome { lines, .. } => 3 + 2 * lines.len(),
+                TpccFragment::NewOrderRemote { lines, .. } => lines.len(),
+                // One delivered order per district (≤ 10 districts): a
+                // new-order delete + order update + customer update + up
+                // to 15 line updates each.
+                TpccFragment::Delivery { .. } => 180,
+                _ => 4,
+            };
+            let buf = self.undo.entry(txn).or_insert_with(|| {
+                let mut b = pool.pop().unwrap_or_default();
+                b.clear();
+                b
+            });
+            buf.reserve(est);
+            buf
+        });
         let r = match fragment {
             TpccFragment::NewOrderHome {
                 w_id,
@@ -631,7 +649,8 @@ impl ExecutionEngine for TpccEngine {
                 if undo {
                     if let Some(u) = self.undo.get(&txn) {
                         if u.is_empty() {
-                            self.undo.remove(&txn);
+                            let b = self.undo.remove(&txn).unwrap();
+                            self.undo_pool.push(b);
                         }
                     }
                 }
@@ -645,9 +664,10 @@ impl ExecutionEngine for TpccEngine {
 
     fn rollback(&mut self, txn: TxnId) -> u32 {
         match self.undo.remove(&txn) {
-            Some(u) => {
+            Some(mut u) => {
                 let n = u.len() as u32;
-                self.store.rollback(u);
+                self.store.rollback_reuse(&mut u);
+                self.undo_pool.push(u);
                 n
             }
             None => 0,
@@ -655,7 +675,15 @@ impl ExecutionEngine for TpccEngine {
     }
 
     fn forget(&mut self, txn: TxnId) -> u32 {
-        self.undo.remove(&txn).map_or(0, |u| u.len() as u32)
+        match self.undo.remove(&txn) {
+            Some(mut u) => {
+                let n = u.len() as u32;
+                u.clear();
+                self.undo_pool.push(u);
+                n
+            }
+            None => 0,
+        }
     }
 
     fn lock_set(&self, fragment: &TpccFragment) -> Vec<(LockKey, LockMode)> {
@@ -934,7 +962,7 @@ const INVALID_ITEM: IId = 0;
 /// Request generator for TPC-C.
 pub struct TpccWorkload {
     cfg: TpccConfig,
-    rngs: HashMap<u32, StdRng>,
+    rngs: FxHashMap<u32, StdRng>,
     /// Track generated multi-partition fraction (for reporting).
     pub generated: u64,
     pub generated_mp: u64,
@@ -944,7 +972,7 @@ impl TpccWorkload {
     pub fn new(cfg: TpccConfig) -> Self {
         TpccWorkload {
             cfg,
-            rngs: HashMap::new(),
+            rngs: FxHashMap::default(),
             generated: 0,
             generated_mp: 0,
         }
@@ -986,7 +1014,13 @@ impl TpccWorkload {
             let num = nurand(rng, scale.nurand_a_name, 223, 0, max - 1);
             CustomerSel::ByName(last_name(num))
         } else {
-            CustomerSel::ById(nurand(rng, scale.nurand_a_c_id, 259, 1, scale.customers_per_district as u64) as CId)
+            CustomerSel::ById(nurand(
+                rng,
+                scale.nurand_a_c_id,
+                259,
+                1,
+                scale.customers_per_district as u64,
+            ) as CId)
         }
     }
 
@@ -995,16 +1029,25 @@ impl TpccWorkload {
         let w_id = self.home_warehouse(client);
         let rng = self.rng(client);
         let d_id = rng.gen_range(1..=cfg.scale.districts_per_warehouse) as DId;
-        let c_id =
-            nurand(rng, cfg.scale.nurand_a_c_id, 259, 1, cfg.scale.customers_per_district as u64)
-                as CId;
+        let c_id = nurand(
+            rng,
+            cfg.scale.nurand_a_c_id,
+            259,
+            1,
+            cfg.scale.customers_per_district as u64,
+        ) as CId;
         let ol_cnt = rng.gen_range(5..=15u32);
         let invalid = rng.gen_bool(cfg.invalid_item_prob);
 
         let mut lines = Vec::with_capacity(ol_cnt as usize);
         for i in 0..ol_cnt {
-            let mut i_id =
-                nurand(rng, cfg.scale.nurand_a_i_id, 7911, 1, cfg.scale.items as u64) as IId;
+            let mut i_id = nurand(
+                rng,
+                cfg.scale.nurand_a_i_id,
+                7911,
+                1,
+                cfg.scale.items as u64,
+            ) as IId;
             if invalid && i == ol_cnt - 1 {
                 i_id = INVALID_ITEM; // "unused item number" → user abort
             }
@@ -1027,7 +1070,7 @@ impl TpccWorkload {
         // Group remote lines by partition. Lines whose supply warehouse is
         // co-located with the home partition execute in the home fragment.
         let home_p = cfg.partition_of(w_id);
-        let mut remote: HashMap<PartitionId, Vec<OrderLineReq>> = HashMap::new();
+        let mut remote: FxHashMap<PartitionId, Vec<OrderLineReq>> = FxHashMap::default();
         for l in &lines {
             let p = cfg.partition_of(l.supply_w_id);
             if p != home_p {
@@ -1097,16 +1140,18 @@ impl TpccWorkload {
         let d_id = rng.gen_range(1..=cfg.scale.districts_per_warehouse) as DId;
         let amount = rng.gen_range(100..=500_000i64);
         // 85% home customer / 15% remote warehouse customer.
-        let (c_w_id, c_d_id) =
-            if cfg.warehouses > 1 && rng.gen_bool(cfg.remote_payment_prob) {
-                let mut w = rng.gen_range(1..cfg.warehouses);
-                if w >= w_id {
-                    w += 1;
-                }
-                (w, rng.gen_range(1..=cfg.scale.districts_per_warehouse) as DId)
-            } else {
-                (w_id, d_id)
-            };
+        let (c_w_id, c_d_id) = if cfg.warehouses > 1 && rng.gen_bool(cfg.remote_payment_prob) {
+            let mut w = rng.gen_range(1..cfg.warehouses);
+            if w >= w_id {
+                w += 1;
+            }
+            (
+                w,
+                rng.gen_range(1..=cfg.scale.districts_per_warehouse) as DId,
+            )
+        } else {
+            (w_id, d_id)
+        };
         let customer = Self::pick_customer(rng, &cfg.scale);
 
         let home_p = cfg.partition_of(w_id);
@@ -1352,11 +1397,19 @@ mod tests {
             w_id: 1,
             d_id: 1,
             c_id: 1,
-            lines: vec![OrderLineReq { i_id: 1, supply_w_id: 1, quantity: 5 }],
+            lines: vec![OrderLineReq {
+                i_id: 1,
+                supply_w_id: 1,
+                quantity: 5,
+            }],
         };
         e.execute(txid(4), &frag, false).result.unwrap();
         let after = e.store.stock_mut_row(1, 1).unwrap();
-        let expect = if before - 5 < 10 { before - 5 + 91 } else { before - 5 };
+        let expect = if before - 5 < 10 {
+            before - 5 + 91
+        } else {
+            before - 5
+        };
         assert_eq!(after.quantity, expect);
         assert_eq!(after.ytd, 5);
         assert_eq!(after.order_cnt, 1);
@@ -1380,7 +1433,11 @@ mod tests {
             customer_is_local: true,
         };
         let out = e.execute(txid(5), &frag, false).result.unwrap();
-        let TpccOutput::Payment { c_id, c_balance_cents } = out else {
+        let TpccOutput::Payment {
+            c_id,
+            c_balance_cents,
+        } = out
+        else {
             panic!()
         };
         assert_eq!(c_id, 3);
@@ -1450,8 +1507,12 @@ mod tests {
             d_id: 1,
             customer: CustomerSel::ById(1),
         };
-        let TpccOutput::OrderStatus { c_id, last_o_id, lines: n, .. } =
-            e.execute(txid(9), &q, false).result.unwrap()
+        let TpccOutput::OrderStatus {
+            c_id,
+            last_o_id,
+            lines: n,
+            ..
+        } = e.execute(txid(9), &q, false).result.unwrap()
         else {
             panic!()
         };
@@ -1488,7 +1549,10 @@ mod tests {
     fn delivery_rollback_restores_state() {
         let mut e = engine1();
         let before = e.store.fingerprint();
-        let frag = TpccFragment::Delivery { w_id: 1, carrier_id: 9 };
+        let frag = TpccFragment::Delivery {
+            w_id: 1,
+            carrier_id: 9,
+        };
         e.execute(txid(11), &frag, true).result.unwrap();
         assert_ne!(e.store.fingerprint(), before);
         e.rollback(txid(11));
@@ -1501,7 +1565,11 @@ mod tests {
         let mut e = engine1();
         // Threshold above the max initial quantity: every distinct item in
         // the last 20 orders counts.
-        let frag = TpccFragment::StockLevel { w_id: 1, d_id: 1, threshold: 101 };
+        let frag = TpccFragment::StockLevel {
+            w_id: 1,
+            d_id: 1,
+            threshold: 101,
+        };
         let TpccOutput::StockLevel { low_stock } =
             e.execute(txid(12), &frag, false).result.unwrap()
         else {
@@ -1509,7 +1577,11 @@ mod tests {
         };
         assert!(low_stock > 0);
         // Threshold below min: zero.
-        let frag = TpccFragment::StockLevel { w_id: 1, d_id: 1, threshold: 0 };
+        let frag = TpccFragment::StockLevel {
+            w_id: 1,
+            d_id: 1,
+            threshold: 0,
+        };
         let TpccOutput::StockLevel { low_stock } =
             e.execute(txid(13), &frag, false).result.unwrap()
         else {
@@ -1521,8 +1593,14 @@ mod tests {
     #[test]
     fn partition_mapping_even_split() {
         let cfg = TpccConfig::new(20, 2);
-        assert_eq!(cfg.warehouses_of(PartitionId(0)), (1..=10).collect::<Vec<_>>());
-        assert_eq!(cfg.warehouses_of(PartitionId(1)), (11..=20).collect::<Vec<_>>());
+        assert_eq!(
+            cfg.warehouses_of(PartitionId(0)),
+            (1..=10).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            cfg.warehouses_of(PartitionId(1)),
+            (11..=20).collect::<Vec<_>>()
+        );
         let cfg = TpccConfig::new(6, 6);
         for w in 1..=6 {
             assert_eq!(cfg.partition_of(w), PartitionId(w - 1));
@@ -1576,7 +1654,11 @@ mod tests {
         let req = w.next_request(ClientId(0));
         match req {
             Request::MultiPartition { procedure, .. } => {
-                let Step::Round { fragments, is_final } = procedure.step(&[]) else {
+                let Step::Round {
+                    fragments,
+                    is_final,
+                } = procedure.step(&[])
+                else {
                     panic!()
                 };
                 assert!(is_final, "single-round (simple) MP transaction");
@@ -1595,17 +1677,24 @@ mod tests {
         let before = e1.store.stock_mut_row(2, 1).unwrap().quantity;
         let frag = TpccFragment::NewOrderRemote {
             home_w_id: 1,
-            lines: vec![OrderLineReq { i_id: 1, supply_w_id: 2, quantity: 4 }],
+            lines: vec![OrderLineReq {
+                i_id: 1,
+                supply_w_id: 2,
+                quantity: 4,
+            }],
         };
-        let TpccOutput::StockUpdated { items } =
-            e1.execute(txid(20), &frag, true).result.unwrap()
+        let TpccOutput::StockUpdated { items } = e1.execute(txid(20), &frag, true).result.unwrap()
         else {
             panic!()
         };
         assert_eq!(items, 1);
         let s = e1.store.stock_mut_row(2, 1).unwrap();
         assert_eq!(s.remote_cnt, 1, "remote order counted");
-        let expect = if before - 4 < 10 { before - 4 + 91 } else { before - 4 };
+        let expect = if before - 4 < 10 {
+            before - 4 + 91
+        } else {
+            before - 4
+        };
         assert_eq!(s.quantity, expect);
     }
 
@@ -1629,7 +1718,10 @@ mod tests {
         // Delivery must not exclusively lock anything new-order touches:
         // it shares the tail (so it cannot read uncommitted inserts) but
         // never blocks new-orders behind its whole district bundle.
-        let del = e.lock_set(&TpccFragment::Delivery { w_id: 1, carrier_id: 1 });
+        let del = e.lock_set(&TpccFragment::Delivery {
+            w_id: 1,
+            carrier_id: 1,
+        });
         for (k, m) in &del {
             if locks.iter().any(|(k2, _)| k == k2) {
                 assert_eq!(*m, LockMode::Shared, "delivery must only share {k:?}");
@@ -1651,7 +1743,11 @@ mod tests {
         assert!(locks.contains(&(db::warehouse_lock(1), LockMode::Exclusive)));
         assert!(locks.contains(&(customers_lock(1, 1), LockMode::Exclusive)));
 
-        let sl = TpccFragment::StockLevel { w_id: 1, d_id: 1, threshold: 10 };
+        let sl = TpccFragment::StockLevel {
+            w_id: 1,
+            d_id: 1,
+            threshold: 10,
+        };
         let locks = e.lock_set(&sl);
         assert!(locks.contains(&(stock_wh_lock(1), LockMode::Exclusive)));
     }
@@ -1677,10 +1773,14 @@ mod tests {
             customer_is_local: true,
         });
         let conflict = no.iter().any(|(k, m)| {
-            pay.iter()
-                .any(|(k2, m2)| k == k2 && !(matches!(m, LockMode::Shared) && matches!(m2, LockMode::Shared)))
+            pay.iter().any(|(k2, m2)| {
+                k == k2 && !(matches!(m, LockMode::Shared) && matches!(m2, LockMode::Shared))
+            })
         });
-        assert!(conflict, "same-district payment and new-order must conflict");
+        assert!(
+            conflict,
+            "same-district payment and new-order must conflict"
+        );
     }
 
     #[test]
@@ -1748,7 +1848,10 @@ mod full_scale_tests {
             amount_cents: 5_000,
             customer_is_local: true,
         };
-        assert!(e.execute(TxnId::new(ClientId(0), 2), &pay, false).result.is_ok());
+        assert!(e
+            .execute(TxnId::new(ClientId(0), 2), &pay, false)
+            .result
+            .is_ok());
         consistency::check(&e.store).expect("full-scale store consistent");
     }
 }

@@ -20,11 +20,12 @@ fn run(abort: f64, depth: usize) -> SimReport {
         .with_partitions(micro.partitions)
         .with_clients(micro.clients);
     system.max_speculation_depth = depth;
-    let cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(100), Nanos::from_millis(400));
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(100), Nanos::from_millis(400));
     let builder = MicroWorkload::new(micro);
-    let (report, _, _, _) =
-        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let (report, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     report
 }
 

@@ -22,10 +22,18 @@ use std::time::Duration;
 
 #[derive(Debug, Clone)]
 enum BankOp {
-    Deposit { account: u64, amount: i64 },
+    Deposit {
+        account: u64,
+        amount: i64,
+    },
     /// Withdraw (aborts the transaction on overdraft).
-    Withdraw { account: u64, amount: i64 },
-    Read { account: u64 },
+    Withdraw {
+        account: u64,
+        amount: i64,
+    },
+    Read {
+        account: u64,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -265,9 +273,18 @@ fn main() {
     let total: i64 = report.engines.iter().map(|e| e.total()).sum();
     println!("  committed (window) : {}", report.committed);
     println!("  throughput         : {:.0} txn/s", report.throughput_tps);
-    println!("  user aborts        : {} (overdrafts)", report.clients.user_aborted);
-    println!("  speculative execs  : {}", report.sched.speculative_executions);
-    println!("  squashed execs     : {}", report.sched.squashed_executions);
+    println!(
+        "  user aborts        : {} (overdrafts)",
+        report.clients.user_aborted
+    );
+    println!(
+        "  speculative execs  : {}",
+        report.sched.speculative_executions
+    );
+    println!(
+        "  squashed execs     : {}",
+        report.sched.squashed_executions
+    );
     println!(
         "  money conservation : {} accounts, total = {} (deposits added {})",
         accounts,
@@ -280,6 +297,9 @@ fn main() {
     // destroyed by aborted/squashed transfers.
     let deposits = (total - accounts as i64 * initial_per_account) / 10;
     println!("  committed deposits : {deposits}");
-    assert!(total >= accounts as i64 * initial_per_account, "money destroyed!");
+    assert!(
+        total >= accounts as i64 * initial_per_account,
+        "money destroyed!"
+    );
     println!("\nOK: state consistent after concurrent speculation + aborts.");
 }

@@ -18,11 +18,12 @@ fn run(scheme: Scheme, mp: f64) -> SimReport {
     let system = SystemConfig::new(scheme)
         .with_partitions(micro.partitions)
         .with_clients(micro.clients);
-    let cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(100), Nanos::from_millis(400));
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(100), Nanos::from_millis(400));
     let builder = MicroWorkload::new(micro);
-    let (report, _, _, _) =
-        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let (report, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     report
 }
 
@@ -40,8 +41,7 @@ fn main() {
         let b = run(Scheme::Blocking, mp);
         let s = run(Scheme::Speculative, mp);
         let l = run(Scheme::Locking, mp);
-        let best = if s.throughput_tps >= b.throughput_tps && s.throughput_tps >= l.throughput_tps
-        {
+        let best = if s.throughput_tps >= b.throughput_tps && s.throughput_tps >= l.throughput_tps {
             "speculation"
         } else if l.throughput_tps >= b.throughput_tps {
             "locking"

@@ -39,17 +39,28 @@ fn main() {
     cfg.measure = Duration::from_secs(1);
 
     let builder = TpccWorkload::new(tpcc);
-    let report = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| builder.build_engine(p));
+    let report = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
+        builder.build_engine(p)
+    });
 
     println!("\n  committed (1s window) : {}", report.committed);
-    println!("  throughput            : {:.0} txn/s", report.throughput_tps);
+    println!(
+        "  throughput            : {:.0} txn/s",
+        report.throughput_tps
+    );
     println!(
         "  user aborts           : {} (1% invalid-item new-orders)",
         report.clients.user_aborted
     );
-    println!("  retries               : {} (deadlock victims / timeouts)", report.clients.retries);
+    println!(
+        "  retries               : {} (deadlock victims / timeouts)",
+        report.clients.retries
+    );
     println!("  fast-path txns        : {}", report.sched.fast_path);
-    println!("  speculative execs     : {}", report.sched.speculative_executions);
+    println!(
+        "  speculative execs     : {}",
+        report.sched.speculative_executions
+    );
     println!("  local deadlocks       : {}", report.sched.local_deadlocks);
     println!("  lock timeouts         : {}", report.sched.lock_timeouts);
 

@@ -58,8 +58,8 @@ pub use hcc_workloads as workloads;
 /// The types most programs need.
 pub mod prelude {
     pub use hcc_common::{
-        AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse,
-        FragmentTask, LockKey, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+        AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask,
+        LockKey, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
     };
     pub use hcc_core::{
         make_scheduler, ExecOutcome, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,

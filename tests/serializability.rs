@@ -34,14 +34,20 @@ fn run_one(
         .with_window(Nanos::from_millis(20), Nanos::from_millis(120))
         .with_shadow();
     let builder = MicroWorkload::new(micro);
-    let (report, _, engines, shadow) =
-        Simulation::new(cfg, MicroWorkload::new(micro), move |p| builder.build_engine(p)).run();
+    let (report, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     (report, engines, shadow.expect("shadow enabled"))
 }
 
 fn assert_equivalent(scheme: Scheme, engines: &[MicroEngine], shadow: &[MicroEngine]) {
     for (i, (e, s)) in engines.iter().zip(shadow.iter()).enumerate() {
-        assert_eq!(e.live_undo_buffers(), 0, "{scheme}: P{i} leaked undo buffers");
+        assert_eq!(
+            e.live_undo_buffers(),
+            0,
+            "{scheme}: P{i} leaked undo buffers"
+        );
         assert_eq!(
             e.fingerprint(),
             s.fingerprint(),

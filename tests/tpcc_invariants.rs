@@ -25,8 +25,10 @@ fn run_tpcc(
         .with_window(Nanos::from_millis(20), Nanos::from_millis(150))
         .with_shadow();
     let builder = TpccWorkload::new(tpcc);
-    let (report, _, engines, shadow) =
-        Simulation::new(cfg, TpccWorkload::new(tpcc), move |p| builder.build_engine(p)).run();
+    let (report, _, engines, shadow) = Simulation::new(cfg, TpccWorkload::new(tpcc), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     (report, engines, shadow.expect("shadow"))
 }
 
@@ -38,7 +40,10 @@ fn consistency_conditions_hold_after_mixed_run_under_all_schemes() {
         assert!(r.committed_mp > 0, "{scheme}: no multi-partition txns ran");
         for (i, e) in engines.iter().enumerate() {
             consistency::check(&e.store).unwrap_or_else(|v| {
-                panic!("{scheme}: partition {i} inconsistent: {:?}", &v[..v.len().min(3)])
+                panic!(
+                    "{scheme}: partition {i} inconsistent: {:?}",
+                    &v[..v.len().min(3)]
+                )
             });
             assert_eq!(e.live_undo_buffers(), 0, "{scheme}: P{i} leaked undo");
         }
@@ -83,8 +88,16 @@ fn remote_stock_updates_apply_atomically() {
         });
         let e0 = w.build_engine(PartitionId(0));
         let e1 = w.build_engine(PartitionId(1));
-        e0.store.order_line.values().map(|ol| ol.quantity as u64).sum::<u64>()
-            + e1.store.order_line.values().map(|ol| ol.quantity as u64).sum::<u64>()
+        e0.store
+            .order_line
+            .values()
+            .map(|ol| ol.quantity as u64)
+            .sum::<u64>()
+            + e1.store
+                .order_line
+                .values()
+                .map(|ol| ol.quantity as u64)
+                .sum::<u64>()
     };
     assert_eq!(
         ordered - initial,
@@ -126,11 +139,12 @@ fn by_warehouse_classification_reproduces_high_mp_fraction() {
     let system = SystemConfig::new(Scheme::Speculative)
         .with_partitions(2)
         .with_clients(12);
-    let cfg = SimConfig::new(system)
-        .with_window(Nanos::from_millis(50), Nanos::from_millis(400));
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(50), Nanos::from_millis(400));
     let builder = TpccWorkload::new(tpcc);
-    let (r, _, _, _) =
-        Simulation::new(cfg, TpccWorkload::new(tpcc), move |p| builder.build_engine(p)).run();
+    let (r, _, _, _) = Simulation::new(cfg, TpccWorkload::new(tpcc), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
     let f = r.mp_fraction();
     assert!(
         (0.06..=0.13).contains(&f),

@@ -1,0 +1,258 @@
+//! Minimal vendored stand-in for the `bytes` crate, built for this
+//! workspace's offline environment.
+//!
+//! Only the surface the workspace uses is provided: an immutable,
+//! cheaply-cloneable byte string. Unlike the upstream crate, short
+//! payloads (up to [`INLINE_CAP`] bytes) are stored **inline** with no
+//! heap allocation or reference counting at all — the microbenchmark's
+//! 8-byte keys and 4-byte values never touch the allocator, which is
+//! exactly the hot path the paper's low-overhead argument depends on.
+//! Longer payloads spill to a shared `Arc<[u8]>` with O(1) clones.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Maximum length stored inline (no allocation).
+pub const INLINE_CAP: usize = 23;
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+/// An immutable, cheaply-cloneable byte string.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+impl Bytes {
+    /// The empty byte string.
+    #[inline]
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copy a slice into a new `Bytes`. Slices of up to [`INLINE_CAP`]
+    /// bytes are stored inline and never allocate.
+    #[inline]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..data.len()].copy_from_slice(data);
+            Bytes {
+                repr: Repr::Inline {
+                    len: data.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Bytes {
+                repr: Repr::Shared(Arc::from(data)),
+            }
+        }
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared(a) => a,
+            Repr::Static(s) => s,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    #[inline]
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+// `Borrow<[u8]>` lets `HashMap<Bytes, _>` be probed with a plain
+// `&[u8]`. The contract requires Eq/Ord/Hash to agree with `[u8]`'s,
+// which the slice-delegating impls below guarantee.
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    #[inline]
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::copy_from_slice(&v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    #[inline]
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&str> for Bytes {
+    #[inline]
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let v: Vec<u8> = iter.into_iter().collect();
+        Bytes::from(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn inline_roundtrip() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(&*b, b"hello");
+        assert_eq!(b.len(), 5);
+        assert!(matches!(b.repr, Repr::Inline { .. }));
+    }
+
+    #[test]
+    fn long_spills_to_shared() {
+        let data: Vec<u8> = (0..100).collect();
+        let b = Bytes::copy_from_slice(&data);
+        assert_eq!(&*b, &data[..]);
+        assert!(matches!(b.repr, Repr::Shared(_)));
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn usable_as_hashmap_key_probed_by_slice() {
+        let mut m: HashMap<Bytes, u32> = HashMap::new();
+        m.insert(Bytes::copy_from_slice(b"k1"), 1);
+        assert_eq!(m.get(b"k1".as_slice()), Some(&1));
+        assert_eq!(m.get(b"nope".as_slice()), None);
+    }
+
+    #[test]
+    fn ordering_and_eq_match_slices() {
+        let a = Bytes::copy_from_slice(b"abc");
+        let b = Bytes::copy_from_slice(b"abd");
+        assert!(a < b);
+        assert_eq!(a, Bytes::from_static(b"abc"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal vendored stand-in for `criterion`, for this workspace's
+//! offline environment.
+//!
+//! Implements the API surface the benches use (`benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros) with a straightforward
+//! calibrate-then-sample measurement loop. Results are printed
+//! criterion-style and, when `CRITERION_JSON` names a file, appended to
+//! it as JSON lines (`{"name": .., "mean_ns": .., "samples": ..}`) so
+//! harnesses can consume the numbers.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = MeasureConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        run_benchmark(name.to_string(), cfg, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = MeasureConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+        };
+        run_benchmark(format!("{}/{}", self.name, name), cfg, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// Passed to each benchmark closure; records one measurement strategy.
+pub struct Bencher {
+    cfg: MeasureConfig,
+    /// (total elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Measure `routine` back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.ran = true;
+        // Warm-up + calibration: find how many iterations fill a sample.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let sample_budget =
+            self.cfg.measurement_time.as_nanos() / self.cfg.sample_size.max(1) as u128;
+        let iters_per_sample =
+            (sample_budget / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.ran = true;
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut timed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = timed.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let sample_budget =
+            self.cfg.measurement_time.as_nanos() / self.cfg.sample_size.max(1) as u128;
+        let iters_per_sample = (sample_budget / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        for _ in 0..self.cfg.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push((elapsed, iters_per_sample));
+        }
+    }
+}
+
+fn run_benchmark(name: String, cfg: MeasureConfig, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        cfg,
+        samples: Vec::new(),
+        ran: false,
+    };
+    f(&mut b);
+    if !b.ran || b.samples.is_empty() {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    let total_iters: u64 = b.samples.iter().map(|(_, n)| n).sum();
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} iters)",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        total_iters
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\": \"{name}\", \"median_ns\": {median:.2}, \"min_ns\": {lo:.2}, \"max_ns\": {hi:.2}, \"samples\": {}}}",
+                per_iter.len()
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Define a bench harness entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

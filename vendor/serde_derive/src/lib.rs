@@ -1,0 +1,191 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports the shapes this workspace actually derives on: structs with
+//! named fields, tuple structs (newtypes serialize as their inner value,
+//! larger tuples as arrays), and enums with unit variants (serialized as
+//! their name). Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_item(&tokens);
+    let impl_src = match kind {
+        ItemKind::Struct => {
+            let fields = parse_named_fields(&body);
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        ItemKind::TupleStruct => {
+            let n = count_tuple_fields(&body);
+            let body_src = if n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items = (0..n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body_src} }}\n\
+                 }}"
+            )
+        }
+        ItemKind::Enum => {
+            let variants = parse_unit_variants(&body);
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    impl_src
+        .parse()
+        .expect("serde_derive: generated code parses")
+}
+
+enum ItemKind {
+    Struct,
+    TupleStruct,
+    Enum,
+}
+
+/// Locate `struct Name {..}` / `struct Name(..);` / `enum Name {..}` and
+/// return the kind, name, and the body group's tokens.
+fn parse_item(tokens: &[TokenTree]) -> (ItemKind, String, Vec<TokenTree>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive: expected type name, got {other:?}"),
+                };
+                if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!("serde_derive: generic types are not supported (on {name})");
+                }
+                let group = match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) => g,
+                    other => panic!("serde_derive: expected body for {name}, got {other:?}"),
+                };
+                let body: Vec<TokenTree> = group.stream().into_iter().collect();
+                let kind = match (kw.as_str(), group.delimiter()) {
+                    ("struct", Delimiter::Brace) => ItemKind::Struct,
+                    ("struct", Delimiter::Parenthesis) => ItemKind::TupleStruct,
+                    ("enum", Delimiter::Brace) => ItemKind::Enum,
+                    _ => panic!("serde_derive: unsupported item shape for {name}"),
+                };
+                return (kind, name, body);
+            }
+        }
+        i += 1;
+    }
+    panic!("serde_derive: no struct or enum found");
+}
+
+/// Split body tokens on top-level commas (tracking `<`/`>` depth so
+/// generic arguments do not split).
+fn split_top_level(body: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in body {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strip leading attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`) from a field/variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            match (rest.first(), rest.get(1)) {
+                (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                    name.to_string()
+                }
+                _ => panic!("serde_derive: could not parse field from {rest:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    split_top_level(body)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            match rest {
+                [TokenTree::Ident(name)] => name.to_string(),
+                _ => panic!("serde_derive: only unit enum variants are supported, got {rest:?}"),
+            }
+        })
+        .collect()
+}
