@@ -40,9 +40,19 @@ fn main() {
         let shadow = shadow.expect("shadow enabled");
         let fps: Vec<u64> = engines.iter().map(|e| e.fingerprint()).collect();
         let sfps: Vec<u64> = shadow.iter().map(|e| e.fingerprint()).collect();
+        let lat = r.latency.summary();
         println!(
-            "({:?}, Golden {{ committed: {}, user_aborts: {}, retries: {}, committed_mp: {}, fingerprints: [{:#018x}, {:#018x}] }}),",
-            scheme, r.committed, r.user_aborts, r.retries, r.committed_mp, fps[0], fps[1]
+            "({:?}, Golden {{ committed: {}, user_aborts: {}, retries: {}, committed_mp: {}, fingerprints: [{:#018x}, {:#018x}], latency_ns: [{}, {}, {}] }}),",
+            scheme,
+            r.committed,
+            r.user_aborts,
+            r.retries,
+            r.committed_mp,
+            fps[0],
+            fps[1],
+            lat.p50.0,
+            lat.p99.0,
+            lat.p999.0
         );
         assert_eq!(fps, sfps, "{scheme}: primary and shadow must agree");
     }

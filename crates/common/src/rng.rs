@@ -62,6 +62,63 @@ impl SplitMix64 {
     }
 }
 
+/// A Zipfian sampler over `[0, n)` (Gray et al., "Quickly generating
+/// billion-record synthetic databases"), the YCSB request distribution:
+/// item `i` is drawn with probability proportional to `1 / (i+1)^theta`.
+///
+/// `theta` in `[0, 1)`: 0 is uniform, YCSB's default skew is 0.99. All the
+/// state is precomputed at construction (the zeta sums are O(n)), so
+/// sampling is O(1) and fully deterministic given the caller's
+/// [`SplitMix64`] stream — the property the cross-backend equivalence
+/// tests rely on.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "empty item space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one item rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +184,63 @@ mod tests {
         let max = *buckets.iter().max().unwrap() as f64;
         let min = *buckets.iter().min().unwrap() as f64;
         assert!(max / min > 1.05, "nurand looks too uniform: {buckets:?}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range_and_is_deterministic() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut a = SplitMix64::new(21);
+        let mut b = SplitMix64::new(21);
+        for _ in 0..10_000 {
+            let va = z.sample(&mut a);
+            assert!(va < 1000);
+            assert_eq!(va, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipfian_skew_parameter_concentrates_mass() {
+        // At theta = 0.99 (YCSB default) the hottest 1% of a 10k-item
+        // space must draw far more than 1% of requests; near theta = 0 the
+        // distribution must be close to uniform. This pins the *direction*
+        // and rough magnitude of the skew knob.
+        let hot_share = |theta: f64| {
+            let z = Zipfian::new(10_000, theta);
+            let mut rng = SplitMix64::new(7);
+            let mut hot = 0u64;
+            const DRAWS: u64 = 100_000;
+            for _ in 0..DRAWS {
+                if z.sample(&mut rng) < 100 {
+                    hot += 1;
+                }
+            }
+            hot as f64 / DRAWS as f64
+        };
+        let skewed = hot_share(0.99);
+        let mild = hot_share(0.5);
+        let uniform = hot_share(0.01);
+        assert!(skewed > 0.5, "theta=0.99 hot-1% share {skewed}");
+        assert!(
+            skewed > mild && mild > uniform,
+            "share must grow with theta: {uniform} {mild} {skewed}"
+        );
+        assert!(
+            (uniform - 0.01).abs() < 0.01,
+            "theta→0 must approach uniform, got {uniform}"
+        );
+    }
+
+    #[test]
+    fn zipfian_rank_zero_is_hottest() {
+        let z = Zipfian::new(100, 0.9);
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must be the mode");
+        assert!(counts[0] > counts[10] && counts[10] > counts[99]);
     }
 
     #[test]

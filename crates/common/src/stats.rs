@@ -52,6 +52,23 @@ impl Welford {
     }
 }
 
+/// The tail-latency digest every driver reports: count, mean, and the
+/// three quantiles the bench tables print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean: Nanos,
+    pub p50: Nanos,
+    pub p99: Nanos,
+    pub p999: Nanos,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p50 {} p99 {} p999 {}", self.p50, self.p99, self.p999)
+    }
+}
+
 /// Log-scaled latency histogram: buckets of 1 µs up to 1 ms, then 10 µs up
 /// to 10 ms, then 100 µs. Good enough resolution for transaction latencies
 /// in the 10 µs – 10 ms range this system produces.
@@ -133,6 +150,17 @@ impl LatencyHistogram {
             }
         }
         Nanos::from_micros(100_000)
+    }
+
+    /// The p50/p99/p999 digest reported by every driver.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
     }
 
     pub fn merge(&mut self, other: &LatencyHistogram) {
@@ -255,6 +283,19 @@ mod tests {
         h.record(Nanos::from_micros(1_000_000)); // overflow
         assert_eq!(h.count(), 6);
         assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn histogram_summary_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(Nanos::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, Nanos::from_micros(500));
+        assert_eq!(s.p99, Nanos::from_micros(990));
+        assert_eq!(s.p999, Nanos::from_micros(999));
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! aborts are final outcomes and are not retried.
 
 use crate::procedure::{Procedure, Request};
-use hcc_common::{ClientId, PartitionId, TxnId, TxnResult};
+use hcc_common::stats::LatencyHistogram;
+use hcc_common::{ClientId, Nanos, PartitionId, TxnId, TxnResult};
 
 /// Per-client outcome statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ClientStats {
     /// Transactions that committed.
     pub committed: u64,
@@ -21,6 +22,20 @@ pub struct ClientStats {
     pub user_aborted: u64,
     /// Scheduling aborts that triggered a transparent retry.
     pub retries: u64,
+    /// End-to-end latency of committed transactions (submission of the
+    /// first attempt → result), recorded by
+    /// [`ClientCore::on_result_at`].
+    pub latency: LatencyHistogram,
+}
+
+impl ClientStats {
+    /// Fold another client's stats in (drivers aggregate across clients).
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.committed += other.committed;
+        self.user_aborted += other.user_aborted;
+        self.retries += other.retries;
+        self.latency.merge(&other.latency);
+    }
 }
 
 /// What the client should do after a result arrives.
@@ -133,6 +148,26 @@ impl ClientCore {
             }
         }
     }
+
+    /// As [`on_result`](ClientCore::on_result), but with clock readings so
+    /// committed-transaction latency lands in [`ClientStats::latency`].
+    /// `submitted` is when the request's *first* attempt was issued (a
+    /// retried transaction keeps accruing from its original submission —
+    /// the user-visible latency), `now` when the result arrived. When
+    /// `record` is false the outcome is counted but the latency sample is
+    /// dropped (drivers pass the measurement-window predicate here).
+    pub fn on_result_at<R>(
+        &mut self,
+        result: &TxnResult<R>,
+        submitted: Nanos,
+        now: Nanos,
+        record: bool,
+    ) -> NextAction {
+        if record && result.is_committed() {
+            self.stats.latency.record(now.saturating_sub(submitted));
+        }
+        self.on_result(result)
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +206,45 @@ mod tests {
         );
         assert_eq!(c.stats.retries, 2);
         assert_eq!(c.stats.committed, 0);
+    }
+
+    #[test]
+    fn on_result_at_records_commit_latency_only() {
+        let mut c = ClientCore::new(ClientId(0));
+        c.on_result_at(
+            &TxnResult::Committed(1u32),
+            Nanos(1_000),
+            Nanos(26_000),
+            true,
+        );
+        c.on_result_at(
+            &TxnResult::<u32>::Aborted(AbortReason::User),
+            Nanos(0),
+            Nanos(90_000),
+            true,
+        );
+        // Outside the measurement window: counted, not sampled.
+        c.on_result_at(&TxnResult::Committed(2u32), Nanos(0), Nanos(50_000), false);
+        assert_eq!(c.stats.committed, 2);
+        assert_eq!(c.stats.user_aborted, 1);
+        assert_eq!(c.stats.latency.count(), 1);
+        assert_eq!(c.stats.latency.mean(), Nanos(25_000));
+    }
+
+    #[test]
+    fn stats_merge_folds_latency() {
+        let mut a = ClientStats::default();
+        let mut b = ClientStats::default();
+        a.committed = 2;
+        a.latency.record(Nanos::from_micros(10));
+        b.committed = 3;
+        b.retries = 1;
+        b.latency.record(Nanos::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.committed, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency.mean(), Nanos::from_micros(20));
     }
 
     #[test]

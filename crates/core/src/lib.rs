@@ -47,4 +47,4 @@ pub mod txn_driver;
 pub use engine::{ExecOutcome, ExecutionEngine};
 pub use outbox::{Outbox, PartitionOut};
 pub use procedure::{Procedure, Request, RequestGenerator, RoundOutputs, Step};
-pub use scheduler::{make_scheduler, Scheduler};
+pub use scheduler::{make_scheduler, make_scheduler_send, Scheduler};

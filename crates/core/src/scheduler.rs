@@ -43,27 +43,52 @@ pub trait Scheduler<E: ExecutionEngine> {
     fn is_idle(&self) -> bool;
 }
 
+/// One source of truth for scheduler construction: both `make_scheduler`
+/// variants expand this, differing only in the trait object's `Send`
+/// bound (a type position a generic function can't abstract over).
+macro_rules! build_scheduler {
+    ($config:expr, $me:expr) => {
+        match $config.scheme {
+            Scheme::Blocking => {
+                Box::new(crate::blocking::BlockingScheduler::new($me, $config.costs))
+            }
+            Scheme::Speculative => {
+                let mut s = crate::speculative::SpeculativeScheduler::new(
+                    $me,
+                    $config.costs,
+                    $config.max_speculation_depth,
+                );
+                s.set_local_only($config.local_speculation_only);
+                Box::new(s)
+            }
+            Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(
+                $me,
+                $config.costs,
+                $config.lock_timeout,
+            )),
+            Scheme::Occ => Box::new(crate::occ::OccScheduler::new($me, $config.costs)),
+        }
+    };
+}
+
 /// Construct the scheduler selected by `config.scheme` for partition `me`.
 pub fn make_scheduler<E: ExecutionEngine + 'static>(
     config: &SystemConfig,
     me: hcc_common::PartitionId,
 ) -> Box<dyn Scheduler<E>> {
-    match config.scheme {
-        Scheme::Blocking => Box::new(crate::blocking::BlockingScheduler::new(me, config.costs)),
-        Scheme::Speculative => {
-            let mut s = crate::speculative::SpeculativeScheduler::new(
-                me,
-                config.costs,
-                config.max_speculation_depth,
-            );
-            s.set_local_only(config.local_speculation_only);
-            Box::new(s)
-        }
-        Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(
-            me,
-            config.costs,
-            config.lock_timeout,
-        )),
-        Scheme::Occ => Box::new(crate::occ::OccScheduler::new(me, config.costs)),
-    }
+    build_scheduler!(config, me)
+}
+
+/// As [`make_scheduler`], but a `Send` trait object, for drivers that move
+/// partition state machines across threads (the live runtime's backends).
+pub fn make_scheduler_send<E>(
+    config: &SystemConfig,
+    me: hcc_common::PartitionId,
+) -> Box<dyn Scheduler<E> + Send>
+where
+    E: ExecutionEngine + Send + 'static,
+    E::Fragment: Send,
+    E::Output: Send,
+{
+    build_scheduler!(config, me)
 }

@@ -1,0 +1,533 @@
+//! Backend-agnostic, poll-driven actor state machines.
+//!
+//! The runtime is four kinds of actor — clients, the central coordinator,
+//! partitions, and (under replication) backups — wrapped around the
+//! runtime-agnostic cores from `hcc-core`. Every actor exposes a
+//! non-blocking [`step`](PartitionActor::step): consume one message, emit
+//! any number of [`OutMsg`]s. Nothing here blocks, sleeps, or spawns;
+//! *how* messages move between actors is entirely the backend's business
+//! ([`crate::threaded`] parks one OS thread per actor on a channel,
+//! [`crate::multiplexed`] drives every actor from a small worker pool).
+
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{
+    ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask, FxHashMap,
+    Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+};
+use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
+use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::txn_driver::TxnDriver;
+use hcc_core::{
+    make_scheduler_send, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
+    RequestGenerator, Scheduler,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Logical address of an actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorId {
+    Client(ClientId),
+    Coordinator,
+    Partition(PartitionId),
+    Backup(PartitionId),
+}
+
+/// Every message the runtime actors exchange, in one enum so backends
+/// route a single type. Which variants an actor accepts is part of its
+/// `step` contract (a misrouted message is a driver bug, not a protocol
+/// state).
+pub enum Msg<E: ExecutionEngine> {
+    /// Kick a client into issuing its first request.
+    Start,
+    /// Final result of a client's in-flight transaction.
+    Result {
+        txn: TxnId,
+        result: TxnResult<E::Output>,
+    },
+    /// Fragment response routed to a client-coordinator (locking scheme).
+    FragResponse(FragmentResponse<E::Output>),
+    /// A unit of work for a partition.
+    Fragment(FragmentTask<E::Fragment>),
+    /// A two-phase-commit decision for a partition.
+    Decision(Decision),
+    /// Periodic maintenance (lock-timeout scans under the locking scheme).
+    Tick,
+    /// A multi-partition invocation for the central coordinator.
+    Invoke {
+        txn: TxnId,
+        client: ClientId,
+        procedure: Box<dyn Procedure<E::Fragment, E::Output>>,
+        can_abort: bool,
+    },
+    /// A fragment response for the central coordinator.
+    Response(FragmentResponse<E::Output>),
+    /// A committed transaction's fragments, in commit order, for a backup.
+    Commit(TxnId, Vec<FragmentTask<E::Fragment>>),
+}
+
+/// An outbound message with its destination, as emitted by `step`.
+pub struct OutMsg<E: ExecutionEngine> {
+    pub dest: ActorId,
+    pub msg: Msg<E>,
+}
+
+/// Run-wide control state shared between the driver and the client actors:
+/// the measurement protocol (stop flag, measurement window, in-window
+/// commit counter) and the count of clients still running.
+pub struct RunControl {
+    /// Clients finish their in-flight transaction, then retire.
+    pub stop: AtomicBool,
+    /// True during the measurement window (timed mode).
+    pub window_open: AtomicBool,
+    /// Commits observed while the window was open.
+    pub committed_in_window: AtomicU64,
+    /// Clients that have not yet retired.
+    pub live_clients: AtomicUsize,
+}
+
+impl RunControl {
+    pub fn new(clients: usize) -> Self {
+        RunControl {
+            stop: AtomicBool::new(false),
+            window_open: AtomicBool::new(false),
+            committed_in_window: AtomicU64::new(0),
+            live_clients: AtomicUsize::new(clients),
+        }
+    }
+}
+
+/// What a client actor's `step` needs besides the message: the shared
+/// workload generator and the run control block.
+pub struct ClientCtx<'a, W> {
+    pub workload: &'a Mutex<W>,
+    pub ctl: &'a RunControl,
+}
+
+/// Route one coordinator-core output to its destination actor.
+fn push_coord_out<E: ExecutionEngine>(
+    o: CoordOut<E::Fragment, E::Output>,
+    out: &mut Vec<OutMsg<E>>,
+) {
+    let (dest, msg) = match o {
+        CoordOut::Fragment(p, task) => (ActorId::Partition(p), Msg::Fragment(task)),
+        CoordOut::Decision(p, d) => (ActorId::Partition(p), Msg::Decision(d)),
+        CoordOut::ClientResult {
+            client,
+            txn,
+            result,
+        } => (ActorId::Client(client), Msg::Result { txn, result }),
+    };
+    out.push(OutMsg { dest, msg });
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A closed-loop client (paper §5) as a poll-driven state machine: issue
+/// one request, await its final result, issue the next. Under the locking
+/// scheme the client runs its own two-phase commit through [`TxnDriver`]
+/// (§4.3), so fragment responses also arrive here.
+pub struct ClientActor<W: RequestGenerator> {
+    core: ClientCore,
+    driver:
+        TxnDriver<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
+    pending: Option<
+        PendingRequest<
+            <W::Engine as ExecutionEngine>::Fragment,
+            <W::Engine as ExecutionEngine>::Output,
+        >,
+    >,
+    current_txn: Option<TxnId>,
+    submitted_at: Nanos,
+    /// Final outcomes left before retiring (fixed-work mode); `None` runs
+    /// until the control block's stop flag.
+    remaining: Option<u64>,
+    /// Record every latency sample (fixed-work mode) instead of only
+    /// in-window ones.
+    record_always: bool,
+    scheme: Scheme,
+    done: bool,
+    scratch: Vec<
+        CoordOut<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
+    >,
+}
+
+impl<W: RequestGenerator> ClientActor<W>
+where
+    W::Engine: 'static,
+{
+    pub fn new(id: ClientId, system: &SystemConfig, requests: Option<u64>) -> Self {
+        ClientActor {
+            core: ClientCore::new(id),
+            driver: TxnDriver::new(system.costs, id),
+            pending: None,
+            current_txn: None,
+            submitted_at: Nanos::ZERO,
+            remaining: requests,
+            record_always: requests.is_some(),
+            scheme: system.scheme,
+            done: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// True once the client has retired; the backend stops delivering to it.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    pub fn into_stats(self) -> ClientStats {
+        self.core.stats
+    }
+
+    pub fn step(
+        &mut self,
+        msg: Msg<W::Engine>,
+        now: Nanos,
+        ctx: &ClientCtx<'_, W>,
+        out: &mut Vec<OutMsg<W::Engine>>,
+    ) {
+        debug_assert!(!self.done, "message delivered to a retired client");
+        match msg {
+            Msg::Start => {
+                debug_assert!(self.pending.is_none());
+                let req = ctx.workload.lock().next_request(self.core.id);
+                self.pending = Some(PendingRequest::from_request(&req));
+                self.submitted_at = now;
+                self.dispatch(now, out);
+            }
+            Msg::Result { txn, result } => self.handle_result(txn, result, now, ctx, out),
+            Msg::FragResponse(r) => {
+                debug_assert!(self.scratch.is_empty());
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.driver.on_response(r, &mut scratch);
+                let _ = self.driver.take_cpu();
+                let decided = TxnDriver::take_result(&mut scratch);
+                // Route the driver's messages (commit/abort decisions)
+                // before acting on the result, so decisions precede the
+                // next request's fragments at every partition.
+                for o in scratch.drain(..) {
+                    push_coord_out(o, out);
+                }
+                self.scratch = scratch;
+                if let Some((txn, result)) = decided {
+                    self.handle_result(txn, result, now, ctx, out);
+                }
+            }
+            _ => debug_assert!(false, "unexpected message at client {}", self.core.id),
+        }
+    }
+
+    fn handle_result(
+        &mut self,
+        txn: TxnId,
+        result: TxnResult<<W::Engine as ExecutionEngine>::Output>,
+        now: Nanos,
+        ctx: &ClientCtx<'_, W>,
+        out: &mut Vec<OutMsg<W::Engine>>,
+    ) {
+        debug_assert_eq!(
+            self.current_txn,
+            Some(txn),
+            "stray result at {}",
+            self.core.id
+        );
+        self.current_txn = None;
+        let in_window = ctx.ctl.window_open.load(Ordering::Relaxed);
+        let record = self.record_always || in_window;
+        match self
+            .core
+            .on_result_at(&result, self.submitted_at, now, record)
+        {
+            NextAction::Retry => {
+                // Fixed-work clients must drive every request to a final
+                // outcome (the reproducibility contract); timed clients
+                // honour the stop flag instead.
+                if self.remaining.is_none() && ctx.ctl.stop.load(Ordering::Relaxed) {
+                    self.retire(ctx);
+                } else {
+                    self.dispatch(now, out);
+                }
+            }
+            NextAction::NewRequest => {
+                if in_window && result.is_committed() {
+                    ctx.ctl.committed_in_window.fetch_add(1, Ordering::Relaxed);
+                }
+                let retire = match self.remaining.as_mut() {
+                    Some(k) => {
+                        *k -= 1;
+                        *k == 0
+                    }
+                    None => ctx.ctl.stop.load(Ordering::Relaxed),
+                };
+                let mut wl = ctx.workload.lock();
+                wl.on_result(self.core.id, txn, result.is_committed());
+                if retire {
+                    drop(wl);
+                    self.retire(ctx);
+                } else {
+                    let req = wl.next_request(self.core.id);
+                    drop(wl);
+                    self.pending = Some(PendingRequest::from_request(&req));
+                    self.submitted_at = now;
+                    self.dispatch(now, out);
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, ctx: &ClientCtx<'_, W>) {
+        self.done = true;
+        ctx.ctl.live_clients.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Issue the pending request under a fresh transaction id.
+    fn dispatch(&mut self, _now: Nanos, out: &mut Vec<OutMsg<W::Engine>>) {
+        let txn = self.core.next_txn_id();
+        self.current_txn = Some(txn);
+        let client = self.core.id;
+        match self.pending.as_ref().expect("pending request").to_request() {
+            Request::SinglePartition {
+                partition,
+                fragment,
+                can_abort,
+            } => {
+                out.push(OutMsg {
+                    dest: ActorId::Partition(partition),
+                    msg: Msg::Fragment(FragmentTask {
+                        txn,
+                        coordinator: CoordinatorRef::Client(client),
+                        client,
+                        fragment,
+                        multi_partition: false,
+                        last_fragment: true,
+                        round: 0,
+                        can_abort,
+                    }),
+                });
+            }
+            Request::MultiPartition {
+                procedure,
+                can_abort,
+            } => match self.scheme {
+                Scheme::Locking => {
+                    debug_assert!(self.scratch.is_empty());
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.driver.begin(txn, procedure, can_abort, &mut scratch);
+                    let _ = self.driver.take_cpu();
+                    for o in scratch.drain(..) {
+                        push_coord_out(o, out);
+                    }
+                    self.scratch = scratch;
+                }
+                _ => {
+                    out.push(OutMsg {
+                        dest: ActorId::Coordinator,
+                        msg: Msg::Invoke {
+                            txn,
+                            client,
+                            procedure,
+                            can_abort,
+                        },
+                    });
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// The central coordinator (paper §3.3) as an actor: a thin routing shell
+/// over [`Coordinator`].
+pub struct CoordinatorActor<E: ExecutionEngine> {
+    coord: Coordinator<E::Fragment, E::Output>,
+    scratch: Vec<CoordOut<E::Fragment, E::Output>>,
+}
+
+impl<E: ExecutionEngine> CoordinatorActor<E> {
+    pub fn new(costs: CostModel) -> Self {
+        CoordinatorActor {
+            coord: Coordinator::central(costs),
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn step(&mut self, msg: Msg<E>, _now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        debug_assert!(self.scratch.is_empty());
+        match msg {
+            Msg::Invoke {
+                txn,
+                client,
+                procedure,
+                can_abort,
+            } => self
+                .coord
+                .on_invoke(txn, client, procedure, can_abort, &mut self.scratch),
+            Msg::Response(r) => self.coord.on_response(r, &mut self.scratch),
+            _ => debug_assert!(false, "unexpected message at coordinator"),
+        }
+        let _ = self.coord.take_cpu();
+        for o in self.scratch.drain(..) {
+            push_coord_out(o, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------
+
+/// A single-threaded partition execution engine (paper §2.3) as an actor:
+/// the scheme's [`Scheduler`] plus the workload's [`ExecutionEngine`],
+/// with commit-order shipping to a backup when replication is on (§3.2).
+pub struct PartitionActor<E: ExecutionEngine> {
+    me: PartitionId,
+    engine: E,
+    sched: Box<dyn Scheduler<E> + Send>,
+    outbox: Outbox<E::Output>,
+    scratch: Vec<PartitionOut<E::Output>>,
+    /// Fragments of in-flight transactions, for backup replay.
+    pending: FxHashMap<TxnId, Vec<FragmentTask<E::Fragment>>>,
+    replicate: bool,
+}
+
+impl<E> PartitionActor<E>
+where
+    E: ExecutionEngine + Send + 'static,
+    E::Fragment: Send,
+    E::Output: Send,
+{
+    pub fn new(me: PartitionId, system: &SystemConfig, engine: E, replicate: bool) -> Self {
+        PartitionActor {
+            me,
+            engine,
+            sched: make_scheduler_send::<E>(system, me),
+            outbox: Outbox::new(system.costs),
+            scratch: Vec::new(),
+            pending: FxHashMap::default(),
+            replicate,
+        }
+    }
+
+    pub fn into_parts(self) -> (E, SchedulerCounters) {
+        let counters = self.sched.counters();
+        (self.engine, counters)
+    }
+
+    /// Ship a committed transaction's fragments to this partition's backup.
+    fn ship_commit(&mut self, txn: TxnId, out: &mut Vec<OutMsg<E>>) {
+        if let Some(frags) = self.pending.remove(&txn) {
+            out.push(OutMsg {
+                dest: ActorId::Backup(self.me),
+                msg: Msg::Commit(txn, frags),
+            });
+        }
+    }
+
+    pub fn step(&mut self, msg: Msg<E>, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        debug_assert!(self.outbox.messages.is_empty());
+        match msg {
+            Msg::Fragment(task) => {
+                if self.replicate {
+                    let entry = self.pending.entry(task.txn).or_default();
+                    entry.retain(|t| t.round != task.round);
+                    entry.push(task.clone());
+                }
+                self.sched
+                    .on_fragment(task, &mut self.engine, now, &mut self.outbox);
+            }
+            Msg::Decision(d) => {
+                if self.replicate {
+                    if d.commit {
+                        self.ship_commit(d.txn, out);
+                    } else {
+                        self.pending.remove(&d.txn);
+                    }
+                }
+                self.sched
+                    .on_decision(d, &mut self.engine, now, &mut self.outbox);
+            }
+            Msg::Tick => {
+                let _ = self.sched.on_tick(&mut self.engine, now, &mut self.outbox);
+            }
+            _ => debug_assert!(false, "unexpected message at partition {}", self.me),
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let _cpu = self.outbox.take_into(&mut scratch);
+        for m in scratch.drain(..) {
+            match m {
+                PartitionOut::ToClient {
+                    client,
+                    txn,
+                    result,
+                } => {
+                    if self.replicate {
+                        match &result {
+                            TxnResult::Committed(_) => self.ship_commit(txn, out),
+                            TxnResult::Aborted(_) => {
+                                self.pending.remove(&txn);
+                            }
+                        }
+                    }
+                    out.push(OutMsg {
+                        dest: ActorId::Client(client),
+                        msg: Msg::Result { txn, result },
+                    });
+                }
+                PartitionOut::ToCoordinator { dest, response } => {
+                    let out_msg = match dest {
+                        CoordinatorRef::Central => OutMsg {
+                            dest: ActorId::Coordinator,
+                            msg: Msg::Response(response),
+                        },
+                        CoordinatorRef::Client(c) => OutMsg {
+                            dest: ActorId::Client(c),
+                            msg: Msg::FragResponse(response),
+                        },
+                    };
+                    out.push(out_msg);
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backup
+// ---------------------------------------------------------------------
+
+/// A backup replica: replays committed transactions in the order received
+/// from its primary (paper §4.3), without locks or undo.
+pub struct BackupActor<E: ExecutionEngine> {
+    engine: E,
+}
+
+impl<E: ExecutionEngine> BackupActor<E> {
+    pub fn new(engine: E) -> Self {
+        BackupActor { engine }
+    }
+
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
+    pub fn step(&mut self, msg: Msg<E>, _now: Nanos, _out: &mut Vec<OutMsg<E>>) {
+        match msg {
+            Msg::Commit(txn, mut frags) => {
+                frags.sort_by_key(|t| t.round);
+                for task in frags {
+                    let r = self.engine.execute(txn, &task.fragment, false);
+                    debug_assert!(r.result.is_ok(), "backup replay failed for {txn}");
+                }
+                self.engine.forget(txn);
+            }
+            _ => debug_assert!(false, "unexpected message at backup"),
+        }
+    }
+}

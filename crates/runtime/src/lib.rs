@@ -1,107 +1,167 @@
-//! The threaded runtime: the same concurrency control state machines as
-//! the simulator, driven live.
+//! The live runtime: the same concurrency control state machines as the
+//! simulator, driven on real OS threads — behind pluggable backends.
 //!
-//! One OS thread per partition (paper §2.3: "H-Store simply executes
-//! transactions from beginning to completion in a single thread"), one
-//! central coordinator thread, one thread per closed-loop client, and —
-//! when replication is enabled — one backup thread per partition applying
-//! committed transactions in commit order (§3.2). Crossbeam channels are
-//! the network: they preserve per-link FIFO order, the property the
-//! speculation protocol relies on.
+//! The actor model mirrors the paper: one single-threaded execution engine
+//! per partition (§2.3), one central coordinator (§3.3), closed-loop
+//! clients (§5), and — when replication is enabled — one backup per
+//! partition applying committed transactions in commit order (§3.2). All
+//! of that protocol logic lives in [`actors`] as poll-driven state
+//! machines over the cores from `hcc-core`; a [`Backend`] decides how the
+//! actors get CPU:
+//!
+//! * [`threaded::ThreadedBackend`] — one OS thread per actor, parked on a
+//!   channel. Faithful to the paper's process model and fastest at small
+//!   client counts, but a run with `C` clients costs `C + partitions + 2`
+//!   threads: the host drowns well before "millions of users".
+//! * [`multiplexed::MultiplexedBackend`] — every actor multiplexed onto a
+//!   small fixed worker pool via per-actor mailboxes and a ready queue
+//!   (an epoll-style reactor, hand-rolled — the build is offline). Memory
+//!   and thread count stay flat as clients grow, which is what lets a
+//!   single host drive thousands of closed-loop clients.
+//!
+//! Crossbeam channels (threaded) and the mailbox queues (multiplexed)
+//! both preserve per-link FIFO order, the property the speculation
+//! protocol relies on.
 //!
 //! The runtime is the "it actually runs" build: examples and soak tests
-//! use it, and the backup-equivalence check runs against it. Calibrated
-//! performance curves come from `hcc-sim`, whose virtual clock reproduces
-//! the paper's hardware ratios; the runtime measures whatever the host
-//! delivers (in-process channels are ~100× faster than the paper's
-//! Ethernet, so its multi-partition stalls are proportionally smaller).
+//! use it, and the backup- and backend-equivalence checks run against it.
+//! Calibrated performance curves come from `hcc-sim`, whose virtual clock
+//! reproduces the paper's hardware ratios; the runtime measures whatever
+//! the host delivers (in-process message passing is ~100× faster than the
+//! paper's Ethernet, so its multi-partition stalls are proportionally
+//! smaller).
 
 // Associated-type generics make some signatures long; aliases would
 // obscure more than they clarify here.
 #![allow(clippy::type_complexity)]
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use hcc_common::stats::SchedulerCounters;
-use hcc_common::{
-    ClientId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, Scheme,
-    SystemConfig, TxnId, TxnResult,
-};
-use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
-use hcc_core::coordinator::{CoordOut, Coordinator};
-use hcc_core::txn_driver::TxnDriver;
-use hcc_core::{make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+pub mod actors;
+pub mod multiplexed;
+pub mod threaded;
+
+pub use multiplexed::MultiplexedBackend;
+pub use threaded::ThreadedBackend;
+
+use hcc_common::stats::{LatencySummary, SchedulerCounters};
+use hcc_common::{Nanos, PartitionId, SystemConfig};
+use hcc_core::client::ClientStats;
+use hcc_core::{ExecutionEngine, RequestGenerator};
 use std::time::{Duration, Instant};
 
-/// Messages into a partition thread.
-enum PartMsg<F> {
-    Fragment(FragmentTask<F>),
-    Decision(Decision),
-    Shutdown,
+/// Which backend drives the actors. Every runtime entry point takes one
+/// explicitly — there is no implicit thread-per-actor default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// One OS thread per actor.
+    Threaded,
+    /// All actors on a fixed pool of `workers` threads.
+    Multiplexed { workers: usize },
 }
 
-/// Messages into the coordinator thread.
-enum CoordMsg<F, R> {
-    Invoke {
-        txn: TxnId,
-        client: ClientId,
-        procedure: Box<dyn hcc_core::Procedure<F, R>>,
-        can_abort: bool,
-    },
-    Response(FragmentResponse<R>),
-    Shutdown,
-}
-
-/// Messages into a client thread.
-enum ClientMsg<R> {
-    Result { txn: TxnId, result: TxnResult<R> },
-    FragResponse(FragmentResponse<R>),
-}
-
-/// Messages into a backup thread: a committed transaction's fragments, in
-/// commit order.
-enum BackupMsg<F> {
-    Commit(TxnId, Vec<FragmentTask<F>>),
-    Shutdown,
-}
-
-/// Runtime configuration.
-#[derive(Clone)]
-pub struct RuntimeConfig {
-    pub system: SystemConfig,
-    /// Warm-up before measurement starts.
-    pub warmup: Duration,
-    /// Measurement window.
-    pub measure: Duration,
-}
-
-impl RuntimeConfig {
-    pub fn new(system: SystemConfig) -> Self {
-        RuntimeConfig {
-            system,
-            warmup: Duration::from_millis(200),
-            measure: Duration::from_secs(1),
+impl BackendChoice {
+    /// The multiplexed backend at its standard pool size (4 workers).
+    pub const fn multiplexed() -> Self {
+        BackendChoice::Multiplexed {
+            workers: multiplexed::DEFAULT_WORKERS,
         }
     }
 
-    pub fn quick(system: SystemConfig) -> Self {
+    /// Parse a CLI-style backend name (`threaded` | `multiplexed[:N]`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threaded" => Some(BackendChoice::Threaded),
+            "multiplexed" => Some(BackendChoice::multiplexed()),
+            _ => s.strip_prefix("multiplexed:").and_then(|n| {
+                n.parse()
+                    .ok()
+                    .map(|workers| BackendChoice::Multiplexed { workers })
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Threaded => f.write_str("threaded"),
+            BackendChoice::Multiplexed { workers } => write!(f, "multiplexed:{workers}"),
+        }
+    }
+}
+
+/// How long a run lasts.
+#[derive(Debug, Clone, Copy)]
+pub enum RunMode {
+    /// Warm up, then measure for a fixed wall-clock window (throughput
+    /// runs; the committed count and latency samples come from the
+    /// window).
+    Timed { warmup: Duration, measure: Duration },
+    /// Every client drives exactly this many requests to a final outcome
+    /// (commit or user abort; transparent retries don't count), then the
+    /// run drains. Total work is a pure function of the workload seed, so
+    /// two backends given the same inputs must agree on the final
+    /// committed state — the cross-backend equivalence contract.
+    FixedRequests(u64),
+}
+
+/// Runtime configuration: the system under test, the backend that drives
+/// it, and the measurement protocol.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    pub system: SystemConfig,
+    pub backend: BackendChoice,
+    pub mode: RunMode,
+}
+
+impl RuntimeConfig {
+    /// Standard timed run: 200 ms warm-up, 1 s measurement.
+    pub fn new(system: SystemConfig, backend: BackendChoice) -> Self {
         RuntimeConfig {
             system,
-            warmup: Duration::from_millis(50),
-            measure: Duration::from_millis(300),
+            backend,
+            mode: RunMode::Timed {
+                warmup: Duration::from_millis(200),
+                measure: Duration::from_secs(1),
+            },
         }
+    }
+
+    /// Short timed run for tests and smoke benches: 50 ms warm-up, 300 ms
+    /// measurement.
+    pub fn quick(system: SystemConfig, backend: BackendChoice) -> Self {
+        RuntimeConfig::new(system, backend)
+            .with_window(Duration::from_millis(50), Duration::from_millis(300))
+    }
+
+    /// Deterministic fixed-work run: `requests_per_client` final outcomes
+    /// per client, then drain.
+    pub fn fixed_work(
+        system: SystemConfig,
+        backend: BackendChoice,
+        requests_per_client: u64,
+    ) -> Self {
+        assert!(requests_per_client > 0, "a fixed-work run needs work");
+        RuntimeConfig {
+            system,
+            backend,
+            mode: RunMode::FixedRequests(requests_per_client),
+        }
+    }
+
+    pub fn with_window(mut self, warmup: Duration, measure: Duration) -> Self {
+        self.mode = RunMode::Timed { warmup, measure };
+        self
     }
 }
 
 /// What a run produced.
 pub struct RuntimeReport<E: ExecutionEngine> {
-    /// Transactions committed inside the measurement window.
+    /// Transactions committed inside the measurement window (timed mode)
+    /// or in total (fixed-work mode).
     pub committed: u64,
     pub throughput_tps: f64,
-    /// Per-client stats summed (whole run).
+    /// Per-client stats merged (whole run), including the end-to-end
+    /// latency histogram of committed transactions.
     pub clients: ClientStats,
     /// Scheduler counters summed across partitions (whole run).
     pub sched: SchedulerCounters,
@@ -111,33 +171,37 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     pub backups: Vec<E>,
 }
 
-struct Channels<E: ExecutionEngine> {
-    parts: Vec<Sender<PartMsg<E::Fragment>>>,
-    coord: Sender<CoordMsg<E::Fragment, E::Output>>,
-    clients: Vec<Sender<ClientMsg<E::Output>>>,
-    backups: Vec<Option<Sender<BackupMsg<E::Fragment>>>>,
-}
-
-impl<E: ExecutionEngine> Clone for Channels<E> {
-    fn clone(&self) -> Self {
-        Channels {
-            parts: self.parts.clone(),
-            coord: self.coord.clone(),
-            clients: self.clients.clone(),
-            backups: self.backups.clone(),
-        }
+impl<E: ExecutionEngine> RuntimeReport<E> {
+    /// p50/p99/p999 digest of committed-transaction latency.
+    pub fn latency(&self) -> LatencySummary {
+        self.clients.latency.summary()
     }
 }
 
-/// Run a workload on the threaded runtime.
+/// A runtime backend: turns a configuration, a workload, and an engine
+/// builder into a finished run. Implemented by [`ThreadedBackend`] and
+/// [`MultiplexedBackend`]; select one per run via [`BackendChoice`] and
+/// [`run`], or call a backend directly.
+pub trait Backend {
+    fn run<W, B>(
+        &self,
+        cfg: &RuntimeConfig,
+        workload: W,
+        build_engine: B,
+    ) -> RuntimeReport<W::Engine>
+    where
+        W: RequestGenerator + Send + 'static,
+        W::Engine: Send + 'static,
+        <W::Engine as ExecutionEngine>::Fragment: Send + 'static,
+        <W::Engine as ExecutionEngine>::Output: Send + 'static,
+        B: Fn(PartitionId) -> W::Engine;
+}
+
+/// Run a workload on the backend selected by `cfg.backend`.
 ///
 /// `build_engine` is called once per partition (plus once more per
 /// partition for its backup when `system.replication > 1`).
-pub fn run_threaded<W, B>(
-    cfg: RuntimeConfig,
-    workload: W,
-    build_engine: B,
-) -> RuntimeReport<W::Engine>
+pub fn run<W, B>(cfg: RuntimeConfig, workload: W, build_engine: B) -> RuntimeReport<W::Engine>
 where
     W: RequestGenerator + Send + 'static,
     W::Engine: Send + 'static,
@@ -145,135 +209,35 @@ where
     <W::Engine as ExecutionEngine>::Output: Send + 'static,
     B: Fn(PartitionId) -> W::Engine,
 {
-    let n = cfg.system.partitions as usize;
-    let replicate = cfg.system.replication > 1;
-
-    // Channels.
-    let mut part_txs = Vec::new();
-    let mut part_rxs = Vec::new();
-    for _ in 0..n {
-        let (tx, rx) = unbounded::<PartMsg<<W::Engine as ExecutionEngine>::Fragment>>();
-        part_txs.push(tx);
-        part_rxs.push(rx);
-    }
-    let (coord_tx, coord_rx) = unbounded();
-    let mut client_txs = Vec::new();
-    let mut client_rxs = Vec::new();
-    for _ in 0..cfg.system.clients {
-        let (tx, rx) = unbounded::<ClientMsg<<W::Engine as ExecutionEngine>::Output>>();
-        client_txs.push(tx);
-        client_rxs.push(rx);
-    }
-    let mut backup_txs: Vec<Option<Sender<BackupMsg<<W::Engine as ExecutionEngine>::Fragment>>>> =
-        vec![None; n];
-    let mut backup_rxs = Vec::new();
-    if replicate {
-        for (p, slot) in backup_txs.iter_mut().enumerate() {
-            let (tx, rx) = unbounded();
-            *slot = Some(tx);
-            backup_rxs.push((p, rx));
+    match cfg.backend {
+        BackendChoice::Threaded => ThreadedBackend.run(&cfg, workload, build_engine),
+        BackendChoice::Multiplexed { workers } => {
+            MultiplexedBackend { workers }.run(&cfg, workload, build_engine)
         }
     }
-    let channels: Channels<W::Engine> = Channels {
-        parts: part_txs,
-        coord: coord_tx,
-        clients: client_txs,
-        backups: backup_txs,
+}
+
+pub(crate) fn now_ns(epoch: Instant) -> Nanos {
+    Nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+/// Finish a report from the pieces every backend harvests.
+pub(crate) fn finish_report<E: ExecutionEngine>(
+    mode: &RunMode,
+    committed_in_window: u64,
+    elapsed: Duration,
+    clients: ClientStats,
+    sched: SchedulerCounters,
+    engines: Vec<E>,
+    backups: Vec<E>,
+) -> RuntimeReport<E> {
+    let (committed, secs) = match mode {
+        RunMode::Timed { measure, .. } => (committed_in_window, measure.as_secs_f64()),
+        RunMode::FixedRequests(_) => (clients.committed, elapsed.as_secs_f64().max(1e-9)),
     };
-
-    let epoch = Instant::now();
-    let stop_clients = Arc::new(AtomicBool::new(false));
-    let window_open = Arc::new(AtomicBool::new(false));
-    let committed_in_window = Arc::new(AtomicU64::new(0));
-    let workload = Arc::new(Mutex::new(workload));
-
-    // Partition threads.
-    let mut part_handles = Vec::new();
-    for (p, rx) in part_rxs.into_iter().enumerate() {
-        let engine = build_engine(PartitionId(p as u32));
-        let chans = channels.clone();
-        let system = cfg.system.clone();
-        part_handles.push(std::thread::spawn(move || {
-            partition_thread::<W::Engine>(PartitionId(p as u32), system, engine, rx, chans, epoch)
-        }));
-    }
-
-    // Backup threads.
-    let mut backup_handles = Vec::new();
-    for (p, rx) in backup_rxs {
-        let engine = build_engine(PartitionId(p as u32));
-        backup_handles.push(std::thread::spawn(move || {
-            backup_thread::<W::Engine>(engine, rx)
-        }));
-    }
-
-    // Coordinator thread.
-    let coord_handle = {
-        let chans = channels.clone();
-        let costs = cfg.system.costs;
-        std::thread::spawn(move || coordinator_thread::<W::Engine>(costs, coord_rx, chans))
-    };
-
-    // Client threads.
-    let mut client_handles = Vec::new();
-    for (c, rx) in client_rxs.into_iter().enumerate() {
-        let chans = channels.clone();
-        let system = cfg.system.clone();
-        let stop = stop_clients.clone();
-        let open = window_open.clone();
-        let counter = committed_in_window.clone();
-        let wl = workload.clone();
-        client_handles.push(std::thread::spawn(move || {
-            client_thread::<W>(
-                ClientId(c as u32),
-                system,
-                wl,
-                rx,
-                chans,
-                stop,
-                open,
-                counter,
-            )
-        }));
-    }
-
-    // Measurement protocol.
-    std::thread::sleep(cfg.warmup);
-    window_open.store(true, Ordering::SeqCst);
-    std::thread::sleep(cfg.measure);
-    window_open.store(false, Ordering::SeqCst);
-    let committed = committed_in_window.load(Ordering::SeqCst);
-    // Stop clients (each finishes its in-flight transaction first).
-    stop_clients.store(true, Ordering::SeqCst);
-    let mut clients = ClientStats::default();
-    for h in client_handles {
-        let s = h.join().expect("client thread");
-        clients.committed += s.committed;
-        clients.user_aborted += s.user_aborted;
-        clients.retries += s.retries;
-    }
-    // Quiesced: shut down coordinator and partitions.
-    let _ = channels.coord.send(CoordMsg::Shutdown);
-    coord_handle.join().expect("coordinator thread");
-    let mut engines = Vec::new();
-    let mut sched = SchedulerCounters::default();
-    for (p, h) in part_handles.into_iter().enumerate() {
-        let _ = channels.parts[p].send(PartMsg::Shutdown);
-        let (engine, counters) = h.join().expect("partition thread");
-        engines.push(engine);
-        sched.merge(&counters);
-    }
-    let mut backups = Vec::new();
-    for (p, h) in backup_handles.into_iter().enumerate() {
-        if let Some(tx) = &channels.backups[p] {
-            let _ = tx.send(BackupMsg::Shutdown);
-        }
-        backups.push(h.join().expect("backup thread"));
-    }
-
     RuntimeReport {
         committed,
-        throughput_tps: committed as f64 / cfg.measure.as_secs_f64(),
+        throughput_tps: committed as f64 / secs,
         clients,
         sched,
         engines,
@@ -281,476 +245,252 @@ where
     }
 }
 
-fn now_ns(epoch: Instant) -> Nanos {
-    Nanos(epoch.elapsed().as_nanos() as u64)
-}
-
-fn partition_thread<E: ExecutionEngine + 'static>(
-    me: PartitionId,
-    system: SystemConfig,
-    mut engine: E,
-    rx: Receiver<PartMsg<E::Fragment>>,
-    chans: Channels<E>,
-    epoch: Instant,
-) -> (E, SchedulerCounters) {
-    let mut sched = make_scheduler::<E>(&system, me);
-    let mut out = Outbox::new(system.costs);
-    // Shadow bookkeeping for replication: fragments per in-flight txn.
-    let mut pending: HashMap<TxnId, Vec<FragmentTask<E::Fragment>>> = HashMap::new();
-    let replicate = chans.backups[me.as_usize()].is_some();
-    let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
-
-    loop {
-        let msg = if system.scheme == Scheme::Locking {
-            match rx.recv_timeout(tick_every) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        } else {
-            match rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => break,
-            }
-        };
-        match msg {
-            Some(PartMsg::Fragment(task)) => {
-                if replicate {
-                    let entry = pending.entry(task.txn).or_default();
-                    entry.retain(|t| t.round != task.round);
-                    entry.push(task.clone());
-                }
-                sched.on_fragment(task, &mut engine, now_ns(epoch), &mut out);
-            }
-            Some(PartMsg::Decision(d)) => {
-                if replicate {
-                    if d.commit {
-                        if let Some(frags) = pending.remove(&d.txn) {
-                            if let Some(tx) = &chans.backups[me.as_usize()] {
-                                let _ = tx.send(BackupMsg::Commit(d.txn, frags));
-                            }
-                        }
-                    } else {
-                        pending.remove(&d.txn);
-                    }
-                }
-                sched.on_decision(d, &mut engine, now_ns(epoch), &mut out);
-            }
-            Some(PartMsg::Shutdown) => break,
-            None => {
-                sched.on_tick(&mut engine, now_ns(epoch), &mut out);
-            }
-        }
-        let (msgs, _cpu) = out.take();
-        for m in msgs {
-            match m {
-                PartitionOut::ToClient {
-                    client,
-                    txn,
-                    result,
-                } => {
-                    if replicate {
-                        match &result {
-                            TxnResult::Committed(_) => {
-                                if let Some(frags) = pending.remove(&txn) {
-                                    if let Some(tx) = &chans.backups[me.as_usize()] {
-                                        let _ = tx.send(BackupMsg::Commit(txn, frags));
-                                    }
-                                }
-                            }
-                            TxnResult::Aborted(_) => {
-                                pending.remove(&txn);
-                            }
-                        }
-                    }
-                    let _ =
-                        chans.clients[client.as_usize()].send(ClientMsg::Result { txn, result });
-                }
-                PartitionOut::ToCoordinator { dest, response } => match dest {
-                    CoordinatorRef::Central => {
-                        let _ = chans.coord.send(CoordMsg::Response(response));
-                    }
-                    CoordinatorRef::Client(c) => {
-                        let _ = chans.clients[c.as_usize()].send(ClientMsg::FragResponse(response));
-                    }
-                },
-            }
-        }
-    }
-    (engine, sched.counters())
-}
-
-fn coordinator_thread<E: ExecutionEngine>(
-    costs: hcc_common::CostModel,
-    rx: Receiver<CoordMsg<E::Fragment, E::Output>>,
-    chans: Channels<E>,
-) {
-    let mut coord: Coordinator<E::Fragment, E::Output> = Coordinator::central(costs);
-    let mut out = Vec::new();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            CoordMsg::Invoke {
-                txn,
-                client,
-                procedure,
-                can_abort,
-            } => coord.on_invoke(txn, client, procedure, can_abort, &mut out),
-            CoordMsg::Response(r) => coord.on_response(r, &mut out),
-            CoordMsg::Shutdown => break,
-        }
-        let _ = coord.take_cpu();
-        for o in out.drain(..) {
-            route_coord_out::<E>(o, &chans);
-        }
-    }
-}
-
-fn route_coord_out<E: ExecutionEngine>(o: CoordOut<E::Fragment, E::Output>, chans: &Channels<E>) {
-    match o {
-        CoordOut::Fragment(p, task) => {
-            let _ = chans.parts[p.as_usize()].send(PartMsg::Fragment(task));
-        }
-        CoordOut::Decision(p, d) => {
-            let _ = chans.parts[p.as_usize()].send(PartMsg::Decision(d));
-        }
-        CoordOut::ClientResult {
-            client,
-            txn,
-            result,
-        } => {
-            let _ = chans.clients[client.as_usize()].send(ClientMsg::Result { txn, result });
-        }
-    }
-}
-
-fn backup_thread<E: ExecutionEngine>(mut engine: E, rx: Receiver<BackupMsg<E::Fragment>>) -> E {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            BackupMsg::Commit(txn, mut frags) => {
-                // "The backups execute the transactions in the sequential
-                // order received from the primary" (§4.3) — without locks
-                // or undo.
-                frags.sort_by_key(|t| t.round);
-                for task in frags {
-                    let out = engine.execute(txn, &task.fragment, false);
-                    debug_assert!(out.result.is_ok(), "backup replay failed for {txn}");
-                }
-                engine.forget(txn);
-            }
-            BackupMsg::Shutdown => break,
-        }
-    }
-    engine
-}
-
-#[allow(clippy::too_many_arguments)]
-fn client_thread<W>(
-    id: ClientId,
-    system: SystemConfig,
-    workload: Arc<Mutex<W>>,
-    rx: Receiver<ClientMsg<<W::Engine as ExecutionEngine>::Output>>,
-    chans: Channels<W::Engine>,
-    stop: Arc<AtomicBool>,
-    window_open: Arc<AtomicBool>,
-    committed_in_window: Arc<AtomicU64>,
-) -> ClientStats
-where
-    W: RequestGenerator,
-    W::Engine: 'static,
-{
-    let mut core = ClientCore::new(id);
-    let mut driver: TxnDriver<
-        <W::Engine as ExecutionEngine>::Fragment,
-        <W::Engine as ExecutionEngine>::Output,
-    > = TxnDriver::new(system.costs, id);
-
-    let mut pending: PendingRequest<_, _> = {
-        let mut wl = workload.lock();
-        PendingRequest::from_request(&wl.next_request(id))
-    };
-
-    'outer: loop {
-        let txn = core.next_txn_id();
-        dispatch::<W>(&system, id, txn, &pending, &mut driver, &chans);
-
-        // Await this transaction's final result.
-        let result = loop {
-            match rx.recv() {
-                Ok(ClientMsg::Result { txn: t, result }) => {
-                    debug_assert_eq!(t, txn, "stray result at {id}");
-                    break result;
-                }
-                Ok(ClientMsg::FragResponse(r)) => {
-                    let mut out = Vec::new();
-                    driver.on_response(r, &mut out);
-                    let _ = driver.take_cpu();
-                    let mut final_result = None;
-                    if let Some((t, res)) = TxnDriver::take_result(&mut out) {
-                        debug_assert_eq!(t, txn);
-                        final_result = Some(res);
-                    }
-                    for o in out {
-                        route_coord_out::<W::Engine>(o, &chans);
-                    }
-                    if let Some(res) = final_result {
-                        break res;
-                    }
-                }
-                Err(_) => break 'outer,
-            }
-        };
-
-        match core.on_result(&result) {
-            NextAction::Retry => {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                continue; // same pending request, fresh txn id
-            }
-            NextAction::NewRequest => {
-                if window_open.load(Ordering::SeqCst) && result.is_committed() {
-                    committed_in_window.fetch_add(1, Ordering::Relaxed);
-                }
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let mut wl = workload.lock();
-                wl.on_result(id, txn, result.is_committed());
-                pending = PendingRequest::from_request(&wl.next_request(id));
-            }
-        }
-    }
-    core.stats
-}
-
-fn dispatch<W>(
-    system: &SystemConfig,
-    client: ClientId,
-    txn: TxnId,
-    pending: &PendingRequest<
-        <W::Engine as ExecutionEngine>::Fragment,
-        <W::Engine as ExecutionEngine>::Output,
-    >,
-    driver: &mut TxnDriver<
-        <W::Engine as ExecutionEngine>::Fragment,
-        <W::Engine as ExecutionEngine>::Output,
-    >,
-    chans: &Channels<W::Engine>,
-) where
-    W: RequestGenerator,
-    W::Engine: 'static,
-{
-    match pending.to_request() {
-        Request::SinglePartition {
-            partition,
-            fragment,
-            can_abort,
-        } => {
-            let task = FragmentTask {
-                txn,
-                coordinator: CoordinatorRef::Client(client),
-                client,
-                fragment,
-                multi_partition: false,
-                last_fragment: true,
-                round: 0,
-                can_abort,
-            };
-            let _ = chans.parts[partition.as_usize()].send(PartMsg::Fragment(task));
-        }
-        Request::MultiPartition {
-            procedure,
-            can_abort,
-        } => match system.scheme {
-            Scheme::Locking => {
-                let mut out = Vec::new();
-                driver.begin(txn, procedure, can_abort, &mut out);
-                let _ = driver.take_cpu();
-                for o in out {
-                    route_coord_out::<W::Engine>(o, chans);
-                }
-            }
-            _ => {
-                let _ = chans.coord.send(CoordMsg::Invoke {
-                    txn,
-                    client,
-                    procedure,
-                    can_abort,
-                });
-            }
-        },
-    }
-}
-
-// `bounded` kept for future backpressure experiments.
-#[allow(unused_imports)]
-use bounded as _bounded;
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcc_workloads::micro::{MicroConfig, MicroWorkload};
+    use hcc_common::Scheme;
+    use hcc_workloads::micro::{MicroConfig, MicroEngine, MicroWorkload};
 
-    fn quick(scheme: Scheme, mp: f64, clients: u32) -> RuntimeConfig {
-        let mut cfg = RuntimeConfig::quick(
+    const BACKENDS: [BackendChoice; 2] = [
+        BackendChoice::Threaded,
+        BackendChoice::Multiplexed { workers: 4 },
+    ];
+
+    fn quick(scheme: Scheme, clients: u32, backend: BackendChoice) -> RuntimeConfig {
+        RuntimeConfig::quick(
             SystemConfig::new(scheme)
                 .with_partitions(2)
                 .with_clients(clients),
-        );
-        cfg.warmup = Duration::from_millis(30);
-        cfg.measure = Duration::from_millis(200);
-        let _ = mp;
-        cfg
+            backend,
+        )
+        .with_window(Duration::from_millis(30), Duration::from_millis(200))
     }
 
-    fn run(scheme: Scheme, mp: f64) -> RuntimeReport<hcc_workloads::micro::MicroEngine> {
+    fn run_micro(scheme: Scheme, mp: f64, backend: BackendChoice) -> RuntimeReport<MicroEngine> {
         let mc = MicroConfig {
             mp_fraction: mp,
             clients: 8,
             ..Default::default()
         };
-        let cfg = quick(scheme, mp, 8);
+        let cfg = quick(scheme, 8, backend);
         let builder = MicroWorkload::new(mc);
-        run_threaded(cfg, MicroWorkload::new(mc), move |p| {
+        run(cfg, MicroWorkload::new(mc), move |p| {
             builder.build_engine(p)
         })
     }
 
     #[test]
-    fn all_schemes_run_live_with_mp_transactions() {
-        for scheme in [
-            Scheme::Blocking,
-            Scheme::Speculative,
-            Scheme::Locking,
-            Scheme::Occ,
-        ] {
-            let r = run(scheme, 0.2);
-            assert!(
-                r.committed > 100,
-                "{scheme}: only {} committed",
-                r.committed
-            );
-            assert_eq!(
-                r.sched.local_deadlocks, 0,
-                "{scheme}: no deadlocks expected"
-            );
-            // Every partition engine quiesced with no leaked undo buffers.
-            for e in &r.engines {
-                assert_eq!(e.live_undo_buffers(), 0, "{scheme}");
+    fn all_schemes_run_live_with_mp_transactions_on_both_backends() {
+        for backend in BACKENDS {
+            for scheme in [
+                Scheme::Blocking,
+                Scheme::Speculative,
+                Scheme::Locking,
+                Scheme::Occ,
+            ] {
+                let r = run_micro(scheme, 0.2, backend);
+                assert!(
+                    r.committed > 100,
+                    "{backend}/{scheme}: only {} committed",
+                    r.committed
+                );
+                assert_eq!(
+                    r.sched.local_deadlocks, 0,
+                    "{backend}/{scheme}: no deadlocks expected"
+                );
+                // Every partition engine quiesced with no leaked undo buffers.
+                for e in &r.engines {
+                    assert_eq!(e.live_undo_buffers(), 0, "{backend}/{scheme}");
+                }
             }
         }
     }
 
     #[test]
-    fn speculation_speculates_on_real_threads() {
-        let r = run(Scheme::Speculative, 0.5);
-        assert!(r.committed > 100);
-        // With real (tiny) channel latencies stalls are short, but
-        // speculative executions must still occur at 50% MP.
-        assert!(
-            r.sched.speculative_executions > 0,
-            "no speculation happened live"
-        );
-    }
-
-    #[test]
-    fn replicated_backups_match_primaries() {
-        let mc = MicroConfig {
-            mp_fraction: 0.3,
-            abort_prob: 0.05,
-            clients: 8,
-            ..Default::default()
-        };
-        let mut cfg = quick(Scheme::Speculative, 0.3, 8);
-        cfg.system.replication = 2;
-        let builder = MicroWorkload::new(mc);
-        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| {
-            builder.build_engine(p)
-        });
-        assert!(r.committed > 50);
-        assert_eq!(r.backups.len(), r.engines.len());
-        for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
-            assert_eq!(
-                p.fingerprint(),
-                b.fingerprint(),
-                "backup {i} diverged from its primary (failover would lose state)"
+    fn speculation_speculates_on_both_backends() {
+        for backend in BACKENDS {
+            let r = run_micro(Scheme::Speculative, 0.5, backend);
+            assert!(r.committed > 100, "{backend}");
+            // With real (tiny) in-process latencies stalls are short, but
+            // speculative executions must still occur at 50% MP.
+            assert!(
+                r.sched.speculative_executions > 0,
+                "{backend}: no speculation happened live"
             );
         }
     }
 
     #[test]
-    fn locking_backups_match_primaries() {
-        let mc = MicroConfig {
-            mp_fraction: 0.3,
-            conflict_prob: 0.5,
-            clients: 8,
-            ..Default::default()
-        };
-        let mut cfg = quick(Scheme::Locking, 0.3, 8);
-        cfg.system.replication = 2;
-        let builder = MicroWorkload::new(mc);
-        let r = run_threaded(cfg, MicroWorkload::new(mc), move |p| {
-            builder.build_engine(p)
-        });
-        assert!(r.committed > 50);
-        for (p, b) in r.engines.iter().zip(r.backups.iter()) {
-            assert_eq!(p.fingerprint(), b.fingerprint());
+    fn commit_latency_histogram_is_populated() {
+        for backend in BACKENDS {
+            let r = run_micro(Scheme::Speculative, 0.2, backend);
+            let lat = r.latency();
+            assert!(lat.count > 0, "{backend}: no latency samples");
+            assert!(lat.p50 > Nanos::ZERO, "{backend}: zero p50");
+            assert!(lat.p999 >= lat.p99 && lat.p99 >= lat.p50, "{backend}");
         }
+    }
+
+    #[test]
+    fn fixed_work_runs_exactly_the_requested_outcomes() {
+        for backend in BACKENDS {
+            let mc = MicroConfig {
+                mp_fraction: 0.3,
+                abort_prob: 0.05,
+                clients: 8,
+                ..Default::default()
+            };
+            let cfg = RuntimeConfig::fixed_work(
+                SystemConfig::new(Scheme::Speculative)
+                    .with_partitions(2)
+                    .with_clients(8),
+                backend,
+                25,
+            );
+            let builder = MicroWorkload::new(mc);
+            let r = run(cfg, MicroWorkload::new(mc), move |p| {
+                builder.build_engine(p)
+            });
+            assert_eq!(
+                r.clients.committed + r.clients.user_aborted,
+                8 * 25,
+                "{backend}: every client must drive exactly 25 requests to an outcome"
+            );
+            for e in &r.engines {
+                assert_eq!(e.live_undo_buffers(), 0, "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_backups_match_primaries() {
+        for backend in BACKENDS {
+            let mc = MicroConfig {
+                mp_fraction: 0.3,
+                abort_prob: 0.05,
+                clients: 8,
+                ..Default::default()
+            };
+            let mut cfg = quick(Scheme::Speculative, 8, backend);
+            cfg.system.replication = 2;
+            let builder = MicroWorkload::new(mc);
+            let r = run(cfg, MicroWorkload::new(mc), move |p| {
+                builder.build_engine(p)
+            });
+            assert!(r.committed > 50, "{backend}");
+            assert_eq!(r.backups.len(), r.engines.len());
+            for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
+                assert_eq!(
+                    p.fingerprint(),
+                    b.fingerprint(),
+                    "{backend}: backup {i} diverged from its primary (failover would lose state)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locking_backups_match_primaries() {
+        for backend in BACKENDS {
+            let mc = MicroConfig {
+                mp_fraction: 0.3,
+                conflict_prob: 0.5,
+                clients: 8,
+                ..Default::default()
+            };
+            let mut cfg = quick(Scheme::Locking, 8, backend);
+            cfg.system.replication = 2;
+            let builder = MicroWorkload::new(mc);
+            let r = run(cfg, MicroWorkload::new(mc), move |p| {
+                builder.build_engine(p)
+            });
+            assert!(r.committed > 50, "{backend}");
+            for (p, b) in r.engines.iter().zip(r.backups.iter()) {
+                assert_eq!(p.fingerprint(), b.fingerprint(), "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn backend_choice_parses() {
+        assert_eq!(
+            BackendChoice::parse("threaded"),
+            Some(BackendChoice::Threaded)
+        );
+        assert_eq!(
+            BackendChoice::parse("multiplexed"),
+            Some(BackendChoice::multiplexed())
+        );
+        assert_eq!(
+            BackendChoice::parse("multiplexed:7"),
+            Some(BackendChoice::Multiplexed { workers: 7 })
+        );
+        assert_eq!(BackendChoice::parse("green-threads"), None);
     }
 }
 
 #[cfg(test)]
 mod tpcc_tests {
     use super::*;
+    use hcc_common::Scheme;
     use hcc_storage::tpcc::consistency;
     use hcc_workloads::tpcc::{TpccConfig, TpccWorkload};
 
     #[test]
-    fn tpcc_runs_live_and_stays_consistent() {
-        for scheme in [Scheme::Speculative, Scheme::Locking] {
-            let mut tpcc = TpccConfig::new(2, 2);
-            tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
-            let mut system = SystemConfig::new(scheme).with_partitions(2).with_clients(8);
-            system.lock_timeout = Nanos::from_millis(1);
-            let mut cfg = RuntimeConfig::quick(system);
-            cfg.warmup = Duration::from_millis(30);
-            cfg.measure = Duration::from_millis(250);
-            let builder = TpccWorkload::new(tpcc);
-            let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
-                builder.build_engine(p)
-            });
-            assert!(r.committed > 100, "{scheme}: {}", r.committed);
-            for (i, e) in r.engines.iter().enumerate() {
-                consistency::check(&e.store)
-                    .unwrap_or_else(|v| panic!("{scheme}: P{i} inconsistent: {:?}", &v[..1]));
-                assert_eq!(e.live_undo_buffers(), 0, "{scheme}: P{i}");
+    fn tpcc_runs_live_and_stays_consistent_on_both_backends() {
+        for backend in [
+            BackendChoice::Threaded,
+            BackendChoice::Multiplexed { workers: 4 },
+        ] {
+            for scheme in [Scheme::Speculative, Scheme::Locking] {
+                let mut tpcc = TpccConfig::new(2, 2);
+                tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
+                let mut system = SystemConfig::new(scheme).with_partitions(2).with_clients(8);
+                system.lock_timeout = Nanos::from_millis(1);
+                let cfg = RuntimeConfig::quick(system, backend)
+                    .with_window(Duration::from_millis(30), Duration::from_millis(250));
+                let builder = TpccWorkload::new(tpcc);
+                let r = run(cfg, TpccWorkload::new(tpcc), move |p| {
+                    builder.build_engine(p)
+                });
+                assert!(r.committed > 100, "{backend}/{scheme}: {}", r.committed);
+                for (i, e) in r.engines.iter().enumerate() {
+                    consistency::check(&e.store).unwrap_or_else(|v| {
+                        panic!("{backend}/{scheme}: P{i} inconsistent: {:?}", &v[..1])
+                    });
+                    assert_eq!(e.live_undo_buffers(), 0, "{backend}/{scheme}: P{i}");
+                }
             }
         }
     }
 
     #[test]
     fn tpcc_replicated_backups_converge() {
-        let mut tpcc = TpccConfig::new(2, 2);
-        tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
-        tpcc.remote_item_prob = 0.2; // plenty of cross-partition new-orders
-        let mut system = SystemConfig::new(Scheme::Speculative)
-            .with_partitions(2)
-            .with_clients(8);
-        system.replication = 2;
-        let mut cfg = RuntimeConfig::quick(system);
-        cfg.warmup = Duration::from_millis(30);
-        cfg.measure = Duration::from_millis(250);
-        let builder = TpccWorkload::new(tpcc);
-        let r = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
-            builder.build_engine(p)
-        });
-        assert!(r.committed > 100);
-        for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
-            assert_eq!(
-                p.store.fingerprint(),
-                b.store.fingerprint(),
-                "TPC-C backup {i} diverged — failover would lose transactions"
-            );
+        for backend in [
+            BackendChoice::Threaded,
+            BackendChoice::Multiplexed { workers: 4 },
+        ] {
+            let mut tpcc = TpccConfig::new(2, 2);
+            tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
+            tpcc.remote_item_prob = 0.2; // plenty of cross-partition new-orders
+            let mut system = SystemConfig::new(Scheme::Speculative)
+                .with_partitions(2)
+                .with_clients(8);
+            system.replication = 2;
+            let cfg = RuntimeConfig::quick(system, backend)
+                .with_window(Duration::from_millis(30), Duration::from_millis(250));
+            let builder = TpccWorkload::new(tpcc);
+            let r = run(cfg, TpccWorkload::new(tpcc), move |p| {
+                builder.build_engine(p)
+            });
+            assert!(r.committed > 100, "{backend}");
+            for (i, (p, b)) in r.engines.iter().zip(r.backups.iter()).enumerate() {
+                assert_eq!(
+                    p.store.fingerprint(),
+                    b.store.fingerprint(),
+                    "{backend}: TPC-C backup {i} diverged — failover would lose transactions"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,356 @@
+//! Multiplexed reactor backend: every actor on a small fixed worker pool.
+//!
+//! The ROADMAP's "async backend", hand-rolled because the build is
+//! offline (no tokio, and the vendored crossbeam has no `Select`): each
+//! actor owns a mailbox (`Mutex<VecDeque>` + a `scheduled` bit) and a
+//! shared MPMC ready queue carries the indices of actors with undelivered
+//! mail. Workers pop an index, drain that mailbox, step the actor, and
+//! route its outputs — the classic epoll/ready-list shape, with the
+//! mailbox bit playing the role of edge-triggered readiness (an actor is
+//! enqueued exactly once per busy period, never concurrently stepped).
+//!
+//! Per-actor cost is two mutex hops per message instead of a parked
+//! thread per actor, so thread count and stack memory stay flat as
+//! clients grow: 512 or 4096 closed-loop clients run on the same
+//! `workers` threads. Mailbox FIFO order per link preserves the delivery
+//! guarantee the speculation protocol needs.
+//!
+//! Quiescence (shutdown without losing in-flight decisions) uses a global
+//! undelivered-message count: a worker decrements it only *after* routing
+//! the outputs of the message it consumed, so `live_clients == 0 &&
+//! pending == 0` proves the run has fully drained.
+
+use crate::actors::{
+    ActorId, BackupActor, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, PartitionActor,
+    RunControl,
+};
+use crate::{finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{ClientId, PartitionId, Scheme};
+use hcc_core::client::ClientStats;
+use hcc_core::{ExecutionEngine, RequestGenerator};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Standard pool size: enough to overlap partition work with coordinator
+/// and client bookkeeping on a few cores without oversubscribing small
+/// hosts.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Ready-queue sentinel that tells a worker to exit (and re-send the
+/// sentinel for its siblings).
+const SHUTDOWN: usize = usize::MAX;
+
+struct Mailbox<E: ExecutionEngine> {
+    queue: VecDeque<Msg<E>>,
+    /// True while the actor is in the ready queue or being stepped; the
+    /// single-enqueuer invariant that keeps an actor on one worker at a
+    /// time.
+    scheduled: bool,
+}
+
+enum AnyActor<W: RequestGenerator> {
+    // Clients dominate the slab at scale; boxing them keeps every slot at
+    // the small variants' size.
+    Client(Box<ClientActor<W>>),
+    Coordinator(CoordinatorActor<W::Engine>),
+    Partition(PartitionActor<W::Engine>),
+    Backup(BackupActor<W::Engine>),
+}
+
+struct Shared<W: RequestGenerator> {
+    actors: Vec<Mutex<AnyActor<W>>>,
+    mail: Vec<Mutex<Mailbox<W::Engine>>>,
+    ready_tx: Sender<usize>,
+    /// Messages sent but not yet fully processed (outputs routed).
+    pending: AtomicU64,
+    ctl: RunControl,
+    workload: Mutex<W>,
+    epoch: Instant,
+    /// Actor-index layout: clients, then the coordinator, then partitions,
+    /// then (under replication) backups.
+    clients: usize,
+    partitions: usize,
+}
+
+impl<W: RequestGenerator> Shared<W>
+where
+    W::Engine: Send + 'static,
+    <W::Engine as ExecutionEngine>::Fragment: Send,
+    <W::Engine as ExecutionEngine>::Output: Send,
+{
+    fn index_of(&self, id: ActorId) -> usize {
+        match id {
+            ActorId::Client(c) => c.as_usize(),
+            ActorId::Coordinator => self.clients,
+            ActorId::Partition(p) => self.clients + 1 + p.as_usize(),
+            ActorId::Backup(p) => self.clients + 1 + self.partitions + p.as_usize(),
+        }
+    }
+
+    /// Deliver one message: count it, enqueue it, and schedule the actor
+    /// if nothing else already has.
+    fn send(&self, m: OutMsg<W::Engine>) {
+        let idx = self.index_of(m.dest);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let mut mb = self.mail[idx].lock();
+        mb.queue.push_back(m.msg);
+        if !mb.scheduled {
+            mb.scheduled = true;
+            drop(mb);
+            let _ = self.ready_tx.send(idx);
+        }
+    }
+
+    /// Step one actor for one message, routing its outputs.
+    fn process(&self, idx: usize, msg: Msg<W::Engine>, out: &mut Vec<OutMsg<W::Engine>>) {
+        let now = now_ns(self.epoch);
+        let mut actor = self.actors[idx].lock();
+        match &mut *actor {
+            AnyActor::Client(c) => {
+                let ctx = ClientCtx {
+                    workload: &self.workload,
+                    ctl: &self.ctl,
+                };
+                c.step(msg, now, &ctx, out);
+            }
+            AnyActor::Coordinator(c) => c.step(msg, now, out),
+            AnyActor::Partition(p) => p.step(msg, now, out),
+            AnyActor::Backup(b) => b.step(msg, now, out),
+        }
+    }
+}
+
+fn worker<W>(shared: Arc<Shared<W>>, ready_rx: Receiver<usize>)
+where
+    W: RequestGenerator,
+    W::Engine: Send + 'static,
+    <W::Engine as ExecutionEngine>::Fragment: Send,
+    <W::Engine as ExecutionEngine>::Output: Send,
+{
+    let mut out = Vec::new();
+    let mut batch = Vec::new();
+    while let Ok(idx) = ready_rx.recv() {
+        if idx == SHUTDOWN {
+            // Pass the sentinel on so every sibling sees it too.
+            let _ = shared.ready_tx.send(SHUTDOWN);
+            break;
+        }
+        // Drain the mailbox snapshot, then step message by message. The
+        // consumed message stays in `pending` until its outputs are
+        // routed — that ordering is what makes `pending == 0` mean
+        // "fully drained".
+        debug_assert!(batch.is_empty());
+        batch.extend(shared.mail[idx].lock().queue.drain(..));
+        for msg in batch.drain(..) {
+            shared.process(idx, msg, &mut out);
+            for m in out.drain(..) {
+                shared.send(m);
+            }
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        // Unschedule, or requeue if mail arrived while we were stepping
+        // (round-robin fairness: the actor goes to the back of the line).
+        let mut mb = shared.mail[idx].lock();
+        if mb.queue.is_empty() {
+            mb.scheduled = false;
+        } else {
+            drop(mb);
+            let _ = shared.ready_tx.send(idx);
+        }
+    }
+}
+
+/// All actors multiplexed onto `workers` threads.
+pub struct MultiplexedBackend {
+    pub workers: usize,
+}
+
+impl Default for MultiplexedBackend {
+    fn default() -> Self {
+        MultiplexedBackend {
+            workers: DEFAULT_WORKERS,
+        }
+    }
+}
+
+impl Backend for MultiplexedBackend {
+    fn run<W, B>(
+        &self,
+        cfg: &RuntimeConfig,
+        workload: W,
+        build_engine: B,
+    ) -> RuntimeReport<W::Engine>
+    where
+        W: RequestGenerator + Send + 'static,
+        W::Engine: Send + 'static,
+        <W::Engine as ExecutionEngine>::Fragment: Send + 'static,
+        <W::Engine as ExecutionEngine>::Output: Send + 'static,
+        B: Fn(PartitionId) -> W::Engine,
+    {
+        let system = &cfg.system;
+        let workers = self.workers.max(1);
+        let n = system.partitions as usize;
+        let clients = system.clients as usize;
+        let replicate = system.replication > 1;
+        let per_client = match cfg.mode {
+            RunMode::FixedRequests(k) => Some(k),
+            RunMode::Timed { .. } => None,
+        };
+
+        // Actor slab: clients, coordinator, partitions, backups.
+        let mut actors: Vec<Mutex<AnyActor<W>>> = Vec::new();
+        for c in 0..clients {
+            actors.push(Mutex::new(AnyActor::Client(Box::new(ClientActor::new(
+                ClientId(c as u32),
+                system,
+                per_client,
+            )))));
+        }
+        actors.push(Mutex::new(AnyActor::Coordinator(CoordinatorActor::new(
+            system.costs,
+        ))));
+        for p in 0..n {
+            let me = PartitionId(p as u32);
+            actors.push(Mutex::new(AnyActor::Partition(PartitionActor::new(
+                me,
+                system,
+                build_engine(me),
+                replicate,
+            ))));
+        }
+        if replicate {
+            for p in 0..n {
+                actors.push(Mutex::new(AnyActor::Backup(BackupActor::new(
+                    build_engine(PartitionId(p as u32)),
+                ))));
+            }
+        }
+
+        let (ready_tx, ready_rx) = unbounded::<usize>();
+        let total = actors.len();
+        let shared = Arc::new(Shared {
+            mail: (0..total)
+                .map(|_| {
+                    Mutex::new(Mailbox {
+                        queue: VecDeque::new(),
+                        scheduled: false,
+                    })
+                })
+                .collect(),
+            actors,
+            ready_tx,
+            pending: AtomicU64::new(0),
+            ctl: RunControl::new(clients),
+            workload: Mutex::new(workload),
+            epoch: Instant::now(),
+            clients,
+            partitions: n,
+        });
+
+        // Worker pool.
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let shared = shared.clone();
+            let rx = ready_rx.clone();
+            handles.push(std::thread::spawn(move || worker(shared, rx)));
+        }
+
+        // Tick timer: the locking scheme needs periodic lock-timeout scans
+        // at each partition. Runs until every client has retired (after
+        // which no transaction can be waiting on a lock).
+        let timer_stop = Arc::new(AtomicBool::new(false));
+        let timer = (system.scheme == Scheme::Locking).then(|| {
+            let shared = shared.clone();
+            let stop = timer_stop.clone();
+            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4).max(
+                // Don't busy-spin on sub-microsecond timeouts.
+                Duration::from_micros(100),
+            );
+            let parts = n;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick_every);
+                    for p in 0..parts {
+                        shared.send(OutMsg {
+                            dest: ActorId::Partition(PartitionId(p as u32)),
+                            msg: Msg::Tick,
+                        });
+                    }
+                }
+            })
+        });
+
+        // Kick every client.
+        for c in 0..clients {
+            shared.send(OutMsg {
+                dest: ActorId::Client(ClientId(c as u32)),
+                msg: Msg::Start,
+            });
+        }
+
+        // Measurement protocol.
+        let started = Instant::now();
+        if let RunMode::Timed { warmup, measure } = cfg.mode {
+            std::thread::sleep(warmup);
+            shared.ctl.window_open.store(true, Ordering::SeqCst);
+            std::thread::sleep(measure);
+            shared.ctl.window_open.store(false, Ordering::SeqCst);
+            shared.ctl.stop.store(true, Ordering::SeqCst);
+        }
+        // Clients finish their in-flight transactions and retire.
+        while shared.ctl.live_clients.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let elapsed = started.elapsed();
+        // No transactions in flight: stop the tick source, then drain the
+        // trailing decisions/backup commits.
+        timer_stop.store(true, Ordering::SeqCst);
+        if let Some(t) = timer {
+            t.join().expect("timer thread");
+        }
+        while shared.pending.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let _ = shared.ready_tx.send(SHUTDOWN);
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        drop(ready_rx);
+
+        // Harvest.
+        let committed_in_window = shared.ctl.committed_in_window.load(Ordering::SeqCst);
+        let shared =
+            Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all worker handles joined"));
+        let mut clients_stats = ClientStats::default();
+        let mut sched = SchedulerCounters::default();
+        let mut engines = Vec::new();
+        let mut backups = Vec::new();
+        for slot in shared.actors {
+            match slot.into_inner() {
+                AnyActor::Client(c) => clients_stats.merge(&c.into_stats()),
+                AnyActor::Coordinator(_) => {}
+                AnyActor::Partition(p) => {
+                    let (engine, counters) = p.into_parts();
+                    engines.push(engine);
+                    sched.merge(&counters);
+                }
+                AnyActor::Backup(b) => backups.push(b.into_engine()),
+            }
+        }
+
+        finish_report(
+            &cfg.mode,
+            committed_in_window,
+            elapsed,
+            clients_stats,
+            sched,
+            engines,
+            backups,
+        )
+    }
+}

@@ -1,0 +1,304 @@
+//! Thread-per-actor backend: the paper's process model, literally.
+//!
+//! Every actor gets one OS thread parked on an unbounded crossbeam
+//! channel; the thread's whole job is `recv → step → route`. Channels
+//! preserve per-link FIFO order, which is the delivery guarantee the
+//! speculation protocol needs. The protocol logic itself lives in
+//! [`crate::actors`] — this file only moves messages.
+//!
+//! This backend has the lowest per-message overhead (no shared ready
+//! queue, no mailbox locks beyond the channel's own) but costs
+//! `clients + partitions + 1 (+ partitions backups)` threads, so it stops
+//! scaling somewhere in the hundreds of clients; beyond that, use
+//! [`crate::multiplexed`].
+
+use crate::actors::{
+    ActorId, BackupActor, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, PartitionActor,
+    RunControl,
+};
+use crate::{finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hcc_common::stats::SchedulerCounters;
+use hcc_common::{ClientId, PartitionId, Scheme};
+use hcc_core::client::ClientStats;
+use hcc_core::{ExecutionEngine, RequestGenerator};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control messages a driver injects alongside actor messages.
+enum Wire<E: ExecutionEngine> {
+    Actor(Msg<E>),
+    Shutdown,
+}
+
+/// One sender per actor; routing is an index lookup.
+struct Router<E: ExecutionEngine> {
+    clients: Vec<Sender<Wire<E>>>,
+    coord: Sender<Wire<E>>,
+    parts: Vec<Sender<Wire<E>>>,
+    backups: Vec<Option<Sender<Wire<E>>>>,
+}
+
+impl<E: ExecutionEngine> Clone for Router<E> {
+    fn clone(&self) -> Self {
+        Router {
+            clients: self.clients.clone(),
+            coord: self.coord.clone(),
+            parts: self.parts.clone(),
+            backups: self.backups.clone(),
+        }
+    }
+}
+
+impl<E: ExecutionEngine> Router<E> {
+    /// Sends are fire-and-forget: a closed channel means the destination
+    /// already shut down (only happens during teardown).
+    fn send(&self, m: OutMsg<E>) {
+        let _ = match m.dest {
+            ActorId::Client(c) => self.clients[c.as_usize()].send(Wire::Actor(m.msg)),
+            ActorId::Coordinator => self.coord.send(Wire::Actor(m.msg)),
+            ActorId::Partition(p) => self.parts[p.as_usize()].send(Wire::Actor(m.msg)),
+            ActorId::Backup(p) => match &self.backups[p.as_usize()] {
+                Some(tx) => tx.send(Wire::Actor(m.msg)),
+                None => Ok(()),
+            },
+        };
+    }
+
+    fn route(&self, buf: &mut Vec<OutMsg<E>>) {
+        for m in buf.drain(..) {
+            self.send(m);
+        }
+    }
+}
+
+/// One OS thread per actor.
+pub struct ThreadedBackend;
+
+impl Backend for ThreadedBackend {
+    fn run<W, B>(
+        &self,
+        cfg: &RuntimeConfig,
+        workload: W,
+        build_engine: B,
+    ) -> RuntimeReport<W::Engine>
+    where
+        W: RequestGenerator + Send + 'static,
+        W::Engine: Send + 'static,
+        <W::Engine as ExecutionEngine>::Fragment: Send + 'static,
+        <W::Engine as ExecutionEngine>::Output: Send + 'static,
+        B: Fn(PartitionId) -> W::Engine,
+    {
+        type E<W> = <W as RequestGenerator>::Engine;
+        let system = &cfg.system;
+        let n = system.partitions as usize;
+        let replicate = system.replication > 1;
+        let per_client = match cfg.mode {
+            RunMode::FixedRequests(k) => Some(k),
+            RunMode::Timed { .. } => None,
+        };
+
+        // Channels.
+        let mut part_txs = Vec::new();
+        let mut part_rxs = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Wire<E<W>>>();
+            part_txs.push(tx);
+            part_rxs.push(rx);
+        }
+        let (coord_tx, coord_rx) = unbounded();
+        let mut client_txs = Vec::new();
+        let mut client_rxs = Vec::new();
+        for _ in 0..system.clients {
+            let (tx, rx) = unbounded::<Wire<E<W>>>();
+            client_txs.push(tx);
+            client_rxs.push(rx);
+        }
+        let mut backup_txs: Vec<Option<Sender<Wire<E<W>>>>> = vec![None; n];
+        let mut backup_rxs = Vec::new();
+        if replicate {
+            for (p, slot) in backup_txs.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                *slot = Some(tx);
+                backup_rxs.push((p, rx));
+            }
+        }
+        let router: Router<E<W>> = Router {
+            clients: client_txs,
+            coord: coord_tx,
+            parts: part_txs,
+            backups: backup_txs,
+        };
+
+        let epoch = Instant::now();
+        let ctl = Arc::new(RunControl::new(system.clients as usize));
+        let workload = Arc::new(Mutex::new(workload));
+
+        // Partition threads.
+        let mut part_handles = Vec::new();
+        for (p, rx) in part_rxs.into_iter().enumerate() {
+            let me = PartitionId(p as u32);
+            let actor = PartitionActor::new(me, system, build_engine(me), replicate);
+            let router = router.clone();
+            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
+            let ticks = system.scheme == Scheme::Locking;
+            part_handles.push(std::thread::spawn(move || {
+                partition_thread(actor, rx, router, epoch, ticks, tick_every)
+            }));
+        }
+
+        // Backup threads.
+        let mut backup_handles = Vec::new();
+        for (p, rx) in backup_rxs {
+            let mut actor = BackupActor::new(build_engine(PartitionId(p as u32)));
+            backup_handles.push(std::thread::spawn(move || {
+                let mut sink = Vec::new();
+                while let Ok(wire) = rx.recv() {
+                    match wire {
+                        Wire::Actor(msg) => actor.step(msg, hcc_common::Nanos::ZERO, &mut sink),
+                        Wire::Shutdown => break,
+                    }
+                }
+                actor.into_engine()
+            }));
+        }
+
+        // Coordinator thread.
+        let coord_handle = {
+            let mut actor: CoordinatorActor<E<W>> = CoordinatorActor::new(system.costs);
+            let router = router.clone();
+            std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                while let Ok(wire) = coord_rx.recv() {
+                    match wire {
+                        Wire::Actor(msg) => {
+                            actor.step(msg, now_ns(epoch), &mut buf);
+                            router.route(&mut buf);
+                        }
+                        Wire::Shutdown => break,
+                    }
+                }
+            })
+        };
+
+        // Client threads.
+        let mut client_handles = Vec::new();
+        for (c, rx) in client_rxs.into_iter().enumerate() {
+            let mut actor: ClientActor<W> =
+                ClientActor::new(ClientId(c as u32), system, per_client);
+            let router = router.clone();
+            let ctl = ctl.clone();
+            let wl = workload.clone();
+            client_handles.push(std::thread::spawn(move || {
+                let ctx = ClientCtx {
+                    workload: &wl,
+                    ctl: &ctl,
+                };
+                let mut buf = Vec::new();
+                while let Ok(wire) = rx.recv() {
+                    match wire {
+                        Wire::Actor(msg) => {
+                            actor.step(msg, now_ns(epoch), &ctx, &mut buf);
+                            router.route(&mut buf);
+                            if actor.done() {
+                                break;
+                            }
+                        }
+                        Wire::Shutdown => break,
+                    }
+                }
+                actor.into_stats()
+            }));
+        }
+
+        // Kick every client.
+        for tx in &router.clients {
+            let _ = tx.send(Wire::Actor(Msg::Start));
+        }
+
+        // Measurement protocol.
+        let started = Instant::now();
+        if let RunMode::Timed { warmup, measure } = cfg.mode {
+            std::thread::sleep(warmup);
+            ctl.window_open.store(true, Ordering::SeqCst);
+            std::thread::sleep(measure);
+            ctl.window_open.store(false, Ordering::SeqCst);
+            // Stop clients (each finishes its in-flight transaction first).
+            ctl.stop.store(true, Ordering::SeqCst);
+        }
+        let mut clients = ClientStats::default();
+        for h in client_handles {
+            clients.merge(&h.join().expect("client thread"));
+        }
+        let elapsed = started.elapsed();
+        let committed_in_window = ctl.committed_in_window.load(Ordering::SeqCst);
+
+        // Quiesced: shut down coordinator, then partitions, then backups.
+        // Channel FIFO ensures every message sent before a Shutdown is
+        // processed first.
+        let _ = router.coord.send(Wire::Shutdown);
+        coord_handle.join().expect("coordinator thread");
+        let mut engines = Vec::new();
+        let mut sched = SchedulerCounters::default();
+        for (p, h) in part_handles.into_iter().enumerate() {
+            let _ = router.parts[p].send(Wire::Shutdown);
+            let (engine, counters) = h.join().expect("partition thread");
+            engines.push(engine);
+            sched.merge(&counters);
+        }
+        let mut backups = Vec::new();
+        for (p, h) in backup_handles.into_iter().enumerate() {
+            if let Some(tx) = &router.backups[p] {
+                let _ = tx.send(Wire::Shutdown);
+            }
+            backups.push(h.join().expect("backup thread"));
+        }
+
+        finish_report(
+            &cfg.mode,
+            committed_in_window,
+            elapsed,
+            clients,
+            sched,
+            engines,
+            backups,
+        )
+    }
+}
+
+fn partition_thread<E>(
+    mut actor: PartitionActor<E>,
+    rx: Receiver<Wire<E>>,
+    router: Router<E>,
+    epoch: Instant,
+    ticks: bool,
+    tick_every: Duration,
+) -> (E, SchedulerCounters)
+where
+    E: ExecutionEngine + Send + 'static,
+    E::Fragment: Send,
+    E::Output: Send,
+{
+    let mut buf = Vec::new();
+    loop {
+        let msg = if ticks {
+            // The locking scheme needs periodic lock-timeout scans; a recv
+            // timeout doubles as the tick timer.
+            match rx.recv_timeout(tick_every) {
+                Ok(Wire::Actor(m)) => m,
+                Ok(Wire::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => Msg::Tick,
+            }
+        } else {
+            match rx.recv() {
+                Ok(Wire::Actor(m)) => m,
+                _ => break,
+            }
+        };
+        actor.step(msg, now_ns(epoch), &mut buf);
+        router.route(&mut buf);
+    }
+    actor.into_parts()
+}

@@ -48,14 +48,13 @@ impl SimReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:.0} tps ({} committed, {} user aborts, {} retries, mp {:.1}%, p50 {} p99 {}, part util {:.0}%, coord util {:.0}%)",
+            "{:.0} tps ({} committed, {} user aborts, {} retries, mp {:.1}%, {}, part util {:.0}%, coord util {:.0}%)",
             self.throughput_tps,
             self.committed,
             self.user_aborts,
             self.retries,
             self.mp_fraction() * 100.0,
-            self.latency.quantile(0.5),
-            self.latency.quantile(0.99),
+            self.latency.summary(),
             self.partition_utilization * 100.0,
             self.coordinator_utilization * 100.0,
         )

@@ -41,6 +41,11 @@ struct Golden {
     /// Final primary-store fingerprint per partition (the shadow replica
     /// must match it too, which the test checks separately).
     fingerprints: [u64; 2],
+    /// p50/p99/p999 of committed-transaction latency, in virtual
+    /// nanoseconds — pins the whole latency *distribution* shape, proving
+    /// the histogram is a deterministic function of the seed (the property
+    /// the runtime's tail-latency tables inherit).
+    latency_ns: [u64; 3],
 }
 
 /// Perf-neutrality guard for the PR 1 fast-path rewrite (and any future
@@ -63,6 +68,7 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
                 retries: 0,
                 committed_mp: 369,
                 fingerprints: [0xc3ff8d43e189e49e, 0xdabe674f6edfa9d0],
+                latency_ns: [1_880_000, 2_640_000, 2_790_000],
             },
         ),
         (
@@ -73,6 +79,7 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
                 retries: 0,
                 committed_mp: 490,
                 fingerprints: [0x071a68d38466ab12, 0x2ab4536c52d32d43],
+                latency_ns: [1_150_000, 4_650_000, 5_250_000],
             },
         ),
         (
@@ -83,6 +90,7 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
                 retries: 0,
                 committed_mp: 491,
                 fingerprints: [0x4f5d0488ad7672dc, 0x6ee7ef7ba16eb8ab],
+                latency_ns: [982_000, 5_670_000, 7_430_000],
             },
         ),
         (
@@ -93,6 +101,7 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
                 retries: 0,
                 committed_mp: 486,
                 fingerprints: [0x1db00b865ea076f9, 0xcb7903ecf7feb066],
+                latency_ns: [1_250_000, 3_710_000, 4_710_000],
             },
         ),
     ];
@@ -124,6 +133,10 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
             retries: r.retries,
             committed_mp: r.committed_mp,
             fingerprints: [engines[0].fingerprint(), engines[1].fingerprint()],
+            latency_ns: {
+                let lat = r.latency.summary();
+                [lat.p50.0, lat.p99.0, lat.p999.0]
+            },
         };
         assert_eq!(
             got, expected,

@@ -8,7 +8,7 @@
 //! transactions (one fragment per participant, 2PC). Overdrafts abort.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [threaded|multiplexed[:N]]
 //! ```
 
 use hcc::prelude::*;
@@ -240,13 +240,16 @@ impl RequestGenerator for BankWorkload {
 }
 
 fn main() {
+    let backend = std::env::args()
+        .nth(1)
+        .map(|a| BackendChoice::parse(&a).expect("backend: threaded | multiplexed[:N]"))
+        .unwrap_or(BackendChoice::Threaded);
     let accounts = 1000u64;
     let system = SystemConfig::new(Scheme::Speculative)
         .with_partitions(2)
         .with_clients(8);
-    let mut cfg = RuntimeConfig::new(system);
-    cfg.warmup = Duration::from_millis(100);
-    cfg.measure = Duration::from_millis(500);
+    let cfg = RuntimeConfig::new(system, backend)
+        .with_window(Duration::from_millis(100), Duration::from_millis(500));
 
     let initial_per_account = 100i64;
     let build = move |p: PartitionId| {
@@ -259,8 +262,8 @@ fn main() {
         e
     };
 
-    println!("hcc quickstart: 2-partition bank under speculative concurrency control\n");
-    let report = run_threaded(
+    println!("hcc quickstart: 2-partition bank under speculative concurrency control ({backend} backend)\n");
+    let report = run(
         cfg,
         BankWorkload {
             accounts,

@@ -4,7 +4,7 @@
 //! on real OS threads, followed by TPC-C consistency verification.
 //!
 //! ```text
-//! cargo run --release --example tpcc_demo [warehouses] [scheme]
+//! cargo run --release --example tpcc_demo [warehouses] [scheme] [threaded|multiplexed[:N]]
 //! ```
 
 use hcc::prelude::*;
@@ -21,9 +21,15 @@ fn main() {
         Some("occ") => Scheme::Occ,
         _ => Scheme::Speculative,
     };
+    let backend = args
+        .get(2)
+        .map(|a| BackendChoice::parse(a).expect("backend: threaded | multiplexed[:N]"))
+        .unwrap_or(BackendChoice::Threaded);
     let partitions = 2u32;
 
-    println!("TPC-C: {warehouses} warehouses over {partitions} partitions, scheme = {scheme}");
+    println!(
+        "TPC-C: {warehouses} warehouses over {partitions} partitions, scheme = {scheme}, backend = {backend}"
+    );
     let tpcc = TpccConfig::new(warehouses, partitions);
     println!(
         "  loading ({} items, {} districts/warehouse, {} customers/district)...",
@@ -34,12 +40,11 @@ fn main() {
         .with_partitions(partitions)
         .with_clients(16);
     system.lock_timeout = Nanos::from_millis(1);
-    let mut cfg = RuntimeConfig::new(system);
-    cfg.warmup = Duration::from_millis(200);
-    cfg.measure = Duration::from_secs(1);
+    let cfg = RuntimeConfig::new(system, backend)
+        .with_window(Duration::from_millis(200), Duration::from_secs(1));
 
     let builder = TpccWorkload::new(tpcc);
-    let report = run_threaded(cfg, TpccWorkload::new(tpcc), move |p| {
+    let report = run(cfg, TpccWorkload::new(tpcc), move |p| {
         builder.build_engine(p)
     });
 
@@ -48,6 +53,7 @@ fn main() {
         "  throughput            : {:.0} txn/s",
         report.throughput_tps
     );
+    println!("  latency               : {}", report.latency());
     println!(
         "  user aborts           : {} (1% invalid-item new-orders)",
         report.clients.user_aborted

@@ -18,7 +18,7 @@
 //! | [`core`] | the schedulers, coordinator, client-side 2PC |
 //! | [`workloads`] | the paper's microbenchmark and modified TPC-C |
 //! | [`sim`] | deterministic discrete-event driver (calibrated to Table 2) |
-//! | [`runtime`] | live driver: OS threads + channels |
+//! | [`runtime`] | live driver: thread-per-actor and multiplexed backends |
 //! | [`model`] | the §6 analytical throughput model |
 //!
 //! ## Quickstart
@@ -65,7 +65,10 @@ pub mod prelude {
         make_scheduler, ExecOutcome, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
         RequestGenerator, RoundOutputs, Scheduler, Step,
     };
-    pub use hcc_runtime::{run_threaded, RuntimeConfig, RuntimeReport};
+    pub use hcc_runtime::{
+        run, Backend, BackendChoice, MultiplexedBackend, RunMode, RuntimeConfig, RuntimeReport,
+        ThreadedBackend,
+    };
     pub use hcc_sim::{SimConfig, SimReport, Simulation};
 }
 
