@@ -2,6 +2,7 @@
 //! partitions/clients, and the calibrated cost model that makes the
 //! simulator reproduce the paper's testbed.
 
+use crate::ids::PartitionId;
 use crate::time::Nanos;
 use serde::Serialize;
 
@@ -159,6 +160,25 @@ impl CostModel {
     pub fn rollback_cost(&self, ops: u32) -> Nanos {
         Nanos(self.rollback_per_op.0 * ops as u64)
     }
+}
+
+/// Failure injection for the live runtime: crash the primary of one
+/// replica group at a deterministic point in its own history.
+///
+/// The trigger is a count of shipped commit records rather than a wall
+/// clock so the crash lands at the same *logical* point on every backend
+/// and host speed: after the primary ships its `after_commits`-th commit
+/// record it flushes results already replicated, bounces every in-flight
+/// transaction with [`crate::AbortReason::PartitionFailed`], notifies the
+/// coordinator (standing in for the failure detector), and goes dark. The
+/// coordinator then promotes the first backup and tells the dead node to
+/// rejoin via a §3.3 state copy. Requires `replication >= 2`.
+#[derive(Debug, Clone, Copy)]
+pub struct FailurePlan {
+    /// Replica group whose primary crashes.
+    pub partition: PartitionId,
+    /// Crash after this many commit records have been shipped (>= 1).
+    pub after_commits: u64,
 }
 
 /// Top-level system configuration shared by the simulator and the threaded

@@ -21,8 +21,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use config::FailurePlan;
 pub use config::{CostModel, NetworkModel, Scheme, SystemConfig};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorRef, LockKey, PartitionId, TxnId};
-pub use msg::{AbortReason, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote};
+pub use msg::{
+    AbortReason, CommitRecord, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
+};
 pub use time::{Nanos, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -25,15 +25,22 @@ pub enum AbortReason {
     /// depended on aborted. Internal: squashed transactions are re-executed
     /// automatically and clients never observe this reason.
     SpeculationSquashed,
+    /// A participant's primary crashed mid-transaction (§3.3). The replica
+    /// group fails over to a backup; the work itself is still valid, so
+    /// clients transparently re-submit against the new primary.
+    PartitionFailed,
 }
 
 impl AbortReason {
     /// Whether the client should transparently retry the transaction.
-    /// Deadlock victims and lock timeouts are scheduling artifacts, not
-    /// logic outcomes, so clients re-submit them (the paper counts only
-    /// completed transactions).
+    /// Deadlock victims, lock timeouts, and partition failovers are
+    /// scheduling/availability artifacts, not logic outcomes, so clients
+    /// re-submit them (the paper counts only completed transactions).
     pub fn is_retryable(self) -> bool {
-        matches!(self, AbortReason::DeadlockVictim | AbortReason::LockTimeout)
+        matches!(
+            self,
+            AbortReason::DeadlockVictim | AbortReason::LockTimeout | AbortReason::PartitionFailed
+        )
     }
 }
 
@@ -133,6 +140,26 @@ pub struct Decision {
     pub commit: bool,
 }
 
+/// One entry of the primary→backup commit log (§3.2): a committed
+/// transaction's fragments at one partition, in round order, stamped with
+/// the partition's commit sequence number.
+///
+/// Backups replay records strictly in `seq` order ("the backups execute
+/// the transactions in the sequential order received from the primary");
+/// the sequence number is what turns a lost or reordered record into a
+/// detectable replay error instead of silent divergence, and what lets a
+/// recovering node (§3.3) resume from a state snapshot taken at a known
+/// position in the log.
+#[derive(Debug, Clone)]
+pub struct CommitRecord<F> {
+    /// Position in the partition's commit order, starting at 1 (a replica
+    /// with watermark `w` has applied records `1..=w`).
+    pub seq: u64,
+    pub txn: TxnId,
+    /// The transaction's fragments at this partition, sorted by round.
+    pub frags: Vec<FragmentTask<F>>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +168,7 @@ mod tests {
     fn retryable_reasons() {
         assert!(AbortReason::DeadlockVictim.is_retryable());
         assert!(AbortReason::LockTimeout.is_retryable());
+        assert!(AbortReason::PartitionFailed.is_retryable());
         assert!(!AbortReason::User.is_retryable());
         assert!(!AbortReason::RemoteAbort.is_retryable());
         assert!(!AbortReason::SpeculationSquashed.is_retryable());

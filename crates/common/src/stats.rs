@@ -210,6 +210,11 @@ pub struct SchedulerCounters {
     pub execution_ns: u64,
     /// Virtual CPU charged to rollbacks.
     pub rollback_ns: u64,
+    /// Decisions received for transactions this scheduler never saw.
+    /// Nonzero only around a failover (a promoted primary receives
+    /// decisions for transactions that died with its predecessor); in a
+    /// healthy run this must stay 0.
+    pub stray_decisions: u64,
 }
 
 impl SchedulerCounters {
@@ -227,6 +232,63 @@ impl SchedulerCounters {
         self.lock_manager_ns += o.lock_manager_ns;
         self.execution_ns += o.execution_ns;
         self.rollback_ns += o.rollback_ns;
+        self.stray_decisions += o.stray_decisions;
+    }
+}
+
+/// Counters for the replication subsystem (`hcc-core`'s `ReplicaCore`),
+/// aggregated across all replicas of a run by the drivers. These back the
+/// PR 3 availability/overhead sweep and the "replay failures must be 0 in
+/// healthy runs" invariant every replication test asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationCounters {
+    /// Commit records shipped by primaries.
+    pub records_shipped: u64,
+    /// Commit records applied by replicas.
+    pub records_applied: u64,
+    /// Duplicate records skipped by replicas (idempotent re-delivery).
+    pub records_skipped: u64,
+    /// Replay errors: a fragment failed to re-execute on a replica, or a
+    /// sequence gap was detected. **Must be 0 in a healthy run** — each one
+    /// is a replica that silently diverged from its primary.
+    pub replay_failures: u64,
+    /// Backup→primary promotions (failovers) performed.
+    pub promotions: u64,
+    /// §3.3 recoveries completed (failed node rejoined from a snapshot).
+    pub recoveries: u64,
+    /// State snapshots served by live replicas to recovering nodes.
+    pub snapshots_served: u64,
+    /// Transactions bounced with `PartitionFailed` by a crashed/recovering
+    /// node (clients transparently retry them against the new primary).
+    pub failover_bounces: u64,
+    /// Wall/virtual clock when the primary crashed (0 = no failure).
+    pub failed_at_ns: u64,
+    /// Wall/virtual clock when the failed node finished rejoining
+    /// (snapshot installed; 0 = no recovery).
+    pub recovered_at_ns: u64,
+}
+
+impl ReplicationCounters {
+    pub fn merge(&mut self, o: &ReplicationCounters) {
+        self.records_shipped += o.records_shipped;
+        self.records_applied += o.records_applied;
+        self.records_skipped += o.records_skipped;
+        self.replay_failures += o.replay_failures;
+        self.promotions += o.promotions;
+        self.recoveries += o.recoveries;
+        self.snapshots_served += o.snapshots_served;
+        self.failover_bounces += o.failover_bounces;
+        // At most one failure is injected per run, so max() folds the
+        // one replica that recorded each timestamp.
+        self.failed_at_ns = self.failed_at_ns.max(o.failed_at_ns);
+        self.recovered_at_ns = self.recovered_at_ns.max(o.recovered_at_ns);
+    }
+
+    /// Crash → rejoined duration, when a failure was injected and the node
+    /// came back.
+    pub fn time_to_recover(&self) -> Option<Nanos> {
+        (self.failed_at_ns > 0 && self.recovered_at_ns >= self.failed_at_ns)
+            .then(|| Nanos(self.recovered_at_ns - self.failed_at_ns))
     }
 }
 

@@ -58,6 +58,9 @@ pub struct CoordCounters {
     pub aborts: u64,
     pub messages_sent: u64,
     pub rounds_dispatched: u64,
+    /// Transactions aborted because a participant's primary failed
+    /// (failover; the clients transparently retry them).
+    pub failover_aborts: u64,
 }
 
 struct MpTxn<F, R> {
@@ -140,6 +143,15 @@ pub struct Coordinator<F, R> {
     history_order: VecDeque<TxnId>,
     /// Scratch buffer for the sorted settle sweep (reused across calls).
     scan: Vec<TxnId>,
+    /// Membership epochs: how many times each replica group has failed
+    /// over. Absent = epoch 0 (the initial primary). The coordinator is
+    /// the membership authority (§3.3: it detects the failure, promotes a
+    /// backup, and tells the failed node to rejoin).
+    epochs: FxHashMap<PartitionId, u32>,
+    /// Transactions aborted by a failover whose not-yet-executed
+    /// participants still owe a response; their eventual (now moot) vote
+    /// is answered with a presumed-abort decision. GC'd with the history.
+    failover_aborted: FxHashSet<TxnId>,
     pub counters: CoordCounters,
     /// Virtual CPU consumed since the last drain.
     cpu: Nanos,
@@ -167,6 +179,8 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             aborted: FxHashSet::default(),
             history_order: VecDeque::new(),
             scan: Vec::new(),
+            epochs: FxHashMap::default(),
+            failover_aborted: FxHashSet::default(),
             counters: CoordCounters::default(),
             cpu: Nanos::ZERO,
         }
@@ -268,10 +282,36 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         self.cpu += self.per_msg;
         let Some(t) = self.txns.get_mut(&resp.txn) else {
             // Transaction already decided (e.g. vote-abort raced with a
-            // held speculative response released later). Ignore.
+            // held speculative response released later). Ignore — unless
+            // it was aborted by a failover before this participant ever
+            // executed it: its abort decision was deliberately withheld
+            // (a decision for a never-executed transaction would be
+            // unintelligible to the partition), so answer the vote with
+            // presumed-abort now that the transaction is live there.
+            if self.failover_aborted.contains(&resp.txn) {
+                out.push(CoordOut::Decision(
+                    resp.partition,
+                    Decision {
+                        txn: resp.txn,
+                        commit: false,
+                    },
+                ));
+                self.charge_msgs(1);
+            }
             return;
         };
         if resp.round != t.round {
+            // A failover bounce is a failure *notification*, not a vote:
+            // the dying node stamps it with whatever round it recorded
+            // first, which for a multi-round transaction can trail the
+            // coordinator's current round. Discarding it as stale would
+            // leave the transaction waiting forever on a dead node — abort
+            // it regardless of round.
+            if matches!(resp.payload, Err(AbortReason::PartitionFailed)) {
+                self.counters.failover_aborts += 1;
+                self.finish_failover(resp.txn, out);
+                return;
+            }
             // A response for an earlier round can arrive after a squash
             // (the partition re-executed round 0 while we already hold
             // settled round-0 data that... cannot happen: settling requires
@@ -406,7 +446,17 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             }
         });
         if let Some(reason) = abort_reason {
-            self.finish(txn, Err(reason), out);
+            if reason == AbortReason::PartitionFailed {
+                // A participant's node died under this transaction (its
+                // bounce carried the abort vote). Other participants may
+                // hold the transaction *queued, unexecuted* — take the
+                // failover path, which defers their abort to a
+                // presumed-abort reply.
+                self.counters.failover_aborts += 1;
+                self.finish_failover(txn, out);
+            } else {
+                self.finish(txn, Err(reason), out);
+            }
             return Progress::Decided;
         }
 
@@ -576,11 +626,92 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         stalled
     }
 
+    /// A replica group's primary failed: bump the group's membership epoch
+    /// and abort every in-flight transaction that was dispatched to it
+    /// (§3.3: in-progress multi-partition transactions touching the failed
+    /// partition are aborted so the surviving participants can roll back
+    /// and continue; the aborts are [`AbortReason::PartitionFailed`], which
+    /// clients transparently retry against the promoted backup). Returns
+    /// the new epoch and the aborted transactions, in id order.
+    ///
+    /// Transactions already *decided* when the failure hit are not
+    /// revisited: a commit decision still in flight to the dead primary is
+    /// the classic 2PC in-doubt window — under commit-order log shipping
+    /// the fragments died with the primary, so the replica group resolves
+    /// it as "never happened" while other groups keep it. The window is
+    /// one network one-way per failover; see the README's replication
+    /// section.
+    pub fn on_partition_failed(
+        &mut self,
+        failed: PartitionId,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) -> (u32, Vec<TxnId>) {
+        let epoch = self.epochs.entry(failed).or_insert(0);
+        *epoch += 1;
+        let epoch = *epoch;
+        let mut doomed: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.dispatched.contains(&failed))
+            .map(|(id, _)| *id)
+            .collect();
+        doomed.sort_unstable();
+        for txn in &doomed {
+            self.counters.failover_aborts += 1;
+            self.finish_failover(*txn, out);
+        }
+        (epoch, doomed)
+    }
+
+    /// Abort one transaction killed by a failover. Unlike a normal abort,
+    /// some participants may never have *executed* the transaction (its
+    /// fragment is still queued behind other work) — a decision for it
+    /// would be unintelligible to their scheduler, so decisions go only to
+    /// participants that responded in some round; the rest are answered
+    /// with presumed-abort when their response eventually arrives (see
+    /// [`Coordinator::on_response`]).
+    fn finish_failover(&mut self, txn: TxnId, out: &mut Vec<CoordOut<F, R>>) {
+        let t = self.txns.remove(&txn).expect("aborting known txn");
+        let mut executed: Vec<PartitionId> = t.responses.iter().map(|(p, _)| *p).collect();
+        for round in &t.settled_rounds {
+            for (p, _) in &round.by_partition {
+                if !executed.contains(p) {
+                    executed.push(*p);
+                }
+            }
+        }
+        executed.sort_unstable();
+        let mut msgs = 0u64;
+        for p in executed {
+            out.push(CoordOut::Decision(p, Decision { txn, commit: false }));
+            msgs += 1;
+        }
+        self.counters.aborts += 1;
+        self.aborted.insert(txn);
+        self.failover_aborted.insert(txn);
+        self.history_order.push_back(txn);
+        out.push(CoordOut::ClientResult {
+            client: t.client,
+            txn,
+            result: TxnResult::Aborted(AbortReason::PartitionFailed),
+        });
+        msgs += 1;
+        self.charge_msgs(msgs);
+        self.gc();
+    }
+
+    /// The current membership epoch of a replica group (0 = never failed
+    /// over).
+    pub fn epoch(&self, p: PartitionId) -> u32 {
+        self.epochs.get(&p).copied().unwrap_or(0)
+    }
+
     fn gc(&mut self) {
         while self.history_order.len() > HISTORY_LIMIT {
             if let Some(old) = self.history_order.pop_front() {
                 self.committed.remove(&old);
                 self.aborted.remove(&old);
+                self.failover_aborted.remove(&old);
             }
         }
     }
@@ -984,6 +1115,86 @@ mod tests {
             .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit && d.txn == txid(1)))
             .count();
         assert_eq!(aborts, 2);
+    }
+
+    #[test]
+    fn partition_failure_aborts_involved_txns_and_bumps_epoch() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        // txn 1 touches P0+P1, txn 2 touches P2+P3 only.
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        c.on_invoke(
+            txid(2),
+            ClientId(2),
+            Box::new(SimpleMpProcedure {
+                fragments: vec![
+                    (PartitionId(2), TestFragment::add(1, 1)),
+                    (PartitionId(3), TestFragment::add(2, 1)),
+                ],
+            }),
+            false,
+            &mut out,
+        );
+        out.clear();
+        assert_eq!(c.epoch(PartitionId(1)), 0);
+        let (epoch, aborted) = c.on_partition_failed(PartitionId(1), &mut out);
+        assert_eq!(epoch, 1);
+        assert_eq!(c.epoch(PartitionId(1)), 1);
+        assert_eq!(aborted, vec![txid(1)], "only the involved txn dies");
+        assert_eq!(c.pending(), 1, "txn 2 survives");
+        assert_eq!(c.counters.failover_aborts, 1);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::ClientResult {
+                result: TxnResult::Aborted(AbortReason::PartitionFailed),
+                ..
+            }
+        )));
+        // Neither participant has *executed* txn 1 (no responses yet), so
+        // no decision fans out — a decision for a never-executed
+        // transaction would be unintelligible to a partition scheduler.
+        let aborts = out
+            .iter()
+            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit))
+            .count();
+        assert_eq!(aborts, 0);
+        out.clear();
+        // When the late vote eventually arrives (the fragment was queued
+        // behind other work), it is answered with presumed-abort.
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CoordOut::Decision(p, d) if !d.commit && d.txn == txid(1) && *p == PartitionId(0)
+            )),
+            "late response from a failover-aborted txn gets presumed-abort"
+        );
+    }
+
+    #[test]
+    fn partition_failure_sends_decisions_to_executed_participants() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        out.clear();
+        // P0 executed and voted; P1 never responded.
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        let (_, aborted) = c.on_partition_failed(PartitionId(1), &mut out);
+        assert_eq!(aborted, vec![txid(1)]);
+        let decisions: Vec<u32> = out
+            .iter()
+            .filter_map(|o| match o {
+                CoordOut::Decision(p, d) if !d.commit => Some(p.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions, vec![0], "only the executed participant");
     }
 
     #[test]

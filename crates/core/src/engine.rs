@@ -53,6 +53,15 @@ pub trait ExecutionEngine {
     /// Discard the undo buffer of a committed transaction.
     fn forget(&mut self, txn: TxnId) -> u32;
 
+    /// A copy of the engine's **committed** state, for §3.3 recovery: a
+    /// rejoining replica installs a snapshot taken by a live replica at a
+    /// known commit-log position, then catches up from the log. In-flight
+    /// transaction bookkeeping (undo buffers) is *not* part of the
+    /// snapshot — replicas only ever hold committed state.
+    fn snapshot(&self) -> Self
+    where
+        Self: Sized;
+
     /// The pre-declared lock set of a fragment, for the locking scheduler.
     /// Reads map to [`LockMode::Shared`], writes to
     /// [`LockMode::Exclusive`]. Stored procedures make access sets

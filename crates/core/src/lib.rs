@@ -39,6 +39,7 @@ pub mod locking_sched;
 pub mod occ;
 pub mod outbox;
 pub mod procedure;
+pub mod replica;
 pub mod scheduler;
 pub mod speculative;
 pub mod testkit;
@@ -47,4 +48,5 @@ pub mod txn_driver;
 pub use engine::{ExecOutcome, ExecutionEngine};
 pub use outbox::{Outbox, PartitionOut};
 pub use procedure::{Procedure, Request, RequestGenerator, RoundOutputs, Step};
+pub use replica::{AckTracker, ReplayError, ReplicaCore, ReplicationSession};
 pub use scheduler::{make_scheduler, make_scheduler_send, Scheduler};

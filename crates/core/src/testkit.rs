@@ -155,6 +155,13 @@ impl ExecutionEngine for TestEngine {
         self.undo.remove(&txn).map_or(0, |r| r.len() as u32)
     }
 
+    fn snapshot(&self) -> Self {
+        TestEngine {
+            kv: self.kv.clone(),
+            undo: HashMap::new(),
+        }
+    }
+
     fn lock_set(&self, fragment: &TestFragment) -> Vec<(LockKey, LockMode)> {
         let mut locks: Vec<(LockKey, LockMode)> = Vec::new();
         for op in &fragment.ops {

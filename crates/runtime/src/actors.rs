@@ -1,27 +1,70 @@
 //! Backend-agnostic, poll-driven actor state machines.
 //!
-//! The runtime is four kinds of actor — clients, the central coordinator,
-//! partitions, and (under replication) backups — wrapped around the
-//! runtime-agnostic cores from `hcc-core`. Every actor exposes a
-//! non-blocking [`step`](PartitionActor::step): consume one message, emit
-//! any number of [`OutMsg`]s. Nothing here blocks, sleeps, or spawns;
-//! *how* messages move between actors is entirely the backend's business
+//! The runtime is three kinds of actor — clients, the central coordinator,
+//! and replicas — wrapped around the runtime-agnostic cores from
+//! `hcc-core`. Every actor exposes a non-blocking
+//! [`step`](ReplicaActor::step): consume one message, emit any number of
+//! [`OutMsg`]s. Nothing here blocks, sleeps, or spawns; *how* messages
+//! move between actors is entirely the backend's business
 //! ([`crate::threaded`] parks one OS thread per actor on a channel,
 //! [`crate::multiplexed`] drives every actor from a small worker pool).
+//!
+//! # Replica groups, failover, recovery
+//!
+//! Each partition is a *replica group* of `replication` physical nodes:
+//! slot 0 starts as the primary, slots 1.. as backups replaying the
+//! primary's commit-order log through the shared
+//! [`hcc_core::replica::ReplicaCore`] (paper §3.2). A [`ReplicaActor`]
+//! owns one node and changes [`Role`] over its lifetime:
+//!
+//! * **Primary** — the scheme's scheduler + engine, shipping a
+//!   [`CommitRecord`] per commit to every backup and holding
+//!   single-partition results until the record is under the group's acked
+//!   watermark (§2.2: a transaction commits once it is on `k` replicas).
+//! * **Backup** — sequence-checked replay; every applied record is acked
+//!   back to whichever slot shipped it. Replay failures are *propagated*
+//!   into [`ReplicationCounters`] and surfaced in the run report, never
+//!   swallowed.
+//! * **Failed** — a crashed primary (fault injection, §3.3's failure
+//!   model). Bounces everything with
+//!   [`AbortReason::PartitionFailed`] — the moral equivalent of the
+//!   client's connection resetting — so closed-loop clients transparently
+//!   retry against the new primary.
+//! * **Recovering** — the failed node rejoining: it asks the new primary
+//!   for a state snapshot, installs it at the snapshot's log position,
+//!   and returns as a backup that catches up from the log (§3.3) while
+//!   the group keeps processing.
+//!
+//! The coordinator is the membership authority: on `PrimaryFailed` it
+//! bumps the group's epoch, aborts in-flight transactions touching the
+//! dead node, promotes the first backup, flips the backends' routing
+//! table (via a [`ActorId::Control`] message), and tells the dead node to
+//! rejoin. Failure *detection* is modeled as reliable and immediate — the
+//! dying node's last act is notifying the coordinator — which keeps the
+//! kill → promote → recover scenario deterministic.
+//!
+//! One failover per group per run is supported (the `FailurePlan` is
+//! one-shot); decided-commit decisions still in flight to the dying
+//! primary are the classic 2PC in-doubt window and are resolved as "never
+//! happened" at the replica group (see the README's replication section).
 
-use hcc_common::stats::SchedulerCounters;
+use hcc_common::stats::{ReplicationCounters, SchedulerCounters};
 use hcc_common::{
-    ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask, FxHashMap,
-    Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+    AbortReason, ClientId, CommitRecord, CoordinatorRef, CostModel, Decision, FragmentResponse,
+    FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::replica::{
+    failover_bounce, AckTracker, FailoverBounce, ReplicaCore, ReplicationSession,
+};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
     make_scheduler_send, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
     RequestGenerator, Scheduler,
 };
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Logical address of an actor.
@@ -29,8 +72,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 pub enum ActorId {
     Client(ClientId),
     Coordinator,
+    /// The *current primary* of a replica group. Backends resolve this
+    /// through their membership table, so a promotion transparently
+    /// redirects partition traffic to the promoted node.
     Partition(PartitionId),
-    Backup(PartitionId),
+    /// A physical replica node: (group, slot). Slot 0 is the initial
+    /// primary, slots `1..replication` the initial backups.
+    Replica(PartitionId, u32),
+    /// Backend-internal control channel: the router interprets the
+    /// message (membership flip) instead of delivering it to an actor.
+    Control,
 }
 
 /// Every message the runtime actors exchange, in one enum so backends
@@ -62,8 +113,30 @@ pub enum Msg<E: ExecutionEngine> {
     },
     /// A fragment response for the central coordinator.
     Response(FragmentResponse<E::Output>),
-    /// A committed transaction's fragments, in commit order, for a backup.
-    Commit(TxnId, Vec<FragmentTask<E::Fragment>>),
+    /// A commit-order log record, primary → backup. `from_slot` tells the
+    /// backup where to send its ack (the shipper may be a promoted node).
+    Commit {
+        from_slot: u32,
+        record: CommitRecord<E::Fragment>,
+    },
+    /// Cumulative replay acknowledgement, backup → primary.
+    CommitAck { slot: u32, seq: u64 },
+    /// A dying primary's last gasp, to the coordinator (stands in for the
+    /// failure detector, keeping the scenario deterministic).
+    PrimaryFailed { partition: PartitionId },
+    /// Coordinator → backup: you are the group's primary now.
+    Promote { epoch: u32 },
+    /// Coordinator → failed node: rejoin the group as a backup by copying
+    /// state from the new primary (§3.3).
+    Rejoin { epoch: u32, primary_slot: u32 },
+    /// Recovering node → new primary: send me your committed state.
+    FetchState { requester_slot: u32 },
+    /// New primary → recovering node: committed state as of log position
+    /// `seq`. Records `> seq` follow on the same FIFO link.
+    Snapshot { engine: Box<E>, seq: u64 },
+    /// Backend control (dest [`ActorId::Control`]): group `0` now answers
+    /// to the given slot — flip the routing table.
+    Promoted { partition: PartitionId, slot: u32 },
 }
 
 /// An outbound message with its destination, as emitted by `step`.
@@ -72,9 +145,11 @@ pub struct OutMsg<E: ExecutionEngine> {
     pub msg: Msg<E>,
 }
 
-/// Run-wide control state shared between the driver and the client actors:
-/// the measurement protocol (stop flag, measurement window, in-window
-/// commit counter) and the count of clients still running.
+/// Run-wide control state shared between the driver and the actors: the
+/// measurement protocol (stop flag, measurement window, in-window commit
+/// counter), the count of clients still running, and the failover gate
+/// (set once the injected failure's recovery completes, so drivers can
+/// drain the kill → promote → recover chain before shutdown).
 pub struct RunControl {
     /// Clients finish their in-flight transaction, then retire.
     pub stop: AtomicBool,
@@ -84,6 +159,8 @@ pub struct RunControl {
     pub committed_in_window: AtomicU64,
     /// Clients that have not yet retired.
     pub live_clients: AtomicUsize,
+    /// Set by the recovering replica when its snapshot is installed.
+    pub recovery_done: AtomicBool,
 }
 
 impl RunControl {
@@ -93,6 +170,7 @@ impl RunControl {
             window_open: AtomicBool::new(false),
             committed_in_window: AtomicU64::new(0),
             live_clients: AtomicUsize::new(clients),
+            recovery_done: AtomicBool::new(false),
         }
     }
 }
@@ -342,8 +420,11 @@ where
 // Coordinator
 // ---------------------------------------------------------------------
 
-/// The central coordinator (paper §3.3) as an actor: a thin routing shell
-/// over [`Coordinator`].
+/// The central coordinator (paper §3.3) as an actor: a routing shell over
+/// [`Coordinator`] that doubles as the replica groups' membership
+/// authority — it receives failure notifications, aborts in-flight
+/// transactions touching the dead node, promotes the first backup, and
+/// drives the failed node's rejoin.
 pub struct CoordinatorActor<E: ExecutionEngine> {
     coord: Coordinator<E::Fragment, E::Output>,
     scratch: Vec<CoordOut<E::Fragment, E::Output>>,
@@ -369,6 +450,34 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
                 .coord
                 .on_invoke(txn, client, procedure, can_abort, &mut self.scratch),
             Msg::Response(r) => self.coord.on_response(r, &mut self.scratch),
+            Msg::PrimaryFailed { partition } => {
+                let (epoch, _aborted) =
+                    self.coord.on_partition_failed(partition, &mut self.scratch);
+                // One failover per group per run: the first backup takes
+                // over. Emission order matters — the promotion must be in
+                // the new primary's mailbox before the membership flip
+                // makes other actors route fragments to it, and before the
+                // rejoin can trigger a state fetch.
+                let new_primary = 1u32;
+                out.push(OutMsg {
+                    dest: ActorId::Replica(partition, new_primary),
+                    msg: Msg::Promote { epoch },
+                });
+                out.push(OutMsg {
+                    dest: ActorId::Control,
+                    msg: Msg::Promoted {
+                        partition,
+                        slot: new_primary,
+                    },
+                });
+                out.push(OutMsg {
+                    dest: ActorId::Replica(partition, 0),
+                    msg: Msg::Rejoin {
+                        epoch,
+                        primary_slot: new_primary,
+                    },
+                });
+            }
             _ => debug_assert!(false, "unexpected message at coordinator"),
         }
         let _ = self.coord.take_cpu();
@@ -379,84 +488,413 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
 }
 
 // ---------------------------------------------------------------------
-// Partition
+// Replica
 // ---------------------------------------------------------------------
 
-/// A single-threaded partition execution engine (paper §2.3) as an actor:
-/// the scheme's [`Scheduler`] plus the workload's [`ExecutionEngine`],
-/// with commit-order shipping to a backup when replication is on (§3.2).
-pub struct PartitionActor<E: ExecutionEngine> {
-    me: PartitionId,
-    engine: E,
-    sched: Box<dyn Scheduler<E> + Send>,
-    outbox: Outbox<E::Output>,
-    scratch: Vec<PartitionOut<E::Output>>,
-    /// Fragments of in-flight transactions, for backup replay.
-    pending: FxHashMap<TxnId, Vec<FragmentTask<E::Fragment>>>,
-    replicate: bool,
+/// The role a replica node currently plays; see the module docs.
+enum Role<E: ExecutionEngine> {
+    Primary {
+        sched: Box<dyn Scheduler<E> + Send>,
+        /// Commit-order log shipping state; `None` when replication is off.
+        session: Option<ReplicationSession<E::Fragment>>,
+        /// Slots this primary ships records to.
+        targets: Vec<u32>,
+        /// Per-backup acked watermark.
+        acks: AckTracker,
+        /// Committed single-partition results held until their commit
+        /// record is acked by every backup (paper §2.2), as
+        /// (required seq, client, txn, result).
+        held: VecDeque<(u64, ClientId, TxnId, TxnResult<E::Output>)>,
+        /// seq of each shipped-but-possibly-unacked record, for the hold
+        /// decision (pruned as the watermark advances).
+        shipped_seq: FxHashMap<TxnId, u64>,
+    },
+    Backup {
+        replica: ReplicaCore,
+    },
+    Failed,
+    Recovering,
 }
 
-impl<E> PartitionActor<E>
+/// What a replica thread/slot hands back at shutdown.
+pub struct ReplicaParts<E> {
+    pub group: PartitionId,
+    pub slot: u32,
+    pub engine: E,
+    /// True if the node ended the run as the group's primary.
+    pub is_primary: bool,
+    /// True if the node ended the run as a live backup.
+    pub is_backup: bool,
+    pub sched: SchedulerCounters,
+    pub repl: ReplicationCounters,
+}
+
+/// One physical replica node (paper §2.3's single-threaded partition
+/// engine, §3.2's backup, or both over its lifetime).
+pub struct ReplicaActor<E: ExecutionEngine> {
+    group: PartitionId,
+    slot: u32,
+    system: SystemConfig,
+    engine: E,
+    role: Role<E>,
+    epoch: u32,
+    /// Crash after shipping this many commit records (fault injection;
+    /// armed only on the initial primary of the failed group).
+    crash_after: Option<u64>,
+    outbox: Outbox<E::Output>,
+    scratch: Vec<PartitionOut<E::Output>>,
+    /// Scheduler counters accumulated across roles (a promoted node keeps
+    /// the counters of its backup past; a crashed primary keeps its own).
+    sched_counters: SchedulerCounters,
+    repl_counters: ReplicationCounters,
+}
+
+impl<E> ReplicaActor<E>
 where
     E: ExecutionEngine + Send + 'static,
     E::Fragment: Send,
     E::Output: Send,
 {
-    pub fn new(me: PartitionId, system: &SystemConfig, engine: E, replicate: bool) -> Self {
-        PartitionActor {
-            me,
+    /// Build the node for (group, slot). Slot 0 starts as primary, other
+    /// slots as backups (only created when `system.replication > 1`).
+    pub fn new(
+        group: PartitionId,
+        slot: u32,
+        system: &SystemConfig,
+        engine: E,
+        crash_after: Option<u64>,
+    ) -> Self {
+        let replicate = system.replication > 1;
+        let role = if slot == 0 {
+            Role::Primary {
+                sched: make_scheduler_send::<E>(system, group),
+                session: replicate.then(ReplicationSession::new),
+                targets: (1..system.replication).collect(),
+                acks: {
+                    let mut a = AckTracker::new();
+                    for s in 1..system.replication {
+                        a.add_backup(s as usize, 0);
+                    }
+                    a
+                },
+                held: VecDeque::new(),
+                shipped_seq: FxHashMap::default(),
+            }
+        } else {
+            Role::Backup {
+                replica: ReplicaCore::new(),
+            }
+        };
+        debug_assert!(
+            crash_after.is_none() || (slot == 0 && replicate),
+            "failure injection requires the primary of a replicated group"
+        );
+        ReplicaActor {
+            group,
+            slot,
+            system: system.clone(),
             engine,
-            sched: make_scheduler_send::<E>(system, me),
+            role,
+            epoch: 0,
+            crash_after,
             outbox: Outbox::new(system.costs),
             scratch: Vec::new(),
-            pending: FxHashMap::default(),
-            replicate,
+            sched_counters: SchedulerCounters::default(),
+            repl_counters: ReplicationCounters::default(),
         }
     }
 
-    pub fn into_parts(self) -> (E, SchedulerCounters) {
-        let counters = self.sched.counters();
-        (self.engine, counters)
+    pub fn into_parts(mut self) -> ReplicaParts<E> {
+        let (is_primary, is_backup) = match &self.role {
+            Role::Primary { sched, .. } => {
+                self.sched_counters.merge(&sched.counters());
+                (true, false)
+            }
+            Role::Backup { replica } => {
+                self.repl_counters.merge(&replica.counters);
+                (false, true)
+            }
+            Role::Failed | Role::Recovering => (false, false),
+        };
+        ReplicaParts {
+            group: self.group,
+            slot: self.slot,
+            engine: self.engine,
+            is_primary,
+            is_backup,
+            sched: self.sched_counters,
+            repl: self.repl_counters,
+        }
     }
 
-    /// Ship a committed transaction's fragments to this partition's backup.
-    fn ship_commit(&mut self, txn: TxnId, out: &mut Vec<OutMsg<E>>) {
-        if let Some(frags) = self.pending.remove(&txn) {
+    /// Bounce one in-flight transaction with `PartitionFailed`: the
+    /// retryable "your participant's node just died" signal, addressed to
+    /// whoever is waiting on this node (the client for single-partition
+    /// work, the 2PC coordinator otherwise). The bounce shape itself is
+    /// shared with the simulator (`hcc_core::replica::failover_bounce`).
+    fn bounce(&mut self, task: &FragmentTask<E::Fragment>, out: &mut Vec<OutMsg<E>>) {
+        let txn = task.txn;
+        let Some(bounce) = failover_bounce(self.group, txn, std::slice::from_ref(task)) else {
+            return;
+        };
+        self.repl_counters.failover_bounces += 1;
+        out.push(match bounce {
+            FailoverBounce::ToClient { client } => OutMsg {
+                dest: ActorId::Client(client),
+                msg: Msg::Result {
+                    txn,
+                    result: TxnResult::Aborted(AbortReason::PartitionFailed),
+                },
+            },
+            FailoverBounce::ToCoordinator { dest, response } => match dest {
+                CoordinatorRef::Central => OutMsg {
+                    dest: ActorId::Coordinator,
+                    msg: Msg::Response(response),
+                },
+                CoordinatorRef::Client(c) => OutMsg {
+                    dest: ActorId::Client(c),
+                    msg: Msg::FragResponse(response),
+                },
+            },
+        });
+    }
+
+    /// The injected crash: flush results whose records are already at the
+    /// backups, bounce everything still in flight, notify the coordinator
+    /// (the "failure detector"), and go dark.
+    fn crash(&mut self, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        let old = std::mem::replace(&mut self.role, Role::Failed);
+        let Role::Primary {
+            sched,
+            session,
+            held,
+            ..
+        } = old
+        else {
+            unreachable!("crash is armed only on a primary");
+        };
+        self.sched_counters.merge(&sched.counters());
+        // Held results are for transactions whose records the backups
+        // already have (only the ack round-trip was outstanding), so
+        // releasing them loses nothing and keeps clients from hanging.
+        for (_, client, txn, result) in held {
             out.push(OutMsg {
-                dest: ActorId::Backup(self.me),
-                msg: Msg::Commit(txn, frags),
+                dest: ActorId::Client(client),
+                msg: Msg::Result { txn, result },
+            });
+        }
+        if let Some(mut session) = session {
+            for (_txn, frags) in session.take_in_flight() {
+                if let Some(task) = frags.first() {
+                    self.bounce(task, out);
+                }
+            }
+        }
+        self.repl_counters.failed_at_ns = now.0;
+        out.push(OutMsg {
+            dest: ActorId::Coordinator,
+            msg: Msg::PrimaryFailed {
+                partition: self.group,
+            },
+        });
+    }
+
+    /// Primary-side: the transaction committed here — ship its commit
+    /// record to every backup and remember its seq for the hold decision.
+    fn ship_commit(&mut self, txn: TxnId, out: &mut Vec<OutMsg<E>>) {
+        let Role::Primary {
+            session: Some(session),
+            targets,
+            shipped_seq,
+            ..
+        } = &mut self.role
+        else {
+            return;
+        };
+        let Some(record) = session.on_commit(txn) else {
+            return;
+        };
+        shipped_seq.insert(txn, record.seq);
+        self.repl_counters.records_shipped += 1;
+        // Clone per extra backup; the last (commonly only) target moves
+        // the record — zero allocations on the k=1 hot path.
+        if let Some((&last, rest)) = targets.split_last() {
+            for &slot in rest {
+                out.push(OutMsg {
+                    dest: ActorId::Replica(self.group, slot),
+                    msg: Msg::Commit {
+                        from_slot: self.slot,
+                        record: record.clone(),
+                    },
+                });
+            }
+            out.push(OutMsg {
+                dest: ActorId::Replica(self.group, last),
+                msg: Msg::Commit {
+                    from_slot: self.slot,
+                    record,
+                },
             });
         }
     }
 
-    pub fn step(&mut self, msg: Msg<E>, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+    pub fn step(&mut self, msg: Msg<E>, now: Nanos, ctl: &RunControl, out: &mut Vec<OutMsg<E>>) {
+        // Dispatch on a copy of the role discriminant so the arms are free
+        // to replace `self.role` (promotion, crash, rejoin).
+        enum Kind {
+            Primary,
+            Backup,
+            Failed,
+            Recovering,
+        }
+        let kind = match &self.role {
+            Role::Primary { .. } => Kind::Primary,
+            Role::Backup { .. } => Kind::Backup,
+            Role::Failed => Kind::Failed,
+            Role::Recovering => Kind::Recovering,
+        };
+        match kind {
+            Kind::Primary => self.step_primary(msg, now, out),
+            Kind::Backup => self.step_backup(msg, now, ctl, out),
+            Kind::Failed => match msg {
+                Msg::Fragment(task) => self.bounce(&task, out),
+                Msg::Rejoin {
+                    epoch,
+                    primary_slot,
+                } => {
+                    self.epoch = epoch;
+                    self.role = Role::Recovering;
+                    out.push(OutMsg {
+                        dest: ActorId::Replica(self.group, primary_slot),
+                        msg: Msg::FetchState {
+                            requester_slot: self.slot,
+                        },
+                    });
+                }
+                // Decisions, ticks, acks, stray commit records: a dead
+                // node drops them.
+                _ => {}
+            },
+            Kind::Recovering => match msg {
+                Msg::Fragment(task) => self.bounce(&task, out),
+                Msg::Snapshot { engine, seq } => {
+                    self.engine = *engine;
+                    let mut replica = ReplicaCore::new();
+                    replica.reset_to(seq);
+                    self.role = Role::Backup { replica };
+                    self.repl_counters.recoveries += 1;
+                    self.repl_counters.recovered_at_ns = now.0;
+                    ctl.recovery_done.store(true, Ordering::SeqCst);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn step_primary(&mut self, msg: Msg<E>, now: Nanos, out: &mut Vec<OutMsg<E>>) {
         debug_assert!(self.outbox.messages.is_empty());
         match msg {
             Msg::Fragment(task) => {
-                if self.replicate {
-                    let entry = self.pending.entry(task.txn).or_default();
-                    entry.retain(|t| t.round != task.round);
-                    entry.push(task.clone());
+                if let Role::Primary {
+                    session: Some(session),
+                    ..
+                } = &mut self.role
+                {
+                    session.record_fragment(&task);
                 }
-                self.sched
-                    .on_fragment(task, &mut self.engine, now, &mut self.outbox);
+                let Role::Primary { sched, .. } = &mut self.role else {
+                    unreachable!()
+                };
+                sched.on_fragment(task, &mut self.engine, now, &mut self.outbox);
             }
             Msg::Decision(d) => {
-                if self.replicate {
-                    if d.commit {
-                        self.ship_commit(d.txn, out);
-                    } else {
-                        self.pending.remove(&d.txn);
-                    }
+                if d.commit {
+                    self.ship_commit(d.txn, out);
+                } else if let Role::Primary {
+                    session: Some(session),
+                    ..
+                } = &mut self.role
+                {
+                    session.on_abort(d.txn);
                 }
-                self.sched
-                    .on_decision(d, &mut self.engine, now, &mut self.outbox);
+                let Role::Primary { sched, .. } = &mut self.role else {
+                    unreachable!()
+                };
+                sched.on_decision(d, &mut self.engine, now, &mut self.outbox);
             }
             Msg::Tick => {
-                let _ = self.sched.on_tick(&mut self.engine, now, &mut self.outbox);
+                let Role::Primary { sched, .. } = &mut self.role else {
+                    unreachable!()
+                };
+                let _ = sched.on_tick(&mut self.engine, now, &mut self.outbox);
             }
-            _ => debug_assert!(false, "unexpected message at partition {}", self.me),
+            Msg::CommitAck { slot, seq } => {
+                let Role::Primary {
+                    acks,
+                    held,
+                    shipped_seq,
+                    ..
+                } = &mut self.role
+                else {
+                    unreachable!()
+                };
+                acks.on_ack(slot as usize, seq);
+                let watermark = acks.min_acked();
+                while let Some((required, ..)) = held.front() {
+                    if *required > watermark {
+                        break;
+                    }
+                    let (_, client, txn, result) = held.pop_front().expect("checked front");
+                    out.push(OutMsg {
+                        dest: ActorId::Client(client),
+                        msg: Msg::Result { txn, result },
+                    });
+                }
+                shipped_seq.retain(|_, s| *s > watermark);
+                return; // pure bookkeeping: no scheduler outputs to drain
+            }
+            Msg::Promote { .. } => {
+                // Already primary (initial slot-0 primary is never sent
+                // this; defensive for re-deliveries).
+                return;
+            }
+            Msg::FetchState { requester_slot } => {
+                let seq = {
+                    let Role::Primary {
+                        session,
+                        targets,
+                        acks,
+                        ..
+                    } = &mut self.role
+                    else {
+                        unreachable!()
+                    };
+                    let seq = session.as_ref().map_or(0, |s| s.shipped());
+                    if !targets.contains(&requester_slot) {
+                        targets.push(requester_slot);
+                    }
+                    acks.add_backup(requester_slot as usize, seq);
+                    seq
+                };
+                self.repl_counters.snapshots_served += 1;
+                out.push(OutMsg {
+                    dest: ActorId::Replica(self.group, requester_slot),
+                    msg: Msg::Snapshot {
+                        engine: Box::new(self.engine.snapshot()),
+                        seq,
+                    },
+                });
+                return;
+            }
+            _ => {
+                debug_assert!(false, "unexpected message at primary {}", self.group);
+                return;
+            }
         }
+        // Drain the scheduler's outputs: ship records for freshly
+        // committed single-partition (and speculatively released)
+        // transactions, hold committed results that are not yet under the
+        // acked watermark, route the rest.
         let mut scratch = std::mem::take(&mut self.scratch);
         let _cpu = self.outbox.take_into(&mut scratch);
         for m in scratch.drain(..) {
@@ -466,18 +904,33 @@ where
                     txn,
                     result,
                 } => {
-                    if self.replicate {
-                        match &result {
-                            TxnResult::Committed(_) => self.ship_commit(txn, out),
-                            TxnResult::Aborted(_) => {
-                                self.pending.remove(&txn);
-                            }
-                        }
+                    if result.is_committed() {
+                        self.ship_commit(txn, out);
+                    } else if let Role::Primary {
+                        session: Some(session),
+                        ..
+                    } = &mut self.role
+                    {
+                        session.on_abort(txn);
                     }
-                    out.push(OutMsg {
-                        dest: ActorId::Client(client),
-                        msg: Msg::Result { txn, result },
-                    });
+                    let Role::Primary {
+                        acks,
+                        held,
+                        shipped_seq,
+                        ..
+                    } = &mut self.role
+                    else {
+                        unreachable!()
+                    };
+                    match shipped_seq.get(&txn) {
+                        Some(&seq) if seq > acks.min_acked() => {
+                            held.push_back((seq, client, txn, result));
+                        }
+                        _ => out.push(OutMsg {
+                            dest: ActorId::Client(client),
+                            msg: Msg::Result { txn, result },
+                        }),
+                    }
                 }
                 PartitionOut::ToCoordinator { dest, response } => {
                     let out_msg = match dest {
@@ -495,39 +948,102 @@ where
             }
         }
         self.scratch = scratch;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Backup
-// ---------------------------------------------------------------------
-
-/// A backup replica: replays committed transactions in the order received
-/// from its primary (paper §4.3), without locks or undo.
-pub struct BackupActor<E: ExecutionEngine> {
-    engine: E,
-}
-
-impl<E: ExecutionEngine> BackupActor<E> {
-    pub fn new(engine: E) -> Self {
-        BackupActor { engine }
-    }
-
-    pub fn into_engine(self) -> E {
-        self.engine
-    }
-
-    pub fn step(&mut self, msg: Msg<E>, _now: Nanos, _out: &mut Vec<OutMsg<E>>) {
-        match msg {
-            Msg::Commit(txn, mut frags) => {
-                frags.sort_by_key(|t| t.round);
-                for task in frags {
-                    let r = self.engine.execute(txn, &task.fragment, false);
-                    debug_assert!(r.result.is_ok(), "backup replay failed for {txn}");
-                }
-                self.engine.forget(txn);
+        // Fault injection: die once the threshold-th record has shipped.
+        if let Some(threshold) = self.crash_after {
+            let shipped = match &self.role {
+                Role::Primary {
+                    session: Some(session),
+                    ..
+                } => session.shipped(),
+                _ => 0,
+            };
+            if shipped >= threshold {
+                self.crash_after = None;
+                self.crash(now, out);
             }
-            _ => debug_assert!(false, "unexpected message at backup"),
+        }
+    }
+
+    fn step_backup(
+        &mut self,
+        msg: Msg<E>,
+        _now: Nanos,
+        _ctl: &RunControl,
+        out: &mut Vec<OutMsg<E>>,
+    ) {
+        match msg {
+            Msg::Commit { from_slot, record } => {
+                let Role::Backup { replica } = &mut self.role else {
+                    unreachable!()
+                };
+                let seq = record.seq;
+                // Propagate, don't assert: a replay failure lands in the
+                // counters and fails the run's health checks.
+                let _ = replica.apply(&mut self.engine, &record);
+                out.push(OutMsg {
+                    dest: ActorId::Replica(self.group, from_slot),
+                    msg: Msg::CommitAck {
+                        slot: self.slot,
+                        seq: seq.min(replica.watermark()),
+                    },
+                });
+            }
+            Msg::Promote { epoch } => {
+                let Role::Backup { replica } = &mut self.role else {
+                    unreachable!()
+                };
+                // Every record the dead primary shipped is already applied
+                // (it was queued ahead of this promotion on FIFO links);
+                // resume its log without a gap. The failed node becomes a
+                // ship target only once it rejoins (via FetchState).
+                self.repl_counters.merge(&replica.counters);
+                let watermark = replica.watermark();
+                let targets: Vec<u32> = (1..self.system.replication)
+                    .filter(|&s| s != self.slot)
+                    .collect();
+                let mut acks = AckTracker::new();
+                for &s in &targets {
+                    // Surviving sibling backups hold the same record
+                    // prefix this node does.
+                    acks.add_backup(s as usize, watermark);
+                }
+                self.epoch = epoch;
+                self.repl_counters.promotions += 1;
+                self.role = Role::Primary {
+                    sched: make_scheduler_send::<E>(&self.system, self.group),
+                    session: Some(ReplicationSession::resume_from(watermark)),
+                    targets,
+                    acks,
+                    held: VecDeque::new(),
+                    shipped_seq: FxHashMap::default(),
+                };
+            }
+            // A fragment can only arrive here through the membership flip
+            // racing ahead of the promotion, which the coordinator's
+            // emission order prevents; bounce defensively so the client
+            // retries rather than hangs.
+            Msg::Fragment(task) => self.bounce(&task, out),
+            // Late decisions/acks/ticks for a role this node no longer
+            // plays: drop.
+            Msg::Decision(_) | Msg::CommitAck { .. } | Msg::Tick => {}
+            Msg::FetchState { requester_slot } => {
+                // Serve a sibling's recovery from backup state (only the
+                // primary is asked in the current protocol, but the answer
+                // is just as correct from any live replica).
+                let Role::Backup { replica } = &self.role else {
+                    unreachable!()
+                };
+                let seq = replica.watermark();
+                self.repl_counters.snapshots_served += 1;
+                out.push(OutMsg {
+                    dest: ActorId::Replica(self.group, requester_slot),
+                    msg: Msg::Snapshot {
+                        engine: Box::new(self.engine.snapshot()),
+                        seq,
+                    },
+                });
+            }
+            _ => debug_assert!(false, "unexpected message at backup {}", self.group),
         }
     }
 }

@@ -42,8 +42,9 @@ pub mod threaded;
 pub use multiplexed::MultiplexedBackend;
 pub use threaded::ThreadedBackend;
 
-use hcc_common::stats::{LatencySummary, SchedulerCounters};
-use hcc_common::{Nanos, PartitionId, SystemConfig};
+use crate::actors::ReplicaParts;
+use hcc_common::stats::{LatencySummary, ReplicationCounters, SchedulerCounters};
+use hcc_common::{FailurePlan, Nanos, PartitionId, SystemConfig};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use std::time::{Duration, Instant};
@@ -105,12 +106,15 @@ pub enum RunMode {
 }
 
 /// Runtime configuration: the system under test, the backend that drives
-/// it, and the measurement protocol.
+/// it, the measurement protocol, and optional fault injection.
 #[derive(Clone)]
 pub struct RuntimeConfig {
     pub system: SystemConfig,
     pub backend: BackendChoice,
     pub mode: RunMode,
+    /// Kill one group's primary at a deterministic point and drive the
+    /// promote → recover protocol (requires `system.replication >= 2`).
+    pub failure: Option<FailurePlan>,
 }
 
 impl RuntimeConfig {
@@ -123,6 +127,7 @@ impl RuntimeConfig {
                 warmup: Duration::from_millis(200),
                 measure: Duration::from_secs(1),
             },
+            failure: None,
         }
     }
 
@@ -145,11 +150,19 @@ impl RuntimeConfig {
             system,
             backend,
             mode: RunMode::FixedRequests(requests_per_client),
+            failure: None,
         }
     }
 
     pub fn with_window(mut self, warmup: Duration, measure: Duration) -> Self {
         self.mode = RunMode::Timed { warmup, measure };
+        self
+    }
+
+    /// Inject a primary crash (kill → promote → recover); see
+    /// [`FailurePlan`].
+    pub fn with_failure(mut self, plan: FailurePlan) -> Self {
+        self.failure = Some(plan);
         self
     }
 }
@@ -165,9 +178,16 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     pub clients: ClientStats,
     /// Scheduler counters summed across partitions (whole run).
     pub sched: SchedulerCounters,
-    /// Final partition engines, for state inspection.
+    /// Replication counters summed across all replica nodes. Healthy runs
+    /// must report `replay_failures == 0`; failover runs report one
+    /// promotion and one recovery plus the crash/recovery timestamps.
+    pub replication: ReplicationCounters,
+    /// Final primary engines per group (after a failover, the promoted
+    /// backup's engine), for state inspection.
     pub engines: Vec<E>,
-    /// Final backup engines (when replication was enabled).
+    /// Final live-backup engines (when replication was enabled), in
+    /// (group, slot) order — after a recovery this includes the rejoined
+    /// node.
     pub backups: Vec<E>,
 }
 
@@ -221,13 +241,50 @@ pub(crate) fn now_ns(epoch: Instant) -> Nanos {
     Nanos(epoch.elapsed().as_nanos() as u64)
 }
 
+/// Sort the harvested replica nodes into the report shape: the primary
+/// engine per group, the live backups in (group, slot) order, and the
+/// merged counter blocks.
+pub(crate) fn assemble_replicas<E: ExecutionEngine>(
+    mut parts: Vec<ReplicaParts<E>>,
+    groups: usize,
+) -> (Vec<E>, Vec<E>, SchedulerCounters, ReplicationCounters) {
+    parts.sort_by_key(|p| (p.group, p.slot));
+    let mut sched = SchedulerCounters::default();
+    let mut repl = ReplicationCounters::default();
+    let mut engines: Vec<Option<E>> = (0..groups).map(|_| None).collect();
+    let mut backups = Vec::new();
+    for part in parts {
+        sched.merge(&part.sched);
+        repl.merge(&part.repl);
+        if part.is_primary {
+            let slot = engines
+                .get_mut(part.group.as_usize())
+                .expect("group in range");
+            debug_assert!(slot.is_none(), "two primaries in one group");
+            *slot = Some(part.engine);
+        } else if part.is_backup {
+            backups.push(part.engine);
+        }
+        // Failed/recovering nodes that never finished rejoining (possible
+        // only when a timed run is torn down mid-recovery) hold stale
+        // state and are reported through the counters alone.
+    }
+    let engines = engines
+        .into_iter()
+        .map(|e| e.expect("every group has a primary"))
+        .collect();
+    (engines, backups, sched, repl)
+}
+
 /// Finish a report from the pieces every backend harvests.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_report<E: ExecutionEngine>(
     mode: &RunMode,
     committed_in_window: u64,
     elapsed: Duration,
     clients: ClientStats,
     sched: SchedulerCounters,
+    replication: ReplicationCounters,
     engines: Vec<E>,
     backups: Vec<E>,
 ) -> RuntimeReport<E> {
@@ -240,6 +297,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
         throughput_tps: committed as f64 / secs,
         clients,
         sched,
+        replication,
         engines,
         backups,
     }

@@ -15,24 +15,33 @@
 //! `workers` threads. Mailbox FIFO order per link preserves the delivery
 //! guarantee the speculation protocol needs.
 //!
+//! Replica groups occupy `replication` slab slots per partition; the
+//! logical [`ActorId::Partition`] address resolves through a membership
+//! table of atomics, flipped by the coordinator's [`ActorId::Control`]
+//! message on failover (inside the sender's routing pass, so the
+//! promotion is in the new primary's mailbox before any redirected
+//! traffic).
+//!
 //! Quiescence (shutdown without losing in-flight decisions) uses a global
 //! undelivered-message count: a worker decrements it only *after* routing
 //! the outputs of the message it consumed, so `live_clients == 0 &&
-//! pending == 0` proves the run has fully drained.
+//! pending == 0` proves the run has fully drained — including a
+//! kill → promote → recover chain, which is itself just messages.
 
 use crate::actors::{
-    ActorId, BackupActor, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, PartitionActor,
+    ActorId, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, ReplicaActor, ReplicaParts,
     RunControl,
 };
-use crate::{finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport};
+use crate::{
+    assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hcc_common::stats::SchedulerCounters;
 use hcc_common::{ClientId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,12 +63,12 @@ struct Mailbox<E: ExecutionEngine> {
 }
 
 enum AnyActor<W: RequestGenerator> {
-    // Clients dominate the slab at scale; boxing them keeps every slot at
-    // the small variants' size.
+    // Clients dominate the slab at scale; boxing them (and the now
+    // role-carrying replicas) keeps every slot at the small variants'
+    // size.
     Client(Box<ClientActor<W>>),
-    Coordinator(CoordinatorActor<W::Engine>),
-    Partition(PartitionActor<W::Engine>),
-    Backup(BackupActor<W::Engine>),
+    Coordinator(Box<CoordinatorActor<W::Engine>>),
+    Replica(Box<ReplicaActor<W::Engine>>),
 }
 
 struct Shared<W: RequestGenerator> {
@@ -71,10 +80,12 @@ struct Shared<W: RequestGenerator> {
     ctl: RunControl,
     workload: Mutex<W>,
     epoch: Instant,
-    /// Actor-index layout: clients, then the coordinator, then partitions,
-    /// then (under replication) backups.
+    /// Actor-index layout: clients, then the coordinator, then replica
+    /// groups (`replication` slots each, group-major).
     clients: usize,
-    partitions: usize,
+    slots_per_group: usize,
+    /// Current primary slot per group.
+    membership: Vec<AtomicU32>,
 }
 
 impl<W: RequestGenerator> Shared<W>
@@ -83,18 +94,33 @@ where
     <W::Engine as ExecutionEngine>::Fragment: Send,
     <W::Engine as ExecutionEngine>::Output: Send,
 {
+    fn replica_index(&self, p: PartitionId, slot: usize) -> usize {
+        self.clients + 1 + p.as_usize() * self.slots_per_group + slot
+    }
+
     fn index_of(&self, id: ActorId) -> usize {
         match id {
             ActorId::Client(c) => c.as_usize(),
             ActorId::Coordinator => self.clients,
-            ActorId::Partition(p) => self.clients + 1 + p.as_usize(),
-            ActorId::Backup(p) => self.clients + 1 + self.partitions + p.as_usize(),
+            ActorId::Partition(p) => {
+                let slot = self.membership[p.as_usize()].load(Ordering::Acquire) as usize;
+                self.replica_index(p, slot)
+            }
+            ActorId::Replica(p, s) => self.replica_index(p, s as usize),
+            ActorId::Control => unreachable!("control messages are handled in send()"),
         }
     }
 
     /// Deliver one message: count it, enqueue it, and schedule the actor
-    /// if nothing else already has.
+    /// if nothing else already has. Control messages mutate the routing
+    /// table in place instead of being delivered.
     fn send(&self, m: OutMsg<W::Engine>) {
+        if m.dest == ActorId::Control {
+            if let Msg::Promoted { partition, slot } = m.msg {
+                self.membership[partition.as_usize()].store(slot, Ordering::Release);
+            }
+            return;
+        }
         let idx = self.index_of(m.dest);
         self.pending.fetch_add(1, Ordering::SeqCst);
         let mut mb = self.mail[idx].lock();
@@ -119,8 +145,7 @@ where
                 c.step(msg, now, &ctx, out);
             }
             AnyActor::Coordinator(c) => c.step(msg, now, out),
-            AnyActor::Partition(p) => p.step(msg, now, out),
-            AnyActor::Backup(b) => b.step(msg, now, out),
+            AnyActor::Replica(r) => r.step(msg, now, &self.ctl, out),
         }
     }
 }
@@ -195,14 +220,21 @@ impl Backend for MultiplexedBackend {
         let system = &cfg.system;
         let workers = self.workers.max(1);
         let n = system.partitions as usize;
+        let slots = system.replication.max(1) as usize;
         let clients = system.clients as usize;
-        let replicate = system.replication > 1;
+        if let Some(plan) = cfg.failure {
+            assert!(
+                system.replication >= 2,
+                "failure injection needs a backup to fail over to"
+            );
+            assert!((plan.partition.as_usize()) < n && plan.after_commits >= 1);
+        }
         let per_client = match cfg.mode {
             RunMode::FixedRequests(k) => Some(k),
             RunMode::Timed { .. } => None,
         };
 
-        // Actor slab: clients, coordinator, partitions, backups.
+        // Actor slab: clients, coordinator, replica groups.
         let mut actors: Vec<Mutex<AnyActor<W>>> = Vec::new();
         for c in 0..clients {
             actors.push(Mutex::new(AnyActor::Client(Box::new(ClientActor::new(
@@ -211,23 +243,23 @@ impl Backend for MultiplexedBackend {
                 per_client,
             )))));
         }
-        actors.push(Mutex::new(AnyActor::Coordinator(CoordinatorActor::new(
-            system.costs,
+        actors.push(Mutex::new(AnyActor::Coordinator(Box::new(
+            CoordinatorActor::new(system.costs),
         ))));
         for p in 0..n {
-            let me = PartitionId(p as u32);
-            actors.push(Mutex::new(AnyActor::Partition(PartitionActor::new(
-                me,
-                system,
-                build_engine(me),
-                replicate,
-            ))));
-        }
-        if replicate {
-            for p in 0..n {
-                actors.push(Mutex::new(AnyActor::Backup(BackupActor::new(
-                    build_engine(PartitionId(p as u32)),
-                ))));
+            let group = PartitionId(p as u32);
+            for s in 0..slots {
+                let crash_after = cfg
+                    .failure
+                    .filter(|f| f.partition == group && s == 0)
+                    .map(|f| f.after_commits);
+                actors.push(Mutex::new(AnyActor::Replica(Box::new(ReplicaActor::new(
+                    group,
+                    s as u32,
+                    system,
+                    build_engine(group),
+                    crash_after,
+                )))));
             }
         }
 
@@ -249,7 +281,8 @@ impl Backend for MultiplexedBackend {
             workload: Mutex::new(workload),
             epoch: Instant::now(),
             clients,
-            partitions: n,
+            slots_per_group: slots,
+            membership: (0..n).map(|_| AtomicU32::new(0)).collect(),
         });
 
         // Worker pool.
@@ -261,8 +294,8 @@ impl Backend for MultiplexedBackend {
         }
 
         // Tick timer: the locking scheme needs periodic lock-timeout scans
-        // at each partition. Runs until every client has retired (after
-        // which no transaction can be waiting on a lock).
+        // at each group's current primary. Runs until every client has
+        // retired (after which no transaction can be waiting on a lock).
         let timer_stop = Arc::new(AtomicBool::new(false));
         let timer = (system.scheme == Scheme::Locking).then(|| {
             let shared = shared.clone();
@@ -308,13 +341,22 @@ impl Backend for MultiplexedBackend {
         }
         let elapsed = started.elapsed();
         // No transactions in flight: stop the tick source, then drain the
-        // trailing decisions/backup commits.
+        // trailing decisions, commit records, and (after an injected
+        // failure) the promote/recover chain — all of which the pending
+        // count covers.
         timer_stop.store(true, Ordering::SeqCst);
         if let Some(t) = timer {
             t.join().expect("timer thread");
         }
         while shared.pending.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_micros(200));
+        }
+        if cfg.failure.is_some() {
+            assert!(
+                shared.ctl.recovery_done.load(Ordering::SeqCst),
+                "injected failure never finished recovering — \
+                 was the crash threshold reachable for this workload?"
+            );
         }
         let _ = shared.ready_tx.send(SHUTDOWN);
         for h in handles {
@@ -327,21 +369,15 @@ impl Backend for MultiplexedBackend {
         let shared =
             Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all worker handles joined"));
         let mut clients_stats = ClientStats::default();
-        let mut sched = SchedulerCounters::default();
-        let mut engines = Vec::new();
-        let mut backups = Vec::new();
+        let mut parts: Vec<ReplicaParts<W::Engine>> = Vec::new();
         for slot in shared.actors {
             match slot.into_inner() {
                 AnyActor::Client(c) => clients_stats.merge(&c.into_stats()),
                 AnyActor::Coordinator(_) => {}
-                AnyActor::Partition(p) => {
-                    let (engine, counters) = p.into_parts();
-                    engines.push(engine);
-                    sched.merge(&counters);
-                }
-                AnyActor::Backup(b) => backups.push(b.into_engine()),
+                AnyActor::Replica(r) => parts.push(r.into_parts()),
             }
         }
+        let (engines, backups, sched, repl) = assemble_replicas(parts, n);
 
         finish_report(
             &cfg.mode,
@@ -349,6 +385,7 @@ impl Backend for MultiplexedBackend {
             elapsed,
             clients_stats,
             sched,
+            repl,
             engines,
             backups,
         )

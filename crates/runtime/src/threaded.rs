@@ -6,24 +6,31 @@
 //! speculation protocol needs. The protocol logic itself lives in
 //! [`crate::actors`] — this file only moves messages.
 //!
+//! Replica groups get one thread per node (`replication` threads per
+//! partition). Routing to the logical [`ActorId::Partition`] address goes
+//! through a membership table of atomics that the coordinator flips (via
+//! an [`ActorId::Control`] message) when it promotes a backup, so a
+//! failover transparently redirects partition traffic.
+//!
 //! This backend has the lowest per-message overhead (no shared ready
 //! queue, no mailbox locks beyond the channel's own) but costs
-//! `clients + partitions + 1 (+ partitions backups)` threads, so it stops
-//! scaling somewhere in the hundreds of clients; beyond that, use
+//! `clients + replication × partitions + 1` threads, so it stops scaling
+//! somewhere in the hundreds of clients; beyond that, use
 //! [`crate::multiplexed`].
 
 use crate::actors::{
-    ActorId, BackupActor, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, PartitionActor,
+    ActorId, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, ReplicaActor, ReplicaParts,
     RunControl,
 };
-use crate::{finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport};
+use crate::{
+    assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use hcc_common::stats::SchedulerCounters;
 use hcc_common::{ClientId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,12 +40,15 @@ enum Wire<E: ExecutionEngine> {
     Shutdown,
 }
 
-/// One sender per actor; routing is an index lookup.
+/// One sender per actor; routing is an index lookup, plus the membership
+/// table resolving the logical partition address to the current primary.
 struct Router<E: ExecutionEngine> {
     clients: Vec<Sender<Wire<E>>>,
     coord: Sender<Wire<E>>,
-    parts: Vec<Sender<Wire<E>>>,
-    backups: Vec<Option<Sender<Wire<E>>>>,
+    /// `[group][slot]`.
+    replicas: Vec<Vec<Sender<Wire<E>>>>,
+    /// Current primary slot per group.
+    membership: Arc<Vec<AtomicU32>>,
 }
 
 impl<E: ExecutionEngine> Clone for Router<E> {
@@ -46,24 +56,36 @@ impl<E: ExecutionEngine> Clone for Router<E> {
         Router {
             clients: self.clients.clone(),
             coord: self.coord.clone(),
-            parts: self.parts.clone(),
-            backups: self.backups.clone(),
+            replicas: self.replicas.clone(),
+            membership: self.membership.clone(),
         }
     }
 }
 
 impl<E: ExecutionEngine> Router<E> {
+    fn primary_slot(&self, p: PartitionId) -> usize {
+        self.membership[p.as_usize()].load(Ordering::Acquire) as usize
+    }
+
     /// Sends are fire-and-forget: a closed channel means the destination
     /// already shut down (only happens during teardown).
     fn send(&self, m: OutMsg<E>) {
         let _ = match m.dest {
             ActorId::Client(c) => self.clients[c.as_usize()].send(Wire::Actor(m.msg)),
             ActorId::Coordinator => self.coord.send(Wire::Actor(m.msg)),
-            ActorId::Partition(p) => self.parts[p.as_usize()].send(Wire::Actor(m.msg)),
-            ActorId::Backup(p) => match &self.backups[p.as_usize()] {
-                Some(tx) => tx.send(Wire::Actor(m.msg)),
-                None => Ok(()),
-            },
+            ActorId::Partition(p) => {
+                let slot = self.primary_slot(p);
+                self.replicas[p.as_usize()][slot].send(Wire::Actor(m.msg))
+            }
+            ActorId::Replica(p, s) => {
+                self.replicas[p.as_usize()][s as usize].send(Wire::Actor(m.msg))
+            }
+            ActorId::Control => {
+                if let Msg::Promoted { partition, slot } = m.msg {
+                    self.membership[partition.as_usize()].store(slot, Ordering::Release);
+                }
+                Ok(())
+            }
         };
     }
 
@@ -94,19 +116,30 @@ impl Backend for ThreadedBackend {
         type E<W> = <W as RequestGenerator>::Engine;
         let system = &cfg.system;
         let n = system.partitions as usize;
-        let replicate = system.replication > 1;
+        let slots = system.replication.max(1) as usize;
+        if let Some(plan) = cfg.failure {
+            assert!(
+                system.replication >= 2,
+                "failure injection needs a backup to fail over to"
+            );
+            assert!((plan.partition.as_usize()) < n && plan.after_commits >= 1);
+        }
         let per_client = match cfg.mode {
             RunMode::FixedRequests(k) => Some(k),
             RunMode::Timed { .. } => None,
         };
 
         // Channels.
-        let mut part_txs = Vec::new();
-        let mut part_rxs = Vec::new();
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Wire<E<W>>>();
-            part_txs.push(tx);
-            part_rxs.push(rx);
+        let mut replica_txs: Vec<Vec<Sender<Wire<E<W>>>>> = Vec::new();
+        let mut replica_rxs = Vec::new();
+        for p in 0..n {
+            let mut txs = Vec::new();
+            for s in 0..slots {
+                let (tx, rx) = unbounded::<Wire<E<W>>>();
+                txs.push(tx);
+                replica_rxs.push((p, s, rx));
+            }
+            replica_txs.push(txs);
         }
         let (coord_tx, coord_rx) = unbounded();
         let mut client_txs = Vec::new();
@@ -116,52 +149,35 @@ impl Backend for ThreadedBackend {
             client_txs.push(tx);
             client_rxs.push(rx);
         }
-        let mut backup_txs: Vec<Option<Sender<Wire<E<W>>>>> = vec![None; n];
-        let mut backup_rxs = Vec::new();
-        if replicate {
-            for (p, slot) in backup_txs.iter_mut().enumerate() {
-                let (tx, rx) = unbounded();
-                *slot = Some(tx);
-                backup_rxs.push((p, rx));
-            }
-        }
         let router: Router<E<W>> = Router {
             clients: client_txs,
             coord: coord_tx,
-            parts: part_txs,
-            backups: backup_txs,
+            replicas: replica_txs,
+            membership: Arc::new((0..n).map(|_| AtomicU32::new(0)).collect()),
         };
 
         let epoch = Instant::now();
         let ctl = Arc::new(RunControl::new(system.clients as usize));
         let workload = Arc::new(Mutex::new(workload));
 
-        // Partition threads.
-        let mut part_handles = Vec::new();
-        for (p, rx) in part_rxs.into_iter().enumerate() {
-            let me = PartitionId(p as u32);
-            let actor = PartitionActor::new(me, system, build_engine(me), replicate);
+        // Replica threads (primaries and backups run the same loop; the
+        // role lives in the actor).
+        let mut replica_handles: Vec<Vec<Option<std::thread::JoinHandle<ReplicaParts<E<W>>>>>> =
+            (0..n).map(|_| (0..slots).map(|_| None).collect()).collect();
+        for (p, s, rx) in replica_rxs {
+            let group = PartitionId(p as u32);
+            let crash_after = cfg
+                .failure
+                .filter(|f| f.partition == group && s == 0)
+                .map(|f| f.after_commits);
+            let actor =
+                ReplicaActor::new(group, s as u32, system, build_engine(group), crash_after);
             let router = router.clone();
+            let ctl = ctl.clone();
             let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
             let ticks = system.scheme == Scheme::Locking;
-            part_handles.push(std::thread::spawn(move || {
-                partition_thread(actor, rx, router, epoch, ticks, tick_every)
-            }));
-        }
-
-        // Backup threads.
-        let mut backup_handles = Vec::new();
-        for (p, rx) in backup_rxs {
-            let mut actor = BackupActor::new(build_engine(PartitionId(p as u32)));
-            backup_handles.push(std::thread::spawn(move || {
-                let mut sink = Vec::new();
-                while let Ok(wire) = rx.recv() {
-                    match wire {
-                        Wire::Actor(msg) => actor.step(msg, hcc_common::Nanos::ZERO, &mut sink),
-                        Wire::Shutdown => break,
-                    }
-                }
-                actor.into_engine()
+            replica_handles[p][s] = Some(std::thread::spawn(move || {
+                replica_thread(actor, rx, router, ctl, epoch, ticks, tick_every)
             }));
         }
 
@@ -235,26 +251,43 @@ impl Backend for ThreadedBackend {
         let elapsed = started.elapsed();
         let committed_in_window = ctl.committed_in_window.load(Ordering::SeqCst);
 
-        // Quiesced: shut down coordinator, then partitions, then backups.
-        // Channel FIFO ensures every message sent before a Shutdown is
-        // processed first.
+        // With a failure injected, the kill → promote → recover chain may
+        // still be in flight (it is driven by messages, not clients); wait
+        // for the recovering node to finish rejoining before tearing the
+        // system down.
+        if cfg.failure.is_some() {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while !ctl.recovery_done.load(Ordering::SeqCst) {
+                assert!(
+                    Instant::now() < deadline,
+                    "injected failure never finished recovering — \
+                     was the crash threshold reachable for this workload?"
+                );
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+
+        // Quiesced: shut down the coordinator, then each group's current
+        // primary (so it ships its trailing commit records first), then
+        // the group's backups. Channel FIFO ensures every message sent
+        // before a Shutdown is processed first.
         let _ = router.coord.send(Wire::Shutdown);
         coord_handle.join().expect("coordinator thread");
-        let mut engines = Vec::new();
-        let mut sched = SchedulerCounters::default();
-        for (p, h) in part_handles.into_iter().enumerate() {
-            let _ = router.parts[p].send(Wire::Shutdown);
-            let (engine, counters) = h.join().expect("partition thread");
-            engines.push(engine);
-            sched.merge(&counters);
-        }
-        let mut backups = Vec::new();
-        for (p, h) in backup_handles.into_iter().enumerate() {
-            if let Some(tx) = &router.backups[p] {
-                let _ = tx.send(Wire::Shutdown);
+        let mut parts: Vec<ReplicaParts<E<W>>> = Vec::new();
+        // Indexing two parallel structures (channels + handles); an index
+        // loop is the clear spelling.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..n {
+            let primary = router.primary_slot(PartitionId(p as u32));
+            let mut order: Vec<usize> = vec![primary];
+            order.extend((0..slots).filter(|s| *s != primary));
+            for s in order {
+                let _ = router.replicas[p][s].send(Wire::Shutdown);
+                let h = replica_handles[p][s].take().expect("replica handle");
+                parts.push(h.join().expect("replica thread"));
             }
-            backups.push(h.join().expect("backup thread"));
         }
+        let (engines, backups, sched, repl) = assemble_replicas(parts, n);
 
         finish_report(
             &cfg.mode,
@@ -262,20 +295,22 @@ impl Backend for ThreadedBackend {
             elapsed,
             clients,
             sched,
+            repl,
             engines,
             backups,
         )
     }
 }
 
-fn partition_thread<E>(
-    mut actor: PartitionActor<E>,
+fn replica_thread<E>(
+    mut actor: ReplicaActor<E>,
     rx: Receiver<Wire<E>>,
     router: Router<E>,
+    ctl: Arc<RunControl>,
     epoch: Instant,
     ticks: bool,
     tick_every: Duration,
-) -> (E, SchedulerCounters)
+) -> ReplicaParts<E>
 where
     E: ExecutionEngine + Send + 'static,
     E::Fragment: Send,
@@ -285,7 +320,8 @@ where
     loop {
         let msg = if ticks {
             // The locking scheme needs periodic lock-timeout scans; a recv
-            // timeout doubles as the tick timer.
+            // timeout doubles as the tick timer. Non-primary roles ignore
+            // ticks.
             match rx.recv_timeout(tick_every) {
                 Ok(Wire::Actor(m)) => m,
                 Ok(Wire::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
@@ -297,7 +333,7 @@ where
                 _ => break,
             }
         };
-        actor.step(msg, now_ns(epoch), &mut buf);
+        actor.step(msg, now_ns(epoch), &ctl, &mut buf);
         router.route(&mut buf);
     }
     actor.into_parts()

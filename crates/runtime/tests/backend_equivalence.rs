@@ -63,6 +63,13 @@ fn fingerprints(
             "{backend}/{scheme}: P{i} leaked undo buffers"
         );
     }
+    // Stray decisions (a decision for a transaction the scheduler never
+    // saw) are legitimate only around a failover; a healthy run seeing one
+    // means a routing or protocol regression.
+    assert_eq!(
+        r.sched.stray_decisions, 0,
+        "{backend}/{scheme}: stray decision in a healthy run"
+    );
     (
         r.engines.iter().map(|e| e.fingerprint()).collect(),
         r.clients.committed,

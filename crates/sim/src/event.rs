@@ -22,6 +22,9 @@ pub enum CoordIn<E: ExecutionEngine> {
     /// Periodic maintenance: expire transactions stalled on a failed
     /// participant.
     Tick,
+    /// The failure detector reported a dead primary (failover mode): abort
+    /// in-flight transactions touching it and bump its epoch.
+    PartitionFailed(PartitionId),
 }
 
 /// A message delivered to a client.
@@ -49,6 +52,14 @@ pub enum Ev<E: ExecutionEngine> {
     },
     /// Scheduler maintenance (lock-wait timeout scan).
     Tick {
+        p: PartitionId,
+    },
+    /// Failover injection: kill p's primary and promote its replica.
+    Kill {
+        p: PartitionId,
+    },
+    /// The killed node rejoins from a snapshot of the live replica (§3.3).
+    Rejoin {
         p: PartitionId,
     },
     /// Several deliveries sharing one arrival time, dispatched in order.

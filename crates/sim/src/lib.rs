@@ -15,12 +15,16 @@
 //! preserved (constant latency + monotone departure times + a global
 //! tie-break sequence), which the speculation protocol relies on.
 //!
-//! The simulator can also maintain a **shadow replica** per partition that
-//! applies committed transactions in commit order, exactly like the
-//! paper's backups ("the backups execute the transactions in the
-//! sequential order received from the primary"). Comparing primary and
-//! shadow state at the end doubles as a serializability check: the shadow
-//! *is* the serial execution in commit order.
+//! The simulator can also maintain a **backup replica** per partition
+//! through the shared `hcc_core::replica::ReplicaCore` — commit-order log
+//! shipping replayed in sequence, exactly like the paper's backups ("the
+//! backups execute the transactions in the sequential order received from
+//! the primary") and exactly like the live runtime's. Comparing primary
+//! and replica state at the end doubles as a serializability check: the
+//! replica *is* the serial execution in commit order. With
+//! [`SimConfig::with_failover`] the same kill → promote → §3.3-recover
+//! scenario the runtime drives in real time runs here in virtual time,
+//! bit-deterministically.
 
 // Associated-type generics make some signatures long; aliases would
 // obscure more than they clarify here.
@@ -31,4 +35,4 @@ mod report;
 mod simulation;
 
 pub use report::SimReport;
-pub use simulation::{run_with, SimConfig, Simulation};
+pub use simulation::{run_with, SimConfig, SimFailover, Simulation};

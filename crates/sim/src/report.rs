@@ -1,6 +1,6 @@
 //! Results of a simulation run.
 
-use hcc_common::stats::{LatencyHistogram, SchedulerCounters};
+use hcc_common::stats::{LatencyHistogram, ReplicationCounters, SchedulerCounters};
 use hcc_common::Nanos;
 use hcc_core::coordinator::CoordCounters;
 
@@ -24,6 +24,10 @@ pub struct SimReport {
     pub sched: SchedulerCounters,
     /// Central coordinator counters (whole run).
     pub coord: CoordCounters,
+    /// Replication counters (whole run). `replay_failures` must be 0 in a
+    /// healthy replicated run; failover runs also report the promotion,
+    /// recovery, and crash/rejoin timestamps.
+    pub replication: ReplicationCounters,
     /// Virtual time simulated.
     pub simulated: Nanos,
     /// Wall-clock events processed (sanity/perf diagnostics).

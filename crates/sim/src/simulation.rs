@@ -2,13 +2,14 @@
 
 use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
-use hcc_common::stats::{LatencyHistogram, SchedulerCounters};
+use hcc_common::stats::{LatencyHistogram, ReplicationCounters, SchedulerCounters};
 use hcc_common::{
-    ClientId, CoordinatorRef, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig,
+    AbortReason, ClientId, CoordinatorRef, FragmentTask, Nanos, PartitionId, Scheme, SystemConfig,
     TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::replica::{failover_bounce, FailoverBounce, ReplicaCore, ReplicationSession};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
     make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator, Scheduler,
@@ -24,10 +25,10 @@ pub struct SimConfig {
     pub system: SystemConfig,
     pub warmup: Nanos,
     pub measure: Nanos,
-    /// Maintain a shadow replica per partition, applying committed
-    /// transactions in commit order, and expose it for state comparison
-    /// (doubles as the paper's backup replication and as a
-    /// serializability check).
+    /// Maintain a backup replica per partition through the shared
+    /// `ReplicaCore` — commit-order log shipping replayed in sequence,
+    /// exposed for state comparison (the paper's §3.2 backups; comparing
+    /// primary and replica doubles as a serializability check).
     pub shadow_replica: bool,
     /// Fault injection: at the given time, the partition crashes — it
     /// silently drops every message from then on (§3.3's failure model:
@@ -37,6 +38,21 @@ pub struct SimConfig {
     /// When set, the central coordinator aborts transactions pending
     /// longer than this (the 2PC recovery path for participant failure).
     pub coordinator_timeout: Option<Nanos>,
+    /// Replicated fault injection (requires `shadow_replica`): kill the
+    /// primary at the given time — its backup is promoted in place
+    /// (in-flight transactions bounce with `PartitionFailed`) — and after
+    /// `rejoin_delay` the failed node rejoins §3.3-style from a snapshot
+    /// of the new primary's committed state, catching up from the log.
+    pub failover: Option<SimFailover>,
+}
+
+/// Parameters of a simulated kill → promote → recover scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct SimFailover {
+    pub at: Nanos,
+    pub partition: PartitionId,
+    /// Virtual time between the kill and the failed node's rejoin.
+    pub rejoin_delay: Nanos,
 }
 
 impl SimConfig {
@@ -48,6 +64,7 @@ impl SimConfig {
             shadow_replica: false,
             fail_partition: None,
             coordinator_timeout: None,
+            failover: None,
         }
     }
 
@@ -67,6 +84,18 @@ impl SimConfig {
 
     pub fn with_shadow(mut self) -> Self {
         self.shadow_replica = true;
+        self
+    }
+
+    /// Kill `partition`'s primary at `at`, promote its replica, and
+    /// rejoin the failed node `rejoin_delay` later (enables the replica).
+    pub fn with_failover(mut self, at: Nanos, partition: PartitionId, rejoin_delay: Nanos) -> Self {
+        self.shadow_replica = true;
+        self.failover = Some(SimFailover {
+            at,
+            partition,
+            rejoin_delay,
+        });
         self
     }
 }
@@ -115,12 +144,19 @@ pub struct Simulation<W: RequestGenerator> {
 
     clients: Vec<SimClient<W::Engine>>,
 
-    shadow: Option<Vec<W::Engine>>,
-    /// Fragments delivered per (partition, txn), by round, for shadow
-    /// replay (latest fragment per round wins — a squashed continuation is
-    /// superseded by its re-sent version).
-    pending_frags:
-        Vec<FxHashMap<TxnId, Vec<(u32, FragmentTask<<W::Engine as ExecutionEngine>::Fragment>)>>>,
+    /// Backup replicas (replay position + engine) per partition, through
+    /// the shared `ReplicaCore`. A slot is `None` between a kill and the
+    /// node's rejoin.
+    replicas: Option<Vec<Option<(ReplicaCore, W::Engine)>>>,
+    /// Primary-side replication sessions (in-flight fragment buffers +
+    /// commit-order sequencer), one per partition.
+    sessions: Vec<ReplicationSession<<W::Engine as ExecutionEngine>::Fragment>>,
+    /// Replication counters folded from retired replicas/sessions (live
+    /// replica counters merge in at report time).
+    repl: ReplicationCounters,
+    /// Scheduler counters of schedulers retired by a failover (the dead
+    /// primary's pre-crash work must still be reported).
+    sched_retired: SchedulerCounters,
 
     /// After the measurement window the simulation *drains*: clients stop
     /// issuing new requests and all in-flight transactions complete, so
@@ -153,11 +189,17 @@ where
         let engines: Vec<W::Engine> = (0..n)
             .map(|p| build_engine(PartitionId(p as u32)))
             .collect();
-        let shadow = cfg.shadow_replica.then(|| {
+        let replicas = cfg.shadow_replica.then(|| {
             (0..n)
-                .map(|p| build_engine(PartitionId(p as u32)))
+                .map(|p| Some((ReplicaCore::new(), build_engine(PartitionId(p as u32)))))
                 .collect()
         });
+        if let Some(f) = cfg.failover {
+            assert!(
+                cfg.shadow_replica && f.partition.as_usize() < n,
+                "failover requires a replica to promote"
+            );
+        }
         let scheds = (0..n)
             .map(|p| make_scheduler::<W::Engine>(&cfg.system, PartitionId(p as u32)))
             .collect();
@@ -193,9 +235,11 @@ where
             coord_busy: Nanos::ZERO,
             coord_busy_in_window: 0,
             clients,
-            shadow,
+            replicas,
             draining: false,
-            pending_frags: (0..n).map(|_| FxHashMap::default()).collect(),
+            sessions: (0..n).map(|_| ReplicationSession::new()).collect(),
+            repl: ReplicationCounters::default(),
+            sched_retired: SchedulerCounters::default(),
             window_start,
             window_end,
             committed: 0,
@@ -368,43 +412,43 @@ where
         }
     }
 
-    /// Record a delivered fragment for shadow replay (latest per round).
+    /// Record a delivered fragment for replication (latest per round wins —
+    /// a squashed continuation is superseded by its re-sent version).
     fn record_fragment(
         &mut self,
         p: usize,
         task: &FragmentTask<<W::Engine as ExecutionEngine>::Fragment>,
     ) {
-        if self.shadow.is_none() {
-            return;
+        if self.replicas.is_some() {
+            self.sessions[p].record_fragment(task);
         }
-        let entry = self.pending_frags[p].entry(task.txn).or_default();
-        entry.retain(|(r, _)| *r != task.round);
-        entry.push((task.round, task.clone()));
     }
 
-    /// Apply a committed transaction's fragments to the shadow replica, in
-    /// round order — the paper's backup execution.
-    fn shadow_commit(&mut self, p: usize, txn: TxnId) {
-        let Some(shadow) = self.shadow.as_mut() else {
+    /// The transaction committed at partition `p`: ship its commit record
+    /// and replay it on the replica through the shared `ReplicaCore` —
+    /// the paper's backup execution, with sequence-checked replay whose
+    /// failures land in the replication counters instead of an assert.
+    /// Replay is virtually instantaneous: the sim models the backup
+    /// round-trip as added result latency (see `handle_partition`), not
+    /// as replica compute.
+    fn replica_commit(&mut self, p: usize, txn: TxnId) {
+        let Some(replicas) = self.replicas.as_mut() else {
             return;
         };
-        let Some(mut frags) = self.pending_frags[p].remove(&txn) else {
+        let Some(record) = self.sessions[p].on_commit(txn) else {
             return;
         };
-        frags.sort_by_key(|(r, _)| *r);
-        for (_, task) in frags {
-            let out = shadow[p].execute(txn, &task.fragment, false);
-            debug_assert!(
-                out.result.is_ok(),
-                "shadow replay of committed {txn} failed at P{p}"
-            );
+        self.repl.records_shipped += 1;
+        // Between a kill and the rejoin the slot is empty: the record is
+        // logged (seq advances) with no live consumer.
+        if let Some((core, engine)) = replicas[p].as_mut() {
+            let _ = core.apply(engine, &record);
         }
-        shadow[p].forget(txn);
     }
 
-    fn shadow_abort(&mut self, p: usize, txn: TxnId) {
-        if self.shadow.is_some() {
-            self.pending_frags[p].remove(&txn);
+    fn replica_abort(&mut self, p: usize, txn: TxnId) {
+        if self.replicas.is_some() {
+            self.sessions[p].on_abort(txn);
         }
     }
 
@@ -425,8 +469,8 @@ where
                     result,
                 } => {
                     match &result {
-                        TxnResult::Committed(_) => self.shadow_commit(p, txn),
-                        TxnResult::Aborted(_) => self.shadow_abort(p, txn),
+                        TxnResult::Committed(_) => self.replica_commit(p, txn),
+                        TxnResult::Aborted(_) => self.replica_abort(p, txn),
                     }
                     Ev::ToClient {
                         c: client,
@@ -472,9 +516,9 @@ where
             }
             PartIn::Decision(d) => {
                 if d.commit {
-                    self.shadow_commit(pi, d.txn);
+                    self.replica_commit(pi, d.txn);
                 } else {
-                    self.shadow_abort(pi, d.txn);
+                    self.replica_abort(pi, d.txn);
                 }
                 self.scheds[pi].on_decision(d, &mut self.engines[pi], start, &mut self.outbox);
             }
@@ -534,6 +578,9 @@ where
                 .coord
                 .on_invoke_at(txn, client, procedure, can_abort, start, &mut out),
             CoordIn::Response(r) => self.coord.on_response(r, &mut out),
+            CoordIn::PartitionFailed(p) => {
+                let _ = self.coord.on_partition_failed(p, &mut out);
+            }
             CoordIn::Tick => {
                 if let Some(timeout) = self.cfg.coordinator_timeout {
                     self.coord.expire_stalled(start, timeout, &mut out);
@@ -615,6 +662,84 @@ where
         }
     }
 
+    /// Kill `p`'s primary: promote its replica in place (the partition's
+    /// address now answers to the promoted node), bounce every in-flight
+    /// transaction with `PartitionFailed` (the runtime's crash bounce),
+    /// notify the coordinator (the failure detector), and schedule the
+    /// dead node's §3.3 rejoin.
+    fn handle_kill(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        let one_way = self.one_way();
+        let replicas = self.replicas.as_mut().expect("failover requires replicas");
+        let (core, replica_engine) = replicas[pi].take().expect("replica alive at kill");
+        // Promote: the replica engine (exactly the committed prefix of the
+        // commit log) becomes the primary; the dead node's engine and
+        // scheduler state are lost — but its counters still describe real
+        // pre-crash work, so fold them in before discarding.
+        // The promoted node resumes the log at the replica's watermark —
+        // no sequence gap.
+        self.engines[pi] = replica_engine;
+        let dead_sched = std::mem::replace(
+            &mut self.scheds[pi],
+            make_scheduler::<W::Engine>(&self.cfg.system, p),
+        );
+        self.sched_retired.merge(&dead_sched.counters());
+        self.part_busy[pi] = at;
+        self.repl.merge(&core.counters);
+        self.repl.promotions += 1;
+        self.repl.failed_at_ns = at.0;
+        let mut old_session = std::mem::replace(
+            &mut self.sessions[pi],
+            ReplicationSession::resume_from(core.watermark()),
+        );
+        for (txn, frags) in old_session.take_in_flight() {
+            let Some(bounce) = failover_bounce(p, txn, &frags) else {
+                continue;
+            };
+            self.repl.failover_bounces += 1;
+            let ev = match bounce {
+                FailoverBounce::ToClient { client } => Ev::ToClient {
+                    c: client,
+                    msg: ClientIn::Result {
+                        txn,
+                        result: TxnResult::Aborted(AbortReason::PartitionFailed),
+                    },
+                },
+                FailoverBounce::ToCoordinator { dest, response } => match dest {
+                    CoordinatorRef::Central => Ev::ToCoordinator(CoordIn::Response(response)),
+                    CoordinatorRef::Client(c) => Ev::ToClient {
+                        c,
+                        msg: ClientIn::FragResponse(response),
+                    },
+                },
+            };
+            self.push(at + one_way, ev);
+        }
+        self.push(at + one_way, Ev::ToCoordinator(CoordIn::PartitionFailed(p)));
+        let delay = self
+            .cfg
+            .failover
+            .expect("kill implies failover")
+            .rejoin_delay;
+        self.push(at + delay, Ev::Rejoin { p });
+    }
+
+    /// The failed node rejoins: install a snapshot of the live primary's
+    /// committed state at the current log position, then catch up from
+    /// the log (§3.3) while the group keeps processing.
+    fn handle_rejoin(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        let snapshot = self.engines[pi].snapshot();
+        let mut core = ReplicaCore::new();
+        core.reset_to(self.sessions[pi].shipped());
+        core.counters.snapshots_served += 1;
+        let replicas = self.replicas.as_mut().expect("failover requires replicas");
+        debug_assert!(replicas[pi].is_none(), "rejoin of a live replica");
+        replicas[pi] = Some((core, snapshot));
+        self.repl.recoveries += 1;
+        self.repl.recovered_at_ns = at.0;
+    }
+
     fn dispatch_event(&mut self, ev: Ev<W::Engine>, at: Nanos) {
         self.events += 1;
         match ev {
@@ -622,6 +747,8 @@ where
             Ev::ToCoordinator(msg) => self.handle_coordinator(msg, at),
             Ev::ToClient { c, msg } => self.handle_client(c, msg, at),
             Ev::Tick { p } => self.handle_tick(p, at),
+            Ev::Kill { p } => self.handle_kill(p, at),
+            Ev::Rejoin { p } => self.handle_rejoin(p, at),
             Ev::Batch(_) => unreachable!("batches are never nested"),
         }
     }
@@ -630,6 +757,9 @@ where
     pub fn run(mut self) -> (SimReport, W, Vec<W::Engine>, Option<Vec<W::Engine>>) {
         if self.cfg.coordinator_timeout.is_some() {
             self.push(Nanos(1), Ev::ToCoordinator(CoordIn::Tick));
+        }
+        if let Some(f) = self.cfg.failover {
+            self.push(f.at, Ev::Kill { p: f.partition });
         }
         // Kick off every client at t = 0.
         for c in 0..self.clients.len() {
@@ -671,10 +801,21 @@ where
             "schedulers not idle after drain"
         );
 
-        let mut sched = SchedulerCounters::default();
+        let mut sched = self.sched_retired;
         for s in &self.scheds {
             sched.merge(&s.counters());
         }
+        let mut replication = self.repl;
+        let replicas = self.replicas.map(|groups| {
+            groups
+                .into_iter()
+                .map(|slot| {
+                    let (core, engine) = slot.expect("replica alive at end of run");
+                    replication.merge(&core.counters);
+                    engine
+                })
+                .collect::<Vec<_>>()
+        });
         let window = self.cfg.measure.as_secs_f64();
         let n = self.engines.len() as f64;
         let report = SimReport {
@@ -686,6 +827,7 @@ where
             latency: self.latency,
             sched,
             coord: self.coord.counters,
+            replication,
             simulated: end,
             events_processed: self.events,
             partition_utilization: self
@@ -696,7 +838,7 @@ where
                 / n,
             coordinator_utilization: self.coord_busy_in_window as f64 / self.cfg.measure.0 as f64,
         };
-        (report, self.workload, self.engines, self.shadow)
+        (report, self.workload, self.engines, replicas)
     }
 }
 

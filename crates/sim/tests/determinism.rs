@@ -149,6 +149,14 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
                 "{scheme}: P{i} primary and shadow replica diverged"
             );
         }
+        assert_eq!(
+            r.sched.stray_decisions, 0,
+            "{scheme}: stray decision in a healthy run"
+        );
+        assert_eq!(
+            r.replication.replay_failures, 0,
+            "{scheme}: replica replay must be clean"
+        );
     }
 }
 

@@ -7,7 +7,9 @@
 use hcc_common::{ClientId, Nanos, PartitionId, Scheme, SystemConfig, TxnId};
 use hcc_core::{Request, RequestGenerator};
 use hcc_sim::{SimConfig, Simulation};
-use hcc_workloads::micro::{make_key, MicroEngine, MicroFragment, MicroOp, SimpleMicroProcedure};
+use hcc_workloads::micro::{
+    make_key, MicroConfig, MicroEngine, MicroFragment, MicroOp, MicroWorkload, SimpleMicroProcedure,
+};
 
 /// Clients 0..4 issue single-partition transactions on P0 only; client 5
 /// issues two-partition transactions. Tracks outcomes per kind.
@@ -143,5 +145,133 @@ fn surviving_partition_continues_after_peer_crash() {
             control.aborted_mp, 0,
             "{scheme}: control must not expire txns"
         );
+    }
+}
+
+/// The replicated kill → promote → recover scenario (§3.3) in virtual
+/// time: the primary dies mid-window, its replica takes over in place,
+/// and the failed node rejoins from a snapshot ~30 virtual ms later while
+/// the group keeps committing. Deterministic: two identical runs produce
+/// identical histories, and the rejoined replica must converge with the
+/// promoted primary by drain time — for all four schemes.
+#[test]
+fn sim_kill_promote_recover_converges_and_is_deterministic() {
+    for scheme in [
+        Scheme::Blocking,
+        Scheme::Speculative,
+        Scheme::Locking,
+        Scheme::Occ,
+    ] {
+        let run_once = || {
+            let micro = MicroConfig {
+                mp_fraction: 0.2,
+                abort_prob: 0.05,
+                clients: 24,
+                seed: 0xDEAD,
+                ..Default::default()
+            };
+            let system = SystemConfig::new(scheme)
+                .with_partitions(2)
+                .with_clients(24)
+                .with_seed(0xDEAD);
+            let cfg = SimConfig::new(system)
+                .with_window(Nanos::from_millis(20), Nanos::from_millis(150))
+                .with_failover(
+                    Nanos::from_millis(50),
+                    PartitionId(1),
+                    Nanos::from_millis(30),
+                );
+            let builder = MicroWorkload::new(micro);
+            let (report, _, engines, replicas) =
+                Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+                    builder.build_engine(p)
+                })
+                .run();
+            let replicas = replicas.expect("failover implies replicas");
+            (
+                report.committed,
+                report.retries,
+                report.replication,
+                engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+                replicas.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+            )
+        };
+        let (committed, retries, repl, primaries, replicas) = run_once();
+        assert!(
+            committed > 500,
+            "{scheme}: throughput collapsed: {committed}"
+        );
+        assert!(
+            retries > 0,
+            "{scheme}: the kill must bounce at least one in-flight txn"
+        );
+        assert_eq!(repl.promotions, 1, "{scheme}");
+        assert_eq!(repl.recoveries, 1, "{scheme}");
+        assert_eq!(
+            repl.replay_failures, 0,
+            "{scheme}: replicas must replay the commit log cleanly"
+        );
+        assert!(
+            repl.time_to_recover().is_some(),
+            "{scheme}: kill/rejoin timestamps recorded"
+        );
+        for (g, (p, r)) in primaries.iter().zip(replicas.iter()).enumerate() {
+            assert_eq!(
+                p, r,
+                "{scheme}: group {g} recovered replica diverged from its primary"
+            );
+        }
+        // Virtual time: a failover scenario is as deterministic as any
+        // other simulation.
+        let again = run_once();
+        assert_eq!(
+            (committed, retries, repl, primaries, replicas),
+            again,
+            "{scheme}: failover runs must be bit-deterministic"
+        );
+    }
+}
+#[test]
+fn sim_failover_with_two_round_locking_txns_drains() {
+    use hcc_common::{Nanos, PartitionId, Scheme, SystemConfig};
+    use hcc_sim::{SimConfig, Simulation};
+    use hcc_workloads::micro::{MicroConfig, MicroWorkload};
+    for scheme in [Scheme::Locking, Scheme::Blocking, Scheme::Speculative] {
+        for seed in [0x2A, 7, 99, 1234, 0xFEED] {
+            let micro = MicroConfig {
+                mp_fraction: 0.3,
+                two_round: true,
+                conflict_prob: 0.3,
+                clients: 24,
+                seed,
+                ..Default::default()
+            };
+            let system = SystemConfig::new(scheme)
+                .with_partitions(2)
+                .with_clients(24)
+                .with_seed(seed);
+            let cfg = SimConfig::new(system)
+                .with_window(Nanos::from_millis(20), Nanos::from_millis(120))
+                .with_failover(
+                    Nanos::from_millis(50),
+                    PartitionId(1),
+                    Nanos::from_millis(20),
+                );
+            let builder = MicroWorkload::new(micro);
+            let (report, _, engines, replicas) =
+                Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+                    builder.build_engine(p)
+                })
+                .run();
+            let replicas = replicas.unwrap();
+            assert_eq!(report.replication.replay_failures, 0, "{scheme}");
+            for (g, (p, r)) in engines.iter().zip(replicas.iter()).enumerate() {
+                assert_eq!(
+                    p.fingerprint(),
+                    r.fingerprint(),
+                    "{scheme}: group {g} diverged"
+                );
+            }
+        }
     }
 }

@@ -32,6 +32,13 @@ struct UndoRecord {
 #[derive(Debug, Default, Clone)]
 pub struct KvUndo {
     records: Vec<UndoRecord>,
+    /// Engine-assigned creation order among *live* buffers: schedulers
+    /// stack concurrent transactions (speculation, lock queues) such that
+    /// a younger buffer's writes never precede an older buffer's writes
+    /// to the same key, so undoing whole buffers youngest-first restores
+    /// committed state. Used by committed-state snapshots (§3.3
+    /// recovery); rollback of a single transaction ignores it.
+    pub birth: u64,
 }
 
 impl KvUndo {
@@ -61,7 +68,7 @@ impl KvUndo {
 }
 
 /// An in-memory hash table of byte-string keys and values.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct KvStore {
     map: Table,
 }
@@ -153,13 +160,29 @@ impl KvStore {
     /// buffer's allocation intact so the caller can pool it.
     pub fn rollback_reuse(&mut self, undo: &mut KvUndo) {
         for rec in undo.records.drain(..).rev() {
-            match rec.prior {
-                Some(v) => {
-                    self.map.insert(rec.key, v);
-                }
-                None => {
-                    self.map.remove(&rec.key);
-                }
+            self.apply_undo_record(rec.key, rec.prior);
+        }
+    }
+
+    /// Apply `undo` without consuming it — for building a committed-state
+    /// copy of a store that has live (in-flight) transactions: clone the
+    /// store, then roll the live buffers back on the clone,
+    /// youngest-[`birth`](KvUndo::birth) first.
+    pub fn rollback_copy(&mut self, undo: &KvUndo) {
+        for rec in undo.records.iter().rev() {
+            self.apply_undo_record(rec.key.clone(), rec.prior.clone());
+        }
+    }
+
+    /// Restore one pre-image: the single source of truth both rollback
+    /// flavors share.
+    fn apply_undo_record(&mut self, key: Bytes, prior: Option<Bytes>) {
+        match prior {
+            Some(v) => {
+                self.map.insert(key, v);
+            }
+            None => {
+                self.map.remove(&key);
             }
         }
     }

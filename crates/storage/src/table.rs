@@ -11,7 +11,7 @@ use bytes::Bytes;
 use hcc_common::FxHashMap;
 
 /// A byte-string → byte-string hash table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Table {
     map: FxHashMap<Bytes, Bytes>,
 }

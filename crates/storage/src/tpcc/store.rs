@@ -33,6 +33,9 @@ pub enum TpccUndo {
 #[derive(Debug, Default)]
 pub struct TpccUndoBuf {
     records: Vec<TpccUndo>,
+    /// Engine-assigned creation order among live buffers; see
+    /// `KvUndo::birth` for the snapshot ordering contract.
+    pub birth: u64,
 }
 
 impl TpccUndoBuf {
@@ -60,7 +63,7 @@ impl TpccUndoBuf {
 }
 
 /// All TPC-C state owned by one partition.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TpccStore {
     /// Warehouse ids whose partitioned data lives here.
     pub local_warehouses: Vec<WId>,
@@ -330,42 +333,55 @@ impl TpccStore {
     /// buffer's allocation intact so the caller can pool it.
     pub fn rollback_reuse(&mut self, undo: &mut TpccUndoBuf) {
         for rec in undo.records.drain(..).rev() {
-            match rec {
-                TpccUndo::WarehousePre(row) => {
-                    self.warehouse.insert(row.w_id, row);
-                }
-                TpccUndo::DistrictPre(row) => {
-                    self.district.insert((row.w_id, row.d_id), row);
-                }
-                TpccUndo::CustomerPre(row) => {
-                    self.customer.insert((row.w_id, row.d_id, row.c_id), *row);
-                }
-                TpccUndo::StockPre(key, row) => {
-                    self.stock.insert(key, row);
-                }
-                TpccUndo::OrderInserted(key, c_id) => {
-                    self.order.remove(&key);
-                    self.order_by_customer.remove(&(key.0, key.1, c_id, key.2));
-                }
-                TpccUndo::OrderPre(row) => {
-                    self.order.insert((row.w_id, row.d_id, row.o_id), *row);
-                }
-                TpccUndo::OrderLineInserted(key) => {
-                    self.order_line.remove(&key);
-                }
-                TpccUndo::OrderLinePre(row) => {
-                    self.order_line
-                        .insert((row.w_id, row.d_id, row.o_id, row.ol_number), *row);
-                }
-                TpccUndo::NewOrderInserted(key) => {
-                    self.new_order.remove(&key);
-                }
-                TpccUndo::NewOrderDeleted(key) => {
-                    self.new_order.insert(key, ());
-                }
-                TpccUndo::HistoryAppended => {
-                    self.history.pop();
-                }
+            self.apply_undo(rec);
+        }
+    }
+
+    /// Apply `undo` without consuming it — for building a committed-state
+    /// copy of a store with live transactions (see `KvStore::rollback_copy`
+    /// for the contract).
+    pub fn rollback_copy(&mut self, undo: &TpccUndoBuf) {
+        for rec in undo.records.iter().rev() {
+            self.apply_undo(rec.clone());
+        }
+    }
+
+    fn apply_undo(&mut self, rec: TpccUndo) {
+        match rec {
+            TpccUndo::WarehousePre(row) => {
+                self.warehouse.insert(row.w_id, row);
+            }
+            TpccUndo::DistrictPre(row) => {
+                self.district.insert((row.w_id, row.d_id), row);
+            }
+            TpccUndo::CustomerPre(row) => {
+                self.customer.insert((row.w_id, row.d_id, row.c_id), *row);
+            }
+            TpccUndo::StockPre(key, row) => {
+                self.stock.insert(key, row);
+            }
+            TpccUndo::OrderInserted(key, c_id) => {
+                self.order.remove(&key);
+                self.order_by_customer.remove(&(key.0, key.1, c_id, key.2));
+            }
+            TpccUndo::OrderPre(row) => {
+                self.order.insert((row.w_id, row.d_id, row.o_id), *row);
+            }
+            TpccUndo::OrderLineInserted(key) => {
+                self.order_line.remove(&key);
+            }
+            TpccUndo::OrderLinePre(row) => {
+                self.order_line
+                    .insert((row.w_id, row.d_id, row.o_id, row.ol_number), *row);
+            }
+            TpccUndo::NewOrderInserted(key) => {
+                self.new_order.remove(&key);
+            }
+            TpccUndo::NewOrderDeleted(key) => {
+                self.new_order.insert(key, ());
+            }
+            TpccUndo::HistoryAppended => {
+                self.history.pop();
             }
         }
     }

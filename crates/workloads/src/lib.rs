@@ -8,9 +8,14 @@
 //!   replicated ITEM, vertically partitioned STOCK, no client think time,
 //!   fixed clients with random districts, and new-order operations
 //!   reordered so user aborts never need an undo buffer.
+//! * [`ycsb`] — a YCSB-style read-mostly workload over a shared Zipfian
+//!   key space (skewed popularity, 95/5 read/update), on the same KV
+//!   engine as the microbenchmark.
 
 pub mod micro;
 pub mod tpcc;
+pub mod ycsb;
 
 pub use micro::{MicroConfig, MicroEngine, MicroFragment, MicroWorkload};
 pub use tpcc::{TpccConfig, TpccEngine, TpccFragment, TpccWorkload};
+pub use ycsb::{YcsbConfig, YcsbWorkload};

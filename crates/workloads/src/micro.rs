@@ -87,6 +87,8 @@ pub struct MicroEngine {
     kv: KvStore,
     undo: FxHashMap<TxnId, KvUndo>,
     undo_pool: Vec<KvUndo>,
+    /// Monotone stamp for undo-buffer creation order (see `KvUndo::birth`).
+    undo_births: u64,
 }
 
 impl MicroEngine {
@@ -95,6 +97,7 @@ impl MicroEngine {
             kv: KvStore::new(),
             undo: FxHashMap::default(),
             undo_pool: Vec::new(),
+            undo_births: 0,
         }
     }
 
@@ -110,6 +113,12 @@ impl MicroEngine {
             }
         }
         e
+    }
+
+    /// Preload one key (used by loaders beyond the paper's per-client
+    /// scheme, e.g. the YCSB-style shared key space).
+    pub fn preload(&mut self, k: MicroKey, v: u32) {
+        self.kv.put(key_bytes(k), value_bytes(v), None);
     }
 
     pub fn read_value(&self, k: MicroKey) -> Option<u32> {
@@ -159,11 +168,14 @@ impl ExecutionEngine for MicroEngine {
         // Split borrow: we need &mut kv and &mut undo entry together.
         let kv = &mut self.kv;
         let pool = &mut self.undo_pool;
+        let births = &mut self.undo_births;
         let mut ubuf = undo.then(|| {
             // Pooled buffer, pre-sized: recording never (re)allocates.
             let buf = self.undo.entry(txn).or_insert_with(|| {
                 let mut b = pool.pop().unwrap_or_default();
                 b.clear();
+                *births += 1;
+                b.birth = *births;
                 b
             });
             buf.reserve(fragment.ops.len());
@@ -221,6 +233,26 @@ impl ExecutionEngine for MicroEngine {
                 n
             }
             None => 0,
+        }
+    }
+
+    fn snapshot(&self) -> Self {
+        // Committed state only: clone the store, then undo the live
+        // (in-flight) transactions on the clone, youngest buffer first —
+        // the schedulers' stacking discipline (speculation order, strict
+        // 2PL) guarantees whole-buffer undo in reverse birth order
+        // restores exactly the committed state.
+        let mut kv = self.kv.clone();
+        let mut live: Vec<&KvUndo> = self.undo.values().collect();
+        live.sort_by_key(|u| std::cmp::Reverse(u.birth));
+        for u in live {
+            kv.rollback_copy(u);
+        }
+        MicroEngine {
+            kv,
+            undo: FxHashMap::default(),
+            undo_pool: Vec::new(),
+            undo_births: 0,
         }
     }
 

@@ -154,6 +154,8 @@ pub struct TpccEngine {
     undo: FxHashMap<TxnId, TpccUndoBuf>,
     /// Recycled undo buffers: steady state allocates nothing per txn.
     undo_pool: Vec<TpccUndoBuf>,
+    /// Monotone stamp for undo-buffer creation order (see `KvUndo::birth`).
+    undo_births: u64,
 }
 
 impl TpccEngine {
@@ -162,6 +164,7 @@ impl TpccEngine {
             store,
             undo: FxHashMap::default(),
             undo_pool: Vec::new(),
+            undo_births: 0,
         }
     }
 
@@ -553,6 +556,7 @@ impl ExecutionEngine for TpccEngine {
     ) -> ExecOutcome<TpccOutput> {
         let store = &mut self.store;
         let pool = &mut self.undo_pool;
+        let births = &mut self.undo_births;
         let undo_ref = undo.then(|| {
             // Pooled buffer, pre-sized to the fragment's worst-case record
             // count so recording never (re)allocates.
@@ -568,6 +572,8 @@ impl ExecutionEngine for TpccEngine {
             let buf = self.undo.entry(txn).or_insert_with(|| {
                 let mut b = pool.pop().unwrap_or_default();
                 b.clear();
+                *births += 1;
+                b.birth = *births;
                 b
             });
             buf.reserve(est);
@@ -683,6 +689,23 @@ impl ExecutionEngine for TpccEngine {
                 n
             }
             None => 0,
+        }
+    }
+
+    fn snapshot(&self) -> Self {
+        // Committed state only: undo the live transactions on a clone of
+        // the store, youngest buffer first (see `MicroEngine::snapshot`).
+        let mut store = self.store.clone();
+        let mut live: Vec<&TpccUndoBuf> = self.undo.values().collect();
+        live.sort_by_key(|u| std::cmp::Reverse(u.birth));
+        for u in live {
+            store.rollback_copy(u);
+        }
+        TpccEngine {
+            store,
+            undo: FxHashMap::default(),
+            undo_pool: Vec::new(),
+            undo_births: 0,
         }
     }
 

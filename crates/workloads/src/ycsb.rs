@@ -1,0 +1,263 @@
+//! A YCSB-style read-mostly workload with Zipfian key popularity
+//! (ROADMAP "workload diversity").
+//!
+//! Where the paper's §5 microbenchmark gives every client its own key set
+//! (no data contention unless injected), YCSB models a *shared* key space
+//! with skewed popularity: every partition holds `keys_per_partition`
+//! records, and each access draws a key rank from the deterministic
+//! [`Zipfian`] sampler (`theta = 0.99` is YCSB's default skew; 0 is
+//! uniform). Transactions are short — `ops_per_txn` operations, each a
+//! read with probability `read_fraction` and a read-modify-write
+//! otherwise (a read-mostly mix like YCSB-B at 95/5).
+//!
+//! Two properties are deliberately preserved from the microbenchmark:
+//!
+//! * **Determinism** — request streams come from per-client
+//!   [`SplitMix64`] streams, so a run is a pure function of the seed.
+//! * **Commutativity** — updates are blind increments (RMW), so the final
+//!   committed store is independent of commit order and the cross-backend
+//!   equivalence and replication-determinism fingerprint tests extend to
+//!   this workload unchanged.
+//!
+//! The engine is the same [`MicroEngine`] KV store; only the key layout
+//! and request distribution differ.
+
+use crate::micro::{MicroEngine, MicroFragment, MicroOp, MicroOutput, SimpleMicroProcedure};
+use hcc_common::rng::{SplitMix64, Zipfian};
+use hcc_common::{ClientId, PartitionId};
+use hcc_core::{Procedure, Request, RequestGenerator};
+
+/// A YCSB key: partition in the high half, record index in the low half —
+/// disjoint from the microbenchmark's (client, partition, index) packing.
+pub fn ycsb_key(partition: u32, index: u64) -> u64 {
+    (1 << 63) | ((partition as u64) << 32) | index
+}
+
+/// Configuration (defaults: YCSB-B-like 95/5 read/update at theta 0.99).
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    pub partitions: u32,
+    pub clients: u32,
+    /// Records per partition.
+    pub keys_per_partition: u64,
+    /// Zipfian skew in `[0, 1)`: 0 ≈ uniform, 0.99 = YCSB default.
+    pub theta: f64,
+    /// Probability that one operation is a pure read (the rest are RMWs).
+    pub read_fraction: f64,
+    /// Operations per transaction.
+    pub ops_per_txn: u32,
+    /// Fraction of transactions spanning two partitions.
+    pub mp_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            partitions: 2,
+            clients: 40,
+            keys_per_partition: 16 * 1024,
+            theta: 0.99,
+            read_fraction: 0.95,
+            ops_per_txn: 12,
+            mp_fraction: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Request generator for the YCSB-style workload.
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    zipf: Zipfian,
+    rngs: Vec<SplitMix64>,
+}
+
+impl YcsbWorkload {
+    pub fn new(cfg: YcsbConfig) -> Self {
+        assert!(cfg.partitions >= 1 && cfg.clients >= 1);
+        assert!(cfg.ops_per_txn >= 1);
+        let rngs = (0..cfg.clients)
+            .map(|c| SplitMix64::new(cfg.seed ^ ((c as u64 + 1) << 24)))
+            .collect();
+        YcsbWorkload {
+            zipf: Zipfian::new(cfg.keys_per_partition, cfg.theta),
+            rngs,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    /// Build one partition's preloaded engine (every record starts at 0).
+    pub fn build_engine(&self, partition: PartitionId) -> MicroEngine {
+        let mut e = MicroEngine::new();
+        for i in 0..self.cfg.keys_per_partition {
+            e.preload(ycsb_key(partition.0, i), 0);
+        }
+        e
+    }
+
+    /// One partition's share of a transaction: `n` Zipf-popular keys,
+    /// read-mostly.
+    fn fragment(&mut self, client: u32, partition: u32, n: u32) -> MicroFragment {
+        let rng = &mut self.rngs[client as usize];
+        let mut ops = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let rank = self.zipf.sample(rng);
+            let key = ycsb_key(partition, rank);
+            if rng.next_f64() < self.cfg.read_fraction {
+                ops.push(MicroOp::Read(key));
+            } else {
+                ops.push(MicroOp::Rmw(key));
+            }
+        }
+        MicroFragment { ops, fail: false }
+    }
+}
+
+impl RequestGenerator for YcsbWorkload {
+    type Engine = MicroEngine;
+
+    fn next_request(&mut self, client: ClientId) -> Request<MicroFragment, MicroOutput> {
+        let c = client.0;
+        let cfg = self.cfg;
+        let is_mp = cfg.partitions >= 2 && self.rngs[c as usize].next_f64() < cfg.mp_fraction;
+        if !is_mp {
+            let p = self.rngs[c as usize].range_inclusive(0, cfg.partitions as u64 - 1) as u32;
+            return Request::SinglePartition {
+                partition: PartitionId(p),
+                fragment: self.fragment(c, p, cfg.ops_per_txn),
+                can_abort: false,
+            };
+        }
+        // Two distinct partitions, half the ops each.
+        let p0 = self.rngs[c as usize].range_inclusive(0, cfg.partitions as u64 - 1) as u32;
+        let mut p1 = self.rngs[c as usize].range_inclusive(0, cfg.partitions as u64 - 2) as u32;
+        if p1 >= p0 {
+            p1 += 1;
+        }
+        let half = (cfg.ops_per_txn / 2).max(1);
+        let procedure: Box<dyn Procedure<MicroFragment, MicroOutput>> =
+            Box::new(SimpleMicroProcedure {
+                fragments: vec![
+                    (PartitionId(p0), self.fragment(c, p0, half)),
+                    (PartitionId(p1), self.fragment(c, p1, half)),
+                ],
+            });
+        Request::MultiPartition {
+            procedure,
+            can_abort: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_deterministic_per_seed() {
+        let mut a = YcsbWorkload::new(YcsbConfig::default());
+        let mut b = YcsbWorkload::new(YcsbConfig::default());
+        for _ in 0..100 {
+            let ra = format!("{:?}", a.next_request(ClientId(3)));
+            let rb = format!("{:?}", b.next_request(ClientId(3)));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn read_fraction_is_respected() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            read_fraction: 0.95,
+            ..Default::default()
+        });
+        let (mut reads, mut rmws) = (0u32, 0u32);
+        for _ in 0..500 {
+            match w.next_request(ClientId(0)) {
+                Request::SinglePartition { fragment, .. } => {
+                    for op in &fragment.ops {
+                        match op {
+                            MicroOp::Read(_) => reads += 1,
+                            MicroOp::Rmw(_) => rmws += 1,
+                            _ => panic!("unexpected op"),
+                        }
+                    }
+                }
+                _ => panic!("mp_fraction 0"),
+            }
+        }
+        let frac = reads as f64 / (reads + rmws) as f64;
+        assert!((frac - 0.95).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_keys() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            theta: 0.99,
+            keys_per_partition: 10_000,
+            ..Default::default()
+        });
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for _ in 0..2_000 {
+            if let Request::SinglePartition { fragment, .. } = w.next_request(ClientId(1)) {
+                for op in &fragment.ops {
+                    let k = match op {
+                        MicroOp::Read(k) | MicroOp::Rmw(k) => *k,
+                        _ => unreachable!(),
+                    };
+                    if (k & 0xFFFF_FFFF) < 100 {
+                        hot += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        let share = hot as f64 / total as f64;
+        assert!(share > 0.5, "hottest 1% drew only {share} of accesses");
+    }
+
+    #[test]
+    fn mp_requests_span_two_distinct_partitions() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            mp_fraction: 1.0,
+            partitions: 4,
+            ..Default::default()
+        });
+        for _ in 0..50 {
+            match w.next_request(ClientId(2)) {
+                Request::MultiPartition { procedure, .. } => {
+                    let parts = procedure.participants();
+                    assert_eq!(parts.len(), 2);
+                    assert_ne!(parts[0], parts[1]);
+                }
+                _ => panic!("must be MP"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_preloaded() {
+        let w = YcsbWorkload::new(YcsbConfig {
+            keys_per_partition: 64,
+            ..Default::default()
+        });
+        let e = w.build_engine(PartitionId(1));
+        assert_eq!(e.read_value(ycsb_key(1, 0)), Some(0));
+        assert_eq!(e.read_value(ycsb_key(1, 63)), Some(0));
+        assert_eq!(e.read_value(ycsb_key(1, 64)), None);
+    }
+
+    #[test]
+    fn ycsb_keys_do_not_collide_with_micro_keys() {
+        // Microbenchmark keys have bit 63 clear (client ids are u32 shifted
+        // by 24); YCSB keys set it.
+        let micro_max = crate::micro::make_key(u32::MAX, u32::MAX, u32::MAX);
+        assert_eq!(micro_max >> 63, 0);
+        assert_eq!(ycsb_key(0, 0) >> 63, 1);
+    }
+}

@@ -115,6 +115,13 @@ impl ExecutionEngine for BankEngine {
         self.undo.remove(&txn).map_or(0, |r| r.len() as u32)
     }
 
+    fn snapshot(&self) -> Self {
+        BankEngine {
+            balances: self.balances.clone(),
+            undo: HashMap::new(),
+        }
+    }
+
     fn lock_set(&self, frag: &BankFragment) -> Vec<(LockKey, LockMode)> {
         frag.ops
             .iter()

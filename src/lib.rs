@@ -58,18 +58,19 @@ pub use hcc_workloads as workloads;
 /// The types most programs need.
 pub mod prelude {
     pub use hcc_common::{
-        AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask,
-        LockKey, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+        AbortReason, ClientId, CommitRecord, CoordinatorRef, CostModel, Decision, FailurePlan,
+        FragmentResponse, FragmentTask, LockKey, Nanos, PartitionId, Scheme, SystemConfig, TxnId,
+        TxnResult,
     };
     pub use hcc_core::{
-        make_scheduler, ExecOutcome, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
-        RequestGenerator, RoundOutputs, Scheduler, Step,
+        make_scheduler, ExecOutcome, ExecutionEngine, Outbox, PartitionOut, Procedure, ReplicaCore,
+        ReplicationSession, Request, RequestGenerator, RoundOutputs, Scheduler, Step,
     };
     pub use hcc_runtime::{
         run, Backend, BackendChoice, MultiplexedBackend, RunMode, RuntimeConfig, RuntimeReport,
         ThreadedBackend,
     };
-    pub use hcc_sim::{SimConfig, SimReport, Simulation};
+    pub use hcc_sim::{SimConfig, SimFailover, SimReport, Simulation};
 }
 
 #[cfg(test)]
