@@ -49,7 +49,7 @@ fn sp_task(n: u32) -> FragmentTask<MicroFragment> {
 fn mp_task(n: u32) -> FragmentTask<MicroFragment> {
     FragmentTask {
         txn: TxnId::new(ClientId(9), n),
-        coordinator: CoordinatorRef::Central,
+        coordinator: CoordinatorRef::Central(hcc_common::CoordinatorId(0)),
         client: ClientId(9),
         fragment: MicroFragment {
             ops: (0..6)

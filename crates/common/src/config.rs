@@ -2,7 +2,7 @@
 //! partitions/clients, and the calibrated cost model that makes the
 //! simulator reproduce the paper's testbed.
 
-use crate::ids::PartitionId;
+use crate::ids::{ClientId, CoordinatorId, PartitionId};
 use crate::time::Nanos;
 use serde::Serialize;
 
@@ -188,6 +188,16 @@ pub struct SystemConfig {
     pub scheme: Scheme,
     pub partitions: u32,
     pub clients: u32,
+    /// Central coordinator shards (>= 1). Clients are statically
+    /// partitioned across shards (`client % coordinators`), each shard runs
+    /// its own 2PC and speculation-chain state, and §4.2.2 dependency
+    /// chains never cross shards: partitions fall back to *blocking*
+    /// behind another shard's chain (counted in
+    /// `SchedulerCounters::cross_coord_waits`), and the shards expire
+    /// stalled transactions after `lock_timeout` with the retryable
+    /// `CrossCoordinator` abort to break residual cross-partition
+    /// deadlocks. 1 reproduces the paper's singleton.
+    pub coordinators: u32,
     /// Replication factor `k`: number of copies of each partition (1 = no
     /// replication). The paper commits a transaction once it is on `k`
     /// replicas (§2.2).
@@ -217,6 +227,7 @@ impl SystemConfig {
             scheme,
             partitions: 2,
             clients: 40,
+            coordinators: 1,
             replication: 1,
             network: NetworkModel::default(),
             costs: CostModel::default(),
@@ -249,6 +260,21 @@ impl SystemConfig {
     pub fn with_replication(mut self, k: u32) -> Self {
         self.replication = k;
         self
+    }
+
+    pub fn with_coordinators(mut self, n: u32) -> Self {
+        assert!(n >= 1, "at least one coordinator shard");
+        self.coordinators = n;
+        self
+    }
+
+    /// The coordinator shard that owns a client's multi-partition
+    /// transactions: a static partitioning, so a transaction's coordinator
+    /// is a pure function of the issuing client and chains of transactions
+    /// from one client always share a shard.
+    #[inline]
+    pub fn coordinator_of(&self, client: ClientId) -> CoordinatorId {
+        CoordinatorId(client.0 % self.coordinators.max(1))
     }
 }
 
@@ -293,10 +319,23 @@ mod tests {
             .with_partitions(4)
             .with_clients(10)
             .with_seed(42)
-            .with_replication(2);
+            .with_replication(2)
+            .with_coordinators(2);
         assert_eq!(cfg.partitions, 4);
         assert_eq!(cfg.clients, 10);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.replication, 2);
+        assert_eq!(cfg.coordinators, 2);
+    }
+
+    #[test]
+    fn coordinator_partitioning_is_static_modulo() {
+        let cfg = SystemConfig::new(Scheme::Speculative).with_coordinators(3);
+        assert_eq!(cfg.coordinator_of(ClientId(0)), CoordinatorId(0));
+        assert_eq!(cfg.coordinator_of(ClientId(4)), CoordinatorId(1));
+        assert_eq!(cfg.coordinator_of(ClientId(5)), CoordinatorId(2));
+        // The singleton maps every client to shard 0.
+        let one = SystemConfig::new(Scheme::Blocking);
+        assert_eq!(one.coordinator_of(ClientId(17)), CoordinatorId(0));
     }
 }

@@ -77,18 +77,43 @@ impl fmt::Display for TxnId {
     }
 }
 
+/// Identifies one central-coordinator shard.
+///
+/// The paper evaluates a single central coordinator and names multiple
+/// coordinators as future work; here the coordinator is sharded, with
+/// clients statically partitioned across shards (`client % coordinators`).
+/// Shard identity matters to the speculation protocol: §4.2.2's dependency
+/// chains are only valid between transactions that share one coordinator,
+/// so partitions compare `CoordinatorRef`s — which carry this id — before
+/// releasing speculative results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoordinatorId(pub u32);
+
+impl CoordinatorId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoordinatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
 /// Who is coordinating a multi-partition transaction.
 ///
 /// Under the blocking and speculative schemes every multi-partition
-/// transaction flows through the central coordinator (paper §3.3). Under the
-/// locking scheme clients send multi-partition transactions *directly* to
-/// the partitions and run two-phase commit themselves (paper §4.3), so the
-/// coordinator of record is the client.
+/// transaction flows through a central coordinator shard (paper §3.3; the
+/// paper models one shard). Under the locking scheme clients send
+/// multi-partition transactions *directly* to the partitions and run
+/// two-phase commit themselves (paper §4.3), so the coordinator of record
+/// is the client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoordinatorRef {
-    /// The central coordinator process (we model a single one, as evaluated
-    /// in the paper; multiple coordinators are future work there too).
-    Central,
+    /// A central coordinator shard. The paper's singleton is shard 0 of 1.
+    Central(CoordinatorId),
     /// A client acting as its own 2PC coordinator (locking scheme).
     Client(ClientId),
 }
@@ -96,7 +121,7 @@ pub enum CoordinatorRef {
 impl fmt::Display for CoordinatorRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoordinatorRef::Central => write!(f, "coord"),
+            CoordinatorRef::Central(k) => write!(f, "coord{}", k.0),
             CoordinatorRef::Client(c) => write!(f, "coord@{c}"),
         }
     }
@@ -184,7 +209,11 @@ mod tests {
         assert_eq!(PartitionId(3).to_string(), "P3");
         assert_eq!(ClientId(9).to_string(), "C9");
         assert_eq!(TxnId::new(ClientId(2), 4).to_string(), "T2.4");
-        assert_eq!(CoordinatorRef::Central.to_string(), "coord");
+        assert_eq!(CoordinatorId(2).to_string(), "K2");
+        assert_eq!(
+            CoordinatorRef::Central(CoordinatorId(0)).to_string(),
+            "coord0"
+        );
         assert_eq!(CoordinatorRef::Client(ClientId(1)).to_string(), "coord@C1");
     }
 }

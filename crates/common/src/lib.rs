@@ -24,7 +24,7 @@ pub mod time;
 pub use config::FailurePlan;
 pub use config::{CostModel, NetworkModel, Scheme, SystemConfig};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use ids::{ClientId, CoordinatorRef, LockKey, PartitionId, TxnId};
+pub use ids::{ClientId, CoordinatorId, CoordinatorRef, LockKey, PartitionId, TxnId};
 pub use msg::{
     AbortReason, CommitRecord, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
 };

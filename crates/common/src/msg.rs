@@ -29,17 +29,29 @@ pub enum AbortReason {
     /// group fails over to a backup; the work itself is still valid, so
     /// clients transparently re-submit against the new primary.
     PartitionFailed,
+    /// Bounced by a partition whose speculation chain belongs to a
+    /// different coordinator shard (§4.2.2's same-coordinator-chain rule
+    /// under sharded coordinators). Waiting instead would deadlock — two
+    /// cross-shard transactions meeting at two partitions in opposite
+    /// orders would wait on each other's commits forever, since no global
+    /// dispatch order exists across shards — so the conflict resolves by
+    /// abort-retry, like a lock timeout.
+    CrossCoordinator,
 }
 
 impl AbortReason {
     /// Whether the client should transparently retry the transaction.
-    /// Deadlock victims, lock timeouts, and partition failovers are
-    /// scheduling/availability artifacts, not logic outcomes, so clients
-    /// re-submit them (the paper counts only completed transactions).
+    /// Deadlock victims, lock timeouts, partition failovers, and
+    /// cross-shard coordination bounces are scheduling/availability
+    /// artifacts, not logic outcomes, so clients re-submit them (the paper
+    /// counts only completed transactions).
     pub fn is_retryable(self) -> bool {
         matches!(
             self,
-            AbortReason::DeadlockVictim | AbortReason::LockTimeout | AbortReason::PartitionFailed
+            AbortReason::DeadlockVictim
+                | AbortReason::LockTimeout
+                | AbortReason::PartitionFailed
+                | AbortReason::CrossCoordinator
         )
     }
 }
@@ -169,6 +181,7 @@ mod tests {
         assert!(AbortReason::DeadlockVictim.is_retryable());
         assert!(AbortReason::LockTimeout.is_retryable());
         assert!(AbortReason::PartitionFailed.is_retryable());
+        assert!(AbortReason::CrossCoordinator.is_retryable());
         assert!(!AbortReason::User.is_retryable());
         assert!(!AbortReason::RemoteAbort.is_retryable());
         assert!(!AbortReason::SpeculationSquashed.is_retryable());

@@ -215,6 +215,13 @@ pub struct SchedulerCounters {
     /// decisions for transactions that died with its predecessor); in a
     /// healthy run this must stay 0.
     pub stray_decisions: u64,
+    /// Times the scheduler stalled behind a multi-partition transaction
+    /// from a *different* coordinator shard (§4.2.2's
+    /// same-coordinator-chain rule falling back to blocking; residual
+    /// cross-partition deadlocks are broken by coordinator timeout
+    /// expiry). Always 0 with a single coordinator; the measured price of
+    /// sharding at high multi-partition fractions.
+    pub cross_coord_waits: u64,
 }
 
 impl SchedulerCounters {
@@ -233,6 +240,7 @@ impl SchedulerCounters {
         self.execution_ns += o.execution_ns;
         self.rollback_ns += o.rollback_ns;
         self.stray_decisions += o.stray_decisions;
+        self.cross_coord_waits += o.cross_coord_waits;
     }
 }
 

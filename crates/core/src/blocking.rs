@@ -8,18 +8,30 @@
 //! multi-partition transaction is active — without an undo buffer unless
 //! they can user-abort. While a multi-partition transaction is in flight
 //! (including its two-phase-commit network stall), everything else queues.
+//!
+//! Under **sharded coordinators** blocking behaves as it always did —
+//! everything queues behind the active multi-partition transaction — but
+//! cross-shard arrivals are counted (`cross_coord_waits`), because
+//! without a global dispatch order two cross-shard transactions meeting
+//! at two partitions in opposite orders block each other forever. That
+//! residual distributed deadlock is broken by the coordinator's timeout
+//! expiry (retryable `CrossCoordinator` aborts), exactly how §4.3
+//! resolves distributed deadlocks under locking.
 
 use crate::engine::ExecutionEngine;
 use crate::outbox::Outbox;
 use crate::scheduler::Scheduler;
 use hcc_common::stats::SchedulerCounters;
-use hcc_common::{CostModel, Decision, FragmentResponse, FragmentTask, Nanos, TxnResult, Vote};
+use hcc_common::{
+    CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask, Nanos, TxnResult, Vote,
+};
 use std::collections::VecDeque;
 
 /// The multi-partition transaction currently occupying the partition.
 #[derive(Debug)]
 struct ActiveMp {
     txn: hcc_common::TxnId,
+    coordinator: CoordinatorRef,
     ops: u32,
 }
 
@@ -131,6 +143,7 @@ impl<E: ExecutionEngine> BlockingScheduler<E> {
             if task.multi_partition {
                 self.active = Some(ActiveMp {
                     txn: task.txn,
+                    coordinator: task.coordinator,
                     ops: 0,
                 });
                 self.run_mp_fragment(&task, engine, out);
@@ -155,6 +168,7 @@ impl<E: ExecutionEngine> Scheduler<E> for BlockingScheduler<E> {
                 if task.multi_partition {
                     self.active = Some(ActiveMp {
                         txn: task.txn,
+                        coordinator: task.coordinator,
                         ops: 0,
                     });
                     self.run_mp_fragment(&task, engine, out);
@@ -166,7 +180,15 @@ impl<E: ExecutionEngine> Scheduler<E> for BlockingScheduler<E> {
                 // "fragment continues active multi-partition transaction".
                 self.run_mp_fragment(&task, engine, out);
             }
-            Some(_) => self.queue.push_back(task),
+            Some(a) => {
+                if task.multi_partition && a.coordinator != task.coordinator {
+                    // Cross-shard overlap: wait, counted. A resulting
+                    // cross-partition deadlock is broken by the
+                    // coordinator's timeout expiry.
+                    self.counters.cross_coord_waits += 1;
+                }
+                self.queue.push_back(task);
+            }
         }
     }
 
@@ -249,7 +271,7 @@ mod tests {
     fn mp_task(txn: u32, frag: TestFragment, last: bool, round: u32) -> FragmentTask<TestFragment> {
         FragmentTask {
             txn: TxnId::new(ClientId(9), txn),
-            coordinator: CoordinatorRef::Central,
+            coordinator: CoordinatorRef::Central(hcc_common::CoordinatorId(0)),
             client: ClientId(9),
             fragment: frag,
             multi_partition: true,

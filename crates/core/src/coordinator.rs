@@ -1,10 +1,39 @@
-//! The central coordinator (paper §3.3) with speculative-result handling
-//! (§4.2.2).
+//! A central coordinator shard (paper §3.3) with speculative-result
+//! handling (§4.2.2).
 //!
-//! All multi-partition transactions under the blocking and speculative
-//! schemes flow through this single process, which assigns them a global
-//! order (their dispatch order), drives their rounds, and runs two-phase
-//! commit with the prepare piggybacked on the final round's fragments.
+//! Multi-partition transactions under the blocking and speculative schemes
+//! flow through a central coordinator, which assigns them a global order
+//! (their dispatch order), drives their rounds, and runs two-phase commit
+//! with the prepare piggybacked on the final round's fragments. The paper
+//! evaluates a single coordinator process; here the coordinator is
+//! **sharded**: clients are statically partitioned across N shards
+//! (`client % N`), each shard an independent [`Coordinator`] with its own
+//! 2PC and speculation-chain state. Shards never talk to each other —
+//! §4.2.2's dependency chains are only valid within one shard, and
+//! partitions enforce that by blocking a multi-partition arrival behind a
+//! different shard's chain (see `speculative.rs`); the shards break
+//! residual cross-partition deadlocks by expiring stalled transactions
+//! ([`Coordinator::expire_stalled`] with the retryable
+//! `CrossCoordinator`).
+//!
+//! # Membership updates and the 2PC in-doubt window
+//!
+//! Failover membership/epochs are owned by the separate control-plane
+//! [`crate::membership::MembershipCore`]; every shard consumes its
+//! epoch-stamped updates via [`Coordinator::on_partition_failed`], aborting
+//! in-flight transactions that touched the dead node.
+//!
+//! A commit decision still in flight to a dying primary is the classic 2PC
+//! in-doubt window: under commit-order log shipping the transaction's
+//! fragments died with the node, so without help the promoted backup would
+//! resolve it as "never happened" while the other participants keep it.
+//! The shard closes that window with **commit acknowledgements**: when
+//! in-doubt tracking is on (failover runs), it retains every committed
+//! multi-partition transaction's dispatched fragments until each
+//! participant acks the commit decision
+//! ([`Coordinator::on_decision_ack`]); a membership update re-delivers the
+//! unacknowledged fragments to the promoted primary, which re-executes
+//! them, votes, and is answered with the (already global) commit.
 //!
 //! # Speculative results
 //!
@@ -31,8 +60,8 @@
 
 use crate::procedure::{Procedure, RoundOutputs, Step};
 use hcc_common::{
-    AbortReason, ClientId, CoordinatorRef, CostModel, Decision, FragmentResponse, FragmentTask,
-    FxHashMap, FxHashSet, Nanos, PartitionId, TxnId, TxnResult, Vote,
+    AbortReason, ClientId, CoordinatorId, CoordinatorRef, CostModel, Decision, FragmentResponse,
+    FragmentTask, FxHashMap, FxHashSet, Nanos, PartitionId, TxnId, TxnResult, Vote,
 };
 use std::collections::VecDeque;
 
@@ -40,7 +69,11 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub enum CoordOut<F, R> {
     Fragment(PartitionId, FragmentTask<F>),
-    Decision(PartitionId, Decision),
+    /// A 2PC decision for a participant. The third field is the shard that
+    /// wants a [`Coordinator::on_decision_ack`] back once the partition
+    /// has processed a *commit* (in-doubt tracking); `None` for aborts,
+    /// client-driven 2PC, and runs without failover.
+    Decision(PartitionId, Decision, Option<CoordinatorId>),
     ClientResult {
         client: ClientId,
         txn: TxnId,
@@ -61,6 +94,31 @@ pub struct CoordCounters {
     /// Transactions aborted because a participant's primary failed
     /// (failover; the clients transparently retry them).
     pub failover_aborts: u64,
+    /// Commit-decision acknowledgements received (in-doubt tracking).
+    pub decision_acks: u64,
+    /// In-doubt committed transactions re-delivered to a promoted primary
+    /// after a failover (the 2PC in-doubt window being closed).
+    pub in_doubt_redeliveries: u64,
+    /// Re-delivered commits the new primary executed and was told to
+    /// commit — the window actually closed, not just attempted.
+    pub in_doubt_commits_recovered: u64,
+}
+
+impl CoordCounters {
+    /// Fold another shard's counters in (drivers aggregate across shards).
+    pub fn merge(&mut self, o: &CoordCounters) {
+        self.invocations += o.invocations;
+        self.responses += o.responses;
+        self.stale_responses_discarded += o.stale_responses_discarded;
+        self.commits += o.commits;
+        self.aborts += o.aborts;
+        self.messages_sent += o.messages_sent;
+        self.rounds_dispatched += o.rounds_dispatched;
+        self.failover_aborts += o.failover_aborts;
+        self.decision_acks += o.decision_acks;
+        self.in_doubt_redeliveries += o.in_doubt_redeliveries;
+        self.in_doubt_commits_recovered += o.in_doubt_commits_recovered;
+    }
 }
 
 struct MpTxn<F, R> {
@@ -80,6 +138,9 @@ struct MpTxn<F, R> {
     /// Latest response per participant for the current round, keyed
     /// linearly by partition for the same reason.
     responses: Vec<(PartitionId, FragmentResponse<R>)>,
+    /// Every dispatched fragment, retained for in-doubt redelivery after a
+    /// failover. Empty unless in-doubt tracking is on.
+    sent: Vec<(PartitionId, FragmentTask<F>)>,
     round: u32,
     is_final: bool,
 }
@@ -120,6 +181,36 @@ impl<F, R> MpTxn<F, R> {
 /// orders of magnitude beyond that for any configuration we run.
 const HISTORY_LIMIT: usize = 1 << 16;
 
+/// A committed multi-partition transaction whose commit decision has not
+/// yet been acknowledged by every participant — the 2PC in-doubt window.
+struct InDoubt<F> {
+    /// Participants that have not acked the commit decision yet.
+    unacked: Vec<PartitionId>,
+    /// Every fragment dispatched to any participant, in dispatch order,
+    /// for redelivery to a promoted primary.
+    tasks: Vec<(PartitionId, FragmentTask<F>)>,
+}
+
+/// An in-doubt commit re-delivered to a promoted primary: the shard waits
+/// for the new primary's vote and answers it with the (already decided)
+/// commit. The vote may carry a speculative dependency on the new
+/// primary's chain, so it settles through the normal dependency check; a
+/// held vote is parked here until the dependency decides.
+///
+/// Multi-round transactions are re-driven **round by round** — the next
+/// retained round ships when the previous round's response arrives, just
+/// like the original dispatch. Sending every round up front would race
+/// the scheduler's stale-continuation drop (a round > 0 fragment for a
+/// transaction still queued unexecuted is discarded).
+struct Redelivery<R> {
+    partition: PartitionId,
+    parked: Option<FragmentResponse<R>>,
+    /// Highest (round, attempt) redelivered so far, for the round-driven
+    /// re-drive (a squash resend carries a new attempt and needs its
+    /// continuation re-sent).
+    sent: (u32, u32),
+}
+
 /// The coordinator state machine.
 ///
 /// Constructed as [`Coordinator::central`] for the shared central
@@ -143,25 +234,43 @@ pub struct Coordinator<F, R> {
     history_order: VecDeque<TxnId>,
     /// Scratch buffer for the sorted settle sweep (reused across calls).
     scan: Vec<TxnId>,
-    /// Membership epochs: how many times each replica group has failed
-    /// over. Absent = epoch 0 (the initial primary). The coordinator is
-    /// the membership authority (§3.3: it detects the failure, promotes a
-    /// backup, and tells the failed node to rejoin).
+    /// Membership epochs *applied* from the control plane's updates
+    /// (`MembershipCore` is the authority; this is the shard's view).
+    /// Absent = epoch 0 (the initial primary).
     epochs: FxHashMap<PartitionId, u32>,
     /// Transactions aborted by a failover whose not-yet-executed
     /// participants still owe a response; their eventual (now moot) vote
     /// is answered with a presumed-abort decision. GC'd with the history.
     failover_aborted: FxHashSet<TxnId>,
+    /// Whether to retain dispatched fragments and demand commit-decision
+    /// acks — the machinery that closes the 2PC in-doubt window. Enabled
+    /// by drivers for runs with failure injection; off otherwise so the
+    /// hot path pays nothing for it.
+    track_in_doubt: bool,
+    /// Committed transactions awaiting commit-decision acks.
+    in_doubt: FxHashMap<TxnId, InDoubt<F>>,
+    /// In-doubt commits re-delivered to a promoted primary, awaiting its
+    /// re-vote.
+    redeliveries: FxHashMap<TxnId, Redelivery<R>>,
     pub counters: CoordCounters,
     /// Virtual CPU consumed since the last drain.
     cpu: Nanos,
 }
 
 impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
-    /// The central coordinator process.
+    /// The paper's singleton central coordinator: shard 0 of 1, no
+    /// in-doubt tracking.
     pub fn central(costs: CostModel) -> Self {
+        Self::shard(costs, CoordinatorId(0), false)
+    }
+
+    /// One coordinator shard of N, optionally tracking in-doubt commits
+    /// (failover runs).
+    pub fn shard(costs: CostModel, id: CoordinatorId, track_in_doubt: bool) -> Self {
         let per_msg = costs.coord_per_msg;
-        Self::with_ref(costs, CoordinatorRef::Central, per_msg)
+        let mut c = Self::with_ref(costs, CoordinatorRef::Central(id), per_msg);
+        c.track_in_doubt = track_in_doubt;
+        c
     }
 
     /// A client acting as its own coordinator (locking scheme).
@@ -181,9 +290,22 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             scan: Vec::new(),
             epochs: FxHashMap::default(),
             failover_aborted: FxHashSet::default(),
+            track_in_doubt: false,
+            in_doubt: FxHashMap::default(),
+            redeliveries: FxHashMap::default(),
             counters: CoordCounters::default(),
             cpu: Nanos::ZERO,
         }
+    }
+
+    /// Build the decision message for one participant, requesting an ack
+    /// for tracked commits.
+    fn decision_out(&self, p: PartitionId, txn: TxnId, commit: bool) -> CoordOut<F, R> {
+        let ack_to = match (commit && self.track_in_doubt, self.coord_ref) {
+            (true, CoordinatorRef::Central(id)) => Some(id),
+            _ => None,
+        };
+        CoordOut::Decision(p, Decision { txn, commit }, ack_to)
     }
 
     pub fn pending(&self) -> usize {
@@ -236,6 +358,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             participants: Vec::new(),
             dispatched: Vec::new(),
             responses: Vec::new(),
+            sent: Vec::new(),
             round: 0,
             is_final: false,
         };
@@ -253,19 +376,20 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 }
                 let n = fragments.len() as u64;
                 for (pid, fragment) in fragments {
-                    out.push(CoordOut::Fragment(
-                        pid,
-                        FragmentTask {
-                            txn,
-                            coordinator: self.coord_ref,
-                            client,
-                            fragment,
-                            multi_partition: true,
-                            last_fragment: is_final,
-                            round: 0,
-                            can_abort,
-                        },
-                    ));
+                    let task = FragmentTask {
+                        txn,
+                        coordinator: self.coord_ref,
+                        client,
+                        fragment,
+                        multi_partition: true,
+                        last_fragment: is_final,
+                        round: 0,
+                        can_abort,
+                    };
+                    if self.track_in_doubt {
+                        entry.sent.push((pid, task.clone()));
+                    }
+                    out.push(CoordOut::Fragment(pid, task));
                 }
                 self.charge_msgs(n);
                 self.txns.insert(txn, entry);
@@ -295,8 +419,32 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                         txn: resp.txn,
                         commit: false,
                     },
+                    None,
                 ));
                 self.charge_msgs(1);
+                return;
+            }
+            // An in-doubt commit re-delivered to a promoted primary: the
+            // re-execution's vote-bearing response is answered with the
+            // (already decided) commit once it settles.
+            if let Some(rd) = self.redeliveries.get(&resp.txn) {
+                if resp.partition == rd.partition {
+                    if resp.vote.is_some() {
+                        let completed = self.settle_redelivery(resp, out);
+                        if completed {
+                            // Dependents holding on the redelivery can
+                            // settle now.
+                            self.progress(out);
+                        }
+                    } else {
+                        // Intermediate round of a multi-round redelivery:
+                        // re-drive the next retained round (once per
+                        // (round, attempt) — a squash re-executes earlier
+                        // rounds under a new attempt and discards parked
+                        // continuations, so those need re-sending too).
+                        self.redrive_next_round(resp, out);
+                    }
+                }
             }
             return;
         };
@@ -353,6 +501,20 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         match resp.depends_on {
             None => Settle::Settled,
             Some(dep) => {
+                // A dependency on a transaction being *re-delivered* at
+                // this partition must hold until the redelivery completes:
+                // the global commit record predates the re-execution, so
+                // settling against it would commit the dependent before
+                // its predecessor is locally decided (breaking the
+                // commit-at-head order at the promoted primary).
+                if dep.txn != resp.txn
+                    && self
+                        .redeliveries
+                        .get(&dep.txn)
+                        .is_some_and(|rd| rd.partition == resp.partition)
+                {
+                    return Settle::Hold;
+                }
                 if let Some(attempts) = self.committed.get(&dep.txn) {
                     let committed_attempt = attempts
                         .iter()
@@ -394,9 +556,142 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 decided |= self.progress_one(*txn, out) == Progress::Decided;
             }
             self.scan = scan;
-            if !decided {
+            // Decisions taken during the sweep may have settled a parked
+            // redelivery vote — and a *completed* redelivery unblocks
+            // dependents holding on it, so it warrants another sweep too.
+            let redelivered = self.recheck_redeliveries(out);
+            if !decided && !redelivered {
                 return;
             }
+        }
+    }
+
+    /// Ship the next retained round of a re-delivered multi-round
+    /// transaction in response to the previous round's (voteless)
+    /// response.
+    fn redrive_next_round(&mut self, resp: FragmentResponse<R>, out: &mut Vec<CoordOut<F, R>>) {
+        let txn = resp.txn;
+        let next = (resp.round + 1, resp.attempt);
+        let Some(rd) = self.redeliveries.get_mut(&txn) else {
+            return;
+        };
+        if rd.sent >= next {
+            return;
+        }
+        let Some(entry) = self.in_doubt.get(&txn) else {
+            return;
+        };
+        let task = entry
+            .tasks
+            .iter()
+            .find(|(p, t)| *p == resp.partition && t.round == next.0)
+            .map(|(_, t)| t.clone());
+        let Some(task) = task else {
+            return;
+        };
+        rd.sent = next;
+        out.push(CoordOut::Fragment(resp.partition, task));
+        self.charge_msgs(1);
+    }
+
+    /// Answer a settled re-delivered vote with the already-global commit;
+    /// park a held one until its dependency decides. Returns true when
+    /// the redelivery completed (its entry was removed), which unblocks
+    /// dependents holding on it.
+    fn settle_redelivery(
+        &mut self,
+        resp: FragmentResponse<R>,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) -> bool {
+        let txn = resp.txn;
+        match self.settled(&resp) {
+            Settle::Settled => {
+                // The new primary re-executed the committed work. A commit
+                // vote closes the window; an abort vote means the
+                // re-execution failed against the promoted state — answer
+                // abort so the scheduler stays sane (counted implicitly by
+                // `in_doubt_redeliveries - in_doubt_commits_recovered`).
+                let commit = resp.vote == Some(Vote::Commit);
+                out.push(self.decision_out(resp.partition, txn, commit));
+                self.charge_msgs(1);
+                if commit {
+                    self.counters.in_doubt_commits_recovered += 1;
+                    // The committed execution at this partition is now the
+                    // *re-execution*: post-crash transactions chain on its
+                    // attempt, so the dependency-validation record must
+                    // name it (the pre-crash attempt died with the old
+                    // primary).
+                    if let Some(attempts) = self.committed.get_mut(&txn) {
+                        match attempts.iter_mut().find(|(p, _)| *p == resp.partition) {
+                            Some(slot) => slot.1 = resp.attempt,
+                            None => attempts.push((resp.partition, resp.attempt)),
+                        }
+                    }
+                }
+                self.redeliveries.remove(&txn);
+                return true;
+            }
+            Settle::Hold => {
+                if let Some(rd) = self.redeliveries.get_mut(&txn) {
+                    rd.parked = Some(resp);
+                }
+            }
+            Settle::Stale => {
+                // The re-execution was squashed; the partition re-sends a
+                // fresh vote.
+                self.counters.stale_responses_discarded += 1;
+            }
+        }
+        false
+    }
+
+    /// Re-evaluate parked redelivery votes after decisions changed the
+    /// settle state; returns true if any redelivery completed.
+    fn recheck_redeliveries(&mut self, out: &mut Vec<CoordOut<F, R>>) -> bool {
+        if self.redeliveries.is_empty() {
+            return false;
+        }
+        let mut any = false;
+        let mut parked: Vec<TxnId> = self
+            .redeliveries
+            .iter()
+            .filter(|(_, rd)| rd.parked.is_some())
+            .map(|(t, _)| *t)
+            .collect();
+        parked.sort_unstable();
+        for txn in parked {
+            let Some(rd) = self.redeliveries.get_mut(&txn) else {
+                continue;
+            };
+            let Some(resp) = rd.parked.take() else {
+                continue;
+            };
+            any |= self.settle_redelivery(resp, out);
+        }
+        any
+    }
+
+    /// A participant acknowledged processing a commit decision: its share
+    /// of the transaction is durably in its replica group's log, so it
+    /// leaves the in-doubt window.
+    pub fn on_decision_ack(&mut self, txn: TxnId, partition: PartitionId) {
+        self.counters.decision_acks += 1;
+        self.cpu += self.per_msg;
+        if let Some(d) = self.in_doubt.get_mut(&txn) {
+            d.unacked.retain(|p| *p != partition);
+            if d.unacked.is_empty() {
+                self.in_doubt.remove(&txn);
+            }
+        }
+        // An ack also cancels a pending redelivery to that partition: the
+        // partition provably has the commit (e.g. the promoted primary's
+        // exactly-once guard recognized an already-replicated record).
+        if self
+            .redeliveries
+            .get(&txn)
+            .is_some_and(|rd| rd.partition == partition)
+        {
+            self.redeliveries.remove(&txn);
         }
     }
 
@@ -513,20 +808,29 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 let can_abort = t.can_abort;
                 let n = fragments.len() as u64;
                 self.counters.rounds_dispatched += 1;
+                let mut sent: Vec<(PartitionId, FragmentTask<F>)> = Vec::new();
                 for (pid, fragment) in fragments {
-                    out.push(CoordOut::Fragment(
-                        pid,
-                        FragmentTask {
-                            txn,
-                            coordinator: self.coord_ref,
-                            client,
-                            fragment,
-                            multi_partition: true,
-                            last_fragment: is_final,
-                            round,
-                            can_abort,
-                        },
-                    ));
+                    let task = FragmentTask {
+                        txn,
+                        coordinator: self.coord_ref,
+                        client,
+                        fragment,
+                        multi_partition: true,
+                        last_fragment: is_final,
+                        round,
+                        can_abort,
+                    };
+                    if self.track_in_doubt {
+                        sent.push((pid, task.clone()));
+                    }
+                    out.push(CoordOut::Fragment(pid, task));
+                }
+                if !sent.is_empty() {
+                    self.txns
+                        .get_mut(&txn)
+                        .expect("dispatching known txn")
+                        .sent
+                        .append(&mut sent);
                 }
                 self.charge_msgs(n);
                 Progress::Dispatched
@@ -551,8 +855,19 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         let mut msgs = 0u64;
         let mut participants: Vec<PartitionId> = t.dispatched.clone();
         participants.sort_unstable();
+        if commit && self.track_in_doubt {
+            // The transaction enters the 2PC in-doubt window until every
+            // participant acks its commit decision.
+            self.in_doubt.insert(
+                txn,
+                InDoubt {
+                    unacked: participants.clone(),
+                    tasks: std::mem::take(&mut t.sent),
+                },
+            );
+        }
         for p in participants {
-            out.push(CoordOut::Decision(p, Decision { txn, commit }));
+            out.push(self.decision_out(p, txn, commit));
             msgs += 1;
         }
         let result = if commit {
@@ -602,15 +917,21 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         self.gc();
     }
 
-    /// Abort transactions that have been pending longer than `timeout` —
-    /// the recovery path for participant failure (§3.3: without undo
-    /// information "the system would need to block until the failure is
-    /// repaired"; with it, surviving participants roll back and continue).
-    /// Returns the transactions aborted.
+    /// Abort transactions that have been pending longer than `timeout`,
+    /// reporting `reason` to their clients — the recovery path for
+    /// participant failure (§3.3, with the final `RemoteAbort`) and the
+    /// distributed-deadlock breaker for cross-shard waits (with the
+    /// retryable `CrossCoordinator`). Uses presumed-abort semantics:
+    /// decisions go only to participants that have *executed* (responded);
+    /// the rest are answered with presumed-abort when their response
+    /// eventually arrives — a stalled transaction's fragment may still be
+    /// queued unexecuted at a participant, where an eager decision would
+    /// be an unintelligible stray. Returns the transactions aborted.
     pub fn expire_stalled(
         &mut self,
         now: Nanos,
         timeout: Nanos,
+        reason: AbortReason,
         out: &mut Vec<CoordOut<F, R>>,
     ) -> Vec<TxnId> {
         let mut stalled: Vec<TxnId> = self
@@ -621,34 +942,38 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             .collect();
         stalled.sort_unstable();
         for txn in &stalled {
-            self.finish(*txn, Err(AbortReason::RemoteAbort), out);
+            self.finish_failover_with(*txn, reason, out);
+        }
+        if !stalled.is_empty() && self.recheck_redeliveries(out) {
+            self.progress(out);
         }
         stalled
     }
 
-    /// A replica group's primary failed: bump the group's membership epoch
-    /// and abort every in-flight transaction that was dispatched to it
-    /// (§3.3: in-progress multi-partition transactions touching the failed
-    /// partition are aborted so the surviving participants can roll back
-    /// and continue; the aborts are [`AbortReason::PartitionFailed`], which
-    /// clients transparently retry against the promoted backup). Returns
-    /// the new epoch and the aborted transactions, in id order.
+    /// Apply a control-plane membership update: the failed group's primary
+    /// is gone and a backup was promoted (`MembershipCore` is the
+    /// authority; `epoch` is its stamp). The shard aborts every in-flight
+    /// transaction that was dispatched to the failed partition (§3.3:
+    /// in-progress multi-partition transactions touching it are aborted so
+    /// the surviving participants can roll back and continue; the aborts
+    /// are [`AbortReason::PartitionFailed`], which clients transparently
+    /// retry against the promoted backup). Returns the aborted
+    /// transactions, in id order.
     ///
-    /// Transactions already *decided* when the failure hit are not
-    /// revisited: a commit decision still in flight to the dead primary is
-    /// the classic 2PC in-doubt window — under commit-order log shipping
-    /// the fragments died with the primary, so the replica group resolves
-    /// it as "never happened" while other groups keep it. The window is
-    /// one network one-way per failover; see the README's replication
-    /// section.
+    /// Transactions already *decided* are handled through the in-doubt
+    /// machinery instead: any committed transaction whose commit decision
+    /// the failed partition never acked has its fragments re-delivered to
+    /// the promoted primary (the emitted `CoordOut::Fragment`s route
+    /// through the flipped membership table), closing the classic 2PC
+    /// in-doubt window.
     pub fn on_partition_failed(
         &mut self,
         failed: PartitionId,
+        epoch: u32,
         out: &mut Vec<CoordOut<F, R>>,
-    ) -> (u32, Vec<TxnId>) {
-        let epoch = self.epochs.entry(failed).or_insert(0);
-        *epoch += 1;
-        let epoch = *epoch;
+    ) -> Vec<TxnId> {
+        self.cpu += self.per_msg;
+        self.epochs.insert(failed, epoch);
         let mut doomed: Vec<TxnId> = self
             .txns
             .iter()
@@ -660,7 +985,47 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             self.counters.failover_aborts += 1;
             self.finish_failover(*txn, out);
         }
-        (epoch, doomed)
+        // Close the in-doubt window: re-deliver unacknowledged commits.
+        if self.track_in_doubt {
+            let mut in_doubt: Vec<TxnId> = self
+                .in_doubt
+                .iter()
+                .filter(|(_, d)| d.unacked.contains(&failed))
+                .map(|(t, _)| *t)
+                .collect();
+            in_doubt.sort_unstable();
+            for txn in in_doubt {
+                let entry = self.in_doubt.get(&txn).expect("filtered above");
+                // Round-driven re-drive: ship only the transaction's
+                // first round here; later rounds follow its responses.
+                let first = entry
+                    .tasks
+                    .iter()
+                    .filter(|(p, _)| *p == failed)
+                    .map(|(_, t)| t)
+                    .min_by_key(|t| t.round)
+                    .cloned();
+                let Some(task) = first else {
+                    continue;
+                };
+                let first_round = task.round;
+                out.push(CoordOut::Fragment(failed, task));
+                self.charge_msgs(1);
+                self.counters.in_doubt_redeliveries += 1;
+                self.redeliveries.insert(
+                    txn,
+                    Redelivery {
+                        partition: failed,
+                        parked: None,
+                        sent: (first_round, 0),
+                    },
+                );
+            }
+        }
+        if self.recheck_redeliveries(out) {
+            self.progress(out);
+        }
+        doomed
     }
 
     /// Abort one transaction killed by a failover. Unlike a normal abort,
@@ -671,6 +1036,17 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
     /// with presumed-abort when their response eventually arrives (see
     /// [`Coordinator::on_response`]).
     fn finish_failover(&mut self, txn: TxnId, out: &mut Vec<CoordOut<F, R>>) {
+        self.finish_failover_with(txn, AbortReason::PartitionFailed, out)
+    }
+
+    /// As [`finish_failover`](Self::finish_failover) with an explicit
+    /// client-visible abort reason (timeout expiry reuses the machinery).
+    fn finish_failover_with(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
         let t = self.txns.remove(&txn).expect("aborting known txn");
         let mut executed: Vec<PartitionId> = t.responses.iter().map(|(p, _)| *p).collect();
         for round in &t.settled_rounds {
@@ -683,7 +1059,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         executed.sort_unstable();
         let mut msgs = 0u64;
         for p in executed {
-            out.push(CoordOut::Decision(p, Decision { txn, commit: false }));
+            out.push(CoordOut::Decision(p, Decision { txn, commit: false }, None));
             msgs += 1;
         }
         self.counters.aborts += 1;
@@ -693,17 +1069,23 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         out.push(CoordOut::ClientResult {
             client: t.client,
             txn,
-            result: TxnResult::Aborted(AbortReason::PartitionFailed),
+            result: TxnResult::Aborted(reason),
         });
         msgs += 1;
         self.charge_msgs(msgs);
         self.gc();
     }
 
-    /// The current membership epoch of a replica group (0 = never failed
-    /// over).
+    /// The shard's applied membership epoch for a replica group (0 = never
+    /// failed over).
     pub fn epoch(&self, p: PartitionId) -> u32 {
         self.epochs.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Committed transactions still awaiting commit-decision acks (tests,
+    /// diagnostics).
+    pub fn in_doubt_len(&self) -> usize {
+        self.in_doubt.len()
     }
 
     fn gc(&mut self) {
@@ -712,6 +1094,8 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 self.committed.remove(&old);
                 self.aborted.remove(&old);
                 self.failover_aborted.remove(&old);
+                self.in_doubt.remove(&old);
+                self.redeliveries.remove(&old);
             }
         }
     }
@@ -798,7 +1182,7 @@ mod tests {
         );
         let decisions = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, d) if d.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, d, _) if d.commit))
             .count();
         assert_eq!(decisions, 2);
         assert!(out.iter().any(|o| matches!(
@@ -828,7 +1212,7 @@ mod tests {
         c.on_response(bad, &mut out);
         let aborts = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, d, _) if !d.commit))
             .count();
         assert_eq!(aborts, 2, "both participants told to abort");
         assert!(out.iter().any(|o| matches!(
@@ -893,7 +1277,7 @@ mod tests {
         assert_eq!(c.counters.commits, 1);
         assert!(out
             .iter()
-            .any(|o| matches!(o, CoordOut::Decision(_, d) if d.commit)));
+            .any(|o| matches!(o, CoordOut::Decision(_, d, _) if d.commit)));
     }
 
     #[test]
@@ -933,7 +1317,7 @@ mod tests {
         assert_eq!(c.counters.commits, 2);
         let c_decisions = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, d) if d.txn == txid(2) && d.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, d, _) if d.txn == txid(2) && d.commit))
             .count();
         assert_eq!(c_decisions, 2);
     }
@@ -1099,7 +1483,12 @@ mod tests {
             &mut out,
         );
         out.clear();
-        let aborted = c.expire_stalled(Nanos(6_000_000), Nanos(2_000_000), &mut out);
+        let aborted = c.expire_stalled(
+            Nanos(6_000_000),
+            Nanos(2_000_000),
+            AbortReason::RemoteAbort,
+            &mut out,
+        );
         assert_eq!(aborted, vec![txid(1)], "only the stalled txn expires");
         assert_eq!(c.pending(), 1);
         assert!(out.iter().any(|o| matches!(
@@ -1109,12 +1498,26 @@ mod tests {
                 ..
             }
         )));
-        // The expired txn's participants were told to abort.
+        // Presumed-abort semantics: no participant has *responded* yet
+        // (their fragments may still be queued unexecuted), so no eager
+        // decisions — a late vote is answered with presumed abort.
         let aborts = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit && d.txn == txid(1)))
+            .filter(|o| matches!(o, CoordOut::Decision(_, d, _) if !d.commit && d.txn == txid(1)))
             .count();
-        assert_eq!(aborts, 2);
+        assert_eq!(aborts, 0, "no decisions to never-executed participants");
+        out.clear();
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CoordOut::Decision(p, d, _) if !d.commit && d.txn == txid(1) && *p == PartitionId(0)
+            )),
+            "late vote answered with presumed abort"
+        );
     }
 
     #[test]
@@ -1137,8 +1540,7 @@ mod tests {
         );
         out.clear();
         assert_eq!(c.epoch(PartitionId(1)), 0);
-        let (epoch, aborted) = c.on_partition_failed(PartitionId(1), &mut out);
-        assert_eq!(epoch, 1);
+        let aborted = c.on_partition_failed(PartitionId(1), 1, &mut out);
         assert_eq!(c.epoch(PartitionId(1)), 1);
         assert_eq!(aborted, vec![txid(1)], "only the involved txn dies");
         assert_eq!(c.pending(), 1, "txn 2 survives");
@@ -1155,7 +1557,7 @@ mod tests {
         // transaction would be unintelligible to a partition scheduler.
         let aborts = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, d) if !d.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, d, _) if !d.commit))
             .count();
         assert_eq!(aborts, 0);
         out.clear();
@@ -1168,7 +1570,7 @@ mod tests {
         assert!(
             out.iter().any(|o| matches!(
                 o,
-                CoordOut::Decision(p, d) if !d.commit && d.txn == txid(1) && *p == PartitionId(0)
+                CoordOut::Decision(p, d, _) if !d.commit && d.txn == txid(1) && *p == PartitionId(0)
             )),
             "late response from a failover-aborted txn gets presumed-abort"
         );
@@ -1185,12 +1587,12 @@ mod tests {
             ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
             &mut out,
         );
-        let (_, aborted) = c.on_partition_failed(PartitionId(1), &mut out);
+        let aborted = c.on_partition_failed(PartitionId(1), 1, &mut out);
         assert_eq!(aborted, vec![txid(1)]);
         let decisions: Vec<u32> = out
             .iter()
             .filter_map(|o| match o {
-                CoordOut::Decision(p, d) if !d.commit => Some(p.0),
+                CoordOut::Decision(p, d, _) if !d.commit => Some(p.0),
                 _ => None,
             })
             .collect();
@@ -1217,12 +1619,154 @@ mod tests {
             let order: Vec<u32> = out
                 .iter()
                 .filter_map(|o| match o {
-                    CoordOut::Decision(p, _) => Some(p.0),
+                    CoordOut::Decision(p, ..) => Some(p.0),
                     _ => None,
                 })
                 .collect();
             assert_eq!(order, vec![0, 1]);
         }
+    }
+
+    fn tracking_shard() -> Coordinator<TestFragment, TestOutput> {
+        Coordinator::shard(CostModel::default(), CoordinatorId(0), true)
+    }
+
+    /// Drive one simple MP transaction to commit on a tracking shard.
+    fn commit_one(c: &mut Coordinator<TestFragment, TestOutput>, n: u32) {
+        let mut out = Vec::new();
+        c.on_invoke(txid(n), ClientId(n), simple_proc(), false, &mut out);
+        c.on_response(
+            ok_response(txid(n), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(n), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CoordOut::Decision(_, d, Some(_)) if d.commit && d.txn == txid(n)
+        )));
+    }
+
+    #[test]
+    fn commit_acks_resolve_the_in_doubt_window() {
+        let mut c = tracking_shard();
+        commit_one(&mut c, 1);
+        assert_eq!(c.in_doubt_len(), 1, "committed but unacked");
+        c.on_decision_ack(txid(1), PartitionId(0));
+        assert_eq!(c.in_doubt_len(), 1, "one participant still unacked");
+        c.on_decision_ack(txid(1), PartitionId(1));
+        assert_eq!(c.in_doubt_len(), 0);
+        assert_eq!(c.counters.decision_acks, 2);
+    }
+
+    #[test]
+    fn unacked_commit_is_redelivered_after_failover_and_recommitted() {
+        let mut c = tracking_shard();
+        commit_one(&mut c, 1);
+        c.on_decision_ack(txid(1), PartitionId(0));
+        // P1's primary dies holding the unacked commit decision.
+        let mut out = Vec::new();
+        let aborted = c.on_partition_failed(PartitionId(1), 1, &mut out);
+        assert!(aborted.is_empty(), "nothing in flight to abort");
+        let redelivered: Vec<_> = out
+            .iter()
+            .filter_map(|o| match o {
+                CoordOut::Fragment(p, t) => Some((*p, t.txn)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            redelivered,
+            vec![(PartitionId(1), txid(1))],
+            "the in-doubt fragment goes back to the (promoted) partition"
+        );
+        assert_eq!(c.counters.in_doubt_redeliveries, 1);
+        out.clear();
+
+        // The promoted primary re-executes and votes; the shard answers
+        // with the already-global commit.
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CoordOut::Decision(p, d, Some(_)) if d.commit && d.txn == txid(1) && *p == PartitionId(1)
+            )),
+            "re-vote answered with commit"
+        );
+        assert_eq!(c.counters.in_doubt_commits_recovered, 1);
+        // The fresh ack finally closes the window.
+        c.on_decision_ack(txid(1), PartitionId(1));
+        assert_eq!(c.in_doubt_len(), 0);
+    }
+
+    #[test]
+    fn redelivered_vote_with_pending_dependency_parks_until_it_decides() {
+        let mut c = tracking_shard();
+        commit_one(&mut c, 1);
+        let mut out = Vec::new();
+        c.on_partition_failed(PartitionId(1), 1, &mut out);
+        out.clear();
+        // A fresh transaction reaches the promoted primary and executes
+        // ahead of the redelivered fragment in its speculation chain.
+        c.on_invoke(txid(2), ClientId(2), simple_proc(), false, &mut out);
+        out.clear();
+        // The re-vote speculates on the (undecided) txn 2: must hold.
+        let dep = hcc_common::SpecDep {
+            txn: txid(2),
+            attempt: 0,
+        };
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), Some(dep)),
+            &mut out,
+        );
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, CoordOut::Decision(_, d, _) if d.txn == txid(1))),
+            "held vote must not be answered yet"
+        );
+        out.clear();
+        // txn 2 commits -> the parked vote settles -> commit re-delivered.
+        c.on_response(
+            ok_response(txid(2), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(2), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CoordOut::Decision(p, d, _) if d.commit && d.txn == txid(1) && *p == PartitionId(1)
+            )),
+            "parked re-vote answered once its dependency committed"
+        );
+        assert_eq!(c.counters.in_doubt_commits_recovered, 1);
+    }
+
+    #[test]
+    fn untracked_coordinator_emits_no_acks_and_retains_nothing() {
+        let mut c = coord();
+        let mut out = Vec::new();
+        c.on_invoke(txid(1), ClientId(1), simple_proc(), false, &mut out);
+        c.on_response(
+            ok_response(txid(1), 0, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        c.on_response(
+            ok_response(txid(1), 1, 0, Some(Vote::Commit), None),
+            &mut out,
+        );
+        assert!(out.iter().all(|o| match o {
+            CoordOut::Decision(_, _, ack) => ack.is_none(),
+            _ => true,
+        }));
+        assert_eq!(c.in_doubt_len(), 0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod client;
 pub mod coordinator;
 pub mod engine;
 pub mod locking_sched;
+pub mod membership;
 pub mod occ;
 pub mod outbox;
 pub mod procedure;
@@ -46,6 +47,7 @@ pub mod testkit;
 pub mod txn_driver;
 
 pub use engine::{ExecOutcome, ExecutionEngine};
+pub use membership::{MembershipCore, MembershipUpdate};
 pub use outbox::{Outbox, PartitionOut};
 pub use procedure::{Procedure, Request, RequestGenerator, RoundOutputs, Step};
 pub use replica::{AckTracker, ReplayError, ReplicaCore, ReplicationSession};

@@ -33,8 +33,15 @@ use crate::engine::ExecutionEngine;
 use hcc_common::stats::ReplicationCounters;
 use hcc_common::{
     AbortReason, ClientId, CommitRecord, CoordinatorRef, FragmentResponse, FragmentTask, FxHashMap,
-    PartitionId, TxnId, Vote,
+    FxHashSet, PartitionId, TxnId, Vote,
 };
+use std::collections::VecDeque;
+
+/// How many recently applied transaction ids a replica remembers (the
+/// exactly-once guard for in-doubt commit redelivery after a promotion).
+/// Far larger than any in-flight horizon, same reasoning as the
+/// coordinator's history window.
+const APPLIED_WINDOW: usize = 1 << 16;
 
 /// Why a replica could not apply a commit record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +154,12 @@ impl<F: Clone> Default for ReplicationSession<F> {
 pub struct ReplicaCore {
     /// Highest sequence number applied (the replica's watermark).
     applied: u64,
+    /// Recently applied transaction ids (bounded window). A promoted
+    /// primary inherits this set so a re-delivered in-doubt commit whose
+    /// record *did* reach the backups before the crash is recognized and
+    /// acknowledged instead of applied twice.
+    applied_txns: FxHashSet<TxnId>,
+    applied_order: VecDeque<TxnId>,
     pub counters: ReplicationCounters,
 }
 
@@ -201,7 +214,21 @@ impl ReplicaCore {
         engine.forget(record.txn);
         self.applied = record.seq;
         self.counters.records_applied += 1;
+        self.applied_txns.insert(record.txn);
+        self.applied_order.push_back(record.txn);
+        while self.applied_order.len() > APPLIED_WINDOW {
+            if let Some(old) = self.applied_order.pop_front() {
+                self.applied_txns.remove(&old);
+            }
+        }
         Ok(ops)
+    }
+
+    /// Hand the applied-transaction window to a promotion (the new
+    /// primary's exactly-once guard for redelivered in-doubt commits).
+    pub fn take_applied_txns(&mut self) -> FxHashSet<TxnId> {
+        self.applied_order.clear();
+        std::mem::take(&mut self.applied_txns)
     }
 }
 
@@ -302,7 +329,7 @@ mod tests {
     fn task(txn: TxnId, round: u32, frag: TestFragment) -> FragmentTask<TestFragment> {
         FragmentTask {
             txn,
-            coordinator: CoordinatorRef::Central,
+            coordinator: CoordinatorRef::Central(hcc_common::CoordinatorId(0)),
             client: ClientId(0),
             fragment: frag,
             multi_partition: false,

@@ -12,14 +12,26 @@
 //!
 //! * **Local speculation** (§4.2.1): speculative single-partition results
 //!   are buffered inside the partition and released when they become
-//!   non-speculative. Multi-partition transactions from a *different*
-//!   coordinator may execute their first fragment speculatively but their
-//!   responses are held locally the same way.
+//!   non-speculative.
 //! * **Multi-partition speculation** (§4.2.2): when every transaction in
 //!   the uncommitted queue shares one coordinator, speculative fragment
 //!   responses are released to that coordinator immediately, tagged with
 //!   the execution attempt of the transaction they depend on. The
 //!   coordinator cascades commits and aborts (see `coordinator.rs`).
+//!
+//! Under **sharded coordinators** the same-coordinator-chain rule is
+//! enforced by falling back to *blocking*: a multi-partition fragment
+//! whose coordinator differs from the uncommitted chain's waits in the
+//! unexecuted queue (counted in `SchedulerCounters::cross_coord_waits`)
+//! instead of speculating — releasing its result with a cross-shard
+//! dependency would be unverifiable at the other shard. Because no
+//! global dispatch order exists across shards, two cross-shard
+//! transactions meeting at two partitions in opposite orders can wait on
+//! each other forever; that residual distributed deadlock is resolved by
+//! the coordinator's timeout expiry
+//! (`Coordinator::expire_stalled` with the retryable
+//! [`hcc_common::AbortReason::CrossCoordinator`]), exactly how §4.3
+//! resolves distributed deadlocks under locking.
 //!
 //! Speculation is only legal once the transaction ahead has "finished
 //! locally" (executed its last fragment here — the piggybacked prepare);
@@ -99,6 +111,9 @@ pub struct SpeculativeScheduler<E: ExecutionEngine> {
     /// §4.2.1-only mode: hold speculative multi-partition responses in the
     /// partition instead of releasing them with dependency tags.
     local_only: bool,
+    /// The cross-shard transaction the pump is currently stalled on
+    /// (dedupes the `cross_coord_waits` count).
+    blocked_on: Option<TxnId>,
     /// Stale continuation fragments dropped (see `on_fragment`).
     pub stale_fragments_dropped: u64,
     counters: SchedulerCounters,
@@ -125,6 +140,7 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
             attempts: FxHashMap::default(),
             policy,
             local_only: false,
+            blocked_on: None,
             stale_fragments_dropped: 0,
             counters: SchedulerCounters::default(),
         }
@@ -219,9 +235,28 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
                 if self.unfinished > 0 || self.speculation_depth() >= self.max_depth {
                     return;
                 }
+                // §4.2.2 same-coordinator-chain rule: a multi-partition
+                // transaction from a *different* coordinator waits (the
+                // blocking fallback) — speculating it would produce a
+                // dependency its own shard cannot validate. Residual
+                // cross-partition deadlocks are broken by the
+                // coordinator's timeout expiry.
+                if let Some(front) = self.unexecuted.front() {
+                    if front.multi_partition
+                        && !self.local_only
+                        && !self.all_same_coordinator(front.coordinator)
+                    {
+                        if self.blocked_on != Some(front.txn) {
+                            self.blocked_on = Some(front.txn);
+                            self.counters.cross_coord_waits += 1;
+                        }
+                        return;
+                    }
+                }
                 let Some(task) = self.unexecuted.pop_front() else {
                     return;
                 };
+                self.blocked_on = None;
                 self.speculate(task, engine, out);
             }
         }
@@ -367,10 +402,13 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
                 vote,
                 depends_on: self.last_mp_dep(),
             };
-            if !self.local_only && self.all_same_coordinator(task.coordinator) {
-                out.send_coordinator(task.coordinator, response);
-            } else {
+            if self.local_only {
+                // §4.2.1-only mode (Figure 10): hold until promotion.
                 entry.held_responses.push(response);
+            } else {
+                // Same-coordinator chain (the cross-shard case was
+                // bounced before execution): release with the dependency.
+                out.send_coordinator(task.coordinator, response);
             }
         }
 
@@ -653,7 +691,7 @@ mod tests {
     fn mp(seq: u32, frag: TestFragment, last: bool, round: u32) -> FragmentTask<TestFragment> {
         FragmentTask {
             txn: TxnId::new(ClientId(99), seq),
-            coordinator: CoordinatorRef::Central,
+            coordinator: CoordinatorRef::Central(hcc_common::CoordinatorId(0)),
             client: ClientId(99),
             fragment: frag,
             multi_partition: true,
@@ -916,8 +954,12 @@ mod tests {
         assert_eq!(s.counters().squashed_executions, 1);
     }
 
+    /// An MP transaction whose coordinator differs from the chain's
+    /// (cross-shard, or a client-driver vs a shard) waits unexecuted —
+    /// the blocking fallback of the same-coordinator-chain rule — and is
+    /// admitted once the chain resolves.
     #[test]
-    fn different_coordinator_mp_holds_response_until_promotion() {
+    fn different_coordinator_mp_waits_until_chain_resolves() {
         let (mut s, mut e, mut out) = setup();
         s.on_fragment(
             mp(1, TestFragment::add(1, 1), true, 0),
@@ -926,8 +968,6 @@ mod tests {
             &mut out,
         );
         out.take();
-        // An MP transaction coordinated by a *client* (different
-        // coordinator): executes speculatively but holds its response.
         let mut other = mp(2, TestFragment::add(1, 10), true, 0);
         other.coordinator = CoordinatorRef::Client(ClientId(7));
         let other_txn = other.txn;
@@ -938,11 +978,22 @@ mod tests {
                 m,
                 PartitionOut::ToCoordinator { response, .. } if response.txn == other_txn
             )),
-            "different-coordinator response must be held"
+            "cross-coordinator fragment must wait, not execute"
         );
-        assert_eq!(e.get(1), 16, "it did execute speculatively");
+        assert_eq!(e.get(1), 6, "not executed while waiting");
+        assert_eq!(s.counters().cross_coord_waits, 1);
+        assert_eq!(s.unexecuted_len(), 1, "queued, not dropped");
+        // Same-shard SP work behind the waiter also waits (FIFO).
+        s.on_fragment(sp(1, 0, TestFragment::add(1, 100)), &mut e, NOW, &mut out);
+        assert_eq!(e.get(1), 6);
+        assert_eq!(
+            s.counters().cross_coord_waits,
+            1,
+            "stall counted once per blocking transaction"
+        );
+        out.take();
 
-        // Promotion releases the held response.
+        // Chain resolves: the waiter becomes the new head and executes.
         s.on_decision(
             Decision {
                 txn: mp_txid(1),
@@ -953,16 +1004,66 @@ mod tests {
             &mut out,
         );
         let (msgs, _) = out.take();
-        let resp = msgs
+        let dest = msgs
             .iter()
             .find_map(|m| match m {
                 PartitionOut::ToCoordinator { response, dest } if response.txn == other_txn => {
-                    Some((response, dest))
+                    Some(*dest)
                 }
                 _ => None,
             })
-            .expect("held response released at promotion");
-        assert_eq!(*resp.1, CoordinatorRef::Client(ClientId(7)));
+            .expect("waiter admitted once the chain resolved");
+        assert_eq!(dest, CoordinatorRef::Client(ClientId(7)));
+        assert_eq!(e.get(1), 116, "waiter executed, then the SP speculated");
+    }
+
+    /// Two shards' transactions at one partition: the second shard's
+    /// waits; a third same-shard-as-head transaction behind it also waits
+    /// (FIFO — the chain cannot be extended past a waiting cross-shard
+    /// transaction, which is what keeps cross-shard waits bounded).
+    #[test]
+    fn cross_shard_waiter_blocks_chain_extension() {
+        let (mut s, mut e, mut out) = setup();
+        s.on_fragment(
+            mp(1, TestFragment::add(1, 1), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        out.take();
+        let mut other = mp(2, TestFragment::add(1, 10), true, 0);
+        other.coordinator = CoordinatorRef::Central(hcc_common::CoordinatorId(1));
+        s.on_fragment(other, &mut e, NOW, &mut out);
+        // A same-shard-as-head MP transaction arrives behind the waiter:
+        // it must NOT jump the queue into the head's chain.
+        s.on_fragment(
+            mp(3, TestFragment::add(1, 100), true, 0),
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        assert_eq!(e.get(1), 6, "only the head executed");
+        assert_eq!(s.unexecuted_len(), 2);
+        assert_eq!(s.counters().cross_coord_waits, 1);
+        out.take();
+
+        // Head commits; the cross-shard waiter becomes head; the shard-0
+        // transaction now waits behind *it* (roles swap).
+        s.on_decision(
+            Decision {
+                txn: mp_txid(1),
+                commit: true,
+            },
+            &mut e,
+            NOW,
+            &mut out,
+        );
+        assert_eq!(e.get(1), 16, "waiter admitted as the new head");
+        assert_eq!(
+            s.counters().cross_coord_waits,
+            2,
+            "the shard-0 transaction now stalls behind shard 1"
+        );
     }
 
     #[test]

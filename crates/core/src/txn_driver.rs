@@ -141,7 +141,7 @@ mod tests {
         // Two commit decisions remain in the outbox.
         let commits = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, dd) if dd.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, dd, _) if dd.commit))
             .count();
         assert_eq!(commits, 2);
         assert_eq!(d.pending(), 0);
@@ -163,7 +163,7 @@ mod tests {
         assert_eq!(result, TxnResult::Aborted(AbortReason::LockTimeout));
         let aborts = out
             .iter()
-            .filter(|o| matches!(o, CoordOut::Decision(_, dd) if !dd.commit))
+            .filter(|o| matches!(o, CoordOut::Decision(_, dd, _) if !dd.commit))
             .count();
         assert_eq!(aborts, 2);
     }

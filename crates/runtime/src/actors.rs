@@ -35,26 +35,37 @@
 //!   and returns as a backup that catches up from the log (§3.3) while
 //!   the group keeps processing.
 //!
-//! The coordinator is the membership authority: on `PrimaryFailed` it
-//! bumps the group's epoch, aborts in-flight transactions touching the
-//! dead node, promotes the first backup, flips the backends' routing
-//! table (via a [`ActorId::Control`] message), and tells the dead node to
-//! rejoin. Failure *detection* is modeled as reliable and immediate — the
-//! dying node's last act is notifying the coordinator — which keeps the
+//! The membership authority is the dedicated control-plane
+//! [`MembershipActor`] (wrapping `hcc_core::MembershipCore`): on
+//! `PrimaryFailed` it bumps the group's epoch, promotes the first backup,
+//! flips the backends' routing table (via a [`ActorId::Control`] message),
+//! tells the dead node to rejoin, and fans an epoch-stamped
+//! [`Msg::RoutingUpdate`] out to **every coordinator shard**, each of
+//! which aborts its own in-flight transactions touching the dead node.
+//! Failure *detection* is modeled as reliable and immediate — the dying
+//! node's last act is notifying the membership actor — which keeps the
 //! kill → promote → recover scenario deterministic.
 //!
+//! Coordinators are sharded ([`ActorId::Coordinator`] carries a
+//! [`CoordinatorId`]): clients are statically partitioned across shards
+//! and each shard runs its own `Coordinator` core. In failover runs the
+//! shards also track the 2PC in-doubt window: primaries acknowledge
+//! commit decisions ([`Msg::DecisionAck`]), and a routing update makes
+//! the owning shard re-deliver any unacknowledged commit's fragments to
+//! the promoted primary — closing the window instead of documenting it.
+//!
 //! One failover per group per run is supported (the `FailurePlan` is
-//! one-shot); decided-commit decisions still in flight to the dying
-//! primary are the classic 2PC in-doubt window and are resolved as "never
-//! happened" at the replica group (see the README's replication section).
+//! one-shot).
 
 use hcc_common::stats::{ReplicationCounters, SchedulerCounters};
 use hcc_common::{
-    AbortReason, ClientId, CommitRecord, CoordinatorRef, CostModel, Decision, FragmentResponse,
-    FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+    AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel, Decision,
+    FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig, TxnId,
+    TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{
     failover_bounce, AckTracker, FailoverBounce, ReplicaCore, ReplicationSession,
 };
@@ -71,7 +82,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActorId {
     Client(ClientId),
-    Coordinator,
+    /// One central coordinator shard.
+    Coordinator(CoordinatorId),
+    /// The control-plane membership authority.
+    Membership,
     /// The *current primary* of a replica group. Backends resolve this
     /// through their membership table, so a promotion transparently
     /// redirects partition traffic to the promoted node.
@@ -100,8 +114,10 @@ pub enum Msg<E: ExecutionEngine> {
     FragResponse(FragmentResponse<E::Output>),
     /// A unit of work for a partition.
     Fragment(FragmentTask<E::Fragment>),
-    /// A two-phase-commit decision for a partition.
-    Decision(Decision),
+    /// A two-phase-commit decision for a partition. The second field is
+    /// the coordinator shard expecting a [`Msg::DecisionAck`] for a
+    /// processed commit (in-doubt tracking; `None` otherwise).
+    Decision(Decision, Option<CoordinatorId>),
     /// Periodic maintenance (lock-timeout scans under the locking scheme).
     Tick,
     /// A multi-partition invocation for the central coordinator.
@@ -121,9 +137,18 @@ pub enum Msg<E: ExecutionEngine> {
     },
     /// Cumulative replay acknowledgement, backup → primary.
     CommitAck { slot: u32, seq: u64 },
-    /// A dying primary's last gasp, to the coordinator (stands in for the
-    /// failure detector, keeping the scenario deterministic).
+    /// A dying primary's last gasp, to the membership actor (stands in
+    /// for the failure detector, keeping the scenario deterministic).
     PrimaryFailed { partition: PartitionId },
+    /// Membership → every coordinator shard: the partition failed over to
+    /// a promoted backup under this epoch. Each shard aborts its own
+    /// in-flight transactions touching it and re-delivers unacknowledged
+    /// commits.
+    RoutingUpdate { partition: PartitionId, epoch: u32 },
+    /// Primary → coordinator shard: the commit decision for `txn` was
+    /// processed (its commit record is in the group's log) — the
+    /// transaction leaves the 2PC in-doubt window.
+    DecisionAck { txn: TxnId, partition: PartitionId },
     /// Coordinator → backup: you are the group's primary now.
     Promote { epoch: u32 },
     /// Coordinator → failed node: rejoin the group as a backup by copying
@@ -189,7 +214,7 @@ fn push_coord_out<E: ExecutionEngine>(
 ) {
     let (dest, msg) = match o {
         CoordOut::Fragment(p, task) => (ActorId::Partition(p), Msg::Fragment(task)),
-        CoordOut::Decision(p, d) => (ActorId::Partition(p), Msg::Decision(d)),
+        CoordOut::Decision(p, d, ack_to) => (ActorId::Partition(p), Msg::Decision(d, ack_to)),
         CoordOut::ClientResult {
             client,
             txn,
@@ -226,6 +251,9 @@ pub struct ClientActor<W: RequestGenerator> {
     /// in-window ones.
     record_always: bool,
     scheme: Scheme,
+    /// The coordinator shard that owns this client's multi-partition
+    /// transactions (static partitioning).
+    coord_shard: CoordinatorId,
     done: bool,
     scratch: Vec<
         CoordOut<<W::Engine as ExecutionEngine>::Fragment, <W::Engine as ExecutionEngine>::Output>,
@@ -246,6 +274,7 @@ where
             remaining: requests,
             record_always: requests.is_some(),
             scheme: system.scheme,
+            coord_shard: system.coordinator_of(id),
             done: false,
             scratch: Vec::new(),
         }
@@ -402,7 +431,7 @@ where
                 }
                 _ => {
                     out.push(OutMsg {
-                        dest: ActorId::Coordinator,
+                        dest: ActorId::Coordinator(self.coord_shard),
                         msg: Msg::Invoke {
                             txn,
                             client,
@@ -420,25 +449,35 @@ where
 // Coordinator
 // ---------------------------------------------------------------------
 
-/// The central coordinator (paper §3.3) as an actor: a routing shell over
-/// [`Coordinator`] that doubles as the replica groups' membership
-/// authority — it receives failure notifications, aborts in-flight
-/// transactions touching the dead node, promotes the first backup, and
-/// drives the failed node's rejoin.
+/// One central coordinator shard (paper §3.3) as an actor: a routing
+/// shell over [`Coordinator`]. Clients are statically partitioned across
+/// shards; each shard owns its own 2PC, speculation-chain, and (in
+/// failover runs) in-doubt commit state. Membership authority lives in
+/// [`MembershipActor`], whose routing updates this actor consumes.
 pub struct CoordinatorActor<E: ExecutionEngine> {
     coord: Coordinator<E::Fragment, E::Output>,
+    /// Stall expiry for cross-shard distributed deadlocks (`Some` only
+    /// with N > 1 shards; the singleton's global dispatch order cannot
+    /// deadlock). Driven by `Msg::Tick`.
+    expiry: Option<Nanos>,
     scratch: Vec<CoordOut<E::Fragment, E::Output>>,
 }
 
 impl<E: ExecutionEngine> CoordinatorActor<E> {
-    pub fn new(costs: CostModel) -> Self {
+    pub fn new(
+        costs: CostModel,
+        id: CoordinatorId,
+        track_in_doubt: bool,
+        expiry: Option<Nanos>,
+    ) -> Self {
         CoordinatorActor {
-            coord: Coordinator::central(costs),
+            coord: Coordinator::shard(costs, id, track_in_doubt),
+            expiry,
             scratch: Vec::new(),
         }
     }
 
-    pub fn step(&mut self, msg: Msg<E>, _now: Nanos, out: &mut Vec<OutMsg<E>>) {
+    pub fn step(&mut self, msg: Msg<E>, now: Nanos, out: &mut Vec<OutMsg<E>>) {
         debug_assert!(self.scratch.is_empty());
         match msg {
             Msg::Invoke {
@@ -448,41 +487,98 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
                 can_abort,
             } => self
                 .coord
-                .on_invoke(txn, client, procedure, can_abort, &mut self.scratch),
+                .on_invoke_at(txn, client, procedure, can_abort, now, &mut self.scratch),
             Msg::Response(r) => self.coord.on_response(r, &mut self.scratch),
-            Msg::PrimaryFailed { partition } => {
-                let (epoch, _aborted) =
-                    self.coord.on_partition_failed(partition, &mut self.scratch);
-                // One failover per group per run: the first backup takes
-                // over. Emission order matters — the promotion must be in
-                // the new primary's mailbox before the membership flip
-                // makes other actors route fragments to it, and before the
-                // rejoin can trigger a state fetch.
-                let new_primary = 1u32;
-                out.push(OutMsg {
-                    dest: ActorId::Replica(partition, new_primary),
-                    msg: Msg::Promote { epoch },
-                });
-                out.push(OutMsg {
-                    dest: ActorId::Control,
-                    msg: Msg::Promoted {
-                        partition,
-                        slot: new_primary,
-                    },
-                });
-                out.push(OutMsg {
-                    dest: ActorId::Replica(partition, 0),
-                    msg: Msg::Rejoin {
-                        epoch,
-                        primary_slot: new_primary,
-                    },
-                });
+            Msg::Tick => {
+                if let Some(timeout) = self.expiry {
+                    // Presumed distributed deadlock across shards: abort
+                    // with the retryable CrossCoordinator so the clients
+                    // re-submit (§4.3's timeout resolution, applied to
+                    // coordinator chains).
+                    self.coord.expire_stalled(
+                        now,
+                        timeout,
+                        AbortReason::CrossCoordinator,
+                        &mut self.scratch,
+                    );
+                }
             }
+            Msg::RoutingUpdate { partition, epoch } => {
+                let _aborted = self
+                    .coord
+                    .on_partition_failed(partition, epoch, &mut self.scratch);
+            }
+            Msg::DecisionAck { txn, partition } => self.coord.on_decision_ack(txn, partition),
             _ => debug_assert!(false, "unexpected message at coordinator"),
         }
         let _ = self.coord.take_cpu();
         for o in self.scratch.drain(..) {
             push_coord_out(o, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Membership (control plane)
+// ---------------------------------------------------------------------
+
+/// The replication control plane as an actor: the sole owner of
+/// membership/epoch state (`hcc_core::MembershipCore`). On a failure
+/// notification it drives the whole failover: promote the first backup,
+/// flip the backends' routing table, tell the dead node to rejoin, and
+/// notify every coordinator shard with an epoch-stamped routing update.
+///
+/// Emission order matters — the promotion must be in the new primary's
+/// mailbox before the membership flip makes other actors route fragments
+/// to it, before the rejoin can trigger a state fetch, and before any
+/// shard can re-deliver in-doubt commits to the promoted node.
+pub struct MembershipActor {
+    core: MembershipCore,
+    /// Coordinator shard count, for the routing-update fan-out.
+    coordinators: u32,
+}
+
+impl MembershipActor {
+    pub fn new(coordinators: u32) -> Self {
+        MembershipActor {
+            core: MembershipCore::new(),
+            coordinators: coordinators.max(1),
+        }
+    }
+
+    pub fn step<E: ExecutionEngine>(&mut self, msg: Msg<E>, out: &mut Vec<OutMsg<E>>) {
+        match msg {
+            Msg::PrimaryFailed { partition } => {
+                let up = self.core.on_primary_failed(partition);
+                out.push(OutMsg {
+                    dest: ActorId::Replica(partition, up.new_primary_slot),
+                    msg: Msg::Promote { epoch: up.epoch },
+                });
+                out.push(OutMsg {
+                    dest: ActorId::Control,
+                    msg: Msg::Promoted {
+                        partition,
+                        slot: up.new_primary_slot,
+                    },
+                });
+                out.push(OutMsg {
+                    dest: ActorId::Replica(partition, up.failed_slot),
+                    msg: Msg::Rejoin {
+                        epoch: up.epoch,
+                        primary_slot: up.new_primary_slot,
+                    },
+                });
+                for k in 0..self.coordinators {
+                    out.push(OutMsg {
+                        dest: ActorId::Coordinator(CoordinatorId(k)),
+                        msg: Msg::RoutingUpdate {
+                            partition,
+                            epoch: up.epoch,
+                        },
+                    });
+                }
+            }
+            _ => debug_assert!(false, "unexpected message at membership actor"),
         }
     }
 }
@@ -508,6 +604,11 @@ enum Role<E: ExecutionEngine> {
         /// seq of each shipped-but-possibly-unacked record, for the hold
         /// decision (pruned as the watermark advances).
         shipped_seq: FxHashMap<TxnId, u64>,
+        /// Transactions this node applied during its backup past (empty
+        /// for an initial primary): the exactly-once guard that keeps a
+        /// re-delivered in-doubt commit from applying twice when its
+        /// record *did* reach the backups before the crash.
+        applied: hcc_common::FxHashSet<TxnId>,
     },
     Backup {
         replica: ReplicaCore,
@@ -579,6 +680,7 @@ where
                 },
                 held: VecDeque::new(),
                 shipped_seq: FxHashMap::default(),
+                applied: hcc_common::FxHashSet::default(),
             }
         } else {
             Role::Backup {
@@ -647,8 +749,8 @@ where
                 },
             },
             FailoverBounce::ToCoordinator { dest, response } => match dest {
-                CoordinatorRef::Central => OutMsg {
-                    dest: ActorId::Coordinator,
+                CoordinatorRef::Central(k) => OutMsg {
+                    dest: ActorId::Coordinator(k),
                     msg: Msg::Response(response),
                 },
                 CoordinatorRef::Client(c) => OutMsg {
@@ -692,7 +794,7 @@ where
         }
         self.repl_counters.failed_at_ns = now.0;
         out.push(OutMsg {
-            dest: ActorId::Coordinator,
+            dest: ActorId::Membership,
             msg: Msg::PrimaryFailed {
                 partition: self.group,
             },
@@ -795,6 +897,27 @@ where
         debug_assert!(self.outbox.messages.is_empty());
         match msg {
             Msg::Fragment(task) => {
+                // Exactly-once guard for in-doubt redelivery: if this
+                // (promoted) primary already applied the transaction as a
+                // backup — its commit record reached the group before the
+                // crash — executing it again would double-apply. Ack the
+                // commit directly instead.
+                if task.multi_partition {
+                    if let Role::Primary { applied, .. } = &self.role {
+                        if applied.contains(&task.txn) {
+                            if let CoordinatorRef::Central(k) = task.coordinator {
+                                out.push(OutMsg {
+                                    dest: ActorId::Coordinator(k),
+                                    msg: Msg::DecisionAck {
+                                        txn: task.txn,
+                                        partition: self.group,
+                                    },
+                                });
+                            }
+                            return;
+                        }
+                    }
+                }
                 if let Role::Primary {
                     session: Some(session),
                     ..
@@ -807,7 +930,7 @@ where
                 };
                 sched.on_fragment(task, &mut self.engine, now, &mut self.outbox);
             }
-            Msg::Decision(d) => {
+            Msg::Decision(d, ack_to) => {
                 if d.commit {
                     self.ship_commit(d.txn, out);
                 } else if let Role::Primary {
@@ -820,7 +943,27 @@ where
                 let Role::Primary { sched, .. } = &mut self.role else {
                     unreachable!()
                 };
+                let strays_before = sched.counters().stray_decisions;
                 sched.on_decision(d, &mut self.engine, now, &mut self.outbox);
+                // Acknowledge a processed commit so the shard can drop it
+                // from the 2PC in-doubt window. A *stray* commit (a
+                // transaction that died with a crashed predecessor) must
+                // NOT be acked — acking it would falsely resolve the very
+                // window the redelivery machinery is about to close.
+                if let Some(shard) = ack_to {
+                    let Role::Primary { sched, .. } = &self.role else {
+                        unreachable!()
+                    };
+                    if d.commit && sched.counters().stray_decisions == strays_before {
+                        out.push(OutMsg {
+                            dest: ActorId::Coordinator(shard),
+                            msg: Msg::DecisionAck {
+                                txn: d.txn,
+                                partition: self.group,
+                            },
+                        });
+                    }
+                }
             }
             Msg::Tick => {
                 let Role::Primary { sched, .. } = &mut self.role else {
@@ -934,8 +1077,8 @@ where
                 }
                 PartitionOut::ToCoordinator { dest, response } => {
                     let out_msg = match dest {
-                        CoordinatorRef::Central => OutMsg {
-                            dest: ActorId::Coordinator,
+                        CoordinatorRef::Central(k) => OutMsg {
+                            dest: ActorId::Coordinator(k),
                             msg: Msg::Response(response),
                         },
                         CoordinatorRef::Client(c) => OutMsg {
@@ -997,6 +1140,7 @@ where
                 // resume its log without a gap. The failed node becomes a
                 // ship target only once it rejoins (via FetchState).
                 self.repl_counters.merge(&replica.counters);
+                let applied = replica.take_applied_txns();
                 let watermark = replica.watermark();
                 let targets: Vec<u32> = (1..self.system.replication)
                     .filter(|&s| s != self.slot)
@@ -1016,6 +1160,7 @@ where
                     acks,
                     held: VecDeque::new(),
                     shipped_seq: FxHashMap::default(),
+                    applied,
                 };
             }
             // A fragment can only arrive here through the membership flip
@@ -1025,7 +1170,7 @@ where
             Msg::Fragment(task) => self.bounce(&task, out),
             // Late decisions/acks/ticks for a role this node no longer
             // plays: drop.
-            Msg::Decision(_) | Msg::CommitAck { .. } | Msg::Tick => {}
+            Msg::Decision(..) | Msg::CommitAck { .. } | Msg::Tick => {}
             Msg::FetchState { requester_slot } => {
                 // Serve a sibling's recovery from backup state (only the
                 // primary is asked in the current protocol, but the answer

@@ -29,14 +29,14 @@
 //! kill → promote → recover chain, which is itself just messages.
 
 use crate::actors::{
-    ActorId, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, ReplicaActor, ReplicaParts,
-    RunControl,
+    ActorId, ClientActor, ClientCtx, CoordinatorActor, MembershipActor, Msg, OutMsg, ReplicaActor,
+    ReplicaParts, RunControl,
 };
 use crate::{
     assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hcc_common::{ClientId, PartitionId, Scheme};
+use hcc_common::{ClientId, CoordinatorId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use parking_lot::Mutex;
@@ -68,6 +68,7 @@ enum AnyActor<W: RequestGenerator> {
     // size.
     Client(Box<ClientActor<W>>),
     Coordinator(Box<CoordinatorActor<W::Engine>>),
+    Membership(Box<MembershipActor>),
     Replica(Box<ReplicaActor<W::Engine>>),
 }
 
@@ -80,9 +81,11 @@ struct Shared<W: RequestGenerator> {
     ctl: RunControl,
     workload: Mutex<W>,
     epoch: Instant,
-    /// Actor-index layout: clients, then the coordinator, then replica
-    /// groups (`replication` slots each, group-major).
+    /// Actor-index layout: clients, then the coordinator shards, then the
+    /// membership actor, then replica groups (`replication` slots each,
+    /// group-major).
     clients: usize,
+    coordinators: usize,
     slots_per_group: usize,
     /// Current primary slot per group.
     membership: Vec<AtomicU32>,
@@ -95,13 +98,14 @@ where
     <W::Engine as ExecutionEngine>::Output: Send,
 {
     fn replica_index(&self, p: PartitionId, slot: usize) -> usize {
-        self.clients + 1 + p.as_usize() * self.slots_per_group + slot
+        self.clients + self.coordinators + 1 + p.as_usize() * self.slots_per_group + slot
     }
 
     fn index_of(&self, id: ActorId) -> usize {
         match id {
             ActorId::Client(c) => c.as_usize(),
-            ActorId::Coordinator => self.clients,
+            ActorId::Coordinator(k) => self.clients + k.as_usize(),
+            ActorId::Membership => self.clients + self.coordinators,
             ActorId::Partition(p) => {
                 let slot = self.membership[p.as_usize()].load(Ordering::Acquire) as usize;
                 self.replica_index(p, slot)
@@ -145,6 +149,7 @@ where
                 c.step(msg, now, &ctx, out);
             }
             AnyActor::Coordinator(c) => c.step(msg, now, out),
+            AnyActor::Membership(m) => m.step(msg, out),
             AnyActor::Replica(r) => r.step(msg, now, &self.ctl, out),
         }
     }
@@ -243,8 +248,21 @@ impl Backend for MultiplexedBackend {
                 per_client,
             )))));
         }
-        actors.push(Mutex::new(AnyActor::Coordinator(Box::new(
-            CoordinatorActor::new(system.costs),
+        let shards = system.coordinators.max(1) as usize;
+        let track_in_doubt = cfg.failure.is_some();
+        let coord_expiry = (shards > 1).then_some(system.lock_timeout);
+        for k in 0..shards {
+            actors.push(Mutex::new(AnyActor::Coordinator(Box::new(
+                CoordinatorActor::new(
+                    system.costs,
+                    CoordinatorId(k as u32),
+                    track_in_doubt,
+                    coord_expiry,
+                ),
+            ))));
+        }
+        actors.push(Mutex::new(AnyActor::Membership(Box::new(
+            MembershipActor::new(system.coordinators),
         ))));
         for p in 0..n {
             let group = PartitionId(p as u32);
@@ -281,6 +299,7 @@ impl Backend for MultiplexedBackend {
             workload: Mutex::new(workload),
             epoch: Instant::now(),
             clients,
+            coordinators: shards,
             slots_per_group: slots,
             membership: (0..n).map(|_| AtomicU32::new(0)).collect(),
         });
@@ -294,10 +313,14 @@ impl Backend for MultiplexedBackend {
         }
 
         // Tick timer: the locking scheme needs periodic lock-timeout scans
-        // at each group's current primary. Runs until every client has
-        // retired (after which no transaction can be waiting on a lock).
+        // at each group's current primary, and sharded coordinators need
+        // periodic stall expiry (cross-shard deadlock resolution). Runs
+        // until every client has retired (after which no transaction can
+        // be waiting on a lock or a cross-shard chain).
         let timer_stop = Arc::new(AtomicBool::new(false));
-        let timer = (system.scheme == Scheme::Locking).then(|| {
+        let tick_partitions = system.scheme == Scheme::Locking;
+        let tick_coords = shards > 1;
+        let timer = (tick_partitions || tick_coords).then(|| {
             let shared = shared.clone();
             let stop = timer_stop.clone();
             let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4).max(
@@ -308,11 +331,21 @@ impl Backend for MultiplexedBackend {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(tick_every);
-                    for p in 0..parts {
-                        shared.send(OutMsg {
-                            dest: ActorId::Partition(PartitionId(p as u32)),
-                            msg: Msg::Tick,
-                        });
+                    if tick_partitions {
+                        for p in 0..parts {
+                            shared.send(OutMsg {
+                                dest: ActorId::Partition(PartitionId(p as u32)),
+                                msg: Msg::Tick,
+                            });
+                        }
+                    }
+                    if tick_coords {
+                        for k in 0..shards {
+                            shared.send(OutMsg {
+                                dest: ActorId::Coordinator(CoordinatorId(k as u32)),
+                                msg: Msg::Tick,
+                            });
+                        }
                     }
                 }
             })
@@ -373,7 +406,7 @@ impl Backend for MultiplexedBackend {
         for slot in shared.actors {
             match slot.into_inner() {
                 AnyActor::Client(c) => clients_stats.merge(&c.into_stats()),
-                AnyActor::Coordinator(_) => {}
+                AnyActor::Coordinator(_) | AnyActor::Membership(_) => {}
                 AnyActor::Replica(r) => parts.push(r.into_parts()),
             }
         }

@@ -19,14 +19,14 @@
 //! [`crate::multiplexed`].
 
 use crate::actors::{
-    ActorId, ClientActor, ClientCtx, CoordinatorActor, Msg, OutMsg, ReplicaActor, ReplicaParts,
-    RunControl,
+    ActorId, ClientActor, ClientCtx, CoordinatorActor, MembershipActor, Msg, OutMsg, ReplicaActor,
+    ReplicaParts, RunControl,
 };
 use crate::{
     assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use hcc_common::{ClientId, PartitionId, Scheme};
+use hcc_common::{ClientId, CoordinatorId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use parking_lot::Mutex;
@@ -44,7 +44,10 @@ enum Wire<E: ExecutionEngine> {
 /// table resolving the logical partition address to the current primary.
 struct Router<E: ExecutionEngine> {
     clients: Vec<Sender<Wire<E>>>,
-    coord: Sender<Wire<E>>,
+    /// One sender per coordinator shard.
+    coords: Vec<Sender<Wire<E>>>,
+    /// The control-plane membership actor.
+    control_plane: Sender<Wire<E>>,
     /// `[group][slot]`.
     replicas: Vec<Vec<Sender<Wire<E>>>>,
     /// Current primary slot per group.
@@ -55,7 +58,8 @@ impl<E: ExecutionEngine> Clone for Router<E> {
     fn clone(&self) -> Self {
         Router {
             clients: self.clients.clone(),
-            coord: self.coord.clone(),
+            coords: self.coords.clone(),
+            control_plane: self.control_plane.clone(),
             replicas: self.replicas.clone(),
             membership: self.membership.clone(),
         }
@@ -72,7 +76,8 @@ impl<E: ExecutionEngine> Router<E> {
     fn send(&self, m: OutMsg<E>) {
         let _ = match m.dest {
             ActorId::Client(c) => self.clients[c.as_usize()].send(Wire::Actor(m.msg)),
-            ActorId::Coordinator => self.coord.send(Wire::Actor(m.msg)),
+            ActorId::Coordinator(k) => self.coords[k.as_usize()].send(Wire::Actor(m.msg)),
+            ActorId::Membership => self.control_plane.send(Wire::Actor(m.msg)),
             ActorId::Partition(p) => {
                 let slot = self.primary_slot(p);
                 self.replicas[p.as_usize()][slot].send(Wire::Actor(m.msg))
@@ -141,7 +146,15 @@ impl Backend for ThreadedBackend {
             }
             replica_txs.push(txs);
         }
-        let (coord_tx, coord_rx) = unbounded();
+        let shards = system.coordinators.max(1) as usize;
+        let mut coord_txs = Vec::new();
+        let mut coord_rxs = Vec::new();
+        for _ in 0..shards {
+            let (tx, rx) = unbounded();
+            coord_txs.push(tx);
+            coord_rxs.push(rx);
+        }
+        let (control_tx, control_rx) = unbounded();
         let mut client_txs = Vec::new();
         let mut client_rxs = Vec::new();
         for _ in 0..system.clients {
@@ -151,7 +164,8 @@ impl Backend for ThreadedBackend {
         }
         let router: Router<E<W>> = Router {
             clients: client_txs,
-            coord: coord_tx,
+            coords: coord_txs,
+            control_plane: control_tx,
             replicas: replica_txs,
             membership: Arc::new((0..n).map(|_| AtomicU32::new(0)).collect()),
         };
@@ -181,16 +195,52 @@ impl Backend for ThreadedBackend {
             }));
         }
 
-        // Coordinator thread.
-        let coord_handle = {
-            let mut actor: CoordinatorActor<E<W>> = CoordinatorActor::new(system.costs);
+        // Coordinator shard threads. With N > 1 shards, each also ticks
+        // itself to expire cross-shard distributed deadlocks.
+        let track_in_doubt = cfg.failure.is_some();
+        let coord_expiry = (shards > 1).then_some(system.lock_timeout);
+        let mut coord_handles = Vec::new();
+        for (k, rx) in coord_rxs.into_iter().enumerate() {
+            let mut actor: CoordinatorActor<E<W>> = CoordinatorActor::new(
+                system.costs,
+                CoordinatorId(k as u32),
+                track_in_doubt,
+                coord_expiry,
+            );
+            let router = router.clone();
+            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
+            let ticks = coord_expiry.is_some();
+            coord_handles.push(std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    let msg = if ticks {
+                        match rx.recv_timeout(tick_every) {
+                            Ok(Wire::Actor(m)) => m,
+                            Ok(Wire::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                            Err(RecvTimeoutError::Timeout) => Msg::Tick,
+                        }
+                    } else {
+                        match rx.recv() {
+                            Ok(Wire::Actor(m)) => m,
+                            _ => break,
+                        }
+                    };
+                    actor.step(msg, now_ns(epoch), &mut buf);
+                    router.route(&mut buf);
+                }
+            }));
+        }
+
+        // Control-plane membership thread.
+        let control_handle = {
+            let mut actor = MembershipActor::new(system.coordinators);
             let router = router.clone();
             std::thread::spawn(move || {
-                let mut buf = Vec::new();
-                while let Ok(wire) = coord_rx.recv() {
+                let mut buf: Vec<OutMsg<E<W>>> = Vec::new();
+                while let Ok(wire) = control_rx.recv() {
                     match wire {
                         Wire::Actor(msg) => {
-                            actor.step(msg, now_ns(epoch), &mut buf);
+                            actor.step(msg, &mut buf);
                             router.route(&mut buf);
                         }
                         Wire::Shutdown => break,
@@ -267,12 +317,19 @@ impl Backend for ThreadedBackend {
             }
         }
 
-        // Quiesced: shut down the coordinator, then each group's current
-        // primary (so it ships its trailing commit records first), then
-        // the group's backups. Channel FIFO ensures every message sent
-        // before a Shutdown is processed first.
-        let _ = router.coord.send(Wire::Shutdown);
-        coord_handle.join().expect("coordinator thread");
+        // Quiesced: shut down the control plane and the coordinator
+        // shards, then each group's current primary (so it ships its
+        // trailing commit records first), then the group's backups.
+        // Channel FIFO ensures every message sent before a Shutdown is
+        // processed first.
+        let _ = router.control_plane.send(Wire::Shutdown);
+        control_handle.join().expect("membership thread");
+        for tx in &router.coords {
+            let _ = tx.send(Wire::Shutdown);
+        }
+        for h in coord_handles {
+            h.join().expect("coordinator thread");
+        }
         let mut parts: Vec<ReplicaParts<E<W>>> = Vec::new();
         // Indexing two parallel structures (channels + handles); an index
         // loop is the clear spelling.

@@ -34,6 +34,18 @@ fn fingerprints(
     requests: u64,
     backend: BackendChoice,
 ) -> (Vec<u64>, u64, u64) {
+    fingerprints_sharded(scheme, clients, requests, backend, 1)
+}
+
+/// As [`fingerprints`], with `coordinators` shards (clients statically
+/// partitioned across them).
+fn fingerprints_sharded(
+    scheme: Scheme,
+    clients: u32,
+    requests: u64,
+    backend: BackendChoice,
+    coordinators: u32,
+) -> (Vec<u64>, u64, u64) {
     let mc = MicroConfig {
         partitions: 2,
         clients,
@@ -45,7 +57,8 @@ fn fingerprints(
     let system = SystemConfig::new(scheme)
         .with_partitions(2)
         .with_clients(clients)
-        .with_seed(0xBEEF);
+        .with_seed(0xBEEF)
+        .with_coordinators(coordinators);
     let cfg = RuntimeConfig::fixed_work(system, backend, requests);
     let builder = MicroWorkload::new(mc);
     let r = run(cfg, MicroWorkload::new(mc), move |p| {
@@ -91,6 +104,33 @@ fn all_schemes_agree_across_backends() {
             threaded, multiplexed,
             "{scheme}: committed state diverged between backends"
         );
+    }
+}
+
+/// Coordinator scale-out equivalence: with N ∈ {1, 2, 4} coordinator
+/// shards, the threaded and multiplexed backends must still agree
+/// bit-for-bit — sharding changes who coordinates, not what commits. The
+/// speculative scheme is the interesting one (cross-shard chains at the
+/// partitions fall back to held responses); blocking covers the plain 2PC
+/// path.
+#[test]
+fn sharded_coordinators_agree_across_backends() {
+    for scheme in [Scheme::Speculative, Scheme::Blocking] {
+        for coordinators in [1u32, 2, 4] {
+            let threaded =
+                fingerprints_sharded(scheme, 16, 25, BackendChoice::Threaded, coordinators);
+            let multiplexed = fingerprints_sharded(
+                scheme,
+                16,
+                25,
+                BackendChoice::Multiplexed { workers: 4 },
+                coordinators,
+            );
+            assert_eq!(
+                threaded, multiplexed,
+                "{scheme}/N={coordinators}: committed state diverged between backends"
+            );
+        }
     }
 }
 

@@ -30,6 +30,15 @@ fn failover_run(
     backend: BackendChoice,
     replication: u32,
 ) -> RuntimeReport<MicroEngine> {
+    failover_run_sharded(scheme, backend, replication, 1)
+}
+
+fn failover_run_sharded(
+    scheme: Scheme,
+    backend: BackendChoice,
+    replication: u32,
+    coordinators: u32,
+) -> RuntimeReport<MicroEngine> {
     let clients = 16u32;
     let requests = 40u64;
     let mc = MicroConfig {
@@ -44,7 +53,8 @@ fn failover_run(
         .with_partitions(2)
         .with_clients(clients)
         .with_seed(0xFA11)
-        .with_replication(replication);
+        .with_replication(replication)
+        .with_coordinators(coordinators);
     // Kill P1's primary after 30 commits — early enough that hundreds of
     // transactions still flow through the promoted backup and the
     // recovered node afterwards.
@@ -129,6 +139,88 @@ fn failover_with_two_backups_keeps_every_replica_converged() {
             }
         }
     }
+}
+
+/// Failover with N > 1 coordinator shards: the control-plane membership
+/// actor must fan the routing update out to every shard (each aborts its
+/// own in-flight transactions), and the promoted backup + recovered node
+/// must still converge with the primary — on both backends.
+#[test]
+fn failover_with_sharded_coordinators_converges() {
+    for backend in BACKENDS {
+        for coordinators in [2u32, 4] {
+            let r = failover_run_sharded(Scheme::Speculative, backend, 2, coordinators);
+            assert_eq!(r.engines.len(), 2, "{backend}/N={coordinators}");
+            assert_eq!(r.backups.len(), 2, "{backend}/N={coordinators}");
+            for group in 0..2 {
+                assert_eq!(
+                    r.engines[group].fingerprint(),
+                    r.backups[group].fingerprint(),
+                    "{backend}/N={coordinators}: group {group} replicas diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The 2PC in-doubt window is *closed*: with a commutative workload that
+/// includes multi-partition transactions, a mid-run crash must still be
+/// invisible in the final state. Before the coordinator-side commit acks,
+/// a commit decision in flight to the dying primary died with it — the
+/// transaction's effects survived at the other participants but were lost
+/// at the failed group, so with-failure and no-failure runs could
+/// diverge. With acks + redelivery every unacknowledged commit is
+/// re-executed at the promoted primary (and the exactly-once guard
+/// prevents double-apply when the record did reach the backup), so the
+/// final states must be bit-identical.
+#[test]
+fn in_doubt_commits_survive_failover_bit_for_bit() {
+    let clients = 12u32;
+    let requests = 50u64;
+    let yc = YcsbConfig {
+        partitions: 2,
+        clients,
+        keys_per_partition: 512,
+        theta: 0.8,
+        read_fraction: 0.5,
+        ops_per_txn: 8,
+        mp_fraction: 0.35,
+        seed: 0xD0B7,
+    };
+    let run_once = |failure: Option<FailurePlan>| {
+        let system = SystemConfig::new(Scheme::Speculative)
+            .with_partitions(2)
+            .with_clients(clients)
+            .with_seed(0xD0B7)
+            .with_replication(2)
+            .with_coordinators(2);
+        let mut cfg =
+            RuntimeConfig::fixed_work(system, BackendChoice::Multiplexed { workers: 4 }, requests);
+        cfg.failure = failure;
+        let builder = YcsbWorkload::new(yc);
+        let r = run(cfg, YcsbWorkload::new(yc), move |p| builder.build_engine(p));
+        assert_eq!(r.clients.committed, clients as u64 * requests);
+        assert_eq!(r.replication.replay_failures, 0);
+        (
+            r.engines
+                .iter()
+                .map(|e| e.fingerprint())
+                .collect::<Vec<_>>(),
+            r.replication.promotions,
+        )
+    };
+    let (clean, promotions) = run_once(None);
+    assert_eq!(promotions, 0);
+    let (failed, promotions) = run_once(Some(FailurePlan {
+        partition: PartitionId(0),
+        after_commits: 60,
+    }));
+    assert_eq!(promotions, 1);
+    assert_eq!(
+        clean, failed,
+        "an MP-carrying failover run diverged from the clean run — \
+         the 2PC in-doubt window lost or duplicated a commit"
+    );
 }
 
 /// With a single-partition-only commutative workload (the YCSB mix below

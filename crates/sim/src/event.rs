@@ -1,16 +1,20 @@
 //! Event queue plumbing.
 
-use hcc_common::{ClientId, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, TxnId};
+use hcc_common::{
+    ClientId, CoordinatorId, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, TxnId,
+};
 use hcc_core::{ExecutionEngine, Procedure};
 use std::cmp::Ordering;
 
-/// A message delivered to a partition.
+/// A message delivered to a partition. The decision's second field is the
+/// coordinator shard expecting an ack for a processed commit (in-doubt
+/// tracking; `None` otherwise).
 pub enum PartIn<F> {
     Fragment(FragmentTask<F>),
-    Decision(Decision),
+    Decision(Decision, Option<CoordinatorId>),
 }
 
-/// A message delivered to the central coordinator.
+/// A message delivered to one central coordinator shard.
 pub enum CoordIn<E: ExecutionEngine> {
     Invoke {
         txn: TxnId,
@@ -22,9 +26,18 @@ pub enum CoordIn<E: ExecutionEngine> {
     /// Periodic maintenance: expire transactions stalled on a failed
     /// participant.
     Tick,
-    /// The failure detector reported a dead primary (failover mode): abort
-    /// in-flight transactions touching it and bump its epoch.
-    PartitionFailed(PartitionId),
+    /// The control plane reported a failover: the partition now answers to
+    /// a promoted backup under this epoch. Abort in-flight transactions
+    /// touching it; re-deliver unacknowledged commits.
+    RoutingUpdate {
+        partition: PartitionId,
+        epoch: u32,
+    },
+    /// A partition processed a commit decision (in-doubt tracking).
+    DecisionAck {
+        txn: TxnId,
+        partition: PartitionId,
+    },
 }
 
 /// A message delivered to a client.
@@ -45,7 +58,10 @@ pub enum Ev<E: ExecutionEngine> {
         p: PartitionId,
         msg: PartIn<E::Fragment>,
     },
-    ToCoordinator(CoordIn<E>),
+    ToCoordinator {
+        k: CoordinatorId,
+        msg: CoordIn<E>,
+    },
     ToClient {
         c: ClientId,
         msg: ClientIn<E::Output>,

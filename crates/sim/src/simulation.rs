@@ -4,11 +4,12 @@ use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
 use hcc_common::stats::{LatencyHistogram, ReplicationCounters, SchedulerCounters};
 use hcc_common::{
-    AbortReason, ClientId, CoordinatorRef, FragmentTask, Nanos, PartitionId, Scheme, SystemConfig,
-    TxnId, TxnResult,
+    AbortReason, ClientId, CoordinatorId, CoordinatorRef, FragmentTask, FxHashSet, Nanos,
+    PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, NextAction, PendingRequest};
-use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::coordinator::{CoordCounters, CoordOut, Coordinator};
+use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{failover_bounce, FailoverBounce, ReplicaCore, ReplicationSession};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
@@ -108,7 +109,18 @@ struct SimClient<E: ExecutionEngine> {
     current_is_mp: bool,
     submitted_at: Nanos,
     busy: Nanos,
+    /// Consecutive `CrossCoordinator` bounces of the current request (for
+    /// retry backoff; reset on a final outcome).
+    cross_retries: u32,
 }
+
+/// Base backoff before retrying a `CrossCoordinator` bounce. Instant
+/// retries livelock in virtual time: every bounced client re-collides
+/// with the same still-active cross-shard chain in lockstep. Backing off
+/// a few chain-lifetimes (and staggering clients deterministically)
+/// spreads the retries so the chains can drain. Scaled by the attempt
+/// count, capped at 8×.
+const CROSS_RETRY_BACKOFF: Nanos = Nanos(150_000);
 
 /// One run of the system under a workload. Deterministic given the config
 /// and workload seed.
@@ -125,12 +137,22 @@ pub struct Simulation<W: RequestGenerator> {
     part_busy_in_window: Vec<u64>,
     tick_pending: Vec<bool>,
 
-    coord: Coordinator<
-        <W::Engine as ExecutionEngine>::Fragment,
-        <W::Engine as ExecutionEngine>::Output,
+    /// Coordinator shards; clients are statically partitioned across them
+    /// (`SystemConfig::coordinator_of`). One shard reproduces the paper.
+    coords: Vec<
+        Coordinator<
+            <W::Engine as ExecutionEngine>::Fragment,
+            <W::Engine as ExecutionEngine>::Output,
+        >,
     >,
-    coord_busy: Nanos,
-    coord_busy_in_window: u64,
+    coord_busy: Vec<Nanos>,
+    coord_busy_in_window: Vec<u64>,
+    /// The control-plane membership/epoch authority (failover mode).
+    membership: MembershipCore,
+    /// Per partition: transactions the promoted primary applied during its
+    /// backup past — the exactly-once guard for in-doubt commit
+    /// redelivery (empty until a kill).
+    promoted_applied: Vec<FxHashSet<TxnId>>,
 
     // Reused hot-path buffers: one event in steady state allocates
     // nothing — scheduler outputs, coordinator outputs, and same-time
@@ -200,6 +222,16 @@ where
                 "failover requires a replica to promote"
             );
         }
+        // `with_partition_failure` models an unreplicated crash whose
+        // stalled transactions are finally aborted (RemoteAbort); with
+        // sharded coordinators the same expiry path must instead issue
+        // retryable CrossCoordinator aborts for cross-shard waiters. The
+        // two semantics cannot share one timeout, so the combination is
+        // rejected rather than silently mis-aborting healthy waiters.
+        assert!(
+            cfg.coordinator_timeout.is_none() || cfg.system.coordinators <= 1,
+            "partition-failure injection (coordinator_timeout) is a              single-coordinator scenario"
+        );
         let scheds = (0..n)
             .map(|p| make_scheduler::<W::Engine>(&cfg.system, PartitionId(p as u32)))
             .collect();
@@ -212,12 +244,27 @@ where
                 current_is_mp: false,
                 submitted_at: Nanos::ZERO,
                 busy: Nanos::ZERO,
+                cross_retries: 0,
             })
             .collect();
         let window_start = cfg.warmup;
         let window_end = cfg.warmup + cfg.measure;
+        let shards = cfg.system.coordinators.max(1) as usize;
+        // In-doubt commit tracking (decision acks + redelivery) only
+        // matters when a failover can strand a decision; keeping it off
+        // otherwise keeps the no-failure event stream (and the golden
+        // determinism values) untouched.
+        let track_in_doubt = cfg.failover.is_some();
         Simulation {
-            coord: Coordinator::central(cfg.system.costs),
+            coords: (0..shards)
+                .map(|k| {
+                    Coordinator::shard(cfg.system.costs, CoordinatorId(k as u32), track_in_doubt)
+                })
+                .collect(),
+            coord_busy: vec![Nanos::ZERO; shards],
+            coord_busy_in_window: vec![0; shards],
+            membership: MembershipCore::new(),
+            promoted_applied: (0..n).map(|_| FxHashSet::default()).collect(),
             outbox: Outbox::new(cfg.system.costs),
             out_scratch: Vec::new(),
             coord_out: Vec::new(),
@@ -232,8 +279,6 @@ where
             part_busy: vec![Nanos::ZERO; n],
             part_busy_in_window: vec![0; n],
             tick_pending: vec![false; n],
-            coord_busy: Nanos::ZERO,
-            coord_busy_in_window: 0,
             clients,
             replicas,
             draining: false,
@@ -262,6 +307,22 @@ where
 
     fn one_way(&self) -> Nanos {
         self.cfg.system.network.one_way
+    }
+
+    /// Coordinator expiry policy: the participant-failure recovery path
+    /// (explicit `coordinator_timeout`, final `RemoteAbort`) or — with
+    /// sharded coordinators — the cross-shard distributed-deadlock breaker
+    /// (`lock_timeout`, retryable `CrossCoordinator`), mirroring §4.3's
+    /// timeout-based resolution under locking. `None` for the paper's
+    /// singleton, whose global dispatch order cannot deadlock.
+    fn coord_expiry(&self) -> Option<(Nanos, AbortReason)> {
+        if let Some(t) = self.cfg.coordinator_timeout {
+            Some((t, AbortReason::RemoteAbort))
+        } else if self.coords.len() > 1 {
+            Some((self.cfg.system.lock_timeout, AbortReason::CrossCoordinator))
+        } else {
+            None
+        }
     }
 
     /// Account busy time clipped to the measurement window.
@@ -325,14 +386,18 @@ where
                         self.route_coord_out(depart, Some(c));
                     }
                     _ => {
+                        let k = self.cfg.system.coordinator_of(client_id);
                         self.push(
                             at + one_way,
-                            Ev::ToCoordinator(CoordIn::Invoke {
-                                txn,
-                                client: client_id,
-                                procedure,
-                                can_abort,
-                            }),
+                            Ev::ToCoordinator {
+                                k,
+                                msg: CoordIn::Invoke {
+                                    txn,
+                                    client: client_id,
+                                    procedure,
+                                    can_abort,
+                                },
+                            },
                         );
                     }
                 }
@@ -358,11 +423,11 @@ where
                         msg: PartIn::Fragment(task),
                     },
                 ),
-                CoordOut::Decision(p, d) => (
+                CoordOut::Decision(p, d, ack_to) => (
                     depart + one_way,
                     Ev::ToPartition {
                         p,
-                        msg: PartIn::Decision(d),
+                        msg: PartIn::Decision(d, ack_to),
                     },
                 ),
                 CoordOut::ClientResult {
@@ -478,7 +543,10 @@ where
                     }
                 }
                 PartitionOut::ToCoordinator { dest, response } => match dest {
-                    CoordinatorRef::Central => Ev::ToCoordinator(CoordIn::Response(response)),
+                    CoordinatorRef::Central(k) => Ev::ToCoordinator {
+                        k,
+                        msg: CoordIn::Response(response),
+                    },
                     CoordinatorRef::Client(cid) => Ev::ToClient {
                         c: cid,
                         msg: ClientIn::FragResponse(response),
@@ -509,18 +577,47 @@ where
         let pi = p.as_usize();
         let start = at.max(self.part_busy[pi]);
         debug_assert!(self.outbox.messages.is_empty() && self.outbox.cpu == Nanos::ZERO);
+        // A processed commit decision is acknowledged to the shard that
+        // asked (in-doubt tracking) — unless it was *stray* (a transaction
+        // that died with a crashed predecessor), which must stay in doubt
+        // so the redelivery machinery can close the window.
+        let mut ack: Option<(CoordinatorId, TxnId)> = None;
         match msg {
             PartIn::Fragment(task) => {
+                // Exactly-once guard for in-doubt redelivery: a promoted
+                // primary that already applied this transaction as a
+                // backup acks the commit instead of re-executing it.
+                if task.multi_partition && self.promoted_applied[pi].contains(&task.txn) {
+                    if let CoordinatorRef::Central(k) = task.coordinator {
+                        self.push(
+                            at + self.one_way(),
+                            Ev::ToCoordinator {
+                                k,
+                                msg: CoordIn::DecisionAck {
+                                    txn: task.txn,
+                                    partition: p,
+                                },
+                            },
+                        );
+                    }
+                    return;
+                }
                 self.record_fragment(pi, &task);
                 self.scheds[pi].on_fragment(task, &mut self.engines[pi], start, &mut self.outbox);
             }
-            PartIn::Decision(d) => {
+            PartIn::Decision(d, ack_to) => {
                 if d.commit {
                     self.replica_commit(pi, d.txn);
                 } else {
                     self.replica_abort(pi, d.txn);
                 }
+                let strays_before = self.scheds[pi].counters().stray_decisions;
                 self.scheds[pi].on_decision(d, &mut self.engines[pi], start, &mut self.outbox);
+                if let Some(k) = ack_to {
+                    if d.commit && self.scheds[pi].counters().stray_decisions == strays_before {
+                        ack = Some((k, d.txn));
+                    }
+                }
             }
         }
         // Drain the (recycled) outbox into the scratch buffer.
@@ -535,6 +632,15 @@ where
         } else {
             end
         };
+        if let Some((k, txn)) = ack {
+            self.push(
+                depart + self.one_way(),
+                Ev::ToCoordinator {
+                    k,
+                    msg: CoordIn::DecisionAck { txn, partition: p },
+                },
+            );
+        }
         self.route_partition_out(pi, depart);
         // Locking needs periodic timeout scans while work is outstanding.
         if self.cfg.system.scheme == Scheme::Locking
@@ -564,8 +670,9 @@ where
         }
     }
 
-    fn handle_coordinator(&mut self, msg: CoordIn<W::Engine>, at: Nanos) {
-        let start = at.max(self.coord_busy);
+    fn handle_coordinator(&mut self, k: CoordinatorId, msg: CoordIn<W::Engine>, at: Nanos) {
+        let ki = k.as_usize();
+        let start = at.max(self.coord_busy[ki]);
         debug_assert!(self.coord_out.is_empty());
         let mut out = std::mem::take(&mut self.coord_out);
         match msg {
@@ -574,33 +681,37 @@ where
                 client,
                 procedure,
                 can_abort,
-            } => self
-                .coord
-                .on_invoke_at(txn, client, procedure, can_abort, start, &mut out),
-            CoordIn::Response(r) => self.coord.on_response(r, &mut out),
-            CoordIn::PartitionFailed(p) => {
-                let _ = self.coord.on_partition_failed(p, &mut out);
+            } => self.coords[ki].on_invoke_at(txn, client, procedure, can_abort, start, &mut out),
+            CoordIn::Response(r) => self.coords[ki].on_response(r, &mut out),
+            CoordIn::RoutingUpdate { partition, epoch } => {
+                let _ = self.coords[ki].on_partition_failed(partition, epoch, &mut out);
+            }
+            CoordIn::DecisionAck { txn, partition } => {
+                self.coords[ki].on_decision_ack(txn, partition);
             }
             CoordIn::Tick => {
-                if let Some(timeout) = self.cfg.coordinator_timeout {
-                    self.coord.expire_stalled(start, timeout, &mut out);
+                if let Some((timeout, reason)) = self.coord_expiry() {
+                    self.coords[ki].expire_stalled(start, timeout, reason, &mut out);
                     // Tick until the window closes, then once more per
                     // pending txn during the drain (bounded, so the drain
                     // terminates).
-                    if start < self.window_end || self.coord.pending() > 0 {
+                    if start < self.window_end || self.coords[ki].pending() > 0 {
                         self.push(
                             start + Nanos(timeout.0 / 2).max(Nanos(1)),
-                            Ev::ToCoordinator(CoordIn::Tick),
+                            Ev::ToCoordinator {
+                                k,
+                                msg: CoordIn::Tick,
+                            },
                         );
                     }
                 }
             }
         }
         self.coord_out = out;
-        let cpu = self.coord.take_cpu();
+        let cpu = self.coords[ki].take_cpu();
         let end = start + cpu;
-        self.coord_busy = end;
-        self.coord_busy_in_window += self.window_overlap(start, end);
+        self.coord_busy[ki] = end;
+        self.coord_busy_in_window[ki] += self.window_overlap(start, end);
         self.route_coord_out(end, None);
     }
 
@@ -621,7 +732,22 @@ where
                             self.retries += 1;
                         }
                         if !self.draining {
-                            self.dispatch(ci, at);
+                            let when = if matches!(
+                                &result,
+                                TxnResult::Aborted(AbortReason::CrossCoordinator)
+                            ) {
+                                let c = &mut self.clients[ci];
+                                c.cross_retries = (c.cross_retries + 1).min(8);
+                                // Deterministic per-client stagger breaks
+                                // the retry lockstep.
+                                at + Nanos(
+                                    CROSS_RETRY_BACKOFF.0 * c.cross_retries as u64
+                                        + (ci as u64 % 5) * 17_000,
+                                )
+                            } else {
+                                at
+                            };
+                            self.dispatch(ci, when);
                         }
                     }
                     NextAction::NewRequest => {
@@ -638,6 +764,7 @@ where
                                 TxnResult::Aborted(_) => self.user_aborts += 1,
                             }
                         }
+                        self.clients[ci].cross_retries = 0;
                         self.workload.on_result(c, txn, result.is_committed());
                         if !self.draining {
                             let req = self.workload.next_request(c);
@@ -671,7 +798,8 @@ where
         let pi = p.as_usize();
         let one_way = self.one_way();
         let replicas = self.replicas.as_mut().expect("failover requires replicas");
-        let (core, replica_engine) = replicas[pi].take().expect("replica alive at kill");
+        let (mut core, replica_engine) = replicas[pi].take().expect("replica alive at kill");
+        self.promoted_applied[pi] = core.take_applied_txns();
         // Promote: the replica engine (exactly the committed prefix of the
         // commit log) becomes the primary; the dead node's engine and
         // scheduler state are lost — but its counters still describe real
@@ -706,7 +834,10 @@ where
                     },
                 },
                 FailoverBounce::ToCoordinator { dest, response } => match dest {
-                    CoordinatorRef::Central => Ev::ToCoordinator(CoordIn::Response(response)),
+                    CoordinatorRef::Central(k) => Ev::ToCoordinator {
+                        k,
+                        msg: CoordIn::Response(response),
+                    },
                     CoordinatorRef::Client(c) => Ev::ToClient {
                         c,
                         msg: ClientIn::FragResponse(response),
@@ -715,7 +846,21 @@ where
             };
             self.push(at + one_way, ev);
         }
-        self.push(at + one_way, Ev::ToCoordinator(CoordIn::PartitionFailed(p)));
+        // The control plane decides the promotion and fans the
+        // epoch-stamped update out to every coordinator shard.
+        let up = self.membership.on_primary_failed(p);
+        for ki in 0..self.coords.len() {
+            self.push(
+                at + one_way,
+                Ev::ToCoordinator {
+                    k: CoordinatorId(ki as u32),
+                    msg: CoordIn::RoutingUpdate {
+                        partition: p,
+                        epoch: up.epoch,
+                    },
+                },
+            );
+        }
         let delay = self
             .cfg
             .failover
@@ -744,7 +889,7 @@ where
         self.events += 1;
         match ev {
             Ev::ToPartition { p, msg } => self.handle_partition(p, msg, at),
-            Ev::ToCoordinator(msg) => self.handle_coordinator(msg, at),
+            Ev::ToCoordinator { k, msg } => self.handle_coordinator(k, msg, at),
             Ev::ToClient { c, msg } => self.handle_client(c, msg, at),
             Ev::Tick { p } => self.handle_tick(p, at),
             Ev::Kill { p } => self.handle_kill(p, at),
@@ -755,8 +900,16 @@ where
 
     /// Run to the end of the measurement window and report.
     pub fn run(mut self) -> (SimReport, W, Vec<W::Engine>, Option<Vec<W::Engine>>) {
-        if self.cfg.coordinator_timeout.is_some() {
-            self.push(Nanos(1), Ev::ToCoordinator(CoordIn::Tick));
+        if self.coord_expiry().is_some() {
+            for ki in 0..self.coords.len() {
+                self.push(
+                    Nanos(1),
+                    Ev::ToCoordinator {
+                        k: CoordinatorId(ki as u32),
+                        msg: CoordIn::Tick,
+                    },
+                );
+            }
         }
         if let Some(f) = self.cfg.failover {
             self.push(f.at, Ev::Kill { p: f.partition });
@@ -792,14 +945,17 @@ where
                 ev => self.dispatch_event(ev, item.at),
             }
         }
-        debug_assert!(
-            self.scheds.iter().enumerate().all(|(p, s)| {
+        if cfg!(debug_assertions) {
+            for (p, s) in self.scheds.iter().enumerate() {
                 // A crashed partition keeps whatever was in flight.
                 let failed = matches!(self.cfg.fail_partition, Some((_, fp)) if fp.as_usize() == p);
-                failed || s.is_idle()
-            }),
-            "schedulers not idle after drain"
-        );
+                assert!(
+                    failed || s.is_idle(),
+                    "P{p} scheduler not idle after drain (counters: {:?})",
+                    s.counters()
+                );
+            }
+        }
 
         let mut sched = self.sched_retired;
         for s in &self.scheds {
@@ -818,6 +974,11 @@ where
         });
         let window = self.cfg.measure.as_secs_f64();
         let n = self.engines.len() as f64;
+        let mut coord = CoordCounters::default();
+        for c in &self.coords {
+            coord.merge(&c.counters);
+        }
+        let shards = self.coords.len() as f64;
         let report = SimReport {
             committed: self.committed,
             user_aborts: self.user_aborts,
@@ -826,7 +987,7 @@ where
             throughput_tps: self.committed as f64 / window,
             latency: self.latency,
             sched,
-            coord: self.coord.counters,
+            coord,
             replication,
             simulated: end,
             events_processed: self.events,
@@ -836,7 +997,12 @@ where
                 .map(|&b| b as f64 / self.cfg.measure.0 as f64)
                 .sum::<f64>()
                 / n,
-            coordinator_utilization: self.coord_busy_in_window as f64 / self.cfg.measure.0 as f64,
+            coordinator_utilization: self
+                .coord_busy_in_window
+                .iter()
+                .map(|&b| b as f64 / self.cfg.measure.0 as f64)
+                .sum::<f64>()
+                / shards,
         };
         (report, self.workload, self.engines, replicas)
     }

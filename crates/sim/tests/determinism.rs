@@ -160,6 +160,65 @@ fn golden_fixed_seed_results_survive_fast_path_rewrite() {
     }
 }
 
+/// Coordinator scale-out determinism: for each shard count the simulation
+/// stays a pure function of the seed (bit-identical reruns), N = 1
+/// reproduces the singleton's exact fingerprints (the golden test above
+/// pins those), and different shard counts genuinely change the schedule
+/// (different interleavings at the partitions) while committing the same
+/// workload kinds.
+#[test]
+fn sharded_coordinators_are_deterministic_per_shard_count() {
+    let run_n = |coordinators: u32| {
+        let micro = MicroConfig {
+            mp_fraction: 0.5,
+            abort_prob: 0.05,
+            clients: 24,
+            seed: 0xC0,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(Scheme::Speculative)
+            .with_partitions(2)
+            .with_clients(24)
+            .with_seed(0xC0)
+            .with_coordinators(coordinators);
+        let cfg = SimConfig::new(system)
+            .with_window(Nanos::from_millis(20), Nanos::from_millis(100))
+            .with_shadow();
+        let builder = MicroWorkload::new(micro);
+        let (r, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let shadow = shadow.expect("shadow enabled");
+        for (i, (e, s)) in engines.iter().zip(shadow.iter()).enumerate() {
+            assert_eq!(
+                e.fingerprint(),
+                s.fingerprint(),
+                "N={coordinators}: P{i} primary and shadow replica diverged"
+            );
+        }
+        assert_eq!(r.replication.replay_failures, 0, "N={coordinators}");
+        (
+            r.committed,
+            r.user_aborts,
+            r.events_processed,
+            engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+        )
+    };
+    let mut fingerprints = Vec::new();
+    for n in [1u32, 2, 4] {
+        let a = run_n(n);
+        let b = run_n(n);
+        assert_eq!(a, b, "N={n}: sharded run must be bit-deterministic");
+        assert!(a.0 > 500, "N={n}: throughput collapsed ({})", a.0);
+        fingerprints.push(a.3.clone());
+    }
+    assert_ne!(
+        fingerprints[0], fingerprints[1],
+        "different shard counts must explore different schedules"
+    );
+}
+
 #[test]
 fn identical_seeds_produce_identical_runs() {
     for scheme in Scheme::ALL {

@@ -386,6 +386,15 @@ pub struct MicroConfig {
     pub abort_prob: f64,
     /// §5.4: use two-round general transactions for the MP share.
     pub two_round: bool,
+    /// Partition-affinity groups for coordinator scale-out experiments:
+    /// with G > 1, client `c` only ever touches partitions in contiguous
+    /// group `c % G` (each group holds `partitions / G` partitions, which
+    /// must be >= 2 when `mp_fraction > 0`). When the coordinator-shard
+    /// count divides G, every shard's multi-partition traffic stays on a
+    /// disjoint partition subset — the aligned-sharding deployment the
+    /// STAR/DGCC line of work advocates, with zero cross-shard conflicts.
+    /// G = 1 (default) reproduces the paper's unaligned workload.
+    pub affinity_groups: u32,
     pub seed: u64,
 }
 
@@ -399,6 +408,7 @@ impl Default for MicroConfig {
             conflict_prob: 0.0,
             abort_prob: 0.0,
             two_round: false,
+            affinity_groups: 1,
             seed: 42,
         }
     }
@@ -419,6 +429,15 @@ pub const KEYS_PER_CLIENT: u32 = 24;
 
 impl MicroWorkload {
     pub fn new(cfg: MicroConfig) -> Self {
+        let groups = cfg.affinity_groups.max(1);
+        assert!(
+            cfg.partitions.is_multiple_of(groups),
+            "affinity groups must evenly divide partitions"
+        );
+        assert!(
+            cfg.mp_fraction == 0.0 || cfg.partitions / groups >= 2,
+            "multi-partition transactions need >= 2 partitions per group"
+        );
         let rngs = (0..cfg.clients)
             .map(|c| StdRng::seed_from_u64(cfg.seed ^ ((c as u64) << 20)))
             .collect();
@@ -467,6 +486,15 @@ impl MicroWorkload {
             .collect()
     }
 
+    /// The contiguous partition range client `c` is confined to (the whole
+    /// range with `affinity_groups == 1`).
+    fn group_range(&self, client: u32) -> (u32, u32) {
+        let groups = self.cfg.affinity_groups.max(1);
+        let span = self.cfg.partitions / groups;
+        let g = client % groups;
+        (g * span, span)
+    }
+
     /// §5.2 conflict injection: replace key slots with the pinned client's
     /// keys of `conflict_partition`, each with probability `p`, preserving
     /// slot order (all conflicted transactions acquire pinned keys in
@@ -502,10 +530,13 @@ impl RequestGenerator for MicroWorkload {
 
         if !is_mp {
             // Single partition: pinned clients stay home; others pick a
-            // partition at random.
+            // partition at random (within their affinity group).
             let partition = match self.pinned_partition(c) {
                 Some(p) => p,
-                None => self.rngs[c as usize].gen_range(0..cfg.partitions),
+                None => {
+                    let (base, span) = self.group_range(c);
+                    base + self.rngs[c as usize].gen_range(0..span)
+                }
             };
             let mut keys = self.keys_for(c, partition, cfg.keys_per_txn);
             // §5.2 conflict injection against the pinned client's keys.
@@ -523,15 +554,16 @@ impl RequestGenerator for MicroWorkload {
         // Multi-partition: split the keys across two partitions (the
         // paper's microbenchmark always uses both of its two partitions;
         // with more partitions we pick two distinct ones).
-        let (p0, p1) = if cfg.partitions == 2 {
-            (0u32, 1u32)
+        let (base, span) = self.group_range(c);
+        let (p0, p1) = if span == 2 {
+            (base, base + 1)
         } else {
-            let a = self.rngs[c as usize].gen_range(0..cfg.partitions);
-            let mut b = self.rngs[c as usize].gen_range(0..cfg.partitions - 1);
+            let a = self.rngs[c as usize].gen_range(0..span);
+            let mut b = self.rngs[c as usize].gen_range(0..span - 1);
             if b >= a {
                 b += 1;
             }
-            (a, b)
+            (base + a, base + b)
         };
         let half = cfg.keys_per_txn / 2;
         let mut keys0 = self.keys_for(c, p0, half);

@@ -922,6 +922,23 @@ impl TxnMix {
             delivery: 0.0,
         }
     }
+
+    /// Speculation-rate stress: a delivery/stock-level-heavy mix (25%
+    /// delivery, 25% stock-level, remainder new-order/payment/
+    /// order-status). Delivery's whole-district lock bundle and
+    /// stock-level's exclusive warehouse granule conflict with nearly
+    /// everything, so under the locking scheme this mix maximizes waits
+    /// and under speculation it maximizes squash cascades — the
+    /// conflict-heavy scenario the ROADMAP's workload-diversity item asks
+    /// for beyond the standard full mix.
+    pub fn delivery_stock_stress() -> Self {
+        TxnMix {
+            new_order: 0.30,
+            payment: 0.15,
+            order_status: 0.05,
+            delivery: 0.25,
+        }
+    }
 }
 
 /// TPC-C workload configuration.
