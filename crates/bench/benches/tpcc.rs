@@ -125,6 +125,7 @@ fn bench_transactions(c: &mut Criterion) {
                 w_id: 1,
                 d_id: ((n % 10) + 1) as u8,
                 threshold: 15,
+                depth: 20,
             };
             black_box(e.execute(txid(n), &frag, false));
         });

@@ -1,0 +1,324 @@
+//! PR 5 bench harness: scan-heavy fragments — throughput vs scan length.
+//!
+//! The paper's §5 trade-off is about fragment *length*: long fragments
+//! hold the partition hostage under blocking (the whole 2PC stall is
+//! wasted) and make mis-speculation expensive (a squash redoes the whole
+//! scan). Every fragment the seed system ran was a point read/write;
+//! this harness sweeps range-scan length on the YCSB-E style mix and
+//! measures where the schemes cross:
+//!
+//! 1. **Calibrated sweep (simulator):** scheme × scan length ×
+//!    multi-partition fraction. Expected shape (asserted): blocking
+//!    degrades fastest as scans lengthen (the speculation/blocking gap
+//!    *widens*), and locking's short-fragment advantage over speculation
+//!    erodes (the crossover shifts toward speculation).
+//! 2. **TPC-C stock-level depth sweep (simulator):** the scan-heavy mix
+//!    with `stock_level_depth` 20 (spec) vs 100 — the same axis on a
+//!    real schema.
+//! 3. **Live spot-check (multiplexed runtime):** wall-clock throughput
+//!    for short vs long scans, blocking vs speculation.
+//!
+//! Usage:
+//!   cargo run --release -p hcc-bench --bin bench_pr5            # full sweep → BENCH_PR5.json
+//!   cargo run --release -p hcc-bench --bin bench_pr5 ci-smoke   # quick gate (scan-smoke)
+
+use hcc_common::{Nanos, Scheme, SystemConfig};
+use hcc_runtime::{run, BackendChoice, RuntimeConfig};
+use hcc_sim::{run_with, SimConfig};
+use hcc_workloads::tpcc::{TpccConfig, TpccWorkload, TxnMix};
+use hcc_workloads::ycsb::{YcsbEConfig, YcsbEWorkload};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Blocking,
+    Scheme::Speculative,
+    Scheme::Locking,
+    Scheme::Occ,
+];
+
+struct SimRow {
+    scheme: Scheme,
+    scan_len: u32,
+    mp_fraction: f64,
+    throughput_tps: f64,
+    committed: u64,
+    p99_us: f64,
+}
+
+struct TpccRow {
+    scheme: Scheme,
+    depth: u32,
+    throughput_tps: f64,
+}
+
+struct LiveRow {
+    scheme: Scheme,
+    scan_len: u32,
+    throughput_tps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn scan_cfg(scan_len: u32, mp: f64) -> YcsbEConfig {
+    YcsbEConfig {
+        partitions: 2,
+        clients: 24,
+        keys_per_partition: 2048,
+        theta: 0.8,
+        scan_fraction: 0.75,
+        insert_fraction: 0.15,
+        delete_fraction: 0.05,
+        scan_len,
+        mp_fraction: mp,
+        seed: 0x5CA,
+    }
+}
+
+/// One calibrated point: 2 partitions, 24 clients, scan-heavy YCSB-E.
+fn sim_point(scheme: Scheme, scan_len: u32, mp: f64) -> SimRow {
+    let yc = scan_cfg(scan_len, mp);
+    let system = SystemConfig::new(scheme)
+        .with_partitions(2)
+        .with_clients(24)
+        .with_seed(0x5CA);
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(30), Nanos::from_millis(150));
+    let builder = YcsbEWorkload::new(yc);
+    let r = run_with(cfg, YcsbEWorkload::new(yc), move |p| {
+        builder.build_engine(p)
+    });
+    SimRow {
+        scheme,
+        scan_len,
+        mp_fraction: mp,
+        throughput_tps: r.throughput_tps,
+        committed: r.committed,
+        p99_us: r.latency.summary().p99.as_micros_f64(),
+    }
+}
+
+/// TPC-C scan-heavy mix at a stock-level scan depth (simulator).
+fn tpcc_point(scheme: Scheme, depth: u32) -> TpccRow {
+    let mut tpcc = TpccConfig::new(2, 2);
+    tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
+    tpcc.mix = TxnMix::scan_heavy();
+    tpcc.stock_level_depth = depth;
+    tpcc.seed = 0x5CA;
+    let mut system = SystemConfig::new(scheme)
+        .with_partitions(2)
+        .with_clients(16)
+        .with_seed(0x5CA);
+    system.lock_timeout = Nanos::from_millis(2);
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(30), Nanos::from_millis(150));
+    let builder = TpccWorkload::new(tpcc);
+    let r = run_with(cfg, TpccWorkload::new(tpcc), move |p| {
+        builder.build_engine(p)
+    });
+    TpccRow {
+        scheme,
+        depth,
+        throughput_tps: r.throughput_tps,
+    }
+}
+
+/// Live wall-clock point (multiplexed backend).
+fn live_point(scheme: Scheme, scan_len: u32, window: (Duration, Duration)) -> LiveRow {
+    let yc = scan_cfg(scan_len, 0.5);
+    let system = SystemConfig::new(scheme)
+        .with_partitions(2)
+        .with_clients(24)
+        .with_seed(0x5CA);
+    let cfg = RuntimeConfig::quick(system, BackendChoice::Multiplexed { workers: 4 })
+        .with_window(window.0, window.1);
+    let builder = YcsbEWorkload::new(yc);
+    let r = run(cfg, YcsbEWorkload::new(yc), move |p| {
+        builder.build_engine(p)
+    });
+    let lat = r.latency();
+    LiveRow {
+        scheme,
+        scan_len,
+        throughput_tps: r.throughput_tps,
+        p50_us: lat.p50.as_micros_f64(),
+        p99_us: lat.p99.as_micros_f64(),
+    }
+}
+
+/// The gating shape checks, on the deterministic simulator rows.
+fn assert_scan_length_separates_schemes(rows: &[SimRow], short: u32, long: u32) {
+    let tput = |scheme: Scheme, len: u32| {
+        rows.iter()
+            .find(|r| r.scheme == scheme && r.scan_len == len && r.mp_fraction >= 0.49)
+            .map(|r| r.throughput_tps)
+            .expect("sweep covers mp=0.5")
+    };
+    for &len in &[short, long] {
+        for scheme in SCHEMES {
+            assert!(tput(scheme, len) > 1000.0, "{scheme}/len={len}: collapsed");
+        }
+    }
+    // §5: blocking degrades fastest — the speculation/blocking gap widens
+    // with fragment length.
+    let gap_short = tput(Scheme::Speculative, short) / tput(Scheme::Blocking, short);
+    let gap_long = tput(Scheme::Speculative, long) / tput(Scheme::Blocking, long);
+    assert!(
+        gap_long > gap_short,
+        "speculation/blocking gap must widen with scan length: \
+         len={short} → {gap_short:.2}, len={long} → {gap_long:.2}"
+    );
+    // Crossover shift: locking's advantage over speculation on short
+    // fragments erodes as scans lengthen (mis-speculation is expensive,
+    // but blocking-style stalls are worse — and locking pays per-row
+    // lock overhead on every scanned granule).
+    let edge_short = tput(Scheme::Locking, short) / tput(Scheme::Speculative, short);
+    let edge_long = tput(Scheme::Locking, long) / tput(Scheme::Speculative, long);
+    assert!(
+        edge_long < edge_short,
+        "locking's short-fragment edge must erode with scan length: \
+         len={short} → {edge_short:.2}, len={long} → {edge_long:.2}"
+    );
+}
+
+fn json(sim: &[SimRow], tpcc: &[TpccRow], live: &[LiveRow], label: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"label\": \"{label}\",");
+    s.push_str("  \"sim_scan_sweep\": [\n");
+    for (i, r) in sim.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"scan_len\": {}, \"mp_fraction\": {:.2}, \
+             \"throughput_tps\": {:.0}, \"committed\": {}, \"p99_us\": {:.1}}}",
+            r.scheme, r.scan_len, r.mp_fraction, r.throughput_tps, r.committed, r.p99_us
+        );
+        s.push_str(if i + 1 < sim.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"sim_tpcc_stock_level_depth\": [\n");
+    for (i, r) in tpcc.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"depth\": {}, \"throughput_tps\": {:.0}}}",
+            r.scheme, r.depth, r.throughput_tps
+        );
+        s.push_str(if i + 1 < tpcc.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"live\": [\n");
+    for (i, r) in live.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"scan_len\": {}, \"throughput_tps\": {:.0}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            r.scheme, r.scan_len, r.throughput_tps, r.p50_us, r.p99_us
+        );
+        s.push_str(if i + 1 < live.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn tables(sim: &[SimRow], tpcc: &[TpccRow], live: &[LiveRow]) {
+    println!(
+        "\nsim (calibrated, YCSB-E): {:<12} {:>9} {:>6} {:>12} {:>10}",
+        "scheme", "scan_len", "mp%", "tps", "p99 µs"
+    );
+    for r in sim {
+        println!(
+            "{:<38} {:>9} {:>6.0} {:>12.0} {:>10.1}",
+            r.scheme.to_string(),
+            r.scan_len,
+            r.mp_fraction * 100.0,
+            r.throughput_tps,
+            r.p99_us
+        );
+    }
+    if !tpcc.is_empty() {
+        println!(
+            "\nsim (TPC-C scan-heavy): {:<12} {:>7} {:>12}",
+            "scheme", "depth", "tps"
+        );
+        for r in tpcc {
+            println!(
+                "{:<36} {:>7} {:>12.0}",
+                r.scheme.to_string(),
+                r.depth,
+                r.throughput_tps
+            );
+        }
+    }
+    if !live.is_empty() {
+        println!(
+            "\nlive (multiplexed, mp=0.5): {:<12} {:>9} {:>12} {:>10} {:>10}",
+            "scheme", "scan_len", "tps", "p50 µs", "p99 µs"
+        );
+        for r in live {
+            println!(
+                "{:<40} {:>9} {:>12.0} {:>10.1} {:>10.1}",
+                r.scheme.to_string(),
+                r.scan_len,
+                r.throughput_tps,
+                r.p50_us,
+                r.p99_us
+            );
+        }
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let smoke = mode == "ci-smoke";
+
+    let (lens, mps, short, long): (&[u32], &[f64], u32, u32) = if smoke {
+        (&[4, 64], &[0.5], 4, 64)
+    } else {
+        (&[4, 16, 64, 128], &[0.1, 0.5], 4, 64)
+    };
+
+    let mut sim_rows = Vec::new();
+    for scheme in SCHEMES {
+        for &mp in mps {
+            for &len in lens {
+                sim_rows.push(sim_point(scheme, len, mp));
+            }
+        }
+    }
+    assert_scan_length_separates_schemes(&sim_rows, short, long);
+
+    let mut tpcc_rows = Vec::new();
+    let mut live_rows = Vec::new();
+    if !smoke {
+        for scheme in [Scheme::Speculative, Scheme::Blocking, Scheme::Locking] {
+            for depth in [20u32, 100] {
+                tpcc_rows.push(tpcc_point(scheme, depth));
+            }
+        }
+        let window = (Duration::from_millis(100), Duration::from_millis(400));
+        for scheme in [Scheme::Blocking, Scheme::Speculative] {
+            for len in [4u32, 64] {
+                live_rows.push(live_point(scheme, len, window));
+            }
+        }
+    }
+
+    tables(&sim_rows, &tpcc_rows, &live_rows);
+    let out = json(
+        &sim_rows,
+        &tpcc_rows,
+        &live_rows,
+        if smoke { "ci-smoke" } else { "full" },
+    );
+    if smoke {
+        println!("\n{out}");
+        println!(
+            "scan smoke passed: blocking degrades fastest with scan length; \
+             the locking/speculation crossover shifts."
+        );
+    } else {
+        std::fs::write("BENCH_PR5.json", &out).expect("write BENCH_PR5.json");
+        println!(
+            "\nwrote BENCH_PR5.json ({} sim + {} tpcc + {} live rows)",
+            sim_rows.len(),
+            tpcc_rows.len(),
+            live_rows.len()
+        );
+    }
+}

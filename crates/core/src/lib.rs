@@ -38,6 +38,7 @@ pub mod engine;
 pub mod locking_sched;
 pub mod membership;
 pub mod occ;
+pub mod oracle;
 pub mod outbox;
 pub mod procedure;
 pub mod replica;

@@ -11,18 +11,25 @@
 use crate::engine::{ExecOutcome, ExecutionEngine};
 use crate::procedure::{Procedure, RoundOutputs, Step};
 use hcc_common::{AbortReason, LockKey, PartitionId, TxnId};
-use hcc_locking::LockMode;
-use std::collections::HashMap;
+use hcc_locking::{granule, LockMode};
+use std::collections::{BTreeMap, HashMap};
 
 /// One operation of a test fragment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TestOp {
     /// Read a key (reported in the output).
     Read(u64),
-    /// key := value.
+    /// key := value (inserts when absent).
     Set(u64, i64),
     /// key += delta.
     Add(u64, i64),
+    /// Remove a key (no-op when absent).
+    Del(u64),
+    /// Range scan: every present key in `[start, end)`, ascending,
+    /// reported in the output. The range is *static* — the paper's §2.1
+    /// stored procedures make access sets statically known, which is what
+    /// lets the locking scheme pre-declare range-covering locks.
+    Scan(u64, u64),
 }
 
 /// A fragment for the test engine.
@@ -66,11 +73,24 @@ impl TestFragment {
 /// Output: the values read, in op order.
 pub type TestOutput = Vec<(u64, i64)>;
 
-/// Integer KV engine with per-transaction undo buffers.
+/// Integer KV engine with per-transaction undo buffers. Backed by an
+/// ordered map so [`TestOp::Scan`] has a real range index to walk.
 #[derive(Debug, Default)]
 pub struct TestEngine {
-    pub kv: HashMap<u64, i64>,
+    pub kv: BTreeMap<u64, i64>,
     undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
+    /// Lock granularity. `None` (default) pre-declares per-key locks —
+    /// the original behaviour, and what every point-only scheduler test
+    /// assumes. `Some(shift)` switches the whole engine to *stripe*
+    /// granules of `2^shift` adjacent keys: scans take shared locks on
+    /// every stripe overlapping their range, and point ops lock their
+    /// key's stripe, so membership changes (insert/delete) conflict with
+    /// any scan whose range covers them — phantom protection by range
+    /// coverage. Scan fragments are rejected in per-key mode: member
+    /// enumeration cannot see keys a concurrent transaction deletes, so a
+    /// per-key lock set for a scan is unsound (the delete-phantom the
+    /// serial oracle caught).
+    stripe_shift: Option<u32>,
 }
 
 impl TestEngine {
@@ -82,11 +102,23 @@ impl TestEngine {
         TestEngine {
             kv: pairs.iter().copied().collect(),
             undo: HashMap::new(),
+            stripe_shift: None,
         }
+    }
+
+    /// Switch to stripe-granule locking (see `stripe_shift`).
+    pub fn with_stripe_locks(mut self, shift: u32) -> Self {
+        assert!(shift < 63, "stripe shift must leave room for the namespace");
+        self.stripe_shift = Some(shift);
+        self
     }
 
     pub fn get(&self, key: u64) -> i64 {
         self.kv.get(&key).copied().unwrap_or(0)
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.kv.contains_key(&key)
     }
 
     /// Number of transactions with live undo buffers (leak detection).
@@ -94,8 +126,29 @@ impl TestEngine {
         self.undo.len()
     }
 
+    /// Order-independent fingerprint of the committed contents.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        for (&k, &v) in &self.kv {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in k.to_be_bytes().into_iter().chain(v.to_be_bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            acc ^= h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        acc
+    }
+
     fn write(&mut self, txn: TxnId, key: u64, value: i64, undo: bool) {
         let prior = self.kv.insert(key, value);
+        if undo {
+            self.undo.entry(txn).or_default().push((key, prior));
+        }
+    }
+
+    fn delete(&mut self, txn: TxnId, key: u64, undo: bool) {
+        let prior = self.kv.remove(&key);
         if undo {
             self.undo.entry(txn).or_default().push((key, prior));
         }
@@ -119,7 +172,9 @@ impl ExecutionEngine for TestEngine {
             };
         }
         let mut out = Vec::new();
+        let mut ops = 0u32;
         for op in &fragment.ops {
+            ops += 1;
             match *op {
                 TestOp::Read(k) => out.push((k, self.get(k))),
                 TestOp::Set(k, v) => self.write(txn, k, v, undo),
@@ -127,11 +182,18 @@ impl ExecutionEngine for TestEngine {
                     let v = self.get(k) + d;
                     self.write(txn, k, v, undo);
                 }
+                TestOp::Del(k) => self.delete(txn, k, undo),
+                TestOp::Scan(start, end) => {
+                    for (&k, &v) in self.kv.range(start..end.max(start)) {
+                        out.push((k, v));
+                        ops += 1;
+                    }
+                }
             }
         }
         ExecOutcome {
             result: Ok(out),
-            ops: fragment.ops.len() as u32,
+            ops,
         }
     }
 
@@ -159,24 +221,51 @@ impl ExecutionEngine for TestEngine {
         TestEngine {
             kv: self.kv.clone(),
             undo: HashMap::new(),
+            stripe_shift: self.stripe_shift,
         }
     }
 
     fn lock_set(&self, fragment: &TestFragment) -> Vec<(LockKey, LockMode)> {
         let mut locks: Vec<(LockKey, LockMode)> = Vec::new();
-        for op in &fragment.ops {
-            let (key, mode) = match *op {
-                TestOp::Read(k) => (k, LockMode::Shared),
-                TestOp::Set(k, _) | TestOp::Add(k, _) => (k, LockMode::Exclusive),
-            };
-            let lk = LockKey(key);
-            match locks.iter_mut().find(|(l, _)| *l == lk) {
-                Some((_, m)) => {
-                    if mode == LockMode::Exclusive {
-                        *m = LockMode::Exclusive;
+        match self.stripe_shift {
+            None => {
+                for op in &fragment.ops {
+                    let (key, mode) = match *op {
+                        TestOp::Read(k) => (k, LockMode::Shared),
+                        TestOp::Set(k, _) | TestOp::Add(k, _) | TestOp::Del(k) => {
+                            (k, LockMode::Exclusive)
+                        }
+                        TestOp::Scan(..) => panic!(
+                            "scan fragments require stripe lock granularity \
+                             (TestEngine::with_stripe_locks): per-key lock sets \
+                             cannot cover deleted members"
+                        ),
+                    };
+                    granule::merge_lock(&mut locks, LockKey(key), mode);
+                }
+            }
+            Some(shift) => {
+                for op in &fragment.ops {
+                    match *op {
+                        TestOp::Read(k) => granule::merge_lock(
+                            &mut locks,
+                            granule::stripe_key(k, shift),
+                            LockMode::Shared,
+                        ),
+                        TestOp::Set(k, _) | TestOp::Add(k, _) | TestOp::Del(k) => {
+                            granule::merge_lock(
+                                &mut locks,
+                                granule::stripe_key(k, shift),
+                                LockMode::Exclusive,
+                            )
+                        }
+                        TestOp::Scan(start, end) => {
+                            for lk in granule::stripe_range(start, end, shift) {
+                                granule::merge_lock(&mut locks, lk, LockMode::Shared);
+                            }
+                        }
                     }
                 }
-                None => locks.push((lk, mode)),
             }
         }
         locks
@@ -323,6 +412,111 @@ mod tests {
         assert_eq!(locks.len(), 2);
         assert!(locks.contains(&(LockKey(1), LockMode::Exclusive)));
         assert!(locks.contains(&(LockKey(2), LockMode::Shared)));
+    }
+
+    #[test]
+    fn scan_reads_range_in_key_order() {
+        let mut e = TestEngine::with_data(&[(5, 50), (1, 10), (3, 30), (9, 90)]);
+        let out = e.execute(
+            t(1),
+            &TestFragment {
+                ops: vec![TestOp::Scan(1, 9)],
+                fail: false,
+            },
+            false,
+        );
+        assert_eq!(out.result.unwrap(), vec![(1, 10), (3, 30), (5, 50)]);
+        assert_eq!(out.ops, 4, "one dispatch unit + three rows");
+    }
+
+    #[test]
+    fn empty_and_inverted_scans_are_cheap() {
+        let mut e = TestEngine::with_data(&[(1, 10)]);
+        let out = e.execute(
+            t(1),
+            &TestFragment {
+                ops: vec![TestOp::Scan(2, 2), TestOp::Scan(9, 3)],
+                fail: false,
+            },
+            false,
+        );
+        assert_eq!(out.result.unwrap(), vec![]);
+        assert_eq!(out.ops, 2);
+    }
+
+    #[test]
+    fn delete_rolls_back_to_present() {
+        let mut e = TestEngine::with_data(&[(1, 10)]);
+        let fp = e.fingerprint();
+        e.execute(
+            t(1),
+            &TestFragment {
+                ops: vec![TestOp::Del(1), TestOp::Set(2, 20)],
+                fail: false,
+            },
+            true,
+        );
+        assert!(!e.contains(1));
+        assert!(e.contains(2));
+        assert_eq!(e.rollback(t(1)), 2);
+        assert_eq!(e.fingerprint(), fp);
+        assert_eq!(e.get(1), 10);
+        assert!(!e.contains(2));
+    }
+
+    #[test]
+    fn stripe_mode_scan_locks_cover_the_range() {
+        // shift 2 → stripes of 4 keys. Scan [3, 9) covers stripes 0..=2.
+        let e = TestEngine::with_data(&[]).with_stripe_locks(2);
+        let locks = e.lock_set(&TestFragment {
+            ops: vec![TestOp::Scan(3, 9)],
+            fail: false,
+        });
+        let stripes: Vec<u64> = locks
+            .iter()
+            .map(|(k, _)| k.0 & !granule::STRIPE_NS)
+            .collect();
+        assert_eq!(stripes, vec![0, 1, 2]);
+        assert!(locks.iter().all(|(_, m)| *m == LockMode::Shared));
+    }
+
+    #[test]
+    fn stripe_mode_membership_changes_conflict_with_covering_scans() {
+        let e = TestEngine::with_data(&[]).with_stripe_locks(2);
+        let scan = e.lock_set(&TestFragment {
+            ops: vec![TestOp::Scan(0, 8)],
+            fail: false,
+        });
+        // A delete inside the range and an insert inside the range both
+        // take X on a stripe the scan holds S on.
+        for probe in [TestOp::Del(5), TestOp::Set(5, 1)] {
+            let w = e.lock_set(&TestFragment {
+                ops: vec![probe],
+                fail: false,
+            });
+            assert_eq!(w.len(), 1);
+            assert_eq!(w[0].1, LockMode::Exclusive);
+            assert!(
+                scan.iter().any(|(k, _)| *k == w[0].0),
+                "membership change must hit a scanned stripe"
+            );
+        }
+        // Outside the range: no overlap.
+        let w = e.lock_set(&TestFragment {
+            ops: vec![TestOp::Set(12, 1)],
+            fail: false,
+        });
+        assert!(scan.iter().all(|(k, _)| *k != w[0].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe lock granularity")]
+    fn per_key_mode_rejects_scan_lock_sets() {
+        let e = TestEngine::with_data(&[]);
+        e.lock_set(&TestFragment {
+            ops: vec![TestOp::Scan(0, 4)],
+            fail: false,
+        });
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Shared lock-granule helpers for scan-capable engines.
+//!
+//! Range scans cannot pre-declare per-key locks — a per-key set cannot
+//! name a row a concurrent transaction deletes (the delete-phantom the
+//! serial oracle caught). Scan-capable engines therefore lock *stripes*
+//! of `2^shift` adjacent keys: a scan takes shared locks on every stripe
+//! overlapping its `[start, end)` range, point ops lock their key's
+//! stripe, and membership changes conflict with any covering scan. Both
+//! stripe-granularity engines (`hcc_core::testkit::TestEngine` and the
+//! workloads' `MicroEngine`) build their lock sets through these helpers
+//! so the two implementations cannot drift.
+
+use crate::LockMode;
+use hcc_common::LockKey;
+
+/// Namespace bit for stripe lock keys, so a stripe granule can never
+/// collide with a per-key granule of the same numeric value.
+pub const STRIPE_NS: u64 = 1 << 63;
+
+/// The stripe granule covering `key`.
+#[inline]
+pub fn stripe_key(key: u64, shift: u32) -> LockKey {
+    LockKey(STRIPE_NS | (key >> shift))
+}
+
+/// Stripe granules covering `[start, end)`, ascending; empty when the
+/// range is.
+pub fn stripe_range(start: u64, end: u64, shift: u32) -> impl Iterator<Item = LockKey> {
+    let stripes = if end > start {
+        (start >> shift)..=((end - 1) >> shift)
+    } else {
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            1..=0
+        }
+    };
+    stripes.map(move |s| LockKey(STRIPE_NS | s))
+}
+
+/// Push `(granule, mode)` onto a small pre-declared lock set, upgrading
+/// to exclusive if the granule is already present.
+pub fn merge_lock(locks: &mut Vec<(LockKey, LockMode)>, lk: LockKey, mode: LockMode) {
+    match locks.iter_mut().find(|(l, _)| *l == lk) {
+        Some((_, m)) => {
+            if mode == LockMode::Exclusive {
+                *m = LockMode::Exclusive;
+            }
+        }
+        None => locks.push((lk, mode)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_ranges_cover_and_namespace() {
+        let got: Vec<u64> = stripe_range(3, 40, 4).map(|k| k.0 & !STRIPE_NS).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(stripe_range(8, 8, 4).count(), 0);
+        assert_eq!(stripe_range(9, 3, 4).count(), 0, "inverted range is empty");
+        assert_eq!(stripe_key(17, 4), LockKey(STRIPE_NS | 1));
+    }
+
+    #[test]
+    fn merge_upgrades_but_never_downgrades() {
+        let mut locks = Vec::new();
+        merge_lock(&mut locks, LockKey(1), LockMode::Shared);
+        merge_lock(&mut locks, LockKey(1), LockMode::Exclusive);
+        merge_lock(&mut locks, LockKey(1), LockMode::Shared);
+        assert_eq!(locks, vec![(LockKey(1), LockMode::Exclusive)]);
+    }
+}

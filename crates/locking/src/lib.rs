@@ -13,6 +13,7 @@
 //! less wasted work"), and wait timeouts for distributed deadlocks.
 
 pub mod deadlock;
+pub mod granule;
 pub mod manager;
 
 pub use manager::{AcquireOutcome, LockManager, LockMode, LockStats};

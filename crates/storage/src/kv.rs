@@ -16,6 +16,7 @@
 //! [`KvStore::rollback_reuse`] / [`KvUndo::clear`] so steady state
 //! allocates nothing per transaction.
 
+use crate::ordered::OrderedIndex;
 use crate::table::Table;
 use bytes::Bytes;
 
@@ -67,10 +68,15 @@ impl KvUndo {
     }
 }
 
-/// An in-memory hash table of byte-string keys and values.
+/// An in-memory hash table of byte-string keys and values, with an
+/// optional ordered key view for range scans.
 #[derive(Debug, Default, Clone)]
 pub struct KvStore {
     map: Table,
+    /// Ordered key index (see [`OrderedIndex`]), maintained by every
+    /// mutation path — including undo replay — once enabled. `None` keeps
+    /// point-only stores at their original hot-path cost.
+    ordered: Option<OrderedIndex>,
 }
 
 impl KvStore {
@@ -82,7 +88,100 @@ impl KvStore {
     pub fn with_capacity(n: usize) -> Self {
         KvStore {
             map: Table::with_capacity(n),
+            ordered: None,
         }
+    }
+
+    /// Build (or rebuild) the ordered key index from the current
+    /// contents, enabling [`scan_range`](KvStore::scan_range). Idempotent.
+    pub fn enable_ordered_index(&mut self) {
+        let mut ix = OrderedIndex::new();
+        for (k, _) in self.map.iter() {
+            ix.insert(k.clone());
+        }
+        self.ordered = Some(ix);
+    }
+
+    pub fn has_ordered_index(&self) -> bool {
+        self.ordered.is_some()
+    }
+
+    /// Rows with keys in `[start, end)`, ascending by key byte order.
+    ///
+    /// # Panics
+    /// If the ordered index was never enabled — scans require an engine
+    /// loaded scan-capable (the workloads that generate `Scan` ops build
+    /// their engines with the index on).
+    pub fn scan_range<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Bytes, &'a Bytes)> {
+        let ix = self
+            .ordered
+            .as_ref()
+            .expect("scan on a store without an ordered index");
+        ix.range(start, end).map(move |k| {
+            let v = self
+                .map
+                .get(k)
+                .expect("ordered index entry missing from table");
+            (k, v)
+        })
+    }
+
+    /// Order-*sensitive* fingerprint: a sequential hash over the ordered
+    /// iteration of the index, probing the table per member. Two stores
+    /// agree iff their ordered views walk identical (key, value) rows in
+    /// identical order — so a stale or partial index after rollback,
+    /// snapshot, or recovery shows up even when the order-independent
+    /// [`fingerprint`](KvStore::fingerprint) still matches.
+    pub fn ordered_fingerprint(&self) -> u64 {
+        let ix = self
+            .ordered
+            .as_ref()
+            .expect("ordered_fingerprint on a store without an ordered index");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Chunk-length separator: a fixed byte would let
+            // (key=[a,X], value=[]) collide with (key=[a], value=[X]).
+            *h ^= bytes.len() as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for k in ix.iter() {
+            let v = self
+                .map
+                .get(k)
+                .expect("ordered index entry missing from table");
+            mix(&mut h, k);
+            mix(&mut h, v);
+        }
+        h
+    }
+
+    /// Index/table consistency check for tests: every indexed key has a
+    /// row and every row is indexed. `Ok(())` when no index is enabled.
+    pub fn check_ordered_invariants(&self) -> Result<(), String> {
+        let Some(ix) = self.ordered.as_ref() else {
+            return Ok(());
+        };
+        if ix.len() != self.map.len() {
+            return Err(format!(
+                "ordered index has {} keys, table has {} rows",
+                ix.len(),
+                self.map.len()
+            ));
+        }
+        for k in ix.iter() {
+            if self.map.get(k).is_none() {
+                return Err(format!("indexed key {k:?} missing from table"));
+            }
+        }
+        Ok(())
     }
 
     pub fn len(&self) -> usize {
@@ -101,6 +200,9 @@ impl KvStore {
 
     /// Write a value, optionally recording the pre-image for rollback.
     pub fn put(&mut self, key: Bytes, value: Bytes, undo: Option<&mut KvUndo>) {
+        if let Some(ix) = self.ordered.as_mut() {
+            ix.insert(key.clone());
+        }
         let prior = self.map.insert(key.clone(), value);
         if let Some(u) = undo {
             u.records.push(UndoRecord { key, prior });
@@ -140,6 +242,9 @@ impl KvStore {
     /// Delete a key, optionally recording the pre-image. Returns the removed
     /// value, if any.
     pub fn delete(&mut self, key: &Bytes, undo: Option<&mut KvUndo>) -> Option<Bytes> {
+        if let Some(ix) = self.ordered.as_mut() {
+            ix.remove(key);
+        }
         let prior = self.map.remove(key);
         if let Some(u) = undo {
             u.records.push(UndoRecord {
@@ -175,13 +280,20 @@ impl KvStore {
     }
 
     /// Restore one pre-image: the single source of truth both rollback
-    /// flavors share.
+    /// flavors share. Keeps the ordered index in sync so rollback of
+    /// inserts/deletes restores the scannable view exactly.
     fn apply_undo_record(&mut self, key: Bytes, prior: Option<Bytes>) {
         match prior {
             Some(v) => {
+                if let Some(ix) = self.ordered.as_mut() {
+                    ix.insert(key.clone());
+                }
                 self.map.insert(key, v);
             }
             None => {
+                if let Some(ix) = self.ordered.as_mut() {
+                    ix.remove(&key);
+                }
                 self.map.remove(&key);
             }
         }
@@ -355,6 +467,114 @@ mod tests {
         assert_ne!(a.fingerprint(), bst.fingerprint());
         bst.put(b("x"), b("1"), None);
         assert_eq!(a.fingerprint(), bst.fingerprint());
+    }
+
+    #[test]
+    fn scan_range_walks_keys_in_order() {
+        let mut kv = KvStore::new();
+        for k in ["d", "a", "c", "e", "b"] {
+            kv.put(b(k), b(&format!("v{k}")), None);
+        }
+        kv.enable_ordered_index();
+        let got: Vec<(String, String)> = kv
+            .scan_range(b"b", b"e")
+            .map(|(k, v)| {
+                (
+                    String::from_utf8(k.to_vec()).unwrap(),
+                    String::from_utf8(v.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("b".into(), "vb".into()),
+                ("c".into(), "vc".into()),
+                ("d".into(), "vd".into())
+            ]
+        );
+        kv.check_ordered_invariants().unwrap();
+    }
+
+    #[test]
+    fn ordered_index_tracks_inserts_and_deletes() {
+        let mut kv = KvStore::new();
+        kv.enable_ordered_index();
+        kv.put(b("m"), b("1"), None);
+        kv.put(b("k"), b("2"), None);
+        assert_eq!(kv.scan_range(b"", b"z").count(), 2);
+        kv.delete(&b("k"), None);
+        let keys: Vec<_> = kv.scan_range(b"", b"z").map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b("m")]);
+        kv.check_ordered_invariants().unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_the_ordered_view() {
+        let mut kv = KvStore::new();
+        kv.put(b("b"), b("keep"), None);
+        kv.enable_ordered_index();
+        let before = kv.ordered_fingerprint();
+
+        let mut undo = KvUndo::new();
+        kv.put(b("a"), b("new"), Some(&mut undo)); // insert
+        kv.delete(&b("b"), Some(&mut undo)); // delete
+        kv.put(b("c"), b("x"), Some(&mut undo)); // insert
+        kv.update(b"c", Some(&mut undo), |_| b("y")); // overwrite
+        assert_ne!(kv.ordered_fingerprint(), before);
+        kv.rollback(undo);
+        assert_eq!(kv.ordered_fingerprint(), before);
+        kv.check_ordered_invariants().unwrap();
+        assert_eq!(kv.scan_range(b"", b"z").count(), 1);
+    }
+
+    #[test]
+    fn rollback_copy_maintains_the_index_on_clones() {
+        let mut kv = KvStore::new();
+        kv.enable_ordered_index();
+        kv.put(b("base"), b("0"), None);
+        let committed_fp = kv.ordered_fingerprint();
+
+        // A live (uncommitted) transaction inserts and deletes.
+        let mut undo = KvUndo::new();
+        kv.put(b("phantom"), b("1"), Some(&mut undo));
+        kv.delete(&b("base"), Some(&mut undo));
+
+        // Committed-state copy: clone + rollback_copy (the snapshot()
+        // path) must restore the ordered view on the clone while the
+        // original keeps its in-flight state.
+        let mut copy = kv.clone();
+        copy.rollback_copy(&undo);
+        assert_eq!(copy.ordered_fingerprint(), committed_fp);
+        copy.check_ordered_invariants().unwrap();
+        assert!(kv.scan_range(b"", b"zzz").any(|(k, _)| k == &b("phantom")));
+        assert!(!copy
+            .scan_range(b"", b"zzz")
+            .any(|(k, _)| k == &b("phantom")));
+    }
+
+    #[test]
+    fn ordered_fingerprint_detects_value_changes() {
+        let mut a = KvStore::new();
+        a.enable_ordered_index();
+        a.put(b("x"), b("1"), None);
+        let mut c = KvStore::new();
+        c.enable_ordered_index();
+        c.put(b("x"), b("2"), None);
+        assert_ne!(a.ordered_fingerprint(), c.ordered_fingerprint());
+        c.put(b("x"), b("1"), None);
+        assert_eq!(a.ordered_fingerprint(), c.ordered_fingerprint());
+    }
+
+    #[test]
+    fn enable_ordered_index_is_idempotent_and_late() {
+        let mut kv = KvStore::new();
+        kv.put(b("x"), b("1"), None);
+        kv.put(b("y"), b("2"), None);
+        kv.enable_ordered_index(); // built from existing contents
+        kv.enable_ordered_index(); // rebuild is a no-op semantically
+        assert_eq!(kv.scan_range(b"", b"z").count(), 2);
+        kv.check_ordered_invariants().unwrap();
     }
 
     #[test]

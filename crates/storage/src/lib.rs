@@ -19,8 +19,10 @@
 //! which is where the paper's low overhead comes from.
 
 pub mod kv;
+pub mod ordered;
 pub mod table;
 pub mod tpcc;
 
 pub use kv::{KvStore, KvUndo};
+pub use ordered::OrderedIndex;
 pub use table::Table;

@@ -10,7 +10,9 @@
 //!   reordered so user aborts never need an undo buffer.
 //! * [`ycsb`] — a YCSB-style read-mostly workload over a shared Zipfian
 //!   key space (skewed popularity, 95/5 read/update), on the same KV
-//!   engine as the microbenchmark.
+//!   engine as the microbenchmark — plus the YCSB-E style **scan-heavy**
+//!   mix (range scans + insert/delete churn over an ordered index), the
+//!   fragment-length axis of the paper's §5 trade-off.
 
 pub mod micro;
 pub mod tpcc;
@@ -18,4 +20,4 @@ pub mod ycsb;
 
 pub use micro::{MicroConfig, MicroEngine, MicroFragment, MicroWorkload};
 pub use tpcc::{TpccConfig, TpccEngine, TpccFragment, TpccWorkload};
-pub use ycsb::{YcsbConfig, YcsbWorkload};
+pub use ycsb::{YcsbConfig, YcsbEConfig, YcsbEWorkload, YcsbWorkload};

@@ -22,7 +22,7 @@ use hcc_common::{AbortReason, ClientId, FxHashMap, LockKey, PartitionId, TxnId};
 use hcc_core::{
     ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step,
 };
-use hcc_locking::LockMode;
+use hcc_locking::{granule, LockMode};
 use hcc_storage::{KvStore, KvUndo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,7 +40,9 @@ fn key_bytes(k: MicroKey) -> bytes::Bytes {
 
 /// One operation: read-modify-write or plain read/write of one key. The
 /// paper's transaction is 12 RMWs; the two-round variant splits them into
-/// reads then writes.
+/// reads then writes. Scan-capable engines (see
+/// [`MicroEngine::enable_scans`]) additionally support ordered range
+/// scans and membership changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MicroOp {
     /// Read the value, add one, write it back.
@@ -49,6 +51,15 @@ pub enum MicroOp {
     Read(MicroKey),
     /// Write `value`.
     Write(MicroKey, u32),
+    /// Read every present key in `[start, end)` in key order. The range
+    /// is static (the paper's §2.1 stored procedures pre-declare their
+    /// access sets), which is what lets the locking scheme take
+    /// range-covering locks and the OCC validator detect phantoms.
+    Scan(MicroKey, MicroKey),
+    /// Insert a row (membership change — conflicts with covering scans).
+    Insert(MicroKey, u32),
+    /// Delete a row if present (membership change).
+    Delete(MicroKey),
 }
 
 /// A unit of work at one partition.
@@ -57,21 +68,6 @@ pub struct MicroFragment {
     pub ops: Vec<MicroOp>,
     /// Forced abort at the beginning of execution (§5.3).
     pub fail: bool,
-}
-
-impl MicroFragment {
-    /// Work units for cost accounting: a read or a write is one unit, a
-    /// read-modify-write two — so splitting RMWs into separate read and
-    /// write rounds (§5.4) leaves total work unchanged.
-    pub fn units(&self) -> u32 {
-        self.ops
-            .iter()
-            .map(|op| match op {
-                MicroOp::Rmw(_) => 2u32,
-                MicroOp::Read(_) | MicroOp::Write(_, _) => 1,
-            })
-            .sum()
-    }
 }
 
 /// Values read, in op order.
@@ -89,8 +85,20 @@ pub struct MicroEngine {
     undo_pool: Vec<KvUndo>,
     /// Monotone stamp for undo-buffer creation order (see `KvUndo::birth`).
     undo_births: u64,
+    /// Scan mode: the store keeps an ordered key index, and lock sets use
+    /// stripe granules of [`SCAN_STRIPES_PER`] adjacent keys instead of
+    /// per-key locks, so scans can pre-declare range-covering locks and
+    /// membership changes (insert/delete) conflict with covering scans.
+    /// Off by default — point-only workloads keep the original hot path
+    /// and lock granularity (the golden fixed-seed results are pinned on
+    /// them).
+    scan_mode: bool,
 }
 
+/// Keys per lock stripe in scan mode (`key >> SCAN_STRIPE_SHIFT`).
+pub const SCAN_STRIPE_SHIFT: u32 = 4;
+/// Adjacent keys sharing one stripe lock granule in scan mode.
+pub const SCAN_STRIPES_PER: u64 = 1 << SCAN_STRIPE_SHIFT;
 impl MicroEngine {
     pub fn new() -> Self {
         MicroEngine {
@@ -98,7 +106,47 @@ impl MicroEngine {
             undo: FxHashMap::default(),
             undo_pool: Vec::new(),
             undo_births: 0,
+            scan_mode: false,
         }
+    }
+
+    /// Turn on scan support: builds the ordered key index over the
+    /// current contents and switches lock sets to stripe granularity.
+    /// Engines that execute [`MicroOp::Scan`] must be loaded with this on.
+    pub fn enable_scans(&mut self) {
+        self.kv.enable_ordered_index();
+        self.scan_mode = true;
+    }
+
+    pub fn scans_enabled(&self) -> bool {
+        self.scan_mode
+    }
+
+    /// Order-sensitive fingerprint over the ordered index (scan mode
+    /// only): proves the scannable *view* — not just the row set — of two
+    /// stores is identical. See `KvStore::ordered_fingerprint`.
+    pub fn ordered_fingerprint(&self) -> u64 {
+        self.kv.ordered_fingerprint()
+    }
+
+    /// Rows in `[start, end)` in key order, as (key, value) pairs.
+    pub fn scan_values(&self, start: MicroKey, end: MicroKey) -> Vec<(MicroKey, u32)> {
+        self.kv
+            .scan_range(&start.to_be_bytes(), &end.to_be_bytes())
+            .map(|(k, v)| {
+                let mut kb = [0u8; 8];
+                kb.copy_from_slice(k);
+                (
+                    MicroKey::from_be_bytes(kb),
+                    u32::from_le_bytes([v[0], v[1], v[2], v[3]]),
+                )
+            })
+            .collect()
+    }
+
+    /// Index/table consistency (tests).
+    pub fn check_ordered_invariants(&self) -> Result<(), String> {
+        self.kv.check_ordered_invariants()
     }
 
     /// Preload every (client, partition-local key) with zero, as the
@@ -181,6 +229,7 @@ impl ExecutionEngine for MicroEngine {
             buf.reserve(fragment.ops.len());
             buf
         });
+        let mut ops = 0u32;
         for op in &fragment.ops {
             match *op {
                 MicroOp::Rmw(k) => {
@@ -193,6 +242,7 @@ impl ExecutionEngine for MicroEngine {
                         value_bytes(cur.wrapping_add(1))
                     });
                     out.push(cur);
+                    ops += 2;
                 }
                 MicroOp::Read(k) => {
                     let cur = kv
@@ -200,15 +250,36 @@ impl ExecutionEngine for MicroEngine {
                         .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
                         .unwrap_or(0);
                     out.push(cur);
+                    ops += 1;
                 }
                 MicroOp::Write(k, v) => {
                     kv.update(&k.to_be_bytes(), ubuf.as_deref_mut(), |_| value_bytes(v));
+                    ops += 1;
+                }
+                MicroOp::Scan(start, end) => {
+                    // One unit per row actually read (at least one for the
+                    // index probe) — fragment *length* is the whole point
+                    // of the scan workloads (§5's blocking-vs-speculation
+                    // axis), so the cost model must see it.
+                    ops += 1;
+                    for (_, v) in kv.scan_range(&start.to_be_bytes(), &end.to_be_bytes()) {
+                        out.push(u32::from_le_bytes([v[0], v[1], v[2], v[3]]));
+                        ops += 1;
+                    }
+                }
+                MicroOp::Insert(k, v) => {
+                    kv.put(key_bytes(k), value_bytes(v), ubuf.as_deref_mut());
+                    ops += 1;
+                }
+                MicroOp::Delete(k) => {
+                    kv.delete(&key_bytes(k), ubuf.as_deref_mut());
+                    ops += 1;
                 }
             }
         }
         ExecOutcome {
             result: Ok(out),
-            ops: fragment.units(),
+            ops,
         }
     }
 
@@ -253,25 +324,54 @@ impl ExecutionEngine for MicroEngine {
             undo: FxHashMap::default(),
             undo_pool: Vec::new(),
             undo_births: 0,
+            scan_mode: self.scan_mode,
         }
     }
 
     fn lock_set(&self, fragment: &MicroFragment) -> Vec<(LockKey, LockMode)> {
         let mut locks: Vec<(LockKey, LockMode)> = Vec::with_capacity(fragment.ops.len());
-        for op in &fragment.ops {
-            let (k, mode) = match *op {
-                MicroOp::Rmw(k) | MicroOp::Write(k, _) => (k, LockMode::Exclusive),
-                MicroOp::Read(k) => (k, LockMode::Shared),
-            };
-            let lk = LockKey(k);
-            match locks.iter_mut().find(|(l, _)| *l == lk) {
-                Some((_, m)) => {
-                    if mode == LockMode::Exclusive {
-                        *m = LockMode::Exclusive;
+        if self.scan_mode {
+            // Stripe granularity: scans pre-declare shared locks covering
+            // their whole `[start, end)` range, and every other op locks
+            // its key's stripe — so inserts/deletes (membership changes)
+            // conflict with any scan covering them. Coarser than per-key
+            // (adjacent keys share a granule), which only *adds*
+            // conflicts: conservative, as the engine contract permits.
+            let stripe = |k: MicroKey| granule::stripe_key(k, SCAN_STRIPE_SHIFT);
+            for op in &fragment.ops {
+                match *op {
+                    MicroOp::Read(k) => {
+                        granule::merge_lock(&mut locks, stripe(k), LockMode::Shared)
+                    }
+                    MicroOp::Rmw(k)
+                    | MicroOp::Write(k, _)
+                    | MicroOp::Insert(k, _)
+                    | MicroOp::Delete(k) => {
+                        granule::merge_lock(&mut locks, stripe(k), LockMode::Exclusive)
+                    }
+                    MicroOp::Scan(start, end) => {
+                        for lk in granule::stripe_range(start, end, SCAN_STRIPE_SHIFT) {
+                            granule::merge_lock(&mut locks, lk, LockMode::Shared);
+                        }
                     }
                 }
-                None => locks.push((lk, mode)),
             }
+            return locks;
+        }
+        for op in &fragment.ops {
+            let (k, mode) = match *op {
+                MicroOp::Rmw(k)
+                | MicroOp::Write(k, _)
+                | MicroOp::Insert(k, _)
+                | MicroOp::Delete(k) => (k, LockMode::Exclusive),
+                MicroOp::Read(k) => (k, LockMode::Shared),
+                MicroOp::Scan(..) => panic!(
+                    "scan fragments require a scan-enabled engine \
+                     (MicroEngine::enable_scans): per-key lock sets cannot \
+                     cover deleted members"
+                ),
+            };
+            granule::merge_lock(&mut locks, LockKey(k), mode);
         }
         locks
     }
@@ -698,6 +798,122 @@ mod tests {
         assert!(locks.contains(&(LockKey(1), LockMode::Shared)));
         assert!(locks.contains(&(LockKey(2), LockMode::Exclusive)));
         assert!(locks.contains(&(LockKey(3), LockMode::Exclusive)));
+    }
+
+    #[test]
+    fn scan_reads_range_in_key_order_and_charges_rows() {
+        let mut e = MicroEngine::new();
+        for (i, v) in [(0u32, 10u32), (2, 12), (5, 15), (9, 19)] {
+            e.preload(i as MicroKey, v);
+        }
+        e.enable_scans();
+        let out = e.execute(
+            txid(1),
+            &MicroFragment {
+                ops: vec![MicroOp::Scan(1, 9)],
+                fail: false,
+            },
+            false,
+        );
+        assert_eq!(out.result.unwrap(), vec![12, 15]);
+        assert_eq!(out.ops, 3, "one probe unit + two rows");
+    }
+
+    #[test]
+    fn insert_delete_roll_back_through_the_ordered_view() {
+        let mut e = MicroEngine::new();
+        e.preload(4, 40);
+        e.enable_scans();
+        let fp = e.fingerprint();
+        let ofp = e.ordered_fingerprint();
+        e.execute(
+            txid(1),
+            &MicroFragment {
+                ops: vec![
+                    MicroOp::Insert(2, 22),
+                    MicroOp::Delete(4),
+                    MicroOp::Insert(6, 66),
+                ],
+                fail: false,
+            },
+            true,
+        );
+        assert_eq!(e.scan_values(0, 16), vec![(2, 22), (6, 66)]);
+        assert_eq!(e.rollback(txid(1)), 3);
+        assert_eq!(e.fingerprint(), fp);
+        assert_eq!(e.ordered_fingerprint(), ofp);
+        assert_eq!(e.scan_values(0, 16), vec![(4, 40)]);
+        e.check_ordered_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_carries_the_ordered_index_and_drops_live_txns() {
+        let mut e = MicroEngine::new();
+        e.preload(1, 11);
+        e.preload(8, 88);
+        e.enable_scans();
+        let committed_ofp = e.ordered_fingerprint();
+        // Two stacked in-flight transactions (speculation-style).
+        e.execute(
+            txid(1),
+            &MicroFragment {
+                ops: vec![MicroOp::Insert(3, 33), MicroOp::Delete(8)],
+                fail: false,
+            },
+            true,
+        );
+        e.execute(
+            txid(2),
+            &MicroFragment {
+                ops: vec![MicroOp::Rmw(3), MicroOp::Insert(5, 55)],
+                fail: false,
+            },
+            true,
+        );
+        let snap = e.snapshot();
+        assert!(snap.scans_enabled());
+        assert_eq!(snap.ordered_fingerprint(), committed_ofp);
+        assert_eq!(snap.scan_values(0, 16), vec![(1, 11), (8, 88)]);
+        snap.check_ordered_invariants().unwrap();
+        // The live engine still has the uncommitted view.
+        assert_eq!(e.scan_values(0, 16).len(), 3);
+    }
+
+    #[test]
+    fn scan_mode_lock_set_covers_ranges_with_stripes() {
+        let mut e = MicroEngine::new();
+        e.enable_scans();
+        // Stripe shift 4: scan [3, 40) covers stripes 0..=2.
+        let locks = e.lock_set(&MicroFragment {
+            ops: vec![MicroOp::Scan(3, 40)],
+            fail: false,
+        });
+        assert_eq!(locks.len(), 3);
+        assert!(locks.iter().all(|(_, m)| *m == LockMode::Shared));
+        // An insert at key 17 (stripe 1) conflicts with the scan.
+        let ins = e.lock_set(&MicroFragment {
+            ops: vec![MicroOp::Insert(17, 0)],
+            fail: false,
+        });
+        assert_eq!(ins.len(), 1);
+        assert_eq!(ins[0].1, LockMode::Exclusive);
+        assert!(locks.iter().any(|(k, _)| *k == ins[0].0));
+        // An insert far outside does not.
+        let far = e.lock_set(&MicroFragment {
+            ops: vec![MicroOp::Insert(1000, 0)],
+            fail: false,
+        });
+        assert!(locks.iter().all(|(k, _)| *k != far[0].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scan-enabled engine")]
+    fn point_mode_rejects_scan_lock_sets() {
+        let e = MicroEngine::new();
+        e.lock_set(&MicroFragment {
+            ops: vec![MicroOp::Scan(0, 4)],
+            fail: false,
+        });
     }
 
     #[test]

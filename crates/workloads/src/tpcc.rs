@@ -111,6 +111,10 @@ pub enum TpccFragment {
         w_id: WId,
         d_id: DId,
         threshold: i32,
+        /// How many recent orders' order-lines the stock join scans
+        /// (TPC-C clause 2.8.2.2 fixes 20; `TpccConfig::stock_level_depth`
+        /// makes it the scan-length knob of the scan-heavy experiments).
+        depth: u32,
     },
 }
 
@@ -524,12 +528,13 @@ impl TpccEngine {
         w_id: WId,
         d_id: DId,
         threshold: i32,
+        depth: u32,
     ) -> Result<(TpccOutput, u32), AbortReason> {
         let d = store.district(w_id, d_id).ok_or(AbortReason::User)?;
         let mut ops = 1u32;
         let mut seen = std::collections::HashSet::new();
         let mut low = 0u32;
-        for ol in store.recent_order_lines(w_id, d_id, d.next_o_id, 20) {
+        for ol in store.recent_order_lines(w_id, d_id, d.next_o_id, depth) {
             ops += 1;
             if seen.insert(ol.i_id) {
                 if let Some(s) = store.stock_mut_row(w_id, ol.i_id) {
@@ -638,7 +643,8 @@ impl ExecutionEngine for TpccEngine {
                 w_id,
                 d_id,
                 threshold,
-            } => Self::exec_stock_level(store, *w_id, *d_id, *threshold),
+                depth,
+            } => Self::exec_stock_level(store, *w_id, *d_id, *threshold, *depth),
         };
         match r {
             // One row operation = one cost unit (TPC-C's hash/B-tree row
@@ -939,6 +945,22 @@ impl TxnMix {
             delivery: 0.25,
         }
     }
+
+    /// Scan-heavy: stock-level dominant (the remainder after the four
+    /// named fractions), with enough new-orders to keep the scanned
+    /// order-line window moving. Combined with a large
+    /// `TpccConfig::stock_level_depth` this is the TPC-C face of the
+    /// scan-length experiments: every stock-level holds the partition for
+    /// a long read-only fragment, and under locking its exclusive
+    /// warehouse stock granule collides with every concurrent new-order.
+    pub fn scan_heavy() -> Self {
+        TxnMix {
+            new_order: 0.20,
+            payment: 0.10,
+            order_status: 0.05,
+            delivery: 0.05,
+        }
+    }
 }
 
 /// TPC-C workload configuration.
@@ -963,6 +985,11 @@ pub struct TpccConfig {
     /// multi-partition. When false (default, §5.5), only transactions that
     /// physically span partitions are multi-partition.
     pub classify_by_warehouse: bool,
+    /// Orders scanned by stock-level's order-line join (TPC-C spec: 20).
+    /// The scan-length knob of the scan-heavy experiments: each order
+    /// contributes 5–15 order-line rows plus a stock probe per distinct
+    /// item, so depth × ~10 is the fragment's row count.
+    pub stock_level_depth: u32,
     pub seed: u64,
 }
 
@@ -978,6 +1005,7 @@ impl TpccConfig {
             remote_payment_prob: 0.15,
             invalid_item_prob: 0.01,
             classify_by_warehouse: false,
+            stock_level_depth: 20,
             seed: 7,
         }
     }
@@ -1329,6 +1357,7 @@ impl RequestGenerator for TpccWorkload {
                     w_id,
                     d_id,
                     threshold,
+                    depth: cfg.stock_level_depth,
                 },
                 can_abort: false,
             }
@@ -1601,6 +1630,26 @@ mod tests {
     }
 
     #[test]
+    fn stock_level_depth_controls_scan_length() {
+        let mut e = engine1();
+        let mut ops_at = |depth: u32| {
+            let frag = TpccFragment::StockLevel {
+                w_id: 1,
+                d_id: 1,
+                threshold: 101,
+                depth,
+            };
+            e.execute(txid(14), &frag, false).ops
+        };
+        let shallow = ops_at(1);
+        let deep = ops_at(20);
+        assert!(
+            deep > shallow,
+            "deeper stock-level must scan more rows ({shallow} vs {deep})"
+        );
+    }
+
+    #[test]
     fn stock_level_counts_low_stock() {
         let mut e = engine1();
         // Threshold above the max initial quantity: every distinct item in
@@ -1609,6 +1658,7 @@ mod tests {
             w_id: 1,
             d_id: 1,
             threshold: 101,
+            depth: 20,
         };
         let TpccOutput::StockLevel { low_stock } =
             e.execute(txid(12), &frag, false).result.unwrap()
@@ -1621,6 +1671,7 @@ mod tests {
             w_id: 1,
             d_id: 1,
             threshold: 0,
+            depth: 20,
         };
         let TpccOutput::StockLevel { low_stock } =
             e.execute(txid(13), &frag, false).result.unwrap()
@@ -1787,6 +1838,7 @@ mod tests {
             w_id: 1,
             d_id: 1,
             threshold: 10,
+            depth: 20,
         };
         let locks = e.lock_set(&sl);
         assert!(locks.contains(&(stock_wh_lock(1), LockMode::Exclusive)));
