@@ -1,0 +1,433 @@
+//! PR 6 bench harness: durability — what group commit costs and what
+//! recovery buys.
+//!
+//! 1. **Group-commit overhead (simulator, microbenchmark):** scheme ×
+//!    group-commit interval, against the durability-off baseline. The
+//!    paper's premise is that command logging is cheap: throughput
+//!    should hold (syncs are off the execution critical path; only
+//!    result *release* waits), while client-visible latency absorbs the
+//!    batching delay — growing with the interval.
+//! 2. **Group-commit overhead (simulator, TPC-C):** the same axis on the
+//!    real schema, default mix.
+//! 3. **Recovery time vs log length (live, wall-clock):** replay a real
+//!    run's command log at increasing prefix lengths, serial vs one
+//!    thread per partition (`recover_partitions_parallel`) — recovery
+//!    scales with the *longest* partition log, not the sum. (On a
+//!    single-core box the parallel path degenerates to serial plus
+//!    thread-spawn overhead; the JSON records the core count.)
+//!
+//! Usage:
+//!   cargo run --release -p hcc-bench --bin bench_pr6                   # full sweep → BENCH_PR6.json
+//!   cargo run --release -p hcc-bench --bin bench_pr6 durability-smoke  # quick CI gate
+//!
+//! The smoke mode runs a deterministic crash-point sweep (kill at every
+//! 5th commit record, recover from the log alone, fingerprint-check
+//! against the serial oracle) plus one overhead point, and prints
+//! wall-clock timings for the job summary.
+
+use hcc_common::{DurabilityConfig, Nanos, PartitionId, Scheme, SystemConfig};
+use hcc_core::{recover_partition, recover_partitions_parallel, PartitionLog, ReplicaCore};
+use hcc_sim::{run_with, SimConfig, Simulation};
+use hcc_storage::decode_frames;
+use hcc_storage::durable::frame;
+use hcc_workloads::micro::{MicroConfig, MicroWorkload};
+use hcc_workloads::tpcc::{TpccConfig, TpccWorkload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Blocking,
+    Scheme::Speculative,
+    Scheme::Locking,
+    Scheme::Occ,
+];
+
+struct OverheadRow {
+    scheme: Scheme,
+    workload: &'static str,
+    /// Group-commit interval in µs; 0 = durability off (baseline).
+    interval_us: u64,
+    throughput_tps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    syncs: u64,
+    results_held: u64,
+}
+
+struct RecoveryRow {
+    records: u64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    records_per_sec: f64,
+}
+
+fn micro(clients: u32, seed: u64) -> MicroConfig {
+    MicroConfig {
+        partitions: 2,
+        clients,
+        mp_fraction: 0.2,
+        abort_prob: 0.03,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn micro_system(scheme: Scheme, clients: u32, seed: u64, interval_us: u64) -> SystemConfig {
+    let mut system = SystemConfig::new(scheme)
+        .with_partitions(2)
+        .with_clients(clients)
+        .with_seed(seed);
+    if interval_us > 0 {
+        system = system.with_durability(
+            DurabilityConfig::default().with_interval(Nanos::from_micros(interval_us)),
+        );
+    }
+    system
+}
+
+/// One calibrated overhead point on the microbenchmark.
+fn micro_point(scheme: Scheme, interval_us: u64) -> OverheadRow {
+    let mc = micro(24, 0xD06);
+    let cfg = SimConfig::new(micro_system(scheme, 24, 0xD06, interval_us))
+        .with_window(Nanos::from_millis(30), Nanos::from_millis(150));
+    let builder = MicroWorkload::new(mc);
+    let r = run_with(cfg, MicroWorkload::new(mc), move |p| {
+        builder.build_engine(p)
+    });
+    let lat = r.latency.summary();
+    OverheadRow {
+        scheme,
+        workload: "micro",
+        interval_us,
+        throughput_tps: r.throughput_tps,
+        p50_us: lat.p50.as_micros_f64(),
+        p99_us: lat.p99.as_micros_f64(),
+        syncs: r.durability.syncs,
+        results_held: r.durability.results_held,
+    }
+}
+
+/// One calibrated overhead point on TPC-C (default mix).
+fn tpcc_point(scheme: Scheme, interval_us: u64) -> OverheadRow {
+    let mut tpcc = TpccConfig::new(2, 2);
+    tpcc.scale = hcc_storage::tpcc::TpccScale::tiny();
+    tpcc.seed = 0xD06;
+    let mut system = micro_system(scheme, 16, 0xD06, interval_us);
+    system.lock_timeout = Nanos::from_millis(2);
+    let cfg = SimConfig::new(system).with_window(Nanos::from_millis(30), Nanos::from_millis(150));
+    let builder = TpccWorkload::new(tpcc);
+    let r = run_with(cfg, TpccWorkload::new(tpcc), move |p| {
+        builder.build_engine(p)
+    });
+    let lat = r.latency.summary();
+    OverheadRow {
+        scheme,
+        workload: "tpcc",
+        interval_us,
+        throughput_tps: r.throughput_tps,
+        p50_us: lat.p50.as_micros_f64(),
+        p99_us: lat.p99.as_micros_f64(),
+        syncs: r.durability.syncs,
+        results_held: r.durability.results_held,
+    }
+}
+
+/// Harvest one long command log per partition from a drained durable run.
+fn harvest_logs(window_ms: u64) -> Vec<Vec<Vec<u8>>> {
+    let mc = micro(24, 0xD06);
+    let system = micro_system(Scheme::Speculative, 24, 0xD06, 500);
+    let cfg = SimConfig::new(system).with_window(
+        Nanos::from_millis(window_ms / 2),
+        Nanos::from_millis(window_ms),
+    );
+    let builder = MicroWorkload::new(mc);
+    let sim = Simulation::new(cfg, MicroWorkload::new(mc), move |p| {
+        builder.build_engine(p)
+    });
+    let h = sim.run_to_crash(u64::MAX);
+    assert!(!h.crashed, "full run must drain");
+    h.images
+        .iter()
+        .map(|image| {
+            let (payloads, torn) = decode_frames(image);
+            assert!(!torn, "drained run left a torn log");
+            payloads
+        })
+        .collect()
+}
+
+/// Wall-clock recovery at one prefix length (records per partition).
+fn recovery_point(payloads: &[Vec<Vec<u8>>], per_partition: usize) -> RecoveryRow {
+    let mc = micro(24, 0xD06);
+    let prefix_image = |pi: usize| {
+        let mut img = Vec::new();
+        for p in &payloads[pi][..per_partition.min(payloads[pi].len())] {
+            frame(p, &mut img);
+        }
+        img
+    };
+    let images: Vec<Vec<u8>> = (0..payloads.len()).map(prefix_image).collect();
+    let total: u64 = images.iter().map(|i| decode_frames(i).0.len() as u64).sum();
+
+    // Serial: one partition after another, same thread.
+    let t0 = Instant::now();
+    let serial: Vec<u64> = images
+        .iter()
+        .enumerate()
+        .map(|(pi, image)| {
+            let snap = MicroWorkload::new(mc).build_engine(PartitionId(pi as u32));
+            recover_partition(snap, 0, image)
+                .expect("serial recovery")
+                .engine
+                .fingerprint()
+        })
+        .collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Parallel: one OS thread per partition (§3.3's replay claim).
+    let parts: Vec<PartitionLog<_>> = images
+        .iter()
+        .enumerate()
+        .map(|(pi, image)| PartitionLog {
+            partition: PartitionId(pi as u32),
+            snapshot: MicroWorkload::new(mc).build_engine(PartitionId(pi as u32)),
+            snapshot_seq: 0,
+            log_image: image.clone(),
+        })
+        .collect();
+    let t1 = Instant::now();
+    let outcomes = recover_partitions_parallel(parts).expect("parallel recovery");
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    for ((_, out), want) in outcomes.iter().zip(serial.iter()) {
+        assert_eq!(
+            out.engine.fingerprint(),
+            *want,
+            "parallel recovery diverged from serial"
+        );
+    }
+    RecoveryRow {
+        records: total,
+        serial_ms,
+        parallel_ms,
+        records_per_sec: total as f64 / (parallel_ms / 1e3).max(1e-9),
+    }
+}
+
+/// The deterministic crash-point sweep used as the CI durability gate:
+/// kill at every `stride`-th commit record, recover from the log alone,
+/// check the serial-oracle fingerprint and the acked-commits guarantee.
+fn crash_sweep_gate(stride: u64) -> (u64, u64) {
+    let mc = micro(12, 0xC4A5);
+    let make_sim = || {
+        let system = micro_system(Scheme::Speculative, 12, 0xC4A5, 500);
+        let cfg =
+            SimConfig::new(system).with_window(Nanos::from_micros(500), Nanos::from_millis(2));
+        let builder = MicroWorkload::new(mc);
+        Simulation::new(cfg, MicroWorkload::new(mc), move |p| {
+            builder.build_engine(p)
+        })
+    };
+    let full = make_sim().run_to_crash(u64::MAX);
+    let mut points = 0u64;
+    let mut k = 1;
+    while k <= full.appended {
+        let h = make_sim().run_to_crash(k);
+        assert!(h.crashed, "crash point {k} not reached");
+        for (pi, image) in h.images.iter().enumerate() {
+            let p = PartitionId(pi as u32);
+            let out = recover_partition(MicroWorkload::new(mc).build_engine(p), 0, image)
+                .unwrap_or_else(|e| panic!("k={k}: P{pi} recovery failed: {e}"));
+            assert_eq!(out.records_applied, h.durable[pi], "k={k} P{pi}");
+            // Serial oracle on the durable prefix.
+            let mut oracle_engine = MicroWorkload::new(mc).build_engine(p);
+            let mut oracle = ReplicaCore::new();
+            for r in &h.history[pi][..h.durable[pi] as usize] {
+                oracle.apply(&mut oracle_engine, r).expect("oracle replay");
+            }
+            assert_eq!(
+                out.engine.fingerprint(),
+                oracle_engine.fingerprint(),
+                "k={k} P{pi}: recovery != durable prefix"
+            );
+        }
+        let seqs: std::collections::HashMap<_, Vec<(usize, u64)>> = h
+            .history
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, recs)| recs.iter().map(move |r| (pi, r)))
+            .fold(std::collections::HashMap::new(), |mut m, (pi, r)| {
+                m.entry(r.txn).or_default().push((pi, r.seq));
+                m
+            });
+        for txn in &h.acked {
+            for (pi, seq) in &seqs[txn] {
+                assert!(*seq <= h.durable[*pi], "k={k}: acked {txn:?} lost at P{pi}");
+            }
+        }
+        points += 1;
+        k += stride;
+    }
+    (points, full.appended)
+}
+
+/// Gate: durability must be cheap — throughput within tolerance of the
+/// off-baseline at the default interval, and held results released (the
+/// run drains: committed work equals the baseline's shape).
+fn assert_overhead_sane(rows: &[OverheadRow]) {
+    for scheme in SCHEMES {
+        let base = rows
+            .iter()
+            .find(|r| r.scheme == scheme && r.workload == "micro" && r.interval_us == 0)
+            .expect("baseline row");
+        let durable = rows
+            .iter()
+            .find(|r| r.scheme == scheme && r.workload == "micro" && r.interval_us == 500)
+            .expect("500µs row");
+        assert!(
+            durable.throughput_tps > 0.5 * base.throughput_tps,
+            "{scheme}: group commit halved throughput \
+             ({:.0} vs {:.0} tps)",
+            durable.throughput_tps,
+            base.throughput_tps
+        );
+        assert!(durable.syncs > 0, "{scheme}: no syncs recorded");
+        // Latency must absorb the batching delay: a 500µs interval puts
+        // p99 at or above the baseline's.
+        assert!(
+            durable.p99_us >= base.p99_us,
+            "{scheme}: durability cannot *reduce* p99 \
+             ({:.0}µs vs {:.0}µs)",
+            durable.p99_us,
+            base.p99_us
+        );
+    }
+}
+
+fn json(rows: &[OverheadRow], rec: &[RecoveryRow], label: &str) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"label\": \"{label}\",");
+    // Parallel replay only beats serial with a core per partition; record
+    // the machine so single-core numbers aren't misread as a regression.
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"group_commit_overhead\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \"interval_us\": {}, \
+             \"throughput_tps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"syncs\": {}, \"results_held\": {}}}",
+            r.scheme,
+            r.workload,
+            r.interval_us,
+            r.throughput_tps,
+            r.p50_us,
+            r.p99_us,
+            r.syncs,
+            r.results_held
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"recovery_time_vs_log_length\": [\n");
+    for (i, r) in rec.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"records\": {}, \"serial_ms\": {:.2}, \"parallel_ms\": {:.2}, \
+             \"records_per_sec\": {:.0}}}",
+            r.records, r.serial_ms, r.parallel_ms, r.records_per_sec
+        );
+        s.push_str(if i + 1 < rec.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn tables(rows: &[OverheadRow], rec: &[RecoveryRow]) {
+    println!(
+        "\ngroup-commit overhead: {:<12} {:>6} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "scheme", "wl", "interval µs", "tps", "p50 µs", "p99 µs", "syncs"
+    );
+    for r in rows {
+        println!(
+            "{:<35} {:>6} {:>12} {:>12.0} {:>10.1} {:>10.1} {:>9}",
+            r.scheme.to_string(),
+            r.workload,
+            r.interval_us,
+            r.throughput_tps,
+            r.p50_us,
+            r.p99_us,
+            r.syncs
+        );
+    }
+    if !rec.is_empty() {
+        println!(
+            "\nrecovery replay: {:>9} {:>11} {:>12} {:>14}",
+            "records", "serial ms", "parallel ms", "records/s"
+        );
+        for r in rec {
+            println!(
+                "{:>26} {:>11.2} {:>12.2} {:>14.0}",
+                r.records, r.serial_ms, r.parallel_ms, r.records_per_sec
+            );
+        }
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let smoke = mode == "durability-smoke";
+
+    if smoke {
+        let t0 = Instant::now();
+        let (points, appended) = crash_sweep_gate(5);
+        let sweep_s = t0.elapsed().as_secs_f64();
+        let mut rows = Vec::new();
+        for interval in [0u64, 500] {
+            rows.push(micro_point(Scheme::Speculative, interval));
+            rows.push(micro_point(Scheme::Blocking, interval));
+        }
+        let base = rows.iter().find(|r| r.interval_us == 0).unwrap();
+        let durable = rows.iter().find(|r| r.interval_us == 500).unwrap();
+        assert!(durable.throughput_tps > 0.5 * base.throughput_tps);
+        assert!(durable.syncs > 0);
+        tables(&rows, &[]);
+        println!(
+            "\ndurability smoke passed: {points} crash points over {appended} commit \
+             records recovered to the exact durable prefix in {sweep_s:.1}s wall-clock."
+        );
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for scheme in SCHEMES {
+        for interval in [0u64, 100, 500, 2000] {
+            rows.push(micro_point(scheme, interval));
+        }
+    }
+    for scheme in [Scheme::Speculative, Scheme::Blocking] {
+        for interval in [0u64, 500] {
+            rows.push(tpcc_point(scheme, interval));
+        }
+    }
+    assert_overhead_sane(&rows);
+
+    let payloads = harvest_logs(400);
+    let per_partition = payloads.iter().map(Vec::len).min().unwrap_or(0);
+    let mut rec = Vec::new();
+    let mut n = 250;
+    while n <= per_partition {
+        rec.push(recovery_point(&payloads, n));
+        n *= 4;
+    }
+    rec.push(recovery_point(&payloads, per_partition));
+
+    tables(&rows, &rec);
+    let out = json(&rows, &rec, "full");
+    std::fs::write("BENCH_PR6.json", &out).expect("write BENCH_PR6.json");
+    println!(
+        "\nwrote BENCH_PR6.json ({} overhead + {} recovery rows)",
+        rows.len(),
+        rec.len()
+    );
+}

@@ -181,6 +181,120 @@ pub struct FailurePlan {
     pub after_commits: u64,
 }
 
+/// Durable command logging with group commit (ISSUE 6).
+///
+/// When present, every partition appends one encoded
+/// [`crate::CommitRecord`] per commit to an injectable durable log and
+/// *holds the client-visible result* until the record's group-commit
+/// batch is synced — the classic group-commit trade: results gain up to
+/// `group_commit_interval` of latency, and in exchange a crash loses no
+/// acknowledged transaction. `None` (the default) is the paper's
+/// configuration: memory-only, replication as the sole failure story,
+/// and bit-identical behaviour to every pre-durability run (the golden
+/// determinism tests pin this).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DurabilityConfig {
+    /// Time between group-commit syncs. Appended records become durable
+    /// at the next sync boundary; held results release then.
+    pub group_commit_interval: Nanos,
+    /// Sync early once this many records are waiting in the open batch
+    /// (`u64::MAX` = time-only batching).
+    pub max_batch: u64,
+    /// Virtual latency of the sync itself (the fsync stand-in charged by
+    /// the simulator's in-memory log; the live runtime pays the real
+    /// device instead).
+    pub sync_latency: Nanos,
+    /// Stalled-log guard: if a batch has been waiting longer than this
+    /// past its sync boundary (a stalled or failed device), the partition
+    /// aborts the held batch with the retryable
+    /// [`crate::AbortReason::LogStalled`] instead of wedging its commit
+    /// chain. `None` disables the guard (a stalled log then holds results
+    /// forever).
+    pub sync_deadline: Option<Nanos>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            // One sync per ~8 t_sp: small enough to stay off the latency
+            // critical path in the paper's workloads, large enough that a
+            // batch amortizes many records.
+            group_commit_interval: Nanos::from_micros(500),
+            max_batch: 64,
+            sync_latency: Nanos::from_micros(100),
+            sync_deadline: Some(Nanos::from_millis(10)),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    pub fn with_interval(mut self, interval: Nanos) -> Self {
+        self.group_commit_interval = interval;
+        self
+    }
+
+    pub fn with_max_batch(mut self, n: u64) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    pub fn with_sync_deadline(mut self, deadline: Option<Nanos>) -> Self {
+        self.sync_deadline = deadline;
+        self
+    }
+}
+
+/// Client-side retry policy for *infrastructure* aborts — the retryable
+/// reasons that signal contention on a shared resource rather than a
+/// scheduling conflict ([`crate::AbortReason::PartitionFailed`],
+/// [`crate::AbortReason::CrossCoordinator`],
+/// [`crate::AbortReason::LogStalled`]). Immediate re-submit of these turns
+/// a failover or a stalled log into a retry storm; instead clients back
+/// off exponentially (doubling from `base`, capped at `cap`) with
+/// deterministic per-attempt jitter. Scheduling aborts (deadlock victim,
+/// lock timeout, speculation failure) still retry immediately — the
+/// paper's schedulers resolve those themselves.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RetryConfig {
+    /// First backoff delay; attempt `n` waits up to `base * 2^(n-1)`.
+    pub base: Nanos,
+    /// Upper bound on any single backoff delay.
+    pub cap: Nanos,
+    /// Give up (count the transaction as exhausted, surface the abort to
+    /// the workload) after this many consecutive retryable aborts of one
+    /// request. `u32::MAX` retries forever.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            // A failover takes ~1 network round trip + promotion; start in
+            // that neighborhood and cap near the failure-detection scale.
+            base: Nanos::from_micros(50),
+            cap: Nanos::from_millis(5),
+            max_attempts: u32::MAX,
+        }
+    }
+}
+
+impl RetryConfig {
+    pub fn with_base(mut self, base: Nanos) -> Self {
+        self.base = base;
+        self
+    }
+
+    pub fn with_cap(mut self, cap: Nanos) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n;
+        self
+    }
+}
+
 /// Top-level system configuration shared by the simulator and the threaded
 /// runtime.
 #[derive(Debug, Clone, Serialize)]
@@ -216,6 +330,11 @@ pub struct SystemConfig {
     /// instead of being released to the coordinator with dependencies.
     /// Used to reproduce Figure 10's "Measured Local Spec" curve.
     pub local_speculation_only: bool,
+    /// Durable command logging with group commit; `None` (default) is
+    /// the paper's memory-only configuration.
+    pub durability: Option<DurabilityConfig>,
+    /// Client-side backoff for infrastructure aborts.
+    pub retry: RetryConfig,
     /// RNG seed for workload generation; a run is a pure function of
     /// (config, workload, seed).
     pub seed: u64,
@@ -238,6 +357,8 @@ impl SystemConfig {
             lock_timeout: Nanos::from_millis(20),
             max_speculation_depth: usize::MAX,
             local_speculation_only: false,
+            durability: None,
+            retry: RetryConfig::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -265,6 +386,16 @@ impl SystemConfig {
     pub fn with_coordinators(mut self, n: u32) -> Self {
         assert!(n >= 1, "at least one coordinator shard");
         self.coordinators = n;
+        self
+    }
+
+    pub fn with_durability(mut self, d: DurabilityConfig) -> Self {
+        self.durability = Some(d);
+        self
+    }
+
+    pub fn with_retry(mut self, r: RetryConfig) -> Self {
+        self.retry = r;
         self
     }
 

@@ -13,6 +13,7 @@
 //! central coordinator for multi-partition transactions, two-phase commit,
 //! and primary/backup replication.
 
+pub mod codec;
 pub mod config;
 pub mod hash;
 pub mod ids;
@@ -21,10 +22,13 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use codec::LogEncode;
 pub use config::FailurePlan;
-pub use config::{CostModel, NetworkModel, Scheme, SystemConfig};
+pub use config::{CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme, SystemConfig};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorId, CoordinatorRef, LockKey, PartitionId, TxnId};
+pub use rng::{SplitMix64, Zipfian};
+
 pub use msg::{
     AbortReason, CommitRecord, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
 };

@@ -37,6 +37,12 @@ pub enum AbortReason {
     /// dispatch order exists across shards — so the conflict resolves by
     /// abort-retry, like a lock timeout.
     CrossCoordinator,
+    /// The partition's durable command log stalled past the configured
+    /// sync deadline, so the in-flight group-commit batch was aborted
+    /// instead of wedging the commit chain (ISSUE 6's graceful
+    /// degradation). Retryable: the transaction itself is valid and can
+    /// be re-submitted once the log recovers.
+    LogStalled,
 }
 
 impl AbortReason {
@@ -52,6 +58,7 @@ impl AbortReason {
                 | AbortReason::LockTimeout
                 | AbortReason::PartitionFailed
                 | AbortReason::CrossCoordinator
+                | AbortReason::LogStalled
         )
     }
 }
@@ -182,6 +189,7 @@ mod tests {
         assert!(AbortReason::LockTimeout.is_retryable());
         assert!(AbortReason::PartitionFailed.is_retryable());
         assert!(AbortReason::CrossCoordinator.is_retryable());
+        assert!(AbortReason::LogStalled.is_retryable());
         assert!(!AbortReason::User.is_retryable());
         assert!(!AbortReason::RemoteAbort.is_retryable());
         assert!(!AbortReason::SpeculationSquashed.is_retryable());

@@ -300,6 +300,37 @@ impl ReplicationCounters {
     }
 }
 
+/// Counters for the durable command log (ISSUE 6), aggregated across all
+/// partitions of a run by the drivers. Zero everywhere when durability is
+/// off — the golden determinism tests pin that the paper's configuration
+/// pays nothing for this subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// Commit records appended to the durable log.
+    pub records_appended: u64,
+    /// Group-commit syncs performed.
+    pub syncs: u64,
+    /// Committed results whose release waited on a group-commit sync
+    /// (the rest found their batch already durable).
+    pub results_held: u64,
+    /// Batches aborted by the stalled-log guard; their transactions were
+    /// bounced to clients with the retryable `LogStalled`.
+    pub stalled_aborts: u64,
+    /// Records discarded at recovery because the tail write was torn
+    /// (partial final record detected by length/checksum framing).
+    pub torn_tails_discarded: u64,
+}
+
+impl DurabilityCounters {
+    pub fn merge(&mut self, o: &DurabilityCounters) {
+        self.records_appended += o.records_appended;
+        self.syncs += o.syncs;
+        self.results_held += o.results_held;
+        self.stalled_aborts += o.stalled_aborts;
+        self.torn_tails_discarded += o.torn_tails_discarded;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

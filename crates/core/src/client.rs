@@ -11,7 +11,9 @@
 
 use crate::procedure::{Procedure, Request};
 use hcc_common::stats::LatencyHistogram;
-use hcc_common::{ClientId, Nanos, PartitionId, TxnId, TxnResult};
+use hcc_common::{
+    AbortReason, ClientId, Nanos, PartitionId, RetryConfig, SplitMix64, TxnId, TxnResult,
+};
 
 /// Per-client outcome statistics.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +24,13 @@ pub struct ClientStats {
     pub user_aborted: u64,
     /// Scheduling aborts that triggered a transparent retry.
     pub retries: u64,
+    /// The subset of [`retries`](ClientStats::retries) that waited out a
+    /// nonzero backoff delay (infrastructure aborts under
+    /// [`RetryConfig`]).
+    pub backoff_retries: u64,
+    /// Requests abandoned after [`RetryConfig::max_attempts`] consecutive
+    /// retryable aborts.
+    pub retry_exhausted: u64,
     /// End-to-end latency of committed transactions (submission of the
     /// first attempt → result), recorded by
     /// [`ClientCore::on_result_at`].
@@ -34,6 +43,8 @@ impl ClientStats {
         self.committed += other.committed;
         self.user_aborted += other.user_aborted;
         self.retries += other.retries;
+        self.backoff_retries += other.backoff_retries;
+        self.retry_exhausted += other.retry_exhausted;
         self.latency.merge(&other.latency);
     }
 }
@@ -43,8 +54,12 @@ impl ClientStats {
 pub enum NextAction {
     /// The request reached a final outcome: issue a new request.
     NewRequest,
-    /// The request must be retried (same work, fresh transaction id).
-    Retry,
+    /// The request must be retried (same work, fresh transaction id) after
+    /// waiting `after` — zero for scheduling aborts (deadlock victim, lock
+    /// timeout, failed speculation), a capped-exponential backoff with
+    /// deterministic jitter for infrastructure aborts (partition failover,
+    /// cross-coordinator expiry, stalled log).
+    Retry { after: Nanos },
 }
 
 /// The retryable copy of an in-flight request.
@@ -112,14 +127,28 @@ impl<F: Clone, R> PendingRequest<F, R> {
 pub struct ClientCore {
     pub id: ClientId,
     seq: u32,
+    /// Consecutive retryable aborts of the *current* request (reset on any
+    /// final outcome) — the exponent of the backoff schedule.
+    attempts: u32,
+    retry: RetryConfig,
+    /// Jitter stream, seeded from the client id alone so a run stays a
+    /// pure function of (config, workload, seed).
+    jitter: SplitMix64,
     pub stats: ClientStats,
 }
 
 impl ClientCore {
     pub fn new(id: ClientId) -> Self {
+        Self::with_retry(id, RetryConfig::default())
+    }
+
+    pub fn with_retry(id: ClientId, retry: RetryConfig) -> Self {
         ClientCore {
             id,
             seq: 0,
+            attempts: 0,
+            retry,
+            jitter: SplitMix64::new(0xBACC_0FF0 ^ u64::from(id.0) << 17),
             stats: ClientStats::default(),
         }
     }
@@ -131,19 +160,56 @@ impl ClientCore {
         txn
     }
 
+    /// Consecutive retryable aborts of the in-flight request so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Equal-jitter capped exponential backoff: attempt `n` draws uniformly
+    /// from `[d/2, d]` where `d = min(cap, base * 2^(n-1))`. The half-floor
+    /// keeps retries spaced out; the jitter decorrelates clients that
+    /// failed together (a failover aborts every in-flight transaction of a
+    /// partition at once).
+    fn backoff_delay(&mut self) -> Nanos {
+        let exp = self.attempts.saturating_sub(1).min(32);
+        let raw = self.retry.base.0.saturating_mul(1u64 << exp);
+        let d = raw.min(self.retry.cap.0);
+        let half = d / 2;
+        Nanos(half + self.jitter.next_u64() % (d - half + 1))
+    }
+
     /// Record a final result; decide whether to retry.
     pub fn on_result<R>(&mut self, result: &TxnResult<R>) -> NextAction {
         match result {
             TxnResult::Committed(_) => {
                 self.stats.committed += 1;
+                self.attempts = 0;
                 NextAction::NewRequest
             }
             TxnResult::Aborted(reason) if reason.is_retryable() => {
+                self.attempts += 1;
+                if self.attempts > self.retry.max_attempts {
+                    // Give up: surface the abort to the workload as final.
+                    self.stats.retry_exhausted += 1;
+                    self.stats.user_aborted += 1;
+                    self.attempts = 0;
+                    return NextAction::NewRequest;
+                }
                 self.stats.retries += 1;
-                NextAction::Retry
+                let after = match reason {
+                    AbortReason::PartitionFailed
+                    | AbortReason::CrossCoordinator
+                    | AbortReason::LogStalled => self.backoff_delay(),
+                    _ => Nanos::ZERO,
+                };
+                if after > Nanos::ZERO {
+                    self.stats.backoff_retries += 1;
+                }
+                NextAction::Retry { after }
             }
             TxnResult::Aborted(_) => {
                 self.stats.user_aborted += 1;
+                self.attempts = 0;
                 NextAction::NewRequest
             }
         }
@@ -194,18 +260,94 @@ mod tests {
     }
 
     #[test]
-    fn deadlock_and_timeout_retry() {
+    fn deadlock_and_timeout_retry_immediately() {
         let mut c = ClientCore::new(ClientId(0));
         assert_eq!(
             c.on_result(&TxnResult::<u32>::Aborted(AbortReason::DeadlockVictim)),
-            NextAction::Retry
+            NextAction::Retry { after: Nanos::ZERO }
         );
         assert_eq!(
             c.on_result(&TxnResult::<u32>::Aborted(AbortReason::LockTimeout)),
-            NextAction::Retry
+            NextAction::Retry { after: Nanos::ZERO }
         );
         assert_eq!(c.stats.retries, 2);
+        assert_eq!(c.stats.backoff_retries, 0);
         assert_eq!(c.stats.committed, 0);
+    }
+
+    #[test]
+    fn infrastructure_aborts_back_off_exponentially() {
+        let retry = RetryConfig::default()
+            .with_base(Nanos::from_micros(100))
+            .with_cap(Nanos::from_micros(1_600));
+        let mut c = ClientCore::with_retry(ClientId(5), retry);
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            match c.on_result(&TxnResult::<u32>::Aborted(AbortReason::PartitionFailed)) {
+                NextAction::Retry { after } => delays.push(after),
+                other => panic!("expected retry, got {other:?}"),
+            }
+        }
+        // Attempt n draws from [d/2, d] with d = min(cap, base * 2^(n-1)).
+        for (i, after) in delays.iter().enumerate() {
+            let d = (100_000u64 << i).min(1_600_000);
+            assert!(
+                (d / 2..=d).contains(&after.0),
+                "attempt {} delay {} outside [{}, {}]",
+                i + 1,
+                after.0,
+                d / 2,
+                d
+            );
+        }
+        // Capped: attempts 5 and 6 both draw from the cap's window.
+        assert!(delays[5].0 <= 1_600_000);
+        assert_eq!(c.stats.backoff_retries, 6);
+        // A commit resets the schedule.
+        c.on_result(&TxnResult::Committed(1u32));
+        match c.on_result(&TxnResult::<u32>::Aborted(AbortReason::CrossCoordinator)) {
+            NextAction::Retry { after } => {
+                assert!((50_000..=100_000).contains(&after.0), "reset to base")
+            }
+            other => panic!("expected retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_client() {
+        let mut a = ClientCore::new(ClientId(9));
+        let mut b = ClientCore::new(ClientId(9));
+        for _ in 0..4 {
+            assert_eq!(
+                a.on_result(&TxnResult::<u32>::Aborted(AbortReason::LogStalled)),
+                b.on_result(&TxnResult::<u32>::Aborted(AbortReason::LogStalled)),
+            );
+        }
+    }
+
+    #[test]
+    fn retries_exhaust_after_max_attempts() {
+        let retry = RetryConfig::default().with_max_attempts(3);
+        let mut c = ClientCore::with_retry(ClientId(0), retry);
+        for _ in 0..3 {
+            assert!(matches!(
+                c.on_result(&TxnResult::<u32>::Aborted(AbortReason::PartitionFailed)),
+                NextAction::Retry { .. }
+            ));
+        }
+        assert_eq!(
+            c.on_result(&TxnResult::<u32>::Aborted(AbortReason::PartitionFailed)),
+            NextAction::NewRequest,
+            "fourth consecutive abort gives up"
+        );
+        assert_eq!(c.stats.retry_exhausted, 1);
+        assert_eq!(c.stats.retries, 3);
+        // The schedule reset with the abandonment.
+        assert!(matches!(
+            c.on_result(&TxnResult::<u32>::Aborted(AbortReason::PartitionFailed)),
+            NextAction::Retry { .. }
+        ));
+        assert_eq!(c.attempts(), 1);
     }
 
     #[test]

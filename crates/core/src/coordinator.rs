@@ -69,11 +69,13 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub enum CoordOut<F, R> {
     Fragment(PartitionId, FragmentTask<F>),
-    /// A 2PC decision for a participant. The third field is the shard that
-    /// wants a [`Coordinator::on_decision_ack`] back once the partition
-    /// has processed a *commit* (in-doubt tracking); `None` for aborts,
-    /// client-driven 2PC, and runs without failover.
-    Decision(PartitionId, Decision, Option<CoordinatorId>),
+    /// A 2PC decision for a participant. The third field is the
+    /// coordinator (central shard or client driver) that wants a
+    /// [`Coordinator::on_decision_ack`] back once the partition has
+    /// processed a *commit* — in-doubt tracking for failover runs, and
+    /// result-holding for durability runs; `None` for aborts and runs
+    /// with neither.
+    Decision(PartitionId, Decision, Option<CoordinatorRef>),
     ClientResult {
         client: ClientId,
         txn: TxnId,
@@ -96,6 +98,9 @@ pub struct CoordCounters {
     pub failover_aborts: u64,
     /// Commit-decision acknowledgements received (in-doubt tracking).
     pub decision_acks: u64,
+    /// Committed results parked until every participant acknowledged the
+    /// commit decision (durable-release mode).
+    pub results_held: u64,
     /// In-doubt committed transactions re-delivered to a promoted primary
     /// after a failover (the 2PC in-doubt window being closed).
     pub in_doubt_redeliveries: u64,
@@ -116,6 +121,7 @@ impl CoordCounters {
         self.rounds_dispatched += o.rounds_dispatched;
         self.failover_aborts += o.failover_aborts;
         self.decision_acks += o.decision_acks;
+        self.results_held += o.results_held;
         self.in_doubt_redeliveries += o.in_doubt_redeliveries;
         self.in_doubt_commits_recovered += o.in_doubt_commits_recovered;
     }
@@ -183,12 +189,17 @@ const HISTORY_LIMIT: usize = 1 << 16;
 
 /// A committed multi-partition transaction whose commit decision has not
 /// yet been acknowledged by every participant — the 2PC in-doubt window.
-struct InDoubt<F> {
+struct InDoubt<F, R> {
     /// Participants that have not acked the commit decision yet.
     unacked: Vec<PartitionId>,
     /// Every fragment dispatched to any participant, in dispatch order,
-    /// for redelivery to a promoted primary.
+    /// for redelivery to a promoted primary. Empty unless in-doubt
+    /// tracking (failover) is on.
     tasks: Vec<(PartitionId, FragmentTask<F>)>,
+    /// The client result, parked until the window closes (durable-release
+    /// mode: participants ack only once the commit record is durable, so
+    /// releasing here means the commit survives a whole-group crash).
+    held: Option<(ClientId, TxnResult<R>)>,
 }
 
 /// An in-doubt commit re-delivered to a promoted primary: the shard waits
@@ -238,17 +249,26 @@ pub struct Coordinator<F, R> {
     /// (`MembershipCore` is the authority; this is the shard's view).
     /// Absent = epoch 0 (the initial primary).
     epochs: FxHashMap<PartitionId, u32>,
-    /// Transactions aborted by a failover whose not-yet-executed
-    /// participants still owe a response; their eventual (now moot) vote
-    /// is answered with a presumed-abort decision. GC'd with the history.
-    failover_aborted: FxHashSet<TxnId>,
+    /// Transactions aborted by a failover (or timeout expiry) whose
+    /// not-yet-executed participants still owe a response; their eventual
+    /// (now moot) vote is answered with a presumed-abort decision. The
+    /// value records the partitions already sent the abort, so a squashed
+    /// re-execution's second response never draws a duplicate decision
+    /// (which the partition, having already aborted, could only count as
+    /// a stray). GC'd with the history.
+    failover_aborted: FxHashMap<TxnId, Vec<PartitionId>>,
     /// Whether to retain dispatched fragments and demand commit-decision
     /// acks — the machinery that closes the 2PC in-doubt window. Enabled
     /// by drivers for runs with failure injection; off otherwise so the
     /// hot path pays nothing for it.
     track_in_doubt: bool,
+    /// Whether committed results are parked until every participant acks
+    /// its commit decision. Durability runs enable this so a client never
+    /// observes a commit that is not yet in every participant's durable
+    /// log (partitions defer the ack until the record is synced).
+    hold_results: bool,
     /// Committed transactions awaiting commit-decision acks.
-    in_doubt: FxHashMap<TxnId, InDoubt<F>>,
+    in_doubt: FxHashMap<TxnId, InDoubt<F, R>>,
     /// In-doubt commits re-delivered to a promoted primary, awaiting its
     /// re-vote.
     redeliveries: FxHashMap<TxnId, Redelivery<R>>,
@@ -289,8 +309,9 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             history_order: VecDeque::new(),
             scan: Vec::new(),
             epochs: FxHashMap::default(),
-            failover_aborted: FxHashSet::default(),
+            failover_aborted: FxHashMap::default(),
             track_in_doubt: false,
+            hold_results: false,
             in_doubt: FxHashMap::default(),
             redeliveries: FxHashMap::default(),
             counters: CoordCounters::default(),
@@ -298,13 +319,23 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         }
     }
 
+    /// Enable (or disable) durable result release: committed results are
+    /// parked in the in-doubt window and emitted only once every
+    /// participant has acknowledged its commit decision.
+    pub fn set_hold_results(&mut self, on: bool) {
+        self.hold_results = on;
+    }
+
+    /// Whether this coordinator demands commit-decision acks at all.
+    #[inline]
+    fn wants_acks(&self) -> bool {
+        self.track_in_doubt || self.hold_results
+    }
+
     /// Build the decision message for one participant, requesting an ack
     /// for tracked commits.
     fn decision_out(&self, p: PartitionId, txn: TxnId, commit: bool) -> CoordOut<F, R> {
-        let ack_to = match (commit && self.track_in_doubt, self.coord_ref) {
-            (true, CoordinatorRef::Central(id)) => Some(id),
-            _ => None,
-        };
+        let ack_to = (commit && self.wants_acks()).then_some(self.coord_ref);
         CoordOut::Decision(p, Decision { txn, commit }, ack_to)
     }
 
@@ -412,7 +443,17 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             // (a decision for a never-executed transaction would be
             // unintelligible to the partition), so answer the vote with
             // presumed-abort now that the transaction is live there.
-            if self.failover_aborted.contains(&resp.txn) {
+            if let Some(sent) = self.failover_aborted.get_mut(&resp.txn) {
+                if sent.contains(&resp.partition) {
+                    // This partition was already sent the abort; a second
+                    // response can only be a squashed re-execution that
+                    // raced with the in-flight decision. The decision will
+                    // (or did) kill the transaction there — answering
+                    // again would deliver an unintelligible duplicate.
+                    self.counters.stale_responses_discarded += 1;
+                    return;
+                }
+                sent.push(resp.partition);
                 out.push(CoordOut::Decision(
                     resp.partition,
                     Decision {
@@ -673,14 +714,28 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
 
     /// A participant acknowledged processing a commit decision: its share
     /// of the transaction is durably in its replica group's log, so it
-    /// leaves the in-doubt window.
-    pub fn on_decision_ack(&mut self, txn: TxnId, partition: PartitionId) {
+    /// leaves the in-doubt window. In durable-release mode the final ack
+    /// emits the parked client result.
+    pub fn on_decision_ack(
+        &mut self,
+        txn: TxnId,
+        partition: PartitionId,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
         self.counters.decision_acks += 1;
         self.cpu += self.per_msg;
         if let Some(d) = self.in_doubt.get_mut(&txn) {
             d.unacked.retain(|p| *p != partition);
             if d.unacked.is_empty() {
-                self.in_doubt.remove(&txn);
+                let entry = self.in_doubt.remove(&txn).expect("present above");
+                if let Some((client, result)) = entry.held {
+                    out.push(CoordOut::ClientResult {
+                        client,
+                        txn,
+                        result,
+                    });
+                    self.charge_msgs(1);
+                }
             }
         }
         // An ack also cancels a pending redelivery to that partition: the
@@ -855,7 +910,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         let mut msgs = 0u64;
         let mut participants: Vec<PartitionId> = t.dispatched.clone();
         participants.sort_unstable();
-        if commit && self.track_in_doubt {
+        if commit && self.wants_acks() {
             // The transaction enters the 2PC in-doubt window until every
             // participant acks its commit decision.
             self.in_doubt.insert(
@@ -863,6 +918,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
                 InDoubt {
                     unacked: participants.clone(),
                     tasks: std::mem::take(&mut t.sent),
+                    held: None,
                 },
             );
         }
@@ -907,12 +963,20 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             self.history_order.push_back(txn);
             TxnResult::Aborted(outcome.unwrap_err())
         };
-        out.push(CoordOut::ClientResult {
-            client: t.client,
-            txn,
-            result,
-        });
-        msgs += 1;
+        if commit && self.hold_results {
+            // Durable release: park the committed result until every
+            // participant acks (i.e. has the record durably logged).
+            let entry = self.in_doubt.get_mut(&txn).expect("inserted above");
+            entry.held = Some((t.client, result));
+            self.counters.results_held += 1;
+        } else {
+            out.push(CoordOut::ClientResult {
+                client: t.client,
+                txn,
+                result,
+            });
+            msgs += 1;
+        }
         self.charge_msgs(msgs);
         self.gc();
     }
@@ -1058,13 +1122,17 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
         }
         executed.sort_unstable();
         let mut msgs = 0u64;
-        for p in executed {
-            out.push(CoordOut::Decision(p, Decision { txn, commit: false }, None));
+        for p in &executed {
+            out.push(CoordOut::Decision(
+                *p,
+                Decision { txn, commit: false },
+                None,
+            ));
             msgs += 1;
         }
         self.counters.aborts += 1;
         self.aborted.insert(txn);
-        self.failover_aborted.insert(txn);
+        self.failover_aborted.insert(txn, executed);
         self.history_order.push_back(txn);
         out.push(CoordOut::ClientResult {
             client: t.client,
@@ -1654,9 +1722,9 @@ mod tests {
         let mut c = tracking_shard();
         commit_one(&mut c, 1);
         assert_eq!(c.in_doubt_len(), 1, "committed but unacked");
-        c.on_decision_ack(txid(1), PartitionId(0));
+        c.on_decision_ack(txid(1), PartitionId(0), &mut Vec::new());
         assert_eq!(c.in_doubt_len(), 1, "one participant still unacked");
-        c.on_decision_ack(txid(1), PartitionId(1));
+        c.on_decision_ack(txid(1), PartitionId(1), &mut Vec::new());
         assert_eq!(c.in_doubt_len(), 0);
         assert_eq!(c.counters.decision_acks, 2);
     }
@@ -1665,7 +1733,7 @@ mod tests {
     fn unacked_commit_is_redelivered_after_failover_and_recommitted() {
         let mut c = tracking_shard();
         commit_one(&mut c, 1);
-        c.on_decision_ack(txid(1), PartitionId(0));
+        c.on_decision_ack(txid(1), PartitionId(0), &mut Vec::new());
         // P1's primary dies holding the unacked commit decision.
         let mut out = Vec::new();
         let aborted = c.on_partition_failed(PartitionId(1), 1, &mut out);
@@ -1700,7 +1768,7 @@ mod tests {
         );
         assert_eq!(c.counters.in_doubt_commits_recovered, 1);
         // The fresh ack finally closes the window.
-        c.on_decision_ack(txid(1), PartitionId(1));
+        c.on_decision_ack(txid(1), PartitionId(1), &mut Vec::new());
         assert_eq!(c.in_doubt_len(), 0);
     }
 

@@ -34,7 +34,7 @@ pub struct ExecOutcome<R> {
 ///   records applied/discarded.
 pub trait ExecutionEngine {
     /// Workload-specific description of a unit of work at one partition.
-    type Fragment: Clone + std::fmt::Debug;
+    type Fragment: Clone + std::fmt::Debug + hcc_common::LogEncode;
     /// Fragment result payload.
     type Output: Clone + std::fmt::Debug;
 

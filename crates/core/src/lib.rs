@@ -35,12 +35,14 @@ pub mod blocking;
 pub mod client;
 pub mod coordinator;
 pub mod engine;
+pub mod group_commit;
 pub mod locking_sched;
 pub mod membership;
 pub mod occ;
 pub mod oracle;
 pub mod outbox;
 pub mod procedure;
+pub mod recovery;
 pub mod replica;
 pub mod scheduler;
 pub mod speculative;
@@ -48,8 +50,12 @@ pub mod testkit;
 pub mod txn_driver;
 
 pub use engine::{ExecOutcome, ExecutionEngine};
+pub use group_commit::{FlushDecision, GroupCommit};
 pub use membership::{MembershipCore, MembershipUpdate};
 pub use outbox::{Outbox, PartitionOut};
 pub use procedure::{Procedure, Request, RequestGenerator, RoundOutputs, Step};
+pub use recovery::{
+    recover_partition, recover_partitions_parallel, PartitionLog, RecoveryError, RecoveryOutcome,
+};
 pub use replica::{AckTracker, ReplayError, ReplicaCore, ReplicationSession};
 pub use scheduler::{make_scheduler, make_scheduler_send, Scheduler};

@@ -603,6 +603,29 @@ impl<E: ExecutionEngine> Scheduler<E> for SpeculativeScheduler<E> {
         out: &mut Outbox<E::Output>,
     ) {
         let Some(pos) = self.position(decision.txn) else {
+            if !decision.commit {
+                // An abort can reach us while the transaction's round-0
+                // fragments are still *queued*: either squashed back into
+                // the unexecuted queue awaiting re-execution, or parked
+                // behind a cross-coordinator wait. The coordinator's
+                // expiry/failover fan-out goes to every participant that
+                // ever responded, and a squash can race with the decision
+                // in flight — so this is a legitimate abort of queued
+                // work, not a stray: drop the fragments and move on.
+                let before = self.unexecuted.len();
+                self.unexecuted.retain(|t| t.txn != decision.txn);
+                let purged = before != self.unexecuted.len();
+                if purged || self.attempts.remove(&decision.txn).is_some() {
+                    if purged {
+                        self.counters.aborted += 1;
+                    }
+                    if self.blocked_on == Some(decision.txn) {
+                        self.blocked_on = None;
+                    }
+                    self.pump(engine, out);
+                    return;
+                }
+            }
             // Unknown transaction: only possible after a failover, when the
             // coordinator's abort fan-out reaches the promoted backup for a
             // transaction that died with the old primary. Counted so

@@ -10,7 +10,7 @@
 
 use crate::engine::{ExecOutcome, ExecutionEngine};
 use crate::procedure::{Procedure, RoundOutputs, Step};
-use hcc_common::{AbortReason, LockKey, PartitionId, TxnId};
+use hcc_common::{AbortReason, LockKey, LogEncode, PartitionId, TxnId};
 use hcc_locking::{granule, LockMode};
 use std::collections::{BTreeMap, HashMap};
 
@@ -38,6 +38,61 @@ pub struct TestFragment {
     pub ops: Vec<TestOp>,
     /// If set, the fragment refuses to run (user abort) without effects.
     pub fail: bool,
+}
+
+impl LogEncode for TestOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TestOp::Read(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            TestOp::Set(k, v) => {
+                out.push(1);
+                k.encode(out);
+                v.encode(out);
+            }
+            TestOp::Add(k, d) => {
+                out.push(2);
+                k.encode(out);
+                d.encode(out);
+            }
+            TestOp::Del(k) => {
+                out.push(3);
+                k.encode(out);
+            }
+            TestOp::Scan(s, e) => {
+                out.push(4);
+                s.encode(out);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let (tag, rest) = input.split_first()?;
+        *input = rest;
+        Some(match tag {
+            0 => TestOp::Read(u64::decode(input)?),
+            1 => TestOp::Set(u64::decode(input)?, i64::decode(input)?),
+            2 => TestOp::Add(u64::decode(input)?, i64::decode(input)?),
+            3 => TestOp::Del(u64::decode(input)?),
+            4 => TestOp::Scan(u64::decode(input)?, u64::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+impl LogEncode for TestFragment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+        self.fail.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(TestFragment {
+            ops: Vec::decode(input)?,
+            fail: bool::decode(input)?,
+        })
+    }
 }
 
 impl TestFragment {

@@ -50,6 +50,26 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> TxnDriver<F, R> {
         self.inner.on_response(resp, out);
     }
 
+    /// Enable durable result release: the driver parks a committed result
+    /// until every participant acknowledges its commit decision (which
+    /// partitions send only once the commit record is durably logged).
+    /// The decisions then carry `CoordinatorRef::Client(_)` ack addresses,
+    /// so partitions route the acks back to this client.
+    pub fn set_hold_results(&mut self, on: bool) {
+        self.inner.set_hold_results(on);
+    }
+
+    /// A participant acknowledged (durably logged) a commit decision; the
+    /// final ack releases the parked result into `out`.
+    pub fn on_decision_ack(
+        &mut self,
+        txn: TxnId,
+        partition: hcc_common::PartitionId,
+        out: &mut Vec<CoordOut<F, R>>,
+    ) {
+        self.inner.on_decision_ack(txn, partition, out);
+    }
+
     /// Number of undecided transactions (0 or 1 for closed-loop clients).
     pub fn pending(&self) -> usize {
         self.inner.pending()
@@ -145,6 +165,35 @@ mod tests {
             .count();
         assert_eq!(commits, 2);
         assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn held_result_releases_on_final_decision_ack() {
+        let mut d = driver();
+        d.set_hold_results(true);
+        let mut out = Vec::new();
+        let txn = TxnId::new(ClientId(5), 0);
+        d.begin(txn, proc2(), false, &mut out);
+        out.clear();
+        d.on_response(resp(txn, 0, Vote::Commit), &mut out);
+        d.on_response(resp(txn, 1, Vote::Commit), &mut out);
+        // Decided, but the result is parked until both participants ack.
+        assert!(TxnDriver::take_result(&mut out).is_none());
+        // Decisions carry a client ack address.
+        let acked = out
+            .iter()
+            .filter(
+                |o| matches!(o, CoordOut::Decision(_, dd, Some(CoordinatorRef::Client(c))) if dd.commit && *c == ClientId(5)),
+            )
+            .count();
+        assert_eq!(acked, 2);
+        out.clear();
+        d.on_decision_ack(txn, PartitionId(0), &mut out);
+        assert!(TxnDriver::take_result(&mut out).is_none());
+        d.on_decision_ack(txn, PartitionId(1), &mut out);
+        let (id, result) = TxnDriver::take_result(&mut out).expect("released");
+        assert_eq!(id, txn);
+        assert!(result.is_committed());
     }
 
     #[test]

@@ -57,14 +57,16 @@
 //! One failover per group per run is supported (the `FailurePlan` is
 //! one-shot).
 
-use hcc_common::stats::{ReplicationCounters, SchedulerCounters};
+use hcc_common::codec::encode_to_vec;
+use hcc_common::stats::{DurabilityCounters, ReplicationCounters, SchedulerCounters};
 use hcc_common::{
     AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel, Decision,
-    FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme, SystemConfig, TxnId,
-    TxnResult,
+    DurabilityConfig, FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme,
+    SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::group_commit::{FlushDecision, GroupCommit};
 use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{
     failover_bounce, AckTracker, FailoverBounce, ReplicaCore, ReplicationSession,
@@ -74,6 +76,7 @@ use hcc_core::{
     make_scheduler_send, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
     RequestGenerator, Scheduler,
 };
+use hcc_storage::{DurableLog, MemLog};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -115,9 +118,10 @@ pub enum Msg<E: ExecutionEngine> {
     /// A unit of work for a partition.
     Fragment(FragmentTask<E::Fragment>),
     /// A two-phase-commit decision for a partition. The second field is
-    /// the coordinator shard expecting a [`Msg::DecisionAck`] for a
-    /// processed commit (in-doubt tracking; `None` otherwise).
-    Decision(Decision, Option<CoordinatorId>),
+    /// the coordinator (central shard or client driver) expecting a
+    /// [`Msg::DecisionAck`] for a processed commit — in-doubt tracking
+    /// and/or durable result release; `None` otherwise.
+    Decision(Decision, Option<CoordinatorRef>),
     /// Periodic maintenance (lock-timeout scans under the locking scheme).
     Tick,
     /// A multi-partition invocation for the central coordinator.
@@ -244,6 +248,10 @@ pub struct ClientActor<W: RequestGenerator> {
     >,
     current_txn: Option<TxnId>,
     submitted_at: Nanos,
+    /// Deadline of a backoff wait before re-dispatching the pending
+    /// request (infrastructure-abort retry). The backend wakes the actor
+    /// with a [`Msg::Tick`] at or after this time.
+    retry_at: Option<Nanos>,
     /// Final outcomes left before retiring (fixed-work mode); `None` runs
     /// until the control block's stop flag.
     remaining: Option<u64>,
@@ -265,12 +273,18 @@ where
     W::Engine: 'static,
 {
     pub fn new(id: ClientId, system: &SystemConfig, requests: Option<u64>) -> Self {
+        let mut driver = TxnDriver::new(system.costs, id);
+        // Durable release for client-driven 2PC (locking): the driver
+        // parks committed results until every participant acks — which
+        // partitions do only once the commit record is durably logged.
+        driver.set_hold_results(system.durability.is_some());
         ClientActor {
-            core: ClientCore::new(id),
-            driver: TxnDriver::new(system.costs, id),
+            core: ClientCore::with_retry(id, system.retry),
+            driver,
             pending: None,
             current_txn: None,
             submitted_at: Nanos::ZERO,
+            retry_at: None,
             remaining: requests,
             record_always: requests.is_some(),
             scheme: system.scheme,
@@ -285,6 +299,13 @@ where
         self.done
     }
 
+    /// When the actor needs a [`Msg::Tick`] to finish a backoff wait
+    /// (`None` when no retry is parked). Backends turn this into a receive
+    /// timeout or a timer entry.
+    pub fn retry_wake(&self) -> Option<Nanos> {
+        self.retry_at
+    }
+
     pub fn into_stats(self) -> ClientStats {
         self.core.stats
     }
@@ -296,7 +317,15 @@ where
         ctx: &ClientCtx<'_, W>,
         out: &mut Vec<OutMsg<W::Engine>>,
     ) {
-        debug_assert!(!self.done, "message delivered to a retired client");
+        if self.done {
+            // Shared timer threads may tick a retired client; anything
+            // else arriving here is a routing bug.
+            debug_assert!(
+                matches!(msg, Msg::Tick),
+                "message delivered to a retired client"
+            );
+            return;
+        }
         match msg {
             Msg::Start => {
                 debug_assert!(self.pending.is_none());
@@ -306,6 +335,15 @@ where
                 self.dispatch(now, out);
             }
             Msg::Result { txn, result } => self.handle_result(txn, result, now, ctx, out),
+            Msg::Tick => {
+                // Backoff wake-up: re-dispatch once the deadline passed.
+                // Early or spurious ticks (shared timer threads tick
+                // coarsely) are ignored; the backend keeps waking us.
+                if matches!(self.retry_at, Some(at) if now >= at) {
+                    self.retry_at = None;
+                    self.dispatch(now, out);
+                }
+            }
             Msg::FragResponse(r) => {
                 debug_assert!(self.scratch.is_empty());
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -318,6 +356,21 @@ where
                 for o in scratch.drain(..) {
                     push_coord_out(o, out);
                 }
+                self.scratch = scratch;
+                if let Some((txn, result)) = decided {
+                    self.handle_result(txn, result, now, ctx, out);
+                }
+            }
+            Msg::DecisionAck { txn, partition } => {
+                // Durable release (locking): a participant durably logged
+                // our commit decision; the final ack releases the parked
+                // result.
+                debug_assert!(self.scratch.is_empty());
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.driver.on_decision_ack(txn, partition, &mut scratch);
+                let _ = self.driver.take_cpu();
+                let decided = TxnDriver::take_result(&mut scratch);
+                debug_assert!(scratch.is_empty(), "acks emit only the held result");
                 self.scratch = scratch;
                 if let Some((txn, result)) = decided {
                     self.handle_result(txn, result, now, ctx, out);
@@ -348,12 +401,14 @@ where
             .core
             .on_result_at(&result, self.submitted_at, now, record)
         {
-            NextAction::Retry => {
+            NextAction::Retry { after } => {
                 // Fixed-work clients must drive every request to a final
                 // outcome (the reproducibility contract); timed clients
                 // honour the stop flag instead.
                 if self.remaining.is_none() && ctx.ctl.stop.load(Ordering::Relaxed) {
                     self.retire(ctx);
+                } else if after > Nanos::ZERO {
+                    self.retry_at = Some(now + after);
                 } else {
                     self.dispatch(now, out);
                 }
@@ -468,10 +523,13 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
         costs: CostModel,
         id: CoordinatorId,
         track_in_doubt: bool,
+        hold_results: bool,
         expiry: Option<Nanos>,
     ) -> Self {
+        let mut coord = Coordinator::shard(costs, id, track_in_doubt);
+        coord.set_hold_results(hold_results);
         CoordinatorActor {
-            coord: Coordinator::shard(costs, id, track_in_doubt),
+            coord,
             expiry,
             scratch: Vec::new(),
         }
@@ -508,7 +566,10 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
                     .coord
                     .on_partition_failed(partition, epoch, &mut self.scratch);
             }
-            Msg::DecisionAck { txn, partition } => self.coord.on_decision_ack(txn, partition),
+            Msg::DecisionAck { txn, partition } => {
+                self.coord
+                    .on_decision_ack(txn, partition, &mut self.scratch)
+            }
             _ => debug_assert!(false, "unexpected message at coordinator"),
         }
         let _ = self.coord.take_cpu();
@@ -617,6 +678,45 @@ enum Role<E: ExecutionEngine> {
     Recovering,
 }
 
+/// Durable command-log state owned by a primary when
+/// `SystemConfig::durability` is on.
+///
+/// The primary appends one framed commit record per committed transaction
+/// and syncs in batches under the shared [`GroupCommit`] policy. Committed
+/// single-partition results park in `held` until their record's batch is
+/// durable; 2PC decision acks park in `pending_acks` the same way, which
+/// transitively parks the result the coordinator (or the locking client's
+/// driver) is holding for the transaction.
+struct Durability<E: ExecutionEngine> {
+    log: MemLog,
+    gc: GroupCommit,
+    /// Log seq of each appended-but-not-yet-released commit record.
+    logged_seq: FxHashMap<TxnId, u64>,
+    /// Committed single-partition results awaiting durability, in log-seq
+    /// order (commit order == append order, so pushes stay sorted).
+    held: VecDeque<(u64, ClientId, TxnId, TxnResult<E::Output>)>,
+    /// Deferred 2PC decision acks awaiting durability, in log-seq order.
+    pending_acks: VecDeque<(u64, TxnId, CoordinatorRef)>,
+    /// Stall-guard watermark: records at or below this seq belong to a
+    /// batch the guard abandoned — their transactions were bounced with
+    /// `LogStalled` (or their acks released undurable) and must not park
+    /// again when a late result shows up.
+    abandoned_below: u64,
+}
+
+impl<E: ExecutionEngine> Durability<E> {
+    fn new(cfg: DurabilityConfig) -> Self {
+        Durability {
+            log: MemLog::new(),
+            gc: GroupCommit::new(cfg),
+            logged_seq: FxHashMap::default(),
+            held: VecDeque::new(),
+            pending_acks: VecDeque::new(),
+            abandoned_below: 0,
+        }
+    }
+}
+
 /// What a replica thread/slot hands back at shutdown.
 pub struct ReplicaParts<E> {
     pub group: PartitionId,
@@ -628,6 +728,12 @@ pub struct ReplicaParts<E> {
     pub is_backup: bool,
     pub sched: SchedulerCounters,
     pub repl: ReplicationCounters,
+    /// Framed bytes of the node's durable command log after a final clean
+    /// sync (primary with durability on; `None` otherwise).
+    pub log_image: Option<Vec<u8>>,
+    /// Durable-log counters (all zero when durability was off or the node
+    /// never served as a logging primary).
+    pub dur: DurabilityCounters,
 }
 
 /// One physical replica node (paper §2.3's single-threaded partition
@@ -642,6 +748,10 @@ pub struct ReplicaActor<E: ExecutionEngine> {
     /// Crash after shipping this many commit records (fault injection;
     /// armed only on the initial primary of the failed group).
     crash_after: Option<u64>,
+    /// Durable command log + group-commit state (primary with durability
+    /// on; a node promoted mid-run starts a fresh log — the prefix it
+    /// applied as a backup is covered by the dead primary's log).
+    dur: Option<Durability<E>>,
     outbox: Outbox<E::Output>,
     scratch: Vec<PartitionOut<E::Output>>,
     /// Scheduler counters accumulated across roles (a promoted node keeps
@@ -666,10 +776,13 @@ where
         crash_after: Option<u64>,
     ) -> Self {
         let replicate = system.replication > 1;
+        let durable = system.durability.is_some();
         let role = if slot == 0 {
             Role::Primary {
                 sched: make_scheduler_send::<E>(system, group),
-                session: replicate.then(ReplicationSession::new),
+                // The session builds the commit records; the durable log
+                // needs them even with replication off.
+                session: (replicate || durable).then(ReplicationSession::new),
                 targets: (1..system.replication).collect(),
                 acks: {
                     let mut a = AckTracker::new();
@@ -699,6 +812,9 @@ where
             role,
             epoch: 0,
             crash_after,
+            dur: (slot == 0)
+                .then(|| system.durability.map(Durability::new))
+                .flatten(),
             outbox: Outbox::new(system.costs),
             scratch: Vec::new(),
             sched_counters: SchedulerCounters::default(),
@@ -718,6 +834,19 @@ where
             }
             Role::Failed | Role::Recovering => (false, false),
         };
+        // Close the durable log cleanly: one final sync so the harvested
+        // image's durable prefix covers everything appended before
+        // shutdown (held results were all released during the run; this
+        // only settles the trailing partial batch).
+        let (log_image, dur) = match self.dur.take() {
+            Some(mut d) => {
+                if d.gc.pending() > 0 && d.log.sync().is_ok() {
+                    d.gc.on_synced();
+                }
+                (Some(d.log.full_image()), d.gc.counters)
+            }
+            None => (None, DurabilityCounters::default()),
+        };
         ReplicaParts {
             group: self.group,
             slot: self.slot,
@@ -726,6 +855,8 @@ where
             is_backup,
             sched: self.sched_counters,
             repl: self.repl_counters,
+            log_image,
+            dur,
         }
     }
 
@@ -761,6 +892,21 @@ where
         });
     }
 
+    /// Route a decision ack to whoever coordinated the transaction (a
+    /// central shard or, for client-driven 2PC, the client's driver).
+    fn emit_decision_ack(&self, txn: TxnId, ack_to: CoordinatorRef, out: &mut Vec<OutMsg<E>>) {
+        out.push(OutMsg {
+            dest: match ack_to {
+                CoordinatorRef::Central(k) => ActorId::Coordinator(k),
+                CoordinatorRef::Client(c) => ActorId::Client(c),
+            },
+            msg: Msg::DecisionAck {
+                txn,
+                partition: self.group,
+            },
+        });
+    }
+
     /// The injected crash: flush results whose records are already at the
     /// backups, bounce everything still in flight, notify the coordinator
     /// (the "failure detector"), and go dark.
@@ -792,6 +938,21 @@ where
                 }
             }
         }
+        // The log dies with the node, but everything it was parking gates
+        // on records the backups already replayed (failure injection
+        // requires replication): release rather than lose them — a crashed
+        // primary falls back on replication as its durability story.
+        if let Some(mut dur) = self.dur.take() {
+            for (_, client, txn, result) in dur.held.drain(..) {
+                out.push(OutMsg {
+                    dest: ActorId::Client(client),
+                    msg: Msg::Result { txn, result },
+                });
+            }
+            for (_, txn, ack_to) in dur.pending_acks.drain(..) {
+                self.emit_decision_ack(txn, ack_to, out);
+            }
+        }
         self.repl_counters.failed_at_ns = now.0;
         out.push(OutMsg {
             dest: ActorId::Membership,
@@ -802,39 +963,192 @@ where
     }
 
     /// Primary-side: the transaction committed here — ship its commit
-    /// record to every backup and remember its seq for the hold decision.
-    fn ship_commit(&mut self, txn: TxnId, out: &mut Vec<OutMsg<E>>) {
-        let Role::Primary {
-            session: Some(session),
-            targets,
-            shipped_seq,
-            ..
-        } = &mut self.role
-        else {
-            return;
-        };
-        let Some(record) = session.on_commit(txn) else {
-            return;
-        };
-        shipped_seq.insert(txn, record.seq);
-        self.repl_counters.records_shipped += 1;
-        // Clone per extra backup; the last (commonly only) target moves
-        // the record — zero allocations on the k=1 hot path.
-        if let Some((&last, rest)) = targets.split_last() {
-            for &slot in rest {
+    /// record to every backup, remember its seq for the hold decision, and
+    /// append it to the durable log.
+    fn ship_commit(&mut self, txn: TxnId, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        let mut log_bytes: Option<Vec<u8>> = None;
+        {
+            let Role::Primary {
+                session: Some(session),
+                targets,
+                shipped_seq,
+                ..
+            } = &mut self.role
+            else {
+                return;
+            };
+            let Some(record) = session.on_commit(txn) else {
+                return;
+            };
+            if self.dur.is_some() {
+                log_bytes = Some(encode_to_vec(&record));
+            }
+            // Clone per extra backup; the last (commonly only) target moves
+            // the record — zero allocations on the k=1 hot path.
+            if let Some((&last, rest)) = targets.split_last() {
+                shipped_seq.insert(txn, record.seq);
+                self.repl_counters.records_shipped += 1;
+                for &slot in rest {
+                    out.push(OutMsg {
+                        dest: ActorId::Replica(self.group, slot),
+                        msg: Msg::Commit {
+                            from_slot: self.slot,
+                            record: record.clone(),
+                        },
+                    });
+                }
                 out.push(OutMsg {
-                    dest: ActorId::Replica(self.group, slot),
+                    dest: ActorId::Replica(self.group, last),
                     msg: Msg::Commit {
                         from_slot: self.slot,
-                        record: record.clone(),
+                        record,
                     },
                 });
             }
+        }
+        if let Some(bytes) = log_bytes {
+            self.log_append(txn, &bytes, now, out);
+        }
+    }
+
+    /// Append a committed transaction's record to the durable log and run
+    /// the group-commit policy. An append *error* (injected write failure)
+    /// leaves the record without durability: the transaction already
+    /// committed in the engine, so it is released as if durability were
+    /// off — the sim's fault harness pins the stricter bounce semantics.
+    fn log_append(&mut self, txn: TxnId, bytes: &[u8], now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        let Some(dur) = &mut self.dur else { return };
+        let Ok(seq) = dur.log.append(bytes) else {
+            return;
+        };
+        dur.logged_seq.insert(txn, seq);
+        if dur.gc.on_append(now) == FlushDecision::SyncNow {
+            self.sync_log(now, out);
+        }
+    }
+
+    /// Issue a log sync. In the live runtime the sync call is synchronous:
+    /// it either completes here — releasing everything its batch gated —
+    /// or fails (injected stall), in which case the batch stays pending
+    /// until the tick-driven stall guard gives up on it.
+    fn sync_log(&mut self, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        let Some(dur) = &mut self.dur else { return };
+        dur.gc.on_sync_issued(now);
+        if dur.log.sync().is_ok() {
+            dur.gc.on_synced();
+            self.release_durable(out);
+        }
+    }
+
+    /// Release parked results and deferred decision acks whose records are
+    /// under the log's durable watermark.
+    fn release_durable(&mut self, out: &mut Vec<OutMsg<E>>) {
+        let group = self.group;
+        let Some(dur) = &mut self.dur else { return };
+        let durable = dur.log.durable();
+        while let Some((seq, ..)) = dur.held.front() {
+            if *seq > durable {
+                break;
+            }
+            let (_, client, txn, result) = dur.held.pop_front().expect("checked front");
             out.push(OutMsg {
-                dest: ActorId::Replica(self.group, last),
-                msg: Msg::Commit {
-                    from_slot: self.slot,
-                    record,
+                dest: ActorId::Client(client),
+                msg: Msg::Result { txn, result },
+            });
+        }
+        while let Some((seq, ..)) = dur.pending_acks.front() {
+            if *seq > durable {
+                break;
+            }
+            let (_, txn, ack_to) = dur.pending_acks.pop_front().expect("checked front");
+            out.push(OutMsg {
+                dest: match ack_to {
+                    CoordinatorRef::Central(k) => ActorId::Coordinator(k),
+                    CoordinatorRef::Client(c) => ActorId::Client(c),
+                },
+                msg: Msg::DecisionAck {
+                    txn,
+                    partition: group,
+                },
+            });
+        }
+    }
+
+    /// Final durability gate for a committed result on its way to the
+    /// client: deliver if its record is durable (or durability is off /
+    /// the append failed), park until the batch syncs, or — for records in
+    /// a batch the stall guard abandoned — bounce with the retryable
+    /// `LogStalled`.
+    fn deliver_result(
+        &mut self,
+        client: ClientId,
+        txn: TxnId,
+        mut result: TxnResult<E::Output>,
+        out: &mut Vec<OutMsg<E>>,
+    ) {
+        if result.is_committed() {
+            if let Some(dur) = &mut self.dur {
+                if let Some(seq) = dur.logged_seq.remove(&txn) {
+                    if seq > dur.log.durable() {
+                        if seq <= dur.abandoned_below {
+                            dur.gc.counters.stalled_aborts += 1;
+                            result = TxnResult::Aborted(AbortReason::LogStalled);
+                        } else {
+                            dur.gc.counters.results_held += 1;
+                            dur.held.push_back((seq, client, txn, result));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(OutMsg {
+            dest: ActorId::Client(client),
+            msg: Msg::Result { txn, result },
+        });
+    }
+
+    /// Tick-driven log maintenance: flush a batch whose group-commit
+    /// interval elapsed, then fire the stall guard if the oldest unsynced
+    /// append blew past the sync deadline — bounce every parked result
+    /// with `LogStalled`, release the deferred acks (giving up durability
+    /// for those decisions rather than wedging 2PC), and wipe the batch
+    /// slate so the log can accept new work.
+    fn poll_log(&mut self, now: Nanos, out: &mut Vec<OutMsg<E>>) {
+        let flush = match &mut self.dur {
+            Some(dur) => dur.gc.poll(now) == FlushDecision::SyncNow,
+            None => return,
+        };
+        if flush {
+            self.sync_log(now, out);
+        }
+        let group = self.group;
+        let Some(dur) = &mut self.dur else { return };
+        if !dur.gc.stalled(now) {
+            return;
+        }
+        dur.abandoned_below = dur.log.appended();
+        let victims: Vec<_> = dur.held.drain(..).collect();
+        let acks: Vec<_> = dur.pending_acks.drain(..).collect();
+        dur.gc.on_stall_abort(victims.len() as u64);
+        for (_, client, txn, _) in victims {
+            out.push(OutMsg {
+                dest: ActorId::Client(client),
+                msg: Msg::Result {
+                    txn,
+                    result: TxnResult::Aborted(AbortReason::LogStalled),
+                },
+            });
+        }
+        for (_, txn, ack_to) in acks {
+            out.push(OutMsg {
+                dest: match ack_to {
+                    CoordinatorRef::Central(k) => ActorId::Coordinator(k),
+                    CoordinatorRef::Client(c) => ActorId::Client(c),
+                },
+                msg: Msg::DecisionAck {
+                    txn,
+                    partition: group,
                 },
             });
         }
@@ -932,7 +1246,7 @@ where
             }
             Msg::Decision(d, ack_to) => {
                 if d.commit {
-                    self.ship_commit(d.txn, out);
+                    self.ship_commit(d.txn, now, out);
                 } else if let Role::Primary {
                     session: Some(session),
                     ..
@@ -950,50 +1264,74 @@ where
                 // transaction that died with a crashed predecessor) must
                 // NOT be acked — acking it would falsely resolve the very
                 // window the redelivery machinery is about to close.
-                if let Some(shard) = ack_to {
-                    let Role::Primary { sched, .. } = &self.role else {
-                        unreachable!()
+                if let Some(ack_to) = ack_to {
+                    let clean = {
+                        let Role::Primary { sched, .. } = &self.role else {
+                            unreachable!()
+                        };
+                        d.commit && sched.counters().stray_decisions == strays_before
                     };
-                    if d.commit && sched.counters().stray_decisions == strays_before {
-                        out.push(OutMsg {
-                            dest: ActorId::Coordinator(shard),
-                            msg: Msg::DecisionAck {
-                                txn: d.txn,
-                                partition: self.group,
+                    if clean {
+                        // With durability on, defer the ack until the
+                        // record's batch syncs — the coordinator (or the
+                        // locking client's driver) is holding the
+                        // committed result until every participant acks.
+                        let deferred = match &mut self.dur {
+                            Some(dur) => match dur.logged_seq.remove(&d.txn) {
+                                Some(seq)
+                                    if seq > dur.log.durable() && seq > dur.abandoned_below =>
+                                {
+                                    dur.pending_acks.push_back((seq, d.txn, ack_to));
+                                    true
+                                }
+                                _ => false,
                             },
-                        });
+                            None => false,
+                        };
+                        if !deferred {
+                            self.emit_decision_ack(d.txn, ack_to, out);
+                        }
                     }
                 }
             }
             Msg::Tick => {
-                let Role::Primary { sched, .. } = &mut self.role else {
-                    unreachable!()
-                };
-                let _ = sched.on_tick(&mut self.engine, now, &mut self.outbox);
+                {
+                    let Role::Primary { sched, .. } = &mut self.role else {
+                        unreachable!()
+                    };
+                    let _ = sched.on_tick(&mut self.engine, now, &mut self.outbox);
+                }
+                self.poll_log(now, out);
             }
             Msg::CommitAck { slot, seq } => {
-                let Role::Primary {
-                    acks,
-                    held,
-                    shipped_seq,
-                    ..
-                } = &mut self.role
-                else {
-                    unreachable!()
-                };
-                acks.on_ack(slot as usize, seq);
-                let watermark = acks.min_acked();
-                while let Some((required, ..)) = held.front() {
-                    if *required > watermark {
-                        break;
+                let mut released = Vec::new();
+                {
+                    let Role::Primary {
+                        acks,
+                        held,
+                        shipped_seq,
+                        ..
+                    } = &mut self.role
+                    else {
+                        unreachable!()
+                    };
+                    acks.on_ack(slot as usize, seq);
+                    let watermark = acks.min_acked();
+                    while let Some((required, ..)) = held.front() {
+                        if *required > watermark {
+                            break;
+                        }
+                        let entry = held.pop_front().expect("checked front");
+                        released.push(entry);
                     }
-                    let (_, client, txn, result) = held.pop_front().expect("checked front");
-                    out.push(OutMsg {
-                        dest: ActorId::Client(client),
-                        msg: Msg::Result { txn, result },
-                    });
+                    shipped_seq.retain(|_, s| *s > watermark);
                 }
-                shipped_seq.retain(|_, s| *s > watermark);
+                // A result clears the replication gate first, then the
+                // durability gate (it may park again until its batch
+                // syncs).
+                for (_, client, txn, result) in released {
+                    self.deliver_result(client, txn, result, out);
+                }
                 return; // pure bookkeeping: no scheduler outputs to drain
             }
             Msg::Promote { .. } => {
@@ -1048,7 +1386,7 @@ where
                     result,
                 } => {
                     if result.is_committed() {
-                        self.ship_commit(txn, out);
+                        self.ship_commit(txn, now, out);
                     } else if let Role::Primary {
                         session: Some(session),
                         ..
@@ -1056,23 +1394,28 @@ where
                     {
                         session.on_abort(txn);
                     }
-                    let Role::Primary {
-                        acks,
-                        held,
-                        shipped_seq,
-                        ..
-                    } = &mut self.role
-                    else {
-                        unreachable!()
+                    // Replication gate first; a result under the acked
+                    // watermark still has to clear the durability gate.
+                    let repl_hold = {
+                        let Role::Primary {
+                            acks, shipped_seq, ..
+                        } = &self.role
+                        else {
+                            unreachable!()
+                        };
+                        shipped_seq
+                            .get(&txn)
+                            .copied()
+                            .filter(|&seq| seq > acks.min_acked())
                     };
-                    match shipped_seq.get(&txn) {
-                        Some(&seq) if seq > acks.min_acked() => {
+                    match repl_hold {
+                        Some(seq) => {
+                            let Role::Primary { held, .. } = &mut self.role else {
+                                unreachable!()
+                            };
                             held.push_back((seq, client, txn, result));
                         }
-                        _ => out.push(OutMsg {
-                            dest: ActorId::Client(client),
-                            msg: Msg::Result { txn, result },
-                        }),
+                        None => self.deliver_result(client, txn, result, out),
                     }
                 }
                 PartitionOut::ToCoordinator { dest, response } => {
@@ -1162,6 +1505,11 @@ where
                     shipped_seq: FxHashMap::default(),
                     applied,
                 };
+                // A promoted primary logs from here on into a fresh log;
+                // the prefix it applied as a backup lives in the dead
+                // node's log (correlated-crash recovery of a failed-over
+                // group needs both, which the harness does not exercise).
+                self.dur = self.system.durability.map(Durability::new);
             }
             // A fragment can only arrive here through the membership flip
             // racing ahead of the promotion, which the coordinator's

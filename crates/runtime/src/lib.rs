@@ -43,7 +43,9 @@ pub use multiplexed::MultiplexedBackend;
 pub use threaded::ThreadedBackend;
 
 use crate::actors::ReplicaParts;
-use hcc_common::stats::{LatencySummary, ReplicationCounters, SchedulerCounters};
+use hcc_common::stats::{
+    DurabilityCounters, LatencySummary, ReplicationCounters, SchedulerCounters,
+};
 use hcc_common::{FailurePlan, Nanos, PartitionId, SystemConfig};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
@@ -189,6 +191,13 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     /// (group, slot) order — after a recovery this includes the rejoined
     /// node.
     pub backups: Vec<E>,
+    /// Durable-log counters summed across all logging primaries (all zero
+    /// when `SystemConfig::durability` is off).
+    pub durability: DurabilityCounters,
+    /// Final framed command-log image per group after a clean shutdown
+    /// sync (`None` per group when durability is off, or for a group whose
+    /// run-ending primary never logged — e.g. torn down mid-failover).
+    pub logs: Vec<Option<Vec<u8>>>,
 }
 
 impl<E: ExecutionEngine> RuntimeReport<E> {
@@ -247,21 +256,32 @@ pub(crate) fn now_ns(epoch: Instant) -> Nanos {
 pub(crate) fn assemble_replicas<E: ExecutionEngine>(
     mut parts: Vec<ReplicaParts<E>>,
     groups: usize,
-) -> (Vec<E>, Vec<E>, SchedulerCounters, ReplicationCounters) {
+) -> (
+    Vec<E>,
+    Vec<E>,
+    SchedulerCounters,
+    ReplicationCounters,
+    DurabilityCounters,
+    Vec<Option<Vec<u8>>>,
+) {
     parts.sort_by_key(|p| (p.group, p.slot));
     let mut sched = SchedulerCounters::default();
     let mut repl = ReplicationCounters::default();
+    let mut dur = DurabilityCounters::default();
     let mut engines: Vec<Option<E>> = (0..groups).map(|_| None).collect();
+    let mut logs: Vec<Option<Vec<u8>>> = (0..groups).map(|_| None).collect();
     let mut backups = Vec::new();
     for part in parts {
         sched.merge(&part.sched);
         repl.merge(&part.repl);
+        dur.merge(&part.dur);
         if part.is_primary {
             let slot = engines
                 .get_mut(part.group.as_usize())
                 .expect("group in range");
             debug_assert!(slot.is_none(), "two primaries in one group");
             *slot = Some(part.engine);
+            logs[part.group.as_usize()] = part.log_image;
         } else if part.is_backup {
             backups.push(part.engine);
         }
@@ -273,7 +293,7 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
         .into_iter()
         .map(|e| e.expect("every group has a primary"))
         .collect();
-    (engines, backups, sched, repl)
+    (engines, backups, sched, repl, dur, logs)
 }
 
 /// Finish a report from the pieces every backend harvests.
@@ -287,6 +307,8 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
     replication: ReplicationCounters,
     engines: Vec<E>,
     backups: Vec<E>,
+    durability: DurabilityCounters,
+    logs: Vec<Option<Vec<u8>>>,
 ) -> RuntimeReport<E> {
     let (committed, secs) = match mode {
         RunMode::Timed { measure, .. } => (committed_in_window, measure.as_secs_f64()),
@@ -300,6 +322,8 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
         replication,
         engines,
         backups,
+        durability,
+        logs,
     }
 }
 

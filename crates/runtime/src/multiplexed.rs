@@ -257,6 +257,7 @@ impl Backend for MultiplexedBackend {
                     system.costs,
                     CoordinatorId(k as u32),
                     track_in_doubt,
+                    system.durability.is_some(),
                     coord_expiry,
                 ),
             ))));
@@ -318,12 +319,22 @@ impl Backend for MultiplexedBackend {
         // until every client has retired (after which no transaction can
         // be waiting on a lock or a cross-shard chain).
         let timer_stop = Arc::new(AtomicBool::new(false));
-        let tick_partitions = system.scheme == Scheme::Locking;
+        let tick_partitions = system.scheme == Scheme::Locking || system.durability.is_some();
         let tick_coords = shards > 1;
-        let timer = (tick_partitions || tick_coords).then(|| {
+        // Clients park during backoff retries (infrastructure aborts) and
+        // need a wake-up tick; only configurations that can produce such
+        // aborts pay for the ticking.
+        let tick_clients = system.replication > 1 || shards > 1 || system.durability.is_some();
+        let timer = (tick_partitions || tick_coords || tick_clients).then(|| {
             let shared = shared.clone();
             let stop = timer_stop.clone();
-            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4).max(
+            let mut tick_nanos = system.lock_timeout.0 / 4;
+            if let Some(d) = system.durability {
+                // Group-commit flushes ride the same timer; tick at least
+                // twice per interval so batch latency stays near the knob.
+                tick_nanos = tick_nanos.min(d.group_commit_interval.0 / 2);
+            }
+            let tick_every = Duration::from_nanos(tick_nanos).max(
                 // Don't busy-spin on sub-microsecond timeouts.
                 Duration::from_micros(100),
             );
@@ -343,6 +354,14 @@ impl Backend for MultiplexedBackend {
                         for k in 0..shards {
                             shared.send(OutMsg {
                                 dest: ActorId::Coordinator(CoordinatorId(k as u32)),
+                                msg: Msg::Tick,
+                            });
+                        }
+                    }
+                    if tick_clients {
+                        for c in 0..shared.clients {
+                            shared.send(OutMsg {
+                                dest: ActorId::Client(ClientId(c as u32)),
                                 msg: Msg::Tick,
                             });
                         }
@@ -410,7 +429,7 @@ impl Backend for MultiplexedBackend {
                 AnyActor::Replica(r) => parts.push(r.into_parts()),
             }
         }
-        let (engines, backups, sched, repl) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs) = assemble_replicas(parts, n);
 
         finish_report(
             &cfg.mode,
@@ -421,6 +440,8 @@ impl Backend for MultiplexedBackend {
             repl,
             engines,
             backups,
+            dur,
+            logs,
         )
     }
 }

@@ -188,8 +188,15 @@ impl Backend for ThreadedBackend {
                 ReplicaActor::new(group, s as u32, system, build_engine(group), crash_after);
             let router = router.clone();
             let ctl = ctl.clone();
-            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
-            let ticks = system.scheme == Scheme::Locking;
+            // Locking needs lock-timeout scans; durability needs group-commit
+            // flush polls (at least twice per interval, floored to keep the
+            // wake-up rate sane).
+            let mut tick_nanos = system.lock_timeout.0 / 4;
+            if let Some(d) = system.durability {
+                tick_nanos = tick_nanos.min(d.group_commit_interval.0 / 2);
+            }
+            let tick_every = Duration::from_nanos(tick_nanos.max(100_000));
+            let ticks = system.scheme == Scheme::Locking || system.durability.is_some();
             replica_handles[p][s] = Some(std::thread::spawn(move || {
                 replica_thread(actor, rx, router, ctl, epoch, ticks, tick_every)
             }));
@@ -205,6 +212,7 @@ impl Backend for ThreadedBackend {
                 system.costs,
                 CoordinatorId(k as u32),
                 track_in_doubt,
+                system.durability.is_some(),
                 coord_expiry,
             );
             let router = router.clone();
@@ -263,16 +271,27 @@ impl Backend for ThreadedBackend {
                     ctl: &ctl,
                 };
                 let mut buf = Vec::new();
-                while let Ok(wire) = rx.recv() {
-                    match wire {
-                        Wire::Actor(msg) => {
-                            actor.step(msg, now_ns(epoch), &ctx, &mut buf);
-                            router.route(&mut buf);
-                            if actor.done() {
-                                break;
+                loop {
+                    // A parked backoff retry turns the receive into a timed
+                    // wait; the timeout wakes the actor with a Tick.
+                    let msg = match actor.retry_wake() {
+                        Some(at) => {
+                            let wait = Duration::from_nanos(at.0.saturating_sub(now_ns(epoch).0));
+                            match rx.recv_timeout(wait) {
+                                Ok(Wire::Actor(m)) => m,
+                                Ok(Wire::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                                Err(RecvTimeoutError::Timeout) => Msg::Tick,
                             }
                         }
-                        Wire::Shutdown => break,
+                        None => match rx.recv() {
+                            Ok(Wire::Actor(m)) => m,
+                            _ => break,
+                        },
+                    };
+                    actor.step(msg, now_ns(epoch), &ctx, &mut buf);
+                    router.route(&mut buf);
+                    if actor.done() {
+                        break;
                     }
                 }
                 actor.into_stats()
@@ -344,7 +363,7 @@ impl Backend for ThreadedBackend {
                 parts.push(h.join().expect("replica thread"));
             }
         }
-        let (engines, backups, sched, repl) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs) = assemble_replicas(parts, n);
 
         finish_report(
             &cfg.mode,
@@ -355,6 +374,8 @@ impl Backend for ThreadedBackend {
             repl,
             engines,
             backups,
+            dur,
+            logs,
         )
     }
 }

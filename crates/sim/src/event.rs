@@ -1,17 +1,19 @@
 //! Event queue plumbing.
 
 use hcc_common::{
-    ClientId, CoordinatorId, Decision, FragmentResponse, FragmentTask, Nanos, PartitionId, TxnId,
+    ClientId, CoordinatorId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos,
+    PartitionId, TxnId,
 };
 use hcc_core::{ExecutionEngine, Procedure};
 use std::cmp::Ordering;
 
 /// A message delivered to a partition. The decision's second field is the
-/// coordinator shard expecting an ack for a processed commit (in-doubt
-/// tracking; `None` otherwise).
+/// coordinator (central shard or client driver) expecting an ack for a
+/// processed commit (in-doubt tracking / durable release; `None`
+/// otherwise).
 pub enum PartIn<F> {
     Fragment(FragmentTask<F>),
-    Decision(Decision, Option<CoordinatorId>),
+    Decision(Decision, Option<CoordinatorRef>),
 }
 
 /// A message delivered to one central coordinator shard.
@@ -68,6 +70,22 @@ pub enum Ev<E: ExecutionEngine> {
     },
     /// Scheduler maintenance (lock-wait timeout scan).
     Tick {
+        p: PartitionId,
+    },
+    /// Group-commit flush deadline for partition `p`'s durable log: the
+    /// oldest unsynced record has waited a full group-commit interval.
+    SyncDue {
+        p: PartitionId,
+    },
+    /// A previously issued log sync for partition `p` completes
+    /// (`DurabilityConfig::sync_latency` after it was issued).
+    SyncDone {
+        p: PartitionId,
+    },
+    /// Stall-guard check: if partition `p`'s oldest unsynced append is
+    /// still not durable past the sync deadline, the in-flight batch is
+    /// aborted with `LogStalled`.
+    StallCheck {
         p: PartitionId,
     },
     /// Failover injection: kill p's primary and promote its replica.

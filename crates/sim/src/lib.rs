@@ -35,4 +35,4 @@ mod report;
 mod simulation;
 
 pub use report::SimReport;
-pub use simulation::{run_with, SimConfig, SimFailover, Simulation};
+pub use simulation::{run_with, CrashHarvest, SimConfig, SimFailover, Simulation};

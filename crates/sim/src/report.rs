@@ -1,6 +1,8 @@
 //! Results of a simulation run.
 
-use hcc_common::stats::{LatencyHistogram, ReplicationCounters, SchedulerCounters};
+use hcc_common::stats::{
+    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+};
 use hcc_common::Nanos;
 use hcc_core::coordinator::CoordCounters;
 
@@ -12,6 +14,16 @@ pub struct SimReport {
     pub user_aborts: u64,
     /// Scheduling-abort retries during the window (deadlock, timeout).
     pub retries: u64,
+    /// Retries (whole run) that waited out a capped-exponential backoff
+    /// delay first — infrastructure aborts (`PartitionFailed`,
+    /// `CrossCoordinator`, `LogStalled`) under `RetryConfig`.
+    pub backoff_retries: u64,
+    /// Requests abandoned after `RetryConfig::max_attempts` consecutive
+    /// retryable aborts (whole run; reported to clients as final aborts).
+    pub retry_exhausted: u64,
+    /// Durable command-log counters (whole run; all zero when
+    /// `SystemConfig::durability` is off).
+    pub durability: DurabilityCounters,
     /// Committed multi-partition transactions during the window.
     pub committed_mp: u64,
     /// Committed transactions ÷ window length.

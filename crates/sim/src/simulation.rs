@@ -2,10 +2,13 @@
 
 use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
-use hcc_common::stats::{LatencyHistogram, ReplicationCounters, SchedulerCounters};
+use hcc_common::codec::encode_to_vec;
+use hcc_common::stats::{
+    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+};
 use hcc_common::{
-    AbortReason, ClientId, CoordinatorId, CoordinatorRef, FragmentTask, FxHashSet, Nanos,
-    PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+    AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, FragmentTask, FxHashMap,
+    FxHashSet, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordCounters, CoordOut, Coordinator};
@@ -13,8 +16,10 @@ use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{failover_bounce, FailoverBounce, ReplicaCore, ReplicationSession};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
-    make_scheduler, ExecutionEngine, Outbox, PartitionOut, Request, RequestGenerator, Scheduler,
+    make_scheduler, ExecutionEngine, FlushDecision, GroupCommit, Outbox, PartitionOut, Request,
+    RequestGenerator, Scheduler,
 };
+use hcc_storage::{DurableLog, FaultMode, MemLog};
 use std::collections::BinaryHeap;
 
 /// Simulation parameters: the system under test plus the measurement
@@ -109,18 +114,20 @@ struct SimClient<E: ExecutionEngine> {
     current_is_mp: bool,
     submitted_at: Nanos,
     busy: Nanos,
-    /// Consecutive `CrossCoordinator` bounces of the current request (for
-    /// retry backoff; reset on a final outcome).
-    cross_retries: u32,
 }
 
-/// Base backoff before retrying a `CrossCoordinator` bounce. Instant
-/// retries livelock in virtual time: every bounced client re-collides
-/// with the same still-active cross-shard chain in lockstep. Backing off
-/// a few chain-lifetimes (and staggering clients deterministically)
-/// spreads the retries so the chains can drain. Scaled by the attempt
-/// count, capped at 8×.
-const CROSS_RETRY_BACKOFF: Nanos = Nanos(150_000);
+/// Durability gate verdict for a committed result (see
+/// [`Simulation::durability_gate`]).
+enum DurGate {
+    /// Every participant record is durable: release the result.
+    Deliver,
+    /// Some record is appended but not yet synced (or not yet appended):
+    /// park the result until the sync completes.
+    Hold,
+    /// A record was abandoned (append failed, or its batch stall-aborted):
+    /// bounce the result with the retryable `LogStalled`.
+    Bounce,
+}
 
 /// One run of the system under a workload. Deterministic given the config
 /// and workload seed.
@@ -185,6 +192,41 @@ pub struct Simulation<W: RequestGenerator> {
     /// final primary and shadow states are comparable.
     draining: bool,
 
+    // --- Durability (SystemConfig::durability) ---------------------------
+    /// Durable command log + group-commit policy per partition. `None`
+    /// when durability is off (every path below is then inert, keeping
+    /// the golden event stream untouched).
+    logs: Option<Vec<(MemLog, GroupCommit)>>,
+    /// Whether a group-commit flush deadline event is already queued.
+    sync_due_pending: Vec<bool>,
+    /// Participants of each in-flight transaction, from delivered
+    /// fragments (the sim is omniscient: it knows which partitions must
+    /// log a record before the result may be released).
+    txn_parts: FxHashMap<TxnId, Vec<usize>>,
+    /// Log record seqs appended so far per in-flight transaction.
+    txn_seqs: FxHashMap<TxnId, Vec<(usize, u64)>>,
+    /// Committed results parked until every participant record is durable.
+    parked: FxHashMap<TxnId, (ClientId, TxnResult<<W::Engine as ExecutionEngine>::Output>)>,
+    /// Transactions whose log append failed (write-fault injection);
+    /// their committed result bounces with `LogStalled`.
+    append_failed: FxHashSet<TxnId>,
+    /// Per partition: records at or below this seq that are not durable
+    /// were abandoned by a stall abort — results depending on them bounce
+    /// instead of parking forever.
+    abandoned_below: Vec<u64>,
+    /// Sim-side durability counters (parked results, gate-time bounces);
+    /// group-commit counters merge in at report time.
+    dur: DurabilityCounters,
+    /// Crash harness: freeze the event loop right after the k-th commit
+    /// record (globally) is appended.
+    crash_at_append: Option<u64>,
+    appended_total: u64,
+    crashed: bool,
+    /// Pre-crash commit-record history per partition (crash harness only).
+    history: Option<Vec<Vec<CommitRecord<<W::Engine as ExecutionEngine>::Fragment>>>>,
+    /// Committed results actually released to clients (crash harness only).
+    acked: Vec<TxnId>,
+
     // Metrics.
     window_start: Nanos,
     window_end: Nanos,
@@ -237,14 +279,13 @@ where
             .collect();
         let clients = (0..cfg.system.clients)
             .map(|c| SimClient {
-                core: ClientCore::new(ClientId(c)),
+                core: ClientCore::with_retry(ClientId(c), cfg.system.retry),
                 pending: None,
                 driver: TxnDriver::new(cfg.system.costs, ClientId(c)),
                 current_txn: None,
                 current_is_mp: false,
                 submitted_at: Nanos::ZERO,
                 busy: Nanos::ZERO,
-                cross_retries: 0,
             })
             .collect();
         let window_start = cfg.warmup;
@@ -255,6 +296,7 @@ where
         // otherwise keeps the no-failure event stream (and the golden
         // determinism values) untouched.
         let track_in_doubt = cfg.failover.is_some();
+        let durability = cfg.system.durability;
         Simulation {
             coords: (0..shards)
                 .map(|k| {
@@ -282,6 +324,23 @@ where
             clients,
             replicas,
             draining: false,
+            logs: durability.map(|d| {
+                (0..n)
+                    .map(|_| (MemLog::new(), GroupCommit::new(d)))
+                    .collect()
+            }),
+            sync_due_pending: vec![false; n],
+            txn_parts: FxHashMap::default(),
+            txn_seqs: FxHashMap::default(),
+            parked: FxHashMap::default(),
+            append_failed: FxHashSet::default(),
+            abandoned_below: vec![0; n],
+            dur: DurabilityCounters::default(),
+            crash_at_append: None,
+            appended_total: 0,
+            crashed: false,
+            history: None,
+            acked: Vec::new(),
             sessions: (0..n).map(|_| ReplicationSession::new()).collect(),
             repl: ReplicationCounters::default(),
             sched_retired: SchedulerCounters::default(),
@@ -484,8 +543,17 @@ where
         p: usize,
         task: &FragmentTask<<W::Engine as ExecutionEngine>::Fragment>,
     ) {
-        if self.replicas.is_some() {
+        if self.replicas.is_some() || self.logs.is_some() {
             self.sessions[p].record_fragment(task);
+        }
+        if self.logs.is_some() {
+            // Omniscient participant tracking: the result gate knows which
+            // partitions must append (and sync) a record for this
+            // transaction before its committed result may be released.
+            let parts = self.txn_parts.entry(task.txn).or_default();
+            if !parts.contains(&p) {
+                parts.push(p);
+            }
         }
     }
 
@@ -496,24 +564,262 @@ where
     /// Replay is virtually instantaneous: the sim models the backup
     /// round-trip as added result latency (see `handle_partition`), not
     /// as replica compute.
-    fn replica_commit(&mut self, p: usize, txn: TxnId) {
-        let Some(replicas) = self.replicas.as_mut() else {
+    fn replica_commit(&mut self, p: usize, txn: TxnId, at: Nanos) {
+        if self.replicas.is_none() && self.logs.is_none() {
             return;
-        };
+        }
         let Some(record) = self.sessions[p].on_commit(txn) else {
             return;
         };
         self.repl.records_shipped += 1;
         // Between a kill and the rejoin the slot is empty: the record is
         // logged (seq advances) with no live consumer.
-        if let Some((core, engine)) = replicas[p].as_mut() {
-            let _ = core.apply(engine, &record);
+        if let Some(replicas) = self.replicas.as_mut() {
+            if let Some((core, engine)) = replicas[p].as_mut() {
+                let _ = core.apply(engine, &record);
+            }
         }
+        self.log_append(p, txn, &record, at);
     }
 
     fn replica_abort(&mut self, p: usize, txn: TxnId) {
-        if self.replicas.is_some() {
+        if self.replicas.is_some() || self.logs.is_some() {
             self.sessions[p].on_abort(txn);
+        }
+    }
+
+    /// Append a commit record to partition `p`'s durable command log:
+    /// group-commit bookkeeping, crash-harness accounting, and sync
+    /// scheduling. The record's seq in the log equals its replication
+    /// session seq (both are dense from 1, in the same append order).
+    fn log_append(
+        &mut self,
+        p: usize,
+        txn: TxnId,
+        record: &CommitRecord<<W::Engine as ExecutionEngine>::Fragment>,
+        at: Nanos,
+    ) {
+        if self.logs.is_none() || self.crashed {
+            return;
+        }
+        let appended = {
+            let log = &mut self.logs.as_mut().expect("checked above")[p].0;
+            log.append(&encode_to_vec(record))
+        };
+        let seq = match appended {
+            Ok(seq) => seq,
+            Err(_) => {
+                // Write-fault injection: the record never made it into the
+                // log; the committed result bounces with `LogStalled`.
+                self.append_failed.insert(txn);
+                return;
+            }
+        };
+        self.txn_seqs.entry(txn).or_default().push((p, seq));
+        self.appended_total += 1;
+        if let Some(h) = self.history.as_mut() {
+            h[p].push(record.clone());
+        }
+        if self.crash_at_append == Some(self.appended_total) {
+            // The whole partition group is killed at this commit index:
+            // the event loop freezes and only the durable log survives.
+            self.crashed = true;
+            return;
+        }
+        match self.logs.as_mut().expect("checked above")[p]
+            .1
+            .on_append(at)
+        {
+            FlushDecision::SyncNow => self.issue_sync(p, at),
+            FlushDecision::None => self.schedule_sync_due(p, at),
+        }
+    }
+
+    /// Schedule the group-commit flush deadline for partition `p` (at most
+    /// one outstanding per partition).
+    fn schedule_sync_due(&mut self, p: usize, at: Nanos) {
+        if self.sync_due_pending[p] {
+            return;
+        }
+        let Some(deadline) = self.logs.as_ref().expect("durability on")[p]
+            .1
+            .flush_deadline()
+        else {
+            return;
+        };
+        self.sync_due_pending[p] = true;
+        self.push(
+            deadline.max(at),
+            Ev::SyncDue {
+                p: PartitionId(p as u32),
+            },
+        );
+    }
+
+    /// Issue a log sync for partition `p`; it completes `sync_latency`
+    /// later ([`Ev::SyncDone`]).
+    fn issue_sync(&mut self, p: usize, at: Nanos) {
+        let latency = {
+            let gc = &mut self.logs.as_mut().expect("durability on")[p].1;
+            gc.on_sync_issued(at);
+            gc.config().sync_latency
+        };
+        self.push(
+            at + latency,
+            Ev::SyncDone {
+                p: PartitionId(p as u32),
+            },
+        );
+    }
+
+    fn handle_sync_due(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        self.sync_due_pending[pi] = false;
+        if self.logs.is_none() {
+            return;
+        }
+        match self.logs.as_mut().expect("checked above")[pi].1.poll(at) {
+            FlushDecision::SyncNow => self.issue_sync(pi, at),
+            // Batch drained early (size-triggered sync) or restarted:
+            // re-arm for the current deadline, if any.
+            FlushDecision::None => self.schedule_sync_due(pi, at),
+        }
+    }
+
+    fn handle_sync_done(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        if self.logs.is_none() {
+            return;
+        }
+        let synced = {
+            let (log, gc) = &mut self.logs.as_mut().expect("checked above")[pi];
+            match log.sync() {
+                Ok(_) => {
+                    gc.on_synced();
+                    true
+                }
+                Err(_) => false,
+            }
+        };
+        if synced {
+            // Records appended while the sync was in flight start a new
+            // batch; re-arm its flush deadline.
+            self.schedule_sync_due(pi, at);
+            self.release_parked(at);
+        } else {
+            // Stalled (or failing) device: arm the stall guard. When it
+            // fires, the batch aborts instead of wedging its clients.
+            if let Some(d) = self.logs.as_ref().expect("checked above")[pi]
+                .1
+                .stall_deadline()
+            {
+                self.push(d.max(at), Ev::StallCheck { p });
+            }
+        }
+    }
+
+    /// Release every parked result whose participant records are all
+    /// durable now.
+    fn release_parked(&mut self, at: Nanos) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let mut ready: Vec<TxnId> = self
+            .parked
+            .keys()
+            .filter(|t| matches!(self.durability_gate(**t), DurGate::Deliver))
+            .copied()
+            .collect();
+        ready.sort_unstable();
+        for t in ready {
+            let (c, result) = self.parked.remove(&t).expect("filtered above");
+            self.push(
+                at,
+                Ev::ToClient {
+                    c,
+                    msg: ClientIn::Result { txn: t, result },
+                },
+            );
+        }
+    }
+
+    fn handle_stall_check(&mut self, p: PartitionId, at: Nanos) {
+        let pi = p.as_usize();
+        let (durable, appended) = {
+            let Some(logs) = self.logs.as_ref() else {
+                return;
+            };
+            if !logs[pi].1.stalled(at) {
+                return;
+            }
+            (logs[pi].0.durable(), logs[pi].0.appended())
+        };
+        // Everything appended so far but not durable is abandoned: parked
+        // results waiting on those records bounce with the retryable
+        // `LogStalled` instead of wedging (results may reach the gate
+        // *after* this sweep — `abandoned_below` catches those).
+        self.abandoned_below[pi] = appended;
+        let mut victims: Vec<TxnId> = self
+            .parked
+            .keys()
+            .filter(|t| {
+                self.txn_seqs
+                    .get(t)
+                    .is_some_and(|v| v.iter().any(|(q, s)| *q == pi && *s > durable))
+            })
+            .copied()
+            .collect();
+        victims.sort_unstable();
+        let n = victims.len() as u64;
+        for t in victims {
+            let (c, _) = self.parked.remove(&t).expect("filtered above");
+            self.push(
+                at,
+                Ev::ToClient {
+                    c,
+                    msg: ClientIn::Result {
+                        txn: t,
+                        result: TxnResult::Aborted(AbortReason::LogStalled),
+                    },
+                },
+            );
+        }
+        self.logs.as_mut().expect("checked above")[pi]
+            .1
+            .on_stall_abort(n);
+    }
+
+    /// What the durability gate says about releasing `txn`'s committed
+    /// result right now.
+    fn durability_gate(&self, txn: TxnId) -> DurGate {
+        let Some(logs) = self.logs.as_ref() else {
+            return DurGate::Deliver;
+        };
+        if self.append_failed.contains(&txn) {
+            return DurGate::Bounce;
+        }
+        let Some(parts) = self.txn_parts.get(&txn) else {
+            return DurGate::Deliver;
+        };
+        let seqs = self.txn_seqs.get(&txn);
+        if seqs.map_or(0, Vec::len) < parts.len() {
+            // Some participants have not even appended yet (client-driven
+            // 2PC delivers the self-result before the decisions land).
+            return DurGate::Hold;
+        }
+        let mut hold = false;
+        for (p, s) in seqs.expect("nonempty above") {
+            if *s > logs[*p].0.durable() {
+                if *s <= self.abandoned_below[*p] {
+                    return DurGate::Bounce;
+                }
+                hold = true;
+            }
+        }
+        if hold {
+            DurGate::Hold
+        } else {
+            DurGate::Deliver
         }
     }
 
@@ -534,7 +840,7 @@ where
                     result,
                 } => {
                     match &result {
-                        TxnResult::Committed(_) => self.replica_commit(p, txn),
+                        TxnResult::Committed(_) => self.replica_commit(p, txn, depart),
                         TxnResult::Aborted(_) => self.replica_abort(p, txn),
                     }
                     Ev::ToClient {
@@ -581,7 +887,7 @@ where
         // asked (in-doubt tracking) — unless it was *stray* (a transaction
         // that died with a crashed predecessor), which must stay in doubt
         // so the redelivery machinery can close the window.
-        let mut ack: Option<(CoordinatorId, TxnId)> = None;
+        let mut ack: Option<(CoordinatorRef, TxnId)> = None;
         match msg {
             PartIn::Fragment(task) => {
                 // Exactly-once guard for in-doubt redelivery: a promoted
@@ -607,7 +913,7 @@ where
             }
             PartIn::Decision(d, ack_to) => {
                 if d.commit {
-                    self.replica_commit(pi, d.txn);
+                    self.replica_commit(pi, d.txn, start);
                 } else {
                     self.replica_abort(pi, d.txn);
                 }
@@ -632,14 +938,22 @@ where
         } else {
             end
         };
-        if let Some((k, txn)) = ack {
-            self.push(
-                depart + self.one_way(),
-                Ev::ToCoordinator {
-                    k,
-                    msg: CoordIn::DecisionAck { txn, partition: p },
-                },
-            );
+        if let Some((to, txn)) = ack {
+            match to {
+                CoordinatorRef::Central(k) => self.push(
+                    depart + self.one_way(),
+                    Ev::ToCoordinator {
+                        k,
+                        msg: CoordIn::DecisionAck { txn, partition: p },
+                    },
+                ),
+                // The sim gates result release omnisciently (see
+                // `durability_gate`) rather than through client-driver
+                // acks, so a client ack address never occurs here.
+                CoordinatorRef::Client(_) => {
+                    debug_assert!(false, "sim coordinators never demand client acks")
+                }
+            }
         }
         self.route_partition_out(pi, depart);
         // Locking needs periodic timeout scans while work is outstanding.
@@ -687,7 +1001,7 @@ where
                 let _ = self.coords[ki].on_partition_failed(partition, epoch, &mut out);
             }
             CoordIn::DecisionAck { txn, partition } => {
-                self.coords[ki].on_decision_ack(txn, partition);
+                self.coords[ki].on_decision_ack(txn, partition, &mut out);
             }
             CoordIn::Tick => {
                 if let Some((timeout, reason)) = self.coord_expiry() {
@@ -723,31 +1037,51 @@ where
     ) {
         let ci = c.as_usize();
         match msg {
-            ClientIn::Result { txn, result } => {
+            ClientIn::Result { txn, mut result } => {
                 debug_assert_eq!(self.clients[ci].current_txn, Some(txn), "stray result");
+                // Durability gate: a committed result is released only
+                // once every participant's commit record is durable. The
+                // release (or the stall-guard bounce) re-delivers through
+                // this same path.
+                if result.is_committed() && self.logs.is_some() {
+                    match self.durability_gate(txn) {
+                        DurGate::Deliver => {}
+                        DurGate::Hold => {
+                            self.dur.results_held += 1;
+                            self.parked.insert(txn, (c, result));
+                            return;
+                        }
+                        DurGate::Bounce => {
+                            self.append_failed.remove(&txn);
+                            self.dur.stalled_aborts += 1;
+                            result = TxnResult::Aborted(AbortReason::LogStalled);
+                        }
+                    }
+                }
+                if self.logs.is_some() {
+                    // Either outcome ends this transaction id (retries use
+                    // a fresh one): drop its gate bookkeeping.
+                    self.txn_parts.remove(&txn);
+                    self.txn_seqs.remove(&txn);
+                    if self.history.is_some() && result.is_committed() {
+                        self.acked.push(txn);
+                    }
+                }
                 let in_window = at >= self.window_start && at < self.window_end;
                 match self.clients[ci].core.on_result(&result) {
-                    NextAction::Retry => {
+                    // Infrastructure aborts (CrossCoordinator,
+                    // PartitionFailed, LogStalled) come back with a capped
+                    // exponential backoff computed by `ClientCore`;
+                    // scheduling aborts retry immediately (`after` = 0).
+                    // Instant retries of cross-shard bounces livelock in
+                    // virtual time — the jittered backoff breaks the
+                    // lockstep.
+                    NextAction::Retry { after } => {
                         if in_window {
                             self.retries += 1;
                         }
                         if !self.draining {
-                            let when = if matches!(
-                                &result,
-                                TxnResult::Aborted(AbortReason::CrossCoordinator)
-                            ) {
-                                let c = &mut self.clients[ci];
-                                c.cross_retries = (c.cross_retries + 1).min(8);
-                                // Deterministic per-client stagger breaks
-                                // the retry lockstep.
-                                at + Nanos(
-                                    CROSS_RETRY_BACKOFF.0 * c.cross_retries as u64
-                                        + (ci as u64 % 5) * 17_000,
-                                )
-                            } else {
-                                at
-                            };
-                            self.dispatch(ci, when);
+                            self.dispatch(ci, at + after);
                         }
                     }
                     NextAction::NewRequest => {
@@ -764,7 +1098,6 @@ where
                                 TxnResult::Aborted(_) => self.user_aborts += 1,
                             }
                         }
-                        self.clients[ci].cross_retries = 0;
                         self.workload.on_result(c, txn, result.is_committed());
                         if !self.draining {
                             let req = self.workload.next_request(c);
@@ -892,14 +1225,18 @@ where
             Ev::ToCoordinator { k, msg } => self.handle_coordinator(k, msg, at),
             Ev::ToClient { c, msg } => self.handle_client(c, msg, at),
             Ev::Tick { p } => self.handle_tick(p, at),
+            Ev::SyncDue { p } => self.handle_sync_due(p, at),
+            Ev::SyncDone { p } => self.handle_sync_done(p, at),
+            Ev::StallCheck { p } => self.handle_stall_check(p, at),
             Ev::Kill { p } => self.handle_kill(p, at),
             Ev::Rejoin { p } => self.handle_rejoin(p, at),
             Ev::Batch(_) => unreachable!("batches are never nested"),
         }
     }
 
-    /// Run to the end of the measurement window and report.
-    pub fn run(mut self) -> (SimReport, W, Vec<W::Engine>, Option<Vec<W::Engine>>) {
+    /// Kick off the clients and drain the event queue — to completion, or
+    /// until the crash harness freezes the group.
+    fn event_loop(&mut self) {
         if self.coord_expiry().is_some() {
             for ki in 0..self.coords.len() {
                 self.push(
@@ -928,6 +1265,12 @@ where
         // catch, not hang on).
         let drain_deadline = Nanos(end.0 + end.0 + Nanos::from_secs(10).0);
         while let Some(item) = self.queue.pop() {
+            if self.crashed {
+                // Crash-point harness: the whole group died mid-run. The
+                // queue's undelivered events (including unreleased
+                // results) die with it; only the durable logs survive.
+                return;
+            }
             if item.at >= end {
                 self.draining = true;
             }
@@ -945,6 +1288,11 @@ where
                 ev => self.dispatch_event(ev, item.at),
             }
         }
+    }
+
+    /// Run to the end of the measurement window and report.
+    pub fn run(mut self) -> (SimReport, W, Vec<W::Engine>, Option<Vec<W::Engine>>) {
+        self.event_loop();
         if cfg!(debug_assertions) {
             for (p, s) in self.scheds.iter().enumerate() {
                 // A crashed partition keeps whatever was in flight.
@@ -979,17 +1327,31 @@ where
             coord.merge(&c.counters);
         }
         let shards = self.coords.len() as f64;
+        let mut durability = self.dur;
+        if let Some(logs) = &self.logs {
+            for (_, gc) in logs {
+                durability.merge(&gc.counters);
+            }
+        }
+        let (mut backoff_retries, mut retry_exhausted) = (0u64, 0u64);
+        for c in &self.clients {
+            backoff_retries += c.core.stats.backoff_retries;
+            retry_exhausted += c.core.stats.retry_exhausted;
+        }
         let report = SimReport {
             committed: self.committed,
             user_aborts: self.user_aborts,
             retries: self.retries,
+            backoff_retries,
+            retry_exhausted,
+            durability,
             committed_mp: self.committed_mp,
             throughput_tps: self.committed as f64 / window,
             latency: self.latency,
             sched,
             coord,
             replication,
-            simulated: end,
+            simulated: self.window_end,
             events_processed: self.events,
             partition_utilization: self
                 .part_busy_in_window
@@ -1006,6 +1368,67 @@ where
         };
         (report, self.workload, self.engines, replicas)
     }
+
+    /// Inject a fault into partition `p`'s durable log (durability runs
+    /// only): torn tail, stalled syncs, or failing appends.
+    pub fn set_log_fault(&mut self, p: PartitionId, fault: FaultMode) {
+        self.logs.as_mut().expect("durability is on")[p.as_usize()]
+            .0
+            .fault = fault;
+    }
+
+    /// Crash-point harness: run normally until the `crash_at`-th commit
+    /// record (counted globally across partitions) is appended, then kill
+    /// the whole partition group on the spot — the event loop freezes,
+    /// every in-flight message (including unreleased results) is lost,
+    /// and only the durable logs survive. Returns what a recovery (and
+    /// its oracle) needs: the per-partition crash images, the durable
+    /// watermarks, the full pre-crash commit history, and the set of
+    /// results that were actually released to clients.
+    ///
+    /// Deterministic: the same config and seed crash at the same state
+    /// for every `crash_at`, so a sweep over k = 1..N exercises every
+    /// commit boundary.
+    pub fn run_to_crash(mut self, crash_at: u64) -> CrashHarvest<W::Engine> {
+        assert!(
+            self.logs.is_some(),
+            "run_to_crash requires SystemConfig::durability"
+        );
+        let n = self.engines.len();
+        self.crash_at_append = Some(crash_at);
+        self.history = Some((0..n).map(|_| Vec::new()).collect());
+        self.event_loop();
+        let mut logs = self.logs.take().expect("asserted above");
+        CrashHarvest {
+            crashed: self.crashed,
+            images: logs.iter_mut().map(|(l, _)| l.crash_image()).collect(),
+            durable: logs.iter().map(|(l, _)| l.durable()).collect(),
+            history: self.history.take().expect("set above"),
+            acked: std::mem::take(&mut self.acked),
+            appended: self.appended_total,
+        }
+    }
+}
+
+/// What survives a whole-group crash at a commit index (see
+/// [`Simulation::run_to_crash`]).
+pub struct CrashHarvest<E: ExecutionEngine> {
+    /// Whether the crash point was actually reached (false: the run
+    /// drained with fewer than `crash_at` commit records).
+    pub crashed: bool,
+    /// Per partition: the log image recovery reads — the durable prefix,
+    /// plus (with the torn-tail fault) a half-written trailing frame.
+    pub images: Vec<Vec<u8>>,
+    /// Per partition: records durable at the crash point.
+    pub durable: Vec<u64>,
+    /// Per partition: every commit record appended pre-crash, in order
+    /// (the oracle's reference for what each durable prefix replays to).
+    pub history: Vec<Vec<CommitRecord<E::Fragment>>>,
+    /// Transactions whose committed results were released to clients
+    /// pre-crash. Recovery must preserve every one of them.
+    pub acked: Vec<TxnId>,
+    /// Total commit records appended across partitions when the sim froze.
+    pub appended: u64,
 }
 
 /// Convenience: run a microbenchmark- or TPC-C-style workload where the

@@ -18,11 +18,13 @@
 //! non-speculative fast path the schedulers skip undo recording entirely,
 //! which is where the paper's low overhead comes from.
 
+pub mod durable;
 pub mod kv;
 pub mod ordered;
 pub mod table;
 pub mod tpcc;
 
+pub use durable::{decode_frames, DurableLog, FaultMode, FileLog, LogError, MemLog};
 pub use kv::{KvStore, KvUndo};
 pub use ordered::OrderedIndex;
 pub use table::Table;

@@ -18,7 +18,7 @@
 //!   transaction reads its keys in round 0 and writes them in round 1 —
 //!   same work, twice the messages.
 
-use hcc_common::{AbortReason, ClientId, FxHashMap, LockKey, PartitionId, TxnId};
+use hcc_common::{AbortReason, ClientId, FxHashMap, LockKey, LogEncode, PartitionId, TxnId};
 use hcc_core::{
     ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step,
 };
@@ -68,6 +68,66 @@ pub struct MicroFragment {
     pub ops: Vec<MicroOp>,
     /// Forced abort at the beginning of execution (§5.3).
     pub fail: bool,
+}
+
+impl LogEncode for MicroOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MicroOp::Rmw(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            MicroOp::Read(k) => {
+                out.push(1);
+                k.encode(out);
+            }
+            MicroOp::Write(k, v) => {
+                out.push(2);
+                k.encode(out);
+                v.encode(out);
+            }
+            MicroOp::Scan(s, e) => {
+                out.push(3);
+                s.encode(out);
+                e.encode(out);
+            }
+            MicroOp::Insert(k, v) => {
+                out.push(4);
+                k.encode(out);
+                v.encode(out);
+            }
+            MicroOp::Delete(k) => {
+                out.push(5);
+                k.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let (tag, rest) = input.split_first()?;
+        *input = rest;
+        Some(match tag {
+            0 => MicroOp::Rmw(u64::decode(input)?),
+            1 => MicroOp::Read(u64::decode(input)?),
+            2 => MicroOp::Write(u64::decode(input)?, u32::decode(input)?),
+            3 => MicroOp::Scan(u64::decode(input)?, u64::decode(input)?),
+            4 => MicroOp::Insert(u64::decode(input)?, u32::decode(input)?),
+            5 => MicroOp::Delete(u64::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+impl LogEncode for MicroFragment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+        self.fail.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(MicroFragment {
+            ops: Vec::decode(input)?,
+            fail: bool::decode(input)?,
+        })
+    }
 }
 
 /// Values read, in op order.

@@ -24,7 +24,7 @@
 //! records", §5.5).
 
 use hcc_common::FxHashMap;
-use hcc_common::{AbortReason, ClientId, LockKey, PartitionId, TxnId};
+use hcc_common::{AbortReason, ClientId, LockKey, LogEncode, PartitionId, TxnId};
 use hcc_core::{
     ExecOutcome, ExecutionEngine, Procedure, Request, RequestGenerator, RoundOutputs, Step,
 };
@@ -116,6 +116,179 @@ pub enum TpccFragment {
         /// makes it the scan-length knob of the scan-heavy experiments).
         depth: u32,
     },
+}
+
+impl LogEncode for OrderLineReq {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.i_id.encode(out);
+        self.supply_w_id.encode(out);
+        self.quantity.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(OrderLineReq {
+            i_id: IId::decode(input)?,
+            supply_w_id: WId::decode(input)?,
+            quantity: u8::decode(input)?,
+        })
+    }
+}
+
+impl LogEncode for CustomerSel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CustomerSel::ById(c) => {
+                out.push(0);
+                c.encode(out);
+            }
+            CustomerSel::ByName(name) => {
+                out.push(1);
+                name.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let (tag, rest) = input.split_first()?;
+        *input = rest;
+        Some(match tag {
+            0 => CustomerSel::ById(CId::decode(input)?),
+            1 => CustomerSel::ByName(String::decode(input)?),
+            _ => return None,
+        })
+    }
+}
+
+impl LogEncode for TpccFragment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TpccFragment::NewOrderHome {
+                w_id,
+                d_id,
+                c_id,
+                lines,
+            } => {
+                out.push(0);
+                w_id.encode(out);
+                d_id.encode(out);
+                c_id.encode(out);
+                lines.encode(out);
+            }
+            TpccFragment::NewOrderRemote { home_w_id, lines } => {
+                out.push(1);
+                home_w_id.encode(out);
+                lines.encode(out);
+            }
+            TpccFragment::PaymentHome {
+                w_id,
+                d_id,
+                c_w_id,
+                c_d_id,
+                customer,
+                amount_cents,
+                customer_is_local,
+            } => {
+                out.push(2);
+                w_id.encode(out);
+                d_id.encode(out);
+                c_w_id.encode(out);
+                c_d_id.encode(out);
+                customer.encode(out);
+                amount_cents.encode(out);
+                customer_is_local.encode(out);
+            }
+            TpccFragment::PaymentCustomer {
+                w_id,
+                d_id,
+                c_w_id,
+                c_d_id,
+                customer,
+                amount_cents,
+            } => {
+                out.push(3);
+                w_id.encode(out);
+                d_id.encode(out);
+                c_w_id.encode(out);
+                c_d_id.encode(out);
+                customer.encode(out);
+                amount_cents.encode(out);
+            }
+            TpccFragment::OrderStatus {
+                w_id,
+                d_id,
+                customer,
+            } => {
+                out.push(4);
+                w_id.encode(out);
+                d_id.encode(out);
+                customer.encode(out);
+            }
+            TpccFragment::Delivery { w_id, carrier_id } => {
+                out.push(5);
+                w_id.encode(out);
+                carrier_id.encode(out);
+            }
+            TpccFragment::StockLevel {
+                w_id,
+                d_id,
+                threshold,
+                depth,
+            } => {
+                out.push(6);
+                w_id.encode(out);
+                d_id.encode(out);
+                threshold.encode(out);
+                depth.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let (tag, rest) = input.split_first()?;
+        *input = rest;
+        Some(match tag {
+            0 => TpccFragment::NewOrderHome {
+                w_id: WId::decode(input)?,
+                d_id: DId::decode(input)?,
+                c_id: CId::decode(input)?,
+                lines: Vec::decode(input)?,
+            },
+            1 => TpccFragment::NewOrderRemote {
+                home_w_id: WId::decode(input)?,
+                lines: Vec::decode(input)?,
+            },
+            2 => TpccFragment::PaymentHome {
+                w_id: WId::decode(input)?,
+                d_id: DId::decode(input)?,
+                c_w_id: WId::decode(input)?,
+                c_d_id: DId::decode(input)?,
+                customer: CustomerSel::decode(input)?,
+                amount_cents: i64::decode(input)?,
+                customer_is_local: bool::decode(input)?,
+            },
+            3 => TpccFragment::PaymentCustomer {
+                w_id: WId::decode(input)?,
+                d_id: DId::decode(input)?,
+                c_w_id: WId::decode(input)?,
+                c_d_id: DId::decode(input)?,
+                customer: CustomerSel::decode(input)?,
+                amount_cents: i64::decode(input)?,
+            },
+            4 => TpccFragment::OrderStatus {
+                w_id: WId::decode(input)?,
+                d_id: DId::decode(input)?,
+                customer: CustomerSel::decode(input)?,
+            },
+            5 => TpccFragment::Delivery {
+                w_id: WId::decode(input)?,
+                carrier_id: u8::decode(input)?,
+            },
+            6 => TpccFragment::StockLevel {
+                w_id: WId::decode(input)?,
+                d_id: DId::decode(input)?,
+                threshold: i32::decode(input)?,
+                depth: u32::decode(input)?,
+            },
+            _ => return None,
+        })
+    }
 }
 
 /// Fragment results.

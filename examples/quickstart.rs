@@ -36,9 +36,62 @@ enum BankOp {
     },
 }
 
+// Fragments must round-trip through bytes so the durable command log and
+// the replication log can carry them (a tag byte plus the fields).
+impl LogEncode for BankOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            BankOp::Deposit { account, amount } => {
+                out.push(0);
+                account.encode(out);
+                amount.encode(out);
+            }
+            BankOp::Withdraw { account, amount } => {
+                out.push(1);
+                account.encode(out);
+                amount.encode(out);
+            }
+            BankOp::Read { account } => {
+                out.push(2);
+                account.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let tag = u8::decode(input)?;
+        Some(match tag {
+            0 => BankOp::Deposit {
+                account: u64::decode(input)?,
+                amount: i64::decode(input)?,
+            },
+            1 => BankOp::Withdraw {
+                account: u64::decode(input)?,
+                amount: i64::decode(input)?,
+            },
+            2 => BankOp::Read {
+                account: u64::decode(input)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct BankFragment {
     ops: Vec<BankOp>,
+}
+
+impl LogEncode for BankFragment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(BankFragment {
+            ops: Vec::decode(input)?,
+        })
+    }
 }
 
 type BankOutput = Vec<i64>; // balances read
