@@ -335,6 +335,12 @@ pub struct SystemConfig {
     pub durability: Option<DurabilityConfig>,
     /// Client-side backoff for infrastructure aborts.
     pub retry: RetryConfig,
+    /// Reactor worker threads for the multiplexed backend. `0` (default)
+    /// means "auto": the host's available parallelism. Ignored by the
+    /// thread-per-actor backend and by the simulator (both are defined
+    /// independently of worker count — and results are required to be
+    /// bit-identical at *every* worker count regardless).
+    pub workers: u32,
     /// RNG seed for workload generation; a run is a pure function of
     /// (config, workload, seed).
     pub seed: u64,
@@ -359,6 +365,7 @@ impl SystemConfig {
             local_speculation_only: false,
             durability: None,
             retry: RetryConfig::default(),
+            workers: 0,
             seed: 0xC0FFEE,
         }
     }
@@ -397,6 +404,24 @@ impl SystemConfig {
     pub fn with_retry(mut self, r: RetryConfig) -> Self {
         self.retry = r;
         self
+    }
+
+    /// Reactor worker count for the multiplexed backend (0 = auto).
+    pub fn with_workers(mut self, n: u32) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Resolves `workers` to a concrete count: explicit value, or the
+    /// host's available parallelism when 0 (floor 1).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers as usize
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 
     /// The coordinator shard that owns a client's multi-partition

@@ -18,6 +18,7 @@ pub mod config;
 pub mod hash;
 pub mod ids;
 pub mod msg;
+pub mod pad;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -27,6 +28,7 @@ pub use config::FailurePlan;
 pub use config::{CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme, SystemConfig};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorId, CoordinatorRef, LockKey, PartitionId, TxnId};
+pub use pad::CachePadded;
 pub use rng::{SplitMix64, Zipfian};
 
 pub use msg::{

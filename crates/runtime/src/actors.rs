@@ -60,9 +60,9 @@
 use hcc_common::codec::encode_to_vec;
 use hcc_common::stats::{DurabilityCounters, ReplicationCounters, SchedulerCounters};
 use hcc_common::{
-    AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel, Decision,
-    DurabilityConfig, FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId, Scheme,
-    SystemConfig, TxnId, TxnResult,
+    AbortReason, CachePadded, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel,
+    Decision, DurabilityConfig, FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId,
+    Scheme, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator};
@@ -184,23 +184,69 @@ pub struct RunControl {
     pub stop: AtomicBool,
     /// True during the measurement window (timed mode).
     pub window_open: AtomicBool,
-    /// Commits observed while the window was open.
-    pub committed_in_window: AtomicU64,
-    /// Clients that have not yet retired.
-    pub live_clients: AtomicUsize,
+    /// Commits observed while the window was open, sharded by client id so
+    /// clients stepped on different workers never contend on (or
+    /// false-share) a single counter line. Read via
+    /// [`committed_in_window`](Self::committed_in_window) after the window
+    /// closes.
+    commit_shards: Vec<CachePadded<AtomicU64>>,
+    /// Clients that have not yet retired. Padded: decremented from worker
+    /// threads while the driver spin-reads it.
+    pub live_clients: CachePadded<AtomicUsize>,
     /// Set by the recovering replica when its snapshot is installed.
     pub recovery_done: AtomicBool,
+    /// Clients currently parked in a retry backoff and waiting for a
+    /// [`Msg::Tick`]. Tick sources consult this so an idle system sends no
+    /// client ticks at all (the multiplexed workers stay parked).
+    backoff_waiters: CachePadded<AtomicUsize>,
 }
+
+/// Shard count for the in-window commit counter: enough stripes that
+/// clients on different workers rarely collide, small enough that the
+/// end-of-run sum is trivial. Must be a power of two.
+const COMMIT_SHARDS: usize = 16;
 
 impl RunControl {
     pub fn new(clients: usize) -> Self {
         RunControl {
             stop: AtomicBool::new(false),
             window_open: AtomicBool::new(false),
-            committed_in_window: AtomicU64::new(0),
-            live_clients: AtomicUsize::new(clients),
+            commit_shards: (0..COMMIT_SHARDS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            live_clients: CachePadded::new(AtomicUsize::new(clients)),
             recovery_done: AtomicBool::new(false),
+            backoff_waiters: CachePadded::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Count one commit inside the measurement window.
+    pub fn note_window_commit(&self, client: ClientId) {
+        self.commit_shards[client.as_usize() & (COMMIT_SHARDS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total commits observed while the window was open (sums the shards;
+    /// call only after the window has closed and clients have quiesced).
+    pub fn committed_in_window(&self) -> u64 {
+        self.commit_shards
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// A client entered a retry backoff and needs future ticks.
+    pub fn backoff_started(&self) {
+        self.backoff_waiters.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A client left its retry backoff.
+    pub fn backoff_finished(&self) {
+        self.backoff_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// How many clients are parked in a backoff right now.
+    pub fn backoff_waiters(&self) -> usize {
+        self.backoff_waiters.load(Ordering::SeqCst)
     }
 }
 
@@ -341,6 +387,7 @@ where
                 // coarsely) are ignored; the backend keeps waking us.
                 if matches!(self.retry_at, Some(at) if now >= at) {
                     self.retry_at = None;
+                    ctx.ctl.backoff_finished();
                     self.dispatch(now, out);
                 }
             }
@@ -409,13 +456,14 @@ where
                     self.retire(ctx);
                 } else if after > Nanos::ZERO {
                     self.retry_at = Some(now + after);
+                    ctx.ctl.backoff_started();
                 } else {
                     self.dispatch(now, out);
                 }
             }
             NextAction::NewRequest => {
                 if in_window && result.is_committed() {
-                    ctx.ctl.committed_in_window.fetch_add(1, Ordering::Relaxed);
+                    ctx.ctl.note_window_commit(self.core.id);
                 }
                 let retire = match self.remaining.as_mut() {
                     Some(k) => {
@@ -442,6 +490,12 @@ where
 
     fn retire(&mut self, ctx: &ClientCtx<'_, W>) {
         self.done = true;
+        // A retiring client cannot leave a backoff waiter registered (it
+        // retires from a result, never from inside a parked backoff) — but
+        // keep the counter exact even if that invariant ever shifts.
+        if self.retry_at.take().is_some() {
+            ctx.ctl.backoff_finished();
+        }
         ctx.ctl.live_clients.fetch_sub(1, Ordering::SeqCst);
     }
 

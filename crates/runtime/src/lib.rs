@@ -62,14 +62,15 @@ pub enum BackendChoice {
 }
 
 impl BackendChoice {
-    /// The multiplexed backend at its standard pool size (4 workers).
+    /// The multiplexed backend with automatic pool sizing (`workers == 0`
+    /// resolves through [`SystemConfig::resolved_workers`]: the config's
+    /// `workers` knob, else the host's available parallelism).
     pub const fn multiplexed() -> Self {
-        BackendChoice::Multiplexed {
-            workers: multiplexed::DEFAULT_WORKERS,
-        }
+        BackendChoice::Multiplexed { workers: 0 }
     }
 
-    /// Parse a CLI-style backend name (`threaded` | `multiplexed[:N]`).
+    /// Parse a CLI-style backend name (`threaded` | `multiplexed[:N]`,
+    /// where a bare `multiplexed` or `:0` sizes the pool automatically).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "threaded" => Some(BackendChoice::Threaded),
@@ -87,6 +88,7 @@ impl std::fmt::Display for BackendChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BackendChoice::Threaded => f.write_str("threaded"),
+            BackendChoice::Multiplexed { workers: 0 } => f.write_str("multiplexed"),
             BackendChoice::Multiplexed { workers } => write!(f, "multiplexed:{workers}"),
         }
     }
@@ -169,6 +171,24 @@ impl RuntimeConfig {
     }
 }
 
+/// Per-worker reactor counters from a multiplexed run (empty for the
+/// threaded backend). `loops` counts scheduling iterations, `steps`
+/// messages processed, `parks` condvar sleeps, `steals` tokens taken from
+/// another worker's shared queue, and `busy_ns` wall time spent stepping
+/// actors. The no-busy-spin invariant is `loops <= steps + parks + slack`:
+/// every iteration either processes mail or goes to sleep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    pub loops: u64,
+    pub steps: u64,
+    /// Messages stepped on partition-pinned (replica) actors. Non-zero
+    /// only on a group's home worker — the partition-affinity invariant.
+    pub pinned_steps: u64,
+    pub parks: u64,
+    pub steals: u64,
+    pub busy_ns: u64,
+}
+
 /// What a run produced.
 pub struct RuntimeReport<E: ExecutionEngine> {
     /// Transactions committed inside the measurement window (timed mode)
@@ -198,6 +218,10 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     /// sync (`None` per group when durability is off, or for a group whose
     /// run-ending primary never logged — e.g. torn down mid-failover).
     pub logs: Vec<Option<Vec<u8>>>,
+    /// Per-worker reactor counters (multiplexed backend only; empty for
+    /// threaded runs). Index = worker id; partitions pin to
+    /// `group % workers.len()`.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl<E: ExecutionEngine> RuntimeReport<E> {
@@ -309,6 +333,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
     backups: Vec<E>,
     durability: DurabilityCounters,
     logs: Vec<Option<Vec<u8>>>,
+    workers: Vec<WorkerStats>,
 ) -> RuntimeReport<E> {
     let (committed, secs) = match mode {
         RunMode::Timed { measure, .. } => (committed_in_window, measure.as_secs_f64()),
@@ -324,6 +349,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
         backups,
         durability,
         logs,
+        workers,
     }
 }
 

@@ -1,18 +1,43 @@
-//! Multiplexed reactor backend: every actor on a small fixed worker pool.
+//! Multiplexed reactor backend: every actor on a configurable worker
+//! pool with partition affinity.
 //!
 //! The ROADMAP's "async backend", hand-rolled because the build is
 //! offline (no tokio, and the vendored crossbeam has no `Select`): each
-//! actor owns a mailbox (`Mutex<VecDeque>` + a `scheduled` bit) and a
-//! shared MPMC ready queue carries the indices of actors with undelivered
-//! mail. Workers pop an index, drain that mailbox, step the actor, and
-//! route its outputs — the classic epoll/ready-list shape, with the
+//! actor owns a mailbox (`Mutex<VecDeque>` + a `scheduled` bit) and the
+//! indices of actors with undelivered mail circulate through per-worker
+//! run queues. Workers pop an index, drain that mailbox, step the actor,
+//! and route its outputs — the classic epoll/ready-list shape, with the
 //! mailbox bit playing the role of edge-triggered readiness (an actor is
 //! enqueued exactly once per busy period, never concurrently stepped).
 //!
+//! # Placement
+//!
+//! Every actor has a *home worker*. Replica actors are **pinned**: a
+//! whole group (primary + backups) homes on `group % workers`, its ready
+//! tokens go only to that worker's private pinned queue, and only that
+//! worker ever pops them — so a partition's scheduler, engine, and
+//! group-commit sequencer run on one core for the life of the run (cache
+//! residency for the hot single-partition path, and no cross-core
+//! migration of engine state). Clients, coordinator shards, and the
+//! membership actor are **stealable**: their tokens go to their home
+//! worker's shared queue, but any worker whose own queues are empty may
+//! steal them, keeping the pool busy when client load is skewed.
+//!
+//! # Parking
+//!
+//! An idle worker *parks* on a condvar instead of spinning: it raises its
+//! `parked` flag, re-checks every queue it may pop from (the Dekker-style
+//! re-check that closes the sleep/wake race), and only then waits. A
+//! sender wakes the home worker for pinned work, or the home-else-any
+//! parked worker for stealable work. Client backoff ticks are gated on
+//! [`RunControl::backoff_waiters`], so a quiescent system delivers no
+//! messages at all and every worker stays parked — the no-busy-spin
+//! invariant `loops ≤ steps + parks (+ startup slack)` that the idle soak
+//! test asserts.
+//!
 //! Per-actor cost is two mutex hops per message instead of a parked
 //! thread per actor, so thread count and stack memory stay flat as
-//! clients grow: 512 or 4096 closed-loop clients run on the same
-//! `workers` threads. Mailbox FIFO order per link preserves the delivery
+//! clients grow. Mailbox FIFO order per link preserves the delivery
 //! guarantee the speculation protocol needs.
 //!
 //! Replica groups occupy `replication` slab slots per partition; the
@@ -26,7 +51,9 @@
 //! undelivered-message count: a worker decrements it only *after* routing
 //! the outputs of the message it consumed, so `live_clients == 0 &&
 //! pending == 0` proves the run has fully drained — including a
-//! kill → promote → recover chain, which is itself just messages.
+//! kill → promote → recover chain, which is itself just messages. The
+//! count stays a *single* padded atomic on purpose: sharding it would
+//! admit transient zero reads and a false quiescence.
 
 use crate::actors::{
     ActorId, ClientActor, ClientCtx, CoordinatorActor, MembershipActor, Msg, OutMsg, ReplicaActor,
@@ -34,9 +61,9 @@ use crate::actors::{
 };
 use crate::{
     assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
+    WorkerStats,
 };
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use hcc_common::{ClientId, CoordinatorId, PartitionId, Scheme};
+use hcc_common::{CachePadded, ClientId, CoordinatorId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
 use parking_lot::Mutex;
@@ -45,18 +72,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Standard pool size: enough to overlap partition work with coordinator
-/// and client bookkeeping on a few cores without oversubscribing small
-/// hosts.
-pub const DEFAULT_WORKERS: usize = 4;
-
-/// Ready-queue sentinel that tells a worker to exit (and re-send the
-/// sentinel for its siblings).
-const SHUTDOWN: usize = usize::MAX;
-
 struct Mailbox<E: ExecutionEngine> {
     queue: VecDeque<Msg<E>>,
-    /// True while the actor is in the ready queue or being stepped; the
+    /// True while the actor is in a run queue or being stepped; the
     /// single-enqueuer invariant that keeps an actor on one worker at a
     /// time.
     scheduled: bool,
@@ -72,12 +90,72 @@ enum AnyActor<W: RequestGenerator> {
     Replica(Box<ReplicaActor<W::Engine>>),
 }
 
+/// Condvar-based sleep/wake with a sticky token, so a wake that lands
+/// before the sleeper reaches `wait` is never lost.
+struct Parker {
+    lock: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            lock: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wake(&self) {
+        let mut token = self.lock.lock().expect("parker poisoned");
+        *token = true;
+        self.cv.notify_one();
+    }
+
+    fn park(&self) {
+        let mut token = self.lock.lock().expect("parker poisoned");
+        while !*token {
+            token = self.cv.wait(token).expect("parker poisoned");
+        }
+        *token = false;
+    }
+}
+
+/// One worker's scheduling state. Padded as a unit: a worker hammers its
+/// own queues and flag; neighbours must not ride the same line.
+struct WorkerState {
+    /// Ready tokens for replica actors homed here. Only this worker pops.
+    pinned: Mutex<VecDeque<usize>>,
+    /// Ready tokens for stealable actors homed here. Any worker may pop.
+    shared: Mutex<VecDeque<usize>>,
+    /// Raised before the pre-park re-check; a waker that swaps it off
+    /// owns the wake.
+    parked: AtomicBool,
+    parker: Parker,
+    /// Flushed once by the worker thread as it exits.
+    stats: Mutex<WorkerStats>,
+}
+
+impl WorkerState {
+    fn new() -> Self {
+        WorkerState {
+            pinned: Mutex::new(VecDeque::new()),
+            shared: Mutex::new(VecDeque::new()),
+            parked: AtomicBool::new(false),
+            parker: Parker::new(),
+            stats: Mutex::new(WorkerStats::default()),
+        }
+    }
+}
+
 struct Shared<W: RequestGenerator> {
-    actors: Vec<Mutex<AnyActor<W>>>,
-    mail: Vec<Mutex<Mailbox<W::Engine>>>,
-    ready_tx: Sender<usize>,
-    /// Messages sent but not yet fully processed (outputs routed).
-    pending: AtomicU64,
+    actors: Vec<CachePadded<Mutex<AnyActor<W>>>>,
+    mail: Vec<CachePadded<Mutex<Mailbox<W::Engine>>>>,
+    workers: Vec<CachePadded<WorkerState>>,
+    /// Messages sent but not yet fully processed (outputs routed). A
+    /// single padded atomic — see the module docs on quiescence.
+    pending: CachePadded<AtomicU64>,
+    /// Set by the driver once `pending` hits zero; parked workers exit.
+    shutdown: AtomicBool,
     ctl: RunControl,
     workload: Mutex<W>,
     epoch: Instant,
@@ -88,7 +166,7 @@ struct Shared<W: RequestGenerator> {
     coordinators: usize,
     slots_per_group: usize,
     /// Current primary slot per group.
-    membership: Vec<AtomicU32>,
+    membership: Vec<CachePadded<AtomicU32>>,
 }
 
 impl<W: RequestGenerator> Shared<W>
@@ -97,8 +175,12 @@ where
     <W::Engine as ExecutionEngine>::Fragment: Send,
     <W::Engine as ExecutionEngine>::Output: Send,
 {
+    fn replica_base(&self) -> usize {
+        self.clients + self.coordinators + 1
+    }
+
     fn replica_index(&self, p: PartitionId, slot: usize) -> usize {
-        self.clients + self.coordinators + 1 + p.as_usize() * self.slots_per_group + slot
+        self.replica_base() + p.as_usize() * self.slots_per_group + slot
     }
 
     fn index_of(&self, id: ActorId) -> usize {
@@ -112,6 +194,22 @@ where
             }
             ActorId::Replica(p, s) => self.replica_index(p, s as usize),
             ActorId::Control => unreachable!("control messages are handled in send()"),
+        }
+    }
+
+    /// Home worker and pinned-ness of an actor index. Replica groups pin
+    /// group-major so every slot of a group (primary and backups, across
+    /// failovers) shares one home; everything else hashes round-robin and
+    /// is stealable.
+    fn placement(&self, idx: usize) -> (usize, bool) {
+        let base = self.replica_base();
+        if idx >= base {
+            (
+                ((idx - base) / self.slots_per_group) % self.workers.len(),
+                true,
+            )
+        } else {
+            (idx % self.workers.len(), false)
         }
     }
 
@@ -132,8 +230,62 @@ where
         if !mb.scheduled {
             mb.scheduled = true;
             drop(mb);
-            let _ = self.ready_tx.send(idx);
+            self.schedule(idx);
         }
+    }
+
+    /// Publish a ready token to the actor's home queue and wake a worker
+    /// that can pop it.
+    fn schedule(&self, idx: usize) {
+        let (home, pinned) = self.placement(idx);
+        if pinned {
+            self.workers[home].pinned.lock().push_back(idx);
+            self.wake(home);
+        } else {
+            self.workers[home].shared.lock().push_back(idx);
+            // Prefer the home worker (affinity), else hand the wake to
+            // any parked worker — stealable work shouldn't wait behind a
+            // busy home while siblings sleep.
+            if !self.wake(home) {
+                for w in 0..self.workers.len() {
+                    if w != home && self.wake(w) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wake worker `w` if it is parked (or about to park). Returns true
+    /// if this call owned the wake.
+    fn wake(&self, w: usize) -> bool {
+        let ws = &self.workers[w];
+        if ws.parked.swap(false, Ordering::SeqCst) {
+            ws.parker.wake();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next actor index worker `me` may run: own pinned, own
+    /// shared, then steal from siblings' shared queues.
+    fn next_ready(&self, me: usize, stats: &mut WorkerStats) -> Option<usize> {
+        if let Some(idx) = self.workers[me].pinned.lock().pop_front() {
+            return Some(idx);
+        }
+        if let Some(idx) = self.workers[me].shared.lock().pop_front() {
+            return Some(idx);
+        }
+        let n = self.workers.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(idx) = self.workers[victim].shared.lock().pop_front() {
+                stats.steals += 1;
+                return Some(idx);
+            }
+        }
+        None
     }
 
     /// Step one actor for one message, routing its outputs.
@@ -153,59 +305,96 @@ where
             AnyActor::Replica(r) => r.step(msg, now, &self.ctl, out),
         }
     }
+
+    /// Drain and step one scheduled actor, then unschedule or requeue it.
+    fn run_actor(
+        &self,
+        idx: usize,
+        batch: &mut Vec<Msg<W::Engine>>,
+        out: &mut Vec<OutMsg<W::Engine>>,
+        stats: &mut WorkerStats,
+    ) {
+        // Drain the mailbox snapshot, then step message by message. The
+        // consumed message stays in `pending` until its outputs are
+        // routed — that ordering is what makes `pending == 0` mean
+        // "fully drained".
+        debug_assert!(batch.is_empty());
+        batch.extend(self.mail[idx].lock().queue.drain(..));
+        let pinned = idx >= self.replica_base();
+        for msg in batch.drain(..) {
+            self.process(idx, msg, out);
+            for m in out.drain(..) {
+                self.send(m);
+            }
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            stats.steps += 1;
+            if pinned {
+                stats.pinned_steps += 1;
+            }
+        }
+        // Unschedule, or requeue if mail arrived while we were stepping
+        // (requeued to the actor's *home*, preserving affinity; the
+        // round-robin push_back keeps it fair).
+        let mut mb = self.mail[idx].lock();
+        if mb.queue.is_empty() {
+            mb.scheduled = false;
+        } else {
+            drop(mb);
+            self.schedule(idx);
+        }
+    }
 }
 
-fn worker<W>(shared: Arc<Shared<W>>, ready_rx: Receiver<usize>)
+fn worker_loop<W>(shared: &Shared<W>, me: usize)
 where
     W: RequestGenerator,
     W::Engine: Send + 'static,
     <W::Engine as ExecutionEngine>::Fragment: Send,
     <W::Engine as ExecutionEngine>::Output: Send,
 {
+    let ws = &shared.workers[me];
     let mut out = Vec::new();
     let mut batch = Vec::new();
-    while let Ok(idx) = ready_rx.recv() {
-        if idx == SHUTDOWN {
-            // Pass the sentinel on so every sibling sees it too.
-            let _ = shared.ready_tx.send(SHUTDOWN);
+    let mut stats = WorkerStats::default();
+    loop {
+        stats.loops += 1;
+        if let Some(idx) = shared.next_ready(me, &mut stats) {
+            let busy = Instant::now();
+            shared.run_actor(idx, &mut batch, &mut out, &mut stats);
+            stats.busy_ns += busy.elapsed().as_nanos() as u64;
+            continue;
+        }
+        // Nothing runnable: raise the parked flag *first*, then re-check
+        // every queue. A sender either sees the flag (and wakes us) or
+        // published its token before we re-checked (and we find it) —
+        // never neither.
+        ws.parked.store(true, Ordering::SeqCst);
+        if let Some(idx) = shared.next_ready(me, &mut stats) {
+            ws.parked.store(false, Ordering::SeqCst);
+            let busy = Instant::now();
+            shared.run_actor(idx, &mut batch, &mut out, &mut stats);
+            stats.busy_ns += busy.elapsed().as_nanos() as u64;
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            ws.parked.store(false, Ordering::SeqCst);
             break;
         }
-        // Drain the mailbox snapshot, then step message by message. The
-        // consumed message stays in `pending` until its outputs are
-        // routed — that ordering is what makes `pending == 0` mean
-        // "fully drained".
-        debug_assert!(batch.is_empty());
-        batch.extend(shared.mail[idx].lock().queue.drain(..));
-        for msg in batch.drain(..) {
-            shared.process(idx, msg, &mut out);
-            for m in out.drain(..) {
-                shared.send(m);
-            }
-            shared.pending.fetch_sub(1, Ordering::SeqCst);
-        }
-        // Unschedule, or requeue if mail arrived while we were stepping
-        // (round-robin fairness: the actor goes to the back of the line).
-        let mut mb = shared.mail[idx].lock();
-        if mb.queue.is_empty() {
-            mb.scheduled = false;
-        } else {
-            drop(mb);
-            let _ = shared.ready_tx.send(idx);
-        }
+        stats.parks += 1;
+        ws.parker.park();
+        // Either a waker claimed our flag (it is already false) or the
+        // shutdown broadcast left it raised; clear it and rescan.
+        ws.parked.store(false, Ordering::SeqCst);
     }
+    *ws.stats.lock() = stats;
 }
 
-/// All actors multiplexed onto `workers` threads.
+/// All actors multiplexed onto a pool of worker threads with partition
+/// affinity. `workers == 0` means auto: `SystemConfig::resolved_workers`
+/// (the `workers` knob, else available parallelism).
+#[derive(Default)]
 pub struct MultiplexedBackend {
     pub workers: usize,
-}
-
-impl Default for MultiplexedBackend {
-    fn default() -> Self {
-        MultiplexedBackend {
-            workers: DEFAULT_WORKERS,
-        }
-    }
 }
 
 impl Backend for MultiplexedBackend {
@@ -223,7 +412,13 @@ impl Backend for MultiplexedBackend {
         B: Fn(PartitionId) -> W::Engine,
     {
         let system = &cfg.system;
-        let workers = self.workers.max(1);
+        // Explicit backend choice wins, then the system config knob, then
+        // the host's available parallelism.
+        let workers = if self.workers > 0 {
+            self.workers
+        } else {
+            system.resolved_workers()
+        };
         let n = system.partitions as usize;
         let slots = system.replication.max(1) as usize;
         let clients = system.clients as usize;
@@ -239,31 +434,30 @@ impl Backend for MultiplexedBackend {
             RunMode::Timed { .. } => None,
         };
 
-        // Actor slab: clients, coordinator, replica groups.
-        let mut actors: Vec<Mutex<AnyActor<W>>> = Vec::new();
+        // Actor slab: clients, coordinator shards, membership, replica
+        // groups.
+        let mut actors: Vec<CachePadded<Mutex<AnyActor<W>>>> = Vec::new();
         for c in 0..clients {
-            actors.push(Mutex::new(AnyActor::Client(Box::new(ClientActor::new(
-                ClientId(c as u32),
-                system,
-                per_client,
+            actors.push(CachePadded::new(Mutex::new(AnyActor::Client(Box::new(
+                ClientActor::new(ClientId(c as u32), system, per_client),
             )))));
         }
         let shards = system.coordinators.max(1) as usize;
         let track_in_doubt = cfg.failure.is_some();
         let coord_expiry = (shards > 1).then_some(system.lock_timeout);
         for k in 0..shards {
-            actors.push(Mutex::new(AnyActor::Coordinator(Box::new(
-                CoordinatorActor::new(
+            actors.push(CachePadded::new(Mutex::new(AnyActor::Coordinator(
+                Box::new(CoordinatorActor::new(
                     system.costs,
                     CoordinatorId(k as u32),
                     track_in_doubt,
                     system.durability.is_some(),
                     coord_expiry,
-                ),
+                )),
             ))));
         }
-        actors.push(Mutex::new(AnyActor::Membership(Box::new(
-            MembershipActor::new(system.coordinators),
+        actors.push(CachePadded::new(Mutex::new(AnyActor::Membership(
+            Box::new(MembershipActor::new(system.coordinators)),
         ))));
         for p in 0..n {
             let group = PartitionId(p as u32);
@@ -272,45 +466,44 @@ impl Backend for MultiplexedBackend {
                     .failure
                     .filter(|f| f.partition == group && s == 0)
                     .map(|f| f.after_commits);
-                actors.push(Mutex::new(AnyActor::Replica(Box::new(ReplicaActor::new(
-                    group,
-                    s as u32,
-                    system,
-                    build_engine(group),
-                    crash_after,
+                actors.push(CachePadded::new(Mutex::new(AnyActor::Replica(Box::new(
+                    ReplicaActor::new(group, s as u32, system, build_engine(group), crash_after),
                 )))));
             }
         }
 
-        let (ready_tx, ready_rx) = unbounded::<usize>();
         let total = actors.len();
         let shared = Arc::new(Shared {
             mail: (0..total)
                 .map(|_| {
-                    Mutex::new(Mailbox {
+                    CachePadded::new(Mutex::new(Mailbox {
                         queue: VecDeque::new(),
                         scheduled: false,
-                    })
+                    }))
                 })
                 .collect(),
             actors,
-            ready_tx,
-            pending: AtomicU64::new(0),
+            workers: (0..workers)
+                .map(|_| CachePadded::new(WorkerState::new()))
+                .collect(),
+            pending: CachePadded::new(AtomicU64::new(0)),
+            shutdown: AtomicBool::new(false),
             ctl: RunControl::new(clients),
             workload: Mutex::new(workload),
             epoch: Instant::now(),
             clients,
             coordinators: shards,
             slots_per_group: slots,
-            membership: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            membership: (0..n)
+                .map(|_| CachePadded::new(AtomicU32::new(0)))
+                .collect(),
         });
 
         // Worker pool.
         let mut handles = Vec::new();
-        for _ in 0..workers {
+        for me in 0..workers {
             let shared = shared.clone();
-            let rx = ready_rx.clone();
-            handles.push(std::thread::spawn(move || worker(shared, rx)));
+            handles.push(std::thread::spawn(move || worker_loop(&shared, me)));
         }
 
         // Tick timer: the locking scheme needs periodic lock-timeout scans
@@ -323,7 +516,9 @@ impl Backend for MultiplexedBackend {
         let tick_coords = shards > 1;
         // Clients park during backoff retries (infrastructure aborts) and
         // need a wake-up tick; only configurations that can produce such
-        // aborts pay for the ticking.
+        // aborts pay for the ticking — and only while at least one client
+        // is actually parked (`backoff_waiters`), so an idle system sends
+        // nothing and the workers stay parked.
         let tick_clients = system.replication > 1 || shards > 1 || system.durability.is_some();
         let timer = (tick_partitions || tick_coords || tick_clients).then(|| {
             let shared = shared.clone();
@@ -358,7 +553,7 @@ impl Backend for MultiplexedBackend {
                             });
                         }
                     }
-                    if tick_clients {
+                    if tick_clients && shared.ctl.backoff_waiters() > 0 {
                         for c in 0..shared.clients {
                             shared.send(OutMsg {
                                 dest: ActorId::Client(ClientId(c as u32)),
@@ -410,20 +605,24 @@ impl Backend for MultiplexedBackend {
                  was the crash threshold reachable for this workload?"
             );
         }
-        let _ = shared.ready_tx.send(SHUTDOWN);
+        shared.shutdown.store(true, Ordering::SeqCst);
+        for ws in &shared.workers {
+            ws.parker.wake();
+        }
         for h in handles {
             h.join().expect("worker thread");
         }
-        drop(ready_rx);
 
         // Harvest.
-        let committed_in_window = shared.ctl.committed_in_window.load(Ordering::SeqCst);
+        let committed_in_window = shared.ctl.committed_in_window();
         let shared =
             Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all worker handles joined"));
+        let worker_stats: Vec<WorkerStats> =
+            shared.workers.iter().map(|ws| *ws.stats.lock()).collect();
         let mut clients_stats = ClientStats::default();
         let mut parts: Vec<ReplicaParts<W::Engine>> = Vec::new();
         for slot in shared.actors {
-            match slot.into_inner() {
+            match slot.into_inner().into_inner() {
                 AnyActor::Client(c) => clients_stats.merge(&c.into_stats()),
                 AnyActor::Coordinator(_) | AnyActor::Membership(_) => {}
                 AnyActor::Replica(r) => parts.push(r.into_parts()),
@@ -442,6 +641,7 @@ impl Backend for MultiplexedBackend {
             backups,
             dur,
             logs,
+            worker_stats,
         )
     }
 }

@@ -318,7 +318,7 @@ impl Backend for ThreadedBackend {
             clients.merge(&h.join().expect("client thread"));
         }
         let elapsed = started.elapsed();
-        let committed_in_window = ctl.committed_in_window.load(Ordering::SeqCst);
+        let committed_in_window = ctl.committed_in_window();
 
         // With a failure injected, the kill → promote → recover chain may
         // still be in flight (it is driven by messages, not clients); wait
@@ -376,6 +376,7 @@ impl Backend for ThreadedBackend {
             backups,
             dur,
             logs,
+            Vec::new(),
         )
     }
 }

@@ -107,6 +107,32 @@ fn all_schemes_agree_across_backends() {
     }
 }
 
+/// Worker-count matrix: at every pool size {1, 2, 4, 8} the multiplexed
+/// backend must reproduce the threaded backend's committed state
+/// bit-for-bit, for every scheme — scaling the pool up or down (including
+/// past the host's core count) changes who runs the actors, never what
+/// commits. This is the vertical-scale-up safety contract: a partition
+/// pinned to a different home, or a stolen client token, must be
+/// unobservable in the final state.
+#[test]
+fn worker_count_matrix_agrees_across_backends() {
+    for scheme in [
+        Scheme::Blocking,
+        Scheme::Speculative,
+        Scheme::Locking,
+        Scheme::Occ,
+    ] {
+        let threaded = fingerprints(scheme, 16, 25, BackendChoice::Threaded);
+        for workers in [1usize, 2, 4, 8] {
+            let multiplexed = fingerprints(scheme, 16, 25, BackendChoice::Multiplexed { workers });
+            assert_eq!(
+                threaded, multiplexed,
+                "{scheme}@{workers} workers: committed state diverged from threaded"
+            );
+        }
+    }
+}
+
 /// Coordinator scale-out equivalence: with N ∈ {1, 2, 4} coordinator
 /// shards, the threaded and multiplexed backends must still agree
 /// bit-for-bit — sharding changes who coordinates, not what commits. The

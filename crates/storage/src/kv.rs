@@ -19,6 +19,7 @@
 use crate::ordered::OrderedIndex;
 use crate::table::Table;
 use bytes::Bytes;
+use std::cell::Cell;
 
 /// One recorded pre-image: the value (or absence) a key had before a
 /// mutation.
@@ -70,13 +71,33 @@ impl KvUndo {
 
 /// An in-memory hash table of byte-string keys and values, with an
 /// optional ordered key view for range scans.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct KvStore {
     map: Table,
     /// Ordered key index (see [`OrderedIndex`]), maintained by every
     /// mutation path — including undo replay — once enabled. `None` keeps
     /// point-only stores at their original hot-path cost.
     ordered: Option<OrderedIndex>,
+    /// Set when a clone deferred its index build (see [`Clone`] below):
+    /// mutations skip a stale index, and the first ordered read rebuilds
+    /// it from the map. `Cell` keeps rebuilds possible through `&self`
+    /// (the store stays `Send`; engines are thread-owned, never shared).
+    ordered_stale: Cell<bool>,
+}
+
+impl Clone for KvStore {
+    fn clone(&self) -> Self {
+        // O(1) index "clone": committed-state snapshots (§3.3) clone the
+        // store and roll live undo buffers back on the copy. Copying the
+        // whole ordered index for that was the scaling bottleneck — the
+        // copy instead starts with an *empty* index marked stale and lazily
+        // rebuilds it from the (post-rollback) map on first ordered read.
+        KvStore {
+            map: self.map.clone(),
+            ordered: self.ordered.as_ref().map(|_| OrderedIndex::new()),
+            ordered_stale: Cell::new(self.ordered.is_some()),
+        }
+    }
 }
 
 impl KvStore {
@@ -89,21 +110,49 @@ impl KvStore {
         KvStore {
             map: Table::with_capacity(n),
             ordered: None,
+            ordered_stale: Cell::new(false),
         }
     }
 
     /// Build (or rebuild) the ordered key index from the current
     /// contents, enabling [`scan_range`](KvStore::scan_range). Idempotent.
     pub fn enable_ordered_index(&mut self) {
-        let mut ix = OrderedIndex::new();
+        let ix = OrderedIndex::new();
         for (k, _) in self.map.iter() {
             ix.insert(k.clone());
         }
         self.ordered = Some(ix);
+        self.ordered_stale.set(false);
     }
 
     pub fn has_ordered_index(&self) -> bool {
         self.ordered.is_some()
+    }
+
+    /// The index to maintain on mutation: `None` while stale (a deferred
+    /// clone rebuild captures the final map state anyway).
+    #[inline]
+    fn live_index(&self) -> Option<&OrderedIndex> {
+        if self.ordered_stale.get() {
+            None
+        } else {
+            self.ordered.as_ref()
+        }
+    }
+
+    /// Rebuilds a stale (clone-deferred) index from the map. Every ordered
+    /// read goes through here; fresh indexes pay one `Cell` load.
+    fn ensure_ordered_fresh(&self) {
+        if !self.ordered_stale.get() {
+            return;
+        }
+        if let Some(ix) = self.ordered.as_ref() {
+            debug_assert!(ix.is_empty(), "stale index must start empty");
+            for (k, _) in self.map.iter() {
+                ix.insert(k.clone());
+            }
+        }
+        self.ordered_stale.set(false);
     }
 
     /// Rows with keys in `[start, end)`, ascending by key byte order.
@@ -117,16 +166,15 @@ impl KvStore {
         start: &'a [u8],
         end: &'a [u8],
     ) -> impl Iterator<Item = (&'a Bytes, &'a Bytes)> {
+        self.ensure_ordered_fresh();
         let ix = self
             .ordered
             .as_ref()
             .expect("scan on a store without an ordered index");
         ix.range(start, end).map(move |k| {
-            let v = self
-                .map
-                .get(k)
-                .expect("ordered index entry missing from table");
-            (k, v)
+            self.map
+                .get_key_value(&k)
+                .expect("ordered index entry missing from table")
         })
     }
 
@@ -137,6 +185,7 @@ impl KvStore {
     /// snapshot, or recovery shows up even when the order-independent
     /// [`fingerprint`](KvStore::fingerprint) still matches.
     pub fn ordered_fingerprint(&self) -> u64 {
+        self.ensure_ordered_fresh();
         let ix = self
             .ordered
             .as_ref()
@@ -155,9 +204,9 @@ impl KvStore {
         for k in ix.iter() {
             let v = self
                 .map
-                .get(k)
+                .get(&k)
                 .expect("ordered index entry missing from table");
-            mix(&mut h, k);
+            mix(&mut h, &k);
             mix(&mut h, v);
         }
         h
@@ -166,6 +215,9 @@ impl KvStore {
     /// Index/table consistency check for tests: every indexed key has a
     /// row and every row is indexed. `Ok(())` when no index is enabled.
     pub fn check_ordered_invariants(&self) -> Result<(), String> {
+        if self.ordered.is_some() {
+            self.ensure_ordered_fresh();
+        }
         let Some(ix) = self.ordered.as_ref() else {
             return Ok(());
         };
@@ -177,7 +229,7 @@ impl KvStore {
             ));
         }
         for k in ix.iter() {
-            if self.map.get(k).is_none() {
+            if self.map.get(&k).is_none() {
                 return Err(format!("indexed key {k:?} missing from table"));
             }
         }
@@ -200,7 +252,7 @@ impl KvStore {
 
     /// Write a value, optionally recording the pre-image for rollback.
     pub fn put(&mut self, key: Bytes, value: Bytes, undo: Option<&mut KvUndo>) {
-        if let Some(ix) = self.ordered.as_mut() {
+        if let Some(ix) = self.live_index() {
             ix.insert(key.clone());
         }
         let prior = self.map.insert(key.clone(), value);
@@ -242,7 +294,7 @@ impl KvStore {
     /// Delete a key, optionally recording the pre-image. Returns the removed
     /// value, if any.
     pub fn delete(&mut self, key: &Bytes, undo: Option<&mut KvUndo>) -> Option<Bytes> {
-        if let Some(ix) = self.ordered.as_mut() {
+        if let Some(ix) = self.live_index() {
             ix.remove(key);
         }
         let prior = self.map.remove(key);
@@ -285,13 +337,13 @@ impl KvStore {
     fn apply_undo_record(&mut self, key: Bytes, prior: Option<Bytes>) {
         match prior {
             Some(v) => {
-                if let Some(ix) = self.ordered.as_mut() {
+                if let Some(ix) = self.live_index() {
                     ix.insert(key.clone());
                 }
                 self.map.insert(key, v);
             }
             None => {
-                if let Some(ix) = self.ordered.as_mut() {
+                if let Some(ix) = self.live_index() {
                     ix.remove(&key);
                 }
                 self.map.remove(&key);

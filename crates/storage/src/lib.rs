@@ -21,6 +21,7 @@
 pub mod durable;
 pub mod kv;
 pub mod ordered;
+pub mod skiplist;
 pub mod table;
 pub mod tpcc;
 

@@ -44,6 +44,14 @@ impl Table {
         self.map.get(key)
     }
 
+    /// As [`get`](Table::get), but also returns the table's own key —
+    /// scans yield borrowed rows while walking an index that hands out
+    /// owned keys.
+    #[inline]
+    pub fn get_key_value(&self, key: &[u8]) -> Option<(&Bytes, &Bytes)> {
+        self.map.get_key_value(key)
+    }
+
     /// Mutable access to an existing row — the probe-once path for
     /// read-modify-write, which would otherwise hash the key twice.
     #[inline]

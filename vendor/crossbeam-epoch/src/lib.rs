@@ -1,0 +1,701 @@
+//! Vendored minimal stand-in for `crossbeam-epoch` (offline build).
+//!
+//! Epoch-based memory reclamation for lock-free data structures, following
+//! the classic three-epoch scheme (Fraser 2004 / crossbeam):
+//!
+//! - Threads **pin** before touching shared pointers, announcing the global
+//!   epoch they observed. While pinned, no node they can reach is freed.
+//! - Removed nodes are **deferred** into a garbage bag stamped with the
+//!   epoch at retirement. A bag is freed once the global epoch has advanced
+//!   **two** steps past its stamp: every thread pinned at retirement time
+//!   has unpinned at least once in between, so no live reference remains.
+//! - The global epoch advances only when every currently-pinned thread has
+//!   caught up to it, which each thread does on (re-)pin.
+//!
+//! The API mirrors the subset of `crossbeam-epoch` the workspace uses:
+//! [`pin`], [`Guard`], [`Atomic`], [`Owned`], [`Shared`] with low-bit
+//! pointer tagging (used as the deletion mark in Harris-style linked
+//! structures), `compare_exchange`, `fetch_or`, and `defer_destroy`.
+//!
+//! Simplifications vs. the real crate: a single global collector (no
+//! per-collector handles), a `Mutex` for the participant registry and the
+//! global garbage queue (the lock is only taken on pin-path epoch
+//! transitions and bag hand-off, never per pointer operation), and no
+//! `unprotected()` escape hatch.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::mem;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Global collector state
+// ---------------------------------------------------------------------------
+
+/// A deferred destructor: type-erased "drop this allocation later".
+///
+/// Closures are boxed (`FnOnce`) so callers can also defer arbitrary
+/// cleanups; `defer_destroy` captures only a raw address (as `usize`), which
+/// keeps the closure `Send` regardless of the pointee type — the *caller*
+/// asserts cross-thread droppability via the `unsafe` contract.
+struct Deferred(Box<dyn FnOnce() + Send>);
+
+impl Deferred {
+    fn call(self) {
+        (self.0)();
+        GLOBAL_RECLAIMED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One registered thread. `state` packs `epoch << 1 | pinned`.
+struct Participant {
+    state: AtomicUsize,
+}
+
+struct Global {
+    /// The global epoch. Monotonically increasing; only the low two bits
+    /// matter for correctness but we never wrap in practice (usize).
+    epoch: AtomicUsize,
+    /// All registered participants. Slots of exited threads are retired
+    /// (removed) by `Local::drop`.
+    registry: Mutex<Vec<*const Participant>>,
+    /// Sealed garbage bags, stamped with the epoch at seal time.
+    garbage: Mutex<Vec<(usize, Vec<Deferred>)>>,
+}
+
+// Raw participant pointers are only dereferenced under the registry lock,
+// and a participant outlives its registry entry (`Local::drop` removes the
+// entry before freeing the box).
+unsafe impl Send for Global {}
+unsafe impl Sync for Global {}
+
+static GLOBAL_RECLAIMED: AtomicU64 = AtomicU64::new(0);
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        registry: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+/// Total number of deferred destructors actually executed, process-wide.
+///
+/// Not part of the real crossbeam API; exposed so torture tests can assert
+/// that reclamation genuinely happened (not just that nothing crashed).
+pub fn reclaimed_count() -> u64 {
+    GLOBAL_RECLAIMED.load(Ordering::Relaxed)
+}
+
+impl Global {
+    /// Tries to advance the global epoch by one. Succeeds only if every
+    /// pinned participant has announced the current epoch.
+    fn try_advance(&self) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let registry = match self.registry.try_lock() {
+            Ok(r) => r,
+            Err(_) => return, // someone else is registering/advancing; skip
+        };
+        for &p in registry.iter() {
+            let state = unsafe { (*p).state.load(Ordering::Acquire) };
+            if state & 1 == 1 && state >> 1 != epoch {
+                return; // a straggler is still pinned in an older epoch
+            }
+        }
+        drop(registry);
+        let _ = self
+            .epoch
+            .compare_exchange(epoch, epoch + 1, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Frees every sealed bag at least two epochs old.
+    fn collect(&self) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let ripe: Vec<(usize, Vec<Deferred>)> = {
+            let mut garbage = match self.garbage.try_lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            let mut ripe = Vec::new();
+            garbage.retain_mut(|(stamp, bag)| {
+                if *stamp + 2 <= epoch {
+                    ripe.push((*stamp, mem::take(bag)));
+                    false
+                } else {
+                    true
+                }
+            });
+            ripe
+        };
+        // Run destructors outside the lock: they may be arbitrary closures.
+        for (_, bag) in ripe {
+            for d in bag {
+                d.call();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread state
+// ---------------------------------------------------------------------------
+
+/// Seal the local bag once it holds this many deferred items, even while
+/// still pinned (bounds memory if a single guard retires a large batch).
+const BAG_SEAL_THRESHOLD: usize = 64;
+
+struct Local {
+    participant: *const Participant,
+    /// Nesting depth of `pin()` calls; only the outermost pins/unpins.
+    pin_depth: Cell<usize>,
+    /// Deferred destructors retired under the current pin.
+    bag: RefCell<Vec<Deferred>>,
+}
+
+thread_local! {
+    static LOCAL: Local = Local::register();
+}
+
+impl Local {
+    fn register() -> Local {
+        let participant = Box::into_raw(Box::new(Participant {
+            state: AtomicUsize::new(0),
+        })) as *const Participant;
+        global().registry.lock().unwrap().push(participant);
+        Local {
+            participant,
+            pin_depth: Cell::new(0),
+            bag: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn pin(&self) {
+        let depth = self.pin_depth.get();
+        self.pin_depth.set(depth + 1);
+        if depth > 0 {
+            return;
+        }
+        let g = global();
+        let participant = unsafe { &*self.participant };
+        let mut epoch = g.epoch.load(Ordering::Relaxed);
+        loop {
+            participant.state.store((epoch << 1) | 1, Ordering::Relaxed);
+            // The announcement must be globally visible before we read any
+            // shared pointer — and before we re-check the global epoch.
+            fence(Ordering::SeqCst);
+            let now = g.epoch.load(Ordering::Relaxed);
+            if now == epoch {
+                break;
+            }
+            epoch = now;
+        }
+    }
+
+    fn unpin(&self) {
+        let depth = self.pin_depth.get();
+        debug_assert!(depth > 0, "unpin without matching pin");
+        self.pin_depth.set(depth - 1);
+        if depth > 1 {
+            return;
+        }
+        let participant = unsafe { &*self.participant };
+        participant.state.store(0, Ordering::Release);
+        if !self.bag.borrow().is_empty() {
+            self.seal_bag();
+        }
+        let g = global();
+        g.try_advance();
+        g.collect();
+    }
+
+    fn defer(&self, d: Deferred) {
+        self.bag.borrow_mut().push(d);
+        if self.bag.borrow().len() >= BAG_SEAL_THRESHOLD {
+            self.seal_bag();
+        }
+    }
+
+    fn seal_bag(&self) {
+        let bag = mem::take(&mut *self.bag.borrow_mut());
+        if bag.is_empty() {
+            return;
+        }
+        let g = global();
+        let stamp = g.epoch.load(Ordering::Acquire);
+        g.garbage.lock().unwrap().push((stamp, bag));
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.seal_bag();
+        let g = global();
+        g.registry
+            .lock()
+            .unwrap()
+            .retain(|&p| !ptr::eq(p, self.participant));
+        unsafe { drop(Box::from_raw(self.participant as *mut Participant)) };
+        g.try_advance();
+        g.collect();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// Keeps the current thread pinned; shared pointers loaded through it stay
+/// valid (not freed) until the guard drops.
+pub struct Guard {
+    // Guards are !Send: the pin is a property of the current thread.
+    _not_send: PhantomData<*mut ()>,
+}
+
+/// Pins the current thread and returns the guard witnessing it.
+pub fn pin() -> Guard {
+    LOCAL.with(|l| l.pin());
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Guard {
+    /// Defers dropping the boxed allocation behind `ptr` until no pinned
+    /// thread can still hold a reference to it.
+    ///
+    /// # Safety
+    /// `ptr` must have come from `Owned::new` (i.e. a `Box` allocation),
+    /// must not be reachable by new readers (already unlinked), and must
+    /// not be deferred twice. `T` must be safe to drop on another thread.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.untagged() as usize;
+        debug_assert!(raw != 0, "defer_destroy on null");
+        self.defer_unchecked(move || drop(Box::from_raw(raw as *mut T)));
+    }
+
+    /// Defers an arbitrary cleanup closure until the epoch makes it safe.
+    ///
+    /// # Safety
+    /// The closure must remain sound to call after the guard drops (the
+    /// usual use captures raw addresses of unlinked allocations).
+    pub unsafe fn defer_unchecked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        LOCAL.with(|l| l.defer(Deferred(Box::new(f))));
+    }
+
+    /// Unpins and immediately repins the thread, letting the epoch advance
+    /// past long-running operations.
+    pub fn repin(&mut self) {
+        LOCAL.with(|l| {
+            l.unpin();
+            l.pin();
+        });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LOCAL.with(|l| l.unpin());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tagged pointers: Atomic / Owned / Shared
+// ---------------------------------------------------------------------------
+
+/// Bit mask of pointer bits usable as tags for `T` (from its alignment).
+fn low_bits<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+fn compose<T>(raw: usize, tag: usize) -> usize {
+    debug_assert_eq!(raw & low_bits::<T>(), 0, "pointer not aligned");
+    raw | (tag & low_bits::<T>())
+}
+
+/// An atomic nullable tagged pointer to a heap `T`, readable only while
+/// pinned.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null pointer (tag 0).
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates `value` on the heap and points at it.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            data: AtomicUsize::new(Owned::new(value).into_usize()),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn load<'g>(&self, ord: Ordering, _: &'g Guard) -> Shared<'g, T> {
+        Shared::from_usize(self.data.load(ord))
+    }
+
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Compare-and-swap. On failure, returns the actual value and hands the
+    /// attempted `new` back so an `Owned` is not leaked.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_usize = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.data, new_usize, success, failure)
+        {
+            Ok(_) => Ok(Shared::from_usize(new_usize)),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared::from_usize(actual),
+                new: unsafe { P::from_usize(new_usize) },
+            }),
+        }
+    }
+
+    /// Atomically ORs the tag bits (e.g. setting a deletion mark), returning
+    /// the previous value.
+    pub fn fetch_or<'g>(&self, tag: usize, ord: Ordering, _: &'g Guard) -> Shared<'g, T> {
+        debug_assert_eq!(tag & !low_bits::<T>(), 0, "tag exceeds alignment bits");
+        Shared::from_usize(self.data.fetch_or(tag & low_bits::<T>(), ord))
+    }
+
+    /// Reads the value without synchronization.
+    ///
+    /// # Safety
+    /// Callers must have exclusive access (`&mut self` semantics) — used
+    /// for teardown walks in `Drop` impls.
+    pub unsafe fn load_unprotected(&self) -> Shared<'static, T> {
+        Shared::from_usize(self.data.load(Ordering::Relaxed))
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
+    }
+}
+
+/// Failed `compare_exchange`: the witnessed value plus the returned `new`.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    pub current: Shared<'g, T>,
+    pub new: P,
+}
+
+/// Types convertible to a raw tagged-pointer word: `Owned` and `Shared`.
+pub trait Pointer<T> {
+    fn into_usize(self) -> usize;
+    /// # Safety
+    /// `data` must have come from `into_usize` of the same impl.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+/// An owned heap allocation not yet published to other threads.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    pub fn new(value: T) -> Self {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Publishes the allocation, converting to `Shared` (tag preserved).
+    pub fn into_shared<'g>(self, _: &'g Guard) -> Shared<'g, T> {
+        Shared::from_usize(self.into_usize())
+    }
+
+    pub fn with_tag(self, tag: usize) -> Self {
+        let raw = self.data & !low_bits::<T>();
+        let owned = Owned {
+            data: compose::<T>(raw, tag),
+            _marker: PhantomData,
+        };
+        mem::forget(self);
+        owned
+    }
+
+    pub fn into_box(self) -> Box<T> {
+        let raw = (self.data & !low_bits::<T>()) as *mut T;
+        mem::forget(self);
+        unsafe { Box::from_raw(raw) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*((self.data & !low_bits::<T>()) as *const T) }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *((self.data & !low_bits::<T>()) as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let raw = (self.data & !low_bits::<T>()) as *mut T;
+        if !raw.is_null() {
+            unsafe { drop(Box::from_raw(raw)) };
+        }
+    }
+}
+
+/// A tagged shared pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    fn untagged(&self) -> *const T {
+        (self.data & !low_bits::<T>()) as *const T
+    }
+
+    pub fn is_null(&self) -> bool {
+        self.untagged().is_null()
+    }
+
+    pub fn tag(&self) -> usize {
+        self.data & low_bits::<T>()
+    }
+
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared::from_usize(compose::<T>(self.data & !low_bits::<T>(), tag))
+    }
+
+    pub fn as_raw(&self) -> *const T {
+        self.untagged()
+    }
+
+    /// # Safety
+    /// The pointee must be alive (guard pinned since load, not yet freed).
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.untagged().as_ref()
+    }
+
+    /// # Safety
+    /// As [`Shared::as_ref`], plus the pointer must be non-null.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.untagged()
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared::from_usize(data)
+    }
+}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:#x}, tag {})", self.data, self.tag())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn tagging_round_trips() {
+        let a: Atomic<u64> = Atomic::new(7);
+        let g = pin();
+        let s = a.load(Ordering::Acquire, &g);
+        assert_eq!(s.tag(), 0);
+        let tagged = s.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(tagged.as_raw(), s.as_raw());
+        assert_eq!(unsafe { *tagged.deref() }, 7);
+        unsafe { g.defer_destroy(s) };
+    }
+
+    #[test]
+    fn fetch_or_sets_mark_bit() {
+        let a: Atomic<u64> = Atomic::new(1);
+        let g = pin();
+        let before = a.fetch_or(1, Ordering::AcqRel, &g);
+        assert_eq!(before.tag(), 0);
+        let after = a.load(Ordering::Acquire, &g);
+        assert_eq!(after.tag(), 1);
+        unsafe { g.defer_destroy(after) };
+    }
+
+    #[test]
+    fn compare_exchange_returns_new_on_failure() {
+        let a: Atomic<u64> = Atomic::new(1);
+        let g = pin();
+        let current = a.load(Ordering::Acquire, &g);
+        let stale = Shared::null();
+        let err = a
+            .compare_exchange(
+                stale,
+                Owned::new(2),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &g,
+            )
+            .unwrap_err();
+        assert_eq!(err.current, current);
+        drop(err.new); // recovered Owned frees its allocation
+        unsafe { g.defer_destroy(current) };
+    }
+
+    #[test]
+    fn deferred_drop_runs_after_epochs_advance() {
+        struct Tracks(Arc<StdAtomicU64>);
+        impl Drop for Tracks {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(StdAtomicU64::new(0));
+        {
+            let g = pin();
+            let a = Atomic::new(Tracks(dropped.clone()));
+            let s = a.load(Ordering::Acquire, &g);
+            unsafe { g.defer_destroy(s) };
+            // Still pinned: must not have dropped yet.
+            assert_eq!(dropped.load(Ordering::SeqCst), 0);
+        }
+        // A few pin/unpin cycles advance the epoch far enough to collect.
+        for _ in 0..8 {
+            drop(pin());
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation_across_threads() {
+        struct Tracks(Arc<StdAtomicU64>);
+        impl Drop for Tracks {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(StdAtomicU64::new(0));
+        let a = Arc::new(Atomic::new(Tracks(dropped.clone())));
+
+        let g = pin(); // this thread stays pinned throughout
+        let s = a.load(Ordering::Acquire, &g);
+
+        let a2 = a.clone();
+        std::thread::spawn(move || {
+            let g2 = pin();
+            let s2 = a2.load(Ordering::Acquire, &g2);
+            unsafe { g2.defer_destroy(s2) };
+            drop(g2);
+            for _ in 0..32 {
+                drop(pin());
+            }
+        })
+        .join()
+        .unwrap();
+
+        // Our pin predates the retirement: the node must still be alive.
+        assert_eq!(dropped.load(Ordering::SeqCst), 0);
+        assert_eq!(unsafe { s.deref() }.0.load(Ordering::SeqCst), 0);
+        drop(g);
+        for _ in 0..8 {
+            drop(pin());
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins_share_the_outer_epoch() {
+        let g1 = pin();
+        let g2 = pin();
+        drop(g1);
+        // Inner guard still pins the thread.
+        let a: Atomic<u64> = Atomic::new(3);
+        let s = a.load(Ordering::Acquire, &g2);
+        assert_eq!(unsafe { *s.deref() }, 3);
+        unsafe { g2.defer_destroy(s) };
+        drop(g2);
+    }
+}
