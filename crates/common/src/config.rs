@@ -295,6 +295,87 @@ impl RetryConfig {
     }
 }
 
+/// Epoch-batched deterministic cross-shard sequencing (ISSUE 8,
+/// Calvin/STAR-style).
+///
+/// With sharded coordinators and *unaligned* clients, the §4.2.2
+/// same-coordinator-chain rule degrades into blocking waits
+/// (`cross_coord_waits`) and retryable `CrossCoordinator` expiry aborts,
+/// because no global dispatch order exists across shards. Sequencing
+/// fixes that: each shard accumulates its multi-partition invocations
+/// into a per-epoch local log, epochs close on a deterministic boundary
+/// (count or age), and the global order is the round-robin interleave of
+/// the per-shard logs — the merge rule *is* the order, no consensus hop.
+/// Partitions admit multi-partition round-0 fragments in that order, so
+/// speculation chains legally span coordinator shards. Single-partition
+/// transactions never touch the sequencer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequencingConfig {
+    /// No sequencing: PR 4 behaviour (chains never cross shards;
+    /// residual deadlocks broken by `lock_timeout` expiry).
+    Off,
+    /// Epoch sequencing: a shard closes its current epoch once `batch`
+    /// multi-partition invocations have accumulated (or earlier, on the
+    /// age boundary [`SequencingConfig::max_delay`] / a peer shard
+    /// closing the same epoch).
+    Epoch { batch: u32 },
+}
+
+impl SequencingConfig {
+    pub const DEFAULT_BATCH: u32 = 64;
+
+    pub fn is_on(self) -> bool {
+        matches!(self, SequencingConfig::Epoch { .. })
+    }
+
+    /// Count boundary: close the shard's epoch at this many entries.
+    pub fn batch(self) -> u32 {
+        match self {
+            SequencingConfig::Off => 0,
+            SequencingConfig::Epoch { batch } => batch.max(1),
+        }
+    }
+
+    /// Age boundary: an epoch with at least one entry closes after this
+    /// long even if the count boundary was not reached, bounding the
+    /// sequencing hold under light load.
+    pub fn max_delay(self) -> Nanos {
+        Nanos::from_micros(200)
+    }
+
+    /// Parses `off` | `epoch` | `epoch:N`.
+    pub fn parse(s: &str) -> Option<SequencingConfig> {
+        match s {
+            "off" => Some(SequencingConfig::Off),
+            "epoch" => Some(SequencingConfig::Epoch {
+                batch: Self::DEFAULT_BATCH,
+            }),
+            _ => {
+                let n = s.strip_prefix("epoch:")?.parse().ok()?;
+                (n >= 1).then_some(SequencingConfig::Epoch { batch: n })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SequencingConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequencingConfig::Off => f.write_str("off"),
+            SequencingConfig::Epoch { batch } => write!(f, "epoch:{batch}"),
+        }
+    }
+}
+
+// Serialized as its `Display` string ("off" / "epoch:64"): the vendored
+// derive only handles unit variants, and the string is what bench JSON
+// wants anyway.
+impl Serialize for SequencingConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
 /// Top-level system configuration shared by the simulator and the threaded
 /// runtime.
 #[derive(Debug, Clone, Serialize)]
@@ -335,6 +416,12 @@ pub struct SystemConfig {
     pub durability: Option<DurabilityConfig>,
     /// Client-side backoff for infrastructure aborts.
     pub retry: RetryConfig,
+    /// Epoch-batched deterministic cross-shard sequencing of
+    /// multi-partition transactions (ISSUE 8). Off by default — the
+    /// paper's configuration. Ignored by the locking scheme (its
+    /// multi-partition 2PC is client-driven, so there is nothing for a
+    /// coordinator shard to order).
+    pub sequencing: SequencingConfig,
     /// Reactor worker threads for the multiplexed backend. `0` (default)
     /// means "auto": the host's available parallelism. Ignored by the
     /// thread-per-actor backend and by the simulator (both are defined
@@ -365,6 +452,7 @@ impl SystemConfig {
             local_speculation_only: false,
             durability: None,
             retry: RetryConfig::default(),
+            sequencing: SequencingConfig::Off,
             workers: 0,
             seed: 0xC0FFEE,
         }
@@ -404,6 +492,20 @@ impl SystemConfig {
     pub fn with_retry(mut self, r: RetryConfig) -> Self {
         self.retry = r;
         self
+    }
+
+    pub fn with_sequencing(mut self, s: SequencingConfig) -> Self {
+        self.sequencing = s;
+        self
+    }
+
+    /// Whether the sequencing layer actually runs: the knob is on *and*
+    /// the scheme routes multi-partition transactions through the
+    /// coordinator shards (locking is client-driven 2PC — its fragments
+    /// never pass a shard, so sequencing is inert there).
+    #[inline]
+    pub fn sequencing_active(&self) -> bool {
+        self.sequencing.is_on() && self.scheme != Scheme::Locking
     }
 
     /// Reactor worker count for the multiplexed backend (0 = auto).
@@ -482,6 +584,40 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.replication, 2);
         assert_eq!(cfg.coordinators, 2);
+    }
+
+    #[test]
+    fn sequencing_parse_and_display() {
+        assert_eq!(SequencingConfig::parse("off"), Some(SequencingConfig::Off));
+        assert_eq!(
+            SequencingConfig::parse("epoch"),
+            Some(SequencingConfig::Epoch {
+                batch: SequencingConfig::DEFAULT_BATCH
+            })
+        );
+        assert_eq!(
+            SequencingConfig::parse("epoch:256"),
+            Some(SequencingConfig::Epoch { batch: 256 })
+        );
+        assert_eq!(SequencingConfig::parse("epoch:0"), None);
+        assert_eq!(SequencingConfig::parse("calvin"), None);
+        assert_eq!(
+            SequencingConfig::Epoch { batch: 64 }.to_string(),
+            "epoch:64"
+        );
+        assert_eq!(SequencingConfig::Off.to_string(), "off");
+    }
+
+    #[test]
+    fn sequencing_is_inert_for_locking() {
+        let on = SequencingConfig::Epoch { batch: 8 };
+        assert!(SystemConfig::new(Scheme::Speculative)
+            .with_sequencing(on)
+            .sequencing_active());
+        assert!(!SystemConfig::new(Scheme::Locking)
+            .with_sequencing(on)
+            .sequencing_active());
+        assert!(!SystemConfig::new(Scheme::Speculative).sequencing_active());
     }
 
     #[test]

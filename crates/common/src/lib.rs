@@ -25,7 +25,9 @@ pub mod time;
 
 pub use codec::LogEncode;
 pub use config::FailurePlan;
-pub use config::{CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme, SystemConfig};
+pub use config::{
+    CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme, SequencingConfig, SystemConfig,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorId, CoordinatorRef, LockKey, PartitionId, TxnId};
 pub use pad::CachePadded;

@@ -300,6 +300,69 @@ impl ReplicationCounters {
     }
 }
 
+/// Counters for the epoch-batched cross-shard sequencing layer (ISSUE 8),
+/// merged across coordinator shards and partitions by the drivers. All
+/// zero when `SystemConfig::sequencing` is off — the golden determinism
+/// tests pin that the paper's configuration pays nothing for this
+/// subsystem.
+#[derive(Debug, Clone, Default)]
+pub struct SequencerStats {
+    /// Epochs closed across all coordinator shards (including the empty
+    /// epochs a shard emits to catch up with its peers).
+    pub epochs_closed: u64,
+    /// Sum of per-epoch batch sizes (entries in closed epochs);
+    /// `batch_sum / epochs_closed` is the mean batch.
+    pub batch_sum: u64,
+    /// Largest single epoch batch observed.
+    pub batch_max: u64,
+    /// Epochs closed because a *peer shard's* log for the same (or a
+    /// later) epoch arrived — the cascade that keeps the round-robin
+    /// merge advancing past idle shards.
+    pub forced_closes: u64,
+    /// Epochs closed by the age boundary (`SequencingConfig::max_delay`)
+    /// rather than the count boundary.
+    pub age_closes: u64,
+    /// Epoch logs a promoted partition primary discarded because they
+    /// predate its membership era (their unacked transactions are
+    /// re-sequenced by the shards in the new era).
+    pub logs_discarded: u64,
+    /// Multi-partition round-0 fragments a partition admitted without an
+    /// epoch-log entry (failover redelivery, era-discarded stragglers) —
+    /// nonzero only around failures.
+    pub passthrough: u64,
+    /// `CrossCoordinator` aborts observed while sequencing was on. Under
+    /// sequencing these should be impossible (the merged epoch order
+    /// leaves nothing for expiry to break); the satellite assert fires
+    /// on this counter.
+    pub cross_coord_aborts: u64,
+    /// Time multi-partition invocations spent held in a shard's open
+    /// epoch before dispatch (submission → epoch close).
+    pub seq_hold: LatencyHistogram,
+}
+
+impl SequencerStats {
+    pub fn merge(&mut self, o: &SequencerStats) {
+        self.epochs_closed += o.epochs_closed;
+        self.batch_sum += o.batch_sum;
+        self.batch_max = self.batch_max.max(o.batch_max);
+        self.forced_closes += o.forced_closes;
+        self.age_closes += o.age_closes;
+        self.logs_discarded += o.logs_discarded;
+        self.passthrough += o.passthrough;
+        self.cross_coord_aborts += o.cross_coord_aborts;
+        self.seq_hold.merge(&o.seq_hold);
+    }
+
+    /// Mean entries per closed epoch (0 when no epoch closed).
+    pub fn mean_batch(&self) -> f64 {
+        if self.epochs_closed == 0 {
+            0.0
+        } else {
+            self.batch_sum as f64 / self.epochs_closed as f64
+        }
+    }
+}
+
 /// Counters for the durable command log (ISSUE 6), aggregated across all
 /// partitions of a run by the drivers. Zero everywhere when durability is
 /// off — the golden determinism tests pin that the paper's configuration

@@ -41,6 +41,11 @@ pub struct BlockingScheduler<E: ExecutionEngine> {
     costs: CostModel,
     active: Option<ActiveMp>,
     queue: VecDeque<FragmentTask<E::Fragment>>,
+    /// Cross-shard sequencing active: multi-partition arrivals are
+    /// globally ordered by the epoch merge, so a cross-shard overlap in
+    /// the queue is ordinary sequenced traffic, not a deadlock-prone wait
+    /// — `cross_coord_waits` stays zero.
+    sequenced: bool,
     counters: SchedulerCounters,
 }
 
@@ -51,8 +56,14 @@ impl<E: ExecutionEngine> BlockingScheduler<E> {
             costs,
             active: None,
             queue: VecDeque::new(),
+            sequenced: false,
             counters: SchedulerCounters::default(),
         }
+    }
+
+    /// Cross-shard sequencing is on (see the `sequenced` field).
+    pub fn set_sequenced(&mut self, v: bool) {
+        self.sequenced = v;
     }
 
     /// Execute a single-partition transaction to completion (the no-active
@@ -181,10 +192,11 @@ impl<E: ExecutionEngine> Scheduler<E> for BlockingScheduler<E> {
                 self.run_mp_fragment(&task, engine, out);
             }
             Some(a) => {
-                if task.multi_partition && a.coordinator != task.coordinator {
+                if task.multi_partition && a.coordinator != task.coordinator && !self.sequenced {
                     // Cross-shard overlap: wait, counted. A resulting
                     // cross-partition deadlock is broken by the
-                    // coordinator's timeout expiry.
+                    // coordinator's timeout expiry. Under sequencing the
+                    // overlap is ordinary ordered traffic — not counted.
                     self.counters.cross_coord_waits += 1;
                 }
                 self.queue.push_back(task);

@@ -59,11 +59,27 @@
 //! uses 100% of the CPU and cannot handle more messages").
 
 use crate::procedure::{Procedure, RoundOutputs, Step};
+use crate::sequencer::{EpochLog, EpochLogDest};
 use hcc_common::{
     AbortReason, ClientId, CoordinatorId, CoordinatorRef, CostModel, Decision, FragmentResponse,
     FragmentTask, FxHashMap, FxHashSet, Nanos, PartitionId, TxnId, TxnResult, Vote,
 };
 use std::collections::VecDeque;
+
+/// A decision notification broadcast to peer coordinator shards when
+/// cross-shard sequencing is on: sequenced speculation chains legally span
+/// shards, so a shard can hold a response whose `depends_on` names a
+/// *peer's* transaction — it settles that dependency from these notes
+/// (fed into [`Coordinator::on_peer_decision`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerNote {
+    pub txn: TxnId,
+    pub commit: bool,
+    /// Per-partition committed execution attempts (empty for aborts) —
+    /// the same record the deciding shard keeps for its own dependency
+    /// validation.
+    pub attempts: Vec<(PartitionId, u32)>,
+}
 
 /// Messages emitted by the coordinator, routed by the driver.
 #[derive(Debug)]
@@ -81,6 +97,15 @@ pub enum CoordOut<F, R> {
         txn: TxnId,
         result: TxnResult<R>,
     },
+    /// A decision notification for a peer shard (sequencing runs only;
+    /// see [`PeerNote`]).
+    PeerNote(CoordinatorId, PeerNote),
+    /// A closed sequencing epoch log for a partition or a peer shard
+    /// (sequencing runs only). Emitted by the driver-owned
+    /// [`crate::sequencer::ShardSequencer`], not by the [`Coordinator`]
+    /// state machine itself — it rides `CoordOut` so the drivers' existing
+    /// routing (and its cost accounting and FIFO ordering) applies.
+    EpochLog(EpochLogDest, EpochLog),
 }
 
 /// Counters for coordinator behaviour (saturation analysis, tests).
@@ -272,6 +297,10 @@ pub struct Coordinator<F, R> {
     /// In-doubt commits re-delivered to a promoted primary, awaiting its
     /// re-vote.
     redeliveries: FxHashMap<TxnId, Redelivery<R>>,
+    /// Peer shards to notify of every decision ([`PeerNote`]); non-empty
+    /// only when cross-shard sequencing is on and there is more than one
+    /// shard.
+    peer_shards: Vec<CoordinatorId>,
     pub counters: CoordCounters,
     /// Virtual CPU consumed since the last drain.
     cpu: Nanos,
@@ -314,6 +343,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             hold_results: false,
             in_doubt: FxHashMap::default(),
             redeliveries: FxHashMap::default(),
+            peer_shards: Vec::new(),
             counters: CoordCounters::default(),
             cpu: Nanos::ZERO,
         }
@@ -324,6 +354,15 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
     /// participant has acknowledged its commit decision.
     pub fn set_hold_results(&mut self, on: bool) {
         self.hold_results = on;
+    }
+
+    /// Enable decision broadcast to peer shards (sequencing runs): every
+    /// commit/abort this shard takes is also emitted as a
+    /// [`CoordOut::PeerNote`] to each listed peer, so their dependency
+    /// checks can settle cross-shard speculation chains.
+    pub fn set_peer_broadcast(&mut self, mut peers: Vec<CoordinatorId>) {
+        peers.sort_unstable();
+        self.peer_shards = peers;
     }
 
     /// Whether this coordinator demands commit-decision acks at all.
@@ -352,6 +391,13 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
     fn charge_msgs(&mut self, n: u64) {
         self.cpu += Nanos(self.per_msg.0 * n);
         self.counters.messages_sent += n;
+    }
+
+    /// Charge `n` driver-emitted messages (epoch-log broadcast fan-out) to
+    /// this shard's clock and message counter. The sequencing layer lives
+    /// in the driver, but its traffic is still this coordinator's work.
+    pub fn charge_extra_msgs(&mut self, n: u64) {
+        self.charge_msgs(n);
     }
 
     /// A client submitted a multi-partition transaction.
@@ -977,8 +1023,51 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             });
             msgs += 1;
         }
+        msgs += self.notify_peers(txn, commit, out);
         self.charge_msgs(msgs);
         self.gc();
+    }
+
+    /// Broadcast this decision to peer shards (sequencing runs; no-op
+    /// otherwise). Returns the number of messages emitted.
+    fn notify_peers(&mut self, txn: TxnId, commit: bool, out: &mut Vec<CoordOut<F, R>>) -> u64 {
+        if self.peer_shards.is_empty() {
+            return 0;
+        }
+        let attempts = if commit {
+            self.committed.get(&txn).cloned().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let peers = std::mem::take(&mut self.peer_shards);
+        for k in &peers {
+            out.push(CoordOut::PeerNote(
+                *k,
+                PeerNote {
+                    txn,
+                    commit,
+                    attempts: attempts.clone(),
+                },
+            ));
+        }
+        let n = peers.len() as u64;
+        self.peer_shards = peers;
+        n
+    }
+
+    /// A peer shard decided one of its transactions ([`PeerNote`]): fold
+    /// the outcome into this shard's dependency-validation history so
+    /// responses holding on the peer's transaction can settle.
+    pub fn on_peer_decision(&mut self, note: PeerNote, out: &mut Vec<CoordOut<F, R>>) {
+        self.cpu += self.per_msg;
+        if note.commit {
+            self.committed.entry(note.txn).or_insert(note.attempts);
+        } else {
+            self.aborted.insert(note.txn);
+        }
+        self.history_order.push_back(note.txn);
+        self.gc();
+        self.progress(out);
     }
 
     /// Abort transactions that have been pending longer than `timeout`,
@@ -1140,6 +1229,7 @@ impl<F: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug> Coordinator<F, R> {
             result: TxnResult::Aborted(reason),
         });
         msgs += 1;
+        msgs += self.notify_peers(txn, false, out);
         self.charge_msgs(msgs);
         self.gc();
     }

@@ -45,6 +45,7 @@ pub mod procedure;
 pub mod recovery;
 pub mod replica;
 pub mod scheduler;
+pub mod sequencer;
 pub mod speculative;
 pub mod testkit;
 pub mod txn_driver;
@@ -59,3 +60,7 @@ pub use recovery::{
 };
 pub use replica::{AckTracker, ReplayError, ReplicaCore, ReplicationSession};
 pub use scheduler::{make_scheduler, make_scheduler_send, Scheduler};
+pub use sequencer::{
+    broadcast_dests, Admit, CloseKind, ClosedEpoch, EpochLog, EpochLogDest, PartitionSequencer,
+    PendingInvoke, ShardSequencer,
+};

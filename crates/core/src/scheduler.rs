@@ -50,7 +50,9 @@ macro_rules! build_scheduler {
     ($config:expr, $me:expr) => {
         match $config.scheme {
             Scheme::Blocking => {
-                Box::new(crate::blocking::BlockingScheduler::new($me, $config.costs))
+                let mut s = crate::blocking::BlockingScheduler::new($me, $config.costs);
+                s.set_sequenced($config.sequencing_active());
+                Box::new(s)
             }
             Scheme::Speculative => {
                 let mut s = crate::speculative::SpeculativeScheduler::new(
@@ -59,6 +61,7 @@ macro_rules! build_scheduler {
                     $config.max_speculation_depth,
                 );
                 s.set_local_only($config.local_speculation_only);
+                s.set_sequenced($config.sequencing_active());
                 Box::new(s)
             }
             Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(

@@ -114,6 +114,12 @@ pub struct SpeculativeScheduler<E: ExecutionEngine> {
     /// The cross-shard transaction the pump is currently stalled on
     /// (dedupes the `cross_coord_waits` count).
     blocked_on: Option<TxnId>,
+    /// Cross-shard sequencing active: multi-partition arrivals are already
+    /// globally ordered by the epoch merge, so the §4.2.2
+    /// same-coordinator-chain rule is lifted — speculation chains legally
+    /// span coordinator shards (their cross-shard dependencies settle via
+    /// peer decision notes).
+    sequenced: bool,
     /// Stale continuation fragments dropped (see `on_fragment`).
     pub stale_fragments_dropped: u64,
     counters: SchedulerCounters,
@@ -141,6 +147,7 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
             policy,
             local_only: false,
             blocked_on: None,
+            sequenced: false,
             stale_fragments_dropped: 0,
             counters: SchedulerCounters::default(),
         }
@@ -153,6 +160,13 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
     /// Restrict to local speculation (Figure 10's "Local Spec" variant).
     pub fn set_local_only(&mut self, v: bool) {
         self.local_only = v;
+    }
+
+    /// Cross-shard sequencing is on: lift the §4.2.2 same-coordinator
+    /// restriction (arrivals are globally ordered, so cross-shard chains
+    /// are legal and `cross_coord_waits` should stay zero).
+    pub fn set_sequenced(&mut self, v: bool) {
+        self.sequenced = v;
     }
 
     /// Number of speculative (non-head) uncommitted transactions.
@@ -244,6 +258,7 @@ impl<E: ExecutionEngine> SpeculativeScheduler<E> {
                 if let Some(front) = self.unexecuted.front() {
                     if front.multi_partition
                         && !self.local_only
+                        && !self.sequenced
                         && !self.all_same_coordinator(front.coordinator)
                     {
                         if self.blocked_on != Some(front.txn) {

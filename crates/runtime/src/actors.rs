@@ -58,6 +58,7 @@
 //! one-shot).
 
 use hcc_common::codec::encode_to_vec;
+use hcc_common::stats::SequencerStats;
 use hcc_common::stats::{DurabilityCounters, ReplicationCounters, SchedulerCounters};
 use hcc_common::{
     AbortReason, CachePadded, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel,
@@ -65,11 +66,15 @@ use hcc_common::{
     Scheme, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
-use hcc_core::coordinator::{CoordOut, Coordinator};
+use hcc_core::coordinator::{CoordOut, Coordinator, PeerNote};
 use hcc_core::group_commit::{FlushDecision, GroupCommit};
 use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{
     failover_bounce, AckTracker, FailoverBounce, ReplicaCore, ReplicationSession,
+};
+use hcc_core::sequencer::{
+    broadcast_dests, Admit, CloseKind, ClosedEpoch, EpochLog, EpochLogDest, PartitionSequencer,
+    ShardSequencer,
 };
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
@@ -166,6 +171,13 @@ pub enum Msg<E: ExecutionEngine> {
     /// Backend control (dest [`ActorId::Control`]): group `0` now answers
     /// to the given slot — flip the routing table.
     Promoted { partition: PartitionId, slot: u32 },
+    /// A closed sequencing epoch log: shard → every partition (merge
+    /// input) and every peer shard (cascade-close input). Sequencing runs
+    /// only.
+    EpochLog(EpochLog),
+    /// A peer shard's commit/abort decision for one of its transactions
+    /// (cross-shard dependency settling under sequencing).
+    PeerNote(PeerNote),
 }
 
 /// An outbound message with its destination, as emitted by `step`.
@@ -270,6 +282,11 @@ fn push_coord_out<E: ExecutionEngine>(
             txn,
             result,
         } => (ActorId::Client(client), Msg::Result { txn, result }),
+        CoordOut::PeerNote(k, note) => (ActorId::Coordinator(k), Msg::PeerNote(note)),
+        CoordOut::EpochLog(dest, log) => match dest {
+            EpochLogDest::Partition(p) => (ActorId::Partition(p), Msg::EpochLog(log)),
+            EpochLogDest::Shard(k) => (ActorId::Coordinator(k), Msg::EpochLog(log)),
+        },
     };
     out.push(OutMsg { dest, msg });
 }
@@ -565,10 +582,23 @@ where
 /// [`MembershipActor`], whose routing updates this actor consumes.
 pub struct CoordinatorActor<E: ExecutionEngine> {
     coord: Coordinator<E::Fragment, E::Output>,
+    id: CoordinatorId,
     /// Stall expiry for cross-shard distributed deadlocks (`Some` only
-    /// with N > 1 shards; the singleton's global dispatch order cannot
-    /// deadlock). Driven by `Msg::Tick`.
+    /// with N > 1 shards and sequencing off; the singleton's global
+    /// dispatch order cannot deadlock, and under sequencing the merged
+    /// epoch order leaves nothing for expiry to break). Driven by
+    /// `Msg::Tick`.
     expiry: Option<Nanos>,
+    /// Epoch sequencer (invocation buffer + log emitter); `None` when
+    /// sequencing is off. Age-boundary closes ride `Msg::Tick`.
+    seq: Option<ShardSequencer<E::Fragment, E::Output>>,
+    /// Broadcast geometry + age boundary for the sequencer.
+    partitions: u32,
+    shards: u32,
+    seq_delay: Nanos,
+    /// `CrossCoordinator` expiry aborts issued by this shard (any mode;
+    /// must stay zero while sequencing is on — see [`SequencerStats`]).
+    cross_coord_aborts: u64,
     scratch: Vec<CoordOut<E::Fragment, E::Output>>,
 }
 
@@ -584,8 +614,79 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
         coord.set_hold_results(hold_results);
         CoordinatorActor {
             coord,
+            id,
             expiry,
+            seq: None,
+            partitions: 0,
+            shards: 1,
+            seq_delay: Nanos::ZERO,
+            cross_coord_aborts: 0,
             scratch: Vec::new(),
+        }
+    }
+
+    /// Turn on epoch sequencing for this shard (call before the run
+    /// starts; backends do this when `SystemConfig::sequencing_active()`).
+    /// With peer shards, also enables the decision broadcast that lets
+    /// speculation chains span shards.
+    pub fn enable_sequencing(&mut self, system: &SystemConfig) {
+        debug_assert!(system.sequencing_active());
+        let shards = system.coordinators.max(1);
+        self.partitions = system.partitions;
+        self.shards = shards;
+        self.seq_delay = system.sequencing.max_delay();
+        self.seq = Some(ShardSequencer::new(self.id, system.sequencing.batch()));
+        if shards > 1 {
+            let peers = (0..shards)
+                .filter(|&j| j != self.id.0)
+                .map(CoordinatorId)
+                .collect();
+            self.coord.set_peer_broadcast(peers);
+        }
+    }
+
+    /// Sequencer counters for the run report (zero when sequencing is
+    /// off, except `cross_coord_aborts`, counted in any mode).
+    pub fn seq_stats(&self) -> SequencerStats {
+        let mut stats = self
+            .seq
+            .as_ref()
+            .map(|s| s.stats().clone())
+            .unwrap_or_default();
+        stats.cross_coord_aborts += self.cross_coord_aborts;
+        stats
+    }
+
+    /// Emit a closed epoch: the log broadcast goes into `out` *before* the
+    /// epoch's invocations dispatch fragments (also via `out`, drained
+    /// from the scratch at the end of `step`), so per-mailbox FIFO lands
+    /// each log ahead of the round-0 fragments it orders.
+    fn emit_closed(
+        &mut self,
+        closed: ClosedEpoch<E::Fragment, E::Output>,
+        now: Nanos,
+        out: &mut Vec<OutMsg<E>>,
+    ) {
+        for dest in broadcast_dests(self.partitions, self.shards, self.id) {
+            let (dest, msg) = match dest {
+                EpochLogDest::Partition(p) => {
+                    (ActorId::Partition(p), Msg::EpochLog(closed.log.clone()))
+                }
+                EpochLogDest::Shard(k) => {
+                    (ActorId::Coordinator(k), Msg::EpochLog(closed.log.clone()))
+                }
+            };
+            out.push(OutMsg { dest, msg });
+        }
+        for inv in closed.invokes {
+            self.coord.on_invoke_at(
+                inv.txn,
+                inv.client,
+                inv.procedure,
+                inv.can_abort,
+                now,
+                &mut self.scratch,
+            );
         }
     }
 
@@ -597,9 +698,27 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
                 client,
                 procedure,
                 can_abort,
-            } => self
-                .coord
-                .on_invoke_at(txn, client, procedure, can_abort, now, &mut self.scratch),
+            } => {
+                if self.seq.is_some() {
+                    let closed = self
+                        .seq
+                        .as_mut()
+                        .expect("checked")
+                        .push(txn, client, procedure, can_abort, now);
+                    if let Some(closed) = closed {
+                        self.emit_closed(closed, now, out);
+                    }
+                } else {
+                    self.coord.on_invoke_at(
+                        txn,
+                        client,
+                        procedure,
+                        can_abort,
+                        now,
+                        &mut self.scratch,
+                    )
+                }
+            }
             Msg::Response(r) => self.coord.on_response(r, &mut self.scratch),
             Msg::Tick => {
                 if let Some(timeout) = self.expiry {
@@ -607,23 +726,95 @@ impl<E: ExecutionEngine> CoordinatorActor<E> {
                     // with the retryable CrossCoordinator so the clients
                     // re-submit (§4.3's timeout resolution, applied to
                     // coordinator chains).
+                    let before = self.scratch.len();
                     self.coord.expire_stalled(
                         now,
                         timeout,
                         AbortReason::CrossCoordinator,
                         &mut self.scratch,
                     );
+                    let expired = self.scratch[before..]
+                        .iter()
+                        .filter(|m| {
+                            matches!(
+                                m,
+                                CoordOut::ClientResult {
+                                    result: TxnResult::Aborted(AbortReason::CrossCoordinator),
+                                    ..
+                                }
+                            )
+                        })
+                        .count() as u64;
+                    self.cross_coord_aborts += expired;
+                    // Backends disable expiry under sequencing; an abort
+                    // here with the sequencer live is a wiring bug.
+                    debug_assert!(
+                        self.seq.is_none() || expired == 0,
+                        "CrossCoordinator abort while sequencing is on"
+                    );
+                }
+                // Age boundary: close the open epoch once its oldest
+                // buffered invocation has waited `max_delay`.
+                let closed = match &mut self.seq {
+                    Some(seq)
+                        if seq
+                            .oldest_enqueued_at()
+                            .is_some_and(|t| now.saturating_sub(t) >= self.seq_delay) =>
+                    {
+                        Some(seq.close(now, CloseKind::Age))
+                    }
+                    _ => None,
+                };
+                if let Some(closed) = closed {
+                    self.emit_closed(closed, now, out);
                 }
             }
             Msg::RoutingUpdate { partition, epoch } => {
                 let _aborted = self
                     .coord
                     .on_partition_failed(partition, epoch, &mut self.scratch);
+                if let Some(seq) = self.seq.as_mut() {
+                    // Membership changed: end the era. Buffered
+                    // invocations bounce to their clients for a retry in
+                    // the new era; the era-end marker tells every
+                    // partition where the old era's merge stops.
+                    let (marker, bounced) = seq.on_era_change();
+                    for dest in broadcast_dests(self.partitions, self.shards, self.id) {
+                        let (dest, msg) = match dest {
+                            EpochLogDest::Partition(p) => {
+                                (ActorId::Partition(p), Msg::EpochLog(marker.clone()))
+                            }
+                            EpochLogDest::Shard(k) => {
+                                (ActorId::Coordinator(k), Msg::EpochLog(marker.clone()))
+                            }
+                        };
+                        out.push(OutMsg { dest, msg });
+                    }
+                    for inv in bounced {
+                        out.push(OutMsg {
+                            dest: ActorId::Client(inv.client),
+                            msg: Msg::Result {
+                                txn: inv.txn,
+                                result: TxnResult::Aborted(AbortReason::PartitionFailed),
+                            },
+                        });
+                    }
+                }
             }
             Msg::DecisionAck { txn, partition } => {
                 self.coord
                     .on_decision_ack(txn, partition, &mut self.scratch)
             }
+            Msg::EpochLog(log) => {
+                let closed = match &mut self.seq {
+                    Some(seq) => seq.on_peer_log(&log, now),
+                    None => Vec::new(),
+                };
+                for c in closed {
+                    self.emit_closed(c, now, out);
+                }
+            }
+            Msg::PeerNote(note) => self.coord.on_peer_decision(note, &mut self.scratch),
             _ => debug_assert!(false, "unexpected message at coordinator"),
         }
         let _ = self.coord.take_cpu();
@@ -788,6 +979,9 @@ pub struct ReplicaParts<E> {
     /// Durable-log counters (all zero when durability was off or the node
     /// never served as a logging primary).
     pub dur: DurabilityCounters,
+    /// Partition-side sequencer counters (all zero when sequencing was off
+    /// or the node never served as a primary).
+    pub seq: SequencerStats,
 }
 
 /// One physical replica node (paper §2.3's single-threaded partition
@@ -812,6 +1006,11 @@ pub struct ReplicaActor<E: ExecutionEngine> {
     /// the counters of its backup past; a crashed primary keeps its own).
     sched_counters: SchedulerCounters,
     repl_counters: ReplicationCounters,
+    /// Epoch-merge admission gate (primary with sequencing on; a promoted
+    /// node starts a fresh, unsynced one).
+    seq: Option<PartitionSequencer<E::Fragment>>,
+    /// Sequencer counters of gates retired by a role change.
+    seq_retired: SequencerStats,
 }
 
 impl<E> ReplicaActor<E>
@@ -861,6 +1060,8 @@ where
         ReplicaActor {
             group,
             slot,
+            seq: (slot == 0 && system.sequencing_active())
+                .then(|| PartitionSequencer::new(group, system.coordinators.max(1))),
             system: system.clone(),
             engine,
             role,
@@ -873,6 +1074,7 @@ where
             scratch: Vec::new(),
             sched_counters: SchedulerCounters::default(),
             repl_counters: ReplicationCounters::default(),
+            seq_retired: SequencerStats::default(),
         }
     }
 
@@ -901,6 +1103,10 @@ where
             }
             None => (None, DurabilityCounters::default()),
         };
+        let mut seq = self.seq_retired;
+        if let Some(gate) = &self.seq {
+            seq.merge(gate.stats());
+        }
         ReplicaParts {
             group: self.group,
             slot: self.slot,
@@ -911,6 +1117,7 @@ where
             repl: self.repl_counters,
             log_image,
             dur,
+            seq,
         }
     }
 
@@ -1261,6 +1468,23 @@ where
         }
     }
 
+    /// Hand a fragment to the scheduler (recording it for replication
+    /// first) — the single admission point for direct, sequenced, and
+    /// log-released fragments.
+    fn admit_fragment(&mut self, task: FragmentTask<E::Fragment>, now: Nanos) {
+        if let Role::Primary {
+            session: Some(session),
+            ..
+        } = &mut self.role
+        {
+            session.record_fragment(&task);
+        }
+        let Role::Primary { sched, .. } = &mut self.role else {
+            unreachable!()
+        };
+        sched.on_fragment(task, &mut self.engine, now, &mut self.outbox);
+    }
+
     fn step_primary(&mut self, msg: Msg<E>, now: Nanos, out: &mut Vec<OutMsg<E>>) {
         debug_assert!(self.outbox.messages.is_empty());
         match msg {
@@ -1286,17 +1510,30 @@ where
                         }
                     }
                 }
-                if let Role::Primary {
-                    session: Some(session),
-                    ..
-                } = &mut self.role
-                {
-                    session.record_fragment(&task);
+                // Sequencing gate: centrally coordinated MP round-0
+                // fragments dispatch in merged epoch order; a fragment
+                // ahead of its turn is held until its predecessors arrive.
+                if self.seq.is_some() && PartitionSequencer::gates(&task) {
+                    match self.seq.as_mut().expect("checked").on_mp_fragment(task) {
+                        Admit::Deliver(tasks) => {
+                            for t in tasks {
+                                self.admit_fragment(t, now);
+                            }
+                        }
+                        Admit::Held => {}
+                    }
+                } else {
+                    self.admit_fragment(task, now);
                 }
-                let Role::Primary { sched, .. } = &mut self.role else {
-                    unreachable!()
+            }
+            Msg::EpochLog(log) => {
+                let released = match &mut self.seq {
+                    Some(seq) => seq.on_log(log),
+                    None => Vec::new(),
                 };
-                sched.on_fragment(task, &mut self.engine, now, &mut self.outbox);
+                for t in released {
+                    self.admit_fragment(t, now);
+                }
             }
             Msg::Decision(d, ack_to) => {
                 if d.commit {
@@ -1564,15 +1801,30 @@ where
                 // node's log (correlated-crash recovery of a failed-over
                 // group needs both, which the harness does not exercise).
                 self.dur = self.system.durability.map(Durability::new);
+                // The dead primary's merge position and held fragments are
+                // lost with it: start unsynced and join the merge at the
+                // first complete post-failover era.
+                if self.system.sequencing_active() {
+                    let old = self.seq.replace(PartitionSequencer::promoted(
+                        self.group,
+                        self.system.coordinators.max(1),
+                    ));
+                    if let Some(old) = old {
+                        self.seq_retired.merge(old.stats());
+                    }
+                }
             }
             // A fragment can only arrive here through the membership flip
             // racing ahead of the promotion, which the coordinator's
             // emission order prevents; bounce defensively so the client
             // retries rather than hangs.
             Msg::Fragment(task) => self.bounce(&task, out),
-            // Late decisions/acks/ticks for a role this node no longer
-            // plays: drop.
-            Msg::Decision(..) | Msg::CommitAck { .. } | Msg::Tick => {}
+            // Late decisions/acks/ticks/epoch logs for a role this node no
+            // longer plays: drop. (An epoch log can only arrive here
+            // through the membership flip racing ahead of the promotion;
+            // the unsynced promoted gate passes the affected fragments
+            // through when they are redelivered.)
+            Msg::Decision(..) | Msg::CommitAck { .. } | Msg::Tick | Msg::EpochLog(_) => {}
             Msg::FetchState { requester_slot } => {
                 // Serve a sibling's recovery from backup state (only the
                 // primary is asked in the current protocol, but the answer

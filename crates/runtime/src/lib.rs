@@ -44,7 +44,7 @@ pub use threaded::ThreadedBackend;
 
 use crate::actors::ReplicaParts;
 use hcc_common::stats::{
-    DurabilityCounters, LatencySummary, ReplicationCounters, SchedulerCounters,
+    DurabilityCounters, LatencySummary, ReplicationCounters, SchedulerCounters, SequencerStats,
 };
 use hcc_common::{FailurePlan, Nanos, PartitionId, SystemConfig};
 use hcc_core::client::ClientStats;
@@ -222,6 +222,10 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     /// threaded runs). Index = worker id; partitions pin to
     /// `group % workers.len()`.
     pub workers: Vec<WorkerStats>,
+    /// Epoch-sequencing counters summed across coordinator shards and
+    /// partition gates (all zero when `SystemConfig::sequencing` is off,
+    /// except `cross_coord_aborts`, counted in any mode).
+    pub sequencer: SequencerStats,
 }
 
 impl<E: ExecutionEngine> RuntimeReport<E> {
@@ -287,11 +291,13 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
     ReplicationCounters,
     DurabilityCounters,
     Vec<Option<Vec<u8>>>,
+    SequencerStats,
 ) {
     parts.sort_by_key(|p| (p.group, p.slot));
     let mut sched = SchedulerCounters::default();
     let mut repl = ReplicationCounters::default();
     let mut dur = DurabilityCounters::default();
+    let mut seq = SequencerStats::default();
     let mut engines: Vec<Option<E>> = (0..groups).map(|_| None).collect();
     let mut logs: Vec<Option<Vec<u8>>> = (0..groups).map(|_| None).collect();
     let mut backups = Vec::new();
@@ -299,6 +305,7 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
         sched.merge(&part.sched);
         repl.merge(&part.repl);
         dur.merge(&part.dur);
+        seq.merge(&part.seq);
         if part.is_primary {
             let slot = engines
                 .get_mut(part.group.as_usize())
@@ -317,7 +324,7 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
         .into_iter()
         .map(|e| e.expect("every group has a primary"))
         .collect();
-    (engines, backups, sched, repl, dur, logs)
+    (engines, backups, sched, repl, dur, logs, seq)
 }
 
 /// Finish a report from the pieces every backend harvests.
@@ -334,6 +341,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
     durability: DurabilityCounters,
     logs: Vec<Option<Vec<u8>>>,
     workers: Vec<WorkerStats>,
+    sequencer: SequencerStats,
 ) -> RuntimeReport<E> {
     let (committed, secs) = match mode {
         RunMode::Timed { measure, .. } => (committed_in_window, measure.as_secs_f64()),
@@ -350,6 +358,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
         durability,
         logs,
         workers,
+        sequencer,
     }
 }
 

@@ -63,6 +63,7 @@ use crate::{
     assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
     WorkerStats,
 };
+use hcc_common::stats::SequencerStats;
 use hcc_common::{CachePadded, ClientId, CoordinatorId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
@@ -444,16 +445,21 @@ impl Backend for MultiplexedBackend {
         }
         let shards = system.coordinators.max(1) as usize;
         let track_in_doubt = cfg.failure.is_some();
-        let coord_expiry = (shards > 1).then_some(system.lock_timeout);
+        let seq_on = system.sequencing_active();
+        let coord_expiry = (shards > 1 && !seq_on).then_some(system.lock_timeout);
         for k in 0..shards {
+            let mut coord: CoordinatorActor<W::Engine> = CoordinatorActor::new(
+                system.costs,
+                CoordinatorId(k as u32),
+                track_in_doubt,
+                system.durability.is_some(),
+                coord_expiry,
+            );
+            if seq_on {
+                coord.enable_sequencing(system);
+            }
             actors.push(CachePadded::new(Mutex::new(AnyActor::Coordinator(
-                Box::new(CoordinatorActor::new(
-                    system.costs,
-                    CoordinatorId(k as u32),
-                    track_in_doubt,
-                    system.durability.is_some(),
-                    coord_expiry,
-                )),
+                Box::new(coord),
             ))));
         }
         actors.push(CachePadded::new(Mutex::new(AnyActor::Membership(
@@ -513,7 +519,8 @@ impl Backend for MultiplexedBackend {
         // be waiting on a lock or a cross-shard chain).
         let timer_stop = Arc::new(AtomicBool::new(false));
         let tick_partitions = system.scheme == Scheme::Locking || system.durability.is_some();
-        let tick_coords = shards > 1;
+        // Sequencing coordinators tick too: epoch age-closes ride Tick.
+        let tick_coords = shards > 1 || seq_on;
         // Clients park during backoff retries (infrastructure aborts) and
         // need a wake-up tick; only configurations that can produce such
         // aborts pay for the ticking — and only while at least one client
@@ -528,6 +535,11 @@ impl Backend for MultiplexedBackend {
                 // Group-commit flushes ride the same timer; tick at least
                 // twice per interval so batch latency stays near the knob.
                 tick_nanos = tick_nanos.min(d.group_commit_interval.0 / 2);
+            }
+            if seq_on {
+                // Epoch age-closes fire at half the max delay so a lone
+                // buffered invoke never waits much past its deadline.
+                tick_nanos = tick_nanos.min(system.sequencing.max_delay().0 / 2);
             }
             let tick_every = Duration::from_nanos(tick_nanos).max(
                 // Don't busy-spin on sub-microsecond timeouts.
@@ -620,15 +632,18 @@ impl Backend for MultiplexedBackend {
         let worker_stats: Vec<WorkerStats> =
             shared.workers.iter().map(|ws| *ws.stats.lock()).collect();
         let mut clients_stats = ClientStats::default();
+        let mut sequencer = SequencerStats::default();
         let mut parts: Vec<ReplicaParts<W::Engine>> = Vec::new();
         for slot in shared.actors {
             match slot.into_inner().into_inner() {
                 AnyActor::Client(c) => clients_stats.merge(&c.into_stats()),
-                AnyActor::Coordinator(_) | AnyActor::Membership(_) => {}
+                AnyActor::Coordinator(c) => sequencer.merge(&c.seq_stats()),
+                AnyActor::Membership(_) => {}
                 AnyActor::Replica(r) => parts.push(r.into_parts()),
             }
         }
-        let (engines, backups, sched, repl, dur, logs) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs, part_seq) = assemble_replicas(parts, n);
+        sequencer.merge(&part_seq);
 
         finish_report(
             &cfg.mode,
@@ -642,6 +657,7 @@ impl Backend for MultiplexedBackend {
             dur,
             logs,
             worker_stats,
+            sequencer,
         )
     }
 }

@@ -26,6 +26,7 @@ use crate::{
     assemble_replicas, finish_report, now_ns, Backend, RunMode, RuntimeConfig, RuntimeReport,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hcc_common::stats::SequencerStats;
 use hcc_common::{ClientId, CoordinatorId, PartitionId, Scheme};
 use hcc_core::client::ClientStats;
 use hcc_core::{ExecutionEngine, RequestGenerator};
@@ -203,9 +204,12 @@ impl Backend for ThreadedBackend {
         }
 
         // Coordinator shard threads. With N > 1 shards, each also ticks
-        // itself to expire cross-shard distributed deadlocks.
+        // itself to expire cross-shard distributed deadlocks — unless the
+        // sequencer is on, which replaces expiry with epoch age-closes
+        // (also tick-driven).
         let track_in_doubt = cfg.failure.is_some();
-        let coord_expiry = (shards > 1).then_some(system.lock_timeout);
+        let seq_on = system.sequencing_active();
+        let coord_expiry = (shards > 1 && !seq_on).then_some(system.lock_timeout);
         let mut coord_handles = Vec::new();
         for (k, rx) in coord_rxs.into_iter().enumerate() {
             let mut actor: CoordinatorActor<E<W>> = CoordinatorActor::new(
@@ -215,9 +219,18 @@ impl Backend for ThreadedBackend {
                 system.durability.is_some(),
                 coord_expiry,
             );
+            if seq_on {
+                actor.enable_sequencing(system);
+            }
             let router = router.clone();
-            let tick_every = Duration::from_nanos(system.lock_timeout.0 / 4);
-            let ticks = coord_expiry.is_some();
+            let mut tick_nanos = system.lock_timeout.0 / 4;
+            if seq_on {
+                // Age-closes fire at half the max epoch delay so a lone
+                // buffered invoke never waits much past its deadline.
+                tick_nanos = tick_nanos.min(system.sequencing.max_delay().0 / 2);
+            }
+            let tick_every = Duration::from_nanos(tick_nanos.max(50_000));
+            let ticks = coord_expiry.is_some() || seq_on;
             coord_handles.push(std::thread::spawn(move || {
                 let mut buf = Vec::new();
                 loop {
@@ -236,6 +249,7 @@ impl Backend for ThreadedBackend {
                     actor.step(msg, now_ns(epoch), &mut buf);
                     router.route(&mut buf);
                 }
+                actor.seq_stats()
             }));
         }
 
@@ -346,8 +360,9 @@ impl Backend for ThreadedBackend {
         for tx in &router.coords {
             let _ = tx.send(Wire::Shutdown);
         }
+        let mut sequencer = SequencerStats::default();
         for h in coord_handles {
-            h.join().expect("coordinator thread");
+            sequencer.merge(&h.join().expect("coordinator thread"));
         }
         let mut parts: Vec<ReplicaParts<E<W>>> = Vec::new();
         // Indexing two parallel structures (channels + handles); an index
@@ -363,7 +378,8 @@ impl Backend for ThreadedBackend {
                 parts.push(h.join().expect("replica thread"));
             }
         }
-        let (engines, backups, sched, repl, dur, logs) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs, part_seq) = assemble_replicas(parts, n);
+        sequencer.merge(&part_seq);
 
         finish_report(
             &cfg.mode,
@@ -377,6 +393,7 @@ impl Backend for ThreadedBackend {
             dur,
             logs,
             Vec::new(),
+            sequencer,
         )
     }
 }

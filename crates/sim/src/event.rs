@@ -4,7 +4,8 @@ use hcc_common::{
     ClientId, CoordinatorId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos,
     PartitionId, TxnId,
 };
-use hcc_core::{ExecutionEngine, Procedure};
+use hcc_core::coordinator::PeerNote;
+use hcc_core::{EpochLog, ExecutionEngine, Procedure};
 use std::cmp::Ordering;
 
 /// A message delivered to a partition. The decision's second field is the
@@ -14,6 +15,9 @@ use std::cmp::Ordering;
 pub enum PartIn<F> {
     Fragment(FragmentTask<F>),
     Decision(Decision, Option<CoordinatorRef>),
+    /// A closed sequencing epoch log from a coordinator shard (sequencing
+    /// runs only).
+    EpochLog(EpochLog),
 }
 
 /// A message delivered to one central coordinator shard.
@@ -40,6 +44,11 @@ pub enum CoordIn<E: ExecutionEngine> {
         txn: TxnId,
         partition: PartitionId,
     },
+    /// A peer shard closed a sequencing epoch (cascade-close input).
+    EpochLog(EpochLog),
+    /// A peer shard decided one of its transactions (cross-shard
+    /// dependency settling under sequencing).
+    PeerNote(PeerNote),
 }
 
 /// A message delivered to a client.
@@ -87,6 +96,14 @@ pub enum Ev<E: ExecutionEngine> {
     /// aborted with `LogStalled`.
     StallCheck {
         p: PartitionId,
+    },
+    /// Sequencing age-boundary check for shard `k`: close its open epoch
+    /// if the oldest buffered invocation has waited `max_delay`. One-shot:
+    /// armed when a shard's buffer becomes non-empty, disarmed (by the
+    /// per-shard `flush_at` guard) when the epoch closes earlier for
+    /// another reason.
+    EpochClose {
+        k: CoordinatorId,
     },
     /// Failover injection: kill p's primary and promote its replica.
     Kill {

@@ -1,7 +1,7 @@
 //! Results of a simulation run.
 
 use hcc_common::stats::{
-    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters, SequencerStats,
 };
 use hcc_common::Nanos;
 use hcc_core::coordinator::CoordCounters;
@@ -40,6 +40,10 @@ pub struct SimReport {
     /// healthy replicated run; failover runs also report the promotion,
     /// recovery, and crash/rejoin timestamps.
     pub replication: ReplicationCounters,
+    /// Epoch-sequencing counters (whole run; all zero when
+    /// `SystemConfig::sequencing` is off, except `cross_coord_aborts`,
+    /// which counts `CrossCoordinator` expiry aborts in any mode).
+    pub sequencer: SequencerStats,
     /// Virtual time simulated.
     pub simulated: Nanos,
     /// Wall-clock events processed (sanity/perf diagnostics).

@@ -4,7 +4,7 @@ use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
 use hcc_common::codec::encode_to_vec;
 use hcc_common::stats::{
-    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters, SequencerStats,
 };
 use hcc_common::{
     AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, FragmentTask, FxHashMap,
@@ -16,8 +16,9 @@ use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{failover_bounce, FailoverBounce, ReplicaCore, ReplicationSession};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
-    make_scheduler, ExecutionEngine, FlushDecision, GroupCommit, Outbox, PartitionOut, Request,
-    RequestGenerator, Scheduler,
+    broadcast_dests, make_scheduler, Admit, CloseKind, ClosedEpoch, EpochLogDest, ExecutionEngine,
+    FlushDecision, GroupCommit, Outbox, PartitionOut, PartitionSequencer, Request,
+    RequestGenerator, Scheduler, ShardSequencer,
 };
 use hcc_storage::{DurableLog, FaultMode, MemLog};
 use std::collections::BinaryHeap;
@@ -156,6 +157,27 @@ pub struct Simulation<W: RequestGenerator> {
     coord_busy_in_window: Vec<u64>,
     /// The control-plane membership/epoch authority (failover mode).
     membership: MembershipCore,
+
+    // --- Epoch sequencing (SystemConfig::sequencing) ---------------------
+    /// Per coordinator shard: the invocation buffer + epoch-log emitter.
+    /// `None` when sequencing is off (every path below is then inert,
+    /// keeping the default event stream untouched).
+    shard_seq: Option<
+        Vec<
+            ShardSequencer<
+                <W::Engine as ExecutionEngine>::Fragment,
+                <W::Engine as ExecutionEngine>::Output,
+            >,
+        >,
+    >,
+    /// Per partition: the round-robin epoch merge + admission gate.
+    part_seq: Option<Vec<PartitionSequencer<<W::Engine as ExecutionEngine>::Fragment>>>,
+    /// Per shard: the (era, epoch) an `Ev::EpochClose` age timer was armed
+    /// for — a close in the meantime advances the pair, disarming it.
+    seq_armed: Vec<Option<(u32, u64)>>,
+    /// Sim-level sequencer counters (cross-coordinator aborts observed,
+    /// sequencers retired by failover); live stats merge in at report time.
+    seq_stats: SequencerStats,
     /// Per partition: transactions the promoted primary applied during its
     /// backup past — the exactly-once guard for in-doubt commit
     /// redelivery (empty until a kill).
@@ -297,12 +319,38 @@ where
         // determinism values) untouched.
         let track_in_doubt = cfg.failover.is_some();
         let durability = cfg.system.durability;
+        let seq_on = cfg.system.sequencing_active();
+        let mut coords: Vec<_> = (0..shards)
+            .map(|k| Coordinator::shard(cfg.system.costs, CoordinatorId(k as u32), track_in_doubt))
+            .collect();
+        if seq_on && shards > 1 {
+            // Under sequencing, speculation chains legally span shards;
+            // each shard broadcasts its commit/abort decisions so peers
+            // can settle cross-shard dependencies.
+            for (k, coord) in coords.iter_mut().enumerate() {
+                let peers = (0..shards)
+                    .filter(|&j| j != k)
+                    .map(|j| CoordinatorId(j as u32))
+                    .collect();
+                coord.set_peer_broadcast(peers);
+            }
+        }
         Simulation {
-            coords: (0..shards)
-                .map(|k| {
-                    Coordinator::shard(cfg.system.costs, CoordinatorId(k as u32), track_in_doubt)
-                })
-                .collect(),
+            coords,
+            shard_seq: seq_on.then(|| {
+                (0..shards)
+                    .map(|k| {
+                        ShardSequencer::new(CoordinatorId(k as u32), cfg.system.sequencing.batch())
+                    })
+                    .collect()
+            }),
+            part_seq: seq_on.then(|| {
+                (0..n)
+                    .map(|p| PartitionSequencer::new(PartitionId(p as u32), shards as u32))
+                    .collect()
+            }),
+            seq_armed: vec![None; shards],
+            seq_stats: SequencerStats::default(),
             coord_busy: vec![Nanos::ZERO; shards],
             coord_busy_in_window: vec![0; shards],
             membership: MembershipCore::new(),
@@ -374,10 +422,13 @@ where
     /// (`lock_timeout`, retryable `CrossCoordinator`), mirroring §4.3's
     /// timeout-based resolution under locking. `None` for the paper's
     /// singleton, whose global dispatch order cannot deadlock.
+    /// With sequencing on the cross-shard breaker is off by design: the
+    /// merged epoch order leaves no out-of-order waits for expiry to
+    /// break, so `CrossCoordinator` aborts must not occur at all.
     fn coord_expiry(&self) -> Option<(Nanos, AbortReason)> {
         if let Some(t) = self.cfg.coordinator_timeout {
             Some((t, AbortReason::RemoteAbort))
-        } else if self.coords.len() > 1 {
+        } else if self.coords.len() > 1 && !self.cfg.system.sequencing_active() {
             Some((self.cfg.system.lock_timeout, AbortReason::CrossCoordinator))
         } else {
             None
@@ -509,6 +560,29 @@ where
                         },
                     )
                 }
+                CoordOut::PeerNote(k, note) => (
+                    depart + one_way,
+                    Ev::ToCoordinator {
+                        k,
+                        msg: CoordIn::PeerNote(note),
+                    },
+                ),
+                CoordOut::EpochLog(dest, log) => match dest {
+                    EpochLogDest::Partition(p) => (
+                        depart + one_way,
+                        Ev::ToPartition {
+                            p,
+                            msg: PartIn::EpochLog(log),
+                        },
+                    ),
+                    EpochLogDest::Shard(k) => (
+                        depart + one_way,
+                        Ev::ToCoordinator {
+                            k,
+                            msg: CoordIn::EpochLog(log),
+                        },
+                    ),
+                },
             };
             if at != group_at && !group.is_empty() {
                 self.flush_group(group_at, &mut group);
@@ -908,8 +982,48 @@ where
                     }
                     return;
                 }
-                self.record_fragment(pi, &task);
-                self.scheds[pi].on_fragment(task, &mut self.engines[pi], start, &mut self.outbox);
+                // Sequencing gate: centrally coordinated MP round-0
+                // fragments dispatch in merged epoch order; a fragment
+                // ahead of its turn is held until its predecessors arrive.
+                if self.part_seq.is_some() && PartitionSequencer::gates(&task) {
+                    let admit = self.part_seq.as_mut().expect("checked")[pi].on_mp_fragment(task);
+                    match admit {
+                        Admit::Deliver(tasks) => {
+                            for t in tasks {
+                                self.record_fragment(pi, &t);
+                                self.scheds[pi].on_fragment(
+                                    t,
+                                    &mut self.engines[pi],
+                                    start,
+                                    &mut self.outbox,
+                                );
+                            }
+                        }
+                        Admit::Held => {}
+                    }
+                } else {
+                    self.record_fragment(pi, &task);
+                    self.scheds[pi].on_fragment(
+                        task,
+                        &mut self.engines[pi],
+                        start,
+                        &mut self.outbox,
+                    );
+                }
+            }
+            PartIn::EpochLog(log) => {
+                if let Some(seqs) = self.part_seq.as_mut() {
+                    let released = seqs[pi].on_log(log);
+                    for t in released {
+                        self.record_fragment(pi, &t);
+                        self.scheds[pi].on_fragment(
+                            t,
+                            &mut self.engines[pi],
+                            start,
+                            &mut self.outbox,
+                        );
+                    }
+                }
             }
             PartIn::Decision(d, ack_to) => {
                 if d.commit {
@@ -995,11 +1109,67 @@ where
                 client,
                 procedure,
                 can_abort,
-            } => self.coords[ki].on_invoke_at(txn, client, procedure, can_abort, start, &mut out),
+            } => {
+                if self.shard_seq.is_some() {
+                    // Buffer into the open epoch; dispatch happens when
+                    // the epoch closes (count here, age via EpochClose,
+                    // cascade via a peer's log).
+                    let (was_empty, closed) = {
+                        let seqs = self.shard_seq.as_mut().expect("checked");
+                        let was_empty = seqs[ki].is_empty();
+                        (
+                            was_empty,
+                            seqs[ki].push(txn, client, procedure, can_abort, start),
+                        )
+                    };
+                    if let Some(closed) = closed {
+                        self.emit_closed(ki, closed, start, &mut out);
+                    } else if was_empty {
+                        let seqs = self.shard_seq.as_ref().expect("checked");
+                        self.seq_armed[ki] = Some((seqs[ki].era(), seqs[ki].open_epoch()));
+                        let delay = self.cfg.system.sequencing.max_delay();
+                        self.push(start + delay, Ev::EpochClose { k });
+                    }
+                } else {
+                    self.coords[ki].on_invoke_at(txn, client, procedure, can_abort, start, &mut out)
+                }
+            }
             CoordIn::Response(r) => self.coords[ki].on_response(r, &mut out),
             CoordIn::RoutingUpdate { partition, epoch } => {
                 let _ = self.coords[ki].on_partition_failed(partition, epoch, &mut out);
+                if let Some(shard_seq) = self.shard_seq.as_mut() {
+                    // Membership changed: end the era. The open epoch dies
+                    // with it — buffered invocations bounce to their
+                    // clients for a retry in the new era, and an era-end
+                    // marker tells every partition where the merge stops.
+                    let (marker, bounced) = shard_seq[ki].on_era_change();
+                    let partitions = self.cfg.system.partitions;
+                    let shards = self.coords.len() as u32;
+                    let mut fanout = 0u64;
+                    for dest in broadcast_dests(partitions, shards, k) {
+                        out.push(CoordOut::EpochLog(dest, marker.clone()));
+                        fanout += 1;
+                    }
+                    self.coords[ki].charge_extra_msgs(fanout);
+                    for inv in bounced {
+                        out.push(CoordOut::ClientResult {
+                            client: inv.client,
+                            txn: inv.txn,
+                            result: TxnResult::Aborted(AbortReason::PartitionFailed),
+                        });
+                    }
+                }
             }
+            CoordIn::EpochLog(log) => {
+                if self.shard_seq.is_some() {
+                    let closed =
+                        self.shard_seq.as_mut().expect("checked")[ki].on_peer_log(&log, start);
+                    for c in closed {
+                        self.emit_closed(ki, c, start, &mut out);
+                    }
+                }
+            }
+            CoordIn::PeerNote(note) => self.coords[ki].on_peer_decision(note, &mut out),
             CoordIn::DecisionAck { txn, partition } => {
                 self.coords[ki].on_decision_ack(txn, partition, &mut out);
             }
@@ -1029,6 +1199,70 @@ where
         self.route_coord_out(end, None);
     }
 
+    /// Emit a closed epoch from shard `ki`: broadcast its log to every
+    /// partition and peer shard *before* dispatching the epoch's
+    /// invocations, so per-link FIFO delivery lands each log ahead of the
+    /// round-0 fragments it orders (same arrival batch, earlier slots).
+    fn emit_closed(
+        &mut self,
+        ki: usize,
+        closed: ClosedEpoch<
+            <W::Engine as ExecutionEngine>::Fragment,
+            <W::Engine as ExecutionEngine>::Output,
+        >,
+        now: Nanos,
+        out: &mut Vec<
+            CoordOut<
+                <W::Engine as ExecutionEngine>::Fragment,
+                <W::Engine as ExecutionEngine>::Output,
+            >,
+        >,
+    ) {
+        let partitions = self.cfg.system.partitions;
+        let shards = self.coords.len() as u32;
+        let mut fanout = 0u64;
+        for dest in broadcast_dests(partitions, shards, CoordinatorId(ki as u32)) {
+            out.push(CoordOut::EpochLog(dest, closed.log.clone()));
+            fanout += 1;
+        }
+        self.coords[ki].charge_extra_msgs(fanout);
+        for inv in closed.invokes {
+            self.coords[ki].on_invoke_at(
+                inv.txn,
+                inv.client,
+                inv.procedure,
+                inv.can_abort,
+                now,
+                out,
+            );
+        }
+    }
+
+    /// Age-boundary close for shard `k`. One-shot: armed when the shard's
+    /// buffer became non-empty; the recorded (era, epoch) disarms the
+    /// timer if that epoch already closed for another reason.
+    fn handle_epoch_close(&mut self, k: CoordinatorId, at: Nanos) {
+        let ki = k.as_usize();
+        let armed = self.seq_armed[ki].take();
+        let Some(seqs) = self.shard_seq.as_ref() else {
+            return;
+        };
+        if armed != Some((seqs[ki].era(), seqs[ki].open_epoch())) || seqs[ki].is_empty() {
+            return;
+        }
+        let start = at.max(self.coord_busy[ki]);
+        debug_assert!(self.coord_out.is_empty());
+        let mut out = std::mem::take(&mut self.coord_out);
+        let closed = self.shard_seq.as_mut().expect("checked")[ki].close(start, CloseKind::Age);
+        self.emit_closed(ki, closed, start, &mut out);
+        self.coord_out = out;
+        let cpu = self.coords[ki].take_cpu();
+        let end = start + cpu;
+        self.coord_busy[ki] = end;
+        self.coord_busy_in_window[ki] += self.window_overlap(start, end);
+        self.route_coord_out(end, None);
+    }
+
     fn handle_client(
         &mut self,
         c: ClientId,
@@ -1039,6 +1273,16 @@ where
         match msg {
             ClientIn::Result { txn, mut result } => {
                 debug_assert_eq!(self.clients[ci].current_txn, Some(txn), "stray result");
+                if matches!(result, TxnResult::Aborted(AbortReason::CrossCoordinator)) {
+                    // Satellite assert (ISSUE 8): under sequencing the
+                    // merged epoch order leaves nothing for cross-shard
+                    // expiry to break — such an abort is a protocol bug.
+                    self.seq_stats.cross_coord_aborts += 1;
+                    debug_assert!(
+                        !self.cfg.system.sequencing_active(),
+                        "CrossCoordinator abort while sequencing is on"
+                    );
+                }
                 // Durability gate: a committed result is released only
                 // once every participant's commit record is durable. The
                 // release (or the stall-guard bounce) re-delivers through
@@ -1145,6 +1389,14 @@ where
             make_scheduler::<W::Engine>(&self.cfg.system, p),
         );
         self.sched_retired.merge(&dead_sched.counters());
+        // The dead primary's sequencing state (merge position, held
+        // fragments) is lost with it; the promoted node starts unsynced
+        // and joins the merge at the first complete post-failover era.
+        if let Some(seqs) = self.part_seq.as_mut() {
+            let shards = self.coords.len() as u32;
+            let old = std::mem::replace(&mut seqs[pi], PartitionSequencer::promoted(p, shards));
+            self.seq_stats.merge(old.stats());
+        }
         self.part_busy[pi] = at;
         self.repl.merge(&core.counters);
         self.repl.promotions += 1;
@@ -1228,6 +1480,7 @@ where
             Ev::SyncDue { p } => self.handle_sync_due(p, at),
             Ev::SyncDone { p } => self.handle_sync_done(p, at),
             Ev::StallCheck { p } => self.handle_stall_check(p, at),
+            Ev::EpochClose { k } => self.handle_epoch_close(k, at),
             Ev::Kill { p } => self.handle_kill(p, at),
             Ev::Rejoin { p } => self.handle_rejoin(p, at),
             Ev::Batch(_) => unreachable!("batches are never nested"),
@@ -1338,6 +1591,17 @@ where
             backoff_retries += c.core.stats.backoff_retries;
             retry_exhausted += c.core.stats.retry_exhausted;
         }
+        let mut sequencer = self.seq_stats.clone();
+        if let Some(seqs) = &self.shard_seq {
+            for s in seqs {
+                sequencer.merge(s.stats());
+            }
+        }
+        if let Some(seqs) = &self.part_seq {
+            for s in seqs {
+                sequencer.merge(s.stats());
+            }
+        }
         let report = SimReport {
             committed: self.committed,
             user_aborts: self.user_aborts,
@@ -1351,6 +1615,7 @@ where
             sched,
             coord,
             replication,
+            sequencer,
             simulated: self.window_end,
             events_processed: self.events,
             partition_utilization: self

@@ -1,0 +1,485 @@
+//! Epoch-batched cross-shard sequencing (ISSUE 8): with `sequencing =
+//! epoch[:N]` on, every coordinator shard accumulates its multi-partition
+//! invocations into per-epoch logs and partitions dispatch round-0
+//! fragments in the round-robin merge order of those logs — so
+//! speculation chains legally span shards and the PR 4 retry storm
+//! (`CrossCoordinator` expiry aborts on unaligned traffic) disappears.
+//!
+//! These tests pin the sim half of the contract: the retry-storm
+//! regression, bit-determinism per epoch size, serial equivalence of the
+//! sequenced execution, and failover mid-epoch.
+
+use hcc_common::{Nanos, PartitionId, Scheme, SequencingConfig, SystemConfig};
+use hcc_sim::{SimConfig, SimReport, Simulation};
+use hcc_workloads::micro::{MicroConfig, MicroEngine, MicroWorkload};
+
+const EPOCH64: SequencingConfig = SequencingConfig::Epoch { batch: 64 };
+
+/// The PR 4 pain point: 8 partitions, 4 shards, *unaligned* clients
+/// (`affinity_groups: 1`), half the traffic multi-partition.
+fn unaligned_sharded(
+    scheme: Scheme,
+    sequencing: SequencingConfig,
+    seed: u64,
+) -> (SimReport, Vec<MicroEngine>, Option<Vec<MicroEngine>>) {
+    let micro = MicroConfig {
+        partitions: 8,
+        clients: 128,
+        mp_fraction: 0.5,
+        affinity_groups: 1,
+        seed,
+        ..Default::default()
+    };
+    let system = SystemConfig::new(scheme)
+        .with_partitions(8)
+        .with_clients(128)
+        .with_seed(seed)
+        .with_coordinators(4)
+        .with_sequencing(sequencing);
+    let cfg = SimConfig::new(system)
+        .with_window(Nanos::from_millis(30), Nanos::from_millis(150))
+        .with_shadow();
+    let builder = MicroWorkload::new(micro);
+    let (r, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+        builder.build_engine(p)
+    })
+    .run();
+    (r, engines, shadow)
+}
+
+/// Satellite (a): the retry-storm regression PR 4 measured. Sequencing
+/// off, unaligned cross-shard chains are broken only by `lock_timeout`
+/// expiry — retryable `CrossCoordinator` aborts in the hundreds. With
+/// sequencing on they must be *zero* (the counter doubles as the assert:
+/// the sim also debug-panics if one occurs while sequencing is active),
+/// and the freed retry budget must show up as throughput.
+#[test]
+fn sequencing_eliminates_the_unaligned_retry_storm() {
+    // All-MP unaligned traffic with a tight expiry (the default 20 ms
+    // timeout outlives most stalls in a 150 ms window; 2 ms is the
+    // retry-storm shape PR 4 measured, where merely-slow cross-shard
+    // chains get expired and resubmitted over and over).
+    let storm = |sequencing: SequencingConfig| {
+        let micro = MicroConfig {
+            partitions: 8,
+            clients: 128,
+            mp_fraction: 1.0,
+            affinity_groups: 1,
+            seed: 0x94,
+            ..Default::default()
+        };
+        let mut system = SystemConfig::new(Scheme::Speculative)
+            .with_partitions(8)
+            .with_clients(128)
+            .with_seed(0x94)
+            .with_coordinators(4)
+            .with_sequencing(sequencing);
+        system.lock_timeout = Nanos::from_millis(2);
+        let cfg =
+            SimConfig::new(system).with_window(Nanos::from_millis(30), Nanos::from_millis(150));
+        let builder = MicroWorkload::new(micro);
+        let (r, _, _, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        r
+    };
+    let off = storm(SequencingConfig::Off);
+    assert!(
+        off.sequencer.cross_coord_aborts > 50,
+        "baseline must reproduce the PR 4 retry storm (got {} aborts)",
+        off.sequencer.cross_coord_aborts
+    );
+    assert!(off.retries > 50, "expiry aborts must drive client retries");
+    assert_eq!(off.sequencer.epochs_closed, 0, "sequencer off must be idle");
+
+    let on = storm(EPOCH64);
+    assert_eq!(
+        on.sequencer.cross_coord_aborts, 0,
+        "sequencing on: the merged epoch order leaves nothing for expiry to break"
+    );
+    assert_eq!(on.retries, 0, "no expiry aborts, no retry storm");
+    assert!(on.sequencer.epochs_closed > 0, "epochs must actually close");
+    assert!(
+        on.committed as f64 > 1.5 * off.committed as f64,
+        "sequencing must unlock unaligned throughput ({} vs {} committed)",
+        on.committed,
+        off.committed
+    );
+}
+
+/// Satellite (b): per-epoch stats are populated and self-consistent.
+#[test]
+fn epoch_stats_are_populated_and_consistent() {
+    let (r, _, _) = unaligned_sharded(Scheme::Speculative, EPOCH64, 0x95);
+    let s = &r.sequencer;
+    assert!(s.epochs_closed > 0);
+    assert!(s.batch_sum > 0);
+    assert!(s.batch_max <= s.batch_sum);
+    assert!(s.batch_max <= 64, "count boundary caps the batch");
+    assert!(s.mean_batch() > 0.0 && s.mean_batch() <= 64.0);
+    // Every close has a kind; count-closes are the remainder.
+    assert!(s.forced_closes + s.age_closes <= s.epochs_closed);
+    // Holds were recorded for the sequenced invocations.
+    assert!(s.seq_hold.count() > 0, "seq_hold histogram must fill");
+    // Healthy run: no failover, so no discarded logs or passthroughs.
+    assert_eq!(s.logs_discarded, 0);
+    assert_eq!(s.passthrough, 0);
+}
+
+/// Satellite (c): bit-determinism per epoch size — the sim stays a pure
+/// function of (config, seed) at every batch boundary, and different
+/// batch sizes genuinely change the schedule.
+#[test]
+fn sequencing_is_deterministic_per_epoch_size() {
+    let digest = |r: &SimReport, engines: &[MicroEngine]| {
+        let lat = r.latency.summary();
+        let hold = r.sequencer.seq_hold.summary();
+        (
+            r.committed,
+            r.events_processed,
+            r.retries,
+            r.sequencer.epochs_closed,
+            r.sequencer.batch_sum,
+            [lat.p50.0, lat.p99.0, lat.p999.0],
+            [hold.p50.0, hold.p99.0],
+            engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+        )
+    };
+    let mut epochs_closed = Vec::new();
+    for batch in [16u32, 64, 256] {
+        let seq = SequencingConfig::Epoch { batch };
+        let (ra, ea, _) = unaligned_sharded(Scheme::Speculative, seq, 0xC8);
+        let (rb, eb, _) = unaligned_sharded(Scheme::Speculative, seq, 0xC8);
+        assert_eq!(
+            digest(&ra, &ea),
+            digest(&rb, &eb),
+            "batch={batch}: sequenced run must be bit-deterministic"
+        );
+        assert_eq!(ra.sequencer.cross_coord_aborts, 0, "batch={batch}");
+        assert!(
+            ra.sequencer.batch_max <= batch as u64,
+            "batch={batch}: count boundary violated (max {})",
+            ra.sequencer.batch_max
+        );
+        epochs_closed.push(ra.sequencer.epochs_closed);
+    }
+    // Closed-loop clients rarely fill big batches (age/cascade closes
+    // dominate), but a smaller count boundary can only close *more*
+    // epochs, never fewer.
+    assert!(
+        epochs_closed[0] >= epochs_closed[1] && epochs_closed[1] >= epochs_closed[2],
+        "a smaller count boundary cannot close fewer epochs: {epochs_closed:?}"
+    );
+}
+
+/// Satellite (c): the serial-equivalence oracle. The shadow replica
+/// replays each partition's commit log one transaction at a time, in
+/// log order — under sequencing, the order the epoch merge dispatched.
+/// Primary == shadow on every partition therefore proves the sequenced
+/// (speculative, cross-shard-chained) execution is equivalent to a
+/// serial execution of the epoch order; a fragment lost, duplicated, or
+/// dispatched out of merge order diverges the fingerprints.
+#[test]
+fn sequenced_execution_is_serial_equivalent_to_epoch_order() {
+    for scheme in [Scheme::Blocking, Scheme::Speculative, Scheme::Occ] {
+        let (r, engines, shadow) = unaligned_sharded(scheme, EPOCH64, 0xA1);
+        let shadow = shadow.expect("shadow enabled");
+        assert!(r.committed > 500, "{scheme}: throughput collapsed");
+        assert_eq!(r.replication.replay_failures, 0, "{scheme}");
+        assert_eq!(r.sequencer.cross_coord_aborts, 0, "{scheme}");
+        for (i, (e, s)) in engines.iter().zip(shadow.iter()).enumerate() {
+            assert_eq!(
+                e.fingerprint(),
+                s.fingerprint(),
+                "{scheme}: P{i} diverged from the serial replay of its epoch order"
+            );
+        }
+    }
+}
+
+/// The locking scheme orders multi-partition transactions client-side
+/// (2PC from the client driver; no central dispatch to sequence), so the
+/// knob is inert for it: the run must behave exactly as if sequencing
+/// were off.
+#[test]
+fn locking_ignores_the_sequencing_knob() {
+    let digest = |r: &SimReport, engines: &[MicroEngine]| {
+        (
+            r.committed,
+            r.events_processed,
+            engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+        )
+    };
+    let (on, eon, _) = unaligned_sharded(Scheme::Locking, EPOCH64, 0xB2);
+    let (off, eoff, _) = unaligned_sharded(Scheme::Locking, SequencingConfig::Off, 0xB2);
+    assert_eq!(on.sequencer.epochs_closed, 0, "locking never sequences");
+    assert_eq!(
+        digest(&on, &eon),
+        digest(&off, &eoff),
+        "the sequencing knob must be invisible to the locking scheme"
+    );
+}
+
+/// Satellite (c): failover mid-epoch. A primary dies while epochs are in
+/// flight; the promoted backup starts from a fresh (unsynced) epoch gate,
+/// discards stale logs from the old membership era, and the shards bounce
+/// their buffered (un-dispatched) invocations back to the clients as
+/// retryable aborts — so every unclosed epoch's transactions are retried
+/// in the new era and no acknowledged commit is lost (promoted replica ==
+/// recovered replica == serial replay of its log).
+#[test]
+fn failover_mid_epoch_retries_unclosed_work_without_losing_commits() {
+    for scheme in [Scheme::Blocking, Scheme::Speculative] {
+        let run_once = || {
+            let micro = MicroConfig {
+                partitions: 4,
+                clients: 48,
+                mp_fraction: 0.5,
+                abort_prob: 0.05,
+                affinity_groups: 1,
+                seed: 0xF8,
+                ..Default::default()
+            };
+            let system = SystemConfig::new(scheme)
+                .with_partitions(4)
+                .with_clients(48)
+                .with_seed(0xF8)
+                .with_coordinators(2)
+                .with_sequencing(EPOCH64);
+            let cfg = SimConfig::new(system)
+                .with_window(Nanos::from_millis(20), Nanos::from_millis(150))
+                .with_failover(
+                    Nanos::from_millis(50),
+                    PartitionId(1),
+                    Nanos::from_millis(30),
+                );
+            let builder = MicroWorkload::new(micro);
+            let (report, _, engines, replicas) =
+                Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+                    builder.build_engine(p)
+                })
+                .run();
+            let replicas = replicas.expect("failover implies replicas");
+            (
+                report.committed,
+                report.retries,
+                report.replication,
+                report.sequencer.clone(),
+                engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+                replicas.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+            )
+        };
+        let (committed, retries, repl, seq, primaries, replicas) = run_once();
+        assert!(committed > 500, "{scheme}: throughput collapsed");
+        assert!(
+            retries > 0,
+            "{scheme}: the kill must bounce the unclosed epoch's txns for retry"
+        );
+        assert_eq!(repl.promotions, 1, "{scheme}");
+        assert_eq!(repl.recoveries, 1, "{scheme}");
+        assert_eq!(repl.replay_failures, 0, "{scheme}");
+        assert!(seq.epochs_closed > 0, "{scheme}");
+        // No acked commit lost: the recovered node replays to exactly the
+        // promoted primary's state on every group.
+        for (g, (p, r)) in primaries.iter().zip(replicas.iter()).enumerate() {
+            assert_eq!(p, r, "{scheme}: group {g} diverged across the failover");
+        }
+        // Mid-epoch failover is the one legal source of discarded logs /
+        // passthrough admissions — and still never a CrossCoordinator
+        // abort (the bounced invocations carry PartitionFailed).
+        assert_eq!(seq.cross_coord_aborts, 0, "{scheme}");
+        // Deterministic, like every other failover scenario.
+        let again = run_once();
+        assert_eq!(
+            (committed, retries, primaries, replicas),
+            (again.0, again.1, again.4, again.5),
+            "{scheme}: mid-epoch failover must be bit-deterministic"
+        );
+    }
+}
+
+/// Satellite (b): golden fixed-seed values with sequencing *on* — the
+/// counterpart of `determinism.rs::golden_fixed_seed_results_survive_
+/// fast_path_rewrite` (which pins the sequencing-off defaults). Pins
+/// counts, per-partition fingerprints, the full latency-quantile shape,
+/// and the epoch stats. Captured via `cargo run -p hcc-bench --bin
+/// golden_capture`; a change means sequencing semantics moved, not just
+/// speed.
+#[derive(Debug, PartialEq)]
+struct SeqGolden {
+    committed: u64,
+    user_aborts: u64,
+    retries: u64,
+    committed_mp: u64,
+    fingerprints: [u64; 4],
+    latency_ns: [u64; 3],
+    epochs_closed: u64,
+    batch_sum: u64,
+    batch_max: u64,
+    /// p50/p99 of the submission → epoch-close hold time.
+    hold_ns: [u64; 2],
+}
+
+#[test]
+fn golden_fixed_seed_with_sequencing_on() {
+    let golden: [(Scheme, SeqGolden); 3] = [
+        (
+            Scheme::Blocking,
+            SeqGolden {
+                committed: 1345,
+                user_aborts: 60,
+                retries: 0,
+                committed_mp: 524,
+                fingerprints: [
+                    0xbf712aabffdb60be,
+                    0xa6f43318179aca12,
+                    0x138b5595156840ac,
+                    0x48668900cf6767fa,
+                ],
+                latency_ns: [2_300_000, 3_410_000, 3_670_000],
+                epochs_closed: 520,
+                batch_sum: 665,
+                batch_max: 7,
+                hold_ns: [200_000, 256_000],
+            },
+        ),
+        (
+            Scheme::Speculative,
+            SeqGolden {
+                committed: 1961,
+                user_aborts: 100,
+                retries: 0,
+                committed_mp: 769,
+                fingerprints: [
+                    0x4daf3ea33a9ab426,
+                    0xe78230f9c56e37f6,
+                    0x269cfab11aced782,
+                    0x38620889835e3a6e,
+                ],
+                latency_ns: [1_360_000, 4_220_000, 4_710_000],
+                epochs_closed: 394,
+                batch_sum: 998,
+                batch_max: 11,
+                hold_ns: [188_000, 472_000],
+            },
+        ),
+        (
+            Scheme::Occ,
+            SeqGolden {
+                committed: 1236,
+                user_aborts: 53,
+                retries: 0,
+                committed_mp: 480,
+                fingerprints: [
+                    0x06be8838c7131720,
+                    0xdf8bce381a303706,
+                    0xc464a16099d5cff4,
+                    0x549c45fb666b6b2c,
+                ],
+                latency_ns: [2_470_000, 4_070_000, 4_600_000],
+                epochs_closed: 394,
+                batch_sum: 611,
+                batch_max: 7,
+                hold_ns: [200_000, 323_000],
+            },
+        ),
+    ];
+    for (scheme, expected) in golden {
+        let micro = MicroConfig {
+            partitions: 4,
+            mp_fraction: 0.4,
+            abort_prob: 0.05,
+            conflict_prob: 0.2,
+            clients: 32,
+            seed: 0xE8,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(scheme)
+            .with_partitions(4)
+            .with_clients(32)
+            .with_seed(0xE8)
+            .with_coordinators(2)
+            .with_sequencing(EPOCH64);
+        let cfg = SimConfig::new(system)
+            .with_window(Nanos::from_millis(20), Nanos::from_millis(100))
+            .with_shadow();
+        let builder = MicroWorkload::new(micro);
+        let (r, _, engines, shadow) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let shadow = shadow.expect("shadow enabled");
+        let lat = r.latency.summary();
+        let hold = r.sequencer.seq_hold.summary();
+        let got = SeqGolden {
+            committed: r.committed,
+            user_aborts: r.user_aborts,
+            retries: r.retries,
+            committed_mp: r.committed_mp,
+            fingerprints: [
+                engines[0].fingerprint(),
+                engines[1].fingerprint(),
+                engines[2].fingerprint(),
+                engines[3].fingerprint(),
+            ],
+            latency_ns: [lat.p50.0, lat.p99.0, lat.p999.0],
+            epochs_closed: r.sequencer.epochs_closed,
+            batch_sum: r.sequencer.batch_sum,
+            batch_max: r.sequencer.batch_max,
+            hold_ns: [hold.p50.0, hold.p99.0],
+        };
+        assert_eq!(
+            got, expected,
+            "{scheme}: fixed-seed sequenced results changed — semantics moved"
+        );
+        assert_eq!(r.sequencer.cross_coord_aborts, 0, "{scheme}");
+        for (i, (e, s)) in engines.iter().zip(shadow.iter()).enumerate() {
+            assert_eq!(
+                e.fingerprint(),
+                s.fingerprint(),
+                "{scheme}: P{i} primary and shadow replica diverged"
+            );
+        }
+    }
+}
+
+/// SP traffic never touches the sequencer: at `mp_fraction = 0` the knob
+/// must not change committed state, count, or a single latency quantile.
+/// (`events_processed` is deliberately not compared: the off baseline
+/// arms the cross-shard expiry timers sequencing replaces, and those
+/// timer events are bookkeeping, not schedule.)
+#[test]
+fn single_partition_traffic_bypasses_the_sequencer() {
+    let run_sp = |sequencing: SequencingConfig| {
+        let micro = MicroConfig {
+            partitions: 4,
+            clients: 64,
+            mp_fraction: 0.0,
+            seed: 0x51,
+            ..Default::default()
+        };
+        let system = SystemConfig::new(Scheme::Speculative)
+            .with_partitions(4)
+            .with_clients(64)
+            .with_seed(0x51)
+            .with_coordinators(4)
+            .with_sequencing(sequencing);
+        let cfg =
+            SimConfig::new(system).with_window(Nanos::from_millis(20), Nanos::from_millis(100));
+        let builder = MicroWorkload::new(micro);
+        let (r, _, engines, _) = Simulation::new(cfg, MicroWorkload::new(micro), move |p| {
+            builder.build_engine(p)
+        })
+        .run();
+        let lat = r.latency.summary();
+        (
+            r.committed,
+            [lat.p50.0, lat.p99.0, lat.p999.0],
+            engines.iter().map(|e| e.fingerprint()).collect::<Vec<_>>(),
+        )
+    };
+    let off = run_sp(SequencingConfig::Off);
+    let on = run_sp(EPOCH64);
+    assert_eq!(off, on, "SP-only traffic must be unaffected by sequencing");
+}
