@@ -19,8 +19,9 @@
 //!
 //! [`CommitRecord`]: crate::msg::CommitRecord
 
+use crate::config::Scheme;
 use crate::ids::{ClientId, CoordinatorId, CoordinatorRef, PartitionId, TxnId};
-use crate::msg::{CommitRecord, FragmentTask};
+use crate::msg::{CommitRecord, FragmentTask, SchemeSwitch};
 
 /// Binary round-tripping for values stored in the durable command log.
 ///
@@ -207,17 +208,52 @@ impl<F: LogEncode> LogEncode for FragmentTask<F> {
     }
 }
 
+impl LogEncode for Scheme {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Scheme::Blocking => 0,
+            Scheme::Speculative => 1,
+            Scheme::Locking => 2,
+            Scheme::Occ => 3,
+        });
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match take(input, 1)?[0] {
+            0 => Some(Scheme::Blocking),
+            1 => Some(Scheme::Speculative),
+            2 => Some(Scheme::Locking),
+            3 => Some(Scheme::Occ),
+            _ => None,
+        }
+    }
+}
+
+impl LogEncode for SchemeSwitch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epoch.encode(out);
+        self.scheme.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(SchemeSwitch {
+            epoch: u32::decode(input)?,
+            scheme: Scheme::decode(input)?,
+        })
+    }
+}
+
 impl<F: LogEncode> LogEncode for CommitRecord<F> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.seq.encode(out);
         self.txn.encode(out);
         self.frags.encode(out);
+        self.scheme_switch.encode(out);
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         Some(CommitRecord {
             seq: u64::decode(input)?,
             txn: TxnId::decode(input)?,
             frags: Vec::decode(input)?,
+            scheme_switch: Option::decode(input)?,
         })
     }
 }
@@ -284,12 +320,47 @@ mod tests {
                 round: 0,
                 can_abort: false,
             }],
+            scheme_switch: None,
         };
         let bytes = encode_to_vec(&rec);
         let back: CommitRecord<u64> = decode_exact(&bytes).unwrap();
         assert_eq!(back.seq, 41);
         assert_eq!(back.frags.len(), 1);
         assert_eq!(back.frags[0].fragment, 123);
+        assert_eq!(back.scheme_switch, None);
+    }
+
+    #[test]
+    fn scheme_switch_roundtrip() {
+        for scheme in [
+            Scheme::Blocking,
+            Scheme::Speculative,
+            Scheme::Locking,
+            Scheme::Occ,
+        ] {
+            roundtrip(scheme);
+            roundtrip(SchemeSwitch { epoch: 7, scheme });
+        }
+        // An unknown scheme tag is malformed, not a panic.
+        assert!(decode_exact::<Scheme>(&[4]).is_none());
+        let rec = CommitRecord {
+            seq: 9,
+            txn: TxnId::new(ClientId(1), 1),
+            frags: Vec::<FragmentTask<u64>>::new(),
+            scheme_switch: Some(SchemeSwitch {
+                epoch: 3,
+                scheme: Scheme::Locking,
+            }),
+        };
+        let bytes = encode_to_vec(&rec);
+        let back: CommitRecord<u64> = decode_exact(&bytes).unwrap();
+        assert_eq!(
+            back.scheme_switch,
+            Some(SchemeSwitch {
+                epoch: 3,
+                scheme: Scheme::Locking,
+            })
+        );
     }
 
     #[test]
@@ -307,6 +378,7 @@ mod tests {
                 round: 0,
                 can_abort: false,
             }],
+            scheme_switch: None,
         };
         let bytes = encode_to_vec(&rec);
         for cut in 0..bytes.len() {

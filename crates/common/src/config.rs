@@ -343,19 +343,34 @@ impl SequencingConfig {
         Nanos::from_micros(200)
     }
 
-    /// Parses `off` | `epoch` | `epoch:N`.
-    pub fn parse(s: &str) -> Option<SequencingConfig> {
+    /// Parses `off` | `epoch` | `epoch:N`. Malformed input is a loud
+    /// error — a typo'd knob must fail at startup, not silently fall back
+    /// to a default configuration.
+    pub fn parse(s: &str) -> Result<SequencingConfig, String> {
         match s {
-            "off" => Some(SequencingConfig::Off),
-            "epoch" => Some(SequencingConfig::Epoch {
+            "off" => Ok(SequencingConfig::Off),
+            "epoch" => Ok(SequencingConfig::Epoch {
                 batch: Self::DEFAULT_BATCH,
             }),
             _ => {
-                let n = s.strip_prefix("epoch:")?.parse().ok()?;
-                (n >= 1).then_some(SequencingConfig::Epoch { batch: n })
+                let n: u32 = s
+                    .strip_prefix("epoch:")
+                    .ok_or_else(|| bad_knob("sequencing", s, "off | epoch | epoch:N"))?
+                    .parse()
+                    .map_err(|_| bad_knob("sequencing", s, "off | epoch | epoch:N"))?;
+                if n >= 1 {
+                    Ok(SequencingConfig::Epoch { batch: n })
+                } else {
+                    Err(bad_knob("sequencing", s, "off | epoch | epoch:N (N >= 1)"))
+                }
             }
         }
     }
+}
+
+/// Uniform "malformed knob" startup error message.
+pub fn bad_knob(knob: &str, got: &str, expected: &str) -> String {
+    format!("invalid `{knob}` value {got:?}: expected {expected}")
 }
 
 impl std::fmt::Display for SequencingConfig {
@@ -371,6 +386,102 @@ impl std::fmt::Display for SequencingConfig {
 // derive only handles unit variants, and the string is what bench JSON
 // wants anyway.
 impl Serialize for SequencingConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+/// Adaptive scheme selection (ISSUE 10, the paper's §5.7 closed loop).
+///
+/// When on, every partition runs an `AdaptiveScheduler` wrapper that
+/// measures its own workload over sliding windows (mp-fraction, abort
+/// rate, conflict rate, mean fragment length — from `SchedulerCounters`
+/// *deltas*, not lifetime totals), feeds the observations into the §6
+/// analytical model, and live-swaps the underlying scheduler when the
+/// predicted winner beats the incumbent by `margin` for
+/// [`AdaptiveConfig::CONSECUTIVE_WINDOWS`] consecutive windows. The
+/// configured [`SystemConfig::scheme`] is the *initial* scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptiveConfig {
+    /// No adaptation: the configured scheme is pinned for the whole run
+    /// (the paper's configuration; bit-identical to every pre-adaptive
+    /// golden).
+    Off,
+    /// Model-driven switching.
+    Model {
+        /// Hysteresis margin: the predicted winner's score must exceed the
+        /// incumbent's by this relative fraction (e.g. 0.10 = 10%) in
+        /// every qualifying window.
+        margin: f64,
+        /// Window length in transaction *outcomes* (commits + aborts) at
+        /// the partition. Counting outcomes rather than time keeps window
+        /// boundaries — and hence switch points — bit-deterministic in
+        /// the simulator and identical across runtime backends under
+        /// fixed-work runs.
+        window: u32,
+    },
+}
+
+impl AdaptiveConfig {
+    pub const DEFAULT_MARGIN: f64 = 0.15;
+    pub const DEFAULT_WINDOW: u32 = 256;
+    /// Hysteresis depth: the same non-incumbent winner must clear the
+    /// margin in this many consecutive windows before a switch starts.
+    pub const CONSECUTIVE_WINDOWS: u32 = 3;
+
+    pub fn is_on(self) -> bool {
+        matches!(self, AdaptiveConfig::Model { .. })
+    }
+
+    /// Parses `off` | `model` | `model:MARGIN` | `model:MARGIN,WINDOW`.
+    /// Malformed input is a loud startup error, same contract as
+    /// [`SequencingConfig::parse`].
+    pub fn parse(s: &str) -> Result<AdaptiveConfig, String> {
+        const EXPECTED: &str = "off | model | model:MARGIN | model:MARGIN,WINDOW";
+        match s {
+            "off" => Ok(AdaptiveConfig::Off),
+            "model" => Ok(AdaptiveConfig::Model {
+                margin: Self::DEFAULT_MARGIN,
+                window: Self::DEFAULT_WINDOW,
+            }),
+            _ => {
+                let rest = s
+                    .strip_prefix("model:")
+                    .ok_or_else(|| bad_knob("adaptive", s, EXPECTED))?;
+                let (margin_s, window_s) = match rest.split_once(',') {
+                    Some((m, w)) => (m, Some(w)),
+                    None => (rest, None),
+                };
+                let margin: f64 = margin_s
+                    .parse()
+                    .map_err(|_| bad_knob("adaptive", s, EXPECTED))?;
+                if !margin.is_finite() || margin < 0.0 {
+                    return Err(bad_knob("adaptive", s, "a finite margin >= 0"));
+                }
+                let window: u32 = match window_s {
+                    Some(w) => w.parse().map_err(|_| bad_knob("adaptive", s, EXPECTED))?,
+                    None => Self::DEFAULT_WINDOW,
+                };
+                if window == 0 {
+                    return Err(bad_knob("adaptive", s, "a window >= 1"));
+                }
+                Ok(AdaptiveConfig::Model { margin, window })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AdaptiveConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptiveConfig::Off => f.write_str("off"),
+            AdaptiveConfig::Model { margin, window } => write!(f, "model:{margin},{window}"),
+        }
+    }
+}
+
+// Serialized as its `Display` string, mirroring `SequencingConfig`.
+impl Serialize for AdaptiveConfig {
     fn to_value(&self) -> serde::Value {
         serde::Value::Str(self.to_string())
     }
@@ -422,6 +533,12 @@ pub struct SystemConfig {
     /// multi-partition 2PC is client-driven, so there is nothing for a
     /// coordinator shard to order).
     pub sequencing: SequencingConfig,
+    /// Adaptive scheme selection (ISSUE 10): when on, [`Self::scheme`] is
+    /// only the *initial* scheme and each partition re-plans live from
+    /// observed statistics via the §6 model. Mutually exclusive with
+    /// sequencing (the epoch merge order assumes a fixed MP admission
+    /// protocol; enforced loudly by the drivers at startup).
+    pub adaptive: AdaptiveConfig,
     /// Reactor worker threads for the multiplexed backend. `0` (default)
     /// means "auto": the host's available parallelism. Ignored by the
     /// thread-per-actor backend and by the simulator (both are defined
@@ -453,6 +570,7 @@ impl SystemConfig {
             durability: None,
             retry: RetryConfig::default(),
             sequencing: SequencingConfig::Off,
+            adaptive: AdaptiveConfig::Off,
             workers: 0,
             seed: 0xC0FFEE,
         }
@@ -497,6 +615,28 @@ impl SystemConfig {
     pub fn with_sequencing(mut self, s: SequencingConfig) -> Self {
         self.sequencing = s;
         self
+    }
+
+    pub fn with_adaptive(mut self, a: AdaptiveConfig) -> Self {
+        self.adaptive = a;
+        self
+    }
+
+    /// Startup validation shared by the drivers: adaptive switching and
+    /// epoch sequencing are mutually exclusive (the epoch merge order
+    /// assumes a fixed MP admission protocol per partition, while a live
+    /// swap changes it mid-stream). A loud error, per the ISSUE 10 config
+    /// contract.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.adaptive.is_on() && self.sequencing.is_on() {
+            return Err(
+                "`adaptive` and `sequencing` are mutually exclusive: adaptive switching \
+                 changes the MP admission protocol mid-run, which the epoch merge order \
+                 cannot follow"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 
     /// Whether the sequencing layer actually runs: the knob is on *and*
@@ -588,24 +728,105 @@ mod tests {
 
     #[test]
     fn sequencing_parse_and_display() {
-        assert_eq!(SequencingConfig::parse("off"), Some(SequencingConfig::Off));
+        assert_eq!(SequencingConfig::parse("off"), Ok(SequencingConfig::Off));
         assert_eq!(
             SequencingConfig::parse("epoch"),
-            Some(SequencingConfig::Epoch {
+            Ok(SequencingConfig::Epoch {
                 batch: SequencingConfig::DEFAULT_BATCH
             })
         );
         assert_eq!(
             SequencingConfig::parse("epoch:256"),
-            Some(SequencingConfig::Epoch { batch: 256 })
+            Ok(SequencingConfig::Epoch { batch: 256 })
         );
-        assert_eq!(SequencingConfig::parse("epoch:0"), None);
-        assert_eq!(SequencingConfig::parse("calvin"), None);
+        assert!(SequencingConfig::parse("epoch:0").is_err());
+        assert!(SequencingConfig::parse("calvin").is_err());
+        // The ISSUE 10 bug case: a malformed count must be loud, not a
+        // silent fall-back to the default batch.
+        assert!(SequencingConfig::parse("epoch:64x").is_err());
         assert_eq!(
             SequencingConfig::Epoch { batch: 64 }.to_string(),
             "epoch:64"
         );
         assert_eq!(SequencingConfig::Off.to_string(), "off");
+    }
+
+    #[test]
+    fn sequencing_parse_display_round_trip() {
+        for s in ["off", "epoch:1", "epoch:64", "epoch:256"] {
+            let parsed = SequencingConfig::parse(s).expect("valid knob");
+            assert_eq!(parsed.to_string(), s);
+            assert_eq!(SequencingConfig::parse(&parsed.to_string()), Ok(parsed));
+        }
+        // `epoch` is sugar: it round-trips through the explicit form.
+        let sugar = SequencingConfig::parse("epoch").expect("valid knob");
+        assert_eq!(SequencingConfig::parse(&sugar.to_string()), Ok(sugar));
+    }
+
+    #[test]
+    fn adaptive_parse_and_display() {
+        assert_eq!(AdaptiveConfig::parse("off"), Ok(AdaptiveConfig::Off));
+        assert_eq!(
+            AdaptiveConfig::parse("model"),
+            Ok(AdaptiveConfig::Model {
+                margin: AdaptiveConfig::DEFAULT_MARGIN,
+                window: AdaptiveConfig::DEFAULT_WINDOW,
+            })
+        );
+        assert_eq!(
+            AdaptiveConfig::parse("model:0.2"),
+            Ok(AdaptiveConfig::Model {
+                margin: 0.2,
+                window: AdaptiveConfig::DEFAULT_WINDOW,
+            })
+        );
+        assert_eq!(
+            AdaptiveConfig::parse("model:0.1,512"),
+            Ok(AdaptiveConfig::Model {
+                margin: 0.1,
+                window: 512,
+            })
+        );
+        assert!(AdaptiveConfig::parse("model:").is_err());
+        assert!(AdaptiveConfig::parse("model:-0.1").is_err());
+        assert!(AdaptiveConfig::parse("model:0.1,0").is_err());
+        assert!(AdaptiveConfig::parse("model:0.1,64x").is_err());
+        assert!(AdaptiveConfig::parse("auto").is_err());
+        assert_eq!(
+            AdaptiveConfig::Model {
+                margin: 0.1,
+                window: 512
+            }
+            .to_string(),
+            "model:0.1,512"
+        );
+        assert_eq!(AdaptiveConfig::Off.to_string(), "off");
+    }
+
+    #[test]
+    fn adaptive_parse_display_round_trip() {
+        for s in ["off", "model:0.15,256", "model:0.1,512", "model:0,1"] {
+            let parsed = AdaptiveConfig::parse(s).expect("valid knob");
+            assert_eq!(parsed.to_string(), s);
+            assert_eq!(AdaptiveConfig::parse(&parsed.to_string()), Ok(parsed));
+        }
+        let sugar = AdaptiveConfig::parse("model").expect("valid knob");
+        assert_eq!(AdaptiveConfig::parse(&sugar.to_string()), Ok(sugar));
+    }
+
+    #[test]
+    fn adaptive_excludes_sequencing() {
+        let ok = SystemConfig::new(Scheme::Speculative).with_adaptive(AdaptiveConfig::Model {
+            margin: 0.1,
+            window: 64,
+        });
+        assert!(ok.validate().is_ok());
+        let bad = ok.with_sequencing(SequencingConfig::Epoch { batch: 8 });
+        assert!(bad.validate().is_err());
+        assert!(SystemConfig::new(Scheme::Speculative)
+            .with_sequencing(SequencingConfig::Epoch { batch: 8 })
+            .validate()
+            .is_ok());
     }
 
     #[test]

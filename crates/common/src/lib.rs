@@ -26,7 +26,8 @@ pub mod time;
 pub use codec::LogEncode;
 pub use config::FailurePlan;
 pub use config::{
-    CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme, SequencingConfig, SystemConfig,
+    bad_knob, AdaptiveConfig, CostModel, DurabilityConfig, NetworkModel, RetryConfig, Scheme,
+    SequencingConfig, SystemConfig,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{ClientId, CoordinatorId, CoordinatorRef, LockKey, PartitionId, TxnId};
@@ -34,6 +35,8 @@ pub use pad::CachePadded;
 pub use rng::{SplitMix64, Zipfian};
 
 pub use msg::{
-    AbortReason, CommitRecord, Decision, FragmentResponse, FragmentTask, SpecDep, TxnResult, Vote,
+    AbortReason, CommitRecord, Decision, FragmentResponse, FragmentTask, SchemeSwitch, SpecDep,
+    TxnResult, Vote,
 };
+pub use stats::{AdaptiveStats, SwitchRecord};
 pub use time::{Nanos, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -5,6 +5,7 @@
 //! of work that can be executed at exactly one partition", paper §3.1) and
 //! result payload `R`. The concrete payloads live in `hcc-workloads`.
 
+use crate::config::Scheme;
 use crate::ids::{ClientId, CoordinatorRef, PartitionId, TxnId};
 
 /// Why a transaction (or one of its fragments) aborted.
@@ -177,6 +178,26 @@ pub struct CommitRecord<F> {
     pub txn: TxnId,
     /// The transaction's fragments at this partition, sorted by round.
     pub frags: Vec<FragmentTask<F>>,
+    /// Adaptive scheme switch marker (ISSUE 10): set on the first record a
+    /// primary ships after the adaptive controller swapped its scheduler.
+    /// Replicas track the latest (epoch, scheme) they have applied, so a
+    /// promoted backup resumes in the *same scheme at the same transition
+    /// epoch* as the primary it replaces — the switch decision rides the
+    /// commit order, which replication already delivers in sequence.
+    /// `None` everywhere when adaptive is off (and on every record between
+    /// switches), keeping the encoding stable modulo one tag byte.
+    pub scheme_switch: Option<SchemeSwitch>,
+}
+
+/// A scheme transition performed by the adaptive controller, as carried in
+/// the commit stream (see [`CommitRecord::scheme_switch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeSwitch {
+    /// Transition epoch, dense per partition from 1 (0 = the initial
+    /// configured scheme, never shipped).
+    pub epoch: u32,
+    /// The scheme now in force at the shipping partition.
+    pub scheme: Scheme,
 }
 
 #[cfg(test)]

@@ -188,6 +188,10 @@ pub struct SchedulerCounters {
     pub fragments_executed: u64,
     /// Transactions committed at this partition.
     pub committed: u64,
+    /// Multi-partition transactions committed at this partition (subset of
+    /// `committed`); `committed_mp / committed` is the observed
+    /// mp-fraction the adaptive controller feeds the §6 model.
+    pub committed_mp: u64,
     /// Transactions aborted at this partition (any reason, counted once).
     pub aborted: u64,
     /// Fragment executions performed speculatively.
@@ -228,6 +232,7 @@ impl SchedulerCounters {
     pub fn merge(&mut self, o: &SchedulerCounters) {
         self.fragments_executed += o.fragments_executed;
         self.committed += o.committed;
+        self.committed_mp += o.committed_mp;
         self.aborted += o.aborted;
         self.speculative_executions += o.speculative_executions;
         self.squashed_executions += o.squashed_executions;
@@ -241,6 +246,117 @@ impl SchedulerCounters {
         self.rollback_ns += o.rollback_ns;
         self.stray_decisions += o.stray_decisions;
         self.cross_coord_waits += o.cross_coord_waits;
+    }
+
+    /// Snapshot-delta semantics for rate computation (ISSUE 10): the
+    /// counters accumulated since `prev` was captured. Every field
+    /// saturates at zero, so a counter *reset* across a scheme swap (the
+    /// new scheduler starts from zero) yields a zero delta for that
+    /// window instead of a huge underflowed — or negative, if signed —
+    /// rate. Consumers computing rates must use this, never lifetime
+    /// totals (which average away phase shifts).
+    pub fn delta_since(&self, prev: &SchedulerCounters) -> SchedulerCounters {
+        SchedulerCounters {
+            fragments_executed: self
+                .fragments_executed
+                .saturating_sub(prev.fragments_executed),
+            committed: self.committed.saturating_sub(prev.committed),
+            committed_mp: self.committed_mp.saturating_sub(prev.committed_mp),
+            aborted: self.aborted.saturating_sub(prev.aborted),
+            speculative_executions: self
+                .speculative_executions
+                .saturating_sub(prev.speculative_executions),
+            squashed_executions: self
+                .squashed_executions
+                .saturating_sub(prev.squashed_executions),
+            fast_path: self.fast_path.saturating_sub(prev.fast_path),
+            locks_granted_immediately: self
+                .locks_granted_immediately
+                .saturating_sub(prev.locks_granted_immediately),
+            locks_waited: self.locks_waited.saturating_sub(prev.locks_waited),
+            local_deadlocks: self.local_deadlocks.saturating_sub(prev.local_deadlocks),
+            lock_timeouts: self.lock_timeouts.saturating_sub(prev.lock_timeouts),
+            lock_manager_ns: self.lock_manager_ns.saturating_sub(prev.lock_manager_ns),
+            execution_ns: self.execution_ns.saturating_sub(prev.execution_ns),
+            rollback_ns: self.rollback_ns.saturating_sub(prev.rollback_ns),
+            stray_decisions: self.stray_decisions.saturating_sub(prev.stray_decisions),
+            cross_coord_waits: self
+                .cross_coord_waits
+                .saturating_sub(prev.cross_coord_waits),
+        }
+    }
+
+    /// Transaction outcomes (commits + aborts) in this block — the window
+    /// clock of the adaptive controller.
+    pub fn outcomes(&self) -> u64 {
+        self.committed + self.aborted
+    }
+}
+
+/// One live scheme switch performed by the adaptive controller
+/// (ISSUE 10), in the order it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Partition that switched.
+    pub partition: u32,
+    /// Transition epoch: dense per partition from 1, bumped at every
+    /// swap. Failover parity is asserted on (epoch, scheme) pairs.
+    pub epoch: u32,
+    /// Scheme the partition switched *to*.
+    pub scheme: crate::config::Scheme,
+    /// Virtual/wall clock of the swap (when the quiesce completed).
+    pub at_ns: u64,
+}
+
+/// Statistics for the adaptive scheme-selection controller (ISSUE 10),
+/// merged across partitions by the drivers. All zero / empty when
+/// `SystemConfig::adaptive` is off — the golden determinism tests pin
+/// that the paper's configuration pays nothing for this subsystem.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveStats {
+    /// Live scheme swaps performed.
+    pub switches: u64,
+    /// Sliding windows closed and scored against the model.
+    pub windows_evaluated: u64,
+    /// Fragments held during quiesces and replayed after the swap.
+    pub held_fragments: u64,
+    /// Quiesce stall: time from the switch decision to the partition
+    /// draining idle (speculation chains resolved, 2PC settled) so the
+    /// swap could happen.
+    pub quiesce_stall: LatencyHistogram,
+    /// Virtual/wall time spent resident in each scheme, indexed by
+    /// `Scheme as usize` (blocking, speculation, locking, occ).
+    pub residency_ns: [u64; 4],
+    /// Every switch, in order (partitions interleaved by time).
+    pub switch_log: Vec<SwitchRecord>,
+}
+
+impl AdaptiveStats {
+    pub fn merge(&mut self, o: &AdaptiveStats) {
+        self.switches += o.switches;
+        self.windows_evaluated += o.windows_evaluated;
+        self.held_fragments += o.held_fragments;
+        self.quiesce_stall.merge(&o.quiesce_stall);
+        for (a, b) in self.residency_ns.iter_mut().zip(&o.residency_ns) {
+            *a += b;
+        }
+        self.switch_log.extend_from_slice(&o.switch_log);
+        self.switch_log
+            .sort_by_key(|r| (r.at_ns, r.partition, r.epoch));
+    }
+
+    /// Fraction of total resident time spent in each scheme (zeros when
+    /// nothing was recorded).
+    pub fn residency_fractions(&self) -> [f64; 4] {
+        let total: u64 = self.residency_ns.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let mut out = [0.0; 4];
+        for (o, r) in out.iter_mut().zip(&self.residency_ns) {
+            *o = *r as f64 / total as f64;
+        }
+        out
     }
 }
 
@@ -471,6 +587,95 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.mean(), Nanos::from_micros(15));
+    }
+
+    #[test]
+    fn delta_since_is_the_window_increment() {
+        let prev = SchedulerCounters {
+            committed: 100,
+            committed_mp: 10,
+            aborted: 5,
+            execution_ns: 1_000_000,
+            ..Default::default()
+        };
+        let now = SchedulerCounters {
+            committed: 150,
+            committed_mp: 25,
+            aborted: 9,
+            execution_ns: 1_700_000,
+            ..Default::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.committed, 50);
+        assert_eq!(d.committed_mp, 15);
+        assert_eq!(d.aborted, 4);
+        assert_eq!(d.execution_ns, 700_000);
+        assert_eq!(d.outcomes(), 54);
+    }
+
+    #[test]
+    fn delta_since_saturates_across_counter_reset() {
+        // A scheme swap replaces the scheduler; the fresh one counts from
+        // zero. A consumer whose `prev` snapshot predates the swap must
+        // see a zero delta — never an underflowed (u64::MAX-ish) or
+        // inflated rate.
+        let before_swap = SchedulerCounters {
+            committed: 1_000,
+            committed_mp: 200,
+            aborted: 50,
+            fragments_executed: 5_000,
+            execution_ns: 9_999_999,
+            ..Default::default()
+        };
+        let after_reset = SchedulerCounters {
+            committed: 3,
+            committed_mp: 1,
+            aborted: 0,
+            fragments_executed: 4,
+            execution_ns: 1_000,
+            ..Default::default()
+        };
+        let d = after_reset.delta_since(&before_swap);
+        assert_eq!(d.committed, 0);
+        assert_eq!(d.committed_mp, 0);
+        assert_eq!(d.aborted, 0);
+        assert_eq!(d.fragments_executed, 0);
+        assert_eq!(d.execution_ns, 0);
+        // The resulting rates are well-defined (0/0 guarded by callers),
+        // not astronomically inflated.
+        assert!(d.outcomes() < u64::MAX / 2);
+    }
+
+    #[test]
+    fn adaptive_stats_merge_orders_switch_log() {
+        let mut a = AdaptiveStats {
+            switches: 1,
+            residency_ns: [10, 0, 0, 0],
+            switch_log: vec![SwitchRecord {
+                partition: 0,
+                epoch: 1,
+                scheme: crate::config::Scheme::Locking,
+                at_ns: 500,
+            }],
+            ..Default::default()
+        };
+        let b = AdaptiveStats {
+            switches: 1,
+            residency_ns: [0, 20, 0, 0],
+            switch_log: vec![SwitchRecord {
+                partition: 1,
+                epoch: 1,
+                scheme: crate::config::Scheme::Blocking,
+                at_ns: 200,
+            }],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.switches, 2);
+        assert_eq!(a.residency_ns, [10, 20, 0, 0]);
+        assert_eq!(a.switch_log[0].at_ns, 200);
+        let f = a.residency_fractions();
+        assert!((f[0] - 10.0 / 30.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,669 @@
+//! Live per-partition scheme switching driven by the §5.7/§6 model — the
+//! paper's closed loop.
+//!
+//! §5.7 observes that the best concurrency control scheme depends on the
+//! workload ("a database system could measure these statistics and use
+//! this model to select the best scheme") and §6 gives the model. This
+//! module is that sentence as code: [`AdaptiveScheduler`] wraps one of the
+//! four concrete schedulers, measures the statistics the model needs over
+//! sliding windows of transaction *outcomes*, asks
+//! [`hcc_model::recommend`] for the winner, and — with hysteresis, so a
+//! noisy window cannot thrash — performs a live swap:
+//!
+//! 1. **Decide.** A window closes every `window` outcomes
+//!    (commits + aborts, a deterministic event count — never wall time,
+//!    which would differ between the simulator and the live runtime). The
+//!    window's [`SchedulerCounters`] delta yields the observed
+//!    multi-partition fraction, abort rate, conflict rate, multi-round
+//!    share and mean fragment cost; the model's verdict must beat the
+//!    incumbent by `margin` for [`AdaptiveConfig::CONSECUTIVE_WINDOWS`]
+//!    windows in a row before a switch is scheduled.
+//! 2. **Quiesce.** New transactions (round-0 fragments) are held in the
+//!    wrapper; in-flight rounds and 2PC decisions pass through, so every
+//!    speculation chain resolves and every prepared transaction gets its
+//!    decision. The held work never deadlocks the drain: nothing the
+//!    inner scheduler is waiting for depends on admitting a new
+//!    transaction.
+//! 3. **Swap.** The moment the inner scheduler reports
+//!    [`Scheduler::is_idle`], its counters are folded into the wrapper's
+//!    running total, the new scheme's scheduler is built, the transition
+//!    epoch is bumped, a [`SwitchRecord`] is queued for the driver (which
+//!    ships it to replicas inside the commit log, so failover lands in
+//!    the same scheme at the same epoch), and the held fragments replay
+//!    in arrival order.
+//!
+//! Everything here is event-driven and deterministic: the same event
+//! sequence produces the same windows, the same verdicts and the same
+//! switch points in the simulator and in both runtime backends.
+
+use crate::engine::ExecutionEngine;
+use crate::outbox::Outbox;
+use crate::scheduler::Scheduler;
+use hcc_common::stats::{AdaptiveStats, SchedulerCounters, SwitchRecord};
+use hcc_common::{
+    AdaptiveConfig, Decision, FragmentTask, Nanos, PartitionId, Scheme, SchemeSwitch, SystemConfig,
+};
+use hcc_model::{recommend, ModelParams, WorkloadProfile};
+use std::collections::VecDeque;
+
+/// The four concrete schedulers as one sum type, so the wrapper can swap
+/// between them without boxing (and stays `Send` whenever they are).
+pub enum AnySched<E: ExecutionEngine> {
+    Blocking(crate::blocking::BlockingScheduler<E>),
+    Speculative(crate::speculative::SpeculativeScheduler<E>),
+    Locking(crate::locking_sched::LockingScheduler<E>),
+    Occ(crate::occ::OccScheduler<E>),
+}
+
+impl<E: ExecutionEngine> AnySched<E> {
+    /// Build the scheduler for `scheme` with the same knobs
+    /// `make_scheduler` would apply (sequencing is mutually exclusive
+    /// with adaptive, so the sequenced flags are always off here).
+    pub fn build(config: &SystemConfig, me: PartitionId, scheme: Scheme) -> Self {
+        match scheme {
+            Scheme::Blocking => {
+                let mut s = crate::blocking::BlockingScheduler::new(me, config.costs);
+                s.set_sequenced(config.sequencing_active());
+                AnySched::Blocking(s)
+            }
+            Scheme::Speculative => {
+                let mut s = crate::speculative::SpeculativeScheduler::new(
+                    me,
+                    config.costs,
+                    config.max_speculation_depth,
+                );
+                s.set_local_only(config.local_speculation_only);
+                s.set_sequenced(config.sequencing_active());
+                AnySched::Speculative(s)
+            }
+            Scheme::Locking => AnySched::Locking(crate::locking_sched::LockingScheduler::new(
+                me,
+                config.costs,
+                config.lock_timeout,
+            )),
+            Scheme::Occ => AnySched::Occ(crate::occ::OccScheduler::new(me, config.costs)),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:expr, $inner:pat => $body:expr) => {
+        match $self {
+            AnySched::Blocking($inner) => $body,
+            AnySched::Speculative($inner) => $body,
+            AnySched::Locking($inner) => $body,
+            AnySched::Occ($inner) => $body,
+        }
+    };
+}
+
+impl<E: ExecutionEngine> Scheduler<E> for AnySched<E> {
+    fn on_fragment(
+        &mut self,
+        task: FragmentTask<E::Fragment>,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        delegate!(self, s => s.on_fragment(task, engine, now, out))
+    }
+
+    fn on_decision(
+        &mut self,
+        decision: Decision,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        delegate!(self, s => s.on_decision(decision, engine, now, out))
+    }
+
+    fn on_tick(
+        &mut self,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) -> Option<Nanos> {
+        delegate!(self, s => s.on_tick(engine, now, out))
+    }
+
+    fn counters(&self) -> SchedulerCounters {
+        delegate!(self, s => s.counters())
+    }
+
+    fn is_idle(&self) -> bool {
+        delegate!(self, s => s.is_idle())
+    }
+}
+
+/// The adaptive controller for one partition. See the module docs for the
+/// decide → quiesce → swap protocol.
+pub struct AdaptiveScheduler<E: ExecutionEngine> {
+    me: PartitionId,
+    config: SystemConfig,
+    inner: AnySched<E>,
+    scheme: Scheme,
+    /// Dense transition counter: 0 = the initial scheme, bumped at every
+    /// swap. Replicas assert failover parity on (epoch, scheme).
+    epoch: u32,
+    margin: f64,
+    window: u64,
+    /// Counters of every retired inner scheduler, so [`Self::counters`]
+    /// is monotonic across swaps (the fresh inner restarts from zero).
+    retired: SchedulerCounters,
+    /// Cumulative snapshot at the open of the current window.
+    win_start: SchedulerCounters,
+    /// Last conflict-rate estimate from a scheme that could observe one
+    /// (blocking observes nothing about conflicts, so it reuses this).
+    last_conflict: f64,
+    /// Scheme the model proposed last window, and for how many
+    /// consecutive windows — the hysteresis state.
+    streak_for: Option<Scheme>,
+    streak: u32,
+    /// Set while quiescing: the scheme to swap to once the inner drains.
+    target: Option<Scheme>,
+    quiesce_from: Nanos,
+    /// Round-0 fragments held during the quiesce, replayed after the swap.
+    held: VecDeque<FragmentTask<E::Fragment>>,
+    /// Switches not yet drained by the driver (stamped into the commit
+    /// log so replicas follow).
+    notes: Vec<SwitchRecord>,
+    stats: AdaptiveStats,
+    /// Start of the current scheme's residency segment.
+    residency_mark: Nanos,
+    params: ModelParams,
+}
+
+impl<E: ExecutionEngine> AdaptiveScheduler<E> {
+    /// Build the controller. `resume` carries the last applied
+    /// [`SchemeSwitch`] when a backup is promoted mid-run: the new
+    /// primary starts in the scheme (and at the epoch) its predecessor
+    /// had reached, which is what makes failover land deterministically.
+    pub fn new(config: &SystemConfig, me: PartitionId, resume: Option<SchemeSwitch>) -> Self {
+        let (margin, window) = match config.adaptive {
+            AdaptiveConfig::Model { margin, window } => (margin, window as u64),
+            AdaptiveConfig::Off => (AdaptiveConfig::DEFAULT_MARGIN, u64::MAX),
+        };
+        let (scheme, epoch) = match resume {
+            Some(sw) => (sw.scheme, sw.epoch),
+            None => (config.scheme, 0),
+        };
+        AdaptiveScheduler {
+            me,
+            config: config.clone(),
+            inner: AnySched::build(config, me, scheme),
+            scheme,
+            epoch,
+            margin,
+            window: window.max(1),
+            retired: SchedulerCounters::default(),
+            win_start: SchedulerCounters::default(),
+            last_conflict: 0.0,
+            streak_for: None,
+            streak: 0,
+            target: None,
+            quiesce_from: Nanos::ZERO,
+            held: VecDeque::new(),
+            notes: Vec::new(),
+            stats: AdaptiveStats::default(),
+            residency_mark: Nanos::ZERO,
+            params: ModelParams::paper_table2(),
+        }
+    }
+
+    /// The scheme currently executing (or being switched away from).
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Current transition epoch (0 until the first swap).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    fn cumulative(&self) -> SchedulerCounters {
+        let mut c = self.retired;
+        c.merge(&self.inner.counters());
+        c
+    }
+
+    /// The model's §6 parameters, rescaled so `t_sp` matches the mean
+    /// fragment cost observed this window (the network stall `t_mpN` is
+    /// not CPU and stays fixed).
+    fn scaled_params(&self, d: &SchedulerCounters) -> ModelParams {
+        let base = self.params;
+        if d.fragments_executed == 0 || d.execution_ns == 0 {
+            return base;
+        }
+        let mean_frag = d.execution_ns as f64 / d.fragments_executed as f64;
+        let scale = mean_frag / base.t_sp.0 as f64;
+        if !scale.is_finite() || scale <= 0.0 {
+            return base;
+        }
+        let t_mp_c = Nanos((base.t_mp_c.0 as f64 * scale) as u64);
+        ModelParams {
+            t_sp: Nanos(mean_frag as u64),
+            t_sp_s: Nanos((base.t_sp_s.0 as f64 / base.t_sp.0 as f64 * mean_frag) as u64),
+            t_mp: base.t_mp_n() + t_mp_c,
+            t_mp_c,
+            locking_overhead: base.locking_overhead,
+        }
+    }
+
+    /// Translate a window's counter delta into the statistics the model
+    /// consumes — exactly what §5.7 says a deployment "could measure".
+    fn profile(&mut self, d: &SchedulerCounters) -> WorkloadProfile {
+        let outcomes = d.outcomes().max(1) as f64;
+        let mp_fraction = d.committed_mp as f64 / d.committed.max(1) as f64;
+        let abort_rate = d.aborted as f64 / outcomes;
+        // Conflict proxy: lock-wait ratio under locking; squash ratio
+        // under the speculating schemes (exact under OCC's precise
+        // validation, pessimistic under §4.2's assume-all rule); blocking
+        // observes nothing and reuses the last estimate.
+        let conflict_rate = match self.scheme {
+            Scheme::Locking => {
+                let total = d.locks_waited + d.locks_granted_immediately;
+                if total > 0 {
+                    d.locks_waited as f64 / total as f64
+                } else {
+                    self.last_conflict
+                }
+            }
+            Scheme::Speculative | Scheme::Occ => {
+                (d.squashed_executions as f64 / (d.speculative_executions + 1) as f64).min(1.0)
+            }
+            Scheme::Blocking => self.last_conflict,
+        };
+        self.last_conflict = conflict_rate;
+        // Multi-round share: fragments beyond one per transaction are
+        // extra rounds, attributable to multi-partition transactions
+        // (squashed re-executions excluded — they are wasted work, not
+        // rounds).
+        let net_frags = d.fragments_executed.saturating_sub(d.squashed_executions);
+        let extra = net_frags.saturating_sub(d.outcomes());
+        let multi_round_fraction = if d.committed_mp == 0 {
+            0.0
+        } else {
+            (extra as f64 / d.committed_mp as f64).clamp(0.0, 1.0)
+        };
+        // Under adaptive, every multi-partition transaction routes
+        // through the central coordinator (a partition's scheme can
+        // change mid-transaction, so clients cannot run scheme-specific
+        // 2PC); ~8 coordinator messages per MP transaction.
+        let coord_cost_per_mp_secs = 8.0 * self.config.costs.coord_per_msg.as_secs_f64();
+        WorkloadProfile {
+            mp_fraction,
+            abort_rate,
+            conflict_rate,
+            multi_round_fraction,
+            coord_cost_per_mp_secs,
+        }
+    }
+
+    /// Close the window if enough outcomes accumulated, score it, and
+    /// arm a quiesce when the hysteresis threshold is crossed.
+    fn maybe_plan(&mut self, now: Nanos) {
+        let cum = self.cumulative();
+        let d = cum.delta_since(&self.win_start);
+        if d.outcomes() < self.window {
+            return;
+        }
+        self.win_start = cum;
+        self.stats.windows_evaluated += 1;
+        let params = self.scaled_params(&d);
+        let profile = self.profile(&d);
+        let rec = recommend(&params, &profile);
+        let winner = rec.as_scheme();
+        if winner == self.scheme
+            || rec.score_of(winner) < (1.0 + self.margin) * rec.score_of(self.scheme)
+        {
+            self.streak_for = None;
+            self.streak = 0;
+            return;
+        }
+        if self.streak_for == Some(winner) {
+            self.streak += 1;
+        } else {
+            self.streak_for = Some(winner);
+            self.streak = 1;
+        }
+        if self.streak >= AdaptiveConfig::CONSECUTIVE_WINDOWS {
+            self.streak_for = None;
+            self.streak = 0;
+            self.target = Some(winner);
+            self.quiesce_from = now;
+        }
+    }
+
+    fn swap(&mut self, to: Scheme, engine: &mut E, now: Nanos, out: &mut Outbox<E::Output>) {
+        debug_assert!(self.inner.is_idle());
+        self.retired.merge(&self.inner.counters());
+        self.stats.residency_ns[self.scheme as usize] +=
+            now.0.saturating_sub(self.residency_mark.0);
+        self.residency_mark = now;
+        self.stats
+            .quiesce_stall
+            .record(Nanos(now.0.saturating_sub(self.quiesce_from.0)));
+        self.epoch += 1;
+        self.scheme = to;
+        self.inner = AnySched::build(&self.config, self.me, to);
+        self.target = None;
+        self.stats.switches += 1;
+        let record = SwitchRecord {
+            partition: self.me.0,
+            epoch: self.epoch,
+            scheme: to,
+            at_ns: now.0,
+        };
+        self.stats.switch_log.push(record);
+        self.notes.push(record);
+        // The fresh inner counts from zero; open a fresh window so rates
+        // reflect the new scheme only.
+        self.win_start = self.cumulative();
+        // Replay the held transactions in arrival order.
+        while let Some(task) = self.held.pop_front() {
+            self.inner.on_fragment(task, engine, now, out);
+        }
+    }
+
+    /// Runs after every delegated event: completes a pending swap the
+    /// moment the drain finishes, otherwise evaluates the window. Both
+    /// are functions of the event sequence alone — deterministic.
+    fn after_event(&mut self, engine: &mut E, now: Nanos, out: &mut Outbox<E::Output>) {
+        match self.target {
+            Some(to) => {
+                if self.inner.is_idle() {
+                    self.swap(to, engine, now, out);
+                }
+            }
+            None => self.maybe_plan(now),
+        }
+    }
+}
+
+impl<E: ExecutionEngine> Scheduler<E> for AdaptiveScheduler<E> {
+    fn on_fragment(
+        &mut self,
+        task: FragmentTask<E::Fragment>,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        // Quiescing: hold new transactions, pass later rounds through —
+        // an in-flight transaction's next round is something the drain
+        // *waits for*, so holding it would deadlock the swap.
+        if self.target.is_some() && task.round == 0 {
+            self.stats.held_fragments += 1;
+            self.held.push_back(task);
+        } else {
+            self.inner.on_fragment(task, engine, now, out);
+        }
+        self.after_event(engine, now, out);
+    }
+
+    fn on_decision(
+        &mut self,
+        decision: Decision,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) {
+        self.inner.on_decision(decision, engine, now, out);
+        self.after_event(engine, now, out);
+    }
+
+    fn on_tick(
+        &mut self,
+        engine: &mut E,
+        now: Nanos,
+        out: &mut Outbox<E::Output>,
+    ) -> Option<Nanos> {
+        let next = self.inner.on_tick(engine, now, out);
+        self.after_event(engine, now, out);
+        next
+    }
+
+    fn counters(&self) -> SchedulerCounters {
+        self.cumulative()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inner.is_idle() && self.held.is_empty()
+    }
+
+    fn adaptive_stats(&self, now: Nanos) -> Option<AdaptiveStats> {
+        let mut stats = self.stats.clone();
+        // Close the open residency segment so the report covers the
+        // whole run.
+        stats.residency_ns[self.scheme as usize] += now.0.saturating_sub(self.residency_mark.0);
+        Some(stats)
+    }
+
+    fn take_switch_notes(&mut self) -> Vec<SwitchRecord> {
+        std::mem::take(&mut self.notes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{TestEngine, TestFragment};
+    use hcc_common::{ClientId, CoordinatorId, CoordinatorRef, CostModel, TxnId};
+
+    fn sp_task(txn: u32, frag: TestFragment) -> FragmentTask<TestFragment> {
+        FragmentTask {
+            txn: TxnId::new(ClientId(1), txn),
+            coordinator: CoordinatorRef::Client(ClientId(1)),
+            client: ClientId(1),
+            fragment: frag,
+            multi_partition: false,
+            last_fragment: true,
+            round: 0,
+            can_abort: false,
+        }
+    }
+
+    fn mp_task(txn: u32, frag: TestFragment) -> FragmentTask<TestFragment> {
+        FragmentTask {
+            txn: TxnId::new(ClientId(9), txn),
+            coordinator: CoordinatorRef::Central(CoordinatorId(0)),
+            client: ClientId(9),
+            fragment: frag,
+            multi_partition: true,
+            last_fragment: true,
+            round: 0,
+            can_abort: false,
+        }
+    }
+
+    fn decision(txn: u32, commit: bool) -> Decision {
+        Decision {
+            txn: TxnId::new(ClientId(9), txn),
+            commit,
+        }
+    }
+
+    fn adaptive_config(initial: Scheme, margin: f64, window: u32) -> SystemConfig {
+        SystemConfig::new(initial).with_adaptive(AdaptiveConfig::Model { margin, window })
+    }
+
+    fn setup(
+        cfg: &SystemConfig,
+    ) -> (
+        AdaptiveScheduler<TestEngine>,
+        TestEngine,
+        Outbox<Vec<(u64, i64)>>,
+    ) {
+        (
+            AdaptiveScheduler::new(cfg, PartitionId(0), None),
+            TestEngine::with_data(&[(1, 100), (2, 200)]),
+            Outbox::new(CostModel::default()),
+        )
+    }
+
+    #[test]
+    fn delegates_and_accumulates_counters() {
+        let cfg = adaptive_config(Scheme::Blocking, 0.15, 256);
+        let (mut s, mut e, mut out) = setup(&cfg);
+        for i in 1..=5 {
+            s.on_fragment(
+                sp_task(i, TestFragment::add(1, 1)),
+                &mut e,
+                Nanos(0),
+                &mut out,
+            );
+        }
+        assert_eq!(s.counters().committed, 5);
+        assert_eq!(s.counters().committed_mp, 0);
+        assert_eq!(s.scheme(), Scheme::Blocking);
+        assert_eq!(s.epoch(), 0);
+        assert!(s.is_idle());
+        assert_eq!(s.adaptive_stats(Nanos(100)).unwrap().switches, 0);
+        assert!(s.take_switch_notes().is_empty());
+    }
+
+    #[test]
+    fn uniform_single_partition_load_never_switches() {
+        // At f = 0 no scheme beats blocking by the margin; the streak
+        // must never arm.
+        let cfg = adaptive_config(Scheme::Blocking, 0.15, 4);
+        let (mut s, mut e, mut out) = setup(&cfg);
+        for i in 1..=64 {
+            s.on_fragment(
+                sp_task(i, TestFragment::add(1, 1)),
+                &mut e,
+                Nanos(i as u64),
+                &mut out,
+            );
+        }
+        let stats = s.adaptive_stats(Nanos(1000)).unwrap();
+        assert_eq!(stats.switches, 0);
+        assert!(stats.windows_evaluated >= 16);
+        assert_eq!(s.scheme(), Scheme::Blocking);
+        // All residency accrues to the initial scheme.
+        assert_eq!(stats.residency_ns[Scheme::Blocking as usize], 1000);
+        assert_eq!(stats.residency_ns[Scheme::Speculative as usize], 0);
+    }
+
+    #[test]
+    fn sustained_mp_load_switches_away_from_blocking() {
+        // Pure multi-partition traffic: the §6 model scores blocking at
+        // 2/(2·t_mp) — far below the concurrent schemes — so three
+        // consecutive windows must arm a switch.
+        let cfg = adaptive_config(Scheme::Blocking, 0.10, 2);
+        let (mut s, mut e, mut out) = setup(&cfg);
+        let mut now = 0u64;
+        for i in 1..=20 {
+            now += 1000;
+            s.on_fragment(
+                mp_task(i, TestFragment::add(1, 1)),
+                &mut e,
+                Nanos(now),
+                &mut out,
+            );
+            now += 1000;
+            s.on_decision(decision(i, true), &mut e, Nanos(now), &mut out);
+        }
+        let stats = s.adaptive_stats(Nanos(now)).unwrap();
+        assert!(stats.switches >= 1, "expected a switch: {stats:?}");
+        assert_ne!(s.scheme(), Scheme::Blocking);
+        assert_eq!(s.epoch() as u64, stats.switches);
+        let notes = s.take_switch_notes();
+        assert_eq!(notes.len() as u64, stats.switches);
+        assert_eq!(notes[0].epoch, 1);
+        assert_eq!(notes[0].scheme, stats.switch_log[0].scheme);
+        assert!(s.take_switch_notes().is_empty(), "notes drain once");
+        // Counters survived the swap: every commit is still counted.
+        assert_eq!(s.counters().committed, 20);
+        assert_eq!(s.counters().committed_mp, 20);
+        // Residency is split between the old and new schemes.
+        let resident: Vec<usize> = (0..4).filter(|&i| stats.residency_ns[i] > 0).collect();
+        assert!(resident.len() >= 2, "residency: {:?}", stats.residency_ns);
+    }
+
+    #[test]
+    fn quiesce_holds_new_transactions_and_replays_after_swap() {
+        let cfg = adaptive_config(Scheme::Speculative, 0.01, 2);
+        let (mut s, mut e, mut out) = setup(&cfg);
+        let mut now = 0u64;
+        // Five committed MP transactions: windows close at outcomes 2
+        // and 4 (streak 2 toward locking — pure-MP traffic where
+        // client-free 2PC wins in the model).
+        for i in 1..=5 {
+            now += 1000;
+            s.on_fragment(
+                mp_task(i, TestFragment::add(1, 1)),
+                &mut e,
+                Nanos(now),
+                &mut out,
+            );
+            now += 1000;
+            s.on_decision(decision(i, true), &mut e, Nanos(now), &mut out);
+        }
+        assert_eq!(s.adaptive_stats(Nanos(now)).unwrap().switches, 0);
+        // Transactions 6 and 7 in flight; aborting 6 is the 6th outcome:
+        // the third window closes, the switch arms — but 7 is still
+        // undecided, so the swap must wait.
+        s.on_fragment(
+            mp_task(6, TestFragment::add(1, 1)),
+            &mut e,
+            Nanos(now),
+            &mut out,
+        );
+        s.on_fragment(
+            mp_task(7, TestFragment::add(2, 1)),
+            &mut e,
+            Nanos(now),
+            &mut out,
+        );
+        now += 1000;
+        s.on_decision(decision(6, false), &mut e, Nanos(now), &mut out);
+        assert_eq!(s.adaptive_stats(Nanos(now)).unwrap().switches, 0);
+        assert_eq!(s.scheme(), Scheme::Speculative, "swap waits for the drain");
+        // A new transaction arriving mid-quiesce is held, not executed.
+        out.take();
+        s.on_fragment(
+            sp_task(100, TestFragment::add(1, 50)),
+            &mut e,
+            Nanos(now),
+            &mut out,
+        );
+        assert!(
+            out.take().0.is_empty(),
+            "held fragment must not produce output"
+        );
+        assert_eq!(s.adaptive_stats(Nanos(now)).unwrap().held_fragments, 1);
+        // Deciding 7 drains the inner: swap happens, the held fragment
+        // replays under the new scheme and commits.
+        now += 1000;
+        s.on_decision(decision(7, true), &mut e, Nanos(now), &mut out);
+        let stats = s.adaptive_stats(Nanos(now)).unwrap();
+        assert_eq!(stats.switches, 1);
+        assert_ne!(s.scheme(), Scheme::Speculative);
+        let (msgs, _) = out.take();
+        assert!(
+            msgs.iter().any(|m| matches!(
+                m,
+                crate::outbox::PartitionOut::ToClient { client, .. } if *client == ClientId(1)
+            )),
+            "held SP transaction must commit after the swap"
+        );
+        assert!(s.is_idle());
+        assert_eq!(stats.quiesce_stall.count(), 1);
+    }
+
+    #[test]
+    fn resume_carries_scheme_and_epoch_for_failover() {
+        let cfg = adaptive_config(Scheme::Blocking, 0.15, 256);
+        let s: AdaptiveScheduler<TestEngine> = AdaptiveScheduler::new(
+            &cfg,
+            PartitionId(1),
+            Some(SchemeSwitch {
+                epoch: 3,
+                scheme: Scheme::Locking,
+            }),
+        );
+        assert_eq!(s.scheme(), Scheme::Locking);
+        assert_eq!(s.epoch(), 3);
+    }
+}

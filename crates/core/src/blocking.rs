@@ -226,6 +226,9 @@ impl<E: ExecutionEngine> Scheduler<E> for BlockingScheduler<E> {
         if decision.commit {
             engine.forget(decision.txn);
             self.counters.committed += 1;
+            // Only multi-partition transactions wait for a coordinator
+            // decision; single-partition work commits inline in `drain`.
+            self.counters.committed_mp += 1;
         } else {
             let undone = engine.rollback(decision.txn);
             let cost = self.costs.rollback_cost(undone);

@@ -31,6 +31,7 @@
 // obscure more than they clarify here.
 #![allow(clippy::type_complexity)]
 
+pub mod adaptive;
 pub mod blocking;
 pub mod client;
 pub mod coordinator;
@@ -50,6 +51,7 @@ pub mod speculative;
 pub mod testkit;
 pub mod txn_driver;
 
+pub use adaptive::{AdaptiveScheduler, AnySched};
 pub use engine::{ExecOutcome, ExecutionEngine};
 pub use group_commit::{FlushDecision, GroupCommit};
 pub use membership::{MembershipCore, MembershipUpdate};
@@ -59,7 +61,10 @@ pub use recovery::{
     recover_partition, recover_partitions_parallel, PartitionLog, RecoveryError, RecoveryOutcome,
 };
 pub use replica::{AckTracker, ReplayError, ReplicaCore, ReplicationSession};
-pub use scheduler::{make_scheduler, make_scheduler_send, Scheduler};
+pub use scheduler::{
+    make_scheduler, make_scheduler_resumed, make_scheduler_send, make_scheduler_send_resumed,
+    Scheduler,
+};
 pub use sequencer::{
     broadcast_dests, Admit, CloseKind, ClosedEpoch, EpochLog, EpochLogDest, PartitionSequencer,
     PendingInvoke, ShardSequencer,

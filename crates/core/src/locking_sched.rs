@@ -393,6 +393,9 @@ impl<E: ExecutionEngine> Scheduler<E> for LockingScheduler<E> {
             debug_assert!(matches!(t.phase, Phase::Prepared));
             engine.forget(decision.txn);
             self.counters.committed += 1;
+            // Decisions only exist for two-phase-commit participants, and
+            // only multi-partition transactions enter 2PC.
+            self.counters.committed_mp += 1;
         } else {
             let undone = engine.rollback(decision.txn);
             self.charge_rollback(out, undone);

@@ -33,7 +33,7 @@ use crate::engine::ExecutionEngine;
 use hcc_common::stats::ReplicationCounters;
 use hcc_common::{
     AbortReason, ClientId, CommitRecord, CoordinatorRef, FragmentResponse, FragmentTask, FxHashMap,
-    FxHashSet, PartitionId, TxnId, Vote,
+    FxHashSet, PartitionId, SchemeSwitch, TxnId, Vote,
 };
 use std::collections::VecDeque;
 
@@ -76,6 +76,10 @@ pub struct ReplicationSession<F> {
     pending: FxHashMap<TxnId, Vec<FragmentTask<F>>>,
     /// Sequence number of the last commit record emitted.
     seq: u64,
+    /// Adaptive scheme switch waiting to ride the next commit record
+    /// shipped (ISSUE 10): set by the driver right after a live swap,
+    /// taken by [`Self::on_commit`].
+    pending_switch: Option<SchemeSwitch>,
 }
 
 impl<F: Clone> ReplicationSession<F> {
@@ -89,7 +93,17 @@ impl<F: Clone> ReplicationSession<F> {
         ReplicationSession {
             pending: FxHashMap::default(),
             seq,
+            pending_switch: None,
         }
+    }
+
+    /// The adaptive controller swapped this partition's scheduler: stamp
+    /// the transition onto the next commit record shipped so replicas (and
+    /// hence any promoted backup) land in the same scheme at the same
+    /// transition epoch. A second swap before any commit ships supersedes
+    /// the first — replicas only need the latest position.
+    pub fn mark_scheme_switch(&mut self, sw: SchemeSwitch) {
+        self.pending_switch = Some(sw);
     }
 
     /// Sequence number of the last record emitted (the log position).
@@ -122,6 +136,7 @@ impl<F: Clone> ReplicationSession<F> {
             seq: self.seq,
             txn,
             frags,
+            scheme_switch: self.pending_switch.take(),
         })
     }
 
@@ -160,6 +175,11 @@ pub struct ReplicaCore {
     /// acknowledged instead of applied twice.
     applied_txns: FxHashSet<TxnId>,
     applied_order: VecDeque<TxnId>,
+    /// Latest adaptive scheme transition observed in the applied commit
+    /// stream (ISSUE 10). `None` until the primary's first switch ships. A
+    /// promotion reads this to land the new primary in the same scheme at
+    /// the same transition epoch as the one it replaces.
+    scheme_switch: Option<SchemeSwitch>,
     pub counters: ReplicationCounters,
 }
 
@@ -213,6 +233,9 @@ impl ReplicaCore {
         }
         engine.forget(record.txn);
         self.applied = record.seq;
+        if let Some(sw) = record.scheme_switch {
+            self.scheme_switch = Some(sw);
+        }
         self.counters.records_applied += 1;
         self.applied_txns.insert(record.txn);
         self.applied_order.push_back(record.txn);
@@ -229,6 +252,12 @@ impl ReplicaCore {
     pub fn take_applied_txns(&mut self) -> FxHashSet<TxnId> {
         self.applied_order.clear();
         std::mem::take(&mut self.applied_txns)
+    }
+
+    /// Latest adaptive scheme transition in the applied commit stream
+    /// (`None` = still on the initial configured scheme).
+    pub fn scheme_switch(&self) -> Option<SchemeSwitch> {
+        self.scheme_switch
     }
 }
 
@@ -395,6 +424,7 @@ mod tests {
             seq: 3,
             txn: txid(9),
             frags: vec![task(txid(9), 0, TestFragment::add(1, 1))],
+            scheme_switch: None,
         };
         let err = replica.apply(&mut engine, &rec).unwrap_err();
         assert_eq!(
@@ -416,6 +446,7 @@ mod tests {
             seq: 1,
             txn: txid(4),
             frags: vec![task(txid(4), 0, TestFragment::failing())],
+            scheme_switch: None,
         };
         let err = replica.apply(&mut engine, &rec).unwrap_err();
         assert!(matches!(err, ReplayError::FragmentFailed { .. }));
@@ -431,12 +462,14 @@ mod tests {
             seq: 9,
             txn: txid(1),
             frags: vec![],
+            scheme_switch: None,
         };
         replica.apply(&mut engine, &dup).unwrap(); // pre-snapshot: skipped
         let next = CommitRecord {
             seq: 11,
             txn: txid(2),
             frags: vec![task(txid(2), 0, TestFragment::add(5, 1))],
+            scheme_switch: None,
         };
         replica.apply(&mut engine, &next).unwrap();
         assert_eq!(replica.watermark(), 11);
@@ -466,6 +499,7 @@ mod tests {
             seq: 1,
             txn: txid(1),
             frags: vec![task(txid(1), 0, TestFragment::add(1, 1))],
+            scheme_switch: None,
         };
         replica.apply(&mut engine, &rec).unwrap();
         // Promotion: the backup's watermark seeds the new session.

@@ -2,8 +2,8 @@
 
 use crate::engine::ExecutionEngine;
 use crate::outbox::Outbox;
-use hcc_common::stats::SchedulerCounters;
-use hcc_common::{Decision, FragmentTask, Nanos, Scheme, SystemConfig};
+use hcc_common::stats::{AdaptiveStats, SchedulerCounters, SwitchRecord};
+use hcc_common::{Decision, FragmentTask, Nanos, Scheme, SchemeSwitch, SystemConfig};
 
 /// A concurrency control scheme for one partition, driven by events.
 ///
@@ -41,35 +41,63 @@ pub trait Scheduler<E: ExecutionEngine> {
 
     /// True when no transaction is active, queued, or awaiting a decision.
     fn is_idle(&self) -> bool;
+
+    /// Adaptive-controller statistics (ISSUE 10), closed out at `now` so
+    /// the final residency segment is included. `None` for every concrete
+    /// scheme — only the [`crate::adaptive::AdaptiveScheduler`] wrapper
+    /// reports.
+    fn adaptive_stats(&self, now: Nanos) -> Option<AdaptiveStats> {
+        let _ = now;
+        None
+    }
+
+    /// Drain the scheme switches performed since the last drain. Drivers
+    /// call this after every event batch and stamp the records into the
+    /// next commit record, so replicas (and a promoted backup) follow the
+    /// primary through the same transitions. Empty for every concrete
+    /// scheme.
+    fn take_switch_notes(&mut self) -> Vec<SwitchRecord> {
+        Vec::new()
+    }
 }
 
 /// One source of truth for scheduler construction: both `make_scheduler`
 /// variants expand this, differing only in the trait object's `Send`
 /// bound (a type position a generic function can't abstract over).
 macro_rules! build_scheduler {
-    ($config:expr, $me:expr) => {
-        match $config.scheme {
-            Scheme::Blocking => {
-                let mut s = crate::blocking::BlockingScheduler::new($me, $config.costs);
-                s.set_sequenced($config.sequencing_active());
-                Box::new(s)
-            }
-            Scheme::Speculative => {
-                let mut s = crate::speculative::SpeculativeScheduler::new(
+    ($config:expr, $me:expr, $resume:expr) => {
+        if $config.adaptive.is_on() {
+            // ISSUE 10: `scheme` is only the starting point — wrap it in
+            // the adaptive controller, which re-plans live from observed
+            // statistics (and resumes its predecessor's scheme/epoch
+            // after a promotion).
+            Box::new(crate::adaptive::AdaptiveScheduler::new(
+                $config, $me, $resume,
+            ))
+        } else {
+            match $config.scheme {
+                Scheme::Blocking => {
+                    let mut s = crate::blocking::BlockingScheduler::new($me, $config.costs);
+                    s.set_sequenced($config.sequencing_active());
+                    Box::new(s)
+                }
+                Scheme::Speculative => {
+                    let mut s = crate::speculative::SpeculativeScheduler::new(
+                        $me,
+                        $config.costs,
+                        $config.max_speculation_depth,
+                    );
+                    s.set_local_only($config.local_speculation_only);
+                    s.set_sequenced($config.sequencing_active());
+                    Box::new(s)
+                }
+                Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(
                     $me,
                     $config.costs,
-                    $config.max_speculation_depth,
-                );
-                s.set_local_only($config.local_speculation_only);
-                s.set_sequenced($config.sequencing_active());
-                Box::new(s)
+                    $config.lock_timeout,
+                )),
+                Scheme::Occ => Box::new(crate::occ::OccScheduler::new($me, $config.costs)),
             }
-            Scheme::Locking => Box::new(crate::locking_sched::LockingScheduler::new(
-                $me,
-                $config.costs,
-                $config.lock_timeout,
-            )),
-            Scheme::Occ => Box::new(crate::occ::OccScheduler::new($me, $config.costs)),
         }
     };
 }
@@ -79,7 +107,19 @@ pub fn make_scheduler<E: ExecutionEngine + 'static>(
     config: &SystemConfig,
     me: hcc_common::PartitionId,
 ) -> Box<dyn Scheduler<E>> {
-    build_scheduler!(config, me)
+    build_scheduler!(config, me, None)
+}
+
+/// As [`make_scheduler`], but resuming from the last [`SchemeSwitch`] a
+/// replica applied — what a promoted backup passes so it continues in the
+/// scheme (and at the transition epoch) its failed primary had reached.
+/// Ignored unless adaptive selection is on (the scheme is static then).
+pub fn make_scheduler_resumed<E: ExecutionEngine + 'static>(
+    config: &SystemConfig,
+    me: hcc_common::PartitionId,
+    resume: Option<SchemeSwitch>,
+) -> Box<dyn Scheduler<E>> {
+    build_scheduler!(config, me, resume)
 }
 
 /// As [`make_scheduler`], but a `Send` trait object, for drivers that move
@@ -93,5 +133,19 @@ where
     E::Fragment: Send,
     E::Output: Send,
 {
-    build_scheduler!(config, me)
+    build_scheduler!(config, me, None)
+}
+
+/// [`make_scheduler_resumed`], `Send` variant (see [`make_scheduler_send`]).
+pub fn make_scheduler_send_resumed<E>(
+    config: &SystemConfig,
+    me: hcc_common::PartitionId,
+    resume: Option<SchemeSwitch>,
+) -> Box<dyn Scheduler<E> + Send>
+where
+    E: ExecutionEngine + Send + 'static,
+    E::Fragment: Send,
+    E::Output: Send,
+{
+    build_scheduler!(config, me, resume)
 }

@@ -662,6 +662,9 @@ impl<E: ExecutionEngine> Scheduler<E> for SpeculativeScheduler<E> {
             debug_assert!(head.finished_locally, "commit before prepare");
             engine.forget(head.txn);
             self.counters.committed += 1;
+            if head.multi_partition {
+                self.counters.committed_mp += 1;
+            }
             self.attempts.remove(&head.txn);
             self.promote(engine, out);
         } else {

@@ -298,6 +298,30 @@ pub struct Recommendation {
     pub blocking_score: f64,
     pub speculation_score: f64,
     pub locking_score: f64,
+    pub occ_score: f64,
+}
+
+impl Recommendation {
+    /// The pick as a [`Scheme`] (what the adaptive controller swaps to).
+    pub fn as_scheme(&self) -> hcc_common::Scheme {
+        match self.scheme {
+            "blocking" => hcc_common::Scheme::Blocking,
+            "speculation" => hcc_common::Scheme::Speculative,
+            "locking" => hcc_common::Scheme::Locking,
+            _ => hcc_common::Scheme::Occ,
+        }
+    }
+
+    /// The adjusted score of an arbitrary scheme (for hysteresis
+    /// comparisons against the incumbent).
+    pub fn score_of(&self, scheme: hcc_common::Scheme) -> f64 {
+        match scheme {
+            hcc_common::Scheme::Blocking => self.blocking_score,
+            hcc_common::Scheme::Speculative => self.speculation_score,
+            hcc_common::Scheme::Locking => self.locking_score,
+            hcc_common::Scheme::Occ => self.occ_score,
+        }
+    }
 }
 
 /// Pick a concurrency control scheme from measured statistics — Table 1 as
@@ -313,6 +337,13 @@ pub struct Recommendation {
 /// * **locking** pays conflicts: waits serialize transactions behind
 ///   stalled lock holders, pushing throughput toward blocking as the
 ///   conflict rate grows (§5.2);
+/// * **occ** (the §5.7 extension) pays the same tracking overhead as
+///   locking and avoids the 2PC stall like it, but every abort throws
+///   away a completed optimistic execution (undo + full re-execute, twice
+///   the cascade cost of speculation's squash), and multi-round
+///   transactions serialize at blocking speed — so it trails locking
+///   except where conflicts (which barely touch validation on mostly
+///   single-partition loads, unlike lock waits) pull locking down;
 /// * **blocking** is already the floor the others degrade to.
 pub fn recommend(p: &ModelParams, w: &WorkloadProfile) -> Recommendation {
     let f = w.mp_fraction.clamp(0.0, 1.0);
@@ -340,10 +371,28 @@ pub fn recommend(p: &ModelParams, w: &WorkloadProfile) -> Recommendation {
     let conflicted_floor = (1.5 * blocking).min(lock_free);
     let locking = lock_free * (1.0 - w.conflict_rate) + conflicted_floor * w.conflict_rate;
 
-    let scheme = if speculation >= blocking && speculation >= locking {
+    // OCC: the same overhead structure as locking (read/write-set tracking
+    // ≈ the lock table's `l`, no stall during 2PC), degraded by the
+    // effects validation adds. Aborts waste a *completed* optimistic
+    // execution plus its rollback — roughly double speculation's cascade
+    // cost per abort. Conflicts only bite when concurrent overlap reaches
+    // validation, a much weaker effect than lock waits on these
+    // single-threaded partitions — a mild linear discount. Multi-round
+    // transactions get no optimism across rounds and run at blocking
+    // speed, as with speculation.
+    let occ_abort_waste = 1.0 / (1.0 + w.abort_rate * (1.0 + nh) * 2.0);
+    let occ_single_round = lock_free * occ_abort_waste * (1.0 - 0.1 * w.conflict_rate);
+    let occ = w.multi_round_fraction * blocking + (1.0 - w.multi_round_fraction) * occ_single_round;
+
+    // Ties favor the paper's three schemes over the OCC extension (equal
+    // scores are common: OCC's clean-workload score coincides with
+    // locking's by construction).
+    let scheme = if speculation >= blocking && speculation >= locking && speculation >= occ {
         "speculation"
-    } else if locking >= blocking {
+    } else if locking >= blocking && locking >= occ {
         "locking"
+    } else if occ >= blocking {
+        "occ"
     } else {
         "blocking"
     };
@@ -352,6 +401,7 @@ pub fn recommend(p: &ModelParams, w: &WorkloadProfile) -> Recommendation {
         blocking_score: blocking,
         speculation_score: speculation,
         locking_score: locking,
+        occ_score: occ,
     }
 }
 
@@ -454,11 +504,63 @@ mod advisor_tests {
                         ..Default::default()
                     };
                     let r = recommend(&p(), &w);
-                    for s in [r.blocking_score, r.speculation_score, r.locking_score] {
+                    for s in [
+                        r.blocking_score,
+                        r.speculation_score,
+                        r.locking_score,
+                        r.occ_score,
+                    ] {
                         assert!(s.is_finite() && s > 0.0, "{r:?}");
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn occ_is_a_real_candidate_with_calibrated_degradations() {
+        // Clean workload: OCC's score coincides with locking's (same
+        // overhead, no stall) and the tie goes to locking.
+        let clean = WorkloadProfile {
+            mp_fraction: 0.3,
+            ..Default::default()
+        };
+        let r = recommend(&p(), &clean);
+        assert_eq!(r.occ_score, r.locking_score);
+        assert_ne!(r.scheme, "occ");
+        // Conflicts pull locking down much faster than OCC (validation
+        // rarely sees the overlap lock waits serialize on).
+        let conflicted = WorkloadProfile {
+            mp_fraction: 0.3,
+            conflict_rate: 0.8,
+            ..Default::default()
+        };
+        let rc = recommend(&p(), &conflicted);
+        assert!(rc.occ_score > rc.locking_score * 0.95, "{rc:?}");
+        // Aborts hit OCC about twice as hard as speculation's squashes:
+        // a wasted *complete* optimistic execution.
+        let aborty = WorkloadProfile {
+            mp_fraction: 0.3,
+            abort_rate: 0.15,
+            ..Default::default()
+        };
+        let ra = recommend(&p(), &aborty);
+        assert!(ra.occ_score < ra.locking_score * 0.75, "{ra:?}");
+        assert_eq!(ra.scheme, "locking");
+    }
+
+    #[test]
+    fn recommendation_scheme_enum_round_trip() {
+        use hcc_common::Scheme;
+        let w = WorkloadProfile {
+            mp_fraction: 0.3,
+            ..Default::default()
+        };
+        let r = recommend(&p(), &w);
+        assert_eq!(r.as_scheme(), Scheme::Speculative);
+        assert_eq!(r.score_of(Scheme::Speculative), r.speculation_score);
+        assert_eq!(r.score_of(Scheme::Blocking), r.blocking_score);
+        assert_eq!(r.score_of(Scheme::Locking), r.locking_score);
+        assert_eq!(r.score_of(Scheme::Occ), r.occ_score);
     }
 }

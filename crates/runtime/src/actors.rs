@@ -59,11 +59,13 @@
 
 use hcc_common::codec::encode_to_vec;
 use hcc_common::stats::SequencerStats;
-use hcc_common::stats::{DurabilityCounters, ReplicationCounters, SchedulerCounters};
+use hcc_common::stats::{
+    AdaptiveStats, DurabilityCounters, ReplicationCounters, SchedulerCounters,
+};
 use hcc_common::{
     AbortReason, CachePadded, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, CostModel,
     Decision, DurabilityConfig, FragmentResponse, FragmentTask, FxHashMap, Nanos, PartitionId,
-    Scheme, SystemConfig, TxnId, TxnResult,
+    Scheme, SchemeSwitch, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, ClientStats, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordOut, Coordinator, PeerNote};
@@ -78,8 +80,8 @@ use hcc_core::sequencer::{
 };
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
-    make_scheduler_send, ExecutionEngine, Outbox, PartitionOut, Procedure, Request,
-    RequestGenerator, Scheduler,
+    make_scheduler_send, make_scheduler_send_resumed, ExecutionEngine, Outbox, PartitionOut,
+    Procedure, Request, RequestGenerator, Scheduler,
 };
 use hcc_storage::{DurableLog, MemLog};
 use parking_lot::Mutex;
@@ -321,7 +323,12 @@ pub struct ClientActor<W: RequestGenerator> {
     /// Record every latency sample (fixed-work mode) instead of only
     /// in-window ones.
     record_always: bool,
-    scheme: Scheme,
+    /// Drive multi-partition transactions through this client's own
+    /// [`TxnDriver`] 2PC (locking scheme, §4.3). Forced off under adaptive
+    /// scheme selection: a partition's scheme can change between rounds,
+    /// so MP work must route through the scheme-agnostic central
+    /// coordinator.
+    client_2pc: bool,
     /// The coordinator shard that owns this client's multi-partition
     /// transactions (static partitioning).
     coord_shard: CoordinatorId,
@@ -350,7 +357,7 @@ where
             retry_at: None,
             remaining: requests,
             record_always: requests.is_some(),
-            scheme: system.scheme,
+            client_2pc: system.scheme == Scheme::Locking && !system.adaptive.is_on(),
             coord_shard: system.coordinator_of(id),
             done: false,
             scratch: Vec::new(),
@@ -544,8 +551,8 @@ where
             Request::MultiPartition {
                 procedure,
                 can_abort,
-            } => match self.scheme {
-                Scheme::Locking => {
+            } => match self.client_2pc {
+                true => {
                     debug_assert!(self.scratch.is_empty());
                     let mut scratch = std::mem::take(&mut self.scratch);
                     self.driver.begin(txn, procedure, can_abort, &mut scratch);
@@ -555,7 +562,7 @@ where
                     }
                     self.scratch = scratch;
                 }
-                _ => {
+                false => {
                     out.push(OutMsg {
                         dest: ActorId::Coordinator(self.coord_shard),
                         msg: Msg::Invoke {
@@ -982,6 +989,10 @@ pub struct ReplicaParts<E> {
     /// Partition-side sequencer counters (all zero when sequencing was off
     /// or the node never served as a primary).
     pub seq: SequencerStats,
+    /// Adaptive scheme-selection statistics (all zero/empty when
+    /// `SystemConfig::adaptive` was off or the node never served as a
+    /// primary).
+    pub adaptive: AdaptiveStats,
 }
 
 /// One physical replica node (paper §2.3's single-threaded partition
@@ -1011,6 +1022,12 @@ pub struct ReplicaActor<E: ExecutionEngine> {
     seq: Option<PartitionSequencer<E::Fragment>>,
     /// Sequencer counters of gates retired by a role change.
     seq_retired: SequencerStats,
+    /// Adaptive stats of schedulers retired by a role change (a crashed
+    /// primary's switch history still happened).
+    adaptive_retired: AdaptiveStats,
+    /// Wall time of the most recent step, so `into_parts` can close the
+    /// open scheme-residency segment at teardown.
+    last_now: Nanos,
 }
 
 impl<E> ReplicaActor<E>
@@ -1075,6 +1092,8 @@ where
             sched_counters: SchedulerCounters::default(),
             repl_counters: ReplicationCounters::default(),
             seq_retired: SequencerStats::default(),
+            adaptive_retired: AdaptiveStats::default(),
+            last_now: Nanos::ZERO,
         }
     }
 
@@ -1082,6 +1101,9 @@ where
         let (is_primary, is_backup) = match &self.role {
             Role::Primary { sched, .. } => {
                 self.sched_counters.merge(&sched.counters());
+                if let Some(a) = sched.adaptive_stats(self.last_now) {
+                    self.adaptive_retired.merge(&a);
+                }
                 (true, false)
             }
             Role::Backup { replica } => {
@@ -1118,6 +1140,7 @@ where
             log_image,
             dur,
             seq,
+            adaptive: self.adaptive_retired,
         }
     }
 
@@ -1183,6 +1206,9 @@ where
             unreachable!("crash is armed only on a primary");
         };
         self.sched_counters.merge(&sched.counters());
+        if let Some(a) = sched.adaptive_stats(now) {
+            self.adaptive_retired.merge(&a);
+        }
         // Held results are for transactions whose records the backups
         // already have (only the ack round-trip was outstanding), so
         // releasing them loses nothing and keeps clients from hanging.
@@ -1416,6 +1442,7 @@ where
     }
 
     pub fn step(&mut self, msg: Msg<E>, now: Nanos, ctl: &RunControl, out: &mut Vec<OutMsg<E>>) {
+        self.last_now = now;
         // Dispatch on a copy of the role discriminant so the arms are free
         // to replace `self.role` (promotion, crash, rejoin).
         enum Kind {
@@ -1663,6 +1690,24 @@ where
                 return;
             }
         }
+        // Adaptive runs: a scheme swap may have completed inside the
+        // scheduler call above. Stamp it into the replication session
+        // *before* shipping this step's commit records, so the next
+        // shipped record carries the switch and a promoted backup resumes
+        // in the same scheme at the same point of the commit order.
+        if self.system.adaptive.is_on() {
+            let Role::Primary { sched, session, .. } = &mut self.role else {
+                unreachable!()
+            };
+            for note in sched.take_switch_notes() {
+                if let Some(session) = session {
+                    session.mark_scheme_switch(SchemeSwitch {
+                        epoch: note.epoch,
+                        scheme: note.scheme,
+                    });
+                }
+            }
+        }
         // Drain the scheduler's outputs: ship records for freshly
         // committed single-partition (and speculatively released)
         // transactions, hold committed results that are not yet under the
@@ -1776,6 +1821,10 @@ where
                 self.repl_counters.merge(&replica.counters);
                 let applied = replica.take_applied_txns();
                 let watermark = replica.watermark();
+                // Adaptive runs: the commit log says which scheme was in
+                // force at the watermark; resume there so failover lands
+                // in the same scheme at the same transition epoch.
+                let resume = replica.scheme_switch();
                 let targets: Vec<u32> = (1..self.system.replication)
                     .filter(|&s| s != self.slot)
                     .collect();
@@ -1788,7 +1837,7 @@ where
                 self.epoch = epoch;
                 self.repl_counters.promotions += 1;
                 self.role = Role::Primary {
-                    sched: make_scheduler_send::<E>(&self.system, self.group),
+                    sched: make_scheduler_send_resumed::<E>(&self.system, self.group, resume),
                     session: Some(ReplicationSession::resume_from(watermark)),
                     targets,
                     acks,

@@ -44,7 +44,8 @@ pub use threaded::ThreadedBackend;
 
 use crate::actors::ReplicaParts;
 use hcc_common::stats::{
-    DurabilityCounters, LatencySummary, ReplicationCounters, SchedulerCounters, SequencerStats,
+    AdaptiveStats, DurabilityCounters, LatencySummary, ReplicationCounters, SchedulerCounters,
+    SequencerStats,
 };
 use hcc_common::{FailurePlan, Nanos, PartitionId, SystemConfig};
 use hcc_core::client::ClientStats;
@@ -71,15 +72,23 @@ impl BackendChoice {
 
     /// Parse a CLI-style backend name (`threaded` | `multiplexed[:N]`,
     /// where a bare `multiplexed` or `:0` sizes the pool automatically).
-    pub fn parse(s: &str) -> Option<Self> {
+    /// Rejects anything else with a message naming the bad input — a typo
+    /// must not silently fall back to a default backend.
+    pub fn parse(s: &str) -> Result<Self, String> {
         match s {
-            "threaded" => Some(BackendChoice::Threaded),
-            "multiplexed" => Some(BackendChoice::multiplexed()),
-            _ => s.strip_prefix("multiplexed:").and_then(|n| {
-                n.parse()
-                    .ok()
+            "threaded" => Ok(BackendChoice::Threaded),
+            "multiplexed" => Ok(BackendChoice::multiplexed()),
+            _ => match s.strip_prefix("multiplexed:") {
+                Some(n) => n
+                    .parse()
                     .map(|workers| BackendChoice::Multiplexed { workers })
-            }),
+                    .map_err(|_| {
+                        format!("bad worker count {n:?} in backend {s:?} (expected multiplexed:N)")
+                    }),
+                None => Err(format!(
+                    "unknown backend {s:?} (expected `threaded` or `multiplexed[:N]`)"
+                )),
+            },
         }
     }
 }
@@ -226,6 +235,9 @@ pub struct RuntimeReport<E: ExecutionEngine> {
     /// partition gates (all zero when `SystemConfig::sequencing` is off,
     /// except `cross_coord_aborts`, counted in any mode).
     pub sequencer: SequencerStats,
+    /// Adaptive scheme-selection statistics summed across partitions (all
+    /// zero/empty when `SystemConfig::adaptive` is off).
+    pub adaptive: AdaptiveStats,
 }
 
 impl<E: ExecutionEngine> RuntimeReport<E> {
@@ -292,12 +304,14 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
     DurabilityCounters,
     Vec<Option<Vec<u8>>>,
     SequencerStats,
+    AdaptiveStats,
 ) {
     parts.sort_by_key(|p| (p.group, p.slot));
     let mut sched = SchedulerCounters::default();
     let mut repl = ReplicationCounters::default();
     let mut dur = DurabilityCounters::default();
     let mut seq = SequencerStats::default();
+    let mut adaptive = AdaptiveStats::default();
     let mut engines: Vec<Option<E>> = (0..groups).map(|_| None).collect();
     let mut logs: Vec<Option<Vec<u8>>> = (0..groups).map(|_| None).collect();
     let mut backups = Vec::new();
@@ -306,6 +320,7 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
         repl.merge(&part.repl);
         dur.merge(&part.dur);
         seq.merge(&part.seq);
+        adaptive.merge(&part.adaptive);
         if part.is_primary {
             let slot = engines
                 .get_mut(part.group.as_usize())
@@ -324,7 +339,7 @@ pub(crate) fn assemble_replicas<E: ExecutionEngine>(
         .into_iter()
         .map(|e| e.expect("every group has a primary"))
         .collect();
-    (engines, backups, sched, repl, dur, logs, seq)
+    (engines, backups, sched, repl, dur, logs, seq, adaptive)
 }
 
 /// Finish a report from the pieces every backend harvests.
@@ -342,6 +357,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
     logs: Vec<Option<Vec<u8>>>,
     workers: Vec<WorkerStats>,
     sequencer: SequencerStats,
+    adaptive: AdaptiveStats,
 ) -> RuntimeReport<E> {
     let (committed, secs) = match mode {
         RunMode::Timed { measure, .. } => (committed_in_window, measure.as_secs_f64()),
@@ -359,6 +375,7 @@ pub(crate) fn finish_report<E: ExecutionEngine>(
         logs,
         workers,
         sequencer,
+        adaptive,
     }
 }
 
@@ -532,17 +549,29 @@ mod tests {
     fn backend_choice_parses() {
         assert_eq!(
             BackendChoice::parse("threaded"),
-            Some(BackendChoice::Threaded)
+            Ok(BackendChoice::Threaded)
         );
         assert_eq!(
             BackendChoice::parse("multiplexed"),
-            Some(BackendChoice::multiplexed())
+            Ok(BackendChoice::multiplexed())
         );
         assert_eq!(
             BackendChoice::parse("multiplexed:7"),
-            Some(BackendChoice::Multiplexed { workers: 7 })
+            Ok(BackendChoice::Multiplexed { workers: 7 })
         );
-        assert_eq!(BackendChoice::parse("green-threads"), None);
+        // Round trip: every backend renders to a spelling that parses back.
+        for b in [
+            BackendChoice::Threaded,
+            BackendChoice::multiplexed(),
+            BackendChoice::Multiplexed { workers: 7 },
+        ] {
+            assert_eq!(BackendChoice::parse(&b.to_string()), Ok(b));
+        }
+        // Garbage is a loud error naming the input, not a silent fallback.
+        let err = BackendChoice::parse("green-threads").unwrap_err();
+        assert!(err.contains("green-threads"), "{err}");
+        let err = BackendChoice::parse("multiplexed:lots").unwrap_err();
+        assert!(err.contains("lots"), "{err}");
     }
 }
 

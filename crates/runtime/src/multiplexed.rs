@@ -413,6 +413,9 @@ impl Backend for MultiplexedBackend {
         B: Fn(PartitionId) -> W::Engine,
     {
         let system = &cfg.system;
+        if let Err(e) = system.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         // Explicit backend choice wins, then the system config knob, then
         // the host's available parallelism.
         let workers = if self.workers > 0 {
@@ -518,7 +521,11 @@ impl Backend for MultiplexedBackend {
         // until every client has retired (after which no transaction can
         // be waiting on a lock or a cross-shard chain).
         let timer_stop = Arc::new(AtomicBool::new(false));
-        let tick_partitions = system.scheme == Scheme::Locking || system.durability.is_some();
+        // An adaptive partition can be (or become) Locking at any time, so
+        // it needs the lock-timeout scans too.
+        let tick_partitions = system.scheme == Scheme::Locking
+            || system.adaptive.is_on()
+            || system.durability.is_some();
         // Sequencing coordinators tick too: epoch age-closes ride Tick.
         let tick_coords = shards > 1 || seq_on;
         // Clients park during backoff retries (infrastructure aborts) and
@@ -642,7 +649,8 @@ impl Backend for MultiplexedBackend {
                 AnyActor::Replica(r) => parts.push(r.into_parts()),
             }
         }
-        let (engines, backups, sched, repl, dur, logs, part_seq) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs, part_seq, adaptive) =
+            assemble_replicas(parts, n);
         sequencer.merge(&part_seq);
 
         finish_report(
@@ -658,6 +666,7 @@ impl Backend for MultiplexedBackend {
             logs,
             worker_stats,
             sequencer,
+            adaptive,
         )
     }
 }

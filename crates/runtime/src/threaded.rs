@@ -121,6 +121,9 @@ impl Backend for ThreadedBackend {
     {
         type E<W> = <W as RequestGenerator>::Engine;
         let system = &cfg.system;
+        if let Err(e) = system.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let n = system.partitions as usize;
         let slots = system.replication.max(1) as usize;
         if let Some(plan) = cfg.failure {
@@ -197,7 +200,11 @@ impl Backend for ThreadedBackend {
                 tick_nanos = tick_nanos.min(d.group_commit_interval.0 / 2);
             }
             let tick_every = Duration::from_nanos(tick_nanos.max(100_000));
-            let ticks = system.scheme == Scheme::Locking || system.durability.is_some();
+            // An adaptive partition can be (or become) Locking at any time,
+            // so it needs the lock-timeout scans too.
+            let ticks = system.scheme == Scheme::Locking
+                || system.adaptive.is_on()
+                || system.durability.is_some();
             replica_handles[p][s] = Some(std::thread::spawn(move || {
                 replica_thread(actor, rx, router, ctl, epoch, ticks, tick_every)
             }));
@@ -378,7 +385,8 @@ impl Backend for ThreadedBackend {
                 parts.push(h.join().expect("replica thread"));
             }
         }
-        let (engines, backups, sched, repl, dur, logs, part_seq) = assemble_replicas(parts, n);
+        let (engines, backups, sched, repl, dur, logs, part_seq, adaptive) =
+            assemble_replicas(parts, n);
         sequencer.merge(&part_seq);
 
         finish_report(
@@ -394,6 +402,7 @@ impl Backend for ThreadedBackend {
             logs,
             Vec::new(),
             sequencer,
+            adaptive,
         )
     }
 }

@@ -2,7 +2,7 @@
 
 use hcc_common::{
     ClientId, CoordinatorId, CoordinatorRef, Decision, FragmentResponse, FragmentTask, Nanos,
-    PartitionId, TxnId,
+    PartitionId, Scheme, TxnId,
 };
 use hcc_core::coordinator::PeerNote;
 use hcc_core::{EpochLog, ExecutionEngine, Procedure};
@@ -104,6 +104,19 @@ pub enum Ev<E: ExecutionEngine> {
     /// another reason.
     EpochClose {
         k: CoordinatorId,
+    },
+    /// Observational marker (adaptive runs): partition `p` completed a
+    /// live scheme swap at this point of the event stream. Handling it is
+    /// a no-op — its purpose is to make switch points part of the totally
+    /// ordered, deterministic event sequence, so two runs that switch at
+    /// different times cannot silently interleave the same way.
+    // The fields exist to be *carried* (they shape heap identity and
+    // debug output), not to be read by the dispatch no-op.
+    #[allow(dead_code)]
+    SchemeSwitch {
+        p: PartitionId,
+        epoch: u32,
+        scheme: Scheme,
     },
     /// Failover injection: kill p's primary and promote its replica.
     Kill {

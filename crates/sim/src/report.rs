@@ -1,7 +1,8 @@
 //! Results of a simulation run.
 
 use hcc_common::stats::{
-    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters, SequencerStats,
+    AdaptiveStats, DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+    SequencerStats,
 };
 use hcc_common::Nanos;
 use hcc_core::coordinator::CoordCounters;
@@ -44,6 +45,9 @@ pub struct SimReport {
     /// `SystemConfig::sequencing` is off, except `cross_coord_aborts`,
     /// which counts `CrossCoordinator` expiry aborts in any mode).
     pub sequencer: SequencerStats,
+    /// Adaptive scheme-selection statistics (whole run; all zero/empty
+    /// when `SystemConfig::adaptive` is off).
+    pub adaptive: AdaptiveStats,
     /// Virtual time simulated.
     pub simulated: Nanos,
     /// Wall-clock events processed (sanity/perf diagnostics).

@@ -4,11 +4,12 @@ use crate::event::{ClientIn, CoordIn, Ev, HeapItem, PartIn};
 use crate::report::SimReport;
 use hcc_common::codec::encode_to_vec;
 use hcc_common::stats::{
-    DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters, SequencerStats,
+    AdaptiveStats, DurabilityCounters, LatencyHistogram, ReplicationCounters, SchedulerCounters,
+    SequencerStats,
 };
 use hcc_common::{
     AbortReason, ClientId, CommitRecord, CoordinatorId, CoordinatorRef, FragmentTask, FxHashMap,
-    FxHashSet, Nanos, PartitionId, Scheme, SystemConfig, TxnId, TxnResult,
+    FxHashSet, Nanos, PartitionId, Scheme, SchemeSwitch, SystemConfig, TxnId, TxnResult,
 };
 use hcc_core::client::{ClientCore, NextAction, PendingRequest};
 use hcc_core::coordinator::{CoordCounters, CoordOut, Coordinator};
@@ -16,9 +17,9 @@ use hcc_core::membership::MembershipCore;
 use hcc_core::replica::{failover_bounce, FailoverBounce, ReplicaCore, ReplicationSession};
 use hcc_core::txn_driver::TxnDriver;
 use hcc_core::{
-    broadcast_dests, make_scheduler, Admit, CloseKind, ClosedEpoch, EpochLogDest, ExecutionEngine,
-    FlushDecision, GroupCommit, Outbox, PartitionOut, PartitionSequencer, Request,
-    RequestGenerator, Scheduler, ShardSequencer,
+    broadcast_dests, make_scheduler, make_scheduler_resumed, Admit, CloseKind, ClosedEpoch,
+    EpochLogDest, ExecutionEngine, FlushDecision, GroupCommit, Outbox, PartitionOut,
+    PartitionSequencer, Request, RequestGenerator, Scheduler, ShardSequencer,
 };
 use hcc_storage::{DurableLog, FaultMode, MemLog};
 use std::collections::BinaryHeap;
@@ -271,6 +272,11 @@ where
         workload: W,
         build_engine: impl Fn(PartitionId) -> W::Engine,
     ) -> Self {
+        // Loud startup validation (ISSUE 10): incompatible knob
+        // combinations must fail here, not half-work silently.
+        if let Err(e) = cfg.system.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
         let n = cfg.system.partitions as usize;
         let engines: Vec<W::Engine> = (0..n)
             .map(|p| build_engine(PartitionId(p as u32)))
@@ -480,8 +486,15 @@ where
                 can_abort,
             } => {
                 self.clients[c].current_is_mp = true;
-                match self.cfg.system.scheme {
-                    Scheme::Locking => {
+                // Client-coordinated 2PC is the locking scheme's protocol
+                // (§4.3) — but under adaptive selection a partition's
+                // scheme can change between rounds, so every MP
+                // transaction routes through the central coordinator,
+                // which is scheme-agnostic.
+                let client_2pc =
+                    self.cfg.system.scheme == Scheme::Locking && !self.cfg.system.adaptive.is_on();
+                match client_2pc {
+                    true => {
                         // Client-coordinated 2PC (§4.3).
                         debug_assert!(self.coord_out.is_empty());
                         let mut out = std::mem::take(&mut self.coord_out);
@@ -659,6 +672,33 @@ where
     fn replica_abort(&mut self, p: usize, txn: TxnId) {
         if self.replicas.is_some() || self.logs.is_some() {
             self.sessions[p].on_abort(txn);
+        }
+    }
+
+    /// Adaptive runs: collect scheme-swap notes produced by the scheduler
+    /// call that just returned. Each note is stamped onto the partition's
+    /// replication session (the next commit record carries it, so a
+    /// promoted backup resumes in the same scheme at the same point of the
+    /// commit order) and recorded as an observational event in the
+    /// deterministic total order.
+    fn drain_switch_notes(&mut self, pi: usize, p: PartitionId, at: Nanos) {
+        if !self.cfg.system.adaptive.is_on() {
+            return;
+        }
+        for note in self.scheds[pi].take_switch_notes() {
+            let sw = SchemeSwitch {
+                epoch: note.epoch,
+                scheme: note.scheme,
+            };
+            self.sessions[pi].mark_scheme_switch(sw);
+            self.push(
+                at,
+                Ev::SchemeSwitch {
+                    p,
+                    epoch: note.epoch,
+                    scheme: note.scheme,
+                },
+            );
         }
     }
 
@@ -1040,6 +1080,13 @@ where
                 }
             }
         }
+        // Adaptive runs: a scheme swap may have completed inside the
+        // scheduler call above. Stamp it into the replication stream (so
+        // backups promote into the same scheme at the same point of the
+        // commit order) and into the event log (so the switch is part of
+        // the deterministic total order) *before* this event's outgoing
+        // messages ship.
+        self.drain_switch_notes(pi, p, start);
         // Drain the (recycled) outbox into the scratch buffer.
         let cpu = self.outbox.take_into(&mut self.out_scratch);
         let end = start + cpu;
@@ -1070,8 +1117,9 @@ where
             }
         }
         self.route_partition_out(pi, depart);
-        // Locking needs periodic timeout scans while work is outstanding.
-        if self.cfg.system.scheme == Scheme::Locking
+        // Locking needs periodic timeout scans while work is outstanding —
+        // and an adaptive partition can be (or become) Locking at any time.
+        if (self.cfg.system.scheme == Scheme::Locking || self.cfg.system.adaptive.is_on())
             && !self.tick_pending[pi]
             && !self.scheds[pi].is_idle()
         {
@@ -1087,6 +1135,7 @@ where
         let start = at.max(self.part_busy[pi]);
         debug_assert!(self.outbox.messages.is_empty() && self.outbox.cpu == Nanos::ZERO);
         let next = self.scheds[pi].on_tick(&mut self.engines[pi], start, &mut self.outbox);
+        self.drain_switch_notes(pi, p, start);
         let cpu = self.outbox.take_into(&mut self.out_scratch);
         let end = start + cpu;
         self.part_busy[pi] = end;
@@ -1384,9 +1433,13 @@ where
         // The promoted node resumes the log at the replica's watermark —
         // no sequence gap.
         self.engines[pi] = replica_engine;
+        // The promoted node resumes in whatever scheme the commit log says
+        // was in force at the watermark (adaptive runs; `None` otherwise),
+        // so failover lands in the same scheme at the same transition
+        // epoch as the dead primary's last shipped switch.
         let dead_sched = std::mem::replace(
             &mut self.scheds[pi],
-            make_scheduler::<W::Engine>(&self.cfg.system, p),
+            make_scheduler_resumed::<W::Engine>(&self.cfg.system, p, core.scheme_switch()),
         );
         self.sched_retired.merge(&dead_sched.counters());
         // The dead primary's sequencing state (merge position, held
@@ -1481,6 +1534,9 @@ where
             Ev::SyncDone { p } => self.handle_sync_done(p, at),
             Ev::StallCheck { p } => self.handle_stall_check(p, at),
             Ev::EpochClose { k } => self.handle_epoch_close(k, at),
+            // Observational marker only — the swap already happened inside
+            // the scheduler; this entry just pins it in the event order.
+            Ev::SchemeSwitch { .. } => {}
             Ev::Kill { p } => self.handle_kill(p, at),
             Ev::Rejoin { p } => self.handle_rejoin(p, at),
             Ev::Batch(_) => unreachable!("batches are never nested"),
@@ -1559,8 +1615,12 @@ where
         }
 
         let mut sched = self.sched_retired;
+        let mut adaptive = AdaptiveStats::default();
         for s in &self.scheds {
             sched.merge(&s.counters());
+            if let Some(a) = s.adaptive_stats(self.now) {
+                adaptive.merge(&a);
+            }
         }
         let mut replication = self.repl;
         let replicas = self.replicas.map(|groups| {
@@ -1616,6 +1676,7 @@ where
             coord,
             replication,
             sequencer,
+            adaptive,
             simulated: self.window_end,
             events_processed: self.events,
             partition_utilization: self

@@ -13,11 +13,16 @@
 //!   engine as the microbenchmark — plus the YCSB-E style **scan-heavy**
 //!   mix (range scans + insert/delete churn over an ordered index), the
 //!   fragment-length axis of the paper's §5 trade-off.
+//! * [`phased`] — the microbenchmark with a per-client phase schedule
+//!   (the mix shifts mid-run), the driving workload for §5.7-style
+//!   adaptive scheme selection.
 
 pub mod micro;
+pub mod phased;
 pub mod tpcc;
 pub mod ycsb;
 
 pub use micro::{MicroConfig, MicroEngine, MicroFragment, MicroWorkload};
+pub use phased::{Phase, PhasedMicroWorkload};
 pub use tpcc::{TpccConfig, TpccEngine, TpccFragment, TpccWorkload};
 pub use ycsb::{YcsbConfig, YcsbEConfig, YcsbEWorkload, YcsbWorkload};

@@ -302,7 +302,7 @@ impl RequestGenerator for BankWorkload {
 fn main() {
     let backend = std::env::args()
         .nth(1)
-        .map(|a| BackendChoice::parse(&a).expect("backend: threaded | multiplexed[:N]"))
+        .map(|a| BackendChoice::parse(&a).unwrap_or_else(|e| panic!("{e}")))
         .unwrap_or(BackendChoice::Threaded);
     let accounts = 1000u64;
     let system = SystemConfig::new(Scheme::Speculative)

@@ -23,7 +23,7 @@ fn main() {
     };
     let backend = args
         .get(2)
-        .map(|a| BackendChoice::parse(a).expect("backend: threaded | multiplexed[:N]"))
+        .map(|a| BackendChoice::parse(a).unwrap_or_else(|e| panic!("{e}")))
         .unwrap_or(BackendChoice::Threaded);
     let partitions = 2u32;
 

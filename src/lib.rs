@@ -58,9 +58,10 @@ pub use hcc_workloads as workloads;
 /// The types most programs need.
 pub mod prelude {
     pub use hcc_common::{
-        AbortReason, ClientId, CommitRecord, CoordinatorRef, CostModel, Decision, DurabilityConfig,
-        FailurePlan, FragmentResponse, FragmentTask, LockKey, LogEncode, Nanos, PartitionId,
-        RetryConfig, Scheme, SystemConfig, TxnId, TxnResult,
+        AbortReason, AdaptiveConfig, AdaptiveStats, ClientId, CommitRecord, CoordinatorRef,
+        CostModel, Decision, DurabilityConfig, FailurePlan, FragmentResponse, FragmentTask,
+        LockKey, LogEncode, Nanos, PartitionId, RetryConfig, Scheme, SystemConfig, TxnId,
+        TxnResult,
     };
     pub use hcc_core::{
         make_scheduler, ExecOutcome, ExecutionEngine, Outbox, PartitionOut, Procedure, ReplicaCore,

@@ -19,18 +19,23 @@ fn throughput(scheme: Scheme, micro: MicroConfig) -> f64 {
     r.throughput_tps
 }
 
-fn empirical_best(micro: MicroConfig) -> (&'static str, f64, f64, f64) {
+fn empirical_best(micro: MicroConfig) -> (&'static str, f64, f64, f64, f64) {
+    // All four schemes, OCC included: excluding a candidate from the
+    // empirical sweep would let the advisor misrank it unnoticed.
     let b = throughput(Scheme::Blocking, micro);
     let s = throughput(Scheme::Speculative, micro);
     let l = throughput(Scheme::Locking, micro);
-    let best = if s >= b && s >= l {
+    let o = throughput(Scheme::Occ, micro);
+    let best = if s >= b && s >= l && s >= o {
         "speculation"
-    } else if l >= b {
+    } else if l >= b && l >= o {
         "locking"
+    } else if o >= b {
+        "occ"
     } else {
         "blocking"
     };
-    (best, b, s, l)
+    (best, b, s, l, o)
 }
 
 #[test]
@@ -59,7 +64,7 @@ fn advisor_agrees_with_empirical_winner_or_is_close() {
             two_round,
             ..Default::default()
         };
-        let (best, b, s, l) = empirical_best(micro);
+        let (best, b, s, l, o) = empirical_best(micro);
         let profile = WorkloadProfile {
             mp_fraction: mp,
             abort_rate: abort,
@@ -73,9 +78,10 @@ fn advisor_agrees_with_empirical_winner_or_is_close() {
         let picked_tps = match rec.scheme {
             "blocking" => b,
             "speculation" => s,
+            "occ" => o,
             _ => l,
         };
-        let best_tps = b.max(s).max(l);
+        let best_tps = b.max(s).max(l).max(o);
         if rec.scheme == best {
             agreements += 1;
         }
